@@ -1,0 +1,140 @@
+/// \file ablation_flows.cpp
+/// \brief Ablation studies for the design choices called out in
+///        DESIGN.md §7: how much do input ordering, post-layout
+///        optimization, ortho's greedy orientation, and wire crossings each
+///        contribute? Run on a deterministic mid-size workload so numbers
+///        are comparable across revisions.
+
+#include "benchmarks/functions.hpp"
+#include "benchmarks/synthetic.hpp"
+#include "layout/routing.hpp"
+#include "physical_design/input_ordering.hpp"
+#include "physical_design/ortho.hpp"
+#include "physical_design/post_layout_optimization.hpp"
+#include "verification/equivalence.hpp"
+
+#include <cstdio>
+
+namespace
+{
+
+using namespace mnt;
+
+ntk::logic_network workload()
+{
+    bm::synthetic_spec spec{};
+    spec.name = "ablation";
+    spec.num_pis = 10;
+    spec.num_pos = 6;
+    spec.num_gates = 120;
+    spec.window = 24;
+    return bm::synthetic_network(spec);
+}
+
+void check(const ntk::logic_network& network, const lyt::gate_level_layout& layout, const char* label)
+{
+    if (!ver::check_layout_equivalence(network, layout))
+    {
+        std::printf("!! %s produced a non-equivalent layout\n", label);
+    }
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace mnt;
+    const auto network = workload();
+    std::printf("=== Flow ablations (workload: %zu gates, %zu PIs, %zu POs) ===\n\n", network.num_gates(),
+                network.num_pis(), network.num_pos());
+
+    // --- ortho greedy orientation on/off -------------------------------
+    {
+        pd::ortho_params greedy{};
+        pd::ortho_params naive{};
+        naive.greedy_orientation = false;
+        const auto a = pd::ortho(network, greedy);
+        const auto b = pd::ortho(network, naive);
+        check(network, a, "ortho(greedy)");
+        check(network, b, "ortho(naive)");
+        std::printf("ortho orientation     greedy: %8lu tiles / %zu wires   naive: %8lu tiles / %zu wires\n",
+                    static_cast<unsigned long>(a.area()), a.num_wires(), static_cast<unsigned long>(b.area()),
+                    b.num_wires());
+    }
+
+    // --- InOrd ordering-count sweep -------------------------------------
+    {
+        std::printf("\nInOrd orderings sweep (area after ortho):\n");
+        for (const std::size_t k : {1u, 2u, 4u, 8u, 16u})
+        {
+            pd::input_ordering_params params{};
+            params.max_orderings = k;
+            pd::input_ordering_stats stats{};
+            const auto layout = pd::input_ordering_ortho(network, params, &stats);
+            check(network, layout, "InOrd");
+            std::printf("  k=%2zu: best %8lu tiles (worst seen %8lu)\n", k,
+                        static_cast<unsigned long>(stats.best_area), static_cast<unsigned long>(stats.worst_area));
+        }
+    }
+
+    // --- PLO pass-count sweep --------------------------------------------
+    {
+        std::printf("\nPLO passes sweep (starting from plain ortho):\n");
+        const auto base = pd::ortho(network);
+        for (const std::size_t passes : {0u, 1u, 2u, 4u, 8u})
+        {
+            pd::plo_params params{};
+            params.max_passes = passes;
+            pd::plo_stats stats{};
+            const auto layout = pd::post_layout_optimization(base, params, &stats);
+            check(network, layout, "PLO");
+            std::printf("  passes=%zu: %8lu -> %8lu tiles, %5zu -> %5zu wires, %zu moves\n", passes,
+                        static_cast<unsigned long>(stats.area_before), static_cast<unsigned long>(stats.area_after),
+                        stats.wires_before, stats.wires_after, stats.accepted_moves);
+        }
+    }
+
+    // --- crossings on/off for the router --------------------------------
+    {
+        std::printf("\nrouter crossings ablation (100 random nets on a 48x48 2DDWave grid):\n");
+        for (const bool crossings : {true, false})
+        {
+            lyt::gate_level_layout layout{"x", lyt::layout_topology::cartesian, lyt::clocking_scheme::twoddwave(),
+                                          48, 48};
+            lyt::routing_options options{};
+            options.allow_crossings = crossings;
+            std::size_t routed = 0;
+            std::uint64_t seed = 7;
+            for (int i = 0; i < 100; ++i)
+            {
+                seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+                const auto sx = static_cast<std::int32_t>((seed >> 8) % 24);
+                const auto sy = static_cast<std::int32_t>((seed >> 16) % 24);
+                const auto tx = sx + 1 + static_cast<std::int32_t>((seed >> 24) % 23);
+                const auto ty = sy + 1 + static_cast<std::int32_t>((seed >> 32) % 23);
+                const lyt::coordinate src{sx, sy};
+                const lyt::coordinate dst{tx, ty};
+                if (!layout.is_empty_tile(src) || !layout.is_empty_tile(dst))
+                {
+                    continue;
+                }
+                layout.place(src, ntk::gate_type::pi, "p" + std::to_string(i));
+                layout.place(dst, ntk::gate_type::po, "o" + std::to_string(i));
+                if (lyt::route(layout, src, dst, options))
+                {
+                    ++routed;
+                }
+                else
+                {
+                    layout.clear_tile(src);
+                    layout.clear_tile(dst);
+                }
+            }
+            std::printf("  crossings=%s: %zu/100 nets routed, %zu crossings used\n", crossings ? "on " : "off",
+                        routed, layout.num_crossings());
+        }
+    }
+
+    std::printf("\ndone\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/// \file micro_io.cpp
+/// \brief Engineering microbenchmarks (μ4–μ5): .fgl round-trip and Verilog
+///        parsing throughput, bit-parallel simulation, and catalog filter
+///        latency.
+
+#include "benchmarks/synthetic.hpp"
+#include "core/catalog.hpp"
+#include "core/filters.hpp"
+#include "io/fgl_reader.hpp"
+#include "io/fgl_writer.hpp"
+#include "io/verilog_reader.hpp"
+#include "io/verilog_writer.hpp"
+#include "network/simulation.hpp"
+#include "physical_design/ortho.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace
+{
+
+using namespace mnt;
+
+ntk::logic_network medium_network()
+{
+    bm::synthetic_spec spec{};
+    spec.num_pis = 12;
+    spec.num_pos = 6;
+    spec.num_gates = 512;
+    spec.window = 32;
+    return bm::synthetic_network(spec);
+}
+
+void fgl_round_trip(benchmark::State& state)
+{
+    const auto layout = pd::ortho(medium_network());
+    for (auto _ : state)
+    {
+        const auto text = io::write_fgl_string(layout);
+        auto reread = io::read_fgl_string(text);
+        benchmark::DoNotOptimize(reread.num_occupied());
+    }
+    state.counters["tiles"] = static_cast<double>(layout.num_occupied());
+}
+BENCHMARK(fgl_round_trip)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void verilog_round_trip(benchmark::State& state)
+{
+    const auto network = medium_network();
+    for (auto _ : state)
+    {
+        const auto text = io::write_verilog_string(network);
+        auto reread = io::read_verilog_string(text);
+        benchmark::DoNotOptimize(reread.size());
+    }
+}
+BENCHMARK(verilog_round_trip)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void word_simulation(benchmark::State& state)
+{
+    const auto network = medium_network();
+    const std::vector<std::uint64_t> words(network.num_pis(), 0xdeadbeefcafebabeull);
+    for (auto _ : state)
+    {
+        auto out = ntk::simulate_word(network, words);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(word_simulation)->Unit(benchmark::kMicrosecond)->Iterations(200);
+
+void catalog_filtering(benchmark::State& state)
+{
+    cat::catalog catalog;
+    const auto layout = pd::ortho(medium_network());
+    for (int i = 0; i < 200; ++i)
+    {
+        cat::layout_record record{};
+        record.benchmark_set = i % 2 == 0 ? "A" : "B";
+        record.benchmark_name = "f" + std::to_string(i % 10);
+        record.library = i % 3 == 0 ? cat::gate_library_kind::bestagon : cat::gate_library_kind::qca_one;
+        record.clocking = i % 4 == 0 ? "USE" : "2DDWave";
+        record.algorithm = i % 5 == 0 ? "exact" : "ortho";
+        if (i % 7 == 0)
+        {
+            record.optimizations = {"PLO"};
+        }
+        record.layout = layout;
+        catalog.add_layout(std::move(record));
+    }
+
+    cat::filter_query query{};
+    query.clockings = {"2DDWave"};
+    query.algorithms = {"ortho"};
+    query.best_only = true;
+    for (auto _ : state)
+    {
+        auto selection = cat::apply_filter(catalog, query);
+        benchmark::DoNotOptimize(selection.size());
+    }
+}
+BENCHMARK(catalog_filtering)->Unit(benchmark::kMicrosecond)->Iterations(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+/// \file table1_bestagon.cpp
+/// \brief Experiment E2: regenerates the Bestagon half of the paper's
+///        Table I — the best hexagonal ROW-clocked layout per benchmark
+///        function (exact on the hex grid for tiny functions; ortho with
+///        InOrd, the 45° hexagonalization and PLO for everything), with the
+///        area delta versus the plain ortho+45° baseline. Covers the paper's
+///        §II claim that the best combination needs a fraction of the
+///        baseline's area (e.g. "router": 23.6% of [7]).
+
+#include "table_helpers.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+int main()
+{
+    using namespace mnt;
+    const auto start = std::chrono::steady_clock::now();
+
+    cat::catalog catalog;
+
+    for (const auto& entry : bm::all_suites())
+    {
+        std::fprintf(stderr, "[table1/Bestagon] %s/%s ...\n", entry.set.c_str(), entry.name.c_str());
+        bench::populate(catalog, entry, cat::gate_library_kind::bestagon);
+    }
+
+    bench::print_header(cat::gate_library_kind::bestagon);
+    for (const auto& [network, entry] : cat::best_per_function(catalog, cat::gate_library_kind::bestagon))
+    {
+        bench::print_row(*network, entry);
+    }
+
+    const auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::printf("\n%zu layouts generated across %zu benchmark functions in %.1f s\n", catalog.num_layouts(),
+                catalog.num_networks(), seconds);
+    return 0;
+}

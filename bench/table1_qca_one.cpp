@@ -1,0 +1,37 @@
+/// \file table1_qca_one.cpp
+/// \brief Experiment E1: regenerates the QCA ONE half of the paper's
+///        Table I — the best Cartesian gate-level layout per benchmark
+///        function from the full tool portfolio (exact / NanoPlaceR
+///        substitute / ortho with InOrd and PLO, over the 2DDWave, USE, RES
+///        and ESR clocking schemes), with runtime, winning flow and area
+///        delta versus the plain-ortho baseline.
+
+#include "table_helpers.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+int main()
+{
+    using namespace mnt;
+    const auto start = std::chrono::steady_clock::now();
+
+    cat::catalog catalog;
+
+    for (const auto& entry : bm::all_suites())
+    {
+        std::fprintf(stderr, "[table1/QCA ONE] %s/%s ...\n", entry.set.c_str(), entry.name.c_str());
+        bench::populate(catalog, entry, cat::gate_library_kind::qca_one);
+    }
+
+    bench::print_header(cat::gate_library_kind::qca_one);
+    for (const auto& [network, entry] : cat::best_per_function(catalog, cat::gate_library_kind::qca_one))
+    {
+        bench::print_row(*network, entry);
+    }
+
+    const auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::printf("\n%zu layouts generated across %zu benchmark functions in %.1f s\n", catalog.num_layouts(),
+                catalog.num_networks(), seconds);
+    return 0;
+}

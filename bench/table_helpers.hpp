@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file table_helpers.hpp
+/// \brief Shared machinery of the Table I reproduction benches: size-scaled
+///        portfolio budgets, catalog population, and row printing in the
+///        paper's format.
+
+#include "benchmarks/suites.hpp"
+#include "core/best_selection.hpp"
+#include "core/catalog.hpp"
+#include "physical_design/portfolio.hpp"
+#include "verification/equivalence.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mnt::bench
+{
+
+/// Portfolio budgets per benchmark size class. Mirrors how MNT Bench applies
+/// exact to tiny functions only, NanoPlaceR to small/medium ones, and the
+/// scalable ortho flow everywhere.
+inline pd::portfolio_params params_for(const bm::size_class size)
+{
+    pd::portfolio_params params{};
+    switch (size)
+    {
+        case bm::size_class::tiny:
+            params.exact_timeout_s = 3.0;
+            params.nanoplacer_iterations = 1500;
+            params.input_orderings = 6;
+            params.verify = true;
+            break;
+        case bm::size_class::small:
+            params.try_exact = false;
+            params.nanoplacer_iterations = 1200;
+            params.input_orderings = 6;
+            params.verify = true;
+            break;
+        case bm::size_class::medium:
+            params.try_exact = false;
+            params.try_nanoplacer = false;
+            params.input_orderings = 3;
+            params.plo_max_tiles = 8000;
+            params.plo_max_gate_moves = 6000;
+            break;
+        case bm::size_class::large:
+            params.try_exact = false;
+            params.try_nanoplacer = false;
+            params.input_orderings = 2;
+            params.try_plo = false;
+            break;
+    }
+    return params;
+}
+
+/// Runs the portfolio for one benchmark under one library and registers all
+/// results in the catalog.
+inline void populate(cat::catalog& catalog, const bm::benchmark_entry& entry,
+                     const cat::gate_library_kind library)
+{
+    const auto network = entry.build();
+    if (catalog.find_network(entry.set, entry.name) == nullptr)
+    {
+        catalog.add_network(entry.set, entry.name, network);
+    }
+
+    const auto params = params_for(entry.size);
+    const auto results = library == cat::gate_library_kind::qca_one ?
+                             pd::run_cartesian_portfolio(network, params) :
+                             pd::run_hexagonal_portfolio(network, params);
+
+    for (const auto& r : results)
+    {
+        cat::layout_record record{};
+        record.benchmark_set = entry.set;
+        record.benchmark_name = entry.name;
+        record.library = library;
+        record.clocking = r.clocking;
+        record.algorithm = r.algorithm;
+        record.optimizations = r.optimizations;
+        record.runtime = r.runtime;
+        record.layout = r.layout;
+        catalog.add_layout(std::move(record));
+    }
+}
+
+/// Prints the Table I header for one library half.
+inline void print_header(const cat::gate_library_kind library)
+{
+    std::printf("\n=== Table I — best layouts w.r.t. area, %s gate library ===\n",
+                cat::gate_library_name(library).c_str());
+    std::printf("%-11s %-14s %9s %6s  %-26s %8s  %-28s %-8s %8s\n", "Set", "Name", "I/O", "N", "w x h = A", "t [s]",
+                "Algorithm", "Clk.", "dA");
+    std::printf("%.*s\n", 132,
+                "-----------------------------------------------------------------------------------------------"
+                "-------------------------------------");
+}
+
+/// Prints one Table I row.
+inline void print_row(const cat::network_record& network, const cat::best_entry& entry)
+{
+    if (entry.best == nullptr)
+    {
+        std::printf("%-11s %-14s %9s %6s  %-26s %8s  %-28s %-8s %8s\n", network.benchmark_set.c_str(),
+                    network.benchmark_name.c_str(), "-", "-", "(no layout)", "-", "-", "-", "-");
+        return;
+    }
+    const auto io = std::to_string(network.num_pis) + "/" + std::to_string(network.num_pos);
+    const auto dims = std::to_string(entry.best->width) + " x " + std::to_string(entry.best->height) + " = " +
+                      std::to_string(entry.best->area);
+    std::string delta = "n/a";
+    if (entry.delta_area_percent.has_value())
+    {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%+.1f%%", *entry.delta_area_percent);
+        delta = buffer;
+    }
+    std::printf("%-11s %-14s %9s %6zu  %-26s %8.2f  %-28s %-8s %8s\n", network.benchmark_set.c_str(),
+                network.benchmark_name.c_str(), io.c_str(), network.num_gates, dims.c_str(), entry.best->runtime,
+                entry.best->label().c_str(), entry.best->clocking.c_str(), delta.c_str());
+}
+
+}  // namespace mnt::bench

@@ -1,0 +1,312 @@
+#include "benchmarks/functions.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mnt::bm
+{
+
+using ntk::logic_network;
+using node = logic_network::node;
+
+logic_network mux21()
+{
+    logic_network network{"mux21"};
+    const auto s = network.create_pi("s");
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto l = network.create_and(network.create_not(s), a);
+    const auto r = network.create_and(s, b);
+    network.create_po(network.create_or(l, r), "y");
+    return network;
+}
+
+logic_network xor2()
+{
+    logic_network network{"xor2"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto l = network.create_and(a, network.create_not(b));
+    const auto r = network.create_and(network.create_not(a), b);
+    network.create_po(network.create_or(l, r), "y");
+    return network;
+}
+
+logic_network xnor2()
+{
+    logic_network network{"xnor2"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto both = network.create_and(a, b);
+    const auto neither = network.create_and(network.create_not(a), network.create_not(b));
+    network.create_po(network.create_or(both, neither), "y");
+    return network;
+}
+
+logic_network half_adder()
+{
+    logic_network network{"ha"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_xor(a, b), "sum");
+    network.create_po(network.create_and(a, b), "carry");
+    return network;
+}
+
+logic_network full_adder()
+{
+    logic_network network{"fa"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto cin = network.create_pi("cin");
+    const auto axb = network.create_xor(a, b);
+    network.create_po(network.create_xor(axb, cin), "sum");
+    network.create_po(network.create_or(network.create_and(a, b), network.create_and(axb, cin)), "carry");
+    return network;
+}
+
+logic_network parity_generator()
+{
+    logic_network network{"par_gen"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    network.create_po(network.create_xor(network.create_xor(a, b), c), "parity");
+    return network;
+}
+
+logic_network parity_checker()
+{
+    logic_network network{"par_check"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const auto p = network.create_pi("p");
+    const auto parity = network.create_xor(network.create_xor(a, b), c);
+    network.create_po(network.create_xnor(parity, p), "ok");
+    return network;
+}
+
+logic_network t_function()
+{
+    logic_network network{"t"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const auto d = network.create_pi("d");
+    const auto e = network.create_pi("e");
+    const auto ab = network.create_and(a, b);
+    const auto cd = network.create_or(c, d);
+    const auto x = network.create_xor(ab, cd);
+    network.create_po(network.create_and(x, e), "f0");
+    network.create_po(network.create_or(network.create_not(x), network.create_and(d, e)), "f1");
+    return network;
+}
+
+logic_network b1_r2()
+{
+    logic_network network{"b1_r2"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    network.create_po(network.create_or(a, b), "o0");
+    network.create_po(network.create_and(network.create_not(a), c), "o1");
+    network.create_po(network.create_xor(b, c), "o2");
+    network.create_po(network.create_nand(a, network.create_or(b, c)), "o3");
+    return network;
+}
+
+logic_network majority5()
+{
+    logic_network network{"majority"};
+    std::vector<node> in;
+    for (int i = 0; i < 5; ++i)
+    {
+        in.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+    // maj5(a..e) = maj3(e, maj3(a, b, c), maj3(c, d, maj3(a, b, d)))
+    // (standard MAJ-of-MAJ decomposition)
+    const auto m1 = network.create_maj(in[0], in[1], in[2]);
+    const auto m2 = network.create_maj(in[0], in[1], in[3]);
+    const auto m3 = network.create_maj(in[2], in[3], m2);
+    network.create_po(network.create_maj(in[4], m1, m3), "maj");
+    return network;
+}
+
+logic_network newtag()
+{
+    logic_network network{"newtag"};
+    std::vector<node> in;
+    for (int i = 0; i < 8; ++i)
+    {
+        in.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+    // tag match: (x0..x3 equals pattern x4..x7)
+    node acc = network.get_constant(true);
+    for (int i = 0; i < 4; ++i)
+    {
+        acc = network.create_and(acc, network.create_xnor(in[static_cast<std::size_t>(i)],
+                                                          in[static_cast<std::size_t>(i + 4)]));
+    }
+    network.create_po(acc, "match");
+    return network;
+}
+
+logic_network clpl()
+{
+    logic_network network{"clpl"};
+    // carry-lookahead propagate chain: 5 stages with generate/propagate
+    std::vector<node> g;
+    std::vector<node> p;
+    for (int i = 0; i < 5; ++i)
+    {
+        g.push_back(network.create_pi("g" + std::to_string(i)));
+        p.push_back(network.create_pi("p" + std::to_string(i)));
+    }
+    const auto c0 = network.create_pi("c0");
+    auto carry = c0;
+    for (int i = 0; i < 5; ++i)
+    {
+        carry = network.create_or(g[static_cast<std::size_t>(i)],
+                                  network.create_and(p[static_cast<std::size_t>(i)], carry));
+        network.create_po(carry, "c" + std::to_string(i + 1));
+    }
+    return network;
+}
+
+logic_network one_bit_adder_aoig()
+{
+    logic_network network{"1bitAdderAOIG"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto cin = network.create_pi("cin");
+    // sum = a ^ b ^ cin in AOI form
+    const auto nab = network.create_not(network.create_or(network.create_and(a, b),
+                                                          network.create_and(network.create_not(a),
+                                                                             network.create_not(b))));
+    // nab = a ^ b
+    const auto sum = network.create_or(network.create_and(nab, network.create_not(cin)),
+                                       network.create_and(network.create_not(nab), cin));
+    const auto carry = network.create_or(network.create_and(a, b), network.create_and(nab, cin));
+    network.create_po(sum, "sum");
+    network.create_po(carry, "cout");
+    return network;
+}
+
+logic_network one_bit_adder_maj()
+{
+    logic_network network{"1bitAdderMaj"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto cin = network.create_pi("cin");
+    const auto carry = network.create_maj(a, b, cin);
+    // sum = maj(~carry, maj(a, b, ~cin), cin) — the classic MAJ-3 adder
+    const auto m = network.create_maj(a, b, network.create_not(cin));
+    const auto sum = network.create_maj(network.create_not(carry), m, cin);
+    network.create_po(sum, "sum");
+    network.create_po(carry, "cout");
+    return network;
+}
+
+logic_network two_bit_adder_maj()
+{
+    logic_network network{"2bitAdderMaj"};
+    const auto a0 = network.create_pi("a0");
+    const auto b0 = network.create_pi("b0");
+    const auto a1 = network.create_pi("a1");
+    const auto b1 = network.create_pi("b1");
+    const auto cin = network.create_pi("cin");
+
+    const auto c1 = network.create_maj(a0, b0, cin);
+    const auto s0 = network.create_maj(network.create_not(c1), network.create_maj(a0, b0, network.create_not(cin)),
+                                       cin);
+    const auto c2 = network.create_maj(a1, b1, c1);
+    const auto s1 = network.create_maj(network.create_not(c2), network.create_maj(a1, b1, network.create_not(c1)),
+                                       c1);
+    network.create_po(s0, "s0");
+    network.create_po(s1, "s1");
+    network.create_po(c2, "cout");
+    return network;
+}
+
+logic_network xor5_maj()
+{
+    logic_network network{"xor5Maj"};
+    std::vector<node> in;
+    for (int i = 0; i < 5; ++i)
+    {
+        in.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+    auto acc = in[0];
+    for (int i = 1; i < 5; ++i)
+    {
+        acc = network.create_xor(acc, in[static_cast<std::size_t>(i)]);
+    }
+    network.create_po(acc, "y");
+    return network;
+}
+
+logic_network cm82a_5()
+{
+    logic_network network{"cm82a_5"};
+    // MCNC cm82a: a 2-bit adder-like slice, 5 inputs / 3 outputs
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const auto d = network.create_pi("d");
+    const auto e = network.create_pi("e");
+    const auto s0 = network.create_xor(network.create_xor(a, b), c);
+    const auto c0 = network.create_maj(a, b, c);
+    const auto s1 = network.create_xor(network.create_xor(d, e), c0);
+    const auto c1 = network.create_maj(d, e, c0);
+    network.create_po(s0, "f0");
+    network.create_po(s1, "f1");
+    network.create_po(c1, "f2");
+    return network;
+}
+
+logic_network parity16()
+{
+    logic_network network{"parity"};
+    std::vector<node> layer;
+    for (int i = 0; i < 16; ++i)
+    {
+        layer.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+    // balanced xor tree
+    while (layer.size() > 1)
+    {
+        std::vector<node> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+        {
+            next.push_back(network.create_xor(layer[i], layer[i + 1]));
+        }
+        if (layer.size() % 2 == 1)
+        {
+            next.push_back(layer.back());
+        }
+        layer = std::move(next);
+    }
+    network.create_po(layer[0], "parity");
+    return network;
+}
+
+logic_network c17()
+{
+    logic_network network{"c17"};
+    const auto in1 = network.create_pi("1");
+    const auto in2 = network.create_pi("2");
+    const auto in3 = network.create_pi("3");
+    const auto in6 = network.create_pi("6");
+    const auto in7 = network.create_pi("7");
+
+    const auto n10 = network.create_nand(in1, in3);
+    const auto n11 = network.create_nand(in3, in6);
+    const auto n16 = network.create_nand(in2, n11);
+    const auto n19 = network.create_nand(n11, in7);
+    network.create_po(network.create_nand(n10, n16), "22");
+    network.create_po(network.create_nand(n16, n19), "23");
+    return network;
+}
+
+}  // namespace mnt::bm

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file functions.hpp
+/// \brief Hand-written benchmark functions of the Trindade16 and Fontes18
+///        sets plus ISCAS85's c17 — the small/medium functions MNT Bench
+///        distributes as Verilog networks.
+///
+/// These are standard textbook functions reproduced from their published
+/// definitions. For the handful of Fontes18 circuits whose exact netlists
+/// are not publicly specified (t, b1_r2, newtag, clpl, cm82a_5), plausible
+/// reconstructions with the published I/O signatures are provided and
+/// documented in DESIGN.md §4.
+
+#include "network/logic_network.hpp"
+
+namespace mnt::bm
+{
+
+// --------------------------------------------------------- Trindade16 [11]
+
+/// 2:1 multiplexer: y = s ? b : a (3 in / 1 out).
+[[nodiscard]] ntk::logic_network mux21();
+
+/// 2-input XOR in AOI form (2/1).
+[[nodiscard]] ntk::logic_network xor2();
+
+/// 2-input XNOR in AOI form (2/1).
+[[nodiscard]] ntk::logic_network xnor2();
+
+/// Half adder: sum/carry (2/2).
+[[nodiscard]] ntk::logic_network half_adder();
+
+/// Full adder in AOI form (3/2).
+[[nodiscard]] ntk::logic_network full_adder();
+
+/// 3-bit even-parity generator (3/1).
+[[nodiscard]] ntk::logic_network parity_generator();
+
+/// 4-bit parity checker (4/1): data bits plus received parity.
+[[nodiscard]] ntk::logic_network parity_checker();
+
+// ----------------------------------------------------------- Fontes18 [12]
+
+/// "t": two functions of five shared inputs (5/2; reconstruction).
+[[nodiscard]] ntk::logic_network t_function();
+
+/// "b1_r2": four outputs over three inputs (3/4; reconstruction).
+[[nodiscard]] ntk::logic_network b1_r2();
+
+/// 5-input majority function (5/1).
+[[nodiscard]] ntk::logic_network majority5();
+
+/// "newtag": single output over eight inputs (8/1; reconstruction).
+[[nodiscard]] ntk::logic_network newtag();
+
+/// "clpl": carry-lookahead-style propagate logic (11/5; reconstruction).
+[[nodiscard]] ntk::logic_network clpl();
+
+/// 1-bit full adder, AND/OR/INV gates only (3/2).
+[[nodiscard]] ntk::logic_network one_bit_adder_aoig();
+
+/// 1-bit full adder using MAJ gates (3/2).
+[[nodiscard]] ntk::logic_network one_bit_adder_maj();
+
+/// 2-bit ripple-carry adder using MAJ gates (5/3).
+[[nodiscard]] ntk::logic_network two_bit_adder_maj();
+
+/// 5-input XOR built from majority-friendly structure (5/1).
+[[nodiscard]] ntk::logic_network xor5_maj();
+
+/// "cm82a": 3-output arithmetic slice over five inputs (5/3;
+/// reconstruction of the MCNC circuit).
+[[nodiscard]] ntk::logic_network cm82a_5();
+
+/// 16-bit parity tree (16/1).
+[[nodiscard]] ntk::logic_network parity16();
+
+// ------------------------------------------------------------ ISCAS85 [13]
+
+/// c17: the classic 6-NAND benchmark (5/2), exact published netlist.
+[[nodiscard]] ntk::logic_network c17();
+
+}  // namespace mnt::bm

@@ -1,0 +1,104 @@
+#include "benchmarks/suites.hpp"
+
+#include "benchmarks/functions.hpp"
+#include "benchmarks/synthetic.hpp"
+
+namespace mnt::bm
+{
+
+namespace
+{
+
+/// Synthetic stand-in entry with the published I/O/N counts.
+benchmark_entry synthetic_entry(const std::string& set, const std::string& name, const std::size_t pis,
+                                const std::size_t pos, const std::size_t gates, const size_class size)
+{
+    synthetic_spec spec{};
+    spec.name = name;
+    spec.num_pis = pis;
+    spec.num_pos = pos;
+    spec.num_gates = gates;
+    spec.window = 64;
+    // stable per-circuit seed so every run regenerates identical networks
+    spec.seed = 0x9e3779b97f4a7c15ull ^ std::hash<std::string>{}(set + "/" + name);
+    return {set, name, [spec]() { return synthetic_network(spec); }, size};
+}
+
+}  // namespace
+
+std::vector<benchmark_entry> trindade16()
+{
+    return {
+        {"Trindade16", "2:1 MUX", &mux21, size_class::tiny},
+        {"Trindade16", "XOR", &xor2, size_class::tiny},
+        {"Trindade16", "XNOR", &xnor2, size_class::tiny},
+        {"Trindade16", "Half Adder", &half_adder, size_class::tiny},
+        {"Trindade16", "Full Adder", &full_adder, size_class::tiny},
+        {"Trindade16", "Parity Gen.", &parity_generator, size_class::tiny},
+        {"Trindade16", "Parity Check.", &parity_checker, size_class::tiny},
+    };
+}
+
+std::vector<benchmark_entry> fontes18()
+{
+    return {
+        {"Fontes18", "t", &t_function, size_class::small},
+        {"Fontes18", "b1_r2", &b1_r2, size_class::small},
+        {"Fontes18", "majority", &majority5, size_class::small},
+        {"Fontes18", "newtag", &newtag, size_class::small},
+        {"Fontes18", "clpl", &clpl, size_class::small},
+        {"Fontes18", "1bitAdderAOIG", &one_bit_adder_aoig, size_class::small},
+        {"Fontes18", "1bitAdderMaj", &one_bit_adder_maj, size_class::small},
+        {"Fontes18", "2bitAdderMaj", &two_bit_adder_maj, size_class::small},
+        {"Fontes18", "xor5Maj", &xor5_maj, size_class::small},
+        {"Fontes18", "cm82a_5", &cm82a_5, size_class::small},
+        {"Fontes18", "parity", &parity16, size_class::small},
+    };
+}
+
+std::vector<benchmark_entry> iscas85()
+{
+    // I/O from the published circuits, N from MNT Bench's Table I
+    return {
+        {"ISCAS85", "c17", &c17, size_class::tiny},
+        synthetic_entry("ISCAS85", "c432", 36, 7, 414, size_class::medium),
+        synthetic_entry("ISCAS85", "c499", 41, 32, 816, size_class::medium),
+        synthetic_entry("ISCAS85", "c880", 60, 26, 639, size_class::medium),
+        synthetic_entry("ISCAS85", "c1355", 41, 32, 1064, size_class::large),
+        synthetic_entry("ISCAS85", "c1908", 33, 25, 813, size_class::medium),
+        synthetic_entry("ISCAS85", "c2670", 233, 140, 1463, size_class::large),
+        synthetic_entry("ISCAS85", "c3540", 50, 22, 1987, size_class::large),
+        synthetic_entry("ISCAS85", "c5315", 178, 123, 3628, size_class::large),
+        synthetic_entry("ISCAS85", "c6288", 32, 32, 6467, size_class::large),
+        synthetic_entry("ISCAS85", "c7552", 207, 108, 4501, size_class::large),
+    };
+}
+
+std::vector<benchmark_entry> epfl()
+{
+    return {
+        synthetic_entry("EPFL", "ctrl", 7, 25, 409, size_class::medium),
+        synthetic_entry("EPFL", "router", 60, 30, 490, size_class::medium),
+        synthetic_entry("EPFL", "int2float", 11, 7, 545, size_class::medium),
+        synthetic_entry("EPFL", "cavlc", 10, 11, 1600, size_class::large),
+        synthetic_entry("EPFL", "priority", 128, 8, 2349, size_class::large),
+        synthetic_entry("EPFL", "dec", 8, 256, 320, size_class::medium),
+        synthetic_entry("EPFL", "i2c", 136, 127, 2728, size_class::large),
+        synthetic_entry("EPFL", "adder", 256, 129, 2541, size_class::large),
+        synthetic_entry("EPFL", "bar", 135, 128, 6672, size_class::large),
+        synthetic_entry("EPFL", "max", 512, 130, 6110, size_class::large),
+        synthetic_entry("EPFL", "sin", 24, 25, 11437, size_class::large),
+    };
+}
+
+std::vector<benchmark_entry> all_suites()
+{
+    std::vector<benchmark_entry> all;
+    for (auto&& set : {trindade16(), fontes18(), iscas85(), epfl()})
+    {
+        all.insert(all.end(), set.begin(), set.end());
+    }
+    return all;
+}
+
+}  // namespace mnt::bm

@@ -1,0 +1,77 @@
+#include "benchmarks/synthetic.hpp"
+
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace mnt::bm
+{
+
+using ntk::logic_network;
+using node = logic_network::node;
+
+logic_network synthetic_network(const synthetic_spec& spec)
+{
+    if (spec.num_pis == 0 || spec.num_pos == 0)
+    {
+        throw precondition_error{"synthetic_network: need at least one PI and one PO"};
+    }
+
+    logic_network network{spec.name};
+    std::mt19937_64 rng{spec.seed};
+    std::vector<node> pool;
+    pool.reserve(spec.num_pis + spec.num_gates);
+
+    for (std::size_t i = 0; i < spec.num_pis; ++i)
+    {
+        pool.push_back(network.create_pi("in" + std::to_string(i)));
+    }
+
+    const auto window = std::max<std::size_t>(spec.window, 2);
+
+    for (std::size_t i = 0; i < spec.num_gates; ++i)
+    {
+        // the first gates consume the PIs pairwise so none stays dangling
+        node a{};
+        node b{};
+        if (i * 2 + 1 < spec.num_pis)
+        {
+            a = pool[i * 2];
+            b = pool[i * 2 + 1];
+        }
+        else
+        {
+            const auto lo = pool.size() > window ? pool.size() - window : 0u;
+            std::uniform_int_distribution<std::size_t> pick{lo, pool.size() - 1};
+            a = pool[pick(rng)];
+            b = pool[pick(rng)];
+        }
+
+        node g{};
+        switch (rng() % 8)
+        {
+            case 0: g = network.create_and(a, b); break;
+            case 1: g = network.create_or(a, b); break;
+            case 2: g = network.create_nand(a, b); break;
+            case 3: g = network.create_nor(a, b); break;
+            case 4: g = network.create_xor(a, b); break;
+            case 5: g = network.create_xnor(a, b); break;
+            case 6: g = network.create_not(a); break;
+            default: g = network.create_and(a, b); break;
+        }
+        pool.push_back(g);
+    }
+
+    // POs from the most recent distinct signals
+    const auto po_candidates = std::min(pool.size(), std::max<std::size_t>(spec.num_pos, window));
+    for (std::size_t i = 0; i < spec.num_pos; ++i)
+    {
+        const auto& src = pool[pool.size() - 1 - (i % po_candidates)];
+        network.create_po(src, "out" + std::to_string(i));
+    }
+    return network;
+}
+
+}  // namespace mnt::bm

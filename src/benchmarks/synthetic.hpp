@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// \brief Deterministic synthetic benchmark networks.
+///
+/// The large ISCAS85 and EPFL circuits are not redistributable inside this
+/// repository, so they are substituted by deterministic pseudo-random
+/// networks that match the published input/output/gate counts (see
+/// DESIGN.md §4). The generator produces circuits with *locality*: fanins
+/// are drawn from a sliding window of recently created nodes, mirroring the
+/// wire-length locality of real logic and keeping physical design workloads
+/// realistic.
+
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace mnt::bm
+{
+
+/// Specification of a synthetic network.
+struct synthetic_spec
+{
+    std::string name{"synthetic"};
+    std::size_t num_pis{8};
+    std::size_t num_pos{4};
+    /// Logic gate target (the generator hits this exactly).
+    std::size_t num_gates{64};
+    /// Locality window: fanins come from the last `window` created signals.
+    std::size_t window{64};
+    /// Deterministic seed.
+    std::uint64_t seed{0xbea7ull};
+};
+
+/// Generates the network described by \p spec. Guarantees: exact PI/PO/gate
+/// counts, every PI drives at least one gate (when num_gates allows), and
+/// all POs are driven by distinct recent signals where possible.
+[[nodiscard]] ntk::logic_network synthetic_network(const synthetic_spec& spec);
+
+}  // namespace mnt::bm

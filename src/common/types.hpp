@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file types.hpp
+/// \brief Fundamental types and error handling shared by all MNT modules.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mnt
+{
+
+/// Base exception type for all errors raised by the MNT library.
+///
+/// Every module throws a subclass (or this type directly) so that callers can
+/// catch library failures with a single handler while still discriminating
+/// parse errors from design-rule violations etc. via the derived types.
+class mnt_error : public std::runtime_error
+{
+public:
+    explicit mnt_error(const std::string& what_arg) : std::runtime_error{what_arg} {}
+};
+
+/// Raised when an input file (Verilog, .fgl, ...) cannot be parsed.
+class parse_error : public mnt_error
+{
+public:
+    parse_error(const std::string& what_arg, const std::size_t line) :
+            mnt_error{"parse error (line " + std::to_string(line) + "): " + what_arg},
+            line_number{line}
+    {}
+
+    /// 1-based line number at which parsing failed.
+    std::size_t line_number;
+};
+
+/// Raised when an operation is requested on an object that does not satisfy
+/// the operation's preconditions (e.g. routing on an unclocked layout).
+class precondition_error : public mnt_error
+{
+public:
+    explicit precondition_error(const std::string& what_arg) : mnt_error{what_arg} {}
+};
+
+/// Raised when a layout violates a design rule (used by the DRC and by
+/// validating readers).
+class design_rule_error : public mnt_error
+{
+public:
+    explicit design_rule_error(const std::string& what_arg) : mnt_error{what_arg} {}
+};
+
+}  // namespace mnt

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file best_selection.hpp
+/// \brief Best-layout selection and ΔA bookkeeping — contribution #3 of the
+///        paper: the most area-efficient layout per benchmark function from
+///        the optimal combination of design automation tools, compared
+///        against the single-tool previous state of the art.
+
+#include "core/catalog.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mnt::cat
+{
+
+/// One row of Table I: the best layout of a function under one gate library
+/// plus its improvement over the baseline flow.
+struct best_entry
+{
+    const layout_record* best{nullptr};
+
+    /// The baseline record (the previous state-of-the-art flow: plain
+    /// "ortho" for QCA ONE, "ortho, 45°" for Bestagon), if present.
+    const layout_record* baseline{nullptr};
+
+    /// (best.area - baseline.area) / baseline.area, in percent
+    /// (<= 0 when the portfolio improves on the baseline).
+    std::optional<double> delta_area_percent;
+};
+
+/// Baseline flow label for a library ("ortho" / "ortho, 45°").
+[[nodiscard]] std::string baseline_label(gate_library_kind library);
+
+/// Selects the area-minimal layout of (set, name) under \p library and
+/// computes ΔA against the baseline flow.
+///
+/// \returns best_entry with best == nullptr when no layout exists
+[[nodiscard]] best_entry select_best(const catalog& cat, const std::string& set, const std::string& name,
+                                     gate_library_kind library);
+
+/// Best entries for every registered network under \p library, in
+/// registration order.
+[[nodiscard]] std::vector<std::pair<const network_record*, best_entry>> best_per_function(const catalog& cat,
+                                                                                          gate_library_kind library);
+
+}  // namespace mnt::cat

@@ -1,0 +1,115 @@
+#include "core/catalog.hpp"
+
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace mnt::cat
+{
+
+std::string gate_library_name(const gate_library_kind kind)
+{
+    return kind == gate_library_kind::qca_one ? "QCA ONE" : "Bestagon";
+}
+
+gate_library_kind gate_library_from_name(const std::string& name)
+{
+    std::string lower(name.size(), '\0');
+    std::transform(name.cbegin(), name.cend(), lower.begin(),
+                   [](const unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+    if (lower == "qca one" || lower == "qca_one" || lower == "qcaone" || lower == "qca")
+    {
+        return gate_library_kind::qca_one;
+    }
+    if (lower == "bestagon" || lower == "sidb")
+    {
+        return gate_library_kind::bestagon;
+    }
+    throw mnt_error{"unknown gate library '" + name + "'"};
+}
+
+std::string layout_record::label() const
+{
+    std::string s = algorithm;
+    for (const auto& o : optimizations)
+    {
+        s += ", " + o;
+    }
+    return s;
+}
+
+void catalog::add_network(const std::string& set, const std::string& name, ntk::logic_network network)
+{
+    if (find_network(set, name) != nullptr)
+    {
+        throw precondition_error{"add_network: benchmark '" + set + "/" + name + "' is already registered"};
+    }
+    network_record record;
+    record.benchmark_set = set;
+    record.benchmark_name = name;
+    record.num_pis = network.num_pis();
+    record.num_pos = network.num_pos();
+    record.num_gates = network.num_gates();
+    record.network = std::move(network);
+    network_records.push_back(std::move(record));
+}
+
+void catalog::add_layout(layout_record record)
+{
+    record.width = record.layout.width();
+    record.height = record.layout.height();
+    record.area = record.layout.area();
+    record.num_gates = record.layout.num_gates();
+    record.num_wires = record.layout.num_wires();
+    record.num_crossings = record.layout.num_crossings();
+    layout_records.push_back(std::move(record));
+}
+
+const std::vector<network_record>& catalog::networks() const noexcept
+{
+    return network_records;
+}
+
+const std::vector<layout_record>& catalog::layouts() const noexcept
+{
+    return layout_records;
+}
+
+const network_record* catalog::find_network(const std::string& set, const std::string& name) const
+{
+    for (const auto& r : network_records)
+    {
+        if (r.benchmark_set == set && r.benchmark_name == name)
+        {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<const layout_record*> catalog::layouts_of(const std::string& set, const std::string& name) const
+{
+    std::vector<const layout_record*> result;
+    for (const auto& r : layout_records)
+    {
+        if (r.benchmark_set == set && r.benchmark_name == name)
+        {
+            result.push_back(&r);
+        }
+    }
+    return result;
+}
+
+std::size_t catalog::num_networks() const noexcept
+{
+    return network_records.size();
+}
+
+std::size_t catalog::num_layouts() const noexcept
+{
+    return layout_records.size();
+}
+
+}  // namespace mnt::cat

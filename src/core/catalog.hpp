@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file catalog.hpp
+/// \brief The MNT Bench catalog: the data model behind the website of the
+///        paper (contribution #1/#2). Stores benchmark networks and all
+///        generated gate-level layouts together with their provenance, and
+///        answers the filter queries of the web interface (Figure 1).
+
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mnt::cat
+{
+
+/// Abstraction level of a benchmark artifact (the first facet of Figure 1).
+enum class abstraction_level : std::uint8_t
+{
+    /// Logic network, distributed as Verilog (.v).
+    network,
+    /// Gate-level layout, distributed as .fgl.
+    gate_level
+};
+
+/// Gate library of a layout (the second facet of Figure 1).
+enum class gate_library_kind : std::uint8_t
+{
+    qca_one,
+    bestagon
+};
+
+/// Returns "QCA ONE" / "Bestagon".
+[[nodiscard]] std::string gate_library_name(gate_library_kind kind);
+
+/// Parses a gate library name (case-insensitive).
+///
+/// \throws mnt::mnt_error on unknown names
+[[nodiscard]] gate_library_kind gate_library_from_name(const std::string& name);
+
+/// A benchmark network registered in the catalog.
+struct network_record
+{
+    std::string benchmark_set;
+    std::string benchmark_name;
+    ntk::logic_network network;
+    std::size_t num_pis{};
+    std::size_t num_pos{};
+    /// Logic gate count ("N" of Table I).
+    std::size_t num_gates{};
+};
+
+/// A generated layout registered in the catalog — one row of the website's
+/// result table.
+struct layout_record
+{
+    std::string benchmark_set;
+    std::string benchmark_name;
+    gate_library_kind library{gate_library_kind::qca_one};
+    /// Clocking scheme name ("2DDWave", "USE", ...).
+    std::string clocking;
+    /// Physical design algorithm ("exact", "ortho", "NPR").
+    std::string algorithm;
+    /// Applied optimizations in order ("InOrd (SDN)", "45°", "PLO").
+    std::vector<std::string> optimizations;
+    std::uint32_t width{};
+    std::uint32_t height{};
+    /// width * height — the "A" column.
+    std::uint64_t area{};
+    std::size_t num_gates{};
+    std::size_t num_wires{};
+    std::size_t num_crossings{};
+    /// Generation wall-clock seconds ("t" column).
+    double runtime{};
+    /// The layout itself (for download/export).
+    lyt::gate_level_layout layout;
+
+    /// Combined algorithm label as printed in Table I, e.g.
+    /// "ortho, InOrd (SDN), 45°, PLO".
+    [[nodiscard]] std::string label() const;
+};
+
+/// The catalog: benchmark networks plus generated layouts.
+class catalog
+{
+public:
+    /// Registers a benchmark network.
+    ///
+    /// \throws mnt::precondition_error on duplicate (set, name) pairs
+    void add_network(const std::string& set, const std::string& name, ntk::logic_network network);
+
+    /// Registers a generated layout. Derived metrics (width/height/area/
+    /// gate counts) are filled in from the layout automatically.
+    void add_layout(layout_record record);
+
+    [[nodiscard]] const std::vector<network_record>& networks() const noexcept;
+    [[nodiscard]] const std::vector<layout_record>& layouts() const noexcept;
+
+    /// Finds a registered network.
+    [[nodiscard]] const network_record* find_network(const std::string& set, const std::string& name) const;
+
+    /// All layouts of a given benchmark function.
+    [[nodiscard]] std::vector<const layout_record*> layouts_of(const std::string& set,
+                                                               const std::string& name) const;
+
+    [[nodiscard]] std::size_t num_networks() const noexcept;
+    [[nodiscard]] std::size_t num_layouts() const noexcept;
+
+private:
+    std::vector<network_record> network_records;
+    std::vector<layout_record> layout_records;
+};
+
+}  // namespace mnt::cat

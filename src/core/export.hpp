@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file export.hpp
+/// \brief File export of catalog content — the "download" function of the
+///        MNT Bench website: benchmark networks as Verilog, layouts as
+///        .fgl, and cell-level realizations as .qca / .sqd.
+
+#include "core/catalog.hpp"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mnt::cat
+{
+
+/// Options of \ref export_selection.
+struct export_options
+{
+    /// Also write the benchmark networks as Verilog (.v).
+    bool write_networks{true};
+
+    /// Also compile and write cell-level layouts (.qca for QCA ONE,
+    /// .sqd for Bestagon). Requires decomposed networks for QCA ONE;
+    /// incompatible layouts are skipped with a note in the report.
+    bool write_cell_level{false};
+};
+
+/// Result of an export run.
+struct export_report
+{
+    std::vector<std::filesystem::path> written;
+    std::vector<std::string> skipped;  ///< human-readable skip reasons
+};
+
+/// Sanitizes a benchmark/algorithm label into a filename component.
+[[nodiscard]] std::string sanitize_filename(const std::string& raw);
+
+/// Writes the selected layouts (and optionally their networks) into
+/// \p directory, creating it if needed. File names follow
+/// `<set>_<name>_<library>_<clocking>_<algorithm>.<ext>`.
+[[nodiscard]] export_report export_selection(const catalog& cat,
+                                             const std::vector<const layout_record*>& selection,
+                                             const std::filesystem::path& directory,
+                                             const export_options& options = {});
+
+}  // namespace mnt::cat

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file filters.hpp
+/// \brief The filter machinery behind MNT Bench's web interface (Figure 1):
+///        users narrow the layout collection by gate library, clocking
+///        scheme, physical design algorithm and optimization algorithms,
+///        and can ask for the "most optimal" (area-minimal) layout per
+///        function.
+
+#include "core/catalog.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mnt::cat
+{
+
+/// A facet query mirroring the selection boxes of the website. Empty
+/// vectors mean "no restriction" on that facet.
+struct filter_query
+{
+    /// Restrict to one benchmark set ("Trindade16", ...).
+    std::optional<std::string> benchmark_set;
+
+    /// Restrict to one function name.
+    std::optional<std::string> benchmark_name;
+
+    /// Gate libraries to include.
+    std::vector<gate_library_kind> libraries;
+
+    /// Clocking scheme names to include.
+    std::vector<std::string> clockings;
+
+    /// Physical design algorithms to include ("exact", "ortho", "NPR").
+    std::vector<std::string> algorithms;
+
+    /// Optimizations that must ALL have been applied ("PLO", "InOrd (SDN)",
+    /// "45°").
+    std::vector<std::string> required_optimizations;
+
+    /// Keep only the area-minimal layout per (set, function, library) —
+    /// the "Most optimal: Best" switch of the web interface.
+    bool best_only{false};
+};
+
+/// Applies \p query to the catalog's layout collection.
+[[nodiscard]] std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_query& query);
+
+/// Facet histograms over a layout selection — the counts the website shows
+/// next to each filter option.
+struct facet_counts
+{
+    std::map<std::string, std::size_t> per_set;
+    std::map<std::string, std::size_t> per_library;
+    std::map<std::string, std::size_t> per_clocking;
+    std::map<std::string, std::size_t> per_algorithm;
+    std::map<std::string, std::size_t> per_optimization;
+};
+
+/// Computes facet histograms over \p selection.
+[[nodiscard]] facet_counts compute_facets(const std::vector<const layout_record*>& selection);
+
+/// Convenience: facets over the whole catalog.
+[[nodiscard]] facet_counts compute_facets(const catalog& cat);
+
+}  // namespace mnt::cat

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file bestagon.hpp
+/// \brief The Bestagon gate library (Walter et al., "Hexagons Are the
+///        Bestagons", DAC 2022): compiles hexagonal ROW-clocked gate-level
+///        layouts into Silicon Dangling Bond (SiDB) cell-level layouts.
+///
+/// Every hexagonal tile becomes an 8 x 6 block of dot sites forming a
+/// Y-shape: input arms descend from the up-left/up-right edges to a center
+/// dot pair, and output arms leave through the down-left/down-right edges.
+/// The published gates are bespoke dot arrangements on the H-Si(100)-2x1
+/// lattice found by automated design; this reproduction uses one stylized
+/// arrangement per connectivity pattern on an abstract site grid (see
+/// DESIGN.md §4). Unlike QCA ONE, the library natively provides all 2-input
+/// functions (AND/NAND/OR/NOR/XOR/XNOR) plus wires, fan-outs and crossings —
+/// MAJ is *not* available and must be decomposed.
+
+#include "gate_library/cell_layout.hpp"
+#include "layout/gate_level_layout.hpp"
+
+#include <cstdint>
+
+namespace mnt::gl
+{
+
+/// Site-grid width of a Bestagon tile.
+inline constexpr std::uint32_t bestagon_tile_width = 8;
+
+/// Site-grid height of a Bestagon tile.
+inline constexpr std::uint32_t bestagon_tile_height = 6;
+
+/// Approximate physical pitch of one abstract site in nanometers
+/// (the published hex tiles measure roughly 23 nm x 21 nm, i.e. about
+/// 2.9 nm x 3.5 nm per site of our 8 x 6 abstraction).
+inline constexpr double bestagon_site_pitch_x_nm = 2.9;
+inline constexpr double bestagon_site_pitch_y_nm = 3.5;
+
+/// Compiles \p layout into a SiDB cell-level layout.
+///
+/// \throws mnt::precondition_error if the layout is not hexagonal/ROW
+/// \throws mnt::design_rule_error if a tile hosts a MAJ gate (decompose
+///         first) or has malformed connectivity
+[[nodiscard]] cell_level_layout apply_bestagon(const lyt::gate_level_layout& layout);
+
+/// Physical footprint of a Bestagon cell layout in nm^2.
+[[nodiscard]] double bestagon_physical_area_nm2(const cell_level_layout& cells);
+
+}  // namespace mnt::gl

@@ -1,0 +1,114 @@
+#include "gate_library/cell_layout.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mnt::gl
+{
+
+std::string technology_name(const cell_technology tech)
+{
+    return tech == cell_technology::qca ? "QCA" : "SiDB";
+}
+
+cell_level_layout::cell_level_layout(std::string layout_name, const cell_technology technology,
+                                     const std::uint32_t width, const std::uint32_t height) :
+        name{std::move(layout_name)},
+        tech{technology},
+        w{width},
+        h{height}
+{
+    if (width == 0 || height == 0)
+    {
+        throw precondition_error{"cell_level_layout: dimensions must be positive"};
+    }
+}
+
+const std::string& cell_level_layout::layout_name() const noexcept
+{
+    return name;
+}
+
+cell_technology cell_level_layout::technology() const noexcept
+{
+    return tech;
+}
+
+std::uint32_t cell_level_layout::width() const noexcept
+{
+    return w;
+}
+
+std::uint32_t cell_level_layout::height() const noexcept
+{
+    return h;
+}
+
+void cell_level_layout::place_cell(const lyt::coordinate& c, cell cell_data, const std::uint8_t clock_zone)
+{
+    if (c.x < 0 || c.y < 0 || c.x >= static_cast<std::int32_t>(w) || c.y >= static_cast<std::int32_t>(h) || c.z > 1)
+    {
+        throw precondition_error{"place_cell: position " + c.to_string() + " is out of bounds"};
+    }
+    if (cells.contains(c))
+    {
+        throw precondition_error{"place_cell: position " + c.to_string() + " is already occupied"};
+    }
+    cells.emplace(c, std::make_pair(std::move(cell_data), clock_zone));
+}
+
+bool cell_level_layout::is_empty_cell(const lyt::coordinate& c) const
+{
+    return !cells.contains(c);
+}
+
+const cell& cell_level_layout::get_cell(const lyt::coordinate& c) const
+{
+    const auto it = cells.find(c);
+    if (it == cells.cend())
+    {
+        throw precondition_error{"get_cell: position " + c.to_string() + " is empty"};
+    }
+    return it->second.first;
+}
+
+std::uint8_t cell_level_layout::clock_zone_of(const lyt::coordinate& c) const
+{
+    const auto it = cells.find(c);
+    if (it == cells.cend())
+    {
+        throw precondition_error{"clock_zone_of: position " + c.to_string() + " is empty"};
+    }
+    return it->second.second;
+}
+
+std::size_t cell_level_layout::num_cells() const noexcept
+{
+    return cells.size();
+}
+
+std::size_t cell_level_layout::num_input_cells() const
+{
+    return static_cast<std::size_t>(std::count_if(cells.cbegin(), cells.cend(), [](const auto& kv)
+                                                  { return kv.second.first.kind == cell_kind::input; }));
+}
+
+std::size_t cell_level_layout::num_output_cells() const
+{
+    return static_cast<std::size_t>(std::count_if(cells.cbegin(), cells.cend(), [](const auto& kv)
+                                                  { return kv.second.first.kind == cell_kind::output; }));
+}
+
+std::vector<lyt::coordinate> cell_level_layout::cells_sorted() const
+{
+    std::vector<lyt::coordinate> result;
+    result.reserve(cells.size());
+    for (const auto& [c, payload] : cells)
+    {
+        result.push_back(c);
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+}  // namespace mnt::gl

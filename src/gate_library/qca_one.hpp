@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file qca_one.hpp
+/// \brief The QCA ONE gate library (Reis et al., "A Methodology for Standard
+///        Cell Design for QCA", ISCAS 2016): compiles Cartesian gate-level
+///        layouts into 5x5-cell QCA tiles.
+///
+/// Every gate-level tile becomes a 5 x 5 block of QCA cells: a center cell
+/// plus two-cell "arms" toward each used port direction. AND/OR gates are
+/// majority cells with one input arm fixed to logic 0/1; MAJ uses all three
+/// input arms natively; the inverter is realized by a diagonal coupler gap.
+/// Crossings place the second wire's cells in the crossing layer
+/// (multilayer crossover). Cell patterns are stylized reconstructions of
+/// the published standard cells — geometry and cell counts are
+/// representative, see DESIGN.md §4.
+///
+/// Supported gate-level types: PI, PO, wire, fanout, INV, AND, OR, MAJ.
+/// Anything else (XOR, NAND, comparison gates) must be decomposed first
+/// (\ref mnt::ntk::to_aoi) — exactly like the original library.
+
+#include "gate_library/cell_layout.hpp"
+#include "layout/gate_level_layout.hpp"
+
+#include <cstdint>
+
+namespace mnt::gl
+{
+
+/// Cells per tile edge in the QCA ONE library.
+inline constexpr std::uint32_t qca_one_tile_size = 5;
+
+/// QCA cell pitch in nanometers (18 nm cell + 2 nm spacing).
+inline constexpr double qca_cell_pitch_nm = 20.0;
+
+/// Compiles \p layout into a QCA cell-level layout.
+///
+/// \throws mnt::precondition_error if the layout is not Cartesian
+/// \throws mnt::design_rule_error if a tile hosts a gate type the library
+///         does not provide (decompose with to_aoi first)
+[[nodiscard]] cell_level_layout apply_qca_one(const lyt::gate_level_layout& layout);
+
+/// Physical footprint of a QCA cell layout in nm^2.
+[[nodiscard]] double qca_physical_area_nm2(const cell_level_layout& cells);
+
+}  // namespace mnt::gl

@@ -1,0 +1,87 @@
+#include "io/ascii_printer.hpp"
+
+#include <sstream>
+
+namespace mnt::io
+{
+
+namespace
+{
+
+char gate_symbol(const ntk::gate_type t)
+{
+    switch (t)
+    {
+        case ntk::gate_type::pi: return 'I';
+        case ntk::gate_type::po: return 'O';
+        case ntk::gate_type::buf: return '=';
+        case ntk::gate_type::fanout: return 'F';
+        case ntk::gate_type::inv: return '!';
+        case ntk::gate_type::and2: return '&';
+        case ntk::gate_type::nand2: return 'A';
+        case ntk::gate_type::or2: return '|';
+        case ntk::gate_type::nor2: return 'N';
+        case ntk::gate_type::xor2: return '^';
+        case ntk::gate_type::xnor2: return 'X';
+        case ntk::gate_type::lt2: return '<';
+        case ntk::gate_type::gt2: return '>';
+        case ntk::gate_type::le2: return 'l';
+        case ntk::gate_type::ge2: return 'g';
+        case ntk::gate_type::maj3: return 'M';
+        default: return '?';
+    }
+}
+
+}  // namespace
+
+void print_layout(const lyt::gate_level_layout& layout, std::ostream& output, const ascii_printer_options& options)
+{
+    output << layout.layout_name() << " (" << lyt::topology_name(layout.topology()) << ", "
+           << layout.clocking().name() << ", " << layout.width() << " x " << layout.height() << " = "
+           << layout.area() << " tiles)\n";
+
+    const bool hex = layout.topology() == lyt::layout_topology::hexagonal_even_row;
+
+    for (std::int32_t y = 0; y < static_cast<std::int32_t>(layout.height()); ++y)
+    {
+        // hexagonal odd rows are shifted right by half a tile
+        if (hex && (y & 1) == 1)
+        {
+            output << "  ";
+        }
+        for (std::int32_t x = 0; x < static_cast<std::int32_t>(layout.width()); ++x)
+        {
+            const lyt::coordinate c{x, y};
+            const auto t = layout.type_of(c);
+            char symbol = '.';
+            if (t != ntk::gate_type::none)
+            {
+                symbol = gate_symbol(t);
+            }
+            else if (options.show_clock_zones)
+            {
+                symbol = static_cast<char>('0' + layout.clock_number(c));
+            }
+
+            const bool crossed = options.mark_crossings && layout.has_tile(c.elevated());
+            if (crossed)
+            {
+                output << '[' << symbol << ']' << ' ';
+            }
+            else
+            {
+                output << ' ' << symbol << ' ' << ' ';
+            }
+        }
+        output << '\n';
+    }
+}
+
+std::string layout_to_string(const lyt::gate_level_layout& layout, const ascii_printer_options& options)
+{
+    std::ostringstream stream;
+    print_layout(layout, stream, options);
+    return stream.str();
+}
+
+}  // namespace mnt::io

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file ascii_printer.hpp
+/// \brief Human-readable ASCII rendering of gate-level layouts for debugging
+///        and the example programs (the textual counterpart of MNT Bench's
+///        layout previews).
+
+#include "layout/gate_level_layout.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Options for \ref print_layout.
+struct ascii_printer_options
+{
+    /// Render clock zone digits instead of gate symbols on empty tiles.
+    bool show_clock_zones{false};
+
+    /// Mark tiles that have a crossing wire in layer 1 with brackets.
+    bool mark_crossings{true};
+};
+
+/// Renders \p layout as an ASCII grid. One character per tile:
+/// `I` PI, `O` PO, `&` AND, `~&` NAND (rendered `A`), `|` OR, `N` NOR,
+/// `^` XOR, `X` XNOR, `!` INV, `F` fanout, `=` wire, `M` MAJ, `.` empty;
+/// crossings are wrapped in brackets, e.g. `[=]`.
+void print_layout(const lyt::gate_level_layout& layout, std::ostream& output,
+                  const ascii_printer_options& options = {});
+
+/// Renders into a string.
+[[nodiscard]] std::string layout_to_string(const lyt::gate_level_layout& layout,
+                                           const ascii_printer_options& options = {});
+
+}  // namespace mnt::io

@@ -1,0 +1,343 @@
+#include "io/cell_readers.hpp"
+
+#include "common/types.hpp"
+#include "gate_library/qca_one.hpp"
+#include "io/xml.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mnt::io
+{
+
+namespace
+{
+
+using gl::cell;
+using gl::cell_kind;
+using gl::cell_level_layout;
+using gl::cell_technology;
+
+struct raw_cell
+{
+    lyt::coordinate position;
+    cell payload;
+    std::uint8_t zone{0};
+};
+
+std::int64_t to_int(const std::string& text, const std::size_t line, const std::string& what)
+{
+    std::int64_t value{};
+    const auto* begin = text.data();
+    const auto* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+    {
+        throw parse_error{"invalid integer '" + text + "' for " + what, line};
+    }
+    return value;
+}
+
+double to_double(const std::string& text, const std::size_t line, const std::string& what)
+{
+    try
+    {
+        std::size_t used = 0;
+        const auto value = std::stod(text, &used);
+        if (used != text.size())
+        {
+            throw std::invalid_argument{text};
+        }
+        return value;
+    }
+    catch (const std::exception&)
+    {
+        throw parse_error{"invalid number '" + text + "' for " + what, line};
+    }
+}
+
+cell_level_layout build(const std::string& name, const cell_technology tech, const std::vector<raw_cell>& cells)
+{
+    std::int32_t max_x = 0;
+    std::int32_t max_y = 0;
+    for (const auto& c : cells)
+    {
+        if (c.position.x < 0 || c.position.y < 0)
+        {
+            throw parse_error{"negative cell position " + c.position.to_string(), 0};
+        }
+        max_x = std::max(max_x, c.position.x);
+        max_y = std::max(max_y, c.position.y);
+    }
+    cell_level_layout layout{name, tech, static_cast<std::uint32_t>(max_x + 1),
+                             static_cast<std::uint32_t>(max_y + 1)};
+    for (const auto& c : cells)
+    {
+        layout.place_cell(c.position, c.payload, c.zone);
+    }
+    return layout;
+}
+
+}  // namespace
+
+cell_level_layout read_qca(std::istream& input)
+{
+    std::string design_name{"design"};
+    std::vector<raw_cell> cells;
+
+    raw_cell current{};
+    bool in_cell = false;
+    std::string line;
+    std::size_t line_number = 0;
+
+    while (std::getline(input, line))
+    {
+        ++line_number;
+        // trim
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        {
+            line.pop_back();
+        }
+        if (line.empty())
+        {
+            continue;
+        }
+
+        if (line == "[TYPE:QCADCell]")
+        {
+            if (in_cell)
+            {
+                throw parse_error{"nested [TYPE:QCADCell]", line_number};
+            }
+            in_cell = true;
+            current = raw_cell{};
+            continue;
+        }
+        if (line == "[#TYPE:QCADCell]")
+        {
+            if (!in_cell)
+            {
+                throw parse_error{"unmatched [#TYPE:QCADCell]", line_number};
+            }
+            in_cell = false;
+            cells.push_back(current);
+            continue;
+        }
+        if (line.front() == '[')
+        {
+            continue;  // other sections
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+        {
+            throw parse_error{"expected key=value, got '" + line + "'", line_number};
+        }
+        const auto key = line.substr(0, eq);
+        const auto value = line.substr(eq + 1);
+
+        if (!in_cell)
+        {
+            if (key == "design_name")
+            {
+                design_name = value;
+            }
+            continue;
+        }
+
+        if (key == "x")
+        {
+            current.position.x =
+                static_cast<std::int32_t>(std::llround(to_double(value, line_number, "x") / gl::qca_cell_pitch_nm));
+        }
+        else if (key == "y")
+        {
+            current.position.y =
+                static_cast<std::int32_t>(std::llround(to_double(value, line_number, "y") / gl::qca_cell_pitch_nm));
+        }
+        else if (key == "layer")
+        {
+            const auto layer = to_int(value, line_number, "layer");
+            if (layer < 0 || layer > 1)
+            {
+                throw parse_error{"layer must be 0 or 1", line_number};
+            }
+            current.position.z = static_cast<std::uint8_t>(layer);
+        }
+        else if (key == "clock")
+        {
+            const auto zone = to_int(value, line_number, "clock");
+            if (zone < 0 || zone > 3)
+            {
+                throw parse_error{"clock must be in [0, 4)", line_number};
+            }
+            current.zone = static_cast<std::uint8_t>(zone);
+        }
+        else if (key == "cell_function")
+        {
+            if (value == "QCAD_CELL_INPUT")
+            {
+                current.payload.kind = cell_kind::input;
+            }
+            else if (value == "QCAD_CELL_OUTPUT")
+            {
+                current.payload.kind = cell_kind::output;
+            }
+            else if (value == "QCAD_CELL_FIXED")
+            {
+                current.payload.kind = cell_kind::fixed_0;  // refined by polarization
+            }
+            else if (value == "QCAD_CELL_NORMAL")
+            {
+                current.payload.kind = cell_kind::normal;
+            }
+            else
+            {
+                throw parse_error{"unknown cell_function '" + value + "'", line_number};
+            }
+        }
+        else if (key == "polarization")
+        {
+            current.payload.kind =
+                to_double(value, line_number, "polarization") > 0 ? cell_kind::fixed_1 : cell_kind::fixed_0;
+        }
+        else if (key == "mode")
+        {
+            if (value == "QCAD_CELL_MODE_CROSSOVER")
+            {
+                current.payload.kind = cell_kind::crossover;
+            }
+        }
+        else if (key == "label")
+        {
+            current.payload.name = value;
+        }
+        // unknown keys are ignored for forward compatibility
+    }
+
+    if (in_cell)
+    {
+        throw parse_error{"unterminated [TYPE:QCADCell] block", line_number};
+    }
+    return build(design_name, cell_technology::qca, cells);
+}
+
+cell_level_layout read_qca_file(const std::filesystem::path& path)
+{
+    std::ifstream file{path};
+    if (!file)
+    {
+        throw mnt_error{"cannot open .qca file '" + path.string() + "'"};
+    }
+    return read_qca(file);
+}
+
+cell_level_layout read_qca_string(const std::string& document)
+{
+    std::istringstream stream{document};
+    return read_qca(stream);
+}
+
+cell_level_layout read_sqd(std::istream& input)
+{
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    const auto root = xml::parse(buffer.str());
+    if (root->tag != "siqad")
+    {
+        throw parse_error{"root element must be <siqad>, got <" + root->tag + ">", 0};
+    }
+
+    std::string design_name{"design"};
+    if (const auto* program = root->child("program"); program != nullptr)
+    {
+        if (const auto* n = program->child("design_name"); n != nullptr)
+        {
+            design_name = n->text;
+        }
+    }
+
+    std::vector<raw_cell> cells;
+    const auto* design = root->child("design");
+    if (design == nullptr)
+    {
+        throw parse_error{"missing <design> element", 0};
+    }
+    for (const auto* layer : design->children_of("layer"))
+    {
+        for (const auto* dot : layer->children_of("dbdot"))
+        {
+            const auto* lat = dot->child("latcoord");
+            if (lat == nullptr)
+            {
+                throw parse_error{"dbdot without <latcoord>", 0};
+            }
+            raw_cell c{};
+            const auto attr = [&](const char* key) -> std::int64_t
+            {
+                const auto it = lat->attributes.find(key);
+                if (it == lat->attributes.cend())
+                {
+                    throw parse_error{std::string{"latcoord missing attribute '"} + key + "'", 0};
+                }
+                return to_int(it->second, 0, key);
+            };
+            c.position = {static_cast<std::int32_t>(attr("n")), static_cast<std::int32_t>(attr("m")),
+                          static_cast<std::uint8_t>(attr("l"))};
+            if (const auto* label = dot->child("label"); label != nullptr)
+            {
+                c.payload.name = label->text;
+                // in our .sqd dialect, named dots are I/O pads; inputs carry
+                // "in"-prefixed benchmark names by convention — since roles
+                // are not part of SiQAD, mark both as input-or-output by
+                // placement heuristic: outputs sit lower (larger m)
+                c.payload.kind = cell_kind::input;
+            }
+            if (dot->child("perturber") != nullptr)
+            {
+                c.payload.kind = cell_kind::fixed_1;
+            }
+            cells.push_back(c);
+        }
+    }
+
+    // second pass: distinguish outputs from inputs by vertical position
+    // (ROW-clocked designs flow top to bottom)
+    std::int32_t max_y = 0;
+    for (const auto& c : cells)
+    {
+        max_y = std::max(max_y, c.position.y);
+    }
+    for (auto& c : cells)
+    {
+        if (c.payload.kind == cell_kind::input && c.position.y > max_y / 2)
+        {
+            c.payload.kind = cell_kind::output;
+        }
+    }
+
+    return build(design_name, cell_technology::sidb, cells);
+}
+
+cell_level_layout read_sqd_file(const std::filesystem::path& path)
+{
+    std::ifstream file{path};
+    if (!file)
+    {
+        throw mnt_error{"cannot open .sqd file '" + path.string() + "'"};
+    }
+    return read_sqd(file);
+}
+
+cell_level_layout read_sqd_string(const std::string& document)
+{
+    std::istringstream stream{document};
+    return read_sqd(stream);
+}
+
+}  // namespace mnt::io

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file cell_readers.hpp
+/// \brief Readers for the cell-level exchange formats written by
+///        \ref qca_writer.hpp and \ref sqd_writer.hpp, closing the
+///        round-trip so externally edited cell layouts can be re-imported
+///        (e.g. after manual fixes in QCADesigner/SiQAD).
+
+#include "gate_library/cell_layout.hpp"
+
+#include <filesystem>
+#include <istream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Parses a QCADesigner-style document (the subset written by
+/// \ref write_qca) into a QCA cell layout.
+///
+/// \throws mnt::parse_error on malformed documents
+[[nodiscard]] gl::cell_level_layout read_qca(std::istream& input);
+[[nodiscard]] gl::cell_level_layout read_qca_file(const std::filesystem::path& path);
+[[nodiscard]] gl::cell_level_layout read_qca_string(const std::string& document);
+
+/// Parses a SiQAD-style XML document (the subset written by
+/// \ref write_sqd) into a SiDB cell layout.
+///
+/// \throws mnt::parse_error on malformed documents
+[[nodiscard]] gl::cell_level_layout read_sqd(std::istream& input);
+[[nodiscard]] gl::cell_level_layout read_sqd_file(const std::filesystem::path& path);
+[[nodiscard]] gl::cell_level_layout read_sqd_string(const std::string& document);
+
+}  // namespace mnt::io

@@ -1,0 +1,199 @@
+#include "io/fgl_reader.hpp"
+
+#include "common/types.hpp"
+#include "io/xml.hpp"
+#include "verification/drc.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mnt::io
+{
+
+namespace
+{
+
+std::int64_t parse_int(const std::string& text, const std::string& context)
+{
+    std::int64_t value{};
+    const auto* begin = text.data();
+    const auto* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+    {
+        throw parse_error{"invalid integer '" + text + "' in " + context, 0};
+    }
+    return value;
+}
+
+lyt::coordinate parse_loc(const xml::element& loc, const std::string& context)
+{
+    const auto x = parse_int(loc.child_text("x"), context + "/x");
+    const auto y = parse_int(loc.child_text("y"), context + "/y");
+    std::int64_t z = 0;
+    if (loc.child("z") != nullptr)
+    {
+        z = parse_int(loc.child_text("z"), context + "/z");
+    }
+    if (z < 0 || z > 1)
+    {
+        throw parse_error{"layer z must be 0 or 1 in " + context, 0};
+    }
+    return {static_cast<std::int32_t>(x), static_cast<std::int32_t>(y), static_cast<std::uint8_t>(z)};
+}
+
+}  // namespace
+
+lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& options)
+{
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    const auto root = xml::parse(buffer.str());
+
+    if (root->tag != "fgl")
+    {
+        throw parse_error{"root element must be <fgl>, got <" + root->tag + ">", 0};
+    }
+    const auto* lay = root->child("layout");
+    if (lay == nullptr)
+    {
+        throw parse_error{"missing <layout> element", 0};
+    }
+
+    const auto name = lay->child_text("name");
+    const auto topo = lyt::topology_from_name(lay->child_text("topology"));
+    const auto clocking_kind = lyt::clocking_from_name(lay->child_text("clocking"));
+
+    const auto* size = lay->child("size");
+    if (size == nullptr)
+    {
+        throw parse_error{"missing <size> element", 0};
+    }
+    const auto width = parse_int(size->child_text("x"), "size/x");
+    const auto height = parse_int(size->child_text("y"), "size/y");
+    if (width <= 0 || height <= 0)
+    {
+        throw parse_error{"layout dimensions must be positive", 0};
+    }
+
+    auto scheme = lyt::clocking_scheme::create(clocking_kind);
+    if (!scheme.is_regular())
+    {
+        const auto* zones = lay->child("clockzones");
+        if (zones != nullptr)
+        {
+            for (const auto* zone : zones->children_of("zone"))
+            {
+                const auto x = parse_int(zone->child_text("x"), "zone/x");
+                const auto y = parse_int(zone->child_text("y"), "zone/y");
+                const auto clock = parse_int(zone->child_text("clock"), "zone/clock");
+                if (clock < 0 || clock >= lyt::clocking_scheme::num_clocks)
+                {
+                    throw parse_error{"clock zone must be in [0, 4)", 0};
+                }
+                scheme.assign_clock({static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)},
+                                    static_cast<std::uint8_t>(clock));
+            }
+        }
+    }
+
+    lyt::gate_level_layout layout{name, topo, std::move(scheme), static_cast<std::uint32_t>(width),
+                                  static_cast<std::uint32_t>(height)};
+
+    const auto* gates = lay->child("gates");
+    if (gates == nullptr)
+    {
+        throw parse_error{"missing <gates> element", 0};
+    }
+
+    // first pass: place all gates
+    struct pending_connection
+    {
+        lyt::coordinate from;
+        lyt::coordinate to;
+    };
+    std::vector<pending_connection> connections;
+
+    for (const auto* gate : gates->children_of("gate"))
+    {
+        const auto type_name = gate->child_text("type");
+        const auto type = ntk::gate_type_from_name(type_name);
+        if (type == ntk::gate_type::none)
+        {
+            throw parse_error{"unknown gate type '" + type_name + "'", 0};
+        }
+        const auto* loc = gate->child("loc");
+        if (loc == nullptr)
+        {
+            throw parse_error{"gate without <loc>", 0};
+        }
+        const auto c = parse_loc(*loc, "gate/loc");
+        std::string io_name;
+        if (const auto* n = gate->child("name"); n != nullptr)
+        {
+            io_name = n->text;
+        }
+        try
+        {
+            layout.place(c, type, io_name);
+        }
+        catch (const precondition_error& e)
+        {
+            throw design_rule_error{std::string{"fgl: "} + e.what()};
+        }
+
+        if (const auto* incoming = gate->child("incoming"); incoming != nullptr)
+        {
+            for (const auto* in : incoming->children_of("loc"))
+            {
+                connections.push_back({parse_loc(*in, "incoming/loc"), c});
+            }
+        }
+    }
+
+    // second pass: wire up (order within a gate's list preserved)
+    for (const auto& conn : connections)
+    {
+        try
+        {
+            layout.connect(conn.from, conn.to);
+        }
+        catch (const precondition_error& e)
+        {
+            throw design_rule_error{std::string{"fgl: "} + e.what()};
+        }
+    }
+
+    if (options.run_drc)
+    {
+        const auto report = ver::gate_level_drc(layout);
+        if (!report.passed())
+        {
+            throw design_rule_error{"fgl: design rule check failed: " + report.errors.front() + " (" +
+                                    std::to_string(report.errors.size()) + " error(s))"};
+        }
+    }
+
+    return layout;
+}
+
+lyt::gate_level_layout read_fgl_file(const std::filesystem::path& path, const fgl_reader_options& options)
+{
+    std::ifstream file{path};
+    if (!file)
+    {
+        throw mnt_error{"cannot open .fgl file '" + path.string() + "'"};
+    }
+    return read_fgl(file, options);
+}
+
+lyt::gate_level_layout read_fgl_string(const std::string& document, const fgl_reader_options& options)
+{
+    std::istringstream stream{document};
+    return read_fgl(stream, options);
+}
+
+}  // namespace mnt::io

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file fgl_writer.hpp
+/// \brief Writer for the .fgl gate-level layout format — MNT Bench's
+///        contribution #4: a standardized, human-readable representation of
+///        FCN gate-level layouts.
+///
+/// An .fgl document is XML:
+///
+/// \code{.xml}
+/// <?xml version="1.0" encoding="utf-8"?>
+/// <fgl>
+///   <layout>
+///     <name>mux21</name>
+///     <topology>cartesian</topology>
+///     <clocking>2DDWave</clocking>
+///     <size><x>4</x><y>3</y></size>
+///     <gates>
+///       <gate>
+///         <type>pi</type>
+///         <name>a</name>
+///         <loc><x>1</x><y>0</y><z>0</z></loc>
+///       </gate>
+///       <gate>
+///         <type>and</type>
+///         <loc><x>1</x><y>1</y><z>0</z></loc>
+///         <incoming>
+///           <loc><x>1</x><y>0</y><z>0</z></loc>
+///           <loc><x>0</x><y>1</y><z>0</z></loc>
+///         </incoming>
+///       </gate>
+///     </gates>
+///     <clockzones>            <!-- OPEN clocking only -->
+///       <zone><x>0</x><y>0</y><clock>2</clock></zone>
+///     </clockzones>
+///   </layout>
+/// </fgl>
+/// \endcode
+///
+/// Gates are listed in deterministic (y, x, z) order; `incoming` locations
+/// are in fanin-slot order (significant for non-commutative gates).
+
+#include "layout/gate_level_layout.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Serializes \p layout as an .fgl document to \p output.
+void write_fgl(const lyt::gate_level_layout& layout, std::ostream& output);
+
+/// Convenience overload writing to a file.
+///
+/// \throws mnt::mnt_error if the file cannot be created
+void write_fgl_file(const lyt::gate_level_layout& layout, const std::filesystem::path& path);
+
+/// Serializes into a string.
+[[nodiscard]] std::string write_fgl_string(const lyt::gate_level_layout& layout);
+
+}  // namespace mnt::io

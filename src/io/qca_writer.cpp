@@ -1,0 +1,92 @@
+#include "io/qca_writer.hpp"
+
+#include "common/types.hpp"
+#include "gate_library/qca_one.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mnt::io
+{
+
+namespace
+{
+
+const char* function_name(const gl::cell_kind kind)
+{
+    switch (kind)
+    {
+        case gl::cell_kind::input: return "QCAD_CELL_INPUT";
+        case gl::cell_kind::output: return "QCAD_CELL_OUTPUT";
+        case gl::cell_kind::fixed_0:
+        case gl::cell_kind::fixed_1: return "QCAD_CELL_FIXED";
+        default: return "QCAD_CELL_NORMAL";
+    }
+}
+
+}  // namespace
+
+void write_qca(const gl::cell_level_layout& cells, std::ostream& output)
+{
+    if (cells.technology() != gl::cell_technology::qca)
+    {
+        throw precondition_error{"write_qca: layout is not QCA technology"};
+    }
+
+    output << "[VERSION]\n"
+           << "qcadesigner_version=2.000000\n"
+           << "[#VERSION]\n"
+           << "[TYPE:DESIGN]\n"
+           << "design_name=" << cells.layout_name() << "\n"
+           << "cell_count=" << cells.num_cells() << "\n";
+
+    for (const auto& c : cells.cells_sorted())
+    {
+        const auto& payload = cells.get_cell(c);
+        const auto x_nm = static_cast<double>(c.x) * gl::qca_cell_pitch_nm;
+        const auto y_nm = static_cast<double>(c.y) * gl::qca_cell_pitch_nm;
+        output << "[TYPE:QCADCell]\n"
+               << "x=" << x_nm << "\n"
+               << "y=" << y_nm << "\n"
+               << "layer=" << static_cast<int>(c.z) << "\n"
+               << "cell_function=" << function_name(payload.kind) << "\n"
+               << "clock=" << static_cast<int>(cells.clock_zone_of(c)) << "\n";
+        if (payload.kind == gl::cell_kind::fixed_0)
+        {
+            output << "polarization=-1.00\n";
+        }
+        else if (payload.kind == gl::cell_kind::fixed_1)
+        {
+            output << "polarization=1.00\n";
+        }
+        else if (payload.kind == gl::cell_kind::crossover)
+        {
+            output << "mode=QCAD_CELL_MODE_CROSSOVER\n";
+        }
+        if (!payload.name.empty())
+        {
+            output << "label=" << payload.name << "\n";
+        }
+        output << "[#TYPE:QCADCell]\n";
+    }
+    output << "[#TYPE:DESIGN]\n";
+}
+
+void write_qca_file(const gl::cell_level_layout& cells, const std::filesystem::path& path)
+{
+    std::ofstream file{path};
+    if (!file)
+    {
+        throw mnt_error{"cannot create .qca file '" + path.string() + "'"};
+    }
+    write_qca(cells, file);
+}
+
+std::string write_qca_string(const gl::cell_level_layout& cells)
+{
+    std::ostringstream stream;
+    write_qca(cells, stream);
+    return stream.str();
+}
+
+}  // namespace mnt::io

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file qca_writer.hpp
+/// \brief QCADesigner-style writer for QCA cell-level layouts, enabling
+///        simulation of MNT Bench layouts in external QCA tools.
+
+#include "gate_library/cell_layout.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Serializes a QCA cell layout in a QCADesigner-compatible structure.
+///
+/// \throws mnt::precondition_error if the layout is not QCA technology
+void write_qca(const gl::cell_level_layout& cells, std::ostream& output);
+
+/// Convenience overload writing to a file.
+void write_qca_file(const gl::cell_level_layout& cells, const std::filesystem::path& path);
+
+/// Serializes into a string.
+[[nodiscard]] std::string write_qca_string(const gl::cell_level_layout& cells);
+
+}  // namespace mnt::io

@@ -1,0 +1,71 @@
+#include "io/sqd_writer.hpp"
+
+#include "common/types.hpp"
+#include "io/xml.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mnt::io
+{
+
+void write_sqd(const gl::cell_level_layout& cells, std::ostream& output)
+{
+    if (cells.technology() != gl::cell_technology::sidb)
+    {
+        throw precondition_error{"write_sqd: layout is not SiDB technology"};
+    }
+
+    xml::element root;
+    root.tag = "siqad";
+    auto& program = root.add("program");
+    program.add("file_purpose", "MNT Bench reproduction SiDB layout");
+    program.add("design_name", cells.layout_name());
+
+    auto& layers = root.add("design");
+    auto& db_layer = layers.add("layer_prop");
+    db_layer.add("name", "DB");
+    db_layer.add("type", "DB");
+
+    auto& db = layers.add("layer");
+    db.attributes["type"] = "DB";
+    for (const auto& c : cells.cells_sorted())
+    {
+        const auto& payload = cells.get_cell(c);
+        auto& dot = db.add("dbdot");
+        auto& lat = dot.add("latcoord");
+        // abstract site grid -> lattice coordinates (n, m, l)
+        lat.attributes["n"] = std::to_string(c.x);
+        lat.attributes["m"] = std::to_string(c.y);
+        lat.attributes["l"] = std::to_string(static_cast<int>(c.z));
+        if (payload.kind == gl::cell_kind::input || payload.kind == gl::cell_kind::output)
+        {
+            dot.add("label", payload.name);
+        }
+        if (payload.kind == gl::cell_kind::fixed_1)
+        {
+            dot.add("perturber", "1");
+        }
+    }
+
+    output << xml::serialize(root);
+}
+
+void write_sqd_file(const gl::cell_level_layout& cells, const std::filesystem::path& path)
+{
+    std::ofstream file{path};
+    if (!file)
+    {
+        throw mnt_error{"cannot create .sqd file '" + path.string() + "'"};
+    }
+    write_sqd(cells, file);
+}
+
+std::string write_sqd_string(const gl::cell_level_layout& cells)
+{
+    std::ostringstream stream;
+    write_sqd(cells, stream);
+    return stream.str();
+}
+
+}  // namespace mnt::io

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file sqd_writer.hpp
+/// \brief SiQAD-style (.sqd) writer for SiDB cell-level layouts, enabling
+///        simulation/fabrication handoff of Bestagon layouts.
+
+#include "gate_library/cell_layout.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Serializes a SiDB cell layout as a SiQAD-compatible XML document.
+///
+/// \throws mnt::precondition_error if the layout is not SiDB technology
+void write_sqd(const gl::cell_level_layout& cells, std::ostream& output);
+
+/// Convenience overload writing to a file.
+void write_sqd_file(const gl::cell_level_layout& cells, const std::filesystem::path& path);
+
+/// Serializes into a string.
+[[nodiscard]] std::string write_sqd_string(const gl::cell_level_layout& cells);
+
+}  // namespace mnt::io

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file verilog_reader.hpp
+/// \brief Structural Verilog front end for the "Network (.v)" abstraction
+///        level of MNT Bench.
+///
+/// The supported subset matches what logic synthesis tools (mockturtle, ABC)
+/// emit for FCN benchmarks and what MNT Bench distributes:
+///
+/// - a single module with a port list,
+/// - `input` / `output` / `wire` declarations (scalar nets, comma lists),
+/// - continuous assignments `assign lhs = expr;` where expr is built from
+///   identifiers, constants (1'b0/1'b1/1'h0/1'h1), parentheses and the
+///   operators ~ (not), & (and), ^ (xor), | (or) with standard precedence
+///   (~ > & > ^ > |),
+/// - gate primitive instantiations `and g1(y, a, b);`, `not(y, a);`,
+///   `maj(y, a, b, c);` etc. (one output, first terminal),
+/// - `//` line and `/* */` block comments.
+///
+/// Assignments may appear in any order; dependencies are resolved after
+/// parsing. Combinational cycles are rejected.
+
+#include "network/logic_network.hpp"
+
+#include <filesystem>
+#include <istream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Parses a Verilog module from \p input into a logic network.
+///
+/// \param input character stream with the Verilog source
+/// \param name fallback network name when the module has none
+/// \throws mnt::parse_error on syntax errors, undeclared nets, multiply
+///         driven nets, or combinational cycles
+[[nodiscard]] ntk::logic_network read_verilog(std::istream& input, const std::string& name = "top");
+
+/// Convenience overload reading from a file.
+///
+/// \throws mnt::mnt_error if the file cannot be opened; mnt::parse_error on
+///         syntax errors
+[[nodiscard]] ntk::logic_network read_verilog_file(const std::filesystem::path& path);
+
+/// Parses a Verilog module from an in-memory string.
+[[nodiscard]] ntk::logic_network read_verilog_string(const std::string& source, const std::string& name = "top");
+
+}  // namespace mnt::io

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file verilog_writer.hpp
+/// \brief Structural Verilog back end: serializes logic networks in the
+///        format MNT Bench distributes for the "Network (.v)" level.
+
+#include "network/logic_network.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace mnt::io
+{
+
+/// Output style of \ref write_verilog.
+enum class verilog_style : std::uint8_t
+{
+    /// Continuous assignments (`assign w = a & b;`); MAJ gates are expanded
+    /// into their AND/OR form. This is what synthesis tools emit.
+    assignments,
+    /// Gate primitive instantiations (`and g0(w, a, b);`); MAJ gates stay
+    /// first-class (`maj g1(w, a, b, c);`). Round-trips exactly through
+    /// \ref read_verilog.
+    primitives
+};
+
+/// Serializes \p network as a single Verilog module to \p output.
+///
+/// Wire names are `n<id>`; PI/PO names are preserved verbatim.
+void write_verilog(const ntk::logic_network& network, std::ostream& output,
+                   verilog_style style = verilog_style::assignments);
+
+/// Convenience overload writing to a file.
+///
+/// \throws mnt::mnt_error if the file cannot be created
+void write_verilog_file(const ntk::logic_network& network, const std::filesystem::path& path,
+                        verilog_style style = verilog_style::assignments);
+
+/// Serializes into a string.
+[[nodiscard]] std::string write_verilog_string(const ntk::logic_network& network,
+                                               verilog_style style = verilog_style::assignments);
+
+}  // namespace mnt::io

@@ -1,0 +1,392 @@
+#include "io/xml.hpp"
+
+#include "common/types.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace mnt::io::xml
+{
+
+const element* element::child(const std::string& child_tag) const
+{
+    for (const auto& c : children)
+    {
+        if (c->tag == child_tag)
+        {
+            return c.get();
+        }
+    }
+    return nullptr;
+}
+
+std::vector<const element*> element::children_of(const std::string& child_tag) const
+{
+    std::vector<const element*> result;
+    for (const auto& c : children)
+    {
+        if (c->tag == child_tag)
+        {
+            result.push_back(c.get());
+        }
+    }
+    return result;
+}
+
+const std::string& element::child_text(const std::string& child_tag) const
+{
+    const auto* c = child(child_tag);
+    if (c == nullptr)
+    {
+        throw parse_error{"missing element <" + child_tag + "> inside <" + tag + ">", 0};
+    }
+    return c->text;
+}
+
+element& element::add(const std::string& child_tag)
+{
+    children.push_back(std::make_unique<element>());
+    children.back()->tag = child_tag;
+    return *children.back();
+}
+
+element& element::add(const std::string& child_tag, const std::string& content)
+{
+    auto& c = add(child_tag);
+    c.text = content;
+    return c;
+}
+
+namespace
+{
+
+class parser
+{
+public:
+    explicit parser(const std::string& document) : doc{document} {}
+
+    std::unique_ptr<element> parse_document()
+    {
+        skip_misc();
+        auto root = parse_element();
+        skip_misc();
+        if (pos < doc.size())
+        {
+            throw parse_error{"content after the root element", line};
+        }
+        return root;
+    }
+
+private:
+    void skip_whitespace()
+    {
+        while (pos < doc.size() && std::isspace(static_cast<unsigned char>(doc[pos])))
+        {
+            if (doc[pos] == '\n')
+            {
+                ++line;
+            }
+            ++pos;
+        }
+    }
+
+    /// Skips whitespace, comments, the XML declaration and processing
+    /// instructions.
+    void skip_misc()
+    {
+        while (true)
+        {
+            skip_whitespace();
+            if (match("<?"))
+            {
+                const auto end = doc.find("?>", pos);
+                if (end == std::string::npos)
+                {
+                    throw parse_error{"unterminated XML declaration", line};
+                }
+                count_lines(pos, end);
+                pos = end + 2;
+                continue;
+            }
+            if (match("<!--"))
+            {
+                const auto end = doc.find("-->", pos);
+                if (end == std::string::npos)
+                {
+                    throw parse_error{"unterminated comment", line};
+                }
+                count_lines(pos, end);
+                pos = end + 3;
+                continue;
+            }
+            return;
+        }
+    }
+
+    void count_lines(const std::size_t from, const std::size_t to)
+    {
+        for (auto i = from; i < to && i < doc.size(); ++i)
+        {
+            if (doc[i] == '\n')
+            {
+                ++line;
+            }
+        }
+    }
+
+    bool match(const std::string& s)
+    {
+        if (doc.compare(pos, s.size(), s) == 0)
+        {
+            pos += s.size();
+            return true;
+        }
+        return false;
+    }
+
+    char peek() const
+    {
+        return pos < doc.size() ? doc[pos] : '\0';
+    }
+
+    std::string parse_name()
+    {
+        const auto start = pos;
+        while (pos < doc.size() && (std::isalnum(static_cast<unsigned char>(doc[pos])) || doc[pos] == '_' ||
+                                    doc[pos] == '-' || doc[pos] == ':' || doc[pos] == '.'))
+        {
+            ++pos;
+        }
+        if (pos == start)
+        {
+            throw parse_error{"expected a name", line};
+        }
+        return doc.substr(start, pos - start);
+    }
+
+    std::unique_ptr<element> parse_element()
+    {
+        if (!match("<"))
+        {
+            throw parse_error{"expected '<'", line};
+        }
+        auto elem = std::make_unique<element>();
+        elem->tag = parse_name();
+
+        // attributes
+        while (true)
+        {
+            skip_whitespace();
+            if (match("/>"))
+            {
+                return elem;
+            }
+            if (match(">"))
+            {
+                break;
+            }
+            const auto attr = parse_name();
+            skip_whitespace();
+            if (!match("="))
+            {
+                throw parse_error{"expected '=' after attribute '" + attr + "'", line};
+            }
+            skip_whitespace();
+            const char quote = peek();
+            if (quote != '"' && quote != '\'')
+            {
+                throw parse_error{"expected quoted attribute value", line};
+            }
+            ++pos;
+            const auto end = doc.find(quote, pos);
+            if (end == std::string::npos)
+            {
+                throw parse_error{"unterminated attribute value", line};
+            }
+            elem->attributes[attr] = unescape(doc.substr(pos, end - pos));
+            count_lines(pos, end);
+            pos = end + 1;
+        }
+
+        // content
+        std::string text;
+        while (true)
+        {
+            if (pos >= doc.size())
+            {
+                throw parse_error{"unterminated element <" + elem->tag + ">", line};
+            }
+            if (doc.compare(pos, 4, "<!--") == 0)
+            {
+                const auto end = doc.find("-->", pos);
+                if (end == std::string::npos)
+                {
+                    throw parse_error{"unterminated comment", line};
+                }
+                count_lines(pos, end);
+                pos = end + 3;
+                continue;
+            }
+            if (doc.compare(pos, 2, "</") == 0)
+            {
+                pos += 2;
+                const auto closing = parse_name();
+                if (closing != elem->tag)
+                {
+                    throw parse_error{"mismatched closing tag </" + closing + "> for <" + elem->tag + ">", line};
+                }
+                skip_whitespace();
+                if (!match(">"))
+                {
+                    throw parse_error{"expected '>' after closing tag", line};
+                }
+                elem->text = trim(text);
+                return elem;
+            }
+            if (peek() == '<')
+            {
+                elem->children.push_back(parse_element());
+                continue;
+            }
+            if (doc[pos] == '\n')
+            {
+                ++line;
+            }
+            text.push_back(doc[pos]);
+            ++pos;
+        }
+    }
+
+    static std::string trim(const std::string& s)
+    {
+        std::size_t begin = 0;
+        std::size_t end = s.size();
+        while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        {
+            ++begin;
+        }
+        while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        {
+            --end;
+        }
+        return unescape(s.substr(begin, end - begin));
+    }
+
+    static std::string unescape(const std::string& s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        std::size_t i = 0;
+        while (i < s.size())
+        {
+            if (s[i] == '&')
+            {
+                if (s.compare(i, 5, "&amp;") == 0)
+                {
+                    out.push_back('&');
+                    i += 5;
+                    continue;
+                }
+                if (s.compare(i, 4, "&lt;") == 0)
+                {
+                    out.push_back('<');
+                    i += 4;
+                    continue;
+                }
+                if (s.compare(i, 4, "&gt;") == 0)
+                {
+                    out.push_back('>');
+                    i += 4;
+                    continue;
+                }
+                if (s.compare(i, 6, "&quot;") == 0)
+                {
+                    out.push_back('"');
+                    i += 6;
+                    continue;
+                }
+                if (s.compare(i, 6, "&apos;") == 0)
+                {
+                    out.push_back('\'');
+                    i += 6;
+                    continue;
+                }
+            }
+            out.push_back(s[i]);
+            ++i;
+        }
+        return out;
+    }
+
+    const std::string& doc;
+    std::size_t pos{0};
+    std::size_t line{1};
+};
+
+void serialize_element(const element& elem, std::ostringstream& out, const int depth)
+{
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    out << indent << '<' << elem.tag;
+    for (const auto& [k, v] : elem.attributes)
+    {
+        out << ' ' << k << "=\"" << escape(v) << '"';
+    }
+    if (elem.children.empty() && elem.text.empty())
+    {
+        out << "/>\n";
+        return;
+    }
+    out << '>';
+    if (elem.children.empty())
+    {
+        out << escape(elem.text) << "</" << elem.tag << ">\n";
+        return;
+    }
+    out << '\n';
+    if (!elem.text.empty())
+    {
+        out << indent << "  " << escape(elem.text) << '\n';
+    }
+    for (const auto& c : elem.children)
+    {
+        serialize_element(*c, out, depth + 1);
+    }
+    out << indent << "</" << elem.tag << ">\n";
+}
+
+}  // namespace
+
+std::unique_ptr<element> parse(const std::string& document)
+{
+    parser p{document};
+    return p.parse_document();
+}
+
+std::string serialize(const element& root)
+{
+    std::ostringstream out;
+    out << "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+    serialize_element(root, out, 0);
+    return out.str();
+}
+
+std::string escape(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw)
+    {
+        switch (c)
+        {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&apos;"; break;
+            default: out.push_back(c); break;
+        }
+    }
+    return out;
+}
+
+}  // namespace mnt::io::xml

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file coordinates.hpp
+/// \brief Tile coordinates and grid topologies for FCN layouts.
+///
+/// Layouts are 2.5-dimensional: tiles live on an (x, y) grid with a small
+/// number of vertical layers z. Layer 0 is the ground layer hosting gates and
+/// wires; layer 1 hosts the second wire of a crossing. Two grid topologies
+/// are supported:
+///
+/// - \ref layout_topology::cartesian — square tiles with 4-neighborhood
+///   (used with the QCA ONE gate library),
+/// - \ref layout_topology::hexagonal_even_row — pointy-top hexagons in
+///   even-row offset coordinates with 6-neighborhood (used with the Bestagon
+///   SiDB gate library).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mnt::lyt
+{
+
+/// Grid topology of a layout.
+enum class layout_topology : std::uint8_t
+{
+    /// Square tiles, 4-neighborhood (N/E/S/W).
+    cartesian,
+    /// Pointy-top hexagons in even-row offset coordinates: odd rows are
+    /// shifted half a tile to the right (fiction's even_row_hex convention).
+    hexagonal_even_row
+};
+
+/// Returns a printable name ("cartesian"/"hexagonal") for \p topo.
+[[nodiscard]] std::string topology_name(layout_topology topo);
+
+/// Parses a topology name; throws mnt::mnt_error on unknown names.
+[[nodiscard]] layout_topology topology_from_name(const std::string& name);
+
+/// A tile coordinate. x grows eastward, y grows southward, z upward
+/// (z = 0: ground layer, z = 1: crossing layer).
+struct coordinate
+{
+    std::int32_t x{0};
+    std::int32_t y{0};
+    std::uint8_t z{0};
+
+    constexpr coordinate() = default;
+    constexpr coordinate(const std::int32_t x_pos, const std::int32_t y_pos, const std::uint8_t z_layer = 0) :
+            x{x_pos},
+            y{y_pos},
+            z{z_layer}
+    {}
+
+    constexpr bool operator==(const coordinate& other) const noexcept = default;
+
+    /// Lexicographic (y, x, z) order: row-major like the clocking cutouts.
+    constexpr auto operator<=>(const coordinate& other) const noexcept
+    {
+        if (const auto c = y <=> other.y; c != 0)
+        {
+            return c;
+        }
+        if (const auto c = x <=> other.x; c != 0)
+        {
+            return c;
+        }
+        return z <=> other.z;
+    }
+
+    /// The same position in the ground layer.
+    [[nodiscard]] constexpr coordinate ground() const noexcept
+    {
+        return {x, y, 0};
+    }
+
+    /// The same position in the crossing layer.
+    [[nodiscard]] constexpr coordinate elevated() const noexcept
+    {
+        return {x, y, 1};
+    }
+
+    /// "(x, y, z)" string for diagnostics and the .fgl format.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// FNV-1a style hash so coordinates can key unordered containers.
+struct coordinate_hash
+{
+    std::size_t operator()(const coordinate& c) const noexcept
+    {
+        auto h = static_cast<std::size_t>(1469598103934665603ull);
+        const auto mix = [&h](const std::uint64_t v)
+        {
+            h ^= static_cast<std::size_t>(v);
+            h *= static_cast<std::size_t>(1099511628211ull);
+        };
+        mix(static_cast<std::uint32_t>(c.x));
+        mix(static_cast<std::uint32_t>(c.y));
+        mix(c.z);
+        return h;
+    }
+};
+
+/// All planar (same-z) neighbors of \p c under topology \p topo, without any
+/// bounds checking. Cartesian: E, S, W, N. Hexagonal: the six offset
+/// neighbors.
+[[nodiscard]] std::vector<coordinate> planar_neighbors(const coordinate& c, layout_topology topo);
+
+/// True if \p a and \p b occupy planar-adjacent grid positions (z ignored).
+[[nodiscard]] bool are_adjacent(const coordinate& a, const coordinate& b, layout_topology topo);
+
+/// Manhattan-like distance used as a router heuristic: exact for Cartesian,
+/// admissible lower bound for hexagonal grids.
+[[nodiscard]] std::uint32_t grid_distance(const coordinate& a, const coordinate& b, layout_topology topo);
+
+}  // namespace mnt::lyt

@@ -1,0 +1,540 @@
+#include "layout/gate_level_layout.hpp"
+
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace mnt::lyt
+{
+
+gate_level_layout::gate_level_layout(std::string layout_name, const layout_topology topology_kind,
+                                     clocking_scheme clock_scheme, const std::uint32_t width,
+                                     const std::uint32_t height) :
+        design_name{std::move(layout_name)},
+        topo{topology_kind},
+        scheme{std::move(clock_scheme)},
+        w{width},
+        h{height}
+{
+    if (width == 0 || height == 0)
+    {
+        throw precondition_error{"gate_level_layout: dimensions must be positive"};
+    }
+    if (topo == layout_topology::hexagonal_even_row && scheme.is_regular() &&
+        scheme.kind() != clocking_kind::row)
+    {
+        throw precondition_error{"gate_level_layout: hexagonal layouts support only ROW or OPEN clocking"};
+    }
+}
+
+gate_level_layout::gate_level_layout() :
+        gate_level_layout{"", layout_topology::cartesian, clocking_scheme::open(), 1, 1}
+{}
+
+std::uint32_t gate_level_layout::width() const noexcept
+{
+    return w;
+}
+
+std::uint32_t gate_level_layout::height() const noexcept
+{
+    return h;
+}
+
+std::uint64_t gate_level_layout::area() const noexcept
+{
+    return static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h);
+}
+
+layout_topology gate_level_layout::topology() const noexcept
+{
+    return topo;
+}
+
+const clocking_scheme& gate_level_layout::clocking() const noexcept
+{
+    return scheme;
+}
+
+clocking_scheme& gate_level_layout::clocking_mutable() noexcept
+{
+    return scheme;
+}
+
+bool gate_level_layout::within_bounds(const coordinate& c) const noexcept
+{
+    return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(w) && c.y < static_cast<std::int32_t>(h) &&
+           c.z < 2;
+}
+
+void gate_level_layout::resize(const std::uint32_t width, const std::uint32_t height)
+{
+    if (width == 0 || height == 0)
+    {
+        throw precondition_error{"resize: dimensions must be positive"};
+    }
+    for (const auto& [c, d] : tiles)
+    {
+        if (c.x >= static_cast<std::int32_t>(width) || c.y >= static_cast<std::int32_t>(height))
+        {
+            throw precondition_error{"resize: occupied tile " + c.to_string() + " would fall out of bounds"};
+        }
+    }
+    w = width;
+    h = height;
+}
+
+std::pair<coordinate, coordinate> gate_level_layout::bounding_box() const
+{
+    if (tiles.empty())
+    {
+        return {{0, 0}, {0, 0}};
+    }
+    std::int32_t min_x = std::numeric_limits<std::int32_t>::max();
+    std::int32_t min_y = std::numeric_limits<std::int32_t>::max();
+    std::int32_t max_x = std::numeric_limits<std::int32_t>::min();
+    std::int32_t max_y = std::numeric_limits<std::int32_t>::min();
+    for (const auto& [c, d] : tiles)
+    {
+        min_x = std::min(min_x, c.x);
+        min_y = std::min(min_y, c.y);
+        max_x = std::max(max_x, c.x);
+        max_y = std::max(max_y, c.y);
+    }
+    return {{min_x, min_y}, {max_x, max_y}};
+}
+
+void gate_level_layout::shrink_to_fit()
+{
+    if (tiles.empty())
+    {
+        w = 1;
+        h = 1;
+        return;
+    }
+    const auto [min_c, max_c] = bounding_box();
+
+    if (min_c.x != 0 || min_c.y != 0)
+    {
+        // Translate everything toward the origin by the largest shift that
+        // preserves all clock zones (regular schemes are 4-periodic, so at
+        // most 3 rows/columns of margin remain). Hexagonal layouts
+        // additionally require an even row shift to keep the offset parity.
+        const auto zone_preserving = [this](const std::int32_t sx, const std::int32_t sy)
+        {
+            if (!scheme.is_regular())
+            {
+                return true;  // zones are re-keyed below
+            }
+            if (topo == layout_topology::hexagonal_even_row && sy % 2 != 0)
+            {
+                return false;
+            }
+            for (std::int32_t y = 0; y < 4; ++y)
+            {
+                for (std::int32_t x = 0; x < 4; ++x)
+                {
+                    if (scheme.clock_number({x + sx, y + sy}) != scheme.clock_number({x, y}))
+                    {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        };
+
+        std::int32_t dx = 0;
+        std::int32_t dy = 0;
+        for (std::int32_t sx = min_c.x; sx >= std::max(0, min_c.x - 3); --sx)
+        {
+            for (std::int32_t sy = min_c.y; sy >= std::max(0, min_c.y - 3); --sy)
+            {
+                if ((sx > dx || (sx == dx && sy > dy)) && zone_preserving(sx, sy))
+                {
+                    dx = sx;
+                    dy = sy;
+                }
+            }
+        }
+
+        if (dx != 0 || dy != 0)
+        {
+            std::unordered_map<coordinate, tile_data, coordinate_hash> new_tiles;
+            std::unordered_map<coordinate, std::vector<coordinate>, coordinate_hash> new_outgoing;
+            const auto shift = [dx, dy](const coordinate& c) { return coordinate{c.x - dx, c.y - dy, c.z}; };
+            for (auto& [c, d] : tiles)
+            {
+                auto nd = std::move(d);
+                for (auto& in : nd.incoming)
+                {
+                    in = shift(in);
+                }
+                new_tiles.emplace(shift(c), std::move(nd));
+            }
+            for (auto& [c, outs] : outgoing)
+            {
+                auto no = std::move(outs);
+                for (auto& o : no)
+                {
+                    o = shift(o);
+                }
+                new_outgoing.emplace(shift(c), std::move(no));
+            }
+            tiles = std::move(new_tiles);
+            outgoing = std::move(new_outgoing);
+            for (auto& c : pis)
+            {
+                c = shift(c);
+            }
+            for (auto& c : pos)
+            {
+                c = shift(c);
+            }
+            if (!scheme.is_regular())
+            {
+                // re-key the assigned zones
+                clocking_scheme shifted = clocking_scheme::open();
+                for (const auto& [c, d] : tiles)
+                {
+                    shifted.assign_clock(c.ground(), scheme.clock_number(coordinate{c.x + dx, c.y + dy, 0}));
+                }
+                scheme = std::move(shifted);
+            }
+            w = static_cast<std::uint32_t>(max_c.x - dx + 1);
+            h = static_cast<std::uint32_t>(max_c.y - dy + 1);
+            return;
+        }
+    }
+    w = static_cast<std::uint32_t>(max_c.x + 1);
+    h = static_cast<std::uint32_t>(max_c.y + 1);
+}
+
+void gate_level_layout::place(const coordinate& c, const ntk::gate_type t, const std::string& io_name)
+{
+    if (!within_bounds(c))
+    {
+        throw precondition_error{"place: tile " + c.to_string() + " is out of bounds"};
+    }
+    if (tiles.contains(c))
+    {
+        throw precondition_error{"place: tile " + c.to_string() + " is already occupied"};
+    }
+    if (t == ntk::gate_type::none || t == ntk::gate_type::const0 || t == ntk::gate_type::const1)
+    {
+        throw precondition_error{"place: constants and 'none' cannot be placed on tiles"};
+    }
+    if (c.z == 1 && t != ntk::gate_type::buf)
+    {
+        throw precondition_error{"place: crossing layer tiles may only host wire segments"};
+    }
+
+    tile_data d{};
+    d.type = t;
+    d.io_name = io_name;
+    tiles.emplace(c, std::move(d));
+
+    if (t == ntk::gate_type::pi)
+    {
+        pis.push_back(c);
+    }
+    else if (t == ntk::gate_type::po)
+    {
+        pos.push_back(c);
+    }
+}
+
+void gate_level_layout::check_occupied(const coordinate& c, const char* ctx) const
+{
+    if (!tiles.contains(c))
+    {
+        throw precondition_error{std::string{ctx} + ": tile " + c.to_string() + " is empty"};
+    }
+}
+
+void gate_level_layout::connect(const coordinate& src, const coordinate& dst)
+{
+    check_occupied(src, "connect (source)");
+    check_occupied(dst, "connect (target)");
+
+    auto& d = tiles.at(dst);
+    const auto capacity = (dst.z == 1) ? std::size_t{1} : static_cast<std::size_t>(ntk::gate_arity(d.type));
+    if (d.incoming.size() >= capacity)
+    {
+        throw precondition_error{"connect: all fanin slots of " + dst.to_string() + " are taken"};
+    }
+    d.incoming.push_back(src);
+    outgoing[src].push_back(dst);
+}
+
+void gate_level_layout::disconnect(const coordinate& src, const coordinate& dst)
+{
+    const auto it = tiles.find(dst);
+    if (it != tiles.end())
+    {
+        auto& in = it->second.incoming;
+        const auto pos_it = std::find(in.begin(), in.end(), src);
+        if (pos_it != in.end())
+        {
+            in.erase(pos_it);
+        }
+    }
+    const auto out_it = outgoing.find(src);
+    if (out_it != outgoing.end())
+    {
+        auto& outs = out_it->second;
+        const auto pos_it = std::find(outs.begin(), outs.end(), dst);
+        if (pos_it != outs.end())
+        {
+            outs.erase(pos_it);
+        }
+        if (outs.empty())
+        {
+            outgoing.erase(out_it);
+        }
+    }
+}
+
+void gate_level_layout::set_incoming_order(const coordinate& dst, const std::vector<coordinate>& order)
+{
+    check_occupied(dst, "set_incoming_order");
+    auto& in = tiles.at(dst).incoming;
+    auto sorted_current = in;
+    auto sorted_order = order;
+    std::sort(sorted_current.begin(), sorted_current.end());
+    std::sort(sorted_order.begin(), sorted_order.end());
+    if (sorted_current != sorted_order)
+    {
+        throw precondition_error{"set_incoming_order: order is not a permutation of the incoming list of " +
+                                 dst.to_string()};
+    }
+    in = order;
+}
+
+void gate_level_layout::clear_tile(const coordinate& c)
+{
+    const auto it = tiles.find(c);
+    if (it == tiles.end())
+    {
+        return;
+    }
+
+    // sever incoming connections
+    for (const auto& src : std::vector<coordinate>{it->second.incoming})
+    {
+        disconnect(src, c);
+    }
+    // sever outgoing connections
+    if (const auto out_it = outgoing.find(c); out_it != outgoing.end())
+    {
+        for (const auto& dst : std::vector<coordinate>{out_it->second})
+        {
+            disconnect(c, dst);
+        }
+    }
+    outgoing.erase(c);
+
+    const auto t = it->second.type;
+    tiles.erase(it);
+    if (t == ntk::gate_type::pi)
+    {
+        pis.erase(std::remove(pis.begin(), pis.end(), c), pis.end());
+    }
+    else if (t == ntk::gate_type::po)
+    {
+        pos.erase(std::remove(pos.begin(), pos.end(), c), pos.end());
+    }
+}
+
+void gate_level_layout::move_tile(const coordinate& from, const coordinate& to)
+{
+    if (from == to)
+    {
+        return;
+    }
+    check_occupied(from, "move_tile");
+    if (tiles.contains(to))
+    {
+        throw precondition_error{"move_tile: target " + to.to_string() + " is occupied"};
+    }
+    if (!within_bounds(to))
+    {
+        throw precondition_error{"move_tile: target " + to.to_string() + " is out of bounds"};
+    }
+
+    auto d = std::move(tiles.at(from));
+    tiles.erase(from);
+    if (to.z == 1 && d.type != ntk::gate_type::buf)
+    {
+        tiles.emplace(from, std::move(d));
+        throw precondition_error{"move_tile: crossing layer tiles may only host wire segments"};
+    }
+
+    // patch fanin lists of successors
+    if (const auto out_it = outgoing.find(from); out_it != outgoing.end())
+    {
+        for (const auto& dst : out_it->second)
+        {
+            auto& in = tiles.at(dst).incoming;
+            std::replace(in.begin(), in.end(), from, to);
+        }
+        outgoing.emplace(to, std::move(out_it->second));
+        outgoing.erase(from);
+    }
+    // patch outgoing lists of predecessors
+    for (const auto& src : d.incoming)
+    {
+        if (const auto src_out = outgoing.find(src); src_out != outgoing.end())
+        {
+            std::replace(src_out->second.begin(), src_out->second.end(), from, to);
+        }
+    }
+
+    const auto t = d.type;
+    tiles.emplace(to, std::move(d));
+    if (t == ntk::gate_type::pi)
+    {
+        std::replace(pis.begin(), pis.end(), from, to);
+    }
+    else if (t == ntk::gate_type::po)
+    {
+        std::replace(pos.begin(), pos.end(), from, to);
+    }
+}
+
+bool gate_level_layout::is_empty_tile(const coordinate& c) const
+{
+    return !tiles.contains(c);
+}
+
+bool gate_level_layout::has_tile(const coordinate& c) const
+{
+    return tiles.contains(c);
+}
+
+const gate_level_layout::tile_data& gate_level_layout::get(const coordinate& c) const
+{
+    check_occupied(c, "get");
+    return tiles.at(c);
+}
+
+ntk::gate_type gate_level_layout::type_of(const coordinate& c) const
+{
+    const auto it = tiles.find(c);
+    return it == tiles.cend() ? ntk::gate_type::none : it->second.type;
+}
+
+const std::vector<coordinate>& gate_level_layout::incoming_of(const coordinate& c) const
+{
+    static const std::vector<coordinate> empty{};
+    const auto it = tiles.find(c);
+    return it == tiles.cend() ? empty : it->second.incoming;
+}
+
+const std::vector<coordinate>& gate_level_layout::outgoing_of(const coordinate& c) const
+{
+    static const std::vector<coordinate> empty{};
+    const auto it = outgoing.find(c);
+    return it == outgoing.cend() ? empty : it->second;
+}
+
+const std::vector<coordinate>& gate_level_layout::pi_tiles() const noexcept
+{
+    return pis;
+}
+
+const std::vector<coordinate>& gate_level_layout::po_tiles() const noexcept
+{
+    return pos;
+}
+
+std::size_t gate_level_layout::num_pis() const noexcept
+{
+    return pis.size();
+}
+
+std::size_t gate_level_layout::num_pos() const noexcept
+{
+    return pos.size();
+}
+
+std::size_t gate_level_layout::num_gates() const
+{
+    return static_cast<std::size_t>(std::count_if(tiles.cbegin(), tiles.cend(), [](const auto& kv)
+                                                  { return ntk::is_logic_gate(kv.second.type); }));
+}
+
+std::size_t gate_level_layout::num_wires() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(tiles.cbegin(), tiles.cend(),
+                      [](const auto& kv)
+                      { return kv.second.type == ntk::gate_type::buf || kv.second.type == ntk::gate_type::fanout; }));
+}
+
+std::size_t gate_level_layout::num_crossings() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(tiles.cbegin(), tiles.cend(), [](const auto& kv) { return kv.first.z == 1; }));
+}
+
+std::size_t gate_level_layout::num_occupied() const noexcept
+{
+    return tiles.size();
+}
+
+std::uint8_t gate_level_layout::clock_number(const coordinate& c) const
+{
+    return scheme.clock_number(c);
+}
+
+std::vector<coordinate> gate_level_layout::outgoing_clocked(const coordinate& c) const
+{
+    std::vector<coordinate> result;
+    for (const auto& n : planar_neighbors(c.ground(), topo))
+    {
+        if (within_bounds(n) && scheme.is_incoming_clocked(n, c))
+        {
+            result.push_back(n);
+        }
+    }
+    return result;
+}
+
+std::vector<coordinate> gate_level_layout::incoming_clocked(const coordinate& c) const
+{
+    std::vector<coordinate> result;
+    for (const auto& n : planar_neighbors(c.ground(), topo))
+    {
+        if (within_bounds(n) && scheme.is_incoming_clocked(c, n))
+        {
+            result.push_back(n);
+        }
+    }
+    return result;
+}
+
+std::vector<coordinate> gate_level_layout::tiles_sorted() const
+{
+    std::vector<coordinate> result;
+    result.reserve(tiles.size());
+    for (const auto& [c, d] : tiles)
+    {
+        result.push_back(c);
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+const std::string& gate_level_layout::layout_name() const noexcept
+{
+    return design_name;
+}
+
+void gate_level_layout::set_layout_name(std::string layout_name)
+{
+    design_name = std::move(layout_name);
+}
+
+}  // namespace mnt::lyt

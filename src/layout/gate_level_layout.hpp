@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file gate_level_layout.hpp
+/// \brief Clocked, tile-based gate-level FCN layout — the abstraction-level
+///        "Gate-level (.fgl)" artifact of MNT Bench.
+///
+/// A gate-level layout places typed gates (see \ref mnt::ntk::gate_type) on
+/// the tiles of a clocked grid. Connections are explicit: every tile stores
+/// the coordinates of the tiles feeding it, in fanin-slot order. Wires are
+/// buffer gates; a wire crossing is a second buffer in layer z = 1 above a
+/// ground-layer wire. Layout area is width x height tiles — the figure of
+/// merit of the paper's Table I.
+///
+/// The class is deliberately permissive while a layout is under
+/// construction; \ref mnt::ver::gate_level_drc performs the full design-rule
+/// check (adjacency, clocking, fanin/fanout capacities, crossing rules).
+
+#include "layout/clocking_scheme.hpp"
+#include "layout/coordinates.hpp"
+#include "network/gate_type.hpp"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::lyt
+{
+
+/// A tile-based gate-level layout on a clocked Cartesian or hexagonal grid.
+class gate_level_layout
+{
+public:
+    /// Payload of an occupied tile.
+    struct tile_data
+    {
+        ntk::gate_type type{ntk::gate_type::none};
+        /// Fanin tiles in slot order (slot 0 first).
+        std::vector<coordinate> incoming;
+        /// PI/PO name; empty for other gate types.
+        std::string io_name;
+    };
+
+    /// Creates an empty layout of the given dimensions.
+    ///
+    /// \param layout_name design name (usually the benchmark function name)
+    /// \param topo grid topology
+    /// \param scheme clocking scheme (must be ROW or OPEN for hexagonal)
+    /// \param width initial width in tiles (> 0)
+    /// \param height initial height in tiles (> 0)
+    gate_level_layout(std::string layout_name, layout_topology topo, clocking_scheme scheme, std::uint32_t width,
+                      std::uint32_t height);
+
+    /// Creates an empty 1x1 placeholder layout (for record types that fill
+    /// in a real layout later).
+    gate_level_layout();
+
+    // ----------------------------------------------------------- geometry
+
+    [[nodiscard]] std::uint32_t width() const noexcept;
+    [[nodiscard]] std::uint32_t height() const noexcept;
+
+    /// Layout area in tiles (width x height) — the "A" column of Table I.
+    [[nodiscard]] std::uint64_t area() const noexcept;
+
+    [[nodiscard]] layout_topology topology() const noexcept;
+
+    [[nodiscard]] const clocking_scheme& clocking() const noexcept;
+
+    /// Mutable access for OPEN schemes (per-tile zone assignment).
+    [[nodiscard]] clocking_scheme& clocking_mutable() noexcept;
+
+    /// True if (x, y) lies within the current bounds and z < 2.
+    [[nodiscard]] bool within_bounds(const coordinate& c) const noexcept;
+
+    /// Grows or shrinks the bounding dimensions.
+    ///
+    /// \throws precondition_error if an occupied tile would fall outside
+    void resize(std::uint32_t width, std::uint32_t height);
+
+    /// Shrinks the dimensions to the occupied bounding box (translating all
+    /// tiles so the box starts at the origin).
+    void shrink_to_fit();
+
+    /// Smallest/largest occupied ground-layer coordinates; {0,0}/{0,0} if
+    /// the layout is empty.
+    [[nodiscard]] std::pair<coordinate, coordinate> bounding_box() const;
+
+    // ------------------------------------------------------- construction
+
+    /// Places a gate of type \p t on tile \p c. Crossing-layer tiles
+    /// (z == 1) may only host \ref ntk::gate_type::buf.
+    ///
+    /// \throws precondition_error if the tile is occupied, out of bounds,
+    ///         the type is none/const, or the crossing-layer rule is violated
+    void place(const coordinate& c, ntk::gate_type t, const std::string& io_name = {});
+
+    /// Declares that the output of tile \p src feeds the next free fanin
+    /// slot of tile \p dst.
+    ///
+    /// \throws precondition_error if either tile is empty or all fanin slots
+    ///         of \p dst are taken
+    void connect(const coordinate& src, const coordinate& dst);
+
+    /// Removes a previously declared connection.
+    void disconnect(const coordinate& src, const coordinate& dst);
+
+    /// Reorders the fanin slots of \p dst to match \p order (which must be a
+    /// permutation of the current incoming list). Needed by optimization
+    /// passes that rip up and re-establish connections of non-commutative
+    /// gates.
+    ///
+    /// \throws precondition_error if \p order is not a permutation of the
+    ///         current incoming list
+    void set_incoming_order(const coordinate& dst, const std::vector<coordinate>& order);
+
+    /// Removes the gate on \p c together with all its connections.
+    void clear_tile(const coordinate& c);
+
+    /// Relocates the gate on \p from to the empty tile \p to, preserving all
+    /// connections (coordinates in neighbor fanin lists are patched).
+    ///
+    /// \throws precondition_error if \p from is empty or \p to is occupied
+    void move_tile(const coordinate& from, const coordinate& to);
+
+    // ------------------------------------------------------------ queries
+
+    [[nodiscard]] bool is_empty_tile(const coordinate& c) const;
+    [[nodiscard]] bool has_tile(const coordinate& c) const;
+
+    /// Read access to an occupied tile.
+    ///
+    /// \throws precondition_error if the tile is empty
+    [[nodiscard]] const tile_data& get(const coordinate& c) const;
+
+    /// Gate type on \p c; \ref ntk::gate_type::none for empty tiles.
+    [[nodiscard]] ntk::gate_type type_of(const coordinate& c) const;
+
+    /// Fanin tiles of \p c in slot order (empty vector for empty tiles).
+    [[nodiscard]] const std::vector<coordinate>& incoming_of(const coordinate& c) const;
+
+    /// Tiles fed by \p c (unordered; empty vector for empty tiles).
+    [[nodiscard]] const std::vector<coordinate>& outgoing_of(const coordinate& c) const;
+
+    /// PI/PO tiles in creation order.
+    [[nodiscard]] const std::vector<coordinate>& pi_tiles() const noexcept;
+    [[nodiscard]] const std::vector<coordinate>& po_tiles() const noexcept;
+
+    [[nodiscard]] std::size_t num_pis() const noexcept;
+    [[nodiscard]] std::size_t num_pos() const noexcept;
+
+    /// Number of logic gates (excluding PIs, POs, buffers, fan-outs).
+    [[nodiscard]] std::size_t num_gates() const;
+
+    /// Number of wire segments (buffers + fan-outs, both layers).
+    [[nodiscard]] std::size_t num_wires() const;
+
+    /// Number of crossing-layer tiles (z == 1).
+    [[nodiscard]] std::size_t num_crossings() const;
+
+    /// Number of occupied tiles overall.
+    [[nodiscard]] std::size_t num_occupied() const noexcept;
+
+    /// Clock zone of \p c under the layout's scheme.
+    [[nodiscard]] std::uint8_t clock_number(const coordinate& c) const;
+
+    /// In-bounds planar neighbors of \p c that may *receive* information
+    /// from it (zone + 1), as ground-layer coordinates.
+    [[nodiscard]] std::vector<coordinate> outgoing_clocked(const coordinate& c) const;
+
+    /// In-bounds planar neighbors of \p c that may *send* information to it
+    /// (zone - 1), as ground-layer coordinates.
+    [[nodiscard]] std::vector<coordinate> incoming_clocked(const coordinate& c) const;
+
+    /// Iterates all occupied tiles (arbitrary order): fn(coordinate, tile_data).
+    template <typename Fn>
+    void foreach_tile(Fn&& fn) const
+    {
+        for (const auto& [c, d] : tiles)
+        {
+            fn(c, d);
+        }
+    }
+
+    /// All occupied coordinates in deterministic (y, x, z) order.
+    [[nodiscard]] std::vector<coordinate> tiles_sorted() const;
+
+    [[nodiscard]] const std::string& layout_name() const noexcept;
+    void set_layout_name(std::string layout_name);
+
+private:
+    void check_occupied(const coordinate& c, const char* ctx) const;
+
+    std::string design_name;
+    layout_topology topo;
+    clocking_scheme scheme;
+    std::uint32_t w;
+    std::uint32_t h;
+
+    std::unordered_map<coordinate, tile_data, coordinate_hash> tiles;
+    std::unordered_map<coordinate, std::vector<coordinate>, coordinate_hash> outgoing;
+    std::vector<coordinate> pis;
+    std::vector<coordinate> pos;
+};
+
+}  // namespace mnt::lyt

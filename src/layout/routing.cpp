@@ -1,0 +1,230 @@
+#include "layout/routing.hpp"
+
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace mnt::lyt
+{
+
+namespace
+{
+
+/// True if \p c is usable as the first tile of some future wire (empty, or a
+/// crossable ground wire).
+bool usable_step(const gate_level_layout& layout, const coordinate& c)
+{
+    return layout.is_empty_tile(c) ||
+           (layout.type_of(c) == ntk::gate_type::buf && layout.is_empty_tile(c.elevated()));
+}
+
+/// True if completely filling position \p pos (both layers occupied
+/// afterwards) would take the last usable exit of an adjacent gate that
+/// still needs outgoing connections. \p src and \p dst of the current path
+/// are exempt.
+bool steals_last_exit(const gate_level_layout& layout, const coordinate& pos, const coordinate& src,
+                      const coordinate& dst)
+{
+    for (const auto& nb : planar_neighbors(pos.ground(), layout.topology()))
+    {
+        if (!layout.within_bounds(nb) || layout.is_empty_tile(nb))
+        {
+            continue;
+        }
+        if (nb == src.ground() || nb == dst.ground())
+        {
+            continue;
+        }
+        const auto t = layout.type_of(nb);
+        if (t == ntk::gate_type::buf || t == ntk::gate_type::po || t == ntk::gate_type::none)
+        {
+            continue;
+        }
+        const auto capacity = t == ntk::gate_type::fanout ? std::size_t{2} : std::size_t{1};
+        const auto used = layout.outgoing_of(nb).size();
+        if (used >= capacity)
+        {
+            continue;
+        }
+        std::size_t free_exits = 0;
+        for (const auto& exit : layout.outgoing_clocked(nb))
+        {
+            if (!(exit == pos.ground()) && usable_step(layout, exit))
+            {
+                ++free_exits;
+            }
+        }
+        if (free_exits < capacity - used)
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Decides whether the search may step onto position \p n (a ground-layer
+/// coordinate), and if so, at which layer the new wire would be placed.
+std::optional<coordinate> admissible_step(const gate_level_layout& layout, const coordinate& n,
+                                          const routing_options& options, const coordinate& src,
+                                          const coordinate& dst)
+{
+    const auto ground = n.ground();
+    if (layout.is_empty_tile(ground))
+    {
+        return ground;
+    }
+    if (options.allow_crossings && layout.type_of(ground) == ntk::gate_type::buf &&
+        layout.is_empty_tile(ground.elevated()))
+    {
+        // the crossing layer fill makes the position fully occupied
+        if (options.respect_needy_exits && steals_last_exit(layout, ground, src, dst))
+        {
+            return std::nullopt;
+        }
+        return ground.elevated();
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout, const coordinate& src,
+                                                 const coordinate& dst, const routing_options& options)
+{
+    if (src.ground() == dst.ground())
+    {
+        throw precondition_error{"find_path: source and target coincide"};
+    }
+    if (layout.is_empty_tile(src) || layout.is_empty_tile(dst))
+    {
+        throw precondition_error{"find_path: source and target must host gates"};
+    }
+
+    // visited/parent bookkeeping is on ground positions: at most one new wire
+    // per (x, y) position may join this path (stacking a path above itself is
+    // never useful for shortest paths)
+    std::unordered_map<coordinate, coordinate, coordinate_hash> parent;  // placed coord -> predecessor placed coord
+    std::unordered_map<coordinate, coordinate, coordinate_hash> placed;  // ground position -> placed coord
+
+    std::deque<coordinate> queue;  // placed coords (or src)
+    queue.push_back(src);
+    placed.emplace(src.ground(), src);
+
+    std::size_t expansions = 0;
+    const auto target_ground = dst.ground();
+
+    while (!queue.empty())
+    {
+        const auto current = queue.front();
+        queue.pop_front();
+
+        if (options.max_expansions != 0 && ++expansions > options.max_expansions)
+        {
+            return std::nullopt;
+        }
+
+        for (const auto& n : layout.outgoing_clocked(current.ground()))
+        {
+            if (n == target_ground)
+            {
+                // reconstruct: walk parents from current back to src
+                std::vector<coordinate> path;
+                auto walk = current;
+                while (!(walk.ground() == src.ground()))
+                {
+                    path.push_back(walk);
+                    walk = parent.at(walk);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            if (placed.contains(n.ground()))
+            {
+                continue;
+            }
+            const auto step = admissible_step(layout, n, options, src, dst);
+            if (!step.has_value())
+            {
+                continue;
+            }
+            placed.emplace(n.ground(), *step);
+            parent.emplace(*step, current);
+            queue.push_back(*step);
+        }
+    }
+    return std::nullopt;
+}
+
+void establish_path(gate_level_layout& layout, const coordinate& src, const coordinate& dst,
+                    const std::vector<coordinate>& path)
+{
+    for (const auto& p : path)
+    {
+        layout.place(p, ntk::gate_type::buf);
+    }
+    auto prev = src;
+    for (const auto& p : path)
+    {
+        layout.connect(prev, p);
+        prev = p;
+    }
+    layout.connect(prev, dst);
+}
+
+bool route(gate_level_layout& layout, const coordinate& src, const coordinate& dst, const routing_options& options)
+{
+    const auto path = find_path(layout, src, dst, options);
+    if (!path.has_value())
+    {
+        return false;
+    }
+    establish_path(layout, src, dst, *path);
+    return true;
+}
+
+void rip_up_path(gate_level_layout& layout, const coordinate& src, const coordinate& dst)
+{
+    // remove the last-hop connection into dst, then peel wire tiles backwards
+    const auto& in = layout.incoming_of(dst);
+    // find the chain end: the incoming tile of dst that (transitively) leads
+    // back to src over single-user wires
+    for (const auto& candidate : std::vector<coordinate>{in})
+    {
+        // walk backwards collecting wire tiles
+        std::vector<coordinate> chain;
+        auto walk = candidate;
+        bool reaches_src = false;
+        while (true)
+        {
+            if (walk.ground() == src.ground())
+            {
+                reaches_src = true;
+                break;
+            }
+            if (layout.type_of(walk) != ntk::gate_type::buf || layout.outgoing_of(walk).size() != 1)
+            {
+                break;
+            }
+            chain.push_back(walk);
+            const auto& walk_in = layout.incoming_of(walk);
+            if (walk_in.size() != 1)
+            {
+                break;
+            }
+            walk = walk_in[0];
+        }
+        if (reaches_src)
+        {
+            layout.disconnect(candidate, dst);
+            for (const auto& c : chain)
+            {
+                layout.clear_tile(c);
+            }
+            return;
+        }
+    }
+}
+
+}  // namespace mnt::lyt

@@ -1,0 +1,65 @@
+#include "network/gate_type.hpp"
+
+#include <array>
+#include <string_view>
+
+namespace mnt::ntk
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, num_gate_types> names = {
+    "none", "const0", "const1", "pi",  "po",  "buf", "fanout", "inv",  "and", "nand",
+    "or",   "nor",    "xor",    "xnor", "lt",  "gt",  "le",     "ge",   "maj"};
+
+}  // namespace
+
+std::string_view gate_type_name(const gate_type t) noexcept
+{
+    const auto idx = static_cast<std::size_t>(t);
+    if (idx >= names.size())
+    {
+        return "none";
+    }
+    return names[idx];
+}
+
+gate_type gate_type_from_name(const std::string_view name) noexcept
+{
+    for (std::size_t i = 0; i < names.size(); ++i)
+    {
+        if (names[i] == name)
+        {
+            return static_cast<gate_type>(i);
+        }
+    }
+    // accepted aliases used by common Verilog netlists
+    if (name == "not")
+    {
+        return gate_type::inv;
+    }
+    if (name == "wire" || name == "buffer")
+    {
+        return gate_type::buf;
+    }
+    if (name == "and2" || name == "AND")
+    {
+        return gate_type::and2;
+    }
+    if (name == "or2" || name == "OR")
+    {
+        return gate_type::or2;
+    }
+    if (name == "xor2" || name == "XOR")
+    {
+        return gate_type::xor2;
+    }
+    if (name == "maj3" || name == "MAJ")
+    {
+        return gate_type::maj3;
+    }
+    return gate_type::none;
+}
+
+}  // namespace mnt::ntk

@@ -1,0 +1,304 @@
+#include "network/logic_network.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace mnt::ntk
+{
+
+logic_network::logic_network(std::string network_name) : design_name{std::move(network_name)}
+{
+    nodes.push_back(node_data{gate_type::const0, {invalid_node, invalid_node, invalid_node}, 0, 0});
+    nodes.push_back(node_data{gate_type::const1, {invalid_node, invalid_node, invalid_node}, 0, 0});
+}
+
+logic_network::node logic_network::get_constant(const bool value) const noexcept
+{
+    return value ? 1u : 0u;
+}
+
+void logic_network::check_node(const node n, const char* ctx) const
+{
+    if (n >= nodes.size())
+    {
+        throw precondition_error{std::string{ctx} + ": node id " + std::to_string(n) + " out of range"};
+    }
+}
+
+logic_network::node logic_network::add_node(const gate_type t, const std::span<const node> fanin_nodes)
+{
+    if (fanin_nodes.size() != gate_arity(t))
+    {
+        throw precondition_error{std::string{"create_gate: arity mismatch for "} + std::string{gate_type_name(t)} +
+                                 ": expected " + std::to_string(gate_arity(t)) + ", got " +
+                                 std::to_string(fanin_nodes.size())};
+    }
+
+    node_data d{};
+    d.type = t;
+    d.fanin_count = static_cast<std::uint8_t>(fanin_nodes.size());
+    for (std::size_t i = 0; i < fanin_nodes.size(); ++i)
+    {
+        check_node(fanin_nodes[i], "create_gate (fanin)");
+        if (nodes[fanin_nodes[i]].type == gate_type::po)
+        {
+            throw precondition_error{"create_gate: primary outputs cannot drive other nodes"};
+        }
+        d.fanin[i] = fanin_nodes[i];
+    }
+
+    const auto id = static_cast<node>(nodes.size());
+    nodes.push_back(d);
+    for (std::size_t i = 0; i < fanin_nodes.size(); ++i)
+    {
+        ++nodes[fanin_nodes[i]].fanout_count;
+    }
+    return id;
+}
+
+logic_network::node logic_network::create_pi(const std::string& name)
+{
+    auto pi_name = name;
+    if (pi_name.empty())
+    {
+        pi_name = "pi" + std::to_string(primary_inputs.size());
+    }
+    if (pi_by_name.contains(pi_name))
+    {
+        throw precondition_error{"create_pi: duplicate input name '" + pi_name + "'"};
+    }
+
+    const auto id = add_node(gate_type::pi, {});
+    primary_inputs.push_back(id);
+    io_names.emplace(id, pi_name);
+    pi_by_name.emplace(pi_name, id);
+    return id;
+}
+
+logic_network::node logic_network::create_po(const node source, const std::string& name)
+{
+    auto po_name = name;
+    if (po_name.empty())
+    {
+        po_name = "po" + std::to_string(primary_outputs.size());
+    }
+
+    const std::array<node, 1> fi{source};
+    const auto id = add_node(gate_type::po, fi);
+    primary_outputs.push_back(id);
+    io_names.emplace(id, po_name);
+    return id;
+}
+
+logic_network::node logic_network::create_buf(const node a)
+{
+    const std::array<node, 1> fi{a};
+    return add_node(gate_type::buf, fi);
+}
+
+logic_network::node logic_network::create_fanout(const node a)
+{
+    const std::array<node, 1> fi{a};
+    return add_node(gate_type::fanout, fi);
+}
+
+logic_network::node logic_network::create_not(const node a)
+{
+    const std::array<node, 1> fi{a};
+    return add_node(gate_type::inv, fi);
+}
+
+#define MNT_DEFINE_BINARY(fn, gt)                                          \
+    logic_network::node logic_network::fn(const node a, const node b)      \
+    {                                                                      \
+        const std::array<node, 2> fi{a, b};                                \
+        return add_node(gate_type::gt, fi);                                \
+    }
+
+MNT_DEFINE_BINARY(create_and, and2)
+MNT_DEFINE_BINARY(create_nand, nand2)
+MNT_DEFINE_BINARY(create_or, or2)
+MNT_DEFINE_BINARY(create_nor, nor2)
+MNT_DEFINE_BINARY(create_xor, xor2)
+MNT_DEFINE_BINARY(create_xnor, xnor2)
+MNT_DEFINE_BINARY(create_lt, lt2)
+MNT_DEFINE_BINARY(create_gt, gt2)
+MNT_DEFINE_BINARY(create_le, le2)
+MNT_DEFINE_BINARY(create_ge, ge2)
+
+#undef MNT_DEFINE_BINARY
+
+logic_network::node logic_network::create_maj(const node a, const node b, const node c)
+{
+    const std::array<node, 3> fi{a, b, c};
+    return add_node(gate_type::maj3, fi);
+}
+
+logic_network::node logic_network::create_gate(const gate_type t, const std::span<const node> fanins)
+{
+    switch (t)
+    {
+        case gate_type::none:
+        case gate_type::const0:
+        case gate_type::const1:
+        case gate_type::pi:
+        case gate_type::po:
+            throw precondition_error{"create_gate: use the dedicated interface for constants, PIs and POs"};
+        default: return add_node(t, fanins);
+    }
+}
+
+std::size_t logic_network::size() const noexcept
+{
+    return nodes.size();
+}
+
+std::size_t logic_network::num_pis() const noexcept
+{
+    return primary_inputs.size();
+}
+
+std::size_t logic_network::num_pos() const noexcept
+{
+    return primary_outputs.size();
+}
+
+std::size_t logic_network::num_gates() const noexcept
+{
+    return static_cast<std::size_t>(
+        std::count_if(nodes.cbegin(), nodes.cend(), [](const node_data& d) { return is_logic_gate(d.type); }));
+}
+
+std::size_t logic_network::num_wires() const noexcept
+{
+    return static_cast<std::size_t>(std::count_if(nodes.cbegin(), nodes.cend(), [](const node_data& d)
+                                                  { return d.type == gate_type::buf || d.type == gate_type::fanout; }));
+}
+
+gate_type logic_network::type(const node n) const
+{
+    check_node(n, "type");
+    return nodes[n].type;
+}
+
+bool logic_network::is_constant(const node n) const
+{
+    check_node(n, "is_constant");
+    return nodes[n].type == gate_type::const0 || nodes[n].type == gate_type::const1;
+}
+
+bool logic_network::is_pi(const node n) const
+{
+    check_node(n, "is_pi");
+    return nodes[n].type == gate_type::pi;
+}
+
+bool logic_network::is_po(const node n) const
+{
+    check_node(n, "is_po");
+    return nodes[n].type == gate_type::po;
+}
+
+std::span<const logic_network::node> logic_network::fanins(const node n) const
+{
+    check_node(n, "fanins");
+    return {nodes[n].fanin.data(), nodes[n].fanin_count};
+}
+
+std::uint32_t logic_network::fanout_size(const node n) const
+{
+    check_node(n, "fanout_size");
+    return nodes[n].fanout_count;
+}
+
+logic_network::node logic_network::pi_at(const std::size_t index) const
+{
+    if (index >= primary_inputs.size())
+    {
+        throw precondition_error{"pi_at: index out of range"};
+    }
+    return primary_inputs[index];
+}
+
+logic_network::node logic_network::po_at(const std::size_t index) const
+{
+    if (index >= primary_outputs.size())
+    {
+        throw precondition_error{"po_at: index out of range"};
+    }
+    return primary_outputs[index];
+}
+
+const std::vector<logic_network::node>& logic_network::pis() const noexcept
+{
+    return primary_inputs;
+}
+
+const std::vector<logic_network::node>& logic_network::pos() const noexcept
+{
+    return primary_outputs;
+}
+
+const std::string& logic_network::name_of(const node n) const
+{
+    check_node(n, "name_of");
+    static const std::string empty{};
+    const auto it = io_names.find(n);
+    return it == io_names.cend() ? empty : it->second;
+}
+
+std::optional<logic_network::node> logic_network::find_pi(const std::string& name) const
+{
+    const auto it = pi_by_name.find(name);
+    if (it == pi_by_name.cend())
+    {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+const std::string& logic_network::network_name() const noexcept
+{
+    return design_name;
+}
+
+void logic_network::set_network_name(std::string network_name)
+{
+    design_name = std::move(network_name);
+}
+
+std::vector<logic_network::node> logic_network::topological_order() const
+{
+    std::vector<node> order(nodes.size());
+    std::iota(order.begin(), order.end(), 0u);
+    return order;
+}
+
+bool logic_network::structurally_equal(const logic_network& other) const
+{
+    if (nodes.size() != other.nodes.size() || primary_inputs != other.primary_inputs ||
+        primary_outputs != other.primary_outputs)
+    {
+        return false;
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+    {
+        if (nodes[i].type != other.nodes[i].type || nodes[i].fanin_count != other.nodes[i].fanin_count ||
+            nodes[i].fanin != other.nodes[i].fanin)
+        {
+            return false;
+        }
+    }
+    for (const auto& [n, name] : io_names)
+    {
+        const auto it = other.io_names.find(n);
+        if (it == other.io_names.cend() || it->second != name)
+        {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace mnt::ntk

@@ -1,0 +1,212 @@
+#pragma once
+
+/// \file logic_network.hpp
+/// \brief Technology-level logic network: the abstraction-level "Network
+///        (.v)" artifact of MNT Bench.
+///
+/// A logic_network is a DAG of typed nodes (see \ref mnt::ntk::gate_type).
+/// In contrast to AIG-style representations there are no complemented edges:
+/// inverters, buffers and fan-outs are explicit nodes, because each of them
+/// occupies a tile once placed on an FCN layout. Nodes are identified by
+/// dense integer ids; node 0 and node 1 are always the constant-0/1 sources.
+
+#include "network/gate_type.hpp"
+
+#include "common/types.hpp"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::ntk
+{
+
+/// A combinational logic network with named primary inputs and outputs.
+class logic_network
+{
+public:
+    /// Node identifier. Dense, starting at 0; 0/1 are the constants.
+    using node = std::uint32_t;
+
+    /// Sentinel for "no node".
+    static constexpr node invalid_node = static_cast<node>(-1);
+
+    /// Maximum fanin arity of any node type.
+    static constexpr std::size_t max_fanin_size = 3u;
+
+    /// Constructs an empty network (containing only the two constants) with
+    /// an optional design name.
+    explicit logic_network(std::string network_name = "top");
+
+    // ------------------------------------------------------------ creation
+
+    /// Returns the node representing constant \p value.
+    [[nodiscard]] node get_constant(bool value) const noexcept;
+
+    /// Creates a primary input with the given \p name. Names must be unique;
+    /// an empty name is auto-generated as "pi<k>".
+    node create_pi(const std::string& name = {});
+
+    /// Creates a primary output driven by \p source with the given \p name
+    /// (auto-generated as "po<k>" when empty).
+    node create_po(node source, const std::string& name = {});
+
+    /// Creates a buffer node forwarding \p a.
+    node create_buf(node a);
+
+    /// Creates an explicit fan-out node forwarding \p a.
+    node create_fanout(node a);
+
+    /// Creates an inverter on \p a.
+    node create_not(node a);
+
+    node create_and(node a, node b);
+    node create_nand(node a, node b);
+    node create_or(node a, node b);
+    node create_nor(node a, node b);
+    node create_xor(node a, node b);
+    node create_xnor(node a, node b);
+    node create_lt(node a, node b);
+    node create_gt(node a, node b);
+    node create_le(node a, node b);
+    node create_ge(node a, node b);
+    node create_maj(node a, node b, node c);
+
+    /// Generic creation: \p fanins.size() must equal gate_arity(\p t).
+    ///
+    /// \throws precondition_error on arity mismatch, unknown fanin ids, or
+    ///         attempts to create pi/po/constant through this interface.
+    node create_gate(gate_type t, std::span<const node> fanins);
+
+    // ------------------------------------------------------------- queries
+
+    /// Total number of nodes including constants, PIs and POs.
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    [[nodiscard]] std::size_t num_pis() const noexcept;
+    [[nodiscard]] std::size_t num_pos() const noexcept;
+
+    /// Number of logic gates (see \ref is_logic_gate): the "N" column of MNT
+    /// Bench's Table I counts these plus buffers/fan-outs are excluded.
+    [[nodiscard]] std::size_t num_gates() const noexcept;
+
+    /// Number of buffer + fanout nodes.
+    [[nodiscard]] std::size_t num_wires() const noexcept;
+
+    [[nodiscard]] gate_type type(node n) const;
+
+    [[nodiscard]] bool is_constant(node n) const;
+    [[nodiscard]] bool is_pi(node n) const;
+    [[nodiscard]] bool is_po(node n) const;
+
+    /// Fanins of \p n in creation order.
+    [[nodiscard]] std::span<const node> fanins(node n) const;
+
+    /// Number of nodes that reference \p n as a fanin.
+    [[nodiscard]] std::uint32_t fanout_size(node n) const;
+
+    /// The \p index-th primary input node (in creation order).
+    [[nodiscard]] node pi_at(std::size_t index) const;
+
+    /// The \p index-th primary output node (in creation order).
+    [[nodiscard]] node po_at(std::size_t index) const;
+
+    /// All primary inputs in creation order.
+    [[nodiscard]] const std::vector<node>& pis() const noexcept;
+
+    /// All primary outputs in creation order.
+    [[nodiscard]] const std::vector<node>& pos() const noexcept;
+
+    /// Name of a PI/PO node; empty for other nodes.
+    [[nodiscard]] const std::string& name_of(node n) const;
+
+    /// Looks up a PI by name.
+    [[nodiscard]] std::optional<node> find_pi(const std::string& name) const;
+
+    /// The design name given at construction.
+    [[nodiscard]] const std::string& network_name() const noexcept;
+
+    /// Overwrites the design name.
+    void set_network_name(std::string network_name);
+
+    // ----------------------------------------------------------- traversal
+
+    /// Calls \p fn(node) for every node id in [0, size()).
+    template <typename Fn>
+    void foreach_node(Fn&& fn) const
+    {
+        for (node n = 0; n < static_cast<node>(nodes.size()); ++n)
+        {
+            fn(n);
+        }
+    }
+
+    /// Calls \p fn(node) for every logic gate / buffer / fanout (excludes
+    /// constants, PIs and POs).
+    template <typename Fn>
+    void foreach_gate(Fn&& fn) const
+    {
+        for (node n = 0; n < static_cast<node>(nodes.size()); ++n)
+        {
+            const auto t = nodes[n].type;
+            if (is_logic_gate(t) || t == gate_type::buf || t == gate_type::fanout)
+            {
+                fn(n);
+            }
+        }
+    }
+
+    template <typename Fn>
+    void foreach_pi(Fn&& fn) const
+    {
+        for (const auto n : primary_inputs)
+        {
+            fn(n);
+        }
+    }
+
+    template <typename Fn>
+    void foreach_po(Fn&& fn) const
+    {
+        for (const auto n : primary_outputs)
+        {
+            fn(n);
+        }
+    }
+
+    /// Returns all node ids in a topological order (fanins before fanouts).
+    /// Constants come first, then the remaining nodes. Because nodes can only
+    /// reference already-existing nodes at creation, ascending id order *is*
+    /// topological; this function exists for readability at call sites.
+    [[nodiscard]] std::vector<node> topological_order() const;
+
+    /// True if the two networks are structurally identical (same node table,
+    /// same PI/PO order and names). Used by round-trip tests.
+    [[nodiscard]] bool structurally_equal(const logic_network& other) const;
+
+private:
+    struct node_data
+    {
+        gate_type type{gate_type::none};
+        std::array<node, max_fanin_size> fanin{invalid_node, invalid_node, invalid_node};
+        std::uint8_t fanin_count{0};
+        std::uint32_t fanout_count{0};
+    };
+
+    node add_node(gate_type t, std::span<const node> fanin_nodes);
+
+    void check_node(node n, const char* ctx) const;
+
+    std::vector<node_data> nodes;
+    std::vector<node> primary_inputs;
+    std::vector<node> primary_outputs;
+    std::unordered_map<node, std::string> io_names;
+    std::unordered_map<std::string, node> pi_by_name;
+    std::string design_name;
+};
+
+}  // namespace mnt::ntk

@@ -1,0 +1,114 @@
+#include "network/network_utils.hpp"
+
+#include <algorithm>
+
+namespace mnt::ntk
+{
+
+std::vector<std::uint32_t> compute_levels(const logic_network& network)
+{
+    std::vector<std::uint32_t> levels(network.size(), 0u);
+    network.foreach_node(
+        [&](const logic_network::node n)
+        {
+            const auto fis = network.fanins(n);
+            std::uint32_t lvl = 0;
+            for (const auto fi : fis)
+            {
+                lvl = std::max(lvl, levels[fi] + 1u);
+            }
+            levels[n] = fis.empty() ? 0u : lvl;
+        });
+    return levels;
+}
+
+std::uint32_t depth(const logic_network& network)
+{
+    const auto levels = compute_levels(network);
+    std::uint32_t d = 0;
+    network.foreach_po([&](const logic_network::node po) { d = std::max(d, levels[po]); });
+    return d;
+}
+
+std::vector<std::vector<logic_network::node>> fanout_lists(const logic_network& network)
+{
+    std::vector<std::vector<logic_network::node>> fos(network.size());
+    network.foreach_node(
+        [&](const logic_network::node n)
+        {
+            for (const auto fi : network.fanins(n))
+            {
+                fos[fi].push_back(n);
+            }
+        });
+    return fos;
+}
+
+network_statistics collect_statistics(const logic_network& network)
+{
+    network_statistics stats{};
+    stats.name = network.network_name();
+    stats.num_pis = network.num_pis();
+    stats.num_pos = network.num_pos();
+    stats.num_gates = network.num_gates();
+    stats.num_wires = network.num_wires();
+    stats.depth = depth(network);
+    network.foreach_node([&](const logic_network::node n)
+                         { ++stats.per_type[static_cast<std::size_t>(network.type(n))]; });
+    return stats;
+}
+
+std::uint32_t max_fanout_degree(const logic_network& network)
+{
+    std::uint32_t m = 0;
+    network.foreach_node(
+        [&](const logic_network::node n)
+        {
+            if (!network.is_po(n))
+            {
+                m = std::max(m, network.fanout_size(n));
+            }
+        });
+    return m;
+}
+
+std::vector<std::string> sanity_check(const logic_network& network)
+{
+    std::vector<std::string> problems;
+
+    network.foreach_node(
+        [&](const logic_network::node n)
+        {
+            const auto t = network.type(n);
+            if (t == gate_type::none)
+            {
+                problems.push_back("node " + std::to_string(n) + " has type 'none'");
+            }
+            for (const auto fi : network.fanins(n))
+            {
+                if (fi >= n)
+                {
+                    problems.push_back("node " + std::to_string(n) + " references non-preceding fanin " +
+                                       std::to_string(fi));
+                }
+            }
+        });
+
+    network.foreach_po(
+        [&](const logic_network::node po)
+        {
+            if (network.fanins(po).empty())
+            {
+                problems.push_back("PO node " + std::to_string(po) + " has no driver");
+            }
+        });
+
+    if (network.num_pos() == 0)
+    {
+        problems.emplace_back("network has no primary outputs");
+    }
+
+    return problems;
+}
+
+}  // namespace mnt::ntk

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file network_utils.hpp
+/// \brief Analysis helpers for logic networks: levels/depth, fanout lists,
+///        statistics, and the I/O/N triple reported by MNT Bench's Table I.
+
+#include "network/logic_network.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnt::ntk
+{
+
+/// Per-node logic level: constants and PIs are level 0; every other node is
+/// 1 + max(level of fanins).
+[[nodiscard]] std::vector<std::uint32_t> compute_levels(const logic_network& network);
+
+/// Depth of the network: maximum PO level.
+[[nodiscard]] std::uint32_t depth(const logic_network& network);
+
+/// Explicit fanout adjacency: result[n] lists all nodes that have n as fanin,
+/// in ascending order.
+[[nodiscard]] std::vector<std::vector<logic_network::node>> fanout_lists(const logic_network& network);
+
+/// Statistics record mirroring MNT Bench's benchmark metadata.
+struct network_statistics
+{
+    std::string name;
+    std::size_t num_pis{};
+    std::size_t num_pos{};
+    /// Logic gates only (no constants, PIs, POs, buffers, fan-outs): the "N"
+    /// column of Table I.
+    std::size_t num_gates{};
+    std::size_t num_wires{};
+    std::uint32_t depth{};
+    /// Gate count per gate_type (indexed by static_cast<size_t>(type)).
+    std::array<std::size_t, num_gate_types> per_type{};
+};
+
+/// Gathers \ref network_statistics for \p network.
+[[nodiscard]] network_statistics collect_statistics(const logic_network& network);
+
+/// Maximum fanout degree over all non-PO nodes.
+[[nodiscard]] std::uint32_t max_fanout_degree(const logic_network& network);
+
+/// Checks structural sanity: every PO has a driver, every fanin id is valid
+/// and precedes its user (DAG property by-construction), every reachable node
+/// has a valid type. Returns a list of human-readable problems (empty if OK).
+[[nodiscard]] std::vector<std::string> sanity_check(const logic_network& network);
+
+}  // namespace mnt::ntk

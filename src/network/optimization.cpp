@@ -1,0 +1,292 @@
+#include "network/optimization.hpp"
+
+#include "common/types.hpp"
+#include "network/network_utils.hpp"
+#include "network/transforms.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace mnt::ntk
+{
+
+namespace
+{
+
+using node = logic_network::node;
+
+bool is_commutative(const gate_type t)
+{
+    switch (t)
+    {
+        case gate_type::and2:
+        case gate_type::nand2:
+        case gate_type::or2:
+        case gate_type::nor2:
+        case gate_type::xor2:
+        case gate_type::xnor2:
+        case gate_type::maj3: return true;
+        default: return false;
+    }
+}
+
+}  // namespace
+
+logic_network strash(const logic_network& network)
+{
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    const auto c0 = result.get_constant(false);
+    const auto c1 = result.get_constant(true);
+    map[network.get_constant(false)] = c0;
+    map[network.get_constant(true)] = c1;
+
+    network.foreach_pi([&](const node pi) { map[pi] = result.create_pi(network.name_of(pi)); });
+
+    // (type, canonical fanins) -> representative node in the result
+    std::map<std::tuple<gate_type, node, node, node>, node> table;
+    // inverter pairing: representative -> its inverter in the result
+    std::map<node, node> inverter_of;
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            if (map[n] != logic_network::invalid_node)
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == gate_type::pi || t == gate_type::const0 || t == gate_type::const1 || t == gate_type::po)
+            {
+                return;
+            }
+
+            const auto fis = network.fanins(n);
+            node a = map[fis[0]];
+            node b = fis.size() > 1 ? map[fis[1]] : logic_network::invalid_node;
+            node c = fis.size() > 2 ? map[fis[2]] : logic_network::invalid_node;
+
+            // local simplifications on repeated inputs
+            switch (t)
+            {
+                case gate_type::buf:
+                case gate_type::fanout: map[n] = a; return;
+                case gate_type::and2:
+                case gate_type::or2:
+                    if (a == b)
+                    {
+                        map[n] = a;  // x AND x = x OR x = x
+                        return;
+                    }
+                    break;
+                case gate_type::xor2:
+                    if (a == b)
+                    {
+                        map[n] = c0;
+                        return;
+                    }
+                    break;
+                case gate_type::xnor2:
+                    if (a == b)
+                    {
+                        map[n] = c1;
+                        return;
+                    }
+                    break;
+                case gate_type::maj3:
+                    if (a == b || a == c)
+                    {
+                        map[n] = a;  // maj(x, x, y) = x
+                        return;
+                    }
+                    if (b == c)
+                    {
+                        map[n] = b;
+                        return;
+                    }
+                    break;
+                case gate_type::inv:
+                {
+                    // INV(INV(x)) = x: if a is itself a known inverter output
+                    for (const auto& [rep, inv] : inverter_of)
+                    {
+                        if (inv == a)
+                        {
+                            map[n] = rep;
+                            return;
+                        }
+                    }
+                    break;
+                }
+                default: break;
+            }
+
+            // canonicalize commutative fanins
+            if (is_commutative(t))
+            {
+                std::array<node, 3> sorted{a, b, c};
+                const auto arity = gate_arity(t);
+                std::sort(sorted.begin(), sorted.begin() + arity);
+                a = sorted[0];
+                if (arity > 1)
+                {
+                    b = sorted[1];
+                }
+                if (arity > 2)
+                {
+                    c = sorted[2];
+                }
+            }
+
+            const auto key = std::make_tuple(t, a, b, c);
+            if (const auto it = table.find(key); it != table.cend())
+            {
+                map[n] = it->second;
+                return;
+            }
+
+            std::vector<node> mapped{a};
+            if (b != logic_network::invalid_node)
+            {
+                mapped.push_back(b);
+            }
+            if (c != logic_network::invalid_node)
+            {
+                mapped.push_back(c);
+            }
+            const auto created = result.create_gate(t, mapped);
+            table.emplace(key, created);
+            if (t == gate_type::inv)
+            {
+                inverter_of.emplace(a, created);
+            }
+            map[n] = created;
+        });
+
+    network.foreach_po([&](const node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+    return cleanup(result);
+}
+
+logic_network balance(const logic_network& network)
+{
+    const auto fanout = fanout_lists(network);
+
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    map[network.get_constant(false)] = result.get_constant(false);
+    map[network.get_constant(true)] = result.get_constant(true);
+
+    network.foreach_pi([&](const node pi) { map[pi] = result.create_pi(network.name_of(pi)); });
+
+    // collects the leaves of a maximal single-fanout chain of gate type t
+    const auto collect_leaves = [&](const node root, const gate_type t)
+    {
+        std::vector<node> leaves;
+        std::vector<node> stack{root};
+        while (!stack.empty())
+        {
+            const auto n = stack.back();
+            stack.pop_back();
+            const auto fis = network.fanins(n);
+            for (const auto fi : fis)
+            {
+                // descend only through same-type, single-fanout gates
+                if (network.type(fi) == t && fanout[fi].size() == 1)
+                {
+                    stack.push_back(fi);
+                }
+                else
+                {
+                    leaves.push_back(fi);
+                }
+            }
+        }
+        return leaves;
+    };
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            if (map[n] != logic_network::invalid_node)
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == gate_type::pi || t == gate_type::const0 || t == gate_type::const1 || t == gate_type::po)
+            {
+                return;
+            }
+            const auto fis = network.fanins(n);
+
+            const bool associative = t == gate_type::and2 || t == gate_type::or2 || t == gate_type::xor2;
+            if (associative)
+            {
+                auto leaves = collect_leaves(n, t);
+                if (leaves.size() > 2)
+                {
+                    // balanced tree over the mapped leaves (creation order =
+                    // topological, so all leaves are mapped already)
+                    std::vector<node> layer;
+                    layer.reserve(leaves.size());
+                    for (const auto leaf : leaves)
+                    {
+                        layer.push_back(map[leaf]);
+                    }
+                    while (layer.size() > 1)
+                    {
+                        std::vector<node> next;
+                        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+                        {
+                            const std::vector<node> pair{layer[i], layer[i + 1]};
+                            next.push_back(result.create_gate(t, pair));
+                        }
+                        if (layer.size() % 2 == 1)
+                        {
+                            next.push_back(layer.back());
+                        }
+                        layer = std::move(next);
+                    }
+                    map[n] = layer[0];
+                    return;
+                }
+            }
+
+            if (t == gate_type::buf || t == gate_type::fanout)
+            {
+                map[n] = map[fis[0]];
+                return;
+            }
+            std::vector<node> mapped;
+            mapped.reserve(fis.size());
+            for (const auto fi : fis)
+            {
+                mapped.push_back(map[fi]);
+            }
+            map[n] = result.create_gate(t, mapped);
+        });
+
+    network.foreach_po([&](const node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+    return cleanup(result);
+}
+
+logic_network optimize(const logic_network& network, const std::size_t max_rounds)
+{
+    auto current = network;
+    for (std::size_t round = 0; round < max_rounds; ++round)
+    {
+        const auto before = current.size();
+        current = balance(strash(propagate_constants(current)));
+        if (current.size() >= before)
+        {
+            break;
+        }
+    }
+    return current;
+}
+
+}  // namespace mnt::ntk

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file optimization.hpp
+/// \brief Logic-level optimization passes applied before physical design:
+///        structural hashing / common-subexpression elimination and
+///        associative chain rebalancing. Smaller and shallower networks
+///        yield smaller layouts across every algorithm in the portfolio.
+///
+/// All passes are function-preserving (enforced by the test suite through
+/// equivalence checking) and keep the PI/PO interface intact.
+
+#include "network/logic_network.hpp"
+
+namespace mnt::ntk
+{
+
+/// Structural hashing: merges structurally identical gates (same type, same
+/// fanins; commutative inputs are canonicalized). Also canonicalizes
+/// trivially reducible gates: x AND x -> x, x XOR x -> 0, INV(INV(x)) -> x,
+/// and majority gates with repeated inputs.
+[[nodiscard]] logic_network strash(const logic_network& network);
+
+/// Rebalances chains of the same associative gate (AND/OR/XOR) into
+/// balanced trees, reducing logic depth from O(n) to O(log n). Chains are
+/// only collapsed through single-fanout intermediate nodes, so shared logic
+/// is never duplicated.
+[[nodiscard]] logic_network balance(const logic_network& network);
+
+/// The standard cleanup pipeline: constant propagation, structural hashing,
+/// balancing, and dead-node elimination, iterated until a fixpoint (at most
+/// \p max_rounds rounds).
+[[nodiscard]] logic_network optimize(const logic_network& network, std::size_t max_rounds = 4);
+
+}  // namespace mnt::ntk

@@ -1,0 +1,520 @@
+#include "network/transforms.hpp"
+
+#include "common/types.hpp"
+#include "network/network_utils.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace mnt::ntk
+{
+
+namespace
+{
+
+using node = logic_network::node;
+
+/// Marks all nodes that transitively drive a PO.
+std::vector<bool> reachable_from_pos(const logic_network& network)
+{
+    std::vector<bool> keep(network.size(), false);
+    std::deque<node> queue;
+    network.foreach_po(
+        [&](const node po)
+        {
+            keep[po] = true;
+            queue.push_back(po);
+        });
+    while (!queue.empty())
+    {
+        const auto n = queue.front();
+        queue.pop_front();
+        for (const auto fi : network.fanins(n))
+        {
+            if (!keep[fi])
+            {
+                keep[fi] = true;
+                queue.push_back(fi);
+            }
+        }
+    }
+    return keep;
+}
+
+}  // namespace
+
+logic_network cleanup(const logic_network& network, const bool keep_buffers)
+{
+    const auto keep = reachable_from_pos(network);
+
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    map[network.get_constant(false)] = result.get_constant(false);
+    map[network.get_constant(true)] = result.get_constant(true);
+
+    // PIs are always kept to preserve the I/O signature
+    network.foreach_pi([&](const node pi) { map[pi] = result.create_pi(network.name_of(pi)); });
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            if (map[n] != logic_network::invalid_node || !keep[n])
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == gate_type::pi || t == gate_type::const0 || t == gate_type::const1)
+            {
+                return;
+            }
+            if (t == gate_type::po)
+            {
+                return;  // created last, in PO order
+            }
+            const auto fis = network.fanins(n);
+            if ((t == gate_type::buf || t == gate_type::fanout) && !keep_buffers)
+            {
+                map[n] = map[fis[0]];
+                return;
+            }
+            std::vector<node> mapped;
+            mapped.reserve(fis.size());
+            for (const auto fi : fis)
+            {
+                mapped.push_back(map[fi]);
+            }
+            map[n] = result.create_gate(t, mapped);
+        });
+
+    network.foreach_po([&](const node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+
+    return result;
+}
+
+logic_network propagate_constants(const logic_network& network)
+{
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    const auto c0 = result.get_constant(false);
+    const auto c1 = result.get_constant(true);
+    map[network.get_constant(false)] = c0;
+    map[network.get_constant(true)] = c1;
+
+    network.foreach_pi([&](const node pi) { map[pi] = result.create_pi(network.name_of(pi)); });
+
+    const auto is_c0 = [&](const node n) { return n == c0; };
+    const auto is_c1 = [&](const node n) { return n == c1; };
+    const auto is_const = [&](const node n) { return n == c0 || n == c1; };
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            if (map[n] != logic_network::invalid_node)
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == gate_type::pi || t == gate_type::const0 || t == gate_type::const1 || t == gate_type::po)
+            {
+                return;
+            }
+
+            const auto fis = network.fanins(n);
+            const auto a = map[fis[0]];
+            const auto b = fis.size() > 1 ? map[fis[1]] : logic_network::invalid_node;
+            const auto c = fis.size() > 2 ? map[fis[2]] : logic_network::invalid_node;
+
+            switch (t)
+            {
+                case gate_type::buf:
+                case gate_type::fanout: map[n] = a; return;
+                case gate_type::inv:
+                    map[n] = is_c0(a) ? c1 : is_c1(a) ? c0 : result.create_not(a);
+                    return;
+                case gate_type::and2:
+                    if (is_c0(a) || is_c0(b))
+                    {
+                        map[n] = c0;
+                    }
+                    else if (is_c1(a))
+                    {
+                        map[n] = b;
+                    }
+                    else if (is_c1(b))
+                    {
+                        map[n] = a;
+                    }
+                    else
+                    {
+                        map[n] = result.create_and(a, b);
+                    }
+                    return;
+                case gate_type::or2:
+                    if (is_c1(a) || is_c1(b))
+                    {
+                        map[n] = c1;
+                    }
+                    else if (is_c0(a))
+                    {
+                        map[n] = b;
+                    }
+                    else if (is_c0(b))
+                    {
+                        map[n] = a;
+                    }
+                    else
+                    {
+                        map[n] = result.create_or(a, b);
+                    }
+                    return;
+                case gate_type::xor2:
+                    if (is_c0(a))
+                    {
+                        map[n] = b;
+                    }
+                    else if (is_c0(b))
+                    {
+                        map[n] = a;
+                    }
+                    else if (is_c1(a))
+                    {
+                        map[n] = is_c1(b) ? c0 : result.create_not(b);
+                    }
+                    else if (is_c1(b))
+                    {
+                        map[n] = result.create_not(a);
+                    }
+                    else
+                    {
+                        map[n] = result.create_xor(a, b);
+                    }
+                    return;
+                case gate_type::maj3:
+                    if (is_const(a) || is_const(b) || is_const(c))
+                    {
+                        // maj with one constant degenerates to AND/OR of the others
+                        node x = a;
+                        node y = b;
+                        node k = c;
+                        if (is_const(a))
+                        {
+                            k = a;
+                            x = b;
+                            y = c;
+                        }
+                        else if (is_const(b))
+                        {
+                            k = b;
+                            x = a;
+                            y = c;
+                        }
+                        if (is_c0(k))
+                        {
+                            map[n] = (is_c0(x) || is_c0(y)) ? c0 :
+                                     is_c1(x)               ? y :
+                                     is_c1(y)               ? x :
+                                                              result.create_and(x, y);
+                        }
+                        else
+                        {
+                            map[n] = (is_c1(x) || is_c1(y)) ? c1 :
+                                     is_c0(x)               ? y :
+                                     is_c0(y)               ? x :
+                                                              result.create_or(x, y);
+                        }
+                    }
+                    else
+                    {
+                        map[n] = result.create_maj(a, b, c);
+                    }
+                    return;
+                default:
+                {
+                    // remaining binary gates: fall back to generic creation if
+                    // no constant is involved, otherwise expand via basis
+                    if (!is_const(a) && (b == logic_network::invalid_node || !is_const(b)))
+                    {
+                        std::vector<node> mapped{a};
+                        if (fis.size() > 1)
+                        {
+                            mapped.push_back(b);
+                        }
+                        map[n] = result.create_gate(t, mapped);
+                        return;
+                    }
+                    // evaluate the gate for both values of the non-constant
+                    // input; implement the residual function directly
+                    const bool a_const = is_const(a);
+                    const auto var = a_const ? b : a;
+                    const bool cval = a_const ? is_c1(a) : is_c1(b);
+                    const bool f0 = a_const ? evaluate_gate(t, cval, false) : evaluate_gate(t, false, cval);
+                    const bool f1 = a_const ? evaluate_gate(t, cval, true) : evaluate_gate(t, true, cval);
+                    if (!f0 && !f1)
+                    {
+                        map[n] = c0;
+                    }
+                    else if (f0 && f1)
+                    {
+                        map[n] = c1;
+                    }
+                    else if (!f0 && f1)
+                    {
+                        map[n] = var;
+                    }
+                    else
+                    {
+                        map[n] = result.create_not(var);
+                    }
+                    return;
+                }
+            }
+        });
+
+    network.foreach_po([&](const node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+
+    return cleanup(result);
+}
+
+logic_network substitute_fanouts(const logic_network& network, const std::uint32_t max_degree)
+{
+    if (max_degree < 2)
+    {
+        throw precondition_error{"substitute_fanouts: max_degree must be at least 2"};
+    }
+
+    const auto fos = fanout_lists(network);
+
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    map[network.get_constant(false)] = result.get_constant(false);
+    map[network.get_constant(true)] = result.get_constant(true);
+
+    // per original node: queue of available output taps in the result network
+    std::vector<std::deque<node>> taps(network.size());
+
+    // Claims one driving signal for a user of original node n. When the node
+    // has more users than allowed, fanout nodes are chained: each fanout node
+    // provides (max_degree - 1) additional taps while consuming one.
+    const auto claim = [&](const node n) -> node
+    {
+        auto& q = taps[n];
+        if (q.empty())
+        {
+            throw precondition_error{"substitute_fanouts: internal tap bookkeeping error"};
+        }
+        const auto s = q.front();
+        q.pop_front();
+        return s;
+    };
+
+    const auto provision = [&](const node n, const node mapped)
+    {
+        // number of users (POs included); constants may feed many users
+        // without wires. Every non-fanout node may drive exactly one
+        // successor on a layout; branching requires explicit fanout nodes,
+        // each of which offers up to max_degree outgoing taps.
+        const auto degree = static_cast<std::uint32_t>(fos[n].size());
+        auto& q = taps[n];
+        if (network.is_constant(n) || degree <= 1)
+        {
+            q.assign(degree == 0 ? 1 : degree, mapped);
+            return;
+        }
+        // chain/tree of fanout nodes; each fanout yields max_degree outputs
+        // but one is consumed to extend the chain when more taps are needed
+        std::uint32_t available = 0;
+        auto current = mapped;
+        std::vector<node> provided;
+        // the original signal itself may directly drive max_degree users only
+        // if no fanout node is needed; with fanouts, the driver feeds the
+        // first fanout node exclusively (FCN semantics: a gate output feeds
+        // either its successors directly or a fanout element).
+        std::uint32_t remaining = degree;
+        while (remaining > 0)
+        {
+            const auto f = result.create_fanout(current);
+            // a fanout node offers max_degree outputs; reserve one to chain
+            // further if still more taps are needed afterwards
+            const auto offers = max_degree;
+            if (remaining > offers)
+            {
+                for (std::uint32_t i = 0; i < offers - 1; ++i)
+                {
+                    provided.push_back(f);
+                }
+                remaining -= offers - 1;
+                current = f;
+            }
+            else
+            {
+                for (std::uint32_t i = 0; i < remaining; ++i)
+                {
+                    provided.push_back(f);
+                }
+                remaining = 0;
+            }
+        }
+        available = static_cast<std::uint32_t>(provided.size());
+        static_cast<void>(available);
+        q.assign(provided.cbegin(), provided.cend());
+    };
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            const auto t = network.type(n);
+            switch (t)
+            {
+                case gate_type::const0:
+                case gate_type::const1:
+                {
+                    provision(n, map[n]);
+                    return;
+                }
+                case gate_type::pi:
+                {
+                    map[n] = result.create_pi(network.name_of(n));
+                    provision(n, map[n]);
+                    return;
+                }
+                case gate_type::po: return;  // handled at the end
+                default:
+                {
+                    const auto fis = network.fanins(n);
+                    std::vector<node> mapped;
+                    mapped.reserve(fis.size());
+                    for (const auto fi : fis)
+                    {
+                        mapped.push_back(claim(fi));
+                    }
+                    map[n] = result.create_gate(t, mapped);
+                    provision(n, map[n]);
+                    return;
+                }
+            }
+        });
+
+    network.foreach_po([&](const node po) { result.create_po(claim(network.fanins(po)[0]), network.name_of(po)); });
+
+    return result;
+}
+
+logic_network decompose_maj(const logic_network& network)
+{
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    map[network.get_constant(false)] = result.get_constant(false);
+    map[network.get_constant(true)] = result.get_constant(true);
+
+    network.foreach_pi([&](const node pi) { map[pi] = result.create_pi(network.name_of(pi)); });
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            if (map[n] != logic_network::invalid_node)
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == gate_type::pi || t == gate_type::const0 || t == gate_type::const1 || t == gate_type::po)
+            {
+                return;
+            }
+            const auto fis = network.fanins(n);
+            if (t == gate_type::maj3)
+            {
+                const auto ab = result.create_and(map[fis[0]], map[fis[1]]);
+                const auto ac = result.create_and(map[fis[0]], map[fis[2]]);
+                const auto bc = result.create_and(map[fis[1]], map[fis[2]]);
+                map[n] = result.create_or(result.create_or(ab, ac), bc);
+                return;
+            }
+            std::vector<node> mapped;
+            mapped.reserve(fis.size());
+            for (const auto fi : fis)
+            {
+                mapped.push_back(map[fi]);
+            }
+            map[n] = result.create_gate(t, mapped);
+        });
+
+    network.foreach_po([&](const node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+
+    return result;
+}
+
+logic_network to_aoi(const logic_network& network)
+{
+    logic_network result{network.network_name()};
+    std::vector<node> map(network.size(), logic_network::invalid_node);
+    map[network.get_constant(false)] = result.get_constant(false);
+    map[network.get_constant(true)] = result.get_constant(true);
+
+    network.foreach_pi([&](const node pi) { map[pi] = result.create_pi(network.name_of(pi)); });
+
+    network.foreach_node(
+        [&](const node n)
+        {
+            if (map[n] != logic_network::invalid_node)
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == gate_type::pi || t == gate_type::const0 || t == gate_type::const1 || t == gate_type::po)
+            {
+                return;
+            }
+            const auto fis = network.fanins(n);
+            const auto a = map[fis[0]];
+            const auto b = fis.size() > 1 ? map[fis[1]] : logic_network::invalid_node;
+            switch (t)
+            {
+                case gate_type::buf:
+                case gate_type::fanout: map[n] = a; break;
+                case gate_type::inv: map[n] = result.create_not(a); break;
+                case gate_type::and2: map[n] = result.create_and(a, b); break;
+                case gate_type::or2: map[n] = result.create_or(a, b); break;
+                case gate_type::nand2: map[n] = result.create_not(result.create_and(a, b)); break;
+                case gate_type::nor2: map[n] = result.create_not(result.create_or(a, b)); break;
+                case gate_type::xor2:
+                {
+                    const auto l = result.create_and(a, result.create_not(b));
+                    const auto r = result.create_and(result.create_not(a), b);
+                    map[n] = result.create_or(l, r);
+                    break;
+                }
+                case gate_type::xnor2:
+                {
+                    const auto l = result.create_and(a, b);
+                    const auto r = result.create_and(result.create_not(a), result.create_not(b));
+                    map[n] = result.create_or(l, r);
+                    break;
+                }
+                case gate_type::lt2: map[n] = result.create_and(result.create_not(a), b); break;
+                case gate_type::gt2: map[n] = result.create_and(a, result.create_not(b)); break;
+                case gate_type::le2: map[n] = result.create_or(result.create_not(a), b); break;
+                case gate_type::ge2: map[n] = result.create_or(a, result.create_not(b)); break;
+                case gate_type::maj3:
+                {
+                    const auto c = map[fis[2]];
+                    const auto ab = result.create_and(a, b);
+                    const auto ac = result.create_and(a, c);
+                    const auto bc = result.create_and(b, c);
+                    map[n] = result.create_or(result.create_or(ab, ac), bc);
+                    break;
+                }
+                default: break;
+            }
+        });
+
+    network.foreach_po([&](const node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+
+    return result;
+}
+
+}  // namespace mnt::ntk

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file transforms.hpp
+/// \brief Function-preserving network transformations used as preprocessing
+///        by the physical design algorithms:
+///
+/// - fanout substitution: bounds the fanout degree by inserting explicit
+///   fanout-node trees (FCN tiles can drive at most two successors),
+/// - buffer removal / cleanup: canonicalizes networks after file reading,
+/// - constant propagation and dead-node elimination,
+/// - majority decomposition for gate libraries without a MAJ cell.
+///
+/// All transforms return a fresh network; the input is never modified.
+
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+
+namespace mnt::ntk
+{
+
+/// Copies \p network, keeping only nodes that (transitively) drive a primary
+/// output. Also removes buffer nodes (their users are reconnected to the
+/// buffer's fanin) unless \p keep_buffers is true. PI/PO order and names are
+/// preserved; dangling PIs are kept so that the I/O signature is unchanged.
+[[nodiscard]] logic_network cleanup(const logic_network& network, bool keep_buffers = false);
+
+/// Propagates constant inputs through the network (e.g. AND(x, 0) -> 0,
+/// XOR(x, 1) -> INV(x)) and then performs a \ref cleanup.
+[[nodiscard]] logic_network propagate_constants(const logic_network& network);
+
+/// Bounds the fanout degree of every node to \p max_degree (>= 2) by
+/// inserting balanced trees of explicit \ref gate_type::fanout nodes.
+///
+/// Physical FCN gates drive at most two wire branches, so the physical
+/// design algorithms call this with max_degree = 2 before placement.
+///
+/// \throws precondition_error if max_degree < 2
+[[nodiscard]] logic_network substitute_fanouts(const logic_network& network, std::uint32_t max_degree = 2);
+
+/// Rewrites all MAJ gates into AND/OR 2-level networks:
+/// maj(a,b,c) = (a&b) | (a&c) | (b&c). Needed for gate libraries that do not
+/// provide a majority cell (e.g. Bestagon).
+[[nodiscard]] logic_network decompose_maj(const logic_network& network);
+
+/// Rewrites all gates into the {INV, AND, OR} basis: XOR/XNOR/NAND/NOR/
+/// comparison gates and MAJ are expanded. Used to stress-test algorithms on
+/// canonical AOI networks.
+[[nodiscard]] logic_network to_aoi(const logic_network& network);
+
+}  // namespace mnt::ntk

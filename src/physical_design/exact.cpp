@@ -1,0 +1,444 @@
+#include "physical_design/exact.hpp"
+
+#include "common/types.hpp"
+#include "layout/layout_utils.hpp"
+#include "network/transforms.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mnt::pd
+{
+
+namespace
+{
+
+using lyt::coordinate;
+using lyt::gate_level_layout;
+using ntk::gate_type;
+using ntk::logic_network;
+
+/// Internal control-flow exception for the wall-clock budget.
+struct timeout_signal
+{};
+
+class exact_solver
+{
+public:
+    exact_solver(const logic_network& preprocessed, const exact_params& parameters) :
+            net{preprocessed},
+            params{parameters},
+            deadline{std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(parameters.timeout_s))}
+    {
+        for (const auto v : net.topological_order())
+        {
+            const auto t = net.type(v);
+            if (t != gate_type::const0 && t != gate_type::const1)
+            {
+                order.push_back(v);
+            }
+        }
+    }
+
+    [[nodiscard]] std::size_t num_placeable() const noexcept
+    {
+        return order.size();
+    }
+
+    std::optional<gate_level_layout> solve(const std::uint32_t w, const std::uint32_t h)
+    {
+        gate_level_layout layout{net.network_name(), params.topology,
+                                 lyt::clocking_scheme::create(params.scheme), w, h};
+        tile_of.clear();
+        if (recurse(layout, 0))
+        {
+            return layout;
+        }
+        return std::nullopt;
+    }
+
+private:
+    void check_deadline()
+    {
+        if ((++deadline_counter & 0x3ffu) == 0 && std::chrono::steady_clock::now() > deadline)
+        {
+            throw timeout_signal{};
+        }
+    }
+
+    /// Cheap per-scheme reachability prune: can information ever flow from
+    /// tile \p from to tile \p to?
+    [[nodiscard]] bool may_reach(const coordinate& from, const coordinate& to) const
+    {
+        return lyt::may_flow(params.scheme, params.topology, from, to);
+    }
+
+    /// Enumerates up to max_paths_per_edge clocked paths from the gate on
+    /// \p src into the gate on \p dst, lengths ascending (shortest + slack).
+    [[nodiscard]] std::vector<std::vector<coordinate>> enumerate_paths(const gate_level_layout& layout,
+                                                                       const coordinate& src,
+                                                                       const coordinate& dst) const
+    {
+        std::vector<std::vector<coordinate>> result;
+
+        // iterative-deepening DFS over new wire tiles
+        std::vector<coordinate> current;
+        std::unordered_set<coordinate, lyt::coordinate_hash> on_path;  // ground positions
+
+        const auto min_len = lyt::grid_distance(src, dst, layout.topology());
+        const auto max_len = static_cast<std::size_t>(min_len) + params.path_slack;
+
+        const auto step_target = [&](const coordinate& n) -> std::optional<coordinate>
+        {
+            const auto ground = n.ground();
+            if (layout.is_empty_tile(ground))
+            {
+                return ground;
+            }
+            if (params.allow_crossings && layout.type_of(ground) == gate_type::buf &&
+                layout.is_empty_tile(ground.elevated()))
+            {
+                return ground.elevated();
+            }
+            return std::nullopt;
+        };
+
+        const auto dfs = [&](const auto& self, const coordinate& at, const std::size_t limit) -> void
+        {
+            if (result.size() >= params.max_paths_per_edge)
+            {
+                return;
+            }
+            for (const auto& n : layout.outgoing_clocked(at.ground()))
+            {
+                if (n == dst.ground())
+                {
+                    // found a connection of exactly current.size() wires
+                    if (current.size() == limit)
+                    {
+                        result.push_back(current);
+                        if (result.size() >= params.max_paths_per_edge)
+                        {
+                            return;
+                        }
+                    }
+                    continue;
+                }
+                if (current.size() >= limit)
+                {
+                    continue;
+                }
+                if (on_path.contains(n.ground()))
+                {
+                    continue;
+                }
+                // admissible-distance prune
+                if (static_cast<std::size_t>(lyt::grid_distance(n, dst, layout.topology())) + current.size() >
+                    limit)
+                {
+                    continue;
+                }
+                const auto placed = step_target(n);
+                if (!placed.has_value())
+                {
+                    continue;
+                }
+                current.push_back(*placed);
+                on_path.insert(n.ground());
+                self(self, *placed, limit);
+                on_path.erase(n.ground());
+                current.pop_back();
+            }
+        };
+
+        // direct adjacency = zero wires; handled by limit 0 iteration
+        for (std::size_t limit = (min_len == 0 ? 0 : min_len - 1); limit <= max_len; ++limit)
+        {
+            dfs(dfs, src, limit);
+            if (result.size() >= params.max_paths_per_edge)
+            {
+                break;
+            }
+        }
+        return result;
+    }
+
+    void establish(gate_level_layout& layout, const coordinate& src, const coordinate& dst,
+                   const std::vector<coordinate>& path)
+    {
+        for (const auto& p : path)
+        {
+            layout.place(p, gate_type::buf);
+        }
+        auto prev = src;
+        for (const auto& p : path)
+        {
+            layout.connect(prev, p);
+            prev = p;
+        }
+        layout.connect(prev, dst);
+    }
+
+    void rip(gate_level_layout& layout, const coordinate& dst, const std::vector<coordinate>& path)
+    {
+        // remove the final link and the wire tiles (LIFO discipline: no
+        // later path can still cross these tiles)
+        const auto feeder = path.empty() ? coordinate{} : path.back();
+        if (path.empty())
+        {
+            // direct link: disconnect the most recent incoming entry of dst
+            const auto& in = layout.incoming_of(dst);
+            layout.disconnect(in.back(), dst);
+        }
+        else
+        {
+            layout.disconnect(feeder, dst);
+            for (auto it = path.rbegin(); it != path.rend(); ++it)
+            {
+                layout.clear_tile(*it);
+            }
+        }
+    }
+
+    /// Routes fanin \p j of node \p v (placed at \p t), then continues.
+    bool route_fanins(gate_level_layout& layout, const std::size_t i, const coordinate& t, const std::size_t j)
+    {
+        const auto v = order[i];
+        const auto fis = net.fanins(v);
+        if (j == fis.size())
+        {
+            return recurse(layout, i + 1);
+        }
+        const auto src = tile_of.at(fis[j]);
+        for (const auto& path : enumerate_paths(layout, src, t))
+        {
+            establish(layout, src, t, path);
+            if (route_fanins(layout, i, t, j + 1))
+            {
+                return true;
+            }
+            rip(layout, t, path);
+        }
+        return false;
+    }
+
+    bool recurse(gate_level_layout& layout, const std::size_t i)
+    {
+        check_deadline();
+        if (i == order.size())
+        {
+            return true;
+        }
+
+        const auto v = order[i];
+        const auto t = net.type(v);
+        const auto fis = net.fanins(v);
+
+        // candidate tiles: empty ground tiles compatible with all placed
+        // fanins, nearest-first
+        std::vector<std::pair<std::uint32_t, coordinate>> candidates;
+        for (std::int32_t y = 0; y < static_cast<std::int32_t>(layout.height()); ++y)
+        {
+            for (std::int32_t x = 0; x < static_cast<std::int32_t>(layout.width()); ++x)
+            {
+                const coordinate c{x, y, 0};
+                if (!layout.is_empty_tile(c))
+                {
+                    continue;
+                }
+                std::uint32_t dist = 0;
+                bool ok = true;
+                for (const auto fi : fis)
+                {
+                    const auto& src = tile_of.at(fi);
+                    if (!may_reach(src, c))
+                    {
+                        ok = false;
+                        break;
+                    }
+                    dist += lyt::grid_distance(src, c, layout.topology());
+                }
+                if (!ok)
+                {
+                    continue;
+                }
+                // capacity prune: enough exit/entry room around the tile
+                const auto users = net.fanout_size(v);
+                const auto exits_needed =
+                    std::min<std::size_t>(users, t == gate_type::fanout ? 2 : (t == gate_type::po ? 0 : 1));
+                if (lyt::usable_exits(layout, c) < exits_needed)
+                {
+                    continue;
+                }
+                auto entries = lyt::usable_entries(layout, c);
+                for (const auto fi : fis)
+                {
+                    const auto& src = tile_of.at(fi);
+                    if (lyt::are_adjacent(src, c, layout.topology()) &&
+                        layout.clocking().is_incoming_clocked(c, src))
+                    {
+                        ++entries;
+                    }
+                }
+                if (entries < fis.size())
+                {
+                    continue;
+                }
+                // bias toward the origin so minimal bounding boxes emerge
+                candidates.emplace_back(dist * 4u + static_cast<std::uint32_t>(x + y), c);
+            }
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto& a, const auto& b)
+                  { return a.first != b.first ? a.first < b.first : a.second < b.second; });
+
+        for (const auto& [key, c] : candidates)
+        {
+            layout.place(c, t, (net.is_pi(v) || net.is_po(v)) ? net.name_of(v) : std::string{});
+            tile_of[v] = c;
+            if (route_fanins(layout, i, c, 0))
+            {
+                return true;
+            }
+            layout.clear_tile(c);
+            tile_of.erase(v);
+        }
+        return false;
+    }
+
+    const logic_network& net;
+    const exact_params& params;
+    std::chrono::steady_clock::time_point deadline;
+    std::uint32_t deadline_counter{0};
+    std::vector<logic_network::node> order;
+    std::unordered_map<logic_network::node, coordinate> tile_of;
+};
+
+}  // namespace
+
+std::uint8_t max_incoming_degree(const lyt::clocking_kind kind, const lyt::layout_topology topo)
+{
+    if (kind == lyt::clocking_kind::open)
+    {
+        return topo == lyt::layout_topology::cartesian ? 3 : 3;
+    }
+    const auto scheme = lyt::clocking_scheme::create(kind);
+    std::uint8_t max_deg = 0;
+    for (std::int32_t y = 0; y < 8; ++y)
+    {
+        for (std::int32_t x = 0; x < 8; ++x)
+        {
+            const coordinate c{x, y};
+            std::uint8_t deg = 0;
+            for (const auto& n : lyt::planar_neighbors(c, topo))
+            {
+                if (n.x >= 0 && n.y >= 0 && scheme.is_incoming_clocked(c, n))
+                {
+                    ++deg;
+                }
+            }
+            max_deg = std::max(max_deg, deg);
+        }
+    }
+    return max_deg;
+}
+
+std::optional<gate_level_layout> exact(const logic_network& network, const exact_params& params, exact_stats* stats)
+{
+    const auto start_time = std::chrono::steady_clock::now();
+
+    if (network.num_pos() == 0)
+    {
+        throw precondition_error{"exact: network has no primary outputs"};
+    }
+    if (params.scheme == lyt::clocking_kind::open)
+    {
+        throw precondition_error{"exact: the OPEN clocking scheme is not supported (choose a regular one)"};
+    }
+    if (params.topology == lyt::layout_topology::hexagonal_even_row && params.scheme != lyt::clocking_kind::row)
+    {
+        throw precondition_error{"exact: hexagonal layouts require ROW clocking"};
+    }
+
+    auto net = ntk::propagate_constants(network);
+    if (max_incoming_degree(params.scheme, params.topology) < 3)
+    {
+        net = ntk::decompose_maj(net);
+    }
+    net = ntk::substitute_fanouts(net, 2);
+
+    net.foreach_po(
+        [&](const logic_network::node po)
+        {
+            if (net.is_constant(net.fanins(po)[0]))
+            {
+                throw precondition_error{"exact: constant primary outputs are not supported on FCN layouts"};
+            }
+        });
+
+    exact_solver solver{net, params};
+
+    exact_stats local{};
+    local.placeable_nodes = solver.num_placeable();
+
+    // aspect ratios by ascending area, then squarer-first
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ratios;
+    const auto lb = static_cast<std::uint64_t>(solver.num_placeable());
+    for (std::uint32_t w = 1; w <= params.max_area; ++w)
+    {
+        for (std::uint32_t h = 1; h <= params.max_area; ++h)
+        {
+            const auto area = static_cast<std::uint64_t>(w) * h;
+            if (area >= lb && area <= params.max_area)
+            {
+                ratios.emplace_back(w, h);
+            }
+        }
+    }
+    std::sort(ratios.begin(), ratios.end(),
+              [](const auto& a, const auto& b)
+              {
+                  const auto area_a = static_cast<std::uint64_t>(a.first) * a.second;
+                  const auto area_b = static_cast<std::uint64_t>(b.first) * b.second;
+                  if (area_a != area_b)
+                  {
+                      return area_a < area_b;
+                  }
+                  const auto max_a = std::max(a.first, a.second);
+                  const auto max_b = std::max(b.first, b.second);
+                  return max_a != max_b ? max_a < max_b : a < b;
+              });
+
+    std::optional<gate_level_layout> result;
+    try
+    {
+        for (const auto& [w, h] : ratios)
+        {
+            auto solution = solver.solve(w, h);
+            if (solution.has_value())
+            {
+                result = std::move(solution);
+                break;
+            }
+            ++local.explored_aspect_ratios;
+        }
+    }
+    catch (const timeout_signal&)
+    {
+        local.timed_out = true;
+    }
+
+    local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    if (stats != nullptr)
+    {
+        *stats = local;
+    }
+    return result;
+}
+
+}  // namespace mnt::pd

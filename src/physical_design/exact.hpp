@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file exact.hpp
+/// \brief Exact (area-minimal) physical design for small FCN circuits.
+///
+/// Plays the role of Walter et al., "An Exact Method for Design Exploration
+/// of Quantum-dot Cellular Automata" (DATE 2018) in the MNT Bench tool
+/// portfolio. The published method encodes placement and routing as an SMT
+/// problem over ascending aspect ratios; since no SMT solver is available in
+/// this reproduction, the same contract is implemented with a native
+/// backtracking search:
+///
+/// - aspect ratios (w, h) are enumerated by ascending area,
+/// - nodes are placed in topological order, candidate tiles nearest their
+///   fanins first,
+/// - every fanin connection is routed over an enumeration of near-shortest
+///   clocked paths (with crossings), with full backtracking across path and
+///   tile choices.
+///
+/// The first aspect ratio that admits a solution is area-minimal within the
+/// limits of the path enumeration (see \ref exact_params::path_slack and
+/// \ref exact_params::max_paths_per_edge, which bound completeness) and the
+/// timeout. Intended for functions with up to roughly a dozen placeable
+/// nodes — exactly the regime where MNT Bench's Table I uses `exact`.
+
+#include "layout/clocking_scheme.hpp"
+#include "layout/coordinates.hpp"
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace mnt::pd
+{
+
+/// Parameters of \ref exact.
+struct exact_params
+{
+    /// Grid topology of the result.
+    lyt::layout_topology topology{lyt::layout_topology::cartesian};
+
+    /// Clocking scheme of the result (must be regular).
+    lyt::clocking_kind scheme{lyt::clocking_kind::twoddwave};
+
+    /// Largest area (in tiles) explored before giving up.
+    std::uint64_t max_area{80};
+
+    /// Wall-clock budget in seconds.
+    double timeout_s{10.0};
+
+    /// Permit wire crossings on layer z = 1.
+    bool allow_crossings{true};
+
+    /// Detour slack over the shortest path length per connection.
+    std::uint32_t path_slack{2};
+
+    /// Maximum alternative paths tried per connection.
+    std::size_t max_paths_per_edge{6};
+};
+
+/// Statistics of an \ref exact run.
+struct exact_stats
+{
+    double runtime{0.0};
+    bool timed_out{false};
+    /// Aspect ratios fully refuted before the solution (or the give-up).
+    std::size_t explored_aspect_ratios{0};
+    /// Number of placeable entities after preprocessing.
+    std::size_t placeable_nodes{0};
+};
+
+/// Searches an area-minimal layout for \p network.
+///
+/// \returns the layout, or std::nullopt if none was found within the area
+///          bound and timeout
+[[nodiscard]] std::optional<lyt::gate_level_layout> exact(const ntk::logic_network& network,
+                                                          const exact_params& params = {},
+                                                          exact_stats* stats = nullptr);
+
+/// Maximum number of same-zone-minus-one planar neighbors any tile has under
+/// \p kind / \p topo, i.e. the largest realizable fanin arity. 2DDWave and
+/// hexagonal ROW offer 2; RES offers 3 (native MAJ).
+[[nodiscard]] std::uint8_t max_incoming_degree(lyt::clocking_kind kind, lyt::layout_topology topo);
+
+}  // namespace mnt::pd

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file hexagonalization.hpp
+/// \brief The "45° turn": maps Cartesian 2DDWave layouts onto hexagonal
+///        ROW-clocked layouts for the Bestagon gate library.
+///
+/// Reimplementation of Hofmann et al., "Scalable Physical Design for Silicon
+/// Dangling Bond Logic: How a 45° Turn Prevents the Reinvention of the
+/// Wheel" (IEEE-NANO 2023). A Cartesian tile (x, y) maps to the hexagonal
+/// (even-row offset) tile
+///
+///     hex = ( floor((x - y + h) / 2), x + y )
+///
+/// where h is the Cartesian layout height. Both Cartesian flow directions
+/// (east, south) map to the two down-neighbors of the hexagon, and the
+/// 2DDWave zone (x + y) mod 4 equals the ROW zone of row x + y — so every
+/// connection stays clock-valid and the transformation preserves logic,
+/// crossings, and I/O names exactly.
+
+#include "layout/gate_level_layout.hpp"
+
+namespace mnt::pd
+{
+
+/// Transforms \p cartesian (a 2DDWave-clocked Cartesian layout, e.g. from
+/// \ref ortho) into an equivalent hexagonal ROW-clocked layout.
+///
+/// \throws mnt::precondition_error if the input is not Cartesian/2DDWave
+[[nodiscard]] lyt::gate_level_layout hexagonalization(const lyt::gate_level_layout& cartesian);
+
+}  // namespace mnt::pd

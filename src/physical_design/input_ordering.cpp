@@ -1,0 +1,165 @@
+#include "physical_design/input_ordering.hpp"
+
+#include "common/types.hpp"
+#include "network/network_utils.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace mnt::pd
+{
+
+namespace
+{
+
+using ntk::logic_network;
+
+/// Barycenter ordering: PIs sorted by the average node id of their direct
+/// users (a proxy for where in the circuit the input is consumed).
+std::vector<std::size_t> barycenter_ordering(const logic_network& network)
+{
+    const auto fos = ntk::fanout_lists(network);
+    std::vector<std::pair<double, std::size_t>> keyed;
+    for (std::size_t i = 0; i < network.num_pis(); ++i)
+    {
+        const auto pi = network.pi_at(i);
+        const auto& users = fos[pi];
+        double center = 0.0;
+        for (const auto u : users)
+        {
+            center += static_cast<double>(u);
+        }
+        center = users.empty() ? 0.0 : center / static_cast<double>(users.size());
+        keyed.emplace_back(center, i);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<std::size_t> perm;
+    perm.reserve(keyed.size());
+    for (const auto& [key, idx] : keyed)
+    {
+        perm.push_back(idx);
+    }
+    return perm;
+}
+
+}  // namespace
+
+logic_network reorder_pis(const logic_network& network, const std::vector<std::size_t>& permutation)
+{
+    if (permutation.size() != network.num_pis())
+    {
+        throw precondition_error{"reorder_pis: permutation size mismatch"};
+    }
+    {
+        auto check = permutation;
+        std::sort(check.begin(), check.end());
+        for (std::size_t i = 0; i < check.size(); ++i)
+        {
+            if (check[i] != i)
+            {
+                throw precondition_error{"reorder_pis: not a permutation of [0, num_pis)"};
+            }
+        }
+    }
+
+    logic_network result{network.network_name()};
+    std::vector<logic_network::node> map(network.size(), logic_network::invalid_node);
+    map[network.get_constant(false)] = result.get_constant(false);
+    map[network.get_constant(true)] = result.get_constant(true);
+
+    for (const auto original_index : permutation)
+    {
+        const auto pi = network.pi_at(original_index);
+        map[pi] = result.create_pi(network.name_of(pi));
+    }
+
+    network.foreach_node(
+        [&](const logic_network::node n)
+        {
+            if (map[n] != logic_network::invalid_node)
+            {
+                return;
+            }
+            const auto t = network.type(n);
+            if (t == ntk::gate_type::pi || t == ntk::gate_type::po)
+            {
+                return;
+            }
+            const auto fis = network.fanins(n);
+            std::vector<logic_network::node> mapped;
+            mapped.reserve(fis.size());
+            for (const auto fi : fis)
+            {
+                mapped.push_back(map[fi]);
+            }
+            map[n] = result.create_gate(t, mapped);
+        });
+
+    network.foreach_po([&](const logic_network::node po)
+                       { result.create_po(map[network.fanins(po)[0]], network.name_of(po)); });
+    return result;
+}
+
+lyt::gate_level_layout input_ordering_ortho(const logic_network& network, const input_ordering_params& params,
+                                            input_ordering_stats* stats)
+{
+    const auto start_time = std::chrono::steady_clock::now();
+
+    const auto n = network.num_pis();
+
+    std::vector<std::vector<std::size_t>> orderings;
+    std::vector<std::size_t> identity(n);
+    std::iota(identity.begin(), identity.end(), 0u);
+    orderings.push_back(identity);
+    if (n > 1)
+    {
+        auto reversed = identity;
+        std::reverse(reversed.begin(), reversed.end());
+        orderings.push_back(std::move(reversed));
+        orderings.push_back(barycenter_ordering(network));
+    }
+    std::mt19937_64 rng{params.seed};
+    while (orderings.size() < std::max<std::size_t>(params.max_orderings, 1))
+    {
+        auto shuffled = identity;
+        std::shuffle(shuffled.begin(), shuffled.end(), rng);
+        orderings.push_back(std::move(shuffled));
+        if (n <= 1)
+        {
+            break;
+        }
+    }
+    // max_orderings is a hard cap (the heuristic orderings count toward it)
+    if (orderings.size() > std::max<std::size_t>(params.max_orderings, 1))
+    {
+        orderings.resize(std::max<std::size_t>(params.max_orderings, 1));
+    }
+
+    input_ordering_stats local{};
+    std::optional<lyt::gate_level_layout> best;
+
+    for (const auto& perm : orderings)
+    {
+        const auto permuted = reorder_pis(network, perm);
+        auto layout = ortho(permuted, params.ortho);
+        ++local.orderings_tried;
+        local.worst_area = std::max(local.worst_area, layout.area());
+        if (!best.has_value() || layout.area() < best->area())
+        {
+            best = std::move(layout);
+        }
+    }
+
+    local.best_area = best->area();
+    local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    if (stats != nullptr)
+    {
+        *stats = local;
+    }
+    return std::move(*best);
+}
+
+}  // namespace mnt::pd

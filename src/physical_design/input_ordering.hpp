@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file input_ordering.hpp
+/// \brief Input ordering ("InOrd") wrapper around ortho.
+///
+/// Stands in for Walter et al., "Versatile Signal Distribution Networks for
+/// Scalable Placement and Routing of Field-coupled Nanocomputing
+/// Technologies" (ISVLSI 2023): the order in which primary inputs enter the
+/// signal distribution network strongly influences the area of
+/// ortho-generated layouts. This wrapper explores several PI orderings —
+/// identity, reversal, a barycenter heuristic (PIs sorted by the average
+/// topological position of their users), and seeded random shuffles — runs
+/// ortho for each, and keeps the smallest layout.
+
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+#include "physical_design/ortho.hpp"
+
+#include <cstdint>
+
+namespace mnt::pd
+{
+
+/// Parameters of \ref input_ordering_ortho.
+struct input_ordering_params
+{
+    /// Parameters forwarded to each ortho run.
+    ortho_params ortho{};
+
+    /// Total orderings evaluated (>= 1; includes the heuristic ones).
+    std::size_t max_orderings{8};
+
+    /// Seed for the random orderings.
+    std::uint64_t seed{1};
+};
+
+/// Statistics of an \ref input_ordering_ortho run.
+struct input_ordering_stats
+{
+    double runtime{0.0};
+    std::size_t orderings_tried{0};
+    std::uint64_t best_area{0};
+    std::uint64_t worst_area{0};
+};
+
+/// Runs ortho under multiple PI orderings and returns the smallest layout.
+[[nodiscard]] lyt::gate_level_layout input_ordering_ortho(const ntk::logic_network& network,
+                                                          const input_ordering_params& params = {},
+                                                          input_ordering_stats* stats = nullptr);
+
+/// Rebuilds \p network with its primary inputs created in the order given by
+/// \p permutation (permutation[i] = index of the original PI that becomes
+/// the i-th input). Names are preserved, so the result is name-equivalent.
+///
+/// \throws mnt::precondition_error if \p permutation is not a permutation of
+///         [0, num_pis)
+[[nodiscard]] ntk::logic_network reorder_pis(const ntk::logic_network& network,
+                                             const std::vector<std::size_t>& permutation);
+
+}  // namespace mnt::pd

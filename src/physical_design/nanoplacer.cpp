@@ -1,0 +1,479 @@
+#include "physical_design/nanoplacer.hpp"
+
+#include "common/types.hpp"
+#include "layout/layout_utils.hpp"
+#include "layout/net_surgery.hpp"
+#include "physical_design/exact.hpp"  // max_incoming_degree
+#include "physical_design/ortho.hpp"
+#include "network/transforms.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::pd
+{
+
+namespace
+{
+
+using lyt::coordinate;
+using lyt::gate_level_layout;
+using ntk::gate_type;
+using ntk::logic_network;
+
+double cost_of(const gate_level_layout& layout, const double lambda)
+{
+    // origin-anchored area: regular clocking schemes permit only 4-periodic
+    // translations, so the north-west margin is usually not recoverable and
+    // must be part of the optimization objective
+    const auto [min_c, max_c] = layout.bounding_box();
+    static_cast<void>(min_c);
+    const auto w = static_cast<double>(max_c.x + 1);
+    const auto h = static_cast<double>(max_c.y + 1);
+    return w * h + lambda * static_cast<double>(layout.num_wires());
+}
+
+/// Locates the connection whose chain runs through the wire tile \p wire.
+std::optional<lyt::connection> connection_through(const lyt::net_surgeon& surgeon,
+                                                  const gate_level_layout& layout, const coordinate& wire)
+{
+    // walk forward to the terminating gate
+    auto cur = wire;
+    while (layout.type_of(cur) == gate_type::buf)
+    {
+        const auto& outs = layout.outgoing_of(cur);
+        if (outs.empty())
+        {
+            return std::nullopt;  // dangling wire (mid-surgery state)
+        }
+        cur = outs[0];
+    }
+    // identify the slot whose chain contains the wire
+    for (std::size_t slot = 0; slot < layout.incoming_of(cur).size(); ++slot)
+    {
+        auto conn = surgeon.trace_incoming(cur, slot);
+        if (std::find(conn.chain.cbegin(), conn.chain.cend(), wire) != conn.chain.cend())
+        {
+            return conn;
+        }
+    }
+    return std::nullopt;
+}
+
+/// Routes src -> dst; if that fails because src is walled in by wires of
+/// other nets, evicts one blocking connection, routes, and re-routes the
+/// victim (classic rip-up-and-reroute). Fully rolled back on failure.
+bool route_with_unblock(lyt::net_surgeon& surgeon, const coordinate& src, const coordinate& dst)
+{
+    auto& layout = surgeon.layout();
+    if (surgeon.route_shortest(src, dst).has_value())
+    {
+        return true;
+    }
+
+    for (const auto& exit : layout.outgoing_clocked(src))
+    {
+        // candidate victims blocking this exit: the crossing wire first
+        // (ripping it keeps the ground wire crossable), then the ground wire
+        std::vector<coordinate> victims;
+        if (layout.type_of(exit.elevated()) == gate_type::buf)
+        {
+            victims.push_back(exit.elevated());
+        }
+        if (layout.type_of(exit) == gate_type::buf)
+        {
+            victims.push_back(exit);
+        }
+
+        for (const auto& victim : victims)
+        {
+            const auto conn = connection_through(surgeon, layout, victim);
+            if (!conn.has_value())
+            {
+                continue;
+            }
+            surgeon.rip(*conn);
+
+            if (surgeon.route_shortest(src, dst).has_value())
+            {
+                const auto feeder = surgeon.route_shortest(conn->src, conn->dst);
+                if (feeder.has_value())
+                {
+                    lyt::detail::rebuild_slot_order(layout, conn->dst, {conn->dst_slot}, {*feeder});
+                    return true;
+                }
+                // cannot re-route the victim: undo our edge (it was appended
+                // to dst's fanins last), then restore the victim
+                surgeon.rip(surgeon.trace_incoming(dst, layout.incoming_of(dst).size() - 1));
+            }
+
+            const auto restored = surgeon.restore(*conn);
+            lyt::detail::rebuild_slot_order(layout, conn->dst, {conn->dst_slot}, {restored});
+        }
+    }
+    return false;
+}
+
+/// Greedy constructive placement in topological order. Returns false when a
+/// node could not be placed/routed on the given grid.
+bool constructive_placement(gate_level_layout& layout, const logic_network& net,
+                            const nanoplacer_params& params, std::mt19937_64& rng)
+{
+    lyt::net_surgeon surgeon{layout, params.max_route_expansions};
+    surgeon.options().respect_needy_exits = true;
+
+    std::unordered_map<logic_network::node, coordinate> tile_of;
+
+    for (const auto v : net.topological_order())
+    {
+        const auto t = net.type(v);
+        if (t == gate_type::const0 || t == gate_type::const1)
+        {
+            continue;
+        }
+        const auto fis = net.fanins(v);
+
+        // a tile is a usable step for future routes if it is empty or a
+        // crossable ground wire
+        const auto usable = [&](const coordinate& c)
+        {
+            return layout.is_empty_tile(c) ||
+                   (layout.type_of(c) == gate_type::buf && layout.is_empty_tile(c.elevated()));
+        };
+
+        // placing on c must not consume the last free exit of a neighboring
+        // gate that still needs outgoing connections (wall-in guard)
+        const auto walls_in_neighbor = [&](const coordinate& c)
+        {
+            for (const auto& nb : lyt::planar_neighbors(c, layout.topology()))
+            {
+                if (!layout.within_bounds(nb) || layout.is_empty_tile(nb))
+                {
+                    continue;
+                }
+                const auto nb_type = layout.type_of(nb);
+                if (nb_type == gate_type::buf || nb_type == gate_type::po)
+                {
+                    continue;  // wires are fully routed; POs need no exits
+                }
+                // v may consume nb directly, in which case c is its exit
+                if (std::any_of(fis.begin(), fis.end(),
+                                [&](const logic_network::node fi) { return tile_of.at(fi) == nb; }))
+                {
+                    continue;
+                }
+                const auto capacity = nb_type == gate_type::fanout ? std::size_t{2} : std::size_t{1};
+                const auto used = layout.outgoing_of(nb).size();
+                if (used >= capacity)
+                {
+                    continue;
+                }
+                std::size_t free_exits = 0;
+                for (const auto& exit : layout.outgoing_clocked(nb))
+                {
+                    if (!(exit == c) && usable(exit))
+                    {
+                        ++free_exits;
+                    }
+                }
+                if (free_exits < capacity - used)
+                {
+                    return true;
+                }
+            }
+            return false;
+        };
+
+        // capacity prefilter: the node must be able to drive its successors
+        // and receive all its fanins from tile c
+        const auto exits_needed = [&]() -> std::size_t
+        {
+            if (t == gate_type::po)
+            {
+                return 0;
+            }
+            return t == gate_type::fanout ? 2 : 1;
+        }();
+        const auto capacity_ok = [&](const coordinate& c)
+        {
+            if (lyt::usable_exits(layout, c) < exits_needed)
+            {
+                return false;
+            }
+            auto entries = lyt::usable_entries(layout, c);
+            for (const auto fi : fis)
+            {
+                const auto& src = tile_of.at(fi);
+                if (lyt::are_adjacent(src, c, layout.topology()) &&
+                    layout.clocking().is_incoming_clocked(c, src))
+                {
+                    ++entries;  // direct feed through the fanin's own tile
+                }
+            }
+            return entries >= fis.size();
+        };
+
+        // candidate tiles, nearest to the fanins first (origin-biased),
+        // with a random tie-break for stochastic diversity
+        std::vector<std::pair<double, coordinate>> candidates;
+        for (std::int32_t y = 0; y < static_cast<std::int32_t>(layout.height()); ++y)
+        {
+            for (std::int32_t x = 0; x < static_cast<std::int32_t>(layout.width()); ++x)
+            {
+                const coordinate c{x, y, 0};
+                if (!layout.is_empty_tile(c))
+                {
+                    continue;
+                }
+                // per-scheme reachability from every fanin
+                const auto reachable = std::all_of(fis.begin(), fis.end(),
+                                                   [&](const logic_network::node fi) {
+                                                       return lyt::may_flow(params.scheme, params.topology,
+                                                                            tile_of.at(fi), c);
+                                                   });
+                if (!reachable || !capacity_ok(c) || walls_in_neighbor(c))
+                {
+                    continue;
+                }
+                double score = 0.05 * static_cast<double>(x + y);
+                for (const auto fi : fis)
+                {
+                    score += static_cast<double>(lyt::grid_distance(tile_of.at(fi), c, layout.topology()));
+                }
+                score += std::uniform_real_distribution<double>{0.0, 0.5}(rng);
+                candidates.emplace_back(score, c);
+            }
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto& a, const auto& b)
+                  { return a.first != b.first ? a.first < b.first : a.second < b.second; });
+
+        constexpr std::size_t max_tries = 160;
+        bool placed = false;
+        std::size_t tries = 0;
+        for (const auto& [score, c] : candidates)
+        {
+            if (++tries > max_tries)
+            {
+                break;
+            }
+            layout.place(c, t, (net.is_pi(v) || net.is_po(v)) ? net.name_of(v) : std::string{});
+
+            bool routed_all = true;
+            for (const auto fi : fis)
+            {
+                if (!route_with_unblock(surgeon, tile_of.at(fi), c))
+                {
+                    routed_all = false;
+                    break;
+                }
+            }
+            if (routed_all)
+            {
+                tile_of.emplace(v, c);
+                placed = true;
+                break;
+            }
+            // rip what was routed, free the tile
+            for (std::size_t s = layout.incoming_of(c).size(); s > 0; --s)
+            {
+                surgeon.rip(surgeon.trace_incoming(c, s - 1));
+            }
+            layout.clear_tile(c);
+        }
+        if (!placed)
+        {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::optional<gate_level_layout> nanoplacer(const logic_network& network, const nanoplacer_params& params,
+                                            nanoplacer_stats* stats)
+{
+    const auto start_time = std::chrono::steady_clock::now();
+
+    if (network.num_pos() == 0)
+    {
+        throw precondition_error{"nanoplacer: network has no primary outputs"};
+    }
+    if (params.scheme == lyt::clocking_kind::open)
+    {
+        throw precondition_error{"nanoplacer: the OPEN clocking scheme is not supported"};
+    }
+
+    auto net = ntk::propagate_constants(network);
+    if (max_incoming_degree(params.scheme, params.topology) < 3)
+    {
+        net = ntk::decompose_maj(net);
+    }
+    net = ntk::substitute_fanouts(net, 2);
+
+    bool constant_po = false;
+    net.foreach_po(
+        [&](const logic_network::node po)
+        {
+            if (net.is_constant(net.fanins(po)[0]))
+            {
+                constant_po = true;
+            }
+        });
+    if (constant_po)
+    {
+        throw precondition_error{"nanoplacer: constant primary outputs are not supported on FCN layouts"};
+    }
+
+    std::size_t placeable = 0;
+    net.foreach_node(
+        [&](const logic_network::node v)
+        {
+            if (!net.is_constant(v))
+            {
+                ++placeable;
+            }
+        });
+
+    nanoplacer_stats local{};
+    std::mt19937_64 rng{params.seed};
+
+    std::optional<gate_level_layout> layout;
+    if (params.scheme == lyt::clocking_kind::twoddwave && params.topology == lyt::layout_topology::cartesian)
+    {
+        // hybrid flow (as in the original "hybrid design automation" paper):
+        // a deterministic ortho layout seeds the annealer, which then only
+        // ever sees feasible states — scales to any network size
+        auto seeded = ortho(network);
+        const auto w = seeded.width() + seeded.width() / 4 + 2;
+        const auto h = seeded.height() + seeded.height() / 4 + 2;
+        seeded.resize(w, h);  // slack for the annealing moves
+        layout = std::move(seeded);
+    }
+    else
+    {
+        // snaking schemes: greedy constructive placement with
+        // rip-up-and-reroute, retried on growing grids
+        auto side = static_cast<std::uint32_t>(
+            std::ceil(std::sqrt(static_cast<double>(placeable)) * params.grid_factor) + 2);
+        for (std::size_t attempt = 0; attempt <= params.max_restarts; ++attempt)
+        {
+            gate_level_layout trial{network.network_name(), params.topology,
+                                    lyt::clocking_scheme::create(params.scheme), side, side};
+            if (constructive_placement(trial, net, params, rng))
+            {
+                layout = std::move(trial);
+                break;
+            }
+            ++local.restarts;
+            side = static_cast<std::uint32_t>(side * 3 / 2 + 1);
+        }
+    }
+
+    if (!layout.has_value())
+    {
+        local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+        if (stats != nullptr)
+        {
+            *stats = local;
+        }
+        return std::nullopt;
+    }
+
+    // simulated annealing over gate relocations
+    lyt::net_surgeon surgeon{*layout, params.max_route_expansions};
+    surgeon.options().respect_needy_exits = true;
+
+    auto gates = layout->tiles_sorted();
+    gates.erase(std::remove_if(gates.begin(), gates.end(),
+                               [&](const coordinate& c) { return layout->type_of(c) == gate_type::buf; }),
+                gates.end());
+
+    double current_cost = cost_of(*layout, params.lambda);
+    // best snapshot tracked by the *final* metric (area, then wires) so more
+    // iterations can never end worse than fewer for the same seed
+    const auto final_key = [](const gate_level_layout& l)
+    {
+        const auto [min_c, max_c] = l.bounding_box();
+        static_cast<void>(min_c);
+        return std::make_pair(static_cast<std::uint64_t>(max_c.x + 1) * static_cast<std::uint64_t>(max_c.y + 1),
+                              l.num_wires());
+    };
+    auto best = *layout;  // snapshot of the best solution seen (SA may end uphill)
+    auto best_key = final_key(best);
+    const double cooling =
+        params.iterations > 1 ? std::pow(params.t_end / params.t_start, 1.0 / static_cast<double>(params.iterations))
+                              : 1.0;
+    double temperature = params.t_start;
+
+    std::uniform_real_distribution<double> uniform{0.0, 1.0};
+
+    for (std::size_t it = 0; it < params.iterations; ++it, temperature *= cooling)
+    {
+        ++local.attempted_moves;
+
+        // pick a random gate; track its position across accepted moves
+        auto& g = gates[std::uniform_int_distribution<std::size_t>{0, gates.size() - 1}(rng)];
+
+        // random empty target, biased toward the origin
+        const auto w = static_cast<std::int32_t>(layout->width());
+        const auto h = static_cast<std::int32_t>(layout->height());
+        coordinate target{};
+        bool found = false;
+        for (int probe = 0; probe < 12 && !found; ++probe)
+        {
+            const auto rx = std::min(std::uniform_int_distribution<std::int32_t>{0, w - 1}(rng),
+                                     std::uniform_int_distribution<std::int32_t>{0, w - 1}(rng));
+            const auto ry = std::min(std::uniform_int_distribution<std::int32_t>{0, h - 1}(rng),
+                                     std::uniform_int_distribution<std::int32_t>{0, h - 1}(rng));
+            const coordinate c{rx, ry, 0};
+            if (layout->is_empty_tile(c) && layout->is_empty_tile(c.elevated()))
+            {
+                target = c;
+                found = true;
+            }
+        }
+        if (!found)
+        {
+            continue;
+        }
+
+        double new_cost = 0.0;
+        const auto committed = lyt::try_relocate(surgeon, g, target,
+                                                 [&]()
+                                                 {
+                                                     new_cost = cost_of(*layout, params.lambda);
+                                                     const auto delta = new_cost - current_cost;
+                                                     return delta <= 0.0 ||
+                                                            uniform(rng) < std::exp(-delta / temperature);
+                                                 });
+        if (committed)
+        {
+            current_cost = new_cost;
+            g = target;
+            ++local.accepted_moves;
+            if (const auto key = final_key(*layout); key < best_key)
+            {
+                best_key = key;
+                best = *layout;
+            }
+        }
+    }
+
+    *layout = std::move(best);
+    layout->shrink_to_fit();
+
+    local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    if (stats != nullptr)
+    {
+        *stats = local;
+    }
+    return layout;
+}
+
+}  // namespace mnt::pd

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file nanoplacer.hpp
+/// \brief Stochastic placement and routing ("NanoPlaceR" substitute).
+///
+/// MNT Bench's portfolio includes NanoPlaceR (Hofmann et al., DAC 2023), a
+/// reinforcement-learning placer. Its role — a stochastic optimizer that
+/// explores placements a deterministic heuristic would not and sometimes
+/// beats ortho on small and medium functions — is filled here by simulated
+/// annealing over the same layout/routing substrate (see DESIGN.md §4 for
+/// the substitution rationale):
+///
+/// 1. a greedy constructive placement (topological order, nearest routable
+///    tile) establishes a feasible layout on a generous grid,
+/// 2. annealing relocates random gates via rip-up-and-reroute, accepting by
+///    the Metropolis criterion on cost = bounding-box area + lambda * wires,
+/// 3. the result is cropped.
+///
+/// Unlike ortho, this works on *any* regular clocking scheme (USE, RES, ESR
+/// routing via the generic clocked-grid BFS), which is how the portfolio
+/// produces layouts for those schemes on functions too large for `exact`.
+
+#include "layout/clocking_scheme.hpp"
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace mnt::pd
+{
+
+/// Parameters of \ref nanoplacer.
+struct nanoplacer_params
+{
+    /// Grid topology of the result.
+    lyt::layout_topology topology{lyt::layout_topology::cartesian};
+
+    /// Clocking scheme of the result (regular).
+    lyt::clocking_kind scheme{lyt::clocking_kind::twoddwave};
+
+    /// RNG seed (results are deterministic per seed).
+    std::uint64_t seed{1};
+
+    /// Annealing moves.
+    std::size_t iterations{3000};
+
+    /// Start/end temperatures of the geometric cooling schedule.
+    double t_start{5.0};
+    double t_end{0.05};
+
+    /// Wire-count weight in the cost function.
+    double lambda{0.1};
+
+    /// Initial grid side = ceil(sqrt(placeable nodes)) * this factor.
+    double grid_factor{2.5};
+
+    /// Constructive-placement retries with a grown grid before giving up.
+    std::size_t max_restarts{4};
+
+    /// BFS expansion cap per routing query.
+    std::size_t max_route_expansions{50000};
+};
+
+/// Statistics of a \ref nanoplacer run.
+struct nanoplacer_stats
+{
+    double runtime{0.0};
+    std::size_t accepted_moves{0};
+    std::size_t attempted_moves{0};
+    std::size_t restarts{0};
+};
+
+/// Places and routes \p network stochastically.
+///
+/// \returns the layout, or std::nullopt if no feasible constructive
+///          placement was found within the restart budget
+[[nodiscard]] std::optional<lyt::gate_level_layout> nanoplacer(const ntk::logic_network& network,
+                                                               const nanoplacer_params& params = {},
+                                                               nanoplacer_stats* stats = nullptr);
+
+}  // namespace mnt::pd

@@ -1,0 +1,342 @@
+#include "physical_design/ortho.hpp"
+
+#include "common/types.hpp"
+#include "network/transforms.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::pd
+{
+
+namespace
+{
+
+using lyt::coordinate;
+using lyt::gate_level_layout;
+using ntk::gate_type;
+using ntk::logic_network;
+
+/// Per-node placement record: tile plus output-slot bookkeeping. Every node
+/// owns an "east run" (its row, east of its tile) and a "south run" (its
+/// column, south of its tile); each run can carry exactly one connection.
+struct placement
+{
+    coordinate tile{};
+    bool east_used{false};
+    bool south_used{false};
+};
+
+/// Builder wrapping the target layout: places wire tiles with automatic
+/// crossing elevation and records complete connection chains.
+class wire_builder
+{
+public:
+    explicit wire_builder(gate_level_layout& target) : layout{target} {}
+
+    /// Places one wire tile at (x, y); elevates to z = 1 if the ground tile
+    /// is already occupied by another wire (crossing).
+    coordinate put_wire(const std::int32_t x, const std::int32_t y)
+    {
+        const coordinate ground{x, y, 0};
+        if (layout.is_empty_tile(ground))
+        {
+            layout.place(ground, gate_type::buf);
+            return ground;
+        }
+        const auto elevated = ground.elevated();
+        if (layout.type_of(ground) == gate_type::buf && layout.is_empty_tile(elevated))
+        {
+            layout.place(elevated, gate_type::buf);
+            return elevated;
+        }
+        throw mnt_error{"ortho: internal conflict at " + ground.to_string() +
+                        " — placement invariant violated (please report)"};
+    }
+
+    /// Horizontal run (x1, y) .. (x2, y), x ascending; endpoints included.
+    void run_east(const std::int32_t x1, const std::int32_t x2, const std::int32_t y, std::vector<coordinate>& path)
+    {
+        for (std::int32_t x = x1; x <= x2; ++x)
+        {
+            path.push_back(put_wire(x, y));
+        }
+    }
+
+    /// Vertical run (x, y1) .. (x, y2), y ascending; endpoints included.
+    void run_south(const std::int32_t x, const std::int32_t y1, const std::int32_t y2, std::vector<coordinate>& path)
+    {
+        for (std::int32_t y = y1; y <= y2; ++y)
+        {
+            path.push_back(put_wire(x, y));
+        }
+    }
+
+    /// Declares the chain src -> path[0] -> ... -> dst.
+    void connect_chain(const coordinate& src, const std::vector<coordinate>& path, const coordinate& dst)
+    {
+        auto prev = src;
+        for (const auto& p : path)
+        {
+            layout.connect(prev, p);
+            prev = p;
+        }
+        layout.connect(prev, dst);
+    }
+
+private:
+    gate_level_layout& layout;
+};
+
+/// The four staircase shapes a connection can take.
+enum class route_shape : std::uint8_t
+{
+    /// east along the source row, then south along the target column
+    /// (consumes the source's east slot; enters the target from the north —
+    /// or from the west when source and target share a row).
+    east_south,
+    /// south along the source column, then east along the target row
+    /// (consumes the source's south slot; enters the target from the west —
+    /// or from the north when source and target share a column).
+    south_east,
+    /// south, east through a fresh row track, south again (consumes the
+    /// source's south slot; enters from the north).
+    zigzag_via_row,
+    /// east, south through a fresh column track, east again (consumes the
+    /// source's east slot; enters from the west).
+    zigzag_via_col
+};
+
+struct route_plan
+{
+    route_shape shape{route_shape::east_south};
+    /// Fresh track position for the zigzag shapes (row or column index).
+    std::int32_t track{-1};
+};
+
+}  // namespace
+
+gate_level_layout ortho(const logic_network& network, const ortho_params& params, ortho_stats* stats)
+{
+    const auto start_time = std::chrono::steady_clock::now();
+
+    if (network.num_pos() == 0)
+    {
+        throw precondition_error{"ortho: network has no primary outputs"};
+    }
+
+    // preprocessing: constants folded, dead logic removed, MAJ decomposed
+    // (a 2DDWave tile offers only two incoming directions), fanout degree <= 2
+    const auto net = ntk::substitute_fanouts(ntk::decompose_maj(ntk::propagate_constants(network)), 2);
+
+    net.foreach_po(
+        [&](const logic_network::node po)
+        {
+            if (net.is_constant(net.fanins(po)[0]))
+            {
+                throw precondition_error{"ortho: constant primary outputs are not supported on FCN layouts"};
+            }
+        });
+
+    // generous bounds; cropped at the end
+    const auto bound = static_cast<std::uint32_t>(2 * net.size() + 4);
+    gate_level_layout layout{network.network_name(), lyt::layout_topology::cartesian,
+                             lyt::clocking_scheme::twoddwave(), bound, bound};
+    wire_builder builder{layout};
+
+    std::unordered_map<logic_network::node, placement> placed;
+    placed.reserve(net.size());
+
+    std::int32_t next_col = 0;
+    std::int32_t next_row = 0;
+    std::size_t zigzags = 0;
+
+    /// Builds the wire path for one connection according to \p plan. The
+    /// target gate must already be placed at \p dst.
+    const auto realize = [&](placement& src, const route_plan& plan, const coordinate& dst)
+    {
+        std::vector<coordinate> path;
+        const auto s = src.tile;
+        switch (plan.shape)
+        {
+            case route_shape::east_south:
+            {
+                if (s.y == dst.y)
+                {
+                    builder.run_east(s.x + 1, dst.x - 1, s.y, path);
+                }
+                else
+                {
+                    builder.run_east(s.x + 1, dst.x, s.y, path);
+                    builder.run_south(dst.x, s.y + 1, dst.y - 1, path);
+                }
+                src.east_used = true;
+                break;
+            }
+            case route_shape::south_east:
+            {
+                if (s.x == dst.x)
+                {
+                    builder.run_south(s.x, s.y + 1, dst.y - 1, path);
+                }
+                else
+                {
+                    builder.run_south(s.x, s.y + 1, dst.y, path);
+                    builder.run_east(s.x + 1, dst.x - 1, dst.y, path);
+                }
+                src.south_used = true;
+                break;
+            }
+            case route_shape::zigzag_via_row:
+            {
+                builder.run_south(s.x, s.y + 1, plan.track, path);
+                builder.run_east(s.x + 1, dst.x, plan.track, path);
+                builder.run_south(dst.x, plan.track + 1, dst.y - 1, path);
+                src.south_used = true;
+                ++zigzags;
+                break;
+            }
+            case route_shape::zigzag_via_col:
+            {
+                builder.run_east(s.x + 1, plan.track, s.y, path);
+                builder.run_south(plan.track, s.y + 1, dst.y, path);
+                builder.run_east(plan.track + 1, dst.x - 1, dst.y, path);
+                src.east_used = true;
+                ++zigzags;
+                break;
+            }
+        }
+        builder.connect_chain(s, path, dst);
+    };
+
+    for (const auto v : net.topological_order())
+    {
+        const auto t = net.type(v);
+        if (t == gate_type::const0 || t == gate_type::const1)
+        {
+            continue;
+        }
+
+        const auto fis = net.fanins(v);
+
+        if (t == gate_type::pi)
+        {
+            const coordinate tile{next_col++, next_row++, 0};
+            layout.place(tile, gate_type::pi, net.name_of(v));
+            placed.emplace(v, placement{tile});
+            continue;
+        }
+
+        if (fis.size() == 1)
+        {
+            auto& src = placed.at(fis[0]);
+            coordinate tile{};
+            route_plan plan{};
+            if (!src.east_used)
+            {
+                // extend the source's row chain eastward
+                tile = {next_col++, src.tile.y, 0};
+                plan.shape = route_shape::east_south;
+            }
+            else
+            {
+                // east run taken: drop to a fresh row via the south run
+                tile = {next_col++, next_row++, 0};
+                plan.shape = route_shape::south_east;
+            }
+            layout.place(tile, t, net.is_po(v) ? net.name_of(v) : std::string{});
+            realize(src, plan, tile);
+            placed.emplace(v, placement{tile});
+            continue;
+        }
+
+        if (fis.size() == 2)
+        {
+            auto& f0 = placed.at(fis[0]);
+            auto& f1 = placed.at(fis[1]);
+
+            // Decide which fanin enters from the north (east_south /
+            // zigzag_via_row) and which from the west (south_east /
+            // zigzag_via_col). Each assignment costs one zigzag per blocked
+            // preferred slot; pick the cheaper one (ties: slot order, or
+            // shorter spans when greedy_orientation is set).
+            const auto zig_cost = [](const placement& north, const placement& west)
+            { return static_cast<int>(north.east_used) + static_cast<int>(west.south_used); };
+
+            const auto cost01 = zig_cost(f0, f1);  // f0 north, f1 west
+            const auto cost10 = zig_cost(f1, f0);  // f1 north, f0 west
+
+            bool f0_north = cost01 <= cost10;
+            if (params.greedy_orientation && cost01 == cost10 && fis[0] != fis[1])
+            {
+                // the north entry travels along the source's row; prefer the
+                // fanin whose row is older (smaller y) for it, keeping the
+                // newer row free for the west tail
+                f0_north = f0.tile.y <= f1.tile.y;
+            }
+
+            auto& north = f0_north ? f0 : f1;
+            auto& west = f0_north ? f1 : f0;
+
+            // allocate fresh tracks *before* the gate's own column/row
+            route_plan north_plan{};
+            route_plan west_plan{};
+            if (west.south_used)
+            {
+                west_plan.shape = route_shape::zigzag_via_col;
+                west_plan.track = next_col++;
+            }
+            else
+            {
+                west_plan.shape = route_shape::south_east;
+            }
+            const std::int32_t x_v = next_col++;
+            if (north.east_used)
+            {
+                north_plan.shape = route_shape::zigzag_via_row;
+                north_plan.track = next_row++;
+            }
+            else
+            {
+                north_plan.shape = route_shape::east_south;
+            }
+            const std::int32_t y_v = next_row++;
+
+            const coordinate tile{x_v, y_v, 0};
+            layout.place(tile, t);
+
+            // connect in fanin-slot order so that the layout's incoming list
+            // matches the network (required for non-commutative gates)
+            if (f0_north)
+            {
+                realize(north, north_plan, tile);
+                realize(west, west_plan, tile);
+            }
+            else
+            {
+                realize(west, west_plan, tile);
+                realize(north, north_plan, tile);
+            }
+            placed.emplace(v, placement{tile});
+            continue;
+        }
+
+        // 3-input gates (MAJ) are not realizable by the two-slot staircase
+        // scheme; the caller decomposes them (see decompose_maj) — or we do
+        throw precondition_error{"ortho: 3-input gates must be decomposed before ortho (internal error)"};
+    }
+
+    layout.shrink_to_fit();
+
+    if (stats != nullptr)
+    {
+        stats->runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+        stats->placed_nodes = placed.size();
+        stats->zigzag_tracks = zigzags;
+    }
+    return layout;
+}
+
+}  // namespace mnt::pd

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file ortho.hpp
+/// \brief OGD-based scalable physical design ("ortho") for FCN circuits.
+///
+/// Reimplementation of the scalable placement-and-routing approach of
+/// Walter et al., "Scalable Design for Field-Coupled Nanocomputing Circuits"
+/// (ASP-DAC 2019): the network is preprocessed by fanout substitution, nodes
+/// are placed in topological order on a 2DDWave-clocked Cartesian grid, and
+/// every connection is realized by an x/y-monotone staircase path, which is
+/// clock-valid under 2DDWave by construction.
+///
+/// The placement scheme of this reproduction assigns a fresh column to every
+/// node (orthogonal-graph-drawing style), shares rows along single-fanin
+/// chains, and books an "east" and a "south" output slot per node — the
+/// simplified counterpart of the original's conditional edge coloring. When
+/// a preferred slot is taken (fanout nodes), the connection zigzags through
+/// a fresh track. All residual tile conflicts are wire-wire crossings and go
+/// to layer z = 1. The result is linear-time, always succeeds, and produces
+/// O(N^2)-area layouts like the original heuristic.
+
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace mnt::pd
+{
+
+/// Parameters of \ref ortho.
+struct ortho_params
+{
+    /// Pick the geometric orientation (north/west entry) of 2-input gate
+    /// fanins greedily by wire span instead of by slot order. Usually
+    /// shrinks layouts slightly; never changes the function.
+    bool greedy_orientation{true};
+};
+
+/// Statistics of an \ref ortho run.
+struct ortho_stats
+{
+    /// Runtime in seconds.
+    double runtime{0.0};
+
+    /// Nodes after preprocessing (placed entities).
+    std::size_t placed_nodes{0};
+
+    /// Zigzag tracks allocated for blocked slots.
+    std::size_t zigzag_tracks{0};
+};
+
+/// Places and routes \p network on a 2DDWave-clocked Cartesian layout.
+///
+/// The input may contain arbitrary fanout degrees and MAJ gates; it is
+/// cleaned, constant-propagated and fanout-substituted internally. The
+/// resulting layout is cropped to its bounding box and is guaranteed to be
+/// DRC-clean and functionally equivalent to \p network.
+///
+/// \throws mnt::precondition_error if the network has no primary outputs
+[[nodiscard]] lyt::gate_level_layout ortho(const ntk::logic_network& network, const ortho_params& params = {},
+                                           ortho_stats* stats = nullptr);
+
+}  // namespace mnt::pd

@@ -1,0 +1,283 @@
+#include "physical_design/portfolio.hpp"
+
+#include "common/types.hpp"
+#include "network/transforms.hpp"
+#include "physical_design/exact.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/input_ordering.hpp"
+#include "physical_design/nanoplacer.hpp"
+#include "physical_design/ortho.hpp"
+#include "physical_design/post_layout_optimization.hpp"
+#include "network/optimization.hpp"
+#include "verification/equivalence.hpp"
+#include "verification/wave_simulation.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mnt::pd
+{
+
+namespace
+{
+
+using lyt::gate_level_layout;
+using ntk::logic_network;
+
+double seconds_since(const std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Placeable node count after the standard preprocessing (used for tool
+/// applicability thresholds).
+std::size_t placeable_nodes(const logic_network& network)
+{
+    const auto net = ntk::substitute_fanouts(ntk::decompose_maj(ntk::propagate_constants(network)), 2);
+    std::size_t count = 0;
+    net.foreach_node(
+        [&](const logic_network::node v)
+        {
+            if (!net.is_constant(v))
+            {
+                ++count;
+            }
+        });
+    return count;
+}
+
+void verify_or_throw(const logic_network& network, const gate_level_layout& layout, const std::string& label)
+{
+    const auto result = ver::check_layout_equivalence(network, layout);
+    if (!result.equivalent)
+    {
+        throw mnt_error{"portfolio: layout produced by '" + label + "' for '" + network.network_name() +
+                        "' is NOT equivalent to its specification: " + result.reason};
+    }
+    // small layouts get the physical (clock-phase-accurate) check on top
+    if (layout.num_occupied() <= 400)
+    {
+        const auto wave = ver::check_wave_equivalence(network, layout);
+        if (!wave.equivalent)
+        {
+            throw mnt_error{"portfolio: layout produced by '" + label + "' for '" + network.network_name() +
+                            "' fails wave simulation: " + wave.reason};
+        }
+    }
+}
+
+void add_result(std::vector<layout_result>& results, const logic_network& network, gate_level_layout layout,
+                std::string algorithm, std::vector<std::string> optimizations, const double runtime,
+                const bool verify)
+{
+    layout_result r{std::move(layout), std::move(algorithm), std::move(optimizations),
+                    /*clocking=*/"", runtime};
+    r.clocking = r.layout.clocking().name();
+    if (verify)
+    {
+        verify_or_throw(network, r.layout, r.label());
+    }
+    results.push_back(std::move(r));
+}
+
+/// Applies PLO to the given result (if budgeted) and appends the optimized
+/// variant as an additional portfolio entry.
+void maybe_add_plo(std::vector<layout_result>& results, const logic_network& network, const layout_result& base,
+                   const portfolio_params& params)
+{
+    if (!params.try_plo || base.layout.num_occupied() > params.plo_max_tiles)
+    {
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    plo_params plo{};
+    plo.max_gate_moves = params.plo_max_gate_moves;
+    const auto optimized = post_layout_optimization(base.layout, plo);
+    if (optimized.area() >= base.layout.area())
+    {
+        return;  // no improvement: not a distinct portfolio entry
+    }
+    auto opts = base.optimizations;
+    opts.emplace_back("PLO");
+    add_result(results, network, optimized, base.algorithm, std::move(opts),
+               base.runtime + seconds_since(t0), params.verify);
+}
+
+}  // namespace
+
+std::string layout_result::label() const
+{
+    std::string s = algorithm;
+    for (const auto& o : optimizations)
+    {
+        s += ", " + o;
+    }
+    return s;
+}
+
+std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, const portfolio_params& params)
+{
+    const auto network = params.optimize_network ? ntk::optimize(input) : input;
+    std::vector<layout_result> results;
+    const auto nodes = placeable_nodes(network);
+
+    // exact on every Cartesian scheme (small functions only)
+    if (params.try_exact && nodes <= params.exact_max_nodes)
+    {
+        for (const auto scheme : params.cartesian_schemes)
+        {
+            if (scheme == lyt::clocking_kind::row)
+            {
+                continue;  // Cartesian ROW cannot host 2-input gates
+            }
+            exact_params ep{};
+            ep.topology = lyt::layout_topology::cartesian;
+            ep.scheme = scheme;
+            ep.timeout_s = params.exact_timeout_s;
+            ep.max_area = params.exact_max_area;
+            exact_stats es{};
+            auto layout = exact(network, ep, &es);
+            if (layout.has_value())
+            {
+                add_result(results, network, std::move(*layout), "exact", {}, es.runtime, params.verify);
+            }
+        }
+    }
+
+    // NanoPlaceR substitute on every Cartesian scheme (small/medium)
+    if (params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes)
+    {
+        for (const auto scheme : params.cartesian_schemes)
+        {
+            if (scheme == lyt::clocking_kind::row)
+            {
+                continue;
+            }
+            nanoplacer_params np{};
+            np.topology = lyt::layout_topology::cartesian;
+            np.scheme = scheme;
+            np.seed = params.seed;
+            np.iterations = params.nanoplacer_iterations;
+            nanoplacer_stats ns{};
+            auto layout = nanoplacer(network, np, &ns);
+            if (layout.has_value())
+            {
+                const auto base_index = results.size();
+                add_result(results, network, std::move(*layout), "NPR", {}, ns.runtime, params.verify);
+                maybe_add_plo(results, network, results[base_index], params);
+            }
+        }
+    }
+
+    // ortho (2DDWave by construction)
+    if (params.try_ortho)
+    {
+        ortho_stats os{};
+        auto layout = ortho(network, {}, &os);
+        const auto base_index = results.size();
+        add_result(results, network, std::move(layout), "ortho", {}, os.runtime, params.verify);
+        maybe_add_plo(results, network, results[base_index], params);
+
+        if (params.try_input_ordering && network.num_pis() > 1)
+        {
+            input_ordering_params ip{};
+            ip.max_orderings = params.input_orderings;
+            ip.seed = params.seed;
+            input_ordering_stats is{};
+            auto ordered = input_ordering_ortho(network, ip, &is);
+            const auto ordered_index = results.size();
+            add_result(results, network, std::move(ordered), "ortho", {"InOrd (SDN)"}, is.runtime, params.verify);
+            maybe_add_plo(results, network, results[ordered_index], params);
+        }
+    }
+
+    return results;
+}
+
+std::vector<layout_result> run_hexagonal_portfolio(const logic_network& input, const portfolio_params& params)
+{
+    const auto network = params.optimize_network ? ntk::optimize(input) : input;
+    std::vector<layout_result> results;
+    const auto nodes = placeable_nodes(network);
+
+    // exact directly on the hexagonal ROW grid
+    if (params.try_exact && nodes <= params.exact_max_nodes)
+    {
+        exact_params ep{};
+        ep.topology = lyt::layout_topology::hexagonal_even_row;
+        ep.scheme = lyt::clocking_kind::row;
+        ep.timeout_s = params.exact_timeout_s;
+        ep.max_area = params.exact_max_area;
+        exact_stats es{};
+        auto layout = exact(network, ep, &es);
+        if (layout.has_value())
+        {
+            add_result(results, network, std::move(*layout), "exact", {}, es.runtime, params.verify);
+        }
+    }
+
+    // NanoPlaceR substitute directly on the hexagonal grid (small/medium)
+    if (params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes)
+    {
+        nanoplacer_params np{};
+        np.topology = lyt::layout_topology::hexagonal_even_row;
+        np.scheme = lyt::clocking_kind::row;
+        np.seed = params.seed;
+        np.iterations = params.nanoplacer_iterations;
+        nanoplacer_stats ns{};
+        auto layout = nanoplacer(network, np, &ns);
+        if (layout.has_value())
+        {
+            const auto base_index = results.size();
+            add_result(results, network, std::move(*layout), "NPR", {}, ns.runtime, params.verify);
+            maybe_add_plo(results, network, results[base_index], params);
+        }
+    }
+
+    // ortho + 45° hexagonalization
+    if (params.try_ortho)
+    {
+        {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto cartesian = ortho(network);
+            auto hex = hexagonalization(cartesian);
+            const auto base_index = results.size();
+            add_result(results, network, std::move(hex), "ortho", {"45°"}, seconds_since(t0), params.verify);
+            maybe_add_plo(results, network, results[base_index], params);
+        }
+
+        if (params.try_input_ordering && network.num_pis() > 1)
+        {
+            const auto t0 = std::chrono::steady_clock::now();
+            input_ordering_params ip{};
+            ip.max_orderings = params.input_orderings;
+            ip.seed = params.seed;
+            const auto cartesian = input_ordering_ortho(network, ip);
+            auto hex = hexagonalization(cartesian);
+            const auto base_index = results.size();
+            add_result(results, network, std::move(hex), "ortho", {"InOrd (SDN)", "45°"}, seconds_since(t0),
+                       params.verify);
+            maybe_add_plo(results, network, results[base_index], params);
+        }
+    }
+
+    return results;
+}
+
+const layout_result* best_by_area(const std::vector<layout_result>& results)
+{
+    const layout_result* best = nullptr;
+    for (const auto& r : results)
+    {
+        if (best == nullptr || r.layout.area() < best->layout.area() ||
+            (r.layout.area() == best->layout.area() &&
+             (r.layout.num_wires() < best->layout.num_wires() ||
+              (r.layout.num_wires() == best->layout.num_wires() && r.label() < best->label()))))
+        {
+            best = &r;
+        }
+    }
+    return best;
+}
+
+}  // namespace mnt::pd

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file portfolio.hpp
+/// \brief The MNT Bench tool portfolio: runs all feasible combinations of
+///        physical design algorithms, optimizations and clocking schemes for
+///        a benchmark function and collects the resulting layouts — the
+///        machinery behind contribution #2/#3 of the paper (filterable
+///        layout generation and best-layout selection).
+
+#include "layout/clocking_scheme.hpp"
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mnt::pd
+{
+
+/// One generated layout with its provenance — the row data of Table I.
+struct layout_result
+{
+    lyt::gate_level_layout layout;
+
+    /// Physical design algorithm: "exact", "ortho", or "NPR".
+    std::string algorithm;
+
+    /// Applied optimizations in order, e.g. {"InOrd (SDN)", "45°", "PLO"}.
+    std::vector<std::string> optimizations;
+
+    /// Clocking scheme name.
+    std::string clocking;
+
+    /// Wall-clock seconds spent producing this layout.
+    double runtime{0.0};
+
+    /// Combined display label, e.g. "ortho, InOrd (SDN), PLO".
+    [[nodiscard]] std::string label() const;
+};
+
+/// Portfolio configuration. Thresholds keep the expensive tools on the
+/// instance sizes they can handle — mirroring how MNT Bench applies exact
+/// only to small functions and NanoPlaceR to small/medium ones.
+struct portfolio_params
+{
+    bool try_exact{true};
+    /// exact is attempted when the placeable node count is at most this.
+    std::size_t exact_max_nodes{11};
+    double exact_timeout_s{2.0};
+    std::uint64_t exact_max_area{60};
+
+    bool try_nanoplacer{true};
+    std::size_t nanoplacer_max_nodes{90};
+    std::size_t nanoplacer_iterations{1500};
+    std::uint64_t seed{1};
+
+    bool try_ortho{true};
+    bool try_input_ordering{true};
+    std::size_t input_orderings{6};
+
+    bool try_plo{true};
+    /// PLO is skipped when a layout has more occupied tiles than this.
+    std::size_t plo_max_tiles{20000};
+    std::size_t plo_max_gate_moves{20000};
+
+    /// Cartesian clocking schemes to explore with exact/NanoPlaceR
+    /// (ortho is inherently 2DDWave).
+    std::vector<lyt::clocking_kind> cartesian_schemes{lyt::clocking_kind::twoddwave, lyt::clocking_kind::use,
+                                                      lyt::clocking_kind::res, lyt::clocking_kind::esr};
+
+    /// Run the logic optimization pipeline (constant propagation,
+    /// structural hashing, balancing) before physical design. Function- and
+    /// interface-preserving; benchmarks are distributed unoptimized, so this
+    /// is off by default (matching the paper's N counts).
+    bool optimize_network{false};
+
+    /// Verify every produced layout against the network (slower; used by
+    /// tests and the small benchmark sets). Small layouts are additionally
+    /// checked with the clock-phase-accurate wave simulator.
+    bool verify{false};
+};
+
+/// Runs the Cartesian (QCA ONE) portfolio on \p network.
+///
+/// \throws mnt::mnt_error if verification is enabled and a layout fails it
+[[nodiscard]] std::vector<layout_result> run_cartesian_portfolio(const ntk::logic_network& network,
+                                                                 const portfolio_params& params = {});
+
+/// Runs the hexagonal (Bestagon) portfolio on \p network: exact on the hex
+/// grid for small functions, ortho(+InOrd)+45° hexagonalization for all, PLO
+/// on top where budgeted.
+[[nodiscard]] std::vector<layout_result> run_hexagonal_portfolio(const ntk::logic_network& network,
+                                                                 const portfolio_params& params = {});
+
+/// Pointer to the area-minimal result (ties: fewer wires, then label), or
+/// nullptr when \p results is empty.
+[[nodiscard]] const layout_result* best_by_area(const std::vector<layout_result>& results);
+
+}  // namespace mnt::pd

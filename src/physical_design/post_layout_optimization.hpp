@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file post_layout_optimization.hpp
+/// \brief Post-layout optimization (PLO) for gate-level FCN layouts.
+///
+/// Reimplementation of Hofmann et al., "Post-Layout Optimization for
+/// Field-coupled Nanotechnologies" (NANOARCH 2023): an already placed and
+/// routed layout is improved by
+///
+/// 1. rip-up-and-reroute of every gate-to-gate connection onto a shortest
+///    clocked path (wire reduction),
+/// 2. relocation of gates (including I/O pins) toward the layout origin,
+///    re-routing all incident connections after each move,
+/// 3. cropping the bounding box.
+///
+/// Every accepted step must keep all connections routable; the pass is
+/// therefore function-preserving by construction (and validated by the test
+/// suite via equivalence checking). Works on Cartesian and hexagonal
+/// layouts under any clocking scheme.
+
+#include "layout/gate_level_layout.hpp"
+
+#include <cstddef>
+
+namespace mnt::pd
+{
+
+/// Parameters of \ref post_layout_optimization.
+struct plo_params
+{
+    /// Maximum number of full optimization passes.
+    std::size_t max_passes{8};
+
+    /// Search radius for relocation candidates (window west/north of the
+    /// gate).
+    std::int32_t relocation_radius{16};
+
+    /// Maximum candidate target tiles evaluated per gate and pass.
+    std::size_t max_candidates_per_gate{24};
+
+    /// Overall budget of attempted gate moves (0 = unlimited). Guards the
+    /// runtime on very large layouts.
+    std::size_t max_gate_moves{0};
+
+    /// BFS expansion cap per routing query (0 = unlimited).
+    std::size_t max_route_expansions{20000};
+};
+
+/// Statistics of a \ref post_layout_optimization run.
+struct plo_stats
+{
+    double runtime{0.0};
+    std::uint64_t area_before{0};
+    std::uint64_t area_after{0};
+    std::size_t wires_before{0};
+    std::size_t wires_after{0};
+    std::size_t accepted_moves{0};
+    std::size_t rerouted_connections{0};
+    std::size_t passes{0};
+};
+
+/// Optimizes a copy of \p layout and returns it.
+[[nodiscard]] lyt::gate_level_layout post_layout_optimization(const lyt::gate_level_layout& layout,
+                                                              const plo_params& params = {},
+                                                              plo_stats* stats = nullptr);
+
+}  // namespace mnt::pd

@@ -1,0 +1,125 @@
+#include "verification/cell_drc.hpp"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace mnt::ver
+{
+
+namespace
+{
+
+using gl::cell_kind;
+using gl::cell_level_layout;
+using lyt::coordinate;
+
+/// True if zones a and b are at most one 4-phase step apart (in either
+/// direction, wrapping).
+bool zones_compatible(const std::uint8_t a, const std::uint8_t b)
+{
+    const auto diff = (a + 4 - b) % 4;
+    return diff == 0 || diff == 1 || diff == 3;
+}
+
+}  // namespace
+
+cell_drc_report cell_level_drc(const cell_level_layout& cells)
+{
+    cell_drc_report report{};
+
+    std::set<std::string> input_names;
+    std::set<std::string> output_names;
+
+    cells.foreach_cell(
+        [&](const coordinate& c, const gl::cell& payload, const std::uint8_t zone)
+        {
+            // I/O labeling
+            if (payload.kind == cell_kind::input)
+            {
+                if (payload.name.empty())
+                {
+                    report.errors.push_back("input cell " + c.to_string() + " has no name");
+                }
+                else if (!input_names.insert(payload.name).second)
+                {
+                    report.errors.push_back("duplicate input cell name '" + payload.name + "'");
+                }
+            }
+            if (payload.kind == cell_kind::output)
+            {
+                if (payload.name.empty())
+                {
+                    report.errors.push_back("output cell " + c.to_string() + " has no name");
+                }
+                else if (!output_names.insert(payload.name).second)
+                {
+                    report.errors.push_back("duplicate output cell name '" + payload.name + "'");
+                }
+            }
+
+            // crossover layer rule
+            if (payload.kind == cell_kind::crossover && c.z != 1)
+            {
+                report.errors.push_back("crossover cell " + c.to_string() + " outside the crossing layer");
+            }
+
+            // neighborhood scans
+            bool has_close_neighbor = false;      // radius 1, same layer
+            bool has_any_neighbor = false;        // radius 2, any layer
+            bool zone_clash = false;
+            for (std::int32_t dy = -2; dy <= 2; ++dy)
+            {
+                for (std::int32_t dx = -2; dx <= 2; ++dx)
+                {
+                    if (dx == 0 && dy == 0)
+                    {
+                        continue;
+                    }
+                    for (const std::uint8_t dz : {0, 1})
+                    {
+                        const coordinate n{c.x + dx, c.y + dy, dz};
+                        if (cells.is_empty_cell(n))
+                        {
+                            continue;
+                        }
+                        has_any_neighbor = true;
+                        if (std::abs(dx) <= 1 && std::abs(dy) <= 1 && dz == c.z)
+                        {
+                            has_close_neighbor = true;
+                            if (!zones_compatible(zone, cells.clock_zone_of(n)))
+                            {
+                                zone_clash = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // the crossing layer also counts the cell directly below/above
+            const coordinate stacked{c.x, c.y, static_cast<std::uint8_t>(c.z == 0 ? 1 : 0)};
+            if (!cells.is_empty_cell(stacked))
+            {
+                has_any_neighbor = true;
+            }
+
+            if (payload.kind == cell_kind::fixed_0 || payload.kind == cell_kind::fixed_1)
+            {
+                if (!has_close_neighbor)
+                {
+                    report.errors.push_back("fixed cell " + c.to_string() + " drives no neighbor");
+                }
+            }
+            if (!has_any_neighbor)
+            {
+                report.warnings.push_back("cell " + c.to_string() + " is isolated");
+            }
+            if (zone_clash)
+            {
+                report.errors.push_back("cell " + c.to_string() + " neighbors a cell more than one clock zone away");
+            }
+        });
+
+    return report;
+}
+
+}  // namespace mnt::ver

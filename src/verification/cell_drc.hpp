@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cell_drc.hpp
+/// \brief Design rule checking at the cell level: sanity rules that QCA and
+///        SiDB cell layouts must satisfy independent of their gate-level
+///        origin (connectivity, clocking plausibility, I/O labeling).
+
+#include "gate_library/cell_layout.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mnt::ver
+{
+
+/// Outcome of a cell-level design rule check.
+struct cell_drc_report
+{
+    std::vector<std::string> errors;
+    std::vector<std::string> warnings;
+
+    [[nodiscard]] bool passed() const noexcept
+    {
+        return errors.empty();
+    }
+};
+
+/// Runs the cell-level checks on \p cells:
+///
+/// - every input/output cell carries a name; names are unique per role,
+/// - crossover cells appear only in the crossing layer and sit above or
+///   below another cell (they realize a vertical interconnect),
+/// - fixed-polarization cells have at least one same-layer neighbor within
+///   a 1-cell radius (a floating fixed cell drives nothing),
+/// - no completely isolated cells (no neighbor within a 2-cell radius;
+///   warning only — border I/O pads can legitimately stick out),
+/// - neighboring same-layer cells differ by at most one clock zone step
+///   (information cannot jump zones; wrap-around 3 -> 0 is one step).
+[[nodiscard]] cell_drc_report cell_level_drc(const gl::cell_level_layout& cells);
+
+}  // namespace mnt::ver

@@ -1,0 +1,169 @@
+#include "verification/drc.hpp"
+
+#include "layout/layout_utils.hpp"
+
+#include "common/types.hpp"
+
+#include <set>
+#include <string>
+
+namespace mnt::ver
+{
+
+namespace
+{
+
+using lyt::coordinate;
+using lyt::gate_level_layout;
+
+void check_tile_rules(const gate_level_layout& layout, drc_report& report)
+{
+    layout.foreach_tile(
+        [&](const coordinate& c, const gate_level_layout::tile_data& d)
+        {
+            if (!layout.within_bounds(c))
+            {
+                report.errors.push_back("tile " + c.to_string() + " lies outside the layout bounds");
+            }
+            if (c.z == 1)
+            {
+                if (d.type != ntk::gate_type::buf)
+                {
+                    report.errors.push_back("crossing tile " + c.to_string() + " hosts a non-wire gate");
+                }
+                if (layout.type_of(c.ground()) != ntk::gate_type::buf)
+                {
+                    report.errors.push_back("crossing tile " + c.to_string() +
+                                            " does not sit above a ground-layer wire");
+                }
+            }
+        });
+}
+
+void check_connectivity(const gate_level_layout& layout, drc_report& report)
+{
+    layout.foreach_tile(
+        [&](const coordinate& c, const gate_level_layout::tile_data& d)
+        {
+            const auto expected =
+                (c.z == 1) ? std::size_t{1} : static_cast<std::size_t>(ntk::gate_arity(d.type));
+            if (d.incoming.size() != expected)
+            {
+                report.errors.push_back("tile " + c.to_string() + " (" + std::string{ntk::gate_type_name(d.type)} +
+                                        ") has " + std::to_string(d.incoming.size()) + " fanins, expected " +
+                                        std::to_string(expected));
+            }
+
+            for (const auto& in : d.incoming)
+            {
+                if (layout.is_empty_tile(in))
+                {
+                    report.errors.push_back("tile " + c.to_string() + " is fed by empty tile " + in.to_string());
+                    continue;
+                }
+                if (!lyt::are_adjacent(in, c, layout.topology()))
+                {
+                    report.errors.push_back("connection " + in.to_string() + " -> " + c.to_string() +
+                                            " links non-adjacent tiles");
+                }
+                if (!layout.clocking().is_incoming_clocked(c, in))
+                {
+                    report.errors.push_back("connection " + in.to_string() + " -> " + c.to_string() +
+                                            " violates the clocking (zones " +
+                                            std::to_string(layout.clock_number(in)) + " -> " +
+                                            std::to_string(layout.clock_number(c)) + ")");
+                }
+            }
+
+            // fanout capacity
+            const auto branches = layout.outgoing_of(c).size();
+            const auto capacity = [&]() -> std::size_t
+            {
+                switch (d.type)
+                {
+                    case ntk::gate_type::po: return 0;
+                    case ntk::gate_type::fanout: return max_fanout_branches;
+                    default: return 1;
+                }
+            }();
+            if (branches > capacity)
+            {
+                report.errors.push_back("tile " + c.to_string() + " (" + std::string{ntk::gate_type_name(d.type)} +
+                                        ") drives " + std::to_string(branches) + " successors, allowed " +
+                                        std::to_string(capacity));
+            }
+            if (d.type != ntk::gate_type::po && branches == 0)
+            {
+                report.warnings.push_back("tile " + c.to_string() + " drives no successor (dead output)");
+            }
+        });
+}
+
+void check_io(const gate_level_layout& layout, drc_report& report)
+{
+    std::set<std::string> pi_names;
+    for (const auto& c : layout.pi_tiles())
+    {
+        const auto& name = layout.get(c).io_name;
+        if (name.empty())
+        {
+            report.errors.push_back("PI tile " + c.to_string() + " has no name");
+        }
+        else if (!pi_names.insert(name).second)
+        {
+            report.errors.push_back("duplicate PI name '" + name + "'");
+        }
+        const bool border = c.x == 0 || c.y == 0 || c.x == static_cast<std::int32_t>(layout.width()) - 1 ||
+                            c.y == static_cast<std::int32_t>(layout.height()) - 1;
+        if (!border)
+        {
+            report.warnings.push_back("PI '" + name + "' at " + c.to_string() + " is not on the layout border");
+        }
+    }
+
+    std::set<std::string> po_names;
+    for (const auto& c : layout.po_tiles())
+    {
+        const auto& name = layout.get(c).io_name;
+        if (name.empty())
+        {
+            report.errors.push_back("PO tile " + c.to_string() + " has no name");
+        }
+        else if (!po_names.insert(name).second)
+        {
+            report.errors.push_back("duplicate PO name '" + name + "'");
+        }
+        const bool border = c.x == 0 || c.y == 0 || c.x == static_cast<std::int32_t>(layout.width()) - 1 ||
+                            c.y == static_cast<std::int32_t>(layout.height()) - 1;
+        if (!border)
+        {
+            report.warnings.push_back("PO '" + name + "' at " + c.to_string() + " is not on the layout border");
+        }
+    }
+}
+
+void check_acyclic(const gate_level_layout& layout, drc_report& report)
+{
+    try
+    {
+        static_cast<void>(lyt::topological_tile_order(layout));
+    }
+    catch (const mnt::design_rule_error& e)
+    {
+        report.errors.emplace_back(e.what());
+    }
+}
+
+}  // namespace
+
+drc_report gate_level_drc(const lyt::gate_level_layout& layout)
+{
+    drc_report report{};
+    check_tile_rules(layout, report);
+    check_connectivity(layout, report);
+    check_io(layout, report);
+    check_acyclic(layout, report);
+    return report;
+}
+
+}  // namespace mnt::ver

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file drc.hpp
+/// \brief Gate-level design rule checking for FCN layouts.
+///
+/// The DRC verifies the structural legality of a layout independent of its
+/// function:
+///
+/// - bounds and layer rules (z = 1 hosts wire segments only, above a wire),
+/// - fanin completeness (every gate has exactly its arity of connections),
+/// - adjacency (connected tiles are planar neighbors under the topology),
+/// - clocking (every connection advances the clock zone by one),
+/// - fanout capacity (gates drive one successor, fan-outs up to two),
+/// - I/O hygiene (named, unique PIs/POs; border placement as a warning),
+/// - acyclicity of the connection graph.
+
+#include "layout/gate_level_layout.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mnt::ver
+{
+
+/// Outcome of a design rule check.
+struct drc_report
+{
+    /// Hard violations; a layout with errors is not fabricable.
+    std::vector<std::string> errors;
+
+    /// Soft findings (e.g. non-border I/O pins).
+    std::vector<std::string> warnings;
+
+    /// True if no errors were found (warnings allowed).
+    [[nodiscard]] bool passed() const noexcept
+    {
+        return errors.empty();
+    }
+};
+
+/// Maximum number of successors a fanout tile may drive.
+inline constexpr std::size_t max_fanout_branches = 2;
+
+/// Runs all design rule checks on \p layout.
+[[nodiscard]] drc_report gate_level_drc(const lyt::gate_level_layout& layout);
+
+}  // namespace mnt::ver

@@ -1,0 +1,176 @@
+#include "verification/equivalence.hpp"
+
+#include "layout/layout_utils.hpp"
+#include "network/simulation.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::ver
+{
+
+namespace
+{
+
+using ntk::logic_network;
+
+/// Collects PI names in creation order.
+std::vector<std::string> pi_names(const logic_network& network)
+{
+    std::vector<std::string> names;
+    names.reserve(network.num_pis());
+    network.foreach_pi([&](const logic_network::node pi) { names.push_back(network.name_of(pi)); });
+    return names;
+}
+
+std::vector<std::string> po_names(const logic_network& network)
+{
+    std::vector<std::string> names;
+    names.reserve(network.num_pos());
+    network.foreach_po([&](const logic_network::node po) { names.push_back(network.name_of(po)); });
+    return names;
+}
+
+/// Builds per-network PI word vectors from a canonical name -> word map.
+std::vector<std::uint64_t> words_for(const logic_network& network,
+                                     const std::unordered_map<std::string, std::uint64_t>& by_name)
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(network.num_pis());
+    network.foreach_pi([&](const logic_network::node pi) { words.push_back(by_name.at(network.name_of(pi))); });
+    return words;
+}
+
+/// Canonical variable pattern for variable index v within 64-assignment word w.
+std::uint64_t variable_pattern(const std::size_t v, const std::uint64_t w)
+{
+    static constexpr std::uint64_t patterns[6] = {0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull,
+                                                  0xf0f0f0f0f0f0f0f0ull, 0xff00ff00ff00ff00ull,
+                                                  0xffff0000ffff0000ull, 0xffffffff00000000ull};
+    if (v < 6)
+    {
+        return patterns[v];
+    }
+    return (((w * 64ull) >> v) & 1ull) ? ~0ull : 0ull;
+}
+
+}  // namespace
+
+equivalence_result check_equivalence(const logic_network& a, const logic_network& b,
+                                     const equivalence_options& options)
+{
+    equivalence_result result{};
+
+    const auto a_pis = pi_names(a);
+    const auto b_pis = pi_names(b);
+    if (std::set<std::string>(a_pis.cbegin(), a_pis.cend()) != std::set<std::string>(b_pis.cbegin(), b_pis.cend()))
+    {
+        result.reason = "primary input name sets differ";
+        return result;
+    }
+
+    const auto a_pos = po_names(a);
+    const auto b_pos = po_names(b);
+    if (std::set<std::string>(a_pos.cbegin(), a_pos.cend()) != std::set<std::string>(b_pos.cbegin(), b_pos.cend()))
+    {
+        result.reason = "primary output name sets differ";
+        return result;
+    }
+
+    // map PO name -> position per network for output matching
+    std::unordered_map<std::string, std::size_t> a_po_index;
+    std::unordered_map<std::string, std::size_t> b_po_index;
+    for (std::size_t i = 0; i < a_pos.size(); ++i)
+    {
+        a_po_index.emplace(a_pos[i], i);
+    }
+    for (std::size_t i = 0; i < b_pos.size(); ++i)
+    {
+        b_po_index.emplace(b_pos[i], i);
+    }
+    if (a_po_index.size() != a_pos.size() || b_po_index.size() != b_pos.size())
+    {
+        result.reason = "duplicate primary output names";
+        return result;
+    }
+
+    const auto k = a_pis.size();
+    const bool formal = k <= options.formal_threshold;
+    result.formal = formal;
+
+    const auto compare_round = [&](const std::unordered_map<std::string, std::uint64_t>& by_name,
+                                   const std::uint64_t mask) -> bool
+    {
+        const auto a_out = ntk::simulate_word(a, words_for(a, by_name));
+        const auto b_out = ntk::simulate_word(b, words_for(b, by_name));
+        for (const auto& [name, ai] : a_po_index)
+        {
+            const auto bi = b_po_index.at(name);
+            if ((a_out[ai] & mask) != (b_out[bi] & mask))
+            {
+                result.reason = "output '" + name + "' differs";
+                return false;
+            }
+        }
+        return true;
+    };
+
+    if (formal)
+    {
+        const auto total_bits = 1ull << k;
+        const auto num_words = std::max<std::uint64_t>(1, total_bits / 64);
+        const auto mask = total_bits < 64 ? (1ull << total_bits) - 1ull : ~0ull;
+        for (std::uint64_t w = 0; w < num_words; ++w)
+        {
+            std::unordered_map<std::string, std::uint64_t> by_name;
+            for (std::size_t v = 0; v < k; ++v)
+            {
+                by_name.emplace(a_pis[v], variable_pattern(v, w));
+            }
+            if (!compare_round(by_name, mask))
+            {
+                return result;
+            }
+        }
+    }
+    else
+    {
+        std::mt19937_64 rng{options.seed};
+        for (std::size_t r = 0; r < options.random_rounds; ++r)
+        {
+            std::unordered_map<std::string, std::uint64_t> by_name;
+            for (const auto& name : a_pis)
+            {
+                by_name.emplace(name, rng());
+            }
+            if (!compare_round(by_name, ~0ull))
+            {
+                return result;
+            }
+        }
+    }
+
+    result.equivalent = true;
+    return result;
+}
+
+equivalence_result check_layout_equivalence(const logic_network& specification, const lyt::gate_level_layout& layout,
+                                            const equivalence_options& options)
+{
+    try
+    {
+        const auto extracted = lyt::extract_network(layout);
+        return check_equivalence(specification, extracted, options);
+    }
+    catch (const mnt_error& e)
+    {
+        equivalence_result result{};
+        result.reason = std::string{"layout extraction failed: "} + e.what();
+        return result;
+    }
+}
+
+}  // namespace mnt::ver

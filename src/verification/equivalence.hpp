@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file equivalence.hpp
+/// \brief Equivalence checking between logic networks and gate-level
+///        layouts. Every physical design algorithm in this repository is
+///        validated against this module: a layout that is not equivalent to
+///        its specification network is a bug, full stop.
+///
+/// PIs and POs are matched *by name*, so transformations may reorder or
+/// rebuild I/Os freely as long as names are preserved. Networks with up to
+/// \ref equivalence_options::formal_threshold inputs are checked formally by
+/// complete truth-table enumeration; larger ones by seeded random simulation
+/// (64 assignments per round).
+
+#include "layout/gate_level_layout.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace mnt::ver
+{
+
+/// Options for \ref check_equivalence.
+struct equivalence_options
+{
+    /// Up to this many PIs, a complete truth-table check is performed.
+    std::size_t formal_threshold{16};
+
+    /// Number of random 64-assignment words simulated beyond the threshold.
+    std::size_t random_rounds{64};
+
+    /// Seed for the random vectors (deterministic by default).
+    std::uint64_t seed{0x4d4e545f42454eull};  // "MNT_BEN"
+};
+
+/// Result of an equivalence check.
+struct equivalence_result
+{
+    /// Outcome; when false, \ref reason explains the first mismatch.
+    bool equivalent{false};
+
+    /// True if the result was established by complete enumeration.
+    bool formal{false};
+
+    /// Human-readable explanation on failure (empty on success).
+    std::string reason;
+
+    explicit operator bool() const noexcept
+    {
+        return equivalent;
+    }
+};
+
+/// Checks functional equivalence of two networks with name-matched I/Os.
+[[nodiscard]] equivalence_result check_equivalence(const ntk::logic_network& a, const ntk::logic_network& b,
+                                                   const equivalence_options& options = {});
+
+/// Extracts the network realized by \p layout and checks it against
+/// \p specification.
+[[nodiscard]] equivalence_result check_layout_equivalence(const ntk::logic_network& specification,
+                                                          const lyt::gate_level_layout& layout,
+                                                          const equivalence_options& options = {});
+
+}  // namespace mnt::ver

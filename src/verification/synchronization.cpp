@@ -1,0 +1,70 @@
+#include "verification/synchronization.hpp"
+
+#include "layout/layout_utils.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace mnt::ver
+{
+
+synchronization_report analyze_synchronization(const lyt::gate_level_layout& layout)
+{
+    synchronization_report report{};
+
+    // earliest/latest PI-path arrival per tile, in ticks; a tile's own latch
+    // adds one tick on top of its fanins' arrivals
+    std::unordered_map<lyt::coordinate, std::pair<std::size_t, std::size_t>, lyt::coordinate_hash> arrival;
+
+    for (const auto& c : lyt::topological_tile_order(layout))
+    {
+        const auto& d = layout.get(c);
+        if (d.incoming.empty())
+        {
+            arrival[c] = {0, 0};  // PIs (and floating tiles) start the wave
+            continue;
+        }
+
+        std::size_t min_in = std::numeric_limits<std::size_t>::max();
+        std::size_t max_in = 0;
+        for (const auto& in : d.incoming)
+        {
+            const auto& [lo, hi] = arrival.at(in);
+            min_in = std::min(min_in, lo);
+            max_in = std::max(max_in, hi);
+        }
+        arrival[c] = {min_in + 1, max_in + 1};
+
+        // skew matters where data is *combined*: gates with several fanins
+        if (d.incoming.size() > 1)
+        {
+            // compare the latest arrival of each individual fanin path
+            std::size_t lo = std::numeric_limits<std::size_t>::max();
+            std::size_t hi = 0;
+            for (const auto& in : d.incoming)
+            {
+                const auto latest = arrival.at(in).second;
+                lo = std::min(lo, latest);
+                hi = std::max(hi, latest);
+            }
+            if (hi != lo)
+            {
+                report.violations.push_back({c, lo + 1, hi + 1});
+                report.max_skew = std::max(report.max_skew, hi - lo);
+            }
+        }
+
+        if (d.type == ntk::gate_type::po)
+        {
+            report.max_po_arrival = std::max(report.max_po_arrival, arrival.at(c).second);
+        }
+    }
+
+    std::sort(report.violations.begin(), report.violations.end(),
+              [](const skew_violation& a, const skew_violation& b)
+              { return a.skew() != b.skew() ? a.skew() > b.skew() : a.tile < b.tile; });
+    return report;
+}
+
+}  // namespace mnt::ver

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file synchronization.hpp
+/// \brief Path-delay (synchronization) analysis of gate-level layouts.
+///
+/// FCN layouts are wave pipelines: every tile delays its signal by exactly
+/// one clock phase. A multi-input gate therefore combines *consistent* data
+/// only if all its fanin paths from the primary inputs have equal tick
+/// delay; any skew makes the gate mix different input frames once the
+/// layout is streamed at full rate (one frame per clock cycle). Keeping
+/// that skew at zero is the job of signal distribution networks — the
+/// subject of the InOrd paper in MNT Bench's tool set. This analyzer
+/// measures the skew so harnesses can predict (and tests can cross-check
+/// against \ref wave_stream_simulate) whether a layout is full-rate
+/// streamable.
+
+#include "layout/coordinates.hpp"
+#include "layout/gate_level_layout.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnt::ver
+{
+
+/// One unsynchronized gate: fanin paths of different tick delay.
+struct skew_violation
+{
+    lyt::coordinate tile;
+    /// Arrival ticks of the earliest and latest fanin path.
+    std::size_t min_arrival{0};
+    std::size_t max_arrival{0};
+
+    [[nodiscard]] std::size_t skew() const noexcept
+    {
+        return max_arrival - min_arrival;
+    }
+};
+
+/// Synchronization analysis result.
+struct synchronization_report
+{
+    /// Gates whose fanin paths are skewed, largest skew first.
+    std::vector<skew_violation> violations;
+
+    /// Largest fanin skew in the layout (0 = fully balanced).
+    std::size_t max_skew{0};
+
+    /// Ticks from the primary inputs to the latest primary output.
+    std::size_t max_po_arrival{0};
+
+    /// True iff every multi-input gate is perfectly balanced — the layout
+    /// can then stream one new input frame per clock cycle.
+    [[nodiscard]] bool full_rate_streamable() const noexcept
+    {
+        return max_skew == 0;
+    }
+
+    /// Throughput as a fraction of the clock rate: 1 / (1 + ceil(skew/4)).
+    /// A balanced layout runs at 1; every four ticks of skew cost one
+    /// additional cycle of frame holding.
+    [[nodiscard]] double relative_throughput() const noexcept
+    {
+        return 1.0 / (1.0 + static_cast<double>((max_skew + 3) / 4));
+    }
+};
+
+/// Analyzes the fanin-path delays of \p layout. Arrival times are measured
+/// in ticks (clock phases) from the PIs; every tile adds one tick.
+///
+/// \throws mnt::design_rule_error on cyclic connectivity
+[[nodiscard]] synchronization_report analyze_synchronization(const lyt::gate_level_layout& layout);
+
+}  // namespace mnt::ver

@@ -1,0 +1,72 @@
+#include "io/ascii_printer.hpp"
+
+#include "layout/gate_level_layout.hpp"
+#include "layout/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::io;
+using namespace mnt::lyt;
+using mnt::ntk::gate_type;
+
+TEST(AsciiPrinterTest, HeaderContainsMetadata)
+{
+    const gate_level_layout layout{"hdr", layout_topology::cartesian, clocking_scheme::use(), 3, 4};
+    const auto text = layout_to_string(layout);
+    EXPECT_NE(text.find("hdr"), std::string::npos);
+    EXPECT_NE(text.find("cartesian"), std::string::npos);
+    EXPECT_NE(text.find("USE"), std::string::npos);
+    EXPECT_NE(text.find("3 x 4 = 12 tiles"), std::string::npos);
+}
+
+TEST(AsciiPrinterTest, GateSymbolsAppear)
+{
+    gate_level_layout layout{"sym", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 3};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::pi, "b");
+    layout.place({1, 1}, gate_type::and2);
+    layout.place({2, 1}, gate_type::po, "y");
+    const auto text = layout_to_string(layout);
+    EXPECT_NE(text.find('I'), std::string::npos);
+    EXPECT_NE(text.find('&'), std::string::npos);
+    EXPECT_NE(text.find('O'), std::string::npos);
+}
+
+TEST(AsciiPrinterTest, CrossingsAreMarked)
+{
+    gate_level_layout layout{"x", layout_topology::cartesian, clocking_scheme::twoddwave(), 5, 5};
+    layout.place({2, 0}, gate_type::pi, "v");
+    layout.place({2, 4}, gate_type::po, "vy");
+    ASSERT_TRUE(route(layout, {2, 0}, {2, 4}));
+    layout.place({0, 2}, gate_type::pi, "h");
+    layout.place({4, 2}, gate_type::po, "hy");
+    ASSERT_TRUE(route(layout, {0, 2}, {4, 2}));
+
+    const auto text = layout_to_string(layout);
+    EXPECT_NE(text.find("[=]"), std::string::npos);
+}
+
+TEST(AsciiPrinterTest, ClockZonesShown)
+{
+    const gate_level_layout layout{"clk", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 1};
+    ascii_printer_options options{};
+    options.show_clock_zones = true;
+    const auto text = layout_to_string(layout, options);
+    EXPECT_NE(text.find('0'), std::string::npos);
+    EXPECT_NE(text.find('3'), std::string::npos);
+}
+
+TEST(AsciiPrinterTest, HexRowsAreIndented)
+{
+    const gate_level_layout layout{"hex", layout_topology::hexagonal_even_row, clocking_scheme::row(), 2, 2};
+    ascii_printer_options options{};
+    options.show_clock_zones = true;
+    const auto text = layout_to_string(layout, options);
+    // second grid row (odd) starts with the half-tile indent
+    const auto first_newline = text.find('\n');
+    const auto second_line_start = text.find('\n', first_newline + 1) + 1;
+    EXPECT_EQ(text.substr(second_line_start, 2), "  ");
+}

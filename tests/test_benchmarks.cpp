@@ -1,0 +1,237 @@
+#include "benchmarks/functions.hpp"
+#include "benchmarks/suites.hpp"
+#include "benchmarks/synthetic.hpp"
+
+#include "common/types.hpp"
+#include "network/network_utils.hpp"
+#include "network/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <string>
+
+using namespace mnt;
+using namespace mnt::bm;
+
+TEST(FunctionsTest, Mux21TruthTable)
+{
+    const auto tts = ntk::simulate_truth_tables(mux21());
+    // variables: s, a, b -> y = s ? b : a
+    for (std::uint64_t i = 0; i < 8; ++i)
+    {
+        const bool s = (i & 1) != 0;
+        const bool a = (i & 2) != 0;
+        const bool b = (i & 4) != 0;
+        EXPECT_EQ(tts[0].get_bit(i), s ? b : a) << i;
+    }
+}
+
+TEST(FunctionsTest, XorXnorAreComplements)
+{
+    const auto x = ntk::simulate_truth_tables(xor2());
+    const auto xn = ntk::simulate_truth_tables(xnor2());
+    EXPECT_EQ(x[0].to_hex(), "6");
+    EXPECT_EQ(xn[0].to_hex(), "9");
+}
+
+TEST(FunctionsTest, AddersComputeCorrectSums)
+{
+    for (const auto& network : {full_adder(), one_bit_adder_aoig(), one_bit_adder_maj()})
+    {
+        const auto tts = ntk::simulate_truth_tables(network);
+        ASSERT_EQ(tts.size(), 2u);
+        for (std::uint64_t i = 0; i < 8; ++i)
+        {
+            const int total = static_cast<int>(i & 1) + static_cast<int>((i >> 1) & 1) +
+                              static_cast<int>((i >> 2) & 1);
+            EXPECT_EQ(tts[0].get_bit(i), (total & 1) != 0) << network.network_name() << " sum " << i;
+            EXPECT_EQ(tts[1].get_bit(i), total >= 2) << network.network_name() << " carry " << i;
+        }
+    }
+}
+
+TEST(FunctionsTest, TwoBitAdderMajIsCorrect)
+{
+    const auto tts = ntk::simulate_truth_tables(two_bit_adder_maj());
+    ASSERT_EQ(tts.size(), 3u);
+    // variables: a0, b0, a1, b1, cin
+    for (std::uint64_t i = 0; i < 32; ++i)
+    {
+        const int a = static_cast<int>(i & 1) + 2 * static_cast<int>((i >> 2) & 1);
+        const int b = static_cast<int>((i >> 1) & 1) + 2 * static_cast<int>((i >> 3) & 1);
+        const int cin = static_cast<int>((i >> 4) & 1);
+        const int total = a + b + cin;
+        EXPECT_EQ(tts[0].get_bit(i), (total & 1) != 0) << i;        // s0
+        EXPECT_EQ(tts[1].get_bit(i), ((total >> 1) & 1) != 0) << i;  // s1
+        EXPECT_EQ(tts[2].get_bit(i), total >= 4) << i;               // cout
+    }
+}
+
+TEST(FunctionsTest, Majority5CountsVotes)
+{
+    const auto tts = ntk::simulate_truth_tables(majority5());
+    for (std::uint64_t i = 0; i < 32; ++i)
+    {
+        EXPECT_EQ(tts[0].get_bit(i), std::popcount(i) >= 3) << i;
+    }
+}
+
+TEST(FunctionsTest, ParityFunctions)
+{
+    const auto gen = ntk::simulate_truth_tables(parity_generator());
+    for (std::uint64_t i = 0; i < 8; ++i)
+    {
+        EXPECT_EQ(gen[0].get_bit(i), (std::popcount(i) & 1) != 0);
+    }
+
+    const auto xor5 = ntk::simulate_truth_tables(xor5_maj());
+    for (std::uint64_t i = 0; i < 32; ++i)
+    {
+        EXPECT_EQ(xor5[0].get_bit(i), (std::popcount(i) & 1) != 0);
+    }
+
+    const auto p16 = ntk::simulate_truth_tables(parity16());
+    EXPECT_EQ(p16[0].count_ones(), 1ull << 15);  // half the assignments odd
+}
+
+TEST(FunctionsTest, ParityCheckerAcceptsCorrectParity)
+{
+    const auto tts = ntk::simulate_truth_tables(parity_checker());
+    // ok = xnor(parity(a,b,c), p): variables a,b,c,p
+    for (std::uint64_t i = 0; i < 16; ++i)
+    {
+        const bool parity = (std::popcount(i & 7u) & 1) != 0;
+        const bool p = (i & 8) != 0;
+        EXPECT_EQ(tts[0].get_bit(i), parity == p) << i;
+    }
+}
+
+TEST(FunctionsTest, NewtagMatchesPattern)
+{
+    const auto tts = ntk::simulate_truth_tables(newtag());
+    for (std::uint64_t i = 0; i < 256; ++i)
+    {
+        const auto lo = i & 0xf;
+        const auto hi = (i >> 4) & 0xf;
+        EXPECT_EQ(tts[0].get_bit(i), lo == hi) << i;
+    }
+}
+
+TEST(FunctionsTest, C17MatchesPublishedNetlist)
+{
+    const auto network = c17();
+    EXPECT_EQ(network.num_pis(), 5u);
+    EXPECT_EQ(network.num_pos(), 2u);
+    EXPECT_EQ(network.num_gates(), 6u);
+    const auto stats = ntk::collect_statistics(network);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(ntk::gate_type::nand2)], 6u);
+
+    // spot-check: all inputs high -> 22 = nand(nand(1,3), nand(2, nand(3,6)))
+    const auto tts = ntk::simulate_truth_tables(network);
+    const std::uint64_t all_ones = 31;
+    // n10 = 0, n11 = 0, n16 = 1, n19 = 1 -> out22 = 1, out23 = 0
+    EXPECT_TRUE(tts[0].get_bit(all_ones));
+    EXPECT_FALSE(tts[1].get_bit(all_ones));
+}
+
+TEST(SyntheticTest, ExactCounts)
+{
+    synthetic_spec spec{};
+    spec.name = "syn";
+    spec.num_pis = 12;
+    spec.num_pos = 5;
+    spec.num_gates = 200;
+    const auto network = synthetic_network(spec);
+    EXPECT_EQ(network.num_pis(), 12u);
+    EXPECT_EQ(network.num_pos(), 5u);
+    EXPECT_EQ(network.num_gates(), 200u);
+    EXPECT_TRUE(ntk::sanity_check(network).empty());
+}
+
+TEST(SyntheticTest, DeterministicPerSeed)
+{
+    synthetic_spec spec{};
+    spec.num_gates = 50;
+    const auto a = synthetic_network(spec);
+    const auto b = synthetic_network(spec);
+    EXPECT_TRUE(a.structurally_equal(b));
+
+    spec.seed += 1;
+    const auto c = synthetic_network(spec);
+    EXPECT_FALSE(a.structurally_equal(c));
+}
+
+TEST(SyntheticTest, AllPisAreUsed)
+{
+    synthetic_spec spec{};
+    spec.num_pis = 16;
+    spec.num_gates = 100;
+    const auto network = synthetic_network(spec);
+    network.foreach_pi([&](const ntk::logic_network::node pi)
+                       { EXPECT_GT(network.fanout_size(pi), 0u) << network.name_of(pi); });
+}
+
+TEST(SyntheticTest, RejectsEmptyInterfaces)
+{
+    synthetic_spec spec{};
+    spec.num_pis = 0;
+    EXPECT_THROW(static_cast<void>(synthetic_network(spec)), precondition_error);
+}
+
+TEST(SuitesTest, SetSizesMatchTableOne)
+{
+    EXPECT_EQ(trindade16().size(), 7u);
+    EXPECT_EQ(fontes18().size(), 11u);
+    EXPECT_EQ(iscas85().size(), 11u);
+    EXPECT_EQ(epfl().size(), 11u);
+    EXPECT_EQ(all_suites().size(), 40u);
+}
+
+TEST(SuitesTest, NamesAreUniquePerSet)
+{
+    std::set<std::string> seen;
+    for (const auto& e : all_suites())
+    {
+        EXPECT_TRUE(seen.insert(e.set + "/" + e.name).second) << e.set << "/" << e.name;
+    }
+}
+
+TEST(SuitesTest, AllBuildersProduceSaneNetworks)
+{
+    for (const auto& e : all_suites())
+    {
+        const auto network = e.build();
+        EXPECT_TRUE(ntk::sanity_check(network).empty()) << e.set << "/" << e.name;
+        EXPECT_GT(network.num_pis(), 0u) << e.name;
+        EXPECT_GT(network.num_pos(), 0u) << e.name;
+    }
+}
+
+TEST(SuitesTest, SyntheticStandInsMatchPublishedCounts)
+{
+    for (const auto& e : iscas85())
+    {
+        if (e.name == "c432")
+        {
+            const auto network = e.build();
+            EXPECT_EQ(network.num_pis(), 36u);
+            EXPECT_EQ(network.num_pos(), 7u);
+            EXPECT_EQ(network.num_gates(), 414u);
+        }
+        if (e.name == "c6288")
+        {
+            const auto network = e.build();
+            EXPECT_EQ(network.num_gates(), 6467u);
+        }
+    }
+    for (const auto& e : epfl())
+    {
+        if (e.name == "sin")
+        {
+            EXPECT_EQ(e.build().num_gates(), 11437u);
+            EXPECT_EQ(e.size, size_class::large);
+        }
+    }
+}

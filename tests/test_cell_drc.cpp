@@ -1,0 +1,121 @@
+#include "verification/cell_drc.hpp"
+
+#include "gate_library/bestagon.hpp"
+#include "gate_library/qca_one.hpp"
+#include "network/transforms.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mnt;
+using namespace mnt::gl;
+using namespace mnt::ver;
+using namespace mnt::test;
+
+namespace
+{
+
+bool mentions(const std::vector<std::string>& messages, const std::string& needle)
+{
+    return std::any_of(messages.cbegin(), messages.cend(),
+                       [&](const std::string& m) { return m.find(needle) != std::string::npos; });
+}
+
+}  // namespace
+
+TEST(CellDrcTest, CompiledQcaLayoutIsClean)
+{
+    const auto layout = pd::ortho(ntk::to_aoi(mux21()));
+    const auto cells = apply_qca_one(layout);
+    const auto report = cell_level_drc(cells);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+}
+
+TEST(CellDrcTest, CompiledBestagonLayoutIsClean)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(full_adder()));
+    const auto cells = apply_bestagon(hex);
+    const auto report = cell_level_drc(cells);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+}
+
+TEST(CellDrcTest, UnnamedInputIsAnError)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    cell c{};
+    c.kind = cell_kind::input;
+    cells.place_cell({1, 1}, c, 0);
+    const auto report = cell_level_drc(cells);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "no name"));
+}
+
+TEST(CellDrcTest, DuplicateOutputNamesAreAnError)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    cell c{};
+    c.kind = cell_kind::output;
+    c.name = "y";
+    cells.place_cell({1, 1}, c, 0);
+    cells.place_cell({2, 1}, c, 0);
+    const auto report = cell_level_drc(cells);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "duplicate output"));
+}
+
+TEST(CellDrcTest, CrossoverOutsideCrossingLayerIsAnError)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    cell c{};
+    c.kind = cell_kind::crossover;
+    cells.place_cell({1, 1}, c, 0);
+    cells.place_cell({2, 1}, {}, 0);
+    const auto report = cell_level_drc(cells);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "crossing layer"));
+}
+
+TEST(CellDrcTest, FloatingFixedCellIsAnError)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    cell fixed{};
+    fixed.kind = cell_kind::fixed_0;
+    cells.place_cell({5, 5}, fixed, 0);
+    const auto report = cell_level_drc(cells);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "drives no neighbor"));
+}
+
+TEST(CellDrcTest, IsolatedCellIsAWarning)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 16, 16};
+    cells.place_cell({1, 1}, {}, 0);
+    cells.place_cell({2, 1}, {}, 0);
+    cells.place_cell({12, 12}, {}, 0);  // far away from everything
+    const auto report = cell_level_drc(cells);
+    EXPECT_TRUE(report.passed());
+    EXPECT_TRUE(mentions(report.warnings, "isolated"));
+}
+
+TEST(CellDrcTest, ZoneJumpIsAnError)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    cells.place_cell({1, 1}, {}, 0);
+    cells.place_cell({2, 1}, {}, 2);  // two zones away
+    const auto report = cell_level_drc(cells);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "clock zone"));
+}
+
+TEST(CellDrcTest, WrapAroundZoneStepIsFine)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    cells.place_cell({1, 1}, {}, 3);
+    cells.place_cell({2, 1}, {}, 0);  // 3 -> 0 wraps to one step
+    const auto report = cell_level_drc(cells);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+}

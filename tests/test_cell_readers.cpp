@@ -1,0 +1,93 @@
+#include "io/cell_readers.hpp"
+
+#include "common/types.hpp"
+#include "gate_library/bestagon.hpp"
+#include "gate_library/qca_one.hpp"
+#include "io/qca_writer.hpp"
+#include "io/sqd_writer.hpp"
+#include "network/transforms.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mnt;
+using namespace mnt::io;
+using namespace mnt::test;
+
+TEST(QcaReaderTest, RoundTripPreservesCells)
+{
+    const auto layout = pd::ortho(ntk::to_aoi(mux21()));
+    const auto cells = gl::apply_qca_one(layout);
+    const auto reread = read_qca_string(write_qca_string(cells));
+
+    EXPECT_EQ(reread.technology(), gl::cell_technology::qca);
+    EXPECT_EQ(reread.layout_name(), cells.layout_name());
+    EXPECT_EQ(reread.num_cells(), cells.num_cells());
+    EXPECT_EQ(reread.num_input_cells(), cells.num_input_cells());
+    EXPECT_EQ(reread.num_output_cells(), cells.num_output_cells());
+
+    cells.foreach_cell(
+        [&](const lyt::coordinate& c, const gl::cell& payload, const std::uint8_t zone)
+        {
+            ASSERT_FALSE(reread.is_empty_cell(c)) << c.to_string();
+            EXPECT_EQ(reread.get_cell(c).kind, payload.kind) << c.to_string();
+            EXPECT_EQ(reread.get_cell(c).name, payload.name) << c.to_string();
+            EXPECT_EQ(reread.clock_zone_of(c), zone) << c.to_string();
+        });
+}
+
+TEST(QcaReaderTest, FixedPolarizationsDistinguished)
+{
+    ntk::logic_network network{"ao"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_and(a, b), "y0");
+    const auto cells = gl::apply_qca_one(pd::ortho(network));
+    const auto reread = read_qca_string(write_qca_string(cells));
+
+    std::size_t fixed0 = 0;
+    reread.foreach_cell([&](const lyt::coordinate&, const gl::cell& c, std::uint8_t)
+                        { fixed0 += c.kind == gl::cell_kind::fixed_0 ? 1 : 0; });
+    EXPECT_EQ(fixed0, 1u);
+}
+
+TEST(QcaReaderTest, MalformedDocumentsRejected)
+{
+    EXPECT_THROW(static_cast<void>(read_qca_string("[TYPE:QCADCell]\nx=0\n")), parse_error);   // unterminated
+    EXPECT_THROW(static_cast<void>(read_qca_string("garbage line\n")), parse_error);           // no key=value
+    EXPECT_THROW(static_cast<void>(read_qca_string("[TYPE:QCADCell]\nx=abc\n[#TYPE:QCADCell]\n")), parse_error);
+    EXPECT_THROW(static_cast<void>(read_qca_string("[TYPE:QCADCell]\nclock=7\n[#TYPE:QCADCell]\n")), parse_error);
+}
+
+TEST(SqdReaderTest, RoundTripPreservesDots)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(mux21()));
+    const auto cells = gl::apply_bestagon(hex);
+    const auto reread = read_sqd_string(write_sqd_string(cells));
+
+    EXPECT_EQ(reread.technology(), gl::cell_technology::sidb);
+    EXPECT_EQ(reread.num_cells(), cells.num_cells());
+    // positions survive exactly
+    cells.foreach_cell([&](const lyt::coordinate& c, const gl::cell&, std::uint8_t)
+                       { EXPECT_FALSE(reread.is_empty_cell(c)) << c.to_string(); });
+    // named pads survive (role reconstruction is heuristic, so compare count)
+    EXPECT_EQ(reread.num_input_cells() + reread.num_output_cells(),
+              cells.num_input_cells() + cells.num_output_cells());
+}
+
+TEST(SqdReaderTest, MalformedDocumentsRejected)
+{
+    EXPECT_THROW(static_cast<void>(read_sqd_string("<nope/>")), parse_error);
+    EXPECT_THROW(static_cast<void>(read_sqd_string("<siqad><program/></siqad>")), parse_error);  // no design
+    EXPECT_THROW(static_cast<void>(read_sqd_string(
+                     "<siqad><design><layer type=\"DB\"><dbdot/></layer></design></siqad>")),
+                 parse_error);  // dot without latcoord
+}
+
+TEST(CellReadersTest, MissingFilesThrow)
+{
+    EXPECT_THROW(static_cast<void>(read_qca_file("/nonexistent.qca")), mnt_error);
+    EXPECT_THROW(static_cast<void>(read_sqd_file("/nonexistent.sqd")), mnt_error);
+}

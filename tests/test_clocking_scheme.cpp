@@ -1,0 +1,171 @@
+#include "layout/clocking_scheme.hpp"
+
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::lyt;
+
+TEST(ClockingSchemeTest, TwoDDWaveIsDiagonal)
+{
+    const auto scheme = clocking_scheme::twoddwave();
+    for (int y = 0; y < 8; ++y)
+    {
+        for (int x = 0; x < 8; ++x)
+        {
+            EXPECT_EQ(scheme.clock_number({x, y}), static_cast<std::uint8_t>((x + y) % 4));
+        }
+    }
+}
+
+TEST(ClockingSchemeTest, TwoDDWaveFlowsEastAndSouth)
+{
+    const auto scheme = clocking_scheme::twoddwave();
+    for (int y = 0; y < 5; ++y)
+    {
+        for (int x = 0; x < 5; ++x)
+        {
+            EXPECT_TRUE(scheme.is_incoming_clocked({x + 1, y}, {x, y}));
+            EXPECT_TRUE(scheme.is_incoming_clocked({x, y + 1}, {x, y}));
+            EXPECT_FALSE(scheme.is_incoming_clocked({x, y}, {x + 1, y}));
+        }
+    }
+}
+
+TEST(ClockingSchemeTest, RowClockingFlowsSouthOnly)
+{
+    const auto scheme = clocking_scheme::row();
+    EXPECT_EQ(scheme.clock_number({0, 0}), 0);
+    EXPECT_EQ(scheme.clock_number({7, 0}), 0);
+    EXPECT_EQ(scheme.clock_number({3, 5}), 1);
+    EXPECT_TRUE(scheme.is_incoming_clocked({4, 1}, {4, 0}));
+    EXPECT_FALSE(scheme.is_incoming_clocked({5, 0}, {4, 0}));  // same row
+}
+
+TEST(ClockingSchemeTest, CutoutsArePeriodic)
+{
+    for (const auto kind : {clocking_kind::twoddwave, clocking_kind::use, clocking_kind::res, clocking_kind::esr,
+                            clocking_kind::row})
+    {
+        const auto scheme = clocking_scheme::create(kind);
+        for (int y = 0; y < 4; ++y)
+        {
+            for (int x = 0; x < 4; ++x)
+            {
+                EXPECT_EQ(scheme.clock_number({x, y}), scheme.clock_number({x + 4, y}));
+                EXPECT_EQ(scheme.clock_number({x, y}), scheme.clock_number({x, y + 4}));
+                EXPECT_EQ(scheme.clock_number({x, y}), scheme.clock_number({x + 8, y + 4}));
+            }
+        }
+    }
+}
+
+TEST(ClockingSchemeTest, ZonesAreAlwaysInRange)
+{
+    for (const auto kind : {clocking_kind::twoddwave, clocking_kind::use, clocking_kind::res, clocking_kind::esr,
+                            clocking_kind::row})
+    {
+        const auto scheme = clocking_scheme::create(kind);
+        for (int y = -4; y < 8; ++y)
+        {
+            for (int x = -4; x < 8; ++x)
+            {
+                EXPECT_LT(scheme.clock_number({x, y}), clocking_scheme::num_clocks);
+            }
+        }
+    }
+}
+
+TEST(ClockingSchemeTest, CrossingSharesGroundZone)
+{
+    const auto scheme = clocking_scheme::use();
+    EXPECT_EQ(scheme.clock_number({2, 3, 1}), scheme.clock_number({2, 3, 0}));
+}
+
+TEST(ClockingSchemeTest, USESupportsBackwardFlow)
+{
+    // USE snakes: there must exist adjacent tile pairs flowing westward
+    const auto scheme = clocking_scheme::use();
+    bool westward = false;
+    for (int y = 0; y < 4 && !westward; ++y)
+    {
+        for (int x = 1; x < 4 && !westward; ++x)
+        {
+            westward = scheme.is_incoming_clocked({x - 1, y}, {x, y});
+        }
+    }
+    EXPECT_TRUE(westward);
+}
+
+TEST(ClockingSchemeTest, OpenSchemeAssignments)
+{
+    auto scheme = clocking_scheme::open();
+    EXPECT_FALSE(scheme.is_regular());
+    EXPECT_FALSE(scheme.has_assigned_clock({1, 1}));
+    scheme.assign_clock({1, 1}, 3);
+    EXPECT_TRUE(scheme.has_assigned_clock({1, 1}));
+    EXPECT_EQ(scheme.clock_number({1, 1}), 3);
+    EXPECT_EQ(scheme.clock_number({1, 1, 1}), 3);  // crossing layer shares
+    EXPECT_THROW(scheme.assign_clock({0, 0}, 4), precondition_error);
+}
+
+TEST(ClockingSchemeTest, RegularSchemeRejectsAssignment)
+{
+    auto scheme = clocking_scheme::twoddwave();
+    EXPECT_THROW(scheme.assign_clock({0, 0}, 1), precondition_error);
+}
+
+TEST(ClockingSchemeTest, NameRoundTrip)
+{
+    for (const auto kind : {clocking_kind::twoddwave, clocking_kind::use, clocking_kind::res, clocking_kind::esr,
+                            clocking_kind::row, clocking_kind::open})
+    {
+        EXPECT_EQ(clocking_from_name(clocking_name(kind)), kind);
+    }
+    EXPECT_EQ(clocking_from_name("2ddwave"), clocking_kind::twoddwave);
+    EXPECT_THROW(static_cast<void>(clocking_from_name("nonsense")), mnt_error);
+}
+
+TEST(ClockingSchemeTest, RegularSchemesPerTopology)
+{
+    const auto cart = regular_schemes_for(layout_topology::cartesian);
+    EXPECT_EQ(cart.size(), 5u);
+    const auto hex = regular_schemes_for(layout_topology::hexagonal_even_row);
+    ASSERT_EQ(hex.size(), 1u);
+    EXPECT_EQ(hex[0], clocking_kind::row);
+}
+
+TEST(ClockingSchemeTest, EqualityComparison)
+{
+    EXPECT_EQ(clocking_scheme::use(), clocking_scheme::use());
+    EXPECT_FALSE(clocking_scheme::use() == clocking_scheme::res());
+    auto a = clocking_scheme::open();
+    auto b = clocking_scheme::open();
+    EXPECT_EQ(a, b);
+    a.assign_clock({0, 0}, 2);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(ClockingSchemeTest, MayFlowConservativeReachability)
+{
+    using lyt::may_flow;
+    // 2DDWave: strictly east/south
+    EXPECT_TRUE(may_flow(clocking_kind::twoddwave, layout_topology::cartesian, {1, 1}, {3, 1}));
+    EXPECT_FALSE(may_flow(clocking_kind::twoddwave, layout_topology::cartesian, {3, 1}, {1, 1}));
+    EXPECT_FALSE(may_flow(clocking_kind::twoddwave, layout_topology::cartesian, {1, 1}, {1, 1}));
+    // hex ROW: strictly downward within the diagonal cone
+    EXPECT_TRUE(may_flow(clocking_kind::row, layout_topology::hexagonal_even_row, {3, 0}, {1, 4}));
+    EXPECT_FALSE(may_flow(clocking_kind::row, layout_topology::hexagonal_even_row, {3, 0}, {7, 2}));
+    EXPECT_FALSE(may_flow(clocking_kind::row, layout_topology::hexagonal_even_row, {3, 4}, {3, 0}));
+    // Cartesian ROW: straight columns only
+    EXPECT_TRUE(may_flow(clocking_kind::row, layout_topology::cartesian, {2, 0}, {2, 5}));
+    EXPECT_FALSE(may_flow(clocking_kind::row, layout_topology::cartesian, {2, 0}, {3, 5}));
+    // snaking schemes: never prune
+    EXPECT_TRUE(may_flow(clocking_kind::use, layout_topology::cartesian, {5, 5}, {0, 0}));
+    EXPECT_TRUE(may_flow(clocking_kind::res, layout_topology::cartesian, {5, 5}, {0, 0}));
+    EXPECT_TRUE(may_flow(clocking_kind::esr, layout_topology::cartesian, {5, 5}, {0, 0}));
+}

@@ -1,0 +1,111 @@
+#include "layout/coordinates.hpp"
+
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace mnt;
+using namespace mnt::lyt;
+
+TEST(CoordinateTest, ConstructionAndEquality)
+{
+    const coordinate a{1, 2};
+    const coordinate b{1, 2, 0};
+    const coordinate c{1, 2, 1};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(c.ground(), a);
+    EXPECT_EQ(a.elevated(), c);
+}
+
+TEST(CoordinateTest, OrderingIsRowMajor)
+{
+    EXPECT_LT(coordinate(5, 0), coordinate(0, 1));
+    EXPECT_LT(coordinate(0, 1), coordinate(1, 1));
+    EXPECT_LT(coordinate(1, 1, 0), coordinate(1, 1, 1));
+}
+
+TEST(CoordinateTest, ToString)
+{
+    EXPECT_EQ(coordinate(3, 4, 1).to_string(), "(3, 4, 1)");
+}
+
+TEST(CoordinateTest, HashDistinguishesLayers)
+{
+    std::unordered_set<coordinate, coordinate_hash> set;
+    set.insert({1, 1, 0});
+    set.insert({1, 1, 1});
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(CoordinateTest, CartesianNeighbors)
+{
+    const auto ns = planar_neighbors({2, 2}, layout_topology::cartesian);
+    EXPECT_EQ(ns.size(), 4u);
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(3, 2)), ns.cend());
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(2, 3)), ns.cend());
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(1, 2)), ns.cend());
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(2, 1)), ns.cend());
+}
+
+TEST(CoordinateTest, HexagonalNeighborsEvenRow)
+{
+    const auto ns = planar_neighbors({3, 2}, layout_topology::hexagonal_even_row);
+    EXPECT_EQ(ns.size(), 6u);
+    // even row: down-neighbors are (x-1, y+1) and (x, y+1)
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(2, 3)), ns.cend());
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(3, 3)), ns.cend());
+    EXPECT_EQ(std::find(ns.cbegin(), ns.cend(), coordinate(4, 3)), ns.cend());
+}
+
+TEST(CoordinateTest, HexagonalNeighborsOddRow)
+{
+    const auto ns = planar_neighbors({3, 3}, layout_topology::hexagonal_even_row);
+    EXPECT_EQ(ns.size(), 6u);
+    // odd row: down-neighbors are (x, y+1) and (x+1, y+1)
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(3, 4)), ns.cend());
+    EXPECT_NE(std::find(ns.cbegin(), ns.cend(), coordinate(4, 4)), ns.cend());
+    EXPECT_EQ(std::find(ns.cbegin(), ns.cend(), coordinate(2, 4)), ns.cend());
+}
+
+TEST(CoordinateTest, HexNeighborhoodIsSymmetric)
+{
+    // if b is a neighbor of a, then a must be a neighbor of b
+    for (int y = 0; y < 4; ++y)
+    {
+        for (int x = 0; x < 4; ++x)
+        {
+            const coordinate a{x, y};
+            for (const auto& b : planar_neighbors(a, layout_topology::hexagonal_even_row))
+            {
+                EXPECT_TRUE(are_adjacent(b, a, layout_topology::hexagonal_even_row))
+                    << a.to_string() << " vs " << b.to_string();
+            }
+        }
+    }
+}
+
+TEST(CoordinateTest, AdjacencyIgnoresLayer)
+{
+    EXPECT_TRUE(are_adjacent({1, 1, 1}, {2, 1, 0}, layout_topology::cartesian));
+    EXPECT_FALSE(are_adjacent({1, 1}, {3, 1}, layout_topology::cartesian));
+    EXPECT_FALSE(are_adjacent({1, 1}, {2, 2}, layout_topology::cartesian));
+}
+
+TEST(CoordinateTest, GridDistance)
+{
+    EXPECT_EQ(grid_distance({0, 0}, {3, 4}, layout_topology::cartesian), 7u);
+    // hexagonal: diagonal movement absorbs column difference
+    EXPECT_EQ(grid_distance({0, 0}, {3, 4}, layout_topology::hexagonal_even_row), 4u);
+    EXPECT_EQ(grid_distance({0, 0}, {5, 2}, layout_topology::hexagonal_even_row), 5u);
+}
+
+TEST(CoordinateTest, TopologyNames)
+{
+    EXPECT_EQ(topology_name(layout_topology::cartesian), "cartesian");
+    EXPECT_EQ(topology_from_name("hexagonal"), layout_topology::hexagonal_even_row);
+    EXPECT_THROW(static_cast<void>(topology_from_name("triangular")), mnt_error);
+}

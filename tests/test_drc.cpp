@@ -1,0 +1,160 @@
+#include "verification/drc.hpp"
+
+#include "layout/gate_level_layout.hpp"
+#include "layout/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+using namespace mnt;
+using namespace mnt::lyt;
+using namespace mnt::ver;
+using mnt::ntk::gate_type;
+
+namespace
+{
+
+gate_level_layout make_valid_layout()
+{
+    gate_level_layout layout{"ok", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 3};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::pi, "b");
+    layout.place({1, 1}, gate_type::and2);
+    layout.place({2, 1}, gate_type::buf);
+    layout.place({3, 1}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({0, 1}, {1, 1});
+    layout.connect({1, 1}, {2, 1});
+    layout.connect({2, 1}, {3, 1});
+    return layout;
+}
+
+bool mentions(const std::vector<std::string>& messages, const std::string& needle)
+{
+    return std::any_of(messages.cbegin(), messages.cend(),
+                       [&](const std::string& m) { return m.find(needle) != std::string::npos; });
+}
+
+}  // namespace
+
+TEST(DrcTest, ValidLayoutPasses)
+{
+    const auto report = gate_level_drc(make_valid_layout());
+    EXPECT_TRUE(report.passed());
+    EXPECT_TRUE(report.errors.empty());
+}
+
+TEST(DrcTest, MissingFaninIsAnError)
+{
+    auto layout = make_valid_layout();
+    layout.disconnect({0, 1}, {1, 1});
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "fanins"));
+}
+
+TEST(DrcTest, ClockViolationIsAnError)
+{
+    gate_level_layout layout{"clk", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 4};
+    layout.place({1, 1}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::po, "y");
+    layout.connect({1, 1}, {0, 1});  // westward against 2DDWave
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "clocking"));
+}
+
+TEST(DrcTest, NonAdjacentConnectionIsAnError)
+{
+    gate_level_layout layout{"adj", layout_topology::cartesian, clocking_scheme::twoddwave(), 5, 5};
+    layout.place({0, 0}, gate_type::pi, "a");
+    layout.place({2, 2}, gate_type::po, "y");
+    layout.connect({0, 0}, {2, 2});
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "non-adjacent"));
+}
+
+TEST(DrcTest, FanoutCapacityEnforced)
+{
+    gate_level_layout layout{"cap", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 4};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({2, 0}, gate_type::buf);
+    layout.place({1, 1}, gate_type::buf);
+    layout.connect({1, 0}, {2, 0});
+    layout.connect({1, 0}, {1, 1});  // PI drives two successors without fanout
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "successors"));
+}
+
+TEST(DrcTest, FanoutGateMayDriveTwo)
+{
+    gate_level_layout layout{"fo", layout_topology::cartesian, clocking_scheme::twoddwave(), 5, 5};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({1, 1}, gate_type::fanout);
+    layout.place({2, 1}, gate_type::po, "y1");
+    layout.place({1, 2}, gate_type::po, "y2");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({1, 1}, {2, 1});
+    layout.connect({1, 1}, {1, 2});
+    const auto report = gate_level_drc(layout);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+}
+
+TEST(DrcTest, CrossingAboveEmptyGroundIsAnError)
+{
+    gate_level_layout layout{"x", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 4};
+    layout.place({1, 1, 1}, gate_type::buf);
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "ground-layer"));
+}
+
+TEST(DrcTest, UnnamedPiIsAnError)
+{
+    gate_level_layout layout{"pi", layout_topology::cartesian, clocking_scheme::twoddwave(), 3, 3};
+    layout.place({0, 0}, gate_type::pi, "");
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "no name"));
+}
+
+TEST(DrcTest, DuplicatePoNamesAreAnError)
+{
+    gate_level_layout layout{"po", layout_topology::cartesian, clocking_scheme::twoddwave(), 4, 4};
+    layout.place({0, 0}, gate_type::pi, "a");
+    layout.place({1, 0}, gate_type::fanout);
+    layout.place({2, 0}, gate_type::po, "y");
+    layout.place({1, 1}, gate_type::po, "y");
+    layout.connect({0, 0}, {1, 0});
+    layout.connect({1, 0}, {2, 0});
+    layout.connect({1, 0}, {1, 1});
+    const auto report = gate_level_drc(layout);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(mentions(report.errors, "duplicate PO"));
+}
+
+TEST(DrcTest, InteriorIoIsAWarning)
+{
+    gate_level_layout layout{"warn", layout_topology::cartesian, clocking_scheme::twoddwave(), 5, 5};
+    layout.place({1, 1}, gate_type::pi, "a");
+    layout.place({2, 1}, gate_type::po, "y");
+    layout.connect({1, 1}, {2, 1});
+    const auto report = gate_level_drc(layout);
+    EXPECT_TRUE(report.passed());
+    EXPECT_TRUE(mentions(report.warnings, "border"));
+}
+
+TEST(DrcTest, DeadOutputIsAWarning)
+{
+    gate_level_layout layout{"dead", layout_topology::cartesian, clocking_scheme::twoddwave(), 3, 3};
+    layout.place({0, 0}, gate_type::pi, "a");
+    layout.place({1, 0}, gate_type::buf);
+    layout.connect({0, 0}, {1, 0});  // the wire drives nothing
+    const auto report = gate_level_drc(layout);
+    EXPECT_TRUE(report.passed());
+    EXPECT_TRUE(mentions(report.warnings, "dead output"));
+}

@@ -1,0 +1,195 @@
+#include "verification/equivalence.hpp"
+
+#include "layout/routing.hpp"
+#include "network/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::ntk;
+using namespace mnt::ver;
+
+namespace
+{
+
+logic_network make_mux()
+{
+    logic_network network{"mux"};
+    const auto s = network.create_pi("s");
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto lhs = network.create_and(network.create_not(s), a);
+    const auto rhs = network.create_and(s, b);
+    network.create_po(network.create_or(lhs, rhs), "y");
+    return network;
+}
+
+/// same function, different structure: y = (a & ~s) | (b & s) via xor trick
+logic_network make_mux_variant()
+{
+    logic_network network{"mux2"};
+    const auto s = network.create_pi("s");
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    // y = a ^ (s & (a ^ b))
+    const auto axb = network.create_xor(a, b);
+    const auto gated = network.create_and(s, axb);
+    network.create_po(network.create_xor(a, gated), "y");
+    return network;
+}
+
+}  // namespace
+
+TEST(EquivalenceTest, IdenticalNetworksAreEquivalent)
+{
+    const auto result = check_equivalence(make_mux(), make_mux());
+    EXPECT_TRUE(result.equivalent);
+    EXPECT_TRUE(result.formal);
+    EXPECT_TRUE(result.reason.empty());
+}
+
+TEST(EquivalenceTest, StructurallyDifferentButEquivalent)
+{
+    EXPECT_TRUE(check_equivalence(make_mux(), make_mux_variant()));
+}
+
+TEST(EquivalenceTest, PiOrderDoesNotMatter)
+{
+    logic_network a{"a"};
+    const auto x1 = a.create_pi("x");
+    const auto y1 = a.create_pi("y");
+    a.create_po(a.create_lt(x1, y1), "o");  // ~x & y
+
+    logic_network b{"b"};
+    const auto y2 = b.create_pi("y");  // swapped creation order
+    const auto x2 = b.create_pi("x");
+    b.create_po(b.create_lt(x2, y2), "o");
+
+    EXPECT_TRUE(check_equivalence(a, b));
+}
+
+TEST(EquivalenceTest, DetectsFunctionalMismatch)
+{
+    logic_network a{"a"};
+    const auto x1 = a.create_pi("x");
+    const auto y1 = a.create_pi("y");
+    a.create_po(a.create_and(x1, y1), "o");
+
+    logic_network b{"b"};
+    const auto x2 = b.create_pi("x");
+    const auto y2 = b.create_pi("y");
+    b.create_po(b.create_or(x2, y2), "o");
+
+    const auto result = check_equivalence(a, b);
+    EXPECT_FALSE(result.equivalent);
+    EXPECT_NE(result.reason.find("'o'"), std::string::npos);
+}
+
+TEST(EquivalenceTest, DetectsIoNameMismatch)
+{
+    logic_network a{"a"};
+    a.create_po(a.create_pi("x"), "o");
+    logic_network b{"b"};
+    b.create_po(b.create_pi("z"), "o");
+    const auto result = check_equivalence(a, b);
+    EXPECT_FALSE(result.equivalent);
+    EXPECT_NE(result.reason.find("input"), std::string::npos);
+}
+
+TEST(EquivalenceTest, DetectsPoNameMismatch)
+{
+    logic_network a{"a"};
+    a.create_po(a.create_pi("x"), "o1");
+    logic_network b{"b"};
+    b.create_po(b.create_pi("x"), "o2");
+    EXPECT_FALSE(check_equivalence(a, b));
+}
+
+TEST(EquivalenceTest, LargeNetworkFallsBackToRandom)
+{
+    // 20-input xor chains: equivalent by construction
+    logic_network a{"a"};
+    logic_network b{"b"};
+    logic_network::node acc_a = logic_network::invalid_node;
+    logic_network::node acc_b = logic_network::invalid_node;
+    for (int i = 0; i < 20; ++i)
+    {
+        const auto name = "x" + std::to_string(i);
+        const auto pa = a.create_pi(name);
+        const auto pb = b.create_pi(name);
+        acc_a = (i == 0) ? pa : a.create_xor(acc_a, pa);
+        acc_b = (i == 0) ? pb : b.create_xor(acc_b, pb);
+    }
+    a.create_po(acc_a, "p");
+    b.create_po(acc_b, "p");
+
+    const auto result = check_equivalence(a, b);
+    EXPECT_TRUE(result.equivalent);
+    EXPECT_FALSE(result.formal);
+}
+
+TEST(EquivalenceTest, RandomCheckFindsEasyMismatch)
+{
+    logic_network a{"a"};
+    logic_network b{"b"};
+    logic_network::node acc_a = logic_network::invalid_node;
+    logic_network::node acc_b = logic_network::invalid_node;
+    for (int i = 0; i < 20; ++i)
+    {
+        const auto name = "x" + std::to_string(i);
+        const auto pa = a.create_pi(name);
+        const auto pb = b.create_pi(name);
+        acc_a = (i == 0) ? pa : a.create_xor(acc_a, pa);
+        acc_b = (i == 0) ? pb : b.create_and(acc_b, pb);
+    }
+    a.create_po(acc_a, "p");
+    b.create_po(acc_b, "p");
+    EXPECT_FALSE(check_equivalence(a, b));
+}
+
+TEST(EquivalenceTest, TransformsPreserveFunction)
+{
+    const auto mux = make_mux();
+    EXPECT_TRUE(check_equivalence(mux, cleanup(mux)));
+    EXPECT_TRUE(check_equivalence(mux, substitute_fanouts(mux)));
+    EXPECT_TRUE(check_equivalence(mux, to_aoi(mux)));
+}
+
+TEST(EquivalenceTest, LayoutEquivalence)
+{
+    // hand-build the AND layout and check it against its specification
+    lyt::gate_level_layout layout{"and", lyt::layout_topology::cartesian, lyt::clocking_scheme::twoddwave(), 4, 3};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::pi, "b");
+    layout.place({1, 1}, gate_type::and2);
+    layout.place({2, 1}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({0, 1}, {1, 1});
+    layout.connect({1, 1}, {2, 1});
+
+    logic_network spec{"and"};
+    spec.create_po(spec.create_and(spec.create_pi("a"), spec.create_pi("b")), "y");
+    EXPECT_TRUE(check_layout_equivalence(spec, layout));
+
+    logic_network wrong{"or"};
+    wrong.create_po(wrong.create_or(wrong.create_pi("a"), wrong.create_pi("b")), "y");
+    EXPECT_FALSE(check_layout_equivalence(wrong, layout));
+}
+
+TEST(EquivalenceTest, BrokenLayoutReportsExtractionFailure)
+{
+    lyt::gate_level_layout layout{"broken", lyt::layout_topology::cartesian, lyt::clocking_scheme::twoddwave(), 3, 3};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({1, 1}, gate_type::and2);  // missing second fanin
+    layout.place({2, 1}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({1, 1}, {2, 1});
+
+    logic_network spec{"and"};
+    spec.create_po(spec.create_and(spec.create_pi("a"), spec.create_pi("b")), "y");
+    const auto result = check_layout_equivalence(spec, layout);
+    EXPECT_FALSE(result.equivalent);
+    EXPECT_NE(result.reason.find("extraction failed"), std::string::npos);
+}

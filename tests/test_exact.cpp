@@ -1,0 +1,152 @@
+#include "physical_design/exact.hpp"
+
+#include "common/types.hpp"
+#include "test_networks.hpp"
+#include "verification/drc.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mnt;
+using namespace mnt::pd;
+using namespace mnt::test;
+
+namespace
+{
+
+ntk::logic_network single_and()
+{
+    ntk::logic_network network{"and"};
+    network.create_po(network.create_and(network.create_pi("a"), network.create_pi("b")), "y");
+    return network;
+}
+
+}  // namespace
+
+TEST(ExactTest, SingleAndOn2DDWave)
+{
+    const auto network = single_and();
+    exact_stats stats{};
+    const auto layout = exact(network, {}, &stats);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_FALSE(stats.timed_out);
+    // 4 placeable nodes; a 2x2 grid cannot host the PO (no outgoing tile
+    // for the AND in bounds), so the true optimum is 6 tiles (e.g. 3x2)
+    EXPECT_EQ(layout->area(), 6u);
+    EXPECT_TRUE(ver::gate_level_drc(*layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(ExactTest, AreaIsMinimalComparedToWideBound)
+{
+    // xor + inverter: exact must beat the trivial diagonal bound
+    ntk::logic_network network{"xn"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_not(network.create_xor(a, b)), "y");
+
+    exact_params params{};
+    params.timeout_s = 5.0;
+    const auto layout = exact(network, params);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_LE(layout->area(), 8u);  // 5 placeable nodes + routing
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(ExactTest, Mux21OnUseScheme)
+{
+    const auto network = mux21();
+    exact_params params{};
+    params.scheme = lyt::clocking_kind::use;
+    params.timeout_s = 10.0;
+    params.max_area = 40;
+    const auto layout = exact(network, params);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_EQ(layout->clocking().kind(), lyt::clocking_kind::use);
+    EXPECT_TRUE(ver::gate_level_drc(*layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(ExactTest, MajStaysNativeOnRes)
+{
+    // RES offers 3-incoming tiles: MAJ must not be decomposed
+    ntk::logic_network network{"maj"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    network.create_po(network.create_maj(a, b, c), "y");
+
+    exact_params params{};
+    params.scheme = lyt::clocking_kind::res;
+    params.timeout_s = 10.0;
+    params.max_area = 30;
+    const auto layout = exact(network, params);
+    ASSERT_TRUE(layout.has_value());
+    bool has_maj = false;
+    layout->foreach_tile([&](const lyt::coordinate&, const lyt::gate_level_layout::tile_data& d)
+                         { has_maj |= d.type == ntk::gate_type::maj3; });
+    EXPECT_TRUE(has_maj);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(ExactTest, HexagonalRowLayout)
+{
+    const auto network = single_and();
+    exact_params params{};
+    params.topology = lyt::layout_topology::hexagonal_even_row;
+    params.scheme = lyt::clocking_kind::row;
+    params.timeout_s = 5.0;
+    const auto layout = exact(network, params);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_EQ(layout->topology(), lyt::layout_topology::hexagonal_even_row);
+    EXPECT_TRUE(ver::gate_level_drc(*layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(ExactTest, TimeoutReported)
+{
+    // a function too large for a 1 ms budget
+    const auto network = random_network(4, 10, 2, 5);
+    exact_params params{};
+    params.timeout_s = 0.001;
+    params.max_area = 80;
+    exact_stats stats{};
+    const auto layout = exact(network, params, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_TRUE(stats.timed_out);
+}
+
+TEST(ExactTest, InfeasibleAreaBoundReturnsNothing)
+{
+    const auto network = mux21();
+    exact_params params{};
+    params.max_area = 3;  // fewer tiles than nodes
+    exact_stats stats{};
+    const auto layout = exact(network, params, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_FALSE(stats.timed_out);
+}
+
+TEST(ExactTest, RejectsOpenScheme)
+{
+    exact_params params{};
+    params.scheme = lyt::clocking_kind::open;
+    EXPECT_THROW(static_cast<void>(exact(single_and(), params)), precondition_error);
+}
+
+TEST(ExactTest, RejectsHexWithNonRow)
+{
+    exact_params params{};
+    params.topology = lyt::layout_topology::hexagonal_even_row;
+    params.scheme = lyt::clocking_kind::use;
+    EXPECT_THROW(static_cast<void>(exact(single_and(), params)), precondition_error);
+}
+
+TEST(ExactTest, MaxIncomingDegreeTable)
+{
+    EXPECT_EQ(max_incoming_degree(lyt::clocking_kind::twoddwave, lyt::layout_topology::cartesian), 2);
+    EXPECT_EQ(max_incoming_degree(lyt::clocking_kind::row, lyt::layout_topology::hexagonal_even_row), 2);
+    EXPECT_EQ(max_incoming_degree(lyt::clocking_kind::row, lyt::layout_topology::cartesian), 1);
+    EXPECT_GE(max_incoming_degree(lyt::clocking_kind::res, lyt::layout_topology::cartesian), 3);
+    EXPECT_LE(max_incoming_degree(lyt::clocking_kind::use, lyt::layout_topology::cartesian), 2);
+}

@@ -1,0 +1,268 @@
+#include "layout/gate_level_layout.hpp"
+
+#include "common/types.hpp"
+#include "network/gate_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mnt;
+using namespace mnt::lyt;
+using mnt::ntk::gate_type;
+
+namespace
+{
+
+gate_level_layout make_empty(const std::uint32_t w = 6, const std::uint32_t h = 6)
+{
+    return gate_level_layout{"test", layout_topology::cartesian, clocking_scheme::twoddwave(), w, h};
+}
+
+/// Builds a small AND layout on 2DDWave:
+///   pi(a) at (0,0) -> and at (1,0) <- pi(b) at (1,1)? No: b must be in zone 0.
+/// Layout used:
+///   a=(0,0) z0, b=(1,0)? both feed and at... 2DDWave flows E and S, so use
+///   a=(1,0), b=(0,1), and=(1,1), po=(2,1).
+gate_level_layout make_and_layout()
+{
+    auto layout = make_empty();
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::pi, "b");
+    layout.place({1, 1}, gate_type::and2);
+    layout.place({2, 1}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({0, 1}, {1, 1});
+    layout.connect({1, 1}, {2, 1});
+    return layout;
+}
+
+}  // namespace
+
+TEST(GateLevelLayoutTest, ConstructionAndGeometry)
+{
+    const auto layout = make_empty(4, 7);
+    EXPECT_EQ(layout.width(), 4u);
+    EXPECT_EQ(layout.height(), 7u);
+    EXPECT_EQ(layout.area(), 28u);
+    EXPECT_EQ(layout.topology(), layout_topology::cartesian);
+    EXPECT_TRUE(layout.within_bounds({3, 6}));
+    EXPECT_FALSE(layout.within_bounds({4, 0}));
+    EXPECT_FALSE(layout.within_bounds({0, 7}));
+    EXPECT_FALSE(layout.within_bounds({-1, 0}));
+    EXPECT_FALSE(layout.within_bounds({0, 0, 2}));
+}
+
+TEST(GateLevelLayoutTest, ZeroDimensionsRejected)
+{
+    EXPECT_THROW(gate_level_layout("x", layout_topology::cartesian, clocking_scheme::twoddwave(), 0, 5),
+                 precondition_error);
+}
+
+TEST(GateLevelLayoutTest, HexagonalRequiresRowOrOpen)
+{
+    EXPECT_THROW(gate_level_layout("x", layout_topology::hexagonal_even_row, clocking_scheme::use(), 4, 4),
+                 precondition_error);
+    EXPECT_NO_THROW(gate_level_layout("x", layout_topology::hexagonal_even_row, clocking_scheme::row(), 4, 4));
+    EXPECT_NO_THROW(gate_level_layout("x", layout_topology::hexagonal_even_row, clocking_scheme::open(), 4, 4));
+}
+
+TEST(GateLevelLayoutTest, PlaceAndQuery)
+{
+    auto layout = make_empty();
+    layout.place({2, 1}, gate_type::and2);
+    EXPECT_TRUE(layout.has_tile({2, 1}));
+    EXPECT_FALSE(layout.is_empty_tile({2, 1}));
+    EXPECT_TRUE(layout.is_empty_tile({2, 2}));
+    EXPECT_EQ(layout.type_of({2, 1}), gate_type::and2);
+    EXPECT_EQ(layout.type_of({0, 0}), gate_type::none);
+    EXPECT_EQ(layout.num_occupied(), 1u);
+    EXPECT_EQ(layout.num_gates(), 1u);
+}
+
+TEST(GateLevelLayoutTest, PlaceRejectsInvalid)
+{
+    auto layout = make_empty();
+    layout.place({1, 1}, gate_type::buf);
+    EXPECT_THROW(layout.place({1, 1}, gate_type::and2), precondition_error);       // occupied
+    EXPECT_THROW(layout.place({9, 9}, gate_type::and2), precondition_error);       // oob
+    EXPECT_THROW(layout.place({2, 2}, gate_type::none), precondition_error);       // none
+    EXPECT_THROW(layout.place({2, 2}, gate_type::const0), precondition_error);     // const
+    EXPECT_THROW(layout.place({2, 2, 1}, gate_type::and2), precondition_error);    // gate on z=1
+    EXPECT_NO_THROW(layout.place({1, 1, 1}, gate_type::buf));                      // crossing wire
+}
+
+TEST(GateLevelLayoutTest, ConnectTracksBothDirections)
+{
+    const auto layout = make_and_layout();
+    const auto& in = layout.incoming_of({1, 1});
+    ASSERT_EQ(in.size(), 2u);
+    EXPECT_EQ(in[0], coordinate(1, 0));
+    EXPECT_EQ(in[1], coordinate(0, 1));
+    const auto& out = layout.outgoing_of({1, 1});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], coordinate(2, 1));
+}
+
+TEST(GateLevelLayoutTest, ConnectRejectsOverfull)
+{
+    auto layout = make_and_layout();
+    layout.place({1, 2}, gate_type::buf);
+    EXPECT_THROW(layout.connect({1, 2}, {1, 1}), precondition_error);  // and2 already has 2 fanins
+}
+
+TEST(GateLevelLayoutTest, PiPoBookkeeping)
+{
+    const auto layout = make_and_layout();
+    EXPECT_EQ(layout.num_pis(), 2u);
+    EXPECT_EQ(layout.num_pos(), 1u);
+    ASSERT_EQ(layout.pi_tiles().size(), 2u);
+    EXPECT_EQ(layout.get(layout.pi_tiles()[0]).io_name, "a");
+    EXPECT_EQ(layout.get(layout.po_tiles()[0]).io_name, "y");
+}
+
+TEST(GateLevelLayoutTest, ClearTileSeversConnections)
+{
+    auto layout = make_and_layout();
+    layout.clear_tile({1, 1});
+    EXPECT_TRUE(layout.is_empty_tile({1, 1}));
+    EXPECT_TRUE(layout.incoming_of({2, 1}).empty());
+    EXPECT_TRUE(layout.outgoing_of({1, 0}).empty());
+    EXPECT_TRUE(layout.outgoing_of({0, 1}).empty());
+}
+
+TEST(GateLevelLayoutTest, ClearPiUpdatesList)
+{
+    auto layout = make_and_layout();
+    layout.clear_tile({1, 0});
+    EXPECT_EQ(layout.num_pis(), 1u);
+}
+
+TEST(GateLevelLayoutTest, MoveTilePatchesConnections)
+{
+    auto layout = make_empty();
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({1, 1}, gate_type::buf);
+    layout.place({1, 2}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({1, 1}, {1, 2});
+
+    // move the wire one tile east is clock-invalid, but move_tile itself is
+    // permissive; semantic checks live in the DRC. Move the PO instead.
+    layout.move_tile({1, 2}, {2, 2});
+    EXPECT_TRUE(layout.is_empty_tile({1, 2}));
+    EXPECT_EQ(layout.type_of({2, 2}), gate_type::po);
+    ASSERT_EQ(layout.incoming_of({2, 2}).size(), 1u);
+    EXPECT_EQ(layout.incoming_of({2, 2})[0], coordinate(1, 1));
+    ASSERT_EQ(layout.outgoing_of({1, 1}).size(), 1u);
+    EXPECT_EQ(layout.outgoing_of({1, 1})[0], coordinate(2, 2));
+    EXPECT_EQ(layout.po_tiles()[0], coordinate(2, 2));
+}
+
+TEST(GateLevelLayoutTest, MoveTileRejectsOccupiedTarget)
+{
+    auto layout = make_and_layout();
+    EXPECT_THROW(layout.move_tile({1, 0}, {0, 1}), precondition_error);
+}
+
+TEST(GateLevelLayoutTest, CountsByCategory)
+{
+    auto layout = make_and_layout();
+    layout.place({3, 1}, gate_type::buf);
+    layout.place({3, 1, 1}, gate_type::buf);
+    layout.place({3, 2}, gate_type::fanout);
+    EXPECT_EQ(layout.num_gates(), 1u);
+    EXPECT_EQ(layout.num_wires(), 3u);
+    EXPECT_EQ(layout.num_crossings(), 1u);
+}
+
+TEST(GateLevelLayoutTest, OutgoingClockedRespectsBoundsAndScheme)
+{
+    const auto layout = make_empty(3, 3);
+    // 2DDWave at (0,0): outgoing to (1,0) and (0,1)
+    const auto outs = layout.outgoing_clocked({0, 0});
+    EXPECT_EQ(outs.size(), 2u);
+    // at the south-east corner nothing is outgoing within bounds
+    const auto corner = layout.outgoing_clocked({2, 2});
+    EXPECT_TRUE(corner.empty());
+    // incoming at (0,0) is empty
+    EXPECT_TRUE(layout.incoming_clocked({0, 0}).empty());
+}
+
+TEST(GateLevelLayoutTest, ResizeValidation)
+{
+    auto layout = make_and_layout();
+    EXPECT_THROW(layout.resize(2, 2), precondition_error);  // po at (2,1) would fall out
+    layout.resize(3, 2);
+    EXPECT_EQ(layout.width(), 3u);
+    EXPECT_EQ(layout.height(), 2u);
+}
+
+TEST(GateLevelLayoutTest, BoundingBoxAndShrink)
+{
+    auto layout = make_empty(10, 10);
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({1, 1}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    const auto [min_c, max_c] = layout.bounding_box();
+    EXPECT_EQ(min_c, coordinate(1, 0));
+    EXPECT_EQ(max_c, coordinate(1, 1));
+    layout.shrink_to_fit();
+    EXPECT_EQ(layout.width(), 2u);
+    EXPECT_EQ(layout.height(), 2u);
+}
+
+TEST(GateLevelLayoutTest, TilesSortedIsDeterministic)
+{
+    const auto layout = make_and_layout();
+    const auto sorted = layout.tiles_sorted();
+    ASSERT_EQ(sorted.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(sorted.cbegin(), sorted.cend()));
+}
+
+TEST(GateLevelLayoutTest, LayoutNameAccessors)
+{
+    auto layout = make_empty();
+    EXPECT_EQ(layout.layout_name(), "test");
+    layout.set_layout_name("renamed");
+    EXPECT_EQ(layout.layout_name(), "renamed");
+}
+
+TEST(GateLevelLayoutTest, ShrinkTranslatesByClockPeriod)
+{
+    // tiles starting at (4, 8): a 4-periodic translation is legal under any
+    // regular scheme and must be applied by shrink_to_fit
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::use(), 16, 16};
+    layout.place({4, 8}, gate_type::pi, "a");
+    layout.place({5, 8}, gate_type::buf);
+    layout.connect({4, 8}, {5, 8});
+    const auto clock_before = layout.clock_number({4, 8});
+    layout.shrink_to_fit();
+    EXPECT_EQ(layout.width(), 2u);
+    EXPECT_EQ(layout.height(), 1u);
+    EXPECT_EQ(layout.type_of({0, 0}), gate_type::pi);
+    EXPECT_EQ(layout.clock_number({0, 0}), clock_before);
+}
+
+TEST(GateLevelLayoutTest, ShrinkKeepsNonPeriodicMargin)
+{
+    // a (1, 0) offset is not a legal 2DDWave translation: the margin stays
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::twoddwave(), 8, 8};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.shrink_to_fit();
+    EXPECT_EQ(layout.width(), 2u);
+    EXPECT_EQ(layout.type_of({1, 0}), gate_type::pi);
+}
+
+TEST(GateLevelLayoutTest, ShrinkMixedShiftPartiallyApplies)
+{
+    // 2DDWave at (4, 6): (4, 4) is the largest legal shift -> residue (0, 2)
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::twoddwave(), 16, 16};
+    layout.place({4, 6}, gate_type::pi, "a");
+    const auto clock_before = layout.clock_number({4, 6});
+    layout.shrink_to_fit();
+    EXPECT_EQ(layout.type_of({0, 2}), gate_type::pi);
+    EXPECT_EQ(layout.clock_number({0, 2}), clock_before);
+    EXPECT_EQ(layout.width(), 1u);
+    EXPECT_EQ(layout.height(), 3u);
+}

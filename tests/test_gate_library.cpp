@@ -1,0 +1,206 @@
+#include "gate_library/bestagon.hpp"
+#include "gate_library/cell_layout.hpp"
+#include "gate_library/qca_one.hpp"
+
+#include "common/types.hpp"
+#include "io/qca_writer.hpp"
+#include "io/sqd_writer.hpp"
+#include "layout/routing.hpp"
+#include "network/transforms.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::gl;
+using namespace mnt::test;
+
+namespace
+{
+
+/// mux21 in AOI form placed with ortho: compatible with QCA ONE.
+lyt::gate_level_layout aoi_mux_layout()
+{
+    return pd::ortho(ntk::to_aoi(mux21()));
+}
+
+}  // namespace
+
+TEST(CellLayoutTest, BasicOperations)
+{
+    cell_level_layout cells{"t", cell_technology::qca, 10, 10};
+    EXPECT_EQ(cells.technology(), cell_technology::qca);
+    EXPECT_EQ(cells.num_cells(), 0u);
+
+    cell c{};
+    c.kind = cell_kind::input;
+    c.name = "a";
+    cells.place_cell({1, 2}, c, 3);
+    EXPECT_FALSE(cells.is_empty_cell({1, 2}));
+    EXPECT_EQ(cells.get_cell({1, 2}).kind, cell_kind::input);
+    EXPECT_EQ(cells.clock_zone_of({1, 2}), 3);
+    EXPECT_EQ(cells.num_input_cells(), 1u);
+
+    EXPECT_THROW(cells.place_cell({1, 2}, {}, 0), precondition_error);
+    EXPECT_THROW(cells.place_cell({10, 0}, {}, 0), precondition_error);
+    EXPECT_THROW(static_cast<void>(cells.get_cell({9, 9})), precondition_error);
+}
+
+TEST(CellLayoutTest, TechnologyNames)
+{
+    EXPECT_EQ(technology_name(cell_technology::qca), "QCA");
+    EXPECT_EQ(technology_name(cell_technology::sidb), "SiDB");
+}
+
+TEST(QcaOneTest, CompilesAoiMux)
+{
+    const auto layout = aoi_mux_layout();
+    const auto cells = apply_qca_one(layout);
+
+    EXPECT_EQ(cells.technology(), cell_technology::qca);
+    EXPECT_EQ(cells.width(), layout.width() * qca_one_tile_size);
+    EXPECT_EQ(cells.height(), layout.height() * qca_one_tile_size);
+    EXPECT_GT(cells.num_cells(), layout.num_occupied());  // several cells per tile
+    EXPECT_EQ(cells.num_input_cells(), layout.num_pis());
+    EXPECT_EQ(cells.num_output_cells(), layout.num_pos());
+}
+
+TEST(QcaOneTest, AndGetsFixedZeroCell)
+{
+    ntk::logic_network network{"and"};
+    network.create_po(network.create_and(network.create_pi("a"), network.create_pi("b")), "y");
+    const auto cells = apply_qca_one(pd::ortho(network));
+
+    std::size_t fixed0 = 0;
+    cells.foreach_cell([&](const lyt::coordinate&, const cell& c, std::uint8_t)
+                       { fixed0 += c.kind == cell_kind::fixed_0 ? 1 : 0; });
+    EXPECT_EQ(fixed0, 1u);
+}
+
+TEST(QcaOneTest, OrGetsFixedOneCell)
+{
+    ntk::logic_network network{"or"};
+    network.create_po(network.create_or(network.create_pi("a"), network.create_pi("b")), "y");
+    const auto cells = apply_qca_one(pd::ortho(network));
+
+    std::size_t fixed1 = 0;
+    cells.foreach_cell([&](const lyt::coordinate&, const cell& c, std::uint8_t)
+                       { fixed1 += c.kind == cell_kind::fixed_1 ? 1 : 0; });
+    EXPECT_EQ(fixed1, 1u);
+}
+
+TEST(QcaOneTest, RejectsUnsupportedGateTypes)
+{
+    // a layout containing an XOR tile is not QCA ONE compatible
+    const auto layout = pd::ortho(half_adder());
+    EXPECT_THROW(static_cast<void>(apply_qca_one(layout)), design_rule_error);
+}
+
+TEST(QcaOneTest, RejectsHexagonalLayouts)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(ntk::to_aoi(mux21())));
+    EXPECT_THROW(static_cast<void>(apply_qca_one(hex)), precondition_error);
+}
+
+TEST(QcaOneTest, CrossingsUseCrossoverCellsInLayerOne)
+{
+    // deterministic crossing: two independent wires intersecting at (2,2)
+    lyt::gate_level_layout layout{"cross", lyt::layout_topology::cartesian, lyt::clocking_scheme::twoddwave(), 5,
+                                  5};
+    layout.place({2, 0}, ntk::gate_type::pi, "v");
+    layout.place({2, 4}, ntk::gate_type::po, "vy");
+    ASSERT_TRUE(lyt::route(layout, {2, 0}, {2, 4}));
+    layout.place({0, 2}, ntk::gate_type::pi, "h");
+    layout.place({4, 2}, ntk::gate_type::po, "hy");
+    ASSERT_TRUE(lyt::route(layout, {0, 2}, {4, 2}));
+    ASSERT_GT(layout.num_crossings(), 0u);
+    const auto cells = apply_qca_one(layout);
+
+    std::size_t crossover = 0;
+    cells.foreach_cell(
+        [&](const lyt::coordinate& c, const cell& payload, std::uint8_t)
+        {
+            if (payload.kind == cell_kind::crossover)
+            {
+                EXPECT_EQ(c.z, 1);
+                ++crossover;
+            }
+        });
+    EXPECT_GT(crossover, 0u);
+}
+
+TEST(QcaOneTest, PhysicalAreaScalesWithPitch)
+{
+    const auto cells = apply_qca_one(aoi_mux_layout());
+    const auto expected = static_cast<double>(cells.width()) * 20.0 * static_cast<double>(cells.height()) * 20.0;
+    EXPECT_DOUBLE_EQ(qca_physical_area_nm2(cells), expected);
+}
+
+TEST(BestagonTest, CompilesHexMux)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(mux21()));
+    const auto cells = apply_bestagon(hex);
+
+    EXPECT_EQ(cells.technology(), cell_technology::sidb);
+    EXPECT_GT(cells.num_cells(), hex.num_occupied());
+    EXPECT_EQ(cells.num_input_cells(), hex.num_pis());
+    EXPECT_EQ(cells.num_output_cells(), hex.num_pos());
+    EXPECT_GT(bestagon_physical_area_nm2(cells), 0.0);
+}
+
+TEST(BestagonTest, SupportsXorNatively)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(half_adder()));  // contains XOR
+    EXPECT_NO_THROW(static_cast<void>(apply_bestagon(hex)));
+}
+
+TEST(BestagonTest, RejectsMaj)
+{
+    // hand-build a hex layout with a MAJ tile
+    lyt::gate_level_layout hex{"m", lyt::layout_topology::hexagonal_even_row, lyt::clocking_scheme::row(), 4, 4};
+    hex.place({1, 1}, ntk::gate_type::maj3);
+    EXPECT_THROW(static_cast<void>(apply_bestagon(hex)), design_rule_error);
+}
+
+TEST(BestagonTest, RejectsCartesianLayouts)
+{
+    EXPECT_THROW(static_cast<void>(apply_bestagon(aoi_mux_layout())), precondition_error);
+}
+
+TEST(QcaWriterTest, OutputContainsCellsAndMetadata)
+{
+    const auto cells = apply_qca_one(aoi_mux_layout());
+    const auto text = io::write_qca_string(cells);
+    EXPECT_NE(text.find("qcadesigner_version"), std::string::npos);
+    EXPECT_NE(text.find("design_name=mux21"), std::string::npos);
+    EXPECT_NE(text.find("QCAD_CELL_INPUT"), std::string::npos);
+    EXPECT_NE(text.find("QCAD_CELL_OUTPUT"), std::string::npos);
+    EXPECT_NE(text.find("label=s"), std::string::npos);
+}
+
+TEST(QcaWriterTest, RejectsSidbLayouts)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(mux21()));
+    const auto cells = apply_bestagon(hex);
+    EXPECT_THROW(static_cast<void>(io::write_qca_string(cells)), precondition_error);
+}
+
+TEST(SqdWriterTest, OutputIsParsableXmlWithDots)
+{
+    const auto hex = pd::hexagonalization(pd::ortho(mux21()));
+    const auto cells = apply_bestagon(hex);
+    const auto text = io::write_sqd_string(cells);
+    EXPECT_NE(text.find("<siqad>"), std::string::npos);
+    EXPECT_NE(text.find("dbdot"), std::string::npos);
+    EXPECT_NE(text.find("latcoord"), std::string::npos);
+}
+
+TEST(SqdWriterTest, RejectsQcaLayouts)
+{
+    const auto cells = apply_qca_one(aoi_mux_layout());
+    EXPECT_THROW(static_cast<void>(io::write_sqd_string(cells)), precondition_error);
+}

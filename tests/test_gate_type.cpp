@@ -1,0 +1,123 @@
+#include "network/gate_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace mnt::ntk;
+
+TEST(GateTypeTest, ArityOfNullaryTypes)
+{
+    EXPECT_EQ(gate_arity(gate_type::none), 0);
+    EXPECT_EQ(gate_arity(gate_type::const0), 0);
+    EXPECT_EQ(gate_arity(gate_type::const1), 0);
+    EXPECT_EQ(gate_arity(gate_type::pi), 0);
+}
+
+TEST(GateTypeTest, ArityOfUnaryTypes)
+{
+    EXPECT_EQ(gate_arity(gate_type::po), 1);
+    EXPECT_EQ(gate_arity(gate_type::buf), 1);
+    EXPECT_EQ(gate_arity(gate_type::fanout), 1);
+    EXPECT_EQ(gate_arity(gate_type::inv), 1);
+}
+
+TEST(GateTypeTest, ArityOfBinaryAndTernaryTypes)
+{
+    EXPECT_EQ(gate_arity(gate_type::and2), 2);
+    EXPECT_EQ(gate_arity(gate_type::xnor2), 2);
+    EXPECT_EQ(gate_arity(gate_type::lt2), 2);
+    EXPECT_EQ(gate_arity(gate_type::maj3), 3);
+}
+
+TEST(GateTypeTest, EvaluateBasicGates)
+{
+    EXPECT_FALSE(evaluate_gate(gate_type::and2, false, true));
+    EXPECT_TRUE(evaluate_gate(gate_type::and2, true, true));
+    EXPECT_TRUE(evaluate_gate(gate_type::or2, false, true));
+    EXPECT_TRUE(evaluate_gate(gate_type::xor2, true, false));
+    EXPECT_FALSE(evaluate_gate(gate_type::xor2, true, true));
+    EXPECT_TRUE(evaluate_gate(gate_type::inv, false));
+    EXPECT_TRUE(evaluate_gate(gate_type::buf, true));
+}
+
+TEST(GateTypeTest, EvaluateComparisons)
+{
+    // lt = ~a & b
+    EXPECT_TRUE(evaluate_gate(gate_type::lt2, false, true));
+    EXPECT_FALSE(evaluate_gate(gate_type::lt2, true, true));
+    // gt = a & ~b
+    EXPECT_TRUE(evaluate_gate(gate_type::gt2, true, false));
+    // le = ~a | b
+    EXPECT_TRUE(evaluate_gate(gate_type::le2, false, false));
+    EXPECT_FALSE(evaluate_gate(gate_type::le2, true, false));
+    // ge = a | ~b
+    EXPECT_TRUE(evaluate_gate(gate_type::ge2, false, false));
+    EXPECT_FALSE(evaluate_gate(gate_type::ge2, false, true));
+}
+
+TEST(GateTypeTest, EvaluateMajority)
+{
+    EXPECT_FALSE(evaluate_gate(gate_type::maj3, false, false, true));
+    EXPECT_TRUE(evaluate_gate(gate_type::maj3, true, false, true));
+    EXPECT_TRUE(evaluate_gate(gate_type::maj3, true, true, true));
+}
+
+TEST(GateTypeTest, WordEvaluationMatchesScalar)
+{
+    // exhaustively compare scalar vs word evaluation on all 2/3-input types
+    const std::vector<gate_type> types = {gate_type::and2, gate_type::nand2, gate_type::or2,  gate_type::nor2,
+                                          gate_type::xor2, gate_type::xnor2, gate_type::lt2,  gate_type::gt2,
+                                          gate_type::le2,  gate_type::ge2,   gate_type::maj3, gate_type::inv,
+                                          gate_type::buf};
+    for (const auto t : types)
+    {
+        for (int a = 0; a < 2; ++a)
+        {
+            for (int b = 0; b < 2; ++b)
+            {
+                for (int c = 0; c < 2; ++c)
+                {
+                    const auto scalar = evaluate_gate(t, a != 0, b != 0, c != 0);
+                    const auto word = evaluate_gate_word(t, a != 0 ? ~0ull : 0ull, b != 0 ? ~0ull : 0ull,
+                                                         c != 0 ? ~0ull : 0ull);
+                    EXPECT_EQ(scalar, (word & 1ull) != 0ull)
+                        << gate_type_name(t) << " a=" << a << " b=" << b << " c=" << c;
+                }
+            }
+        }
+    }
+}
+
+TEST(GateTypeTest, NameRoundTrip)
+{
+    for (std::size_t i = 0; i < num_gate_types; ++i)
+    {
+        const auto t = static_cast<gate_type>(i);
+        EXPECT_EQ(gate_type_from_name(std::string{gate_type_name(t)}), t);
+    }
+}
+
+TEST(GateTypeTest, NameAliases)
+{
+    EXPECT_EQ(gate_type_from_name("not"), gate_type::inv);
+    EXPECT_EQ(gate_type_from_name("buffer"), gate_type::buf);
+    EXPECT_EQ(gate_type_from_name("maj3"), gate_type::maj3);
+    EXPECT_EQ(gate_type_from_name("garbage"), gate_type::none);
+}
+
+TEST(GateTypeTest, Classification)
+{
+    EXPECT_TRUE(is_logic_gate(gate_type::and2));
+    EXPECT_TRUE(is_logic_gate(gate_type::inv));
+    EXPECT_FALSE(is_logic_gate(gate_type::buf));
+    EXPECT_FALSE(is_logic_gate(gate_type::fanout));
+    EXPECT_FALSE(is_logic_gate(gate_type::pi));
+    EXPECT_TRUE(is_wire_like(gate_type::buf));
+    EXPECT_TRUE(is_wire_like(gate_type::fanout));
+    EXPECT_FALSE(is_wire_like(gate_type::and2));
+    EXPECT_TRUE(is_valid_gate(gate_type::pi));
+    EXPECT_FALSE(is_valid_gate(gate_type::none));
+}

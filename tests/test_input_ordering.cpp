@@ -1,0 +1,69 @@
+#include "physical_design/input_ordering.hpp"
+
+#include "common/types.hpp"
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::pd;
+using namespace mnt::test;
+
+TEST(ReorderPisTest, PermutationPreservesFunction)
+{
+    const auto network = mux21();
+    const auto permuted = reorder_pis(network, {2, 0, 1});
+    EXPECT_TRUE(ver::check_equivalence(network, permuted));
+    // creation order changed
+    EXPECT_EQ(permuted.name_of(permuted.pi_at(0)), "b");
+    EXPECT_EQ(permuted.name_of(permuted.pi_at(1)), "s");
+    EXPECT_EQ(permuted.name_of(permuted.pi_at(2)), "a");
+}
+
+TEST(ReorderPisTest, RejectsNonPermutations)
+{
+    const auto network = mux21();
+    EXPECT_THROW(static_cast<void>(reorder_pis(network, {0, 1})), precondition_error);
+    EXPECT_THROW(static_cast<void>(reorder_pis(network, {0, 0, 1})), precondition_error);
+    EXPECT_THROW(static_cast<void>(reorder_pis(network, {0, 1, 5})), precondition_error);
+}
+
+TEST(InputOrderingTest, NeverWorseThanPlainOrtho)
+{
+    const auto network = random_network(6, 30, 3, 51);
+    const auto plain = ortho(network);
+
+    input_ordering_params params{};
+    params.max_orderings = 6;
+    input_ordering_stats stats{};
+    const auto best = input_ordering_ortho(network, params, &stats);
+
+    EXPECT_LE(best.area(), plain.area());  // identity ordering is included
+    EXPECT_EQ(stats.orderings_tried, 6u);
+    EXPECT_EQ(stats.best_area, best.area());
+    EXPECT_GE(stats.worst_area, stats.best_area);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, best));
+}
+
+TEST(InputOrderingTest, SingleInputNetworkHandled)
+{
+    ntk::logic_network network{"one"};
+    network.create_po(network.create_not(network.create_pi("a")), "y");
+    const auto layout = input_ordering_ortho(network);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+}
+
+TEST(InputOrderingTest, DeterministicPerSeed)
+{
+    const auto network = random_network(5, 20, 2, 53);
+    input_ordering_params params{};
+    params.seed = 7;
+    const auto a = input_ordering_ortho(network, params);
+    const auto b = input_ordering_ortho(network, params);
+    EXPECT_EQ(a.area(), b.area());
+    EXPECT_EQ(a.num_wires(), b.num_wires());
+}

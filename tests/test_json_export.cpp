@@ -1,0 +1,128 @@
+#include "core/json_export.hpp"
+
+#include "benchmarks/functions.hpp"
+#include "core/filters.hpp"
+#include "physical_design/ortho.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::cat;
+
+namespace
+{
+
+catalog small_catalog()
+{
+    catalog c;
+    c.add_network("Trindade16", "2:1 MUX", bm::mux21());
+
+    layout_record record{};
+    record.benchmark_set = "Trindade16";
+    record.benchmark_name = "2:1 MUX";
+    record.library = gate_library_kind::qca_one;
+    record.clocking = "2DDWave";
+    record.algorithm = "ortho";
+    record.optimizations = {"InOrd (SDN)", "PLO"};
+    record.runtime = 0.125;
+    record.layout = pd::ortho(bm::mux21());
+    c.add_layout(std::move(record));
+    return c;
+}
+
+}  // namespace
+
+TEST(JsonExportTest, EscapeSpecials)
+{
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(json_escape(std::string{"ctl\x01"}), "ctl\\u0001");
+    EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(JsonExportTest, DocumentStructure)
+{
+    const auto c = small_catalog();
+    const auto doc = catalog_json_string(c);
+
+    EXPECT_NE(doc.find("\"networks\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"layouts\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"set\": \"Trindade16\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"2:1 MUX\""), std::string::npos);
+    EXPECT_NE(doc.find("\"library\": \"QCA ONE\""), std::string::npos);
+    EXPECT_NE(doc.find("\"algorithm\": \"ortho\""), std::string::npos);
+    EXPECT_NE(doc.find("\"optimizations\": [\"InOrd (SDN)\", \"PLO\"]"), std::string::npos);
+    EXPECT_NE(doc.find("\"inputs\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"gates\": 4"), std::string::npos);
+    EXPECT_NE(doc.find("\"runtime_s\": 0.125"), std::string::npos);
+
+    // metrics derived from the layout itself must appear
+    const auto& r = c.layouts().front();
+    EXPECT_NE(doc.find("\"area\": " + std::to_string(r.area)), std::string::npos);
+}
+
+TEST(JsonExportTest, BalancedBracesAndQuotes)
+{
+    const auto doc = catalog_json_string(small_catalog());
+    long braces = 0;
+    long brackets = 0;
+    long quotes = 0;
+    bool escaped = false;
+    bool in_string = false;
+    for (const char ch : doc)
+    {
+        if (escaped)
+        {
+            escaped = false;
+            continue;
+        }
+        if (ch == '\\')
+        {
+            escaped = true;
+            continue;
+        }
+        if (ch == '"')
+        {
+            in_string = !in_string;
+            ++quotes;
+            continue;
+        }
+        if (in_string)
+        {
+            continue;
+        }
+        braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+        brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(JsonExportTest, SelectionExportsOnlyReferencedNetworks)
+{
+    auto c = small_catalog();
+    c.add_network("Fontes18", "t", bm::t_function());  // never selected
+
+    filter_query query{};
+    query.libraries = {gate_library_kind::qca_one};
+    const auto selection = apply_filter(c, query);
+
+    std::ostringstream stream;
+    write_selection_json(c, selection, stream);
+    const auto doc = stream.str();
+    EXPECT_NE(doc.find("2:1 MUX"), std::string::npos);
+    EXPECT_EQ(doc.find("Fontes18"), std::string::npos);
+}
+
+TEST(JsonExportTest, EmptyCatalog)
+{
+    const catalog c;
+    const auto doc = catalog_json_string(c);
+    EXPECT_NE(doc.find("\"networks\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"layouts\": ["), std::string::npos);
+}

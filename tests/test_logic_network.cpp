@@ -1,0 +1,174 @@
+#include "network/logic_network.hpp"
+
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::ntk;
+
+TEST(LogicNetworkTest, EmptyNetworkHasOnlyConstants)
+{
+    const logic_network network{"empty"};
+    EXPECT_EQ(network.size(), 2u);
+    EXPECT_EQ(network.num_pis(), 0u);
+    EXPECT_EQ(network.num_pos(), 0u);
+    EXPECT_EQ(network.num_gates(), 0u);
+    EXPECT_TRUE(network.is_constant(network.get_constant(false)));
+    EXPECT_TRUE(network.is_constant(network.get_constant(true)));
+    EXPECT_EQ(network.type(network.get_constant(false)), gate_type::const0);
+    EXPECT_EQ(network.type(network.get_constant(true)), gate_type::const1);
+    EXPECT_EQ(network.network_name(), "empty");
+}
+
+TEST(LogicNetworkTest, CreatePiAssignsNames)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi();  // auto-name
+    EXPECT_TRUE(network.is_pi(a));
+    EXPECT_TRUE(network.is_pi(b));
+    EXPECT_EQ(network.name_of(a), "a");
+    EXPECT_EQ(network.name_of(b), "pi1");
+    EXPECT_EQ(network.find_pi("a"), a);
+    EXPECT_FALSE(network.find_pi("zzz").has_value());
+}
+
+TEST(LogicNetworkTest, DuplicatePiNameThrows)
+{
+    logic_network network;
+    network.create_pi("a");
+    EXPECT_THROW(network.create_pi("a"), precondition_error);
+}
+
+TEST(LogicNetworkTest, BuildSmallNetwork)
+{
+    logic_network network{"f"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto g = network.create_and(a, b);
+    const auto n = network.create_not(g);
+    const auto po = network.create_po(n, "y");
+
+    EXPECT_EQ(network.num_gates(), 2u);  // and + inv
+    EXPECT_EQ(network.num_pos(), 1u);
+    EXPECT_TRUE(network.is_po(po));
+    EXPECT_EQ(network.fanins(n).size(), 1u);
+    EXPECT_EQ(network.fanins(n)[0], g);
+    EXPECT_EQ(network.fanout_size(a), 1u);
+    EXPECT_EQ(network.fanout_size(g), 1u);
+}
+
+TEST(LogicNetworkTest, FanoutCountTracksAllUsers)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_and(a, b);
+    network.create_or(a, b);
+    network.create_xor(a, a);
+    EXPECT_EQ(network.fanout_size(a), 4u);  // and, or, xor (twice)
+    EXPECT_EQ(network.fanout_size(b), 2u);
+}
+
+TEST(LogicNetworkTest, CreateGateGenericInterface)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const std::array<logic_network::node, 3> fis{a, b, c};
+    const auto m = network.create_gate(gate_type::maj3, fis);
+    EXPECT_EQ(network.type(m), gate_type::maj3);
+    EXPECT_EQ(network.fanins(m).size(), 3u);
+}
+
+TEST(LogicNetworkTest, CreateGateRejectsArityMismatch)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const std::array<logic_network::node, 1> one{a};
+    EXPECT_THROW(network.create_gate(gate_type::and2, one), precondition_error);
+}
+
+TEST(LogicNetworkTest, CreateGateRejectsSpecialTypes)
+{
+    logic_network network;
+    EXPECT_THROW(network.create_gate(gate_type::pi, {}), precondition_error);
+    EXPECT_THROW(network.create_gate(gate_type::const0, {}), precondition_error);
+}
+
+TEST(LogicNetworkTest, PoCannotDriveGates)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto po = network.create_po(a, "y");
+    EXPECT_THROW(network.create_buf(po), precondition_error);
+}
+
+TEST(LogicNetworkTest, OutOfRangeNodeThrows)
+{
+    logic_network network;
+    EXPECT_THROW(static_cast<void>(network.type(12345)), precondition_error);
+    EXPECT_THROW(static_cast<void>(network.fanins(9999)), precondition_error);
+    EXPECT_THROW(static_cast<void>(network.pi_at(0)), precondition_error);
+    EXPECT_THROW(static_cast<void>(network.po_at(0)), precondition_error);
+}
+
+TEST(LogicNetworkTest, TopologicalOrderCoversAllNodes)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto g = network.create_or(a, b);
+    network.create_po(g, "y");
+
+    const auto order = network.topological_order();
+    EXPECT_EQ(order.size(), network.size());
+    // fanins precede users
+    std::vector<bool> seen(network.size(), false);
+    for (const auto n : order)
+    {
+        for (const auto fi : network.fanins(n))
+        {
+            EXPECT_TRUE(seen[fi]);
+        }
+        seen[n] = true;
+    }
+}
+
+TEST(LogicNetworkTest, StructuralEquality)
+{
+    logic_network x{"x"};
+    const auto a1 = x.create_pi("a");
+    const auto b1 = x.create_pi("b");
+    x.create_po(x.create_and(a1, b1), "y");
+
+    logic_network y{"y"};
+    const auto a2 = y.create_pi("a");
+    const auto b2 = y.create_pi("b");
+    y.create_po(y.create_and(a2, b2), "y");
+
+    EXPECT_TRUE(x.structurally_equal(y));
+
+    logic_network z{"z"};
+    const auto a3 = z.create_pi("a");
+    const auto b3 = z.create_pi("b");
+    z.create_po(z.create_or(a3, b3), "y");
+    EXPECT_FALSE(x.structurally_equal(z));
+}
+
+TEST(LogicNetworkTest, WireCountsAreSeparate)
+{
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto f = network.create_fanout(a);
+    const auto w = network.create_buf(f);
+    network.create_po(w, "y1");
+    network.create_po(f, "y2");
+    EXPECT_EQ(network.num_wires(), 2u);
+    EXPECT_EQ(network.num_gates(), 0u);
+}

@@ -1,0 +1,114 @@
+#include "physical_design/nanoplacer.hpp"
+
+#include "common/types.hpp"
+#include "test_networks.hpp"
+#include "verification/drc.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mnt;
+using namespace mnt::pd;
+using namespace mnt::test;
+
+TEST(NanoplacerTest, Mux21On2DDWave)
+{
+    const auto network = mux21();
+    nanoplacer_params params{};
+    params.iterations = 400;
+    nanoplacer_stats stats{};
+    const auto layout = nanoplacer(network, params, &stats);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_GT(stats.attempted_moves, 0u);
+    const auto report = ver::gate_level_drc(*layout);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(NanoplacerTest, DeterministicPerSeed)
+{
+    const auto network = half_adder();
+    nanoplacer_params params{};
+    params.iterations = 200;
+    params.seed = 99;
+    const auto a = nanoplacer(network, params);
+    const auto b = nanoplacer(network, params);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->area(), b->area());
+    EXPECT_EQ(a->num_wires(), b->num_wires());
+}
+
+TEST(NanoplacerTest, WorksOnUseResEsr)
+{
+    const auto network = half_adder();
+    for (const auto scheme : {lyt::clocking_kind::use, lyt::clocking_kind::res, lyt::clocking_kind::esr})
+    {
+        nanoplacer_params params{};
+        params.scheme = scheme;
+        params.iterations = 300;
+        const auto layout = nanoplacer(network, params);
+        ASSERT_TRUE(layout.has_value()) << lyt::clocking_name(scheme);
+        EXPECT_EQ(layout->clocking().kind(), scheme);
+        const auto report = ver::gate_level_drc(*layout);
+        EXPECT_TRUE(report.passed()) << lyt::clocking_name(scheme) << ": "
+                                     << (report.errors.empty() ? "" : report.errors.front());
+        EXPECT_TRUE(ver::check_layout_equivalence(network, *layout)) << lyt::clocking_name(scheme);
+    }
+}
+
+TEST(NanoplacerTest, MediumRandomNetwork)
+{
+    const auto network = random_network(5, 40, 3, 17);
+    nanoplacer_params params{};
+    params.iterations = 300;
+    const auto layout = nanoplacer(network, params);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_TRUE(ver::gate_level_drc(*layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}
+
+TEST(NanoplacerTest, AnnealingDoesNotRegressArea)
+{
+    // the returned layout is the best snapshot: more iterations should not
+    // yield a worse result than (almost) none for the same seed
+    const auto network = mux21();
+    nanoplacer_params few{};
+    few.iterations = 1;
+    nanoplacer_params many{};
+    many.iterations = 800;
+    const auto base = nanoplacer(network, few);
+    const auto tuned = nanoplacer(network, many);
+    ASSERT_TRUE(base.has_value());
+    ASSERT_TRUE(tuned.has_value());
+    EXPECT_LE(tuned->area(), base->area());
+}
+
+TEST(NanoplacerTest, RejectsOpenScheme)
+{
+    nanoplacer_params params{};
+    params.scheme = lyt::clocking_kind::open;
+    EXPECT_THROW(static_cast<void>(nanoplacer(mux21(), params)), precondition_error);
+}
+
+TEST(NanoplacerTest, RejectsNetworkWithoutPos)
+{
+    ntk::logic_network network{"x"};
+    network.create_pi("a");
+    EXPECT_THROW(static_cast<void>(nanoplacer(network, {})), precondition_error);
+}
+
+TEST(NanoplacerTest, HexagonalRowTopology)
+{
+    const auto network = half_adder();
+    nanoplacer_params params{};
+    params.topology = lyt::layout_topology::hexagonal_even_row;
+    params.scheme = lyt::clocking_kind::row;
+    params.iterations = 300;
+    const auto layout = nanoplacer(network, params);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_EQ(layout->topology(), lyt::layout_topology::hexagonal_even_row);
+    const auto report = ver::gate_level_drc(*layout);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, *layout));
+}

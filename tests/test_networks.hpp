@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file test_networks.hpp
+/// \brief Shared specimen networks for the physical design test suites.
+
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace mnt::test
+{
+
+using ntk::logic_network;
+
+/// y = (~s & a) | (s & b)
+inline logic_network mux21()
+{
+    logic_network network{"mux21"};
+    const auto s = network.create_pi("s");
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto l = network.create_and(network.create_not(s), a);
+    const auto r = network.create_and(s, b);
+    network.create_po(network.create_or(l, r), "y");
+    return network;
+}
+
+/// sum = a ^ b ^ cin, carry = maj(a, b, cin)
+inline logic_network full_adder()
+{
+    logic_network network{"fa"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto cin = network.create_pi("cin");
+    network.create_po(network.create_xor(network.create_xor(a, b), cin), "sum");
+    network.create_po(network.create_maj(a, b, cin), "carry");
+    return network;
+}
+
+/// half adder: sum = a ^ b, carry = a & b (shared fanins)
+inline logic_network half_adder()
+{
+    logic_network network{"ha"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_xor(a, b), "sum");
+    network.create_po(network.create_and(a, b), "carry");
+    return network;
+}
+
+/// k-input xor chain
+inline logic_network parity(const std::size_t k, const std::string& name = "parity")
+{
+    logic_network network{name};
+    auto acc = network.create_pi("x0");
+    for (std::size_t i = 1; i < k; ++i)
+    {
+        acc = network.create_xor(acc, network.create_pi("x" + std::to_string(i)));
+    }
+    network.create_po(acc, "p");
+    return network;
+}
+
+/// Deterministic pseudo-random network with locality (fanins drawn from a
+/// sliding window), mixed gate types, and high-fanout nodes.
+inline logic_network random_network(const std::size_t num_pis, const std::size_t num_gates,
+                                    const std::size_t num_pos, const std::uint64_t seed,
+                                    const std::string& name = "rand")
+{
+    logic_network network{name};
+    std::mt19937_64 rng{seed};
+    std::vector<logic_network::node> pool;
+
+    for (std::size_t i = 0; i < num_pis; ++i)
+    {
+        pool.push_back(network.create_pi("in" + std::to_string(i)));
+    }
+
+    const std::size_t window = 24;
+    for (std::size_t i = 0; i < num_gates; ++i)
+    {
+        const auto lo = pool.size() > window ? pool.size() - window : 0u;
+        std::uniform_int_distribution<std::size_t> pick{lo, pool.size() - 1};
+        const auto a = pool[pick(rng)];
+        const auto b = pool[pick(rng)];
+        const auto kind = rng() % 6;
+        logic_network::node g{};
+        switch (kind)
+        {
+            case 0: g = network.create_and(a, b); break;
+            case 1: g = network.create_or(a, b); break;
+            case 2: g = network.create_xor(a, b); break;
+            case 3: g = network.create_nand(a, b); break;
+            case 4: g = network.create_not(a); break;
+            default: g = network.create_xnor(a, b); break;
+        }
+        pool.push_back(g);
+    }
+
+    for (std::size_t i = 0; i < num_pos; ++i)
+    {
+        network.create_po(pool[pool.size() - 1 - (i % std::min(pool.size(), window))],
+                          "out" + std::to_string(i));
+    }
+    return network;
+}
+
+}  // namespace mnt::test

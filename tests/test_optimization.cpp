@@ -1,0 +1,169 @@
+#include "network/optimization.hpp"
+
+#include "network/network_utils.hpp"
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mnt;
+using namespace mnt::ntk;
+using namespace mnt::test;
+
+TEST(StrashTest, MergesStructuralDuplicates)
+{
+    logic_network network{"dup"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto g1 = network.create_and(a, b);
+    const auto g2 = network.create_and(a, b);  // duplicate
+    const auto g3 = network.create_and(b, a);  // commuted duplicate
+    network.create_po(network.create_xor(g1, g2), "y0");  // = 0
+    network.create_po(network.create_or(g1, g3), "y1");   // = g1
+
+    const auto hashed = strash(network);
+    EXPECT_TRUE(ver::check_equivalence(network, hashed));
+    // one AND at most survives; the xor collapses to const
+    EXPECT_LE(hashed.num_gates(), 1u);
+}
+
+TEST(StrashTest, LocalIdentities)
+{
+    logic_network network{"ids"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_and(a, a), "and_xx");    // x
+    network.create_po(network.create_xor(b, b), "xor_xx");    // 0
+    network.create_po(network.create_xnor(a, a), "xnor_xx");  // 1
+    network.create_po(network.create_not(network.create_not(a)), "double_inv");
+    network.create_po(network.create_maj(a, a, b), "maj_xxy");  // x
+
+    const auto hashed = strash(network);
+    EXPECT_TRUE(ver::check_equivalence(network, hashed));
+    EXPECT_EQ(hashed.num_gates(), 0u);
+}
+
+TEST(StrashTest, PreservesNonCommutativeOrder)
+{
+    logic_network network{"lt"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_lt(a, b), "l");
+    network.create_po(network.create_lt(b, a), "g");  // NOT a duplicate
+    const auto hashed = strash(network);
+    EXPECT_TRUE(ver::check_equivalence(network, hashed));
+    EXPECT_EQ(hashed.num_gates(), 2u);
+}
+
+TEST(BalanceTest, ReducesChainDepth)
+{
+    // 16-input AND chain: depth 16 -> 4
+    logic_network network{"chain"};
+    auto acc = network.create_pi("x0");
+    for (int i = 1; i < 16; ++i)
+    {
+        acc = network.create_and(acc, network.create_pi("x" + std::to_string(i)));
+    }
+    network.create_po(acc, "y");
+
+    EXPECT_EQ(depth(network), 16u);
+    const auto balanced = balance(network);
+    EXPECT_TRUE(ver::check_equivalence(network, balanced));
+    EXPECT_EQ(depth(balanced), 5u);  // 4 logic levels + PO
+}
+
+TEST(BalanceTest, SharedChainInternalsNotCollapsed)
+{
+    // an internal node with a second user must stay a leaf boundary
+    logic_network network{"shared"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const auto ab = network.create_and(a, b);
+    const auto abc = network.create_and(ab, c);
+    network.create_po(abc, "y0");
+    network.create_po(network.create_not(ab), "y1");  // second user of ab
+
+    const auto balanced = balance(network);
+    EXPECT_TRUE(ver::check_equivalence(network, balanced));
+}
+
+TEST(BalanceTest, XorChainsBalanceToo)
+{
+    const auto network = parity(8);
+    const auto balanced = balance(network);
+    EXPECT_TRUE(ver::check_equivalence(network, balanced));
+    EXPECT_LE(depth(balanced), 4u);  // 3 xor levels + PO
+}
+
+TEST(OptimizeTest, PipelineShrinksRedundantNetworks)
+{
+    // duplicated parity cones over the same inputs
+    logic_network network{"redundant"};
+    std::vector<logic_network::node> pis;
+    for (int i = 0; i < 6; ++i)
+    {
+        pis.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+    const auto cone = [&]()
+    {
+        auto acc = pis[0];
+        for (int i = 1; i < 6; ++i)
+        {
+            acc = network.create_xor(acc, pis[static_cast<std::size_t>(i)]);
+        }
+        return acc;
+    };
+    network.create_po(network.create_and(cone(), cone()), "y");  // AND(x, x) over clones
+
+    const auto optimized = optimize(network);
+    EXPECT_TRUE(ver::check_equivalence(network, optimized));
+    EXPECT_LT(optimized.num_gates(), network.num_gates() / 2 + 1);
+}
+
+TEST(OptimizeTest, SmallerNetworksYieldSmallerLayouts)
+{
+    // the end-to-end payoff: optimization before ortho reduces area
+    logic_network network{"payoff"};
+    std::vector<logic_network::node> pis;
+    for (int i = 0; i < 4; ++i)
+    {
+        pis.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+    // deliberately redundant structure: g1 and g2 are structural clones
+    const auto f1 = network.create_and(pis[0], pis[1]);
+    const auto f2 = network.create_and(pis[0], pis[1]);
+    const auto g1 = network.create_or(f1, pis[2]);
+    const auto g2 = network.create_or(f2, pis[2]);
+    network.create_po(network.create_or(g1, g2), "z");  // = g1
+    network.create_po(network.create_and(g2, pis[3]), "w");
+
+    const auto optimized = optimize(network);
+    EXPECT_TRUE(ver::check_equivalence(network, optimized));
+
+    const auto raw_layout = pd::ortho(network);
+    const auto opt_layout = pd::ortho(optimized);
+    EXPECT_LT(opt_layout.area(), raw_layout.area());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, opt_layout));
+}
+
+TEST(OptimizeTest, IdempotentOnOptimalNetworks)
+{
+    const auto network = mux21();
+    const auto once = optimize(network);
+    const auto twice = optimize(once);
+    EXPECT_EQ(once.size(), twice.size());
+    EXPECT_TRUE(ver::check_equivalence(network, twice));
+}
+
+TEST(OptimizeTest, RandomSweepEquivalence)
+{
+    for (const std::uint64_t seed : {401u, 402u, 403u})
+    {
+        const auto network = random_network(6, 60, 4, seed);
+        const auto optimized = optimize(network);
+        EXPECT_TRUE(ver::check_equivalence(network, optimized)) << seed;
+        EXPECT_LE(optimized.num_gates(), network.num_gates()) << seed;
+    }
+}

@@ -1,0 +1,165 @@
+#include "physical_design/ortho.hpp"
+
+#include "common/types.hpp"
+#include "layout/layout_utils.hpp"
+#include "test_networks.hpp"
+#include "verification/drc.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+using namespace mnt;
+using namespace mnt::pd;
+using namespace mnt::test;
+
+TEST(OrthoTest, Mux21IsCorrect)
+{
+    const auto network = mux21();
+    ortho_stats stats{};
+    const auto layout = ortho(network, {}, &stats);
+
+    EXPECT_EQ(layout.clocking().kind(), lyt::clocking_kind::twoddwave);
+    EXPECT_EQ(layout.topology(), lyt::layout_topology::cartesian);
+    EXPECT_GT(stats.placed_nodes, 0u);
+    EXPECT_GT(stats.runtime, 0.0);
+
+    const auto report = ver::gate_level_drc(layout);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+}
+
+TEST(OrthoTest, FullAdderWithMajIsDecomposedAndCorrect)
+{
+    const auto network = full_adder();
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::gate_level_drc(layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+    // no MAJ tiles on a 2DDWave layout
+    layout.foreach_tile([](const lyt::coordinate&, const lyt::gate_level_layout::tile_data& d)
+                        { EXPECT_NE(d.type, ntk::gate_type::maj3); });
+}
+
+TEST(OrthoTest, SingleWireNetwork)
+{
+    ntk::logic_network network{"wire"};
+    network.create_po(network.create_pi("a"), "y");
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+    EXPECT_LE(layout.area(), 4u);
+}
+
+TEST(OrthoTest, HighFanoutNetwork)
+{
+    ntk::logic_network network{"fanout"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto g = network.create_and(a, b);
+    for (int i = 0; i < 6; ++i)
+    {
+        network.create_po(network.create_not(g), "y" + std::to_string(i));
+    }
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::gate_level_drc(layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+}
+
+TEST(OrthoTest, NonCommutativeGatesKeepSlotOrder)
+{
+    ntk::logic_network network{"lt"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_lt(a, b), "l");   // ~a & b
+    network.create_po(network.create_gt(a, b), "g");   // a & ~b
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+}
+
+TEST(OrthoTest, SharedFaninBothSlots)
+{
+    ntk::logic_network network{"xx"};
+    const auto a = network.create_pi("a");
+    const auto g = network.create_xnor(a, a);  // both fanins identical
+    network.create_po(g, "y");
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::gate_level_drc(layout).passed());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+}
+
+TEST(OrthoTest, ConstantsArePropagated)
+{
+    ntk::logic_network network{"c"};
+    const auto a = network.create_pi("a");
+    const auto g = network.create_and(a, network.get_constant(true));
+    network.create_po(network.create_xor(g, network.get_constant(false)), "y");
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+}
+
+TEST(OrthoTest, ConstantPoRejected)
+{
+    ntk::logic_network network{"c"};
+    static_cast<void>(network.create_pi("a"));
+    network.create_po(network.get_constant(true), "y");
+    EXPECT_THROW(static_cast<void>(ortho(network)), precondition_error);
+}
+
+TEST(OrthoTest, NoPosRejected)
+{
+    ntk::logic_network network{"empty"};
+    network.create_pi("a");
+    EXPECT_THROW(static_cast<void>(ortho(network)), precondition_error);
+}
+
+TEST(OrthoTest, GreedyOrientationNeverBreaksFunction)
+{
+    const auto network = random_network(4, 24, 3, 7);
+    for (const bool greedy : {false, true})
+    {
+        ortho_params params{};
+        params.greedy_orientation = greedy;
+        const auto layout = ortho(network, params);
+        EXPECT_TRUE(ver::check_layout_equivalence(network, layout)) << "greedy=" << greedy;
+    }
+}
+
+TEST(OrthoTest, ParityChainStaysNarrow)
+{
+    // a pure chain shares rows; height should stay near the PI count
+    const auto network = parity(6);
+    const auto layout = ortho(network);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+    EXPECT_LE(layout.height(), 14u);
+}
+
+// property sweep: random networks of growing size must always be legal and
+// equivalent
+class OrthoRandomProperty : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>>
+{};
+
+TEST_P(OrthoRandomProperty, LegalAndEquivalent)
+{
+    const auto [gates, seed] = GetParam();
+    const auto network = random_network(5, gates, 4, seed);
+    ortho_stats stats{};
+    const auto layout = ortho(network, {}, &stats);
+
+    const auto report = ver::gate_level_drc(layout);
+    ASSERT_TRUE(report.passed()) << report.errors.front();
+    EXPECT_TRUE(ver::check_layout_equivalence(network, layout));
+
+    const auto lstats = lyt::collect_layout_statistics(layout);
+    EXPECT_EQ(lstats.num_pis, network.num_pis());
+    EXPECT_EQ(lstats.num_pos, network.num_pos());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrthoRandomProperty,
+                         ::testing::Combine(::testing::Values(8, 20, 50, 120, 300),
+                                            ::testing::Values(1u, 2u, 3u)),
+                         [](const auto& info)
+                         {
+                             return "g" + std::to_string(std::get<0>(info.param)) + "_s" +
+                                    std::to_string(std::get<1>(info.param));
+                         });

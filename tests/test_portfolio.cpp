@@ -1,0 +1,153 @@
+#include "physical_design/portfolio.hpp"
+
+#include "test_networks.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mnt;
+using namespace mnt::pd;
+using namespace mnt::test;
+
+namespace
+{
+
+portfolio_params fast_params()
+{
+    portfolio_params params{};
+    params.exact_timeout_s = 2.0;
+    params.nanoplacer_iterations = 200;
+    params.input_orderings = 3;
+    params.verify = true;  // every layout is checked against the network
+    return params;
+}
+
+bool has_algorithm(const std::vector<layout_result>& results, const std::string& algo)
+{
+    return std::any_of(results.cbegin(), results.cend(),
+                       [&](const layout_result& r) { return r.algorithm == algo; });
+}
+
+}  // namespace
+
+TEST(PortfolioTest, CartesianPortfolioOnMux)
+{
+    const auto network = mux21();
+    const auto results = run_cartesian_portfolio(network, fast_params());
+
+    ASSERT_FALSE(results.empty());
+    EXPECT_TRUE(has_algorithm(results, "ortho"));
+    EXPECT_TRUE(has_algorithm(results, "exact"));
+    EXPECT_TRUE(has_algorithm(results, "NPR"));
+
+    // verify=true already checked equivalence; check provenance metadata
+    for (const auto& r : results)
+    {
+        EXPECT_FALSE(r.clocking.empty());
+        EXPECT_GE(r.runtime, 0.0);
+        EXPECT_EQ(r.layout.layout_name(), "mux21");
+    }
+}
+
+TEST(PortfolioTest, BestByAreaIsMinimal)
+{
+    const auto network = mux21();
+    const auto results = run_cartesian_portfolio(network, fast_params());
+    const auto* best = best_by_area(results);
+    ASSERT_NE(best, nullptr);
+    for (const auto& r : results)
+    {
+        EXPECT_LE(best->layout.area(), r.layout.area());
+    }
+}
+
+TEST(PortfolioTest, ExactSkippedOnLargeFunctions)
+{
+    const auto network = random_network(5, 60, 3, 61);
+    auto params = fast_params();
+    params.nanoplacer_max_nodes = 10;  // also skip NPR to keep it fast
+    const auto results = run_cartesian_portfolio(network, params);
+    EXPECT_FALSE(has_algorithm(results, "exact"));
+    EXPECT_FALSE(has_algorithm(results, "NPR"));
+    EXPECT_TRUE(has_algorithm(results, "ortho"));
+}
+
+TEST(PortfolioTest, HexagonalPortfolioProducesRowLayouts)
+{
+    const auto network = half_adder();
+    const auto results = run_hexagonal_portfolio(network, fast_params());
+    ASSERT_FALSE(results.empty());
+    for (const auto& r : results)
+    {
+        EXPECT_EQ(r.layout.topology(), lyt::layout_topology::hexagonal_even_row);
+        EXPECT_EQ(r.clocking, "ROW");
+    }
+    // the 45° pipeline must be present
+    EXPECT_TRUE(std::any_of(results.cbegin(), results.cend(),
+                            [](const layout_result& r)
+                            {
+                                return std::find(r.optimizations.cbegin(), r.optimizations.cend(), "45°") !=
+                                       r.optimizations.cend();
+                            }));
+}
+
+TEST(PortfolioTest, LabelsMatchPaperNotation)
+{
+    layout_result r{lyt::gate_level_layout{"x", lyt::layout_topology::cartesian,
+                                           lyt::clocking_scheme::twoddwave(), 2, 2},
+                    "ortho",
+                    {"InOrd (SDN)", "45°", "PLO"},
+                    "ROW",
+                    0.1};
+    EXPECT_EQ(r.label(), "ortho, InOrd (SDN), 45°, PLO");
+}
+
+TEST(PortfolioTest, BestOfEmptyIsNull)
+{
+    EXPECT_EQ(best_by_area({}), nullptr);
+}
+
+TEST(PortfolioTest, NetworkOptimizationOption)
+{
+    // a redundant network: the optimizing portfolio must produce a smaller
+    // (or equal) best layout, still equivalent to the ORIGINAL network
+    ntk::logic_network network{"redundant"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const auto g1 = network.create_and(a, b);
+    const auto g2 = network.create_and(a, b);  // clone
+    network.create_po(network.create_or(g1, c), "y0");
+    network.create_po(network.create_or(g2, c), "y1");
+
+    auto params = fast_params();
+    params.try_exact = false;
+    params.try_nanoplacer = false;
+    params.try_input_ordering = false;
+    params.try_plo = false;
+
+    const auto plain = run_cartesian_portfolio(network, params);
+    params.optimize_network = true;
+    const auto optimized = run_cartesian_portfolio(network, params);  // verify=true checks vs original
+
+    const auto* best_plain = best_by_area(plain);
+    const auto* best_optimized = best_by_area(optimized);
+    ASSERT_NE(best_plain, nullptr);
+    ASSERT_NE(best_optimized, nullptr);
+    EXPECT_LE(best_optimized->layout.area(), best_plain->layout.area());
+}
+
+TEST(PortfolioTest, HexagonalPortfolioIncludesNpr)
+{
+    const auto network = half_adder();
+    auto params = fast_params();
+    params.try_exact = false;
+    const auto results = run_hexagonal_portfolio(network, params);
+    EXPECT_TRUE(has_algorithm(results, "NPR"));
+    for (const auto& r : results)
+    {
+        EXPECT_EQ(r.layout.topology(), lyt::layout_topology::hexagonal_even_row);
+    }
+}

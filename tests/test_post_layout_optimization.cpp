@@ -1,0 +1,102 @@
+#include "physical_design/post_layout_optimization.hpp"
+
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+#include "verification/drc.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mnt;
+using namespace mnt::pd;
+using namespace mnt::test;
+
+TEST(PloTest, ShrinksOrthoMux)
+{
+    const auto network = mux21();
+    const auto layout = ortho(network);
+    plo_stats stats{};
+    const auto optimized = post_layout_optimization(layout, {}, &stats);
+
+    EXPECT_LE(optimized.area(), layout.area());
+    EXPECT_LT(stats.area_after, stats.area_before);
+    EXPECT_GT(stats.passes, 0u);
+
+    const auto report = ver::gate_level_drc(optimized);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, optimized));
+}
+
+TEST(PloTest, InputUntouched)
+{
+    const auto network = half_adder();
+    const auto layout = ortho(network);
+    const auto area_before = layout.area();
+    const auto wires_before = layout.num_wires();
+    static_cast<void>(post_layout_optimization(layout));
+    EXPECT_EQ(layout.area(), area_before);
+    EXPECT_EQ(layout.num_wires(), wires_before);
+}
+
+TEST(PloTest, NeverIncreasesAreaOrBreaksFunction)
+{
+    for (const std::uint64_t seed : {31u, 32u, 33u})
+    {
+        const auto network = random_network(4, 30, 3, seed);
+        const auto layout = ortho(network);
+        const auto optimized = post_layout_optimization(layout);
+        EXPECT_LE(optimized.area(), layout.area()) << "seed " << seed;
+        ASSERT_TRUE(ver::gate_level_drc(optimized).passed()) << "seed " << seed;
+        EXPECT_TRUE(ver::check_layout_equivalence(network, optimized)) << "seed " << seed;
+    }
+}
+
+TEST(PloTest, WorksOnHexagonalLayouts)
+{
+    const auto network = half_adder();
+    const auto hex = hexagonalization(ortho(network));
+    plo_stats stats{};
+    const auto optimized = post_layout_optimization(hex, {}, &stats);
+    EXPECT_LE(optimized.area(), hex.area());
+    EXPECT_EQ(optimized.topology(), lyt::layout_topology::hexagonal_even_row);
+    const auto report = ver::gate_level_drc(optimized);
+    EXPECT_TRUE(report.passed()) << (report.errors.empty() ? "" : report.errors.front());
+    EXPECT_TRUE(ver::check_layout_equivalence(network, optimized));
+}
+
+TEST(PloTest, NonCommutativeGatesSurvive)
+{
+    ntk::logic_network network{"ltgt"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_lt(a, b), "l");
+    network.create_po(network.create_gt(a, b), "g");
+    network.create_po(network.create_le(a, b), "le");
+
+    const auto optimized = post_layout_optimization(ortho(network));
+    EXPECT_TRUE(ver::check_layout_equivalence(network, optimized));
+}
+
+TEST(PloTest, MoveBudgetRespected)
+{
+    const auto network = random_network(4, 25, 2, 41);
+    const auto layout = ortho(network);
+    plo_params params{};
+    params.max_gate_moves = 5;
+    plo_stats stats{};
+    const auto optimized = post_layout_optimization(layout, params, &stats);
+    EXPECT_LE(stats.accepted_moves, 5u);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, optimized));
+}
+
+TEST(PloTest, ReportsWireReduction)
+{
+    const auto network = random_network(5, 35, 3, 43);
+    const auto layout = ortho(network);
+    plo_stats stats{};
+    const auto optimized = post_layout_optimization(layout, {}, &stats);
+    EXPECT_EQ(stats.wires_after, optimized.num_wires());
+    EXPECT_LE(stats.wires_after, stats.wires_before);
+    EXPECT_TRUE(ver::check_layout_equivalence(network, optimized));
+}

@@ -1,0 +1,179 @@
+#include "network/simulation.hpp"
+
+#include "common/types.hpp"
+#include "network/logic_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::ntk;
+
+namespace
+{
+
+/// a & b
+logic_network make_and()
+{
+    logic_network network{"and"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_and(a, b), "y");
+    return network;
+}
+
+/// full adder on MAJ/XOR basis
+logic_network make_full_adder()
+{
+    logic_network network{"fa"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto cin = network.create_pi("cin");
+    const auto sum = network.create_xor(network.create_xor(a, b), cin);
+    const auto carry = network.create_maj(a, b, cin);
+    network.create_po(sum, "sum");
+    network.create_po(carry, "carry");
+    return network;
+}
+
+}  // namespace
+
+TEST(TruthTableTest, SizesAndBits)
+{
+    truth_table tt{3};
+    EXPECT_EQ(tt.num_vars(), 3u);
+    EXPECT_EQ(tt.num_bits(), 8u);
+    EXPECT_EQ(tt.words().size(), 1u);
+    tt.set_bit(5, true);
+    EXPECT_TRUE(tt.get_bit(5));
+    EXPECT_FALSE(tt.get_bit(4));
+    EXPECT_EQ(tt.count_ones(), 1u);
+}
+
+TEST(TruthTableTest, LargeTableUsesMultipleWords)
+{
+    truth_table tt{8};
+    EXPECT_EQ(tt.num_bits(), 256u);
+    EXPECT_EQ(tt.words().size(), 4u);
+    tt.set_bit(255, true);
+    EXPECT_TRUE(tt.get_bit(255));
+    EXPECT_EQ(tt.count_ones(), 1u);
+}
+
+TEST(TruthTableTest, OutOfRangeAccessThrows)
+{
+    truth_table tt{2};
+    EXPECT_THROW(static_cast<void>(tt.get_bit(4)), precondition_error);
+    EXPECT_THROW(tt.set_bit(4, true), precondition_error);
+}
+
+TEST(TruthTableTest, TooManyVariablesRejected)
+{
+    EXPECT_THROW(truth_table{27}, precondition_error);
+}
+
+TEST(SimulationTest, WordSimulationOfAnd)
+{
+    const auto network = make_and();
+    const auto out = simulate_word(network, {0b1100ull, 0b1010ull});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0] & 0xfull, 0b1000ull);
+}
+
+TEST(SimulationTest, WordSimulationChecksArity)
+{
+    const auto network = make_and();
+    EXPECT_THROW(static_cast<void>(simulate_word(network, {0ull})), precondition_error);
+}
+
+TEST(SimulationTest, TruthTableOfAnd)
+{
+    const auto tts = simulate_truth_tables(make_and());
+    ASSERT_EQ(tts.size(), 1u);
+    EXPECT_EQ(tts[0].to_hex(), "8");
+}
+
+TEST(SimulationTest, TruthTableOfFullAdder)
+{
+    const auto tts = simulate_truth_tables(make_full_adder());
+    ASSERT_EQ(tts.size(), 2u);
+    // sum = a ^ b ^ cin: odd parity -> 0x96; carry = maj: 0xe8
+    EXPECT_EQ(tts[0].to_hex(), "96");
+    EXPECT_EQ(tts[1].to_hex(), "e8");
+}
+
+TEST(SimulationTest, ConstantsSimulateCorrectly)
+{
+    logic_network network{"const"};
+    const auto a = network.create_pi("a");
+    network.create_po(network.create_and(a, network.get_constant(true)), "t");
+    network.create_po(network.create_and(a, network.get_constant(false)), "f");
+    const auto tts = simulate_truth_tables(network);
+    EXPECT_EQ(tts[0].to_hex(), "2");  // identity on 1 var
+    EXPECT_EQ(tts[1].to_hex(), "0");
+}
+
+TEST(SimulationTest, SevenInputParityUsesMultipleWords)
+{
+    logic_network network{"parity7"};
+    auto acc = network.create_pi("x0");
+    for (int i = 1; i < 7; ++i)
+    {
+        acc = network.create_xor(acc, network.create_pi("x" + std::to_string(i)));
+    }
+    network.create_po(acc, "p");
+
+    const auto tts = simulate_truth_tables(network);
+    ASSERT_EQ(tts.size(), 1u);
+    EXPECT_EQ(tts[0].num_bits(), 128u);
+    // parity has exactly half the assignments true
+    EXPECT_EQ(tts[0].count_ones(), 64u);
+    // check a few spot values: parity of the popcount of the index
+    for (const std::uint64_t idx : {0ull, 1ull, 3ull, 127ull, 85ull})
+    {
+        EXPECT_EQ(tts[0].get_bit(idx), (__builtin_popcountll(idx) & 1) != 0) << idx;
+    }
+}
+
+TEST(SimulationTest, RandomSimulationIsDeterministic)
+{
+    const auto network = make_full_adder();
+    const auto r1 = simulate_random(network, 8, 42);
+    const auto r2 = simulate_random(network, 8, 42);
+    const auto r3 = simulate_random(network, 8, 43);
+    EXPECT_EQ(r1, r2);
+    EXPECT_NE(r1, r3);
+    EXPECT_EQ(r1.size(), 8u * network.num_pos());
+}
+
+// property-style sweep: for every binary gate type, the truth table computed
+// through a network must equal the direct gate evaluation
+class GateSimulationProperty : public ::testing::TestWithParam<gate_type>
+{};
+
+TEST_P(GateSimulationProperty, TruthTableMatchesEvaluateGate)
+{
+    const auto t = GetParam();
+    logic_network network;
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const std::vector<logic_network::node> fis{a, b};
+    network.create_po(network.create_gate(t, fis), "y");
+
+    const auto tts = simulate_truth_tables(network);
+    for (std::uint64_t idx = 0; idx < 4; ++idx)
+    {
+        const bool av = (idx & 1) != 0;
+        const bool bv = (idx & 2) != 0;
+        EXPECT_EQ(tts[0].get_bit(idx), evaluate_gate(t, av, bv)) << gate_type_name(t) << " idx=" << idx;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBinaryGates, GateSimulationProperty,
+                         ::testing::Values(gate_type::and2, gate_type::nand2, gate_type::or2, gate_type::nor2,
+                                           gate_type::xor2, gate_type::xnor2, gate_type::lt2, gate_type::gt2,
+                                           gate_type::le2, gate_type::ge2),
+                         [](const auto& info) { return std::string{gate_type_name(info.param)}; });

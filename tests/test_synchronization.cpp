@@ -1,0 +1,127 @@
+#include "verification/synchronization.hpp"
+
+#include "physical_design/ortho.hpp"
+#include "test_networks.hpp"
+#include "verification/wave_simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mnt;
+using namespace mnt::ver;
+using namespace mnt::test;
+using mnt::ntk::gate_type;
+
+namespace
+{
+
+/// Balanced AND: both inputs one tick from the gate.
+lyt::gate_level_layout balanced_and()
+{
+    lyt::gate_level_layout layout{"bal", lyt::layout_topology::cartesian, lyt::clocking_scheme::twoddwave(), 4, 3};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::pi, "b");
+    layout.place({1, 1}, gate_type::and2);
+    layout.place({2, 1}, gate_type::po, "y");
+    layout.connect({1, 0}, {1, 1});
+    layout.connect({0, 1}, {1, 1});
+    layout.connect({1, 1}, {2, 1});
+    return layout;
+}
+
+/// Skewed AND: input a arrives after 1 tick, input b after 5.
+lyt::gate_level_layout skewed_and()
+{
+    lyt::gate_level_layout layout{"skew", lyt::layout_topology::cartesian, lyt::clocking_scheme::twoddwave(), 7, 2};
+    layout.place({5, 0}, gate_type::pi, "a");
+    layout.place({0, 1}, gate_type::pi, "b");
+    for (int x = 1; x <= 4; ++x)
+    {
+        layout.place({x, 1}, gate_type::buf);
+    }
+    for (int x = 0; x <= 3; ++x)
+    {
+        layout.connect({x, 1}, {x + 1, 1});
+    }
+    layout.place({5, 1}, gate_type::and2);
+    layout.connect({5, 0}, {5, 1});
+    layout.connect({4, 1}, {5, 1});
+    layout.place({6, 1}, gate_type::po, "y");
+    layout.connect({5, 1}, {6, 1});
+    return layout;
+}
+
+}  // namespace
+
+TEST(SynchronizationTest, BalancedLayoutHasNoSkew)
+{
+    const auto report = analyze_synchronization(balanced_and());
+    EXPECT_TRUE(report.full_rate_streamable());
+    EXPECT_EQ(report.max_skew, 0u);
+    EXPECT_TRUE(report.violations.empty());
+    EXPECT_DOUBLE_EQ(report.relative_throughput(), 1.0);
+    EXPECT_EQ(report.max_po_arrival, 2u);  // and (+1) -> po (+1) after the PI
+}
+
+TEST(SynchronizationTest, SkewedLayoutReported)
+{
+    const auto report = analyze_synchronization(skewed_and());
+    EXPECT_FALSE(report.full_rate_streamable());
+    EXPECT_EQ(report.max_skew, 4u);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].tile, lyt::coordinate(5, 1));
+    EXPECT_EQ(report.violations[0].min_arrival, 1u);
+    EXPECT_EQ(report.violations[0].max_arrival, 5u);
+    EXPECT_LT(report.relative_throughput(), 1.0);
+}
+
+TEST(SynchronizationTest, PredictsStreamability)
+{
+    // the analyzer's verdict must agree with actual full-rate streaming
+    using factory = lyt::gate_level_layout (*)();
+    for (const factory make : {factory{&balanced_and}, factory{&skewed_and}})
+    {
+        const auto layout = make();
+        const auto report = analyze_synchronization(layout);
+
+        std::vector<std::vector<std::uint64_t>> frames;
+        std::vector<std::vector<std::uint64_t>> expected(1);
+        std::mt19937_64 rng{9};
+        for (int f = 0; f < 12; ++f)
+        {
+            const auto a = rng();
+            const auto b = rng();
+            frames.push_back({a, b});
+            expected[0].push_back(a & b);
+        }
+        stream_options options{};
+        options.cycles_per_frame = 1;
+        const auto stream = wave_stream_simulate(layout, frames, expected, options);
+        EXPECT_EQ(report.full_rate_streamable(), stream.aligned) << layout.layout_name();
+    }
+}
+
+TEST(SynchronizationTest, OrthoLayoutsAreGenerallySkewed)
+{
+    // ortho makes no balancing effort: reconverging paths from PIs at
+    // different diagonal depths are skewed (why SDNs exist)
+    const auto layout = pd::ortho(mux21());
+    const auto report = analyze_synchronization(layout);
+    EXPECT_GT(report.max_po_arrival, 0u);
+    EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(SynchronizationTest, ViolationsSortedBySkew)
+{
+    const auto layout = pd::ortho(random_network(5, 30, 3, 88));
+    const auto report = analyze_synchronization(layout);
+    for (std::size_t i = 1; i < report.violations.size(); ++i)
+    {
+        EXPECT_GE(report.violations[i - 1].skew(), report.violations[i].skew());
+    }
+    if (!report.violations.empty())
+    {
+        EXPECT_EQ(report.max_skew, report.violations.front().skew());
+    }
+}

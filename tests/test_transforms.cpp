@@ -1,0 +1,248 @@
+#include "network/transforms.hpp"
+
+#include "common/types.hpp"
+#include "network/network_utils.hpp"
+#include "network/simulation.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::ntk;
+
+namespace
+{
+
+/// 2-bit adder-ish network with reconvergence and high fanout
+logic_network make_test_network()
+{
+    logic_network network{"t"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    const auto g1 = network.create_and(a, b);
+    const auto g2 = network.create_xor(g1, c);
+    const auto g3 = network.create_or(g1, c);
+    const auto g4 = network.create_maj(g1, g2, g3);
+    network.create_po(g2, "s");
+    network.create_po(g4, "m");
+    return network;
+}
+
+}  // namespace
+
+TEST(CleanupTest, RemovesDeadNodes)
+{
+    logic_network network{"dead"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_and(a, b);  // dead
+    const auto live = network.create_or(a, b);
+    network.create_po(live, "y");
+
+    const auto cleaned = cleanup(network);
+    EXPECT_EQ(cleaned.num_gates(), 1u);
+    EXPECT_TRUE(ver::check_equivalence(network, cleaned));
+}
+
+TEST(CleanupTest, RemovesBuffersByDefault)
+{
+    logic_network network{"bufs"};
+    const auto a = network.create_pi("a");
+    const auto w1 = network.create_buf(a);
+    const auto w2 = network.create_buf(w1);
+    network.create_po(w2, "y");
+
+    const auto cleaned = cleanup(network);
+    EXPECT_EQ(cleaned.num_wires(), 0u);
+    EXPECT_TRUE(ver::check_equivalence(network, cleaned));
+
+    const auto kept = cleanup(network, true);
+    EXPECT_EQ(kept.num_wires(), 2u);
+}
+
+TEST(CleanupTest, KeepsDanglingPis)
+{
+    logic_network network{"dangling"};
+    network.create_pi("unused");
+    const auto b = network.create_pi("b");
+    network.create_po(b, "y");
+
+    const auto cleaned = cleanup(network);
+    EXPECT_EQ(cleaned.num_pis(), 2u);
+}
+
+TEST(PropagateConstantsTest, AndWithZeroBecomesZero)
+{
+    logic_network network{"c"};
+    const auto a = network.create_pi("a");
+    const auto g = network.create_and(a, network.get_constant(false));
+    network.create_po(g, "y");
+
+    const auto propagated = propagate_constants(network);
+    EXPECT_EQ(propagated.num_gates(), 0u);
+    EXPECT_TRUE(ver::check_equivalence(network, propagated));
+}
+
+TEST(PropagateConstantsTest, XorWithOneBecomesInverter)
+{
+    logic_network network{"c"};
+    const auto a = network.create_pi("a");
+    const auto g = network.create_xor(a, network.get_constant(true));
+    network.create_po(g, "y");
+
+    const auto propagated = propagate_constants(network);
+    EXPECT_EQ(propagated.num_gates(), 1u);  // single inverter
+    EXPECT_TRUE(ver::check_equivalence(network, propagated));
+}
+
+TEST(PropagateConstantsTest, MajWithConstantDegenerates)
+{
+    logic_network network{"c"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_maj(a, b, network.get_constant(false)), "and_out");
+    network.create_po(network.create_maj(a, b, network.get_constant(true)), "or_out");
+
+    const auto propagated = propagate_constants(network);
+    EXPECT_TRUE(ver::check_equivalence(network, propagated));
+    const auto stats = collect_statistics(propagated);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(gate_type::maj3)], 0u);
+}
+
+TEST(PropagateConstantsTest, NandWithConstantResidual)
+{
+    logic_network network{"c"};
+    const auto a = network.create_pi("a");
+    network.create_po(network.create_nand(a, network.get_constant(true)), "y");
+    const auto propagated = propagate_constants(network);
+    EXPECT_TRUE(ver::check_equivalence(network, propagated));
+    EXPECT_EQ(propagated.num_gates(), 1u);  // inverter
+}
+
+TEST(FanoutSubstitutionTest, BoundsFanoutDegree)
+{
+    logic_network network{"fo"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto g = network.create_and(a, b);
+    // g drives 5 users
+    for (int i = 0; i < 5; ++i)
+    {
+        network.create_po(network.create_not(g), "y" + std::to_string(i));
+    }
+
+    const auto substituted = substitute_fanouts(network, 2);
+    EXPECT_TRUE(ver::check_equivalence(network, substituted));
+
+    // every non-fanout node drives at most 1 user; fanout nodes at most 2
+    substituted.foreach_node(
+        [&](const logic_network::node n)
+        {
+            if (substituted.is_constant(n) || substituted.is_po(n))
+            {
+                return;
+            }
+            const auto limit = substituted.type(n) == gate_type::fanout ? 2u : 1u;
+            EXPECT_LE(substituted.fanout_size(n), limit) << "node " << n;
+        });
+}
+
+TEST(FanoutSubstitutionTest, PiFanoutAlsoSubstituted)
+{
+    logic_network network{"fo"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_and(a, b), "y1");
+    network.create_po(network.create_or(a, b), "y2");
+    network.create_po(network.create_xor(a, b), "y3");
+
+    const auto substituted = substitute_fanouts(network);
+    EXPECT_TRUE(ver::check_equivalence(network, substituted));
+    EXPECT_EQ(max_fanout_degree(substituted), 2u);
+    EXPECT_GT(substituted.num_wires(), 0u);
+}
+
+TEST(FanoutSubstitutionTest, DegreeBelowTwoRejected)
+{
+    const auto network = make_test_network();
+    EXPECT_THROW(static_cast<void>(substitute_fanouts(network, 1)), precondition_error);
+}
+
+TEST(FanoutSubstitutionTest, AlreadyBoundedNetworkGetsNoFanouts)
+{
+    logic_network network{"chain"};
+    const auto a = network.create_pi("a");
+    const auto g1 = network.create_not(a);
+    const auto g2 = network.create_not(g1);
+    network.create_po(g2, "y");
+
+    const auto substituted = substitute_fanouts(network);
+    EXPECT_EQ(substituted.num_wires(), 0u);
+    EXPECT_TRUE(ver::check_equivalence(network, substituted));
+}
+
+TEST(DecomposeMajTest, RemovesAllMajGates)
+{
+    const auto network = make_test_network();
+    const auto decomposed = decompose_maj(network);
+    const auto stats = collect_statistics(decomposed);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(gate_type::maj3)], 0u);
+    EXPECT_TRUE(ver::check_equivalence(network, decomposed));
+}
+
+TEST(ToAoiTest, OnlyInvAndOrRemain)
+{
+    const auto network = make_test_network();
+    const auto aoi = to_aoi(network);
+    aoi.foreach_gate(
+        [&](const logic_network::node n)
+        {
+            const auto t = aoi.type(n);
+            EXPECT_TRUE(t == gate_type::inv || t == gate_type::and2 || t == gate_type::or2)
+                << gate_type_name(t);
+        });
+    EXPECT_TRUE(ver::check_equivalence(network, aoi));
+}
+
+TEST(ToAoiTest, XnorExpansionIsCorrect)
+{
+    logic_network network{"xnor"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_xnor(a, b), "y");
+    EXPECT_TRUE(ver::check_equivalence(network, to_aoi(network)));
+}
+
+TEST(NetworkUtilsTest, LevelsAndDepth)
+{
+    const auto network = make_test_network();
+    EXPECT_EQ(depth(network), 4u);  // and -> xor/or -> maj -> po
+    const auto levels = compute_levels(network);
+    EXPECT_EQ(levels[network.pi_at(0)], 0u);
+}
+
+TEST(NetworkUtilsTest, SanityCheckCleanNetwork)
+{
+    const auto network = make_test_network();
+    EXPECT_TRUE(sanity_check(network).empty());
+}
+
+TEST(NetworkUtilsTest, SanityCheckFlagsMissingPos)
+{
+    logic_network network{"no_pos"};
+    network.create_pi("a");
+    EXPECT_FALSE(sanity_check(network).empty());
+}
+
+TEST(NetworkUtilsTest, StatisticsCollectTypeCounts)
+{
+    const auto stats = collect_statistics(make_test_network());
+    EXPECT_EQ(stats.num_pis, 3u);
+    EXPECT_EQ(stats.num_pos, 2u);
+    EXPECT_EQ(stats.num_gates, 4u);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(gate_type::and2)], 1u);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(gate_type::maj3)], 1u);
+}

@@ -1,0 +1,317 @@
+#include "io/verilog_reader.hpp"
+#include "io/verilog_writer.hpp"
+
+#include "common/types.hpp"
+#include "network/network_utils.hpp"
+#include "network/simulation.hpp"
+#include "verification/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::io;
+using namespace mnt::ntk;
+
+TEST(VerilogReaderTest, SimpleAssignModule)
+{
+    const auto network = read_verilog_string(R"(
+        module top( a, b, y );
+          input a, b;
+          output y;
+          assign y = a & b;
+        endmodule
+    )");
+    EXPECT_EQ(network.network_name(), "top");
+    EXPECT_EQ(network.num_pis(), 2u);
+    EXPECT_EQ(network.num_pos(), 1u);
+    const auto tts = simulate_truth_tables(network);
+    EXPECT_EQ(tts[0].to_hex(), "8");
+}
+
+TEST(VerilogReaderTest, OperatorPrecedence)
+{
+    // ~ binds tighter than &, & tighter than ^, ^ tighter than |
+    const auto network = read_verilog_string(R"(
+        module f(a, b, c, y);
+          input a, b, c;
+          output y;
+          assign y = ~a & b ^ c | a & b;
+        endmodule
+    )");
+    const auto tts = simulate_truth_tables(network);
+    // reference: for each assignment check against C++ evaluation
+    for (std::uint64_t i = 0; i < 8; ++i)
+    {
+        const bool a = (i & 1) != 0;
+        const bool b = (i & 2) != 0;
+        const bool c = (i & 4) != 0;
+        const bool expected = ((!a && b) != c) || (a && b);
+        EXPECT_EQ(tts[0].get_bit(i), expected) << i;
+    }
+}
+
+TEST(VerilogReaderTest, ParenthesesOverridePrecedence)
+{
+    const auto network = read_verilog_string(R"(
+        module f(a, b, c, y);
+          input a, b, c;
+          output y;
+          assign y = a & (b | c);
+        endmodule
+    )");
+    const auto tts = simulate_truth_tables(network);
+    for (std::uint64_t i = 0; i < 8; ++i)
+    {
+        const bool a = (i & 1) != 0;
+        const bool b = (i & 2) != 0;
+        const bool c = (i & 4) != 0;
+        EXPECT_EQ(tts[0].get_bit(i), a && (b || c)) << i;
+    }
+}
+
+TEST(VerilogReaderTest, WiresAndOutOfOrderAssignments)
+{
+    const auto network = read_verilog_string(R"(
+        module f(a, b, y);
+          input a, b;
+          output y;
+          wire w1, w2;
+          assign y = w2;        // uses w2 before its definition
+          assign w2 = ~w1;
+          assign w1 = a & b;
+        endmodule
+    )");
+    const auto tts = simulate_truth_tables(network);
+    EXPECT_EQ(tts[0].to_hex(), "7");  // nand
+}
+
+TEST(VerilogReaderTest, GatePrimitives)
+{
+    const auto network = read_verilog_string(R"(
+        module f(a, b, c, y, z);
+          input a, b, c;
+          output y, z;
+          wire w;
+          and g0(w, a, b);
+          maj g1(y, a, b, c);
+          not (z, w);
+        endmodule
+    )");
+    const auto stats = collect_statistics(network);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(gate_type::maj3)], 1u);
+    const auto tts = simulate_truth_tables(network);
+    EXPECT_EQ(tts[0].to_hex(), "e8");  // maj
+    EXPECT_EQ(tts[1].to_hex(), "77");  // nand(a,b) over 3 vars
+}
+
+TEST(VerilogReaderTest, ConstantsInExpressions)
+{
+    const auto network = read_verilog_string(R"(
+        module f(a, y0, y1);
+          input a;
+          output y0, y1;
+          assign y0 = a & 1'b0;
+          assign y1 = a ^ 1'b1;
+        endmodule
+    )");
+    const auto tts = simulate_truth_tables(network);
+    EXPECT_EQ(tts[0].to_hex(), "0");
+    EXPECT_EQ(tts[1].to_hex(), "1");  // ~a
+}
+
+TEST(VerilogReaderTest, CommentsAreIgnored)
+{
+    const auto network = read_verilog_string(R"(
+        // header comment
+        module f(a, y); /* block
+        spanning lines */ input a;
+          output y;
+          assign y = ~a; // trailing
+        endmodule
+    )");
+    EXPECT_EQ(network.num_gates(), 1u);
+}
+
+TEST(VerilogReaderTest, CombinationalCycleRejected)
+{
+    EXPECT_THROW(static_cast<void>(read_verilog_string(R"(
+        module f(a, y);
+          input a;
+          output y;
+          wire w1, w2;
+          assign w1 = w2 & a;
+          assign w2 = w1 | a;
+          assign y = w1;
+        endmodule
+    )")),
+                 parse_error);
+}
+
+TEST(VerilogReaderTest, MultiplyDrivenNetRejected)
+{
+    EXPECT_THROW(static_cast<void>(read_verilog_string(R"(
+        module f(a, y);
+          input a;
+          output y;
+          assign y = a;
+          assign y = ~a;
+        endmodule
+    )")),
+                 parse_error);
+}
+
+TEST(VerilogReaderTest, UndrivenNetRejected)
+{
+    EXPECT_THROW(static_cast<void>(read_verilog_string(R"(
+        module f(a, y);
+          input a;
+          output y;
+          assign y = ghost;
+        endmodule
+    )")),
+                 parse_error);
+}
+
+TEST(VerilogReaderTest, VectorNetsRejected)
+{
+    EXPECT_THROW(static_cast<void>(read_verilog_string(R"(
+        module f(a, y);
+          input [3:0] a;
+          output y;
+          assign y = a;
+        endmodule
+    )")),
+                 parse_error);
+}
+
+TEST(VerilogReaderTest, SyntaxErrorsCarryLineNumbers)
+{
+    try
+    {
+        static_cast<void>(read_verilog_string("module f(a, y);\n  input a;\n  output y;\n  assign y = ;\nendmodule"));
+        FAIL() << "expected parse_error";
+    }
+    catch (const parse_error& e)
+    {
+        EXPECT_EQ(e.line_number, 4u);
+    }
+}
+
+TEST(VerilogWriterTest, AssignmentRoundTripIsEquivalent)
+{
+    const auto original = read_verilog_string(R"(
+        module top(a, b, c, s, co);
+          input a, b, c;
+          output s, co;
+          wire w;
+          assign w = a ^ b;
+          assign s = w ^ c;
+          assign co = (a & b) | (a & c) | (b & c);
+        endmodule
+    )");
+    const auto text = write_verilog_string(original);
+    const auto reread = read_verilog_string(text);
+    EXPECT_TRUE(ver::check_equivalence(original, reread));
+}
+
+TEST(VerilogWriterTest, PrimitiveRoundTripPreservesMaj)
+{
+    logic_network network{"m"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    const auto c = network.create_pi("c");
+    network.create_po(network.create_maj(a, b, c), "y");
+
+    const auto text = write_verilog_string(network, verilog_style::primitives);
+    EXPECT_NE(text.find("maj"), std::string::npos);
+    const auto reread = read_verilog_string(text);
+    const auto stats = collect_statistics(reread);
+    EXPECT_EQ(stats.per_type[static_cast<std::size_t>(gate_type::maj3)], 1u);
+    EXPECT_TRUE(ver::check_equivalence(network, reread));
+}
+
+TEST(VerilogWriterTest, AllGateTypesSurviveRoundTrip)
+{
+    logic_network network{"all"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    int i = 0;
+    for (const auto t : {gate_type::and2, gate_type::nand2, gate_type::or2, gate_type::nor2, gate_type::xor2,
+                         gate_type::xnor2, gate_type::lt2, gate_type::gt2, gate_type::le2, gate_type::ge2})
+    {
+        const std::vector<logic_network::node> fis{a, b};
+        network.create_po(network.create_gate(t, fis), "y" + std::to_string(i++));
+    }
+
+    for (const auto style : {verilog_style::assignments, verilog_style::primitives})
+    {
+        const auto reread = read_verilog_string(write_verilog_string(network, style));
+        EXPECT_TRUE(ver::check_equivalence(network, reread));
+    }
+}
+
+TEST(VerilogWriterTest, ConstantDriverSerialized)
+{
+    logic_network network{"const"};
+    static_cast<void>(network.create_pi("a"));
+    network.create_po(network.get_constant(true), "one");
+    const auto reread = read_verilog_string(write_verilog_string(network));
+    EXPECT_TRUE(ver::check_equivalence(network, reread));
+}
+
+TEST(VerilogIoTest, FileRoundTrip)
+{
+    logic_network network{"file_test"};
+    const auto a = network.create_pi("a");
+    const auto b = network.create_pi("b");
+    network.create_po(network.create_xor(a, b), "y");
+
+    const auto path = std::filesystem::temp_directory_path() / "mnt_test_file_roundtrip.v";
+    write_verilog_file(network, path);
+    const auto reread = read_verilog_file(path);
+    EXPECT_EQ(reread.network_name(), "file_test");
+    EXPECT_TRUE(ver::check_equivalence(network, reread));
+    std::filesystem::remove(path);
+}
+
+TEST(VerilogIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(static_cast<void>(read_verilog_file("/nonexistent/file.v")), mnt_error);
+}
+
+TEST(VerilogWriterTest, NumericNamesUseEscapedIdentifiers)
+{
+    // c17-style numeric pin names and digit-leading module names must
+    // round-trip through escaped identifiers
+    logic_network network{"1bitThing"};
+    const auto a = network.create_pi("1");
+    const auto b = network.create_pi("22b");
+    network.create_po(network.create_and(a, b), "3out");
+
+    for (const auto style : {verilog_style::assignments, verilog_style::primitives})
+    {
+        const auto text = write_verilog_string(network, style);
+        EXPECT_NE(text.find("\\1 "), std::string::npos);
+        const auto reread = read_verilog_string(text);
+        EXPECT_EQ(reread.network_name(), "1bitThing");
+        EXPECT_TRUE(reread.find_pi("1").has_value());
+        EXPECT_TRUE(ver::check_equivalence(network, reread));
+    }
+}
+
+TEST(VerilogIoTest, ConstantPrimitiveTerminals)
+{
+    // constants are legal primitive terminals (the writer emits them for
+    // networks with constant fanins)
+    const auto network = read_verilog_string(R"(
+        module f(a, y);
+          input a;
+          output y;
+          and g0(y, a, 1'b1);
+        endmodule
+    )");
+    const auto tts = simulate_truth_tables(network);
+    EXPECT_EQ(tts[0].to_hex(), "2");  // identity
+}

@@ -1,0 +1,87 @@
+#include "io/xml.hpp"
+
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::io::xml;
+
+TEST(XmlTest, ParseSimpleDocument)
+{
+    const auto root = parse("<a><b>text</b><c/></a>");
+    EXPECT_EQ(root->tag, "a");
+    ASSERT_EQ(root->children.size(), 2u);
+    EXPECT_EQ(root->children[0]->tag, "b");
+    EXPECT_EQ(root->children[0]->text, "text");
+    EXPECT_EQ(root->children[1]->tag, "c");
+}
+
+TEST(XmlTest, ParseDeclarationAndComments)
+{
+    const auto root = parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<root><!-- inner --><x>1</x></root>");
+    EXPECT_EQ(root->tag, "root");
+    EXPECT_EQ(root->child_text("x"), "1");
+}
+
+TEST(XmlTest, ParseAttributes)
+{
+    const auto root = parse("<g type='and' name=\"n&amp;1\"/>");
+    EXPECT_EQ(root->attributes.at("type"), "and");
+    EXPECT_EQ(root->attributes.at("name"), "n&1");
+}
+
+TEST(XmlTest, TextIsTrimmedAndUnescaped)
+{
+    const auto root = parse("<a>  x &lt;&gt; y  </a>");
+    EXPECT_EQ(root->text, "x <> y");
+}
+
+TEST(XmlTest, MismatchedTagThrows)
+{
+    EXPECT_THROW(static_cast<void>(parse("<a><b></a></b>")), parse_error);
+}
+
+TEST(XmlTest, UnterminatedElementThrows)
+{
+    EXPECT_THROW(static_cast<void>(parse("<a><b>")), parse_error);
+}
+
+TEST(XmlTest, TrailingContentThrows)
+{
+    EXPECT_THROW(static_cast<void>(parse("<a/><b/>")), parse_error);
+}
+
+TEST(XmlTest, ChildAccessors)
+{
+    const auto root = parse("<a><b>1</b><b>2</b><c>3</c></a>");
+    EXPECT_EQ(root->children_of("b").size(), 2u);
+    EXPECT_EQ(root->child("c")->text, "3");
+    EXPECT_EQ(root->child("zzz"), nullptr);
+    EXPECT_THROW(static_cast<void>(root->child_text("zzz")), parse_error);
+}
+
+TEST(XmlTest, SerializeParseRoundTrip)
+{
+    element root;
+    root.tag = "fgl";
+    auto& layout = root.add("layout");
+    layout.add("name", "test<&>");
+    auto& gates = layout.add("gates");
+    auto& g = gates.add("gate");
+    g.attributes["kind"] = "and";
+    g.add("x", "3");
+
+    const auto doc = serialize(root);
+    const auto parsed = parse(doc);
+    EXPECT_EQ(parsed->tag, "fgl");
+    EXPECT_EQ(parsed->child("layout")->child_text("name"), "test<&>");
+    EXPECT_EQ(parsed->child("layout")->child("gates")->children_of("gate")[0]->attributes.at("kind"), "and");
+}
+
+TEST(XmlTest, EscapeCoversAllSpecials)
+{
+    EXPECT_EQ(escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+}
