@@ -9,13 +9,13 @@
 
 #include "table_helpers.hpp"
 
-#include <chrono>
 #include <cstdio>
 
 int main()
 {
     using namespace mnt;
-    const auto start = std::chrono::steady_clock::now();
+    const tel::stopwatch watch;
+    const bench::telemetry_sidecar sidecar{"table1_bestagon.telemetry.json"};
 
     cat::catalog catalog;
 
@@ -31,7 +31,7 @@ int main()
         bench::print_row(*network, entry);
     }
 
-    const auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const auto seconds = watch.seconds();
     std::printf("\n%zu layouts generated across %zu benchmark functions in %.1f s\n", catalog.num_layouts(),
                 catalog.num_networks(), seconds);
     return 0;

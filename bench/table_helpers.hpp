@@ -9,11 +9,14 @@
 #include "core/best_selection.hpp"
 #include "core/catalog.hpp"
 #include "physical_design/portfolio.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verification/equivalence.hpp"
 
-#include <chrono>
 #include <cstdio>
+#include <exception>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mnt::bench
@@ -122,5 +125,38 @@ inline void print_row(const cat::network_record& network, const cat::best_entry&
                 network.benchmark_name.c_str(), io.c_str(), network.num_gates, dims.c_str(), entry.best->runtime,
                 entry.best->label().c_str(), entry.best->clocking.c_str(), delta.c_str());
 }
+
+/// Writes a JSON run report next to the table output when telemetry
+/// recording is on (MNT_TELEMETRY=1); a silent no-op otherwise. Construct at
+/// the top of a bench's main — the sidecar is written on destruction, after
+/// all runs have flushed their instruments.
+class telemetry_sidecar
+{
+public:
+    explicit telemetry_sidecar(std::string path) : sidecar_path{std::move(path)} {}
+
+    ~telemetry_sidecar()
+    {
+        if (!tel::enabled())
+        {
+            return;
+        }
+        try
+        {
+            tel::write_report_json_file(tel::capture_report(), sidecar_path);
+            std::fprintf(stderr, "telemetry sidecar: %s\n", sidecar_path.c_str());
+        }
+        catch (const std::exception& e)
+        {
+            std::fprintf(stderr, "telemetry sidecar failed: %s\n", e.what());
+        }
+    }
+
+    telemetry_sidecar(const telemetry_sidecar&) = delete;
+    telemetry_sidecar& operator=(const telemetry_sidecar&) = delete;
+
+private:
+    std::string sidecar_path;
+};
 
 }  // namespace mnt::bench

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file provenance.hpp
+/// \brief Single source of truth for the provenance vocabulary of generated
+///        layouts: algorithm names, optimization names and the combined
+///        display label, exactly as they appear in the paper's Table I.
+///
+/// Every module that tags a layout (the portfolio), stores one (the catalog)
+/// or serializes one (JSON export, Table I rows, file export) uses these
+/// constants instead of re-typing string literals, so a renamed flow can
+/// never drift apart across the pipeline.
+
+#include <string>
+#include <vector>
+
+namespace mnt::prov
+{
+
+/// Physical design algorithm names (layout_result::algorithm,
+/// layout_record::algorithm, filter facets).
+inline constexpr const char* algo_exact = "exact";
+inline constexpr const char* algo_ortho = "ortho";
+inline constexpr const char* algo_nanoplacer = "NPR";
+
+/// Optimization names in Table I notation.
+inline constexpr const char* opt_input_ordering = "InOrd (SDN)";
+inline constexpr const char* opt_hexagonalization = "45°";
+inline constexpr const char* opt_post_layout = "PLO";
+
+/// Combined display label, e.g. "ortho, InOrd (SDN), PLO" — the one
+/// formatting rule behind layout_result::label(), layout_record::label()
+/// and the baseline labels of the ΔA column.
+[[nodiscard]] inline std::string label(const std::string& algorithm, const std::vector<std::string>& optimizations)
+{
+    std::string s = algorithm;
+    for (const auto& o : optimizations)
+    {
+        s += ", " + o;
+    }
+    return s;
+}
+
+}  // namespace mnt::prov

@@ -1,11 +1,14 @@
 #include "core/best_selection.hpp"
 
+#include "common/provenance.hpp"
+
 namespace mnt::cat
 {
 
 std::string baseline_label(const gate_library_kind library)
 {
-    return library == gate_library_kind::qca_one ? "ortho" : "ortho, 45°";
+    return library == gate_library_kind::qca_one ? prov::label(prov::algo_ortho, {}) :
+                                                   prov::label(prov::algo_ortho, {prov::opt_hexagonalization});
 }
 
 best_entry select_best(const catalog& cat, const std::string& set, const std::string& name,

@@ -1,6 +1,8 @@
 #include "core/catalog.hpp"
 
+#include "common/provenance.hpp"
 #include "common/types.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -32,12 +34,7 @@ gate_library_kind gate_library_from_name(const std::string& name)
 
 std::string layout_record::label() const
 {
-    std::string s = algorithm;
-    for (const auto& o : optimizations)
-    {
-        s += ", " + o;
-    }
-    return s;
+    return prov::label(algorithm, optimizations);
 }
 
 void catalog::add_network(const std::string& set, const std::string& name, ntk::logic_network network)
@@ -58,6 +55,7 @@ void catalog::add_network(const std::string& set, const std::string& name, ntk::
 
 void catalog::add_layout(layout_record record)
 {
+    const tel::stopwatch watch;
     record.width = record.layout.width();
     record.height = record.layout.height();
     record.area = record.layout.area();
@@ -65,6 +63,11 @@ void catalog::add_layout(layout_record record)
     record.num_wires = record.layout.num_wires();
     record.num_crossings = record.layout.num_crossings();
     layout_records.push_back(std::move(record));
+    if (tel::enabled())
+    {
+        tel::count("catalog.inserts");
+        tel::observe("catalog.insert_s", watch.seconds());
+    }
 }
 
 const std::vector<network_record>& catalog::networks() const noexcept

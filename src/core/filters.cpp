@@ -1,5 +1,7 @@
 #include "core/filters.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <map>
 #include <tuple>
@@ -9,6 +11,7 @@ namespace mnt::cat
 
 std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_query& query)
 {
+    const tel::stopwatch watch;
     std::vector<const layout_record*> selection;
 
     for (const auto& r : cat.layouts())
@@ -66,6 +69,12 @@ std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_
         }
     }
 
+    if (tel::enabled())
+    {
+        tel::count("catalog.filter_queries");
+        tel::count("catalog.filter_hits", selection.size());
+        tel::observe("catalog.filter_s", watch.seconds());
+    }
     return selection;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/types.hpp"
 #include "io/xml.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verification/drc.hpp"
 
 #include <charconv>
@@ -49,9 +50,11 @@ lyt::coordinate parse_loc(const xml::element& loc, const std::string& context)
 
 lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& options)
 {
+    MNT_SPAN("io/fgl_read");
     std::ostringstream buffer;
     buffer << input.rdbuf();
-    const auto root = xml::parse(buffer.str());
+    const auto document = buffer.str();
+    const auto root = xml::parse(document);
 
     if (root->tag != "fgl")
     {
@@ -116,9 +119,11 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         lyt::coordinate to;
     };
     std::vector<pending_connection> connections;
+    std::size_t num_records = 0;
 
     for (const auto* gate : gates->children_of("gate"))
     {
+        ++num_records;
         const auto type_name = gate->child_text("type");
         const auto type = ntk::gate_type_from_name(type_name);
         if (type == ntk::gate_type::none)
@@ -177,6 +182,11 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         }
     }
 
+    if (tel::enabled())
+    {
+        tel::count("io.fgl.read_bytes", document.size());
+        tel::count("io.fgl.read_records", num_records);
+    }
     return layout;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/types.hpp"
 #include "io/xml.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <fstream>
 #include <sstream>
@@ -24,6 +25,8 @@ void add_loc(xml::element& parent, const lyt::coordinate& c)
 
 void write_fgl(const lyt::gate_level_layout& layout, std::ostream& output)
 {
+    MNT_SPAN("io/fgl_write");
+    std::size_t num_records = 0;
     xml::element root;
     root.tag = "fgl";
     auto& lay = root.add("layout");
@@ -38,6 +41,7 @@ void write_fgl(const lyt::gate_level_layout& layout, std::ostream& output)
     for (const auto& c : layout.tiles_sorted())
     {
         const auto& d = layout.get(c);
+        ++num_records;
         auto& gate = gates.add("gate");
         gate.add("type", std::string{ntk::gate_type_name(d.type)});
         if (!d.io_name.empty())
@@ -71,7 +75,14 @@ void write_fgl(const lyt::gate_level_layout& layout, std::ostream& output)
         }
     }
 
-    output << xml::serialize(root);
+    const auto document = xml::serialize(root);
+    output << document;
+
+    if (tel::enabled())
+    {
+        tel::count("io.fgl.write_bytes", document.size());
+        tel::count("io.fgl.write_records", num_records);
+    }
 }
 
 void write_fgl_file(const lyt::gate_level_layout& layout, const std::filesystem::path& path)

@@ -2,6 +2,7 @@
 
 #include "common/types.hpp"
 #include "network/gate_type.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <cctype>
 #include <fstream>
@@ -49,6 +50,12 @@ public:
         buffer << input.rdbuf();
         source = buffer.str();
         tokenize();
+    }
+
+    /// Size of the buffered source text (telemetry: bytes read).
+    [[nodiscard]] std::size_t num_source_bytes() const noexcept
+    {
+        return source.size();
     }
 
     [[nodiscard]] const token& peek(const std::size_t ahead = 0) const
@@ -360,6 +367,11 @@ class verilog_parser
 {
 public:
     explicit verilog_parser(std::istream& input) : toks{input} {}
+
+    [[nodiscard]] std::size_t num_source_bytes() const noexcept
+    {
+        return toks.num_source_bytes();
+    }
 
     module_description parse()
     {
@@ -689,6 +701,7 @@ private:
 
 logic_network read_verilog(std::istream& input, const std::string& name)
 {
+    MNT_SPAN("io/verilog_read");
     verilog_parser parser{input};
     auto mod = parser.parse();
     if (mod.name.empty())
@@ -696,7 +709,13 @@ logic_network read_verilog(std::istream& input, const std::string& name)
         mod.name = name;
     }
     network_builder builder{mod};
-    return builder.build();
+    auto network = builder.build();
+    if (tel::enabled())
+    {
+        tel::count("io.verilog.read_bytes", parser.num_source_bytes());
+        tel::count("io.verilog.read_records", network.num_gates());
+    }
+    return network;
 }
 
 logic_network read_verilog_file(const std::filesystem::path& path)

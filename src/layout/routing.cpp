@@ -1,6 +1,7 @@
 #include "layout/routing.hpp"
 
 #include "common/types.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <deque>
@@ -88,6 +89,28 @@ std::optional<coordinate> admissible_step(const gate_level_layout& layout, const
     return std::nullopt;
 }
 
+/// One flush per find_path call. The search loop itself only bumps a local
+/// counter; the registry is touched once here, through references resolved a
+/// single time per process (find_path is the hottest call site in the
+/// annealer, so even the name lookup is hoisted out).
+void flush_search_telemetry(const std::size_t expansions, const bool found)
+{
+    if (!tel::enabled())
+    {
+        return;
+    }
+    auto& reg = tel::registry::instance();
+    static tel::counter& searches = reg.get_counter("route.searches");
+    static tel::counter& expanded = reg.get_counter("route.expansions");
+    static tel::counter& failed = reg.get_counter("route.failed");
+    searches.add();
+    expanded.add(expansions);
+    if (!found)
+    {
+        failed.add();
+    }
+}
+
 }  // namespace
 
 std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout, const coordinate& src,
@@ -122,6 +145,7 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
 
         if (options.max_expansions != 0 && ++expansions > options.max_expansions)
         {
+            flush_search_telemetry(expansions, false);
             return std::nullopt;
         }
 
@@ -138,6 +162,7 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
                     walk = parent.at(walk);
                 }
                 std::reverse(path.begin(), path.end());
+                flush_search_telemetry(expansions, true);
                 return path;
             }
             if (placed.contains(n.ground()))
@@ -154,6 +179,7 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
             queue.push_back(*step);
         }
     }
+    flush_search_telemetry(expansions, false);
     return std::nullopt;
 }
 

@@ -3,6 +3,7 @@
 #include "common/types.hpp"
 #include "layout/layout_utils.hpp"
 #include "network/transforms.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -48,6 +49,16 @@ public:
     [[nodiscard]] std::size_t num_placeable() const noexcept
     {
         return order.size();
+    }
+
+    [[nodiscard]] std::size_t num_search_nodes() const noexcept
+    {
+        return search_nodes;
+    }
+
+    [[nodiscard]] std::size_t num_deadline_checks() const noexcept
+    {
+        return deadline_counter;
     }
 
     std::optional<gate_level_layout> solve(const std::uint32_t w, const std::uint32_t h)
@@ -229,6 +240,7 @@ private:
 
     bool recurse(gate_level_layout& layout, const std::size_t i)
     {
+        ++search_nodes;
         check_deadline();
         if (i == order.size())
         {
@@ -314,6 +326,7 @@ private:
     const logic_network& net;
     const exact_params& params;
     std::chrono::steady_clock::time_point deadline;
+    std::size_t search_nodes{0};
     std::uint32_t deadline_counter{0};
     std::vector<logic_network::node> order;
     std::unordered_map<logic_network::node, coordinate> tile_of;
@@ -350,7 +363,8 @@ std::uint8_t max_incoming_degree(const lyt::clocking_kind kind, const lyt::layou
 
 std::optional<gate_level_layout> exact(const logic_network& network, const exact_params& params, exact_stats* stats)
 {
-    const auto start_time = std::chrono::steady_clock::now();
+    MNT_SPAN("exact");
+    const tel::stopwatch watch;
 
     if (network.num_pos() == 0)
     {
@@ -433,7 +447,23 @@ std::optional<gate_level_layout> exact(const logic_network& network, const exact
         local.timed_out = true;
     }
 
-    local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    local.runtime = watch.seconds();
+    local.search_nodes = solver.num_search_nodes();
+    local.deadline_checks = solver.num_deadline_checks();
+
+    if (tel::enabled())
+    {
+        tel::count("exact.runs");
+        tel::count("exact.search_nodes", local.search_nodes);
+        tel::count("exact.deadline_checks", local.deadline_checks);
+        tel::count("exact.explored_aspect_ratios", local.explored_aspect_ratios);
+        if (local.timed_out)
+        {
+            tel::count("exact.timeouts");
+        }
+        tel::observe("exact.runtime_s", local.runtime);
+    }
+
     if (stats != nullptr)
     {
         *stats = local;

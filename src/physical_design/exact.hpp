@@ -68,6 +68,10 @@ struct exact_stats
     std::size_t explored_aspect_ratios{0};
     /// Number of placeable entities after preprocessing.
     std::size_t placeable_nodes{0};
+    /// Backtracking search nodes expanded (recurse invocations).
+    std::size_t search_nodes{0};
+    /// Wall-clock deadline checks performed during the search.
+    std::size_t deadline_checks{0};
 };
 
 /// Searches an area-minimal layout for \p network.

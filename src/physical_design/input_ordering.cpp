@@ -2,9 +2,9 @@
 
 #include "common/types.hpp"
 #include "network/network_utils.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <numeric>
 #include <random>
 #include <vector>
@@ -106,7 +106,8 @@ logic_network reorder_pis(const logic_network& network, const std::vector<std::s
 lyt::gate_level_layout input_ordering_ortho(const logic_network& network, const input_ordering_params& params,
                                             input_ordering_stats* stats)
 {
-    const auto start_time = std::chrono::steady_clock::now();
+    MNT_SPAN("input_ordering");
+    const tel::stopwatch watch;
 
     const auto n = network.num_pis();
 
@@ -154,7 +155,15 @@ lyt::gate_level_layout input_ordering_ortho(const logic_network& network, const 
     }
 
     local.best_area = best->area();
-    local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    local.runtime = watch.seconds();
+
+    if (tel::enabled())
+    {
+        tel::count("input_ordering.runs");
+        tel::count("input_ordering.orderings_tried", local.orderings_tried);
+        tel::observe("input_ordering.runtime_s", local.runtime);
+    }
+
     if (stats != nullptr)
     {
         *stats = local;

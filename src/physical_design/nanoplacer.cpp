@@ -6,9 +6,9 @@
 #include "physical_design/exact.hpp"  // max_incoming_degree
 #include "physical_design/ortho.hpp"
 #include "network/transforms.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <random>
 #include <unordered_map>
@@ -293,12 +293,33 @@ bool constructive_placement(gate_level_layout& layout, const logic_network& net,
     return true;
 }
 
+/// One-shot telemetry flush at the end of a nanoplacer run (counters are
+/// accumulated locally so the annealing loop itself stays telemetry-free).
+void flush_telemetry(const nanoplacer_stats& stats, const bool succeeded)
+{
+    if (!tel::enabled())
+    {
+        return;
+    }
+    tel::count("nanoplacer.runs");
+    tel::count("nanoplacer.attempted_moves", stats.attempted_moves);
+    tel::count("nanoplacer.accepted_moves", stats.accepted_moves);
+    tel::count("nanoplacer.rejected_moves", stats.attempted_moves - stats.accepted_moves);
+    tel::count("nanoplacer.restarts", stats.restarts);
+    if (!succeeded)
+    {
+        tel::count("nanoplacer.failures");
+    }
+    tel::observe("nanoplacer.runtime_s", stats.runtime);
+}
+
 }  // namespace
 
 std::optional<gate_level_layout> nanoplacer(const logic_network& network, const nanoplacer_params& params,
                                             nanoplacer_stats* stats)
 {
-    const auto start_time = std::chrono::steady_clock::now();
+    MNT_SPAN("nanoplacer");
+    const tel::stopwatch watch;
 
     if (network.num_pos() == 0)
     {
@@ -377,7 +398,8 @@ std::optional<gate_level_layout> nanoplacer(const logic_network& network, const 
 
     if (!layout.has_value())
     {
-        local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+        local.runtime = watch.seconds();
+        flush_telemetry(local, /*succeeded=*/false);
         if (stats != nullptr)
         {
             *stats = local;
@@ -468,7 +490,8 @@ std::optional<gate_level_layout> nanoplacer(const logic_network& network, const 
     *layout = std::move(best);
     layout->shrink_to_fit();
 
-    local.runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    local.runtime = watch.seconds();
+    flush_telemetry(local, /*succeeded=*/true);
     if (stats != nullptr)
     {
         *stats = local;

@@ -2,9 +2,9 @@
 
 #include "common/types.hpp"
 #include "network/transforms.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 #include <vector>
 
@@ -120,7 +120,8 @@ struct route_plan
 
 gate_level_layout ortho(const logic_network& network, const ortho_params& params, ortho_stats* stats)
 {
-    const auto start_time = std::chrono::steady_clock::now();
+    MNT_SPAN("ortho");
+    const tel::stopwatch watch;
 
     if (network.num_pos() == 0)
     {
@@ -330,9 +331,17 @@ gate_level_layout ortho(const logic_network& network, const ortho_params& params
 
     layout.shrink_to_fit();
 
+    if (tel::enabled())
+    {
+        tel::count("ortho.runs");
+        tel::count("ortho.placed_nodes", placed.size());
+        tel::count("ortho.zigzag_tracks", zigzags);
+        tel::observe("ortho.runtime_s", watch.seconds());
+    }
+
     if (stats != nullptr)
     {
-        stats->runtime = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+        stats->runtime = watch.seconds();
         stats->placed_nodes = placed.size();
         stats->zigzag_tracks = zigzags;
     }

@@ -1,5 +1,6 @@
 #include "physical_design/portfolio.hpp"
 
+#include "common/provenance.hpp"
 #include "common/types.hpp"
 #include "network/transforms.hpp"
 #include "physical_design/exact.hpp"
@@ -9,11 +10,11 @@
 #include "physical_design/ortho.hpp"
 #include "physical_design/post_layout_optimization.hpp"
 #include "network/optimization.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verification/equivalence.hpp"
 #include "verification/wave_simulation.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 namespace mnt::pd
 {
@@ -24,9 +25,17 @@ namespace
 using lyt::gate_level_layout;
 using ntk::logic_network;
 
-double seconds_since(const std::chrono::steady_clock::time_point t0)
+/// Telemetry span name of one algorithm×clocking×optimization combination,
+/// e.g. "NPR@USE" or "ortho@ROW+InOrd (SDN)+45°".
+std::string combo_span_name(const std::string& algorithm, const std::string& clocking,
+                            const std::vector<std::string>& optimizations)
 {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::string s = algorithm + "@" + clocking;
+    for (const auto& o : optimizations)
+    {
+        s += "+" + o;
+    }
+    return s;
 }
 
 /// Placeable node count after the standard preprocessing (used for tool
@@ -48,6 +57,7 @@ std::size_t placeable_nodes(const logic_network& network)
 
 void verify_or_throw(const logic_network& network, const gate_level_layout& layout, const std::string& label)
 {
+    MNT_SPAN("verify");
     const auto result = ver::check_layout_equivalence(network, layout);
     if (!result.equivalent)
     {
@@ -77,6 +87,7 @@ void add_result(std::vector<layout_result>& results, const logic_network& networ
     {
         verify_or_throw(network, r.layout, r.label());
     }
+    tel::count("portfolio.layouts");
     results.push_back(std::move(r));
 }
 
@@ -87,36 +98,38 @@ void maybe_add_plo(std::vector<layout_result>& results, const logic_network& net
 {
     if (!params.try_plo || base.layout.num_occupied() > params.plo_max_tiles)
     {
+        if (params.try_plo)
+        {
+            tel::count("portfolio.skipped.plo");
+        }
         return;
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    auto opts = base.optimizations;
+    opts.emplace_back(prov::opt_post_layout);
+    const tel::span combo{combo_span_name(base.algorithm, base.clocking, opts)};
+    const tel::stopwatch watch;
     plo_params plo{};
     plo.max_gate_moves = params.plo_max_gate_moves;
     const auto optimized = post_layout_optimization(base.layout, plo);
     if (optimized.area() >= base.layout.area())
     {
+        tel::count("portfolio.plo_no_gain");
         return;  // no improvement: not a distinct portfolio entry
     }
-    auto opts = base.optimizations;
-    opts.emplace_back("PLO");
     add_result(results, network, optimized, base.algorithm, std::move(opts),
-               base.runtime + seconds_since(t0), params.verify);
+               base.runtime + watch.seconds(), params.verify);
 }
 
 }  // namespace
 
 std::string layout_result::label() const
 {
-    std::string s = algorithm;
-    for (const auto& o : optimizations)
-    {
-        s += ", " + o;
-    }
-    return s;
+    return prov::label(algorithm, optimizations);
 }
 
 std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, const portfolio_params& params)
 {
+    MNT_SPAN("portfolio/cartesian");
     const auto network = params.optimize_network ? ntk::optimize(input) : input;
     std::vector<layout_result> results;
     const auto nodes = placeable_nodes(network);
@@ -130,6 +143,7 @@ std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, c
             {
                 continue;  // Cartesian ROW cannot host 2-input gates
             }
+            const tel::span combo{combo_span_name(prov::algo_exact, lyt::clocking_name(scheme), {})};
             exact_params ep{};
             ep.topology = lyt::layout_topology::cartesian;
             ep.scheme = scheme;
@@ -137,11 +151,19 @@ std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, c
             ep.max_area = params.exact_max_area;
             exact_stats es{};
             auto layout = exact(network, ep, &es);
+            if (es.timed_out)
+            {
+                tel::count("portfolio.exact_timeouts");
+            }
             if (layout.has_value())
             {
-                add_result(results, network, std::move(*layout), "exact", {}, es.runtime, params.verify);
+                add_result(results, network, std::move(*layout), prov::algo_exact, {}, es.runtime, params.verify);
             }
         }
+    }
+    else if (params.try_exact)
+    {
+        tel::count("portfolio.skipped.exact");
     }
 
     // NanoPlaceR substitute on every Cartesian scheme (small/medium)
@@ -153,49 +175,75 @@ std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, c
             {
                 continue;
             }
-            nanoplacer_params np{};
-            np.topology = lyt::layout_topology::cartesian;
-            np.scheme = scheme;
-            np.seed = params.seed;
-            np.iterations = params.nanoplacer_iterations;
-            nanoplacer_stats ns{};
-            auto layout = nanoplacer(network, np, &ns);
-            if (layout.has_value())
+            bool placed = false;
+            const auto base_index = results.size();
             {
-                const auto base_index = results.size();
-                add_result(results, network, std::move(*layout), "NPR", {}, ns.runtime, params.verify);
+                const tel::span combo{combo_span_name(prov::algo_nanoplacer, lyt::clocking_name(scheme), {})};
+                nanoplacer_params np{};
+                np.topology = lyt::layout_topology::cartesian;
+                np.scheme = scheme;
+                np.seed = params.seed;
+                np.iterations = params.nanoplacer_iterations;
+                nanoplacer_stats ns{};
+                auto layout = nanoplacer(network, np, &ns);
+                if (layout.has_value())
+                {
+                    add_result(results, network, std::move(*layout), prov::algo_nanoplacer, {}, ns.runtime,
+                               params.verify);
+                    placed = true;
+                }
+                else
+                {
+                    tel::count("portfolio.nanoplacer_failures");
+                }
+            }
+            if (placed)
+            {
                 maybe_add_plo(results, network, results[base_index], params);
             }
         }
+    }
+    else if (params.try_nanoplacer)
+    {
+        tel::count("portfolio.skipped.nanoplacer");
     }
 
     // ortho (2DDWave by construction)
     if (params.try_ortho)
     {
-        ortho_stats os{};
-        auto layout = ortho(network, {}, &os);
         const auto base_index = results.size();
-        add_result(results, network, std::move(layout), "ortho", {}, os.runtime, params.verify);
+        {
+            const tel::span combo{combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::twoddwave), {})};
+            ortho_stats os{};
+            auto layout = ortho(network, {}, &os);
+            add_result(results, network, std::move(layout), prov::algo_ortho, {}, os.runtime, params.verify);
+        }
         maybe_add_plo(results, network, results[base_index], params);
 
         if (params.try_input_ordering && network.num_pis() > 1)
         {
-            input_ordering_params ip{};
-            ip.max_orderings = params.input_orderings;
-            ip.seed = params.seed;
-            input_ordering_stats is{};
-            auto ordered = input_ordering_ortho(network, ip, &is);
             const auto ordered_index = results.size();
-            add_result(results, network, std::move(ordered), "ortho", {"InOrd (SDN)"}, is.runtime, params.verify);
+            {
+                const tel::span combo{combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::twoddwave), {prov::opt_input_ordering})};
+                input_ordering_params ip{};
+                ip.max_orderings = params.input_orderings;
+                ip.seed = params.seed;
+                input_ordering_stats is{};
+                auto ordered = input_ordering_ortho(network, ip, &is);
+                add_result(results, network, std::move(ordered), prov::algo_ortho, {prov::opt_input_ordering},
+                           is.runtime, params.verify);
+            }
             maybe_add_plo(results, network, results[ordered_index], params);
         }
     }
 
+    tel::set_gauge("portfolio.results", static_cast<double>(results.size()));
     return results;
 }
 
 std::vector<layout_result> run_hexagonal_portfolio(const logic_network& input, const portfolio_params& params)
 {
+    MNT_SPAN("portfolio/hexagonal");
     const auto network = params.optimize_network ? ntk::optimize(input) : input;
     std::vector<layout_result> results;
     const auto nodes = placeable_nodes(network);
@@ -203,6 +251,7 @@ std::vector<layout_result> run_hexagonal_portfolio(const logic_network& input, c
     // exact directly on the hexagonal ROW grid
     if (params.try_exact && nodes <= params.exact_max_nodes)
     {
+        const tel::span combo{combo_span_name(prov::algo_exact, lyt::clocking_name(lyt::clocking_kind::row), {})};
         exact_params ep{};
         ep.topology = lyt::layout_topology::hexagonal_even_row;
         ep.scheme = lyt::clocking_kind::row;
@@ -210,57 +259,93 @@ std::vector<layout_result> run_hexagonal_portfolio(const logic_network& input, c
         ep.max_area = params.exact_max_area;
         exact_stats es{};
         auto layout = exact(network, ep, &es);
+        if (es.timed_out)
+        {
+            tel::count("portfolio.exact_timeouts");
+        }
         if (layout.has_value())
         {
-            add_result(results, network, std::move(*layout), "exact", {}, es.runtime, params.verify);
+            add_result(results, network, std::move(*layout), prov::algo_exact, {}, es.runtime, params.verify);
         }
+    }
+    else if (params.try_exact)
+    {
+        tel::count("portfolio.skipped.exact");
     }
 
     // NanoPlaceR substitute directly on the hexagonal grid (small/medium)
     if (params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes)
     {
-        nanoplacer_params np{};
-        np.topology = lyt::layout_topology::hexagonal_even_row;
-        np.scheme = lyt::clocking_kind::row;
-        np.seed = params.seed;
-        np.iterations = params.nanoplacer_iterations;
-        nanoplacer_stats ns{};
-        auto layout = nanoplacer(network, np, &ns);
-        if (layout.has_value())
+        const auto base_index = results.size();
+        bool produced = false;
         {
-            const auto base_index = results.size();
-            add_result(results, network, std::move(*layout), "NPR", {}, ns.runtime, params.verify);
+            const tel::span combo{combo_span_name(prov::algo_nanoplacer, lyt::clocking_name(lyt::clocking_kind::row), {})};
+            nanoplacer_params np{};
+            np.topology = lyt::layout_topology::hexagonal_even_row;
+            np.scheme = lyt::clocking_kind::row;
+            np.seed = params.seed;
+            np.iterations = params.nanoplacer_iterations;
+            nanoplacer_stats ns{};
+            auto layout = nanoplacer(network, np, &ns);
+            if (layout.has_value())
+            {
+                add_result(results, network, std::move(*layout), prov::algo_nanoplacer, {}, ns.runtime,
+                           params.verify);
+                produced = true;
+            }
+            else
+            {
+                tel::count("portfolio.nanoplacer_failures");
+            }
+        }
+        if (produced)
+        {
             maybe_add_plo(results, network, results[base_index], params);
         }
+    }
+    else if (params.try_nanoplacer)
+    {
+        tel::count("portfolio.skipped.nanoplacer");
     }
 
     // ortho + 45° hexagonalization
     if (params.try_ortho)
     {
         {
-            const auto t0 = std::chrono::steady_clock::now();
-            const auto cartesian = ortho(network);
-            auto hex = hexagonalization(cartesian);
             const auto base_index = results.size();
-            add_result(results, network, std::move(hex), "ortho", {"45°"}, seconds_since(t0), params.verify);
+            {
+                const tel::span combo{
+                    combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::row), {prov::opt_hexagonalization})};
+                const tel::stopwatch watch;
+                const auto cartesian = ortho(network);
+                auto hex = hexagonalization(cartesian);
+                add_result(results, network, std::move(hex), prov::algo_ortho, {prov::opt_hexagonalization},
+                           watch.seconds(), params.verify);
+            }
             maybe_add_plo(results, network, results[base_index], params);
         }
 
         if (params.try_input_ordering && network.num_pis() > 1)
         {
-            const auto t0 = std::chrono::steady_clock::now();
-            input_ordering_params ip{};
-            ip.max_orderings = params.input_orderings;
-            ip.seed = params.seed;
-            const auto cartesian = input_ordering_ortho(network, ip);
-            auto hex = hexagonalization(cartesian);
             const auto base_index = results.size();
-            add_result(results, network, std::move(hex), "ortho", {"InOrd (SDN)", "45°"}, seconds_since(t0),
-                       params.verify);
+            {
+                const tel::span combo{combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::row),
+                                                      {prov::opt_input_ordering, prov::opt_hexagonalization})};
+                const tel::stopwatch watch;
+                input_ordering_params ip{};
+                ip.max_orderings = params.input_orderings;
+                ip.seed = params.seed;
+                const auto cartesian = input_ordering_ortho(network, ip);
+                auto hex = hexagonalization(cartesian);
+                add_result(results, network, std::move(hex), prov::algo_ortho,
+                           {prov::opt_input_ordering, prov::opt_hexagonalization}, watch.seconds(),
+                           params.verify);
+            }
             maybe_add_plo(results, network, results[base_index], params);
         }
     }
 
+    tel::set_gauge("portfolio.results", static_cast<double>(results.size()));
     return results;
 }
 

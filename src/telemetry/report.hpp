@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Run reports: a snapshot of everything a pipeline run recorded into
+///        the telemetry registry (counters, gauges, histograms, trace tree),
+///        with exporters to human-readable text and machine-readable JSON —
+///        the per-run provenance sidecar of the MNT Bench reproduction.
+///
+/// JSON schema (`"schema": "mnt-telemetry-report/1"`, documented with an
+/// example in README.md):
+///
+/// \code{.json}
+/// {
+///   "schema": "mnt-telemetry-report/1",
+///   "counters":   [ {"name": "exact.search_nodes", "value": 6500}, ... ],
+///   "gauges":     [ {"name": "portfolio.results", "value": 9}, ... ],
+///   "histograms": [ {"name": "catalog.insert_s", "count": 9, "sum": 0.001,
+///                    "min": 1e-5, "max": 4e-4,
+///                    "buckets": [ {"lo": 0.0, "hi": 2.3e-10, "count": 0},
+///                                 ... non-empty buckets only ... ]}, ... ],
+///   "spans":      [ {"name": "portfolio/cartesian", "calls": 1,
+///                    "seconds": 1.73, "children": [ ... ]}, ... ]
+/// }
+/// \endcode
+
+#include "telemetry/telemetry.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace mnt::tel
+{
+
+/// Everything one run recorded. Obtained via \ref capture_report.
+struct run_report
+{
+    std::vector<counter_value> counters;
+    std::vector<gauge_value> gauges;
+    std::vector<histogram_value> histograms;
+    /// Aggregated trace tree; the root is unnamed and holds the top-level
+    /// spans as children. Never null after \ref capture_report.
+    std::unique_ptr<span_node> trace;
+};
+
+/// Snapshots the current registry contents (instruments sorted by name).
+[[nodiscard]] run_report capture_report();
+
+/// Clears the registry so the next run starts from a clean slate.
+/// Equivalent to registry::instance().reset().
+void reset();
+
+/// Writes \p report as a JSON document (schema above).
+void write_report_json(const run_report& report, std::ostream& output);
+
+/// Writes \p report to \p path as JSON.
+///
+/// \throws mnt::mnt_error when the file cannot be opened
+void write_report_json_file(const run_report& report, const std::filesystem::path& path);
+
+/// Convenience: JSON document as a string.
+[[nodiscard]] std::string report_json_string(const run_report& report);
+
+/// Writes \p report as an indented human-readable summary (spans with call
+/// counts and total seconds, counters, gauges, histogram digests).
+void write_report_text(const run_report& report, std::ostream& output);
+
+}  // namespace mnt::tel

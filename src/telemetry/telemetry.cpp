@@ -1,0 +1,442 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace mnt::tel
+{
+
+// ------------------------------------------------------------- enable flag
+
+namespace
+{
+
+bool env_enabled()
+{
+    const char* value = std::getenv("MNT_TELEMETRY");
+    if (value == nullptr)
+    {
+        return false;
+    }
+    const std::string_view v{value};
+    return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+std::atomic<bool>& enabled_flag() noexcept
+{
+    static std::atomic<bool> flag{env_enabled()};
+    return flag;
+}
+
+/// Lock-free atomic min/max via CAS (atomic<double> has no fetch_min).
+void atomic_min(std::atomic<double>& slot, const double value) noexcept
+{
+    double current = slot.load(std::memory_order_relaxed);
+    while (value < current && !slot.compare_exchange_weak(current, value, std::memory_order_relaxed))
+    {
+    }
+}
+
+void atomic_max(std::atomic<double>& slot, const double value) noexcept
+{
+    double current = slot.load(std::memory_order_relaxed);
+    while (value > current && !slot.compare_exchange_weak(current, value, std::memory_order_relaxed))
+    {
+    }
+}
+
+void atomic_add(std::atomic<double>& slot, const double value) noexcept
+{
+    double current = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(current, current + value, std::memory_order_relaxed))
+    {
+    }
+}
+
+}  // namespace
+
+bool enabled() noexcept
+{
+    return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(const bool on) noexcept
+{
+    enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- histogram
+
+std::size_t histogram::bucket_index(const double value) noexcept
+{
+    if (std::isnan(value) || value <= 0.0)
+    {
+        return 0;
+    }
+    // ilogb = floor(log2) for finite positive values; +inf clamps below
+    const auto exponent = static_cast<std::int64_t>(std::ilogb(value));
+    const auto index = exponent + zero_bucket;
+    if (index < 0)
+    {
+        return 0;
+    }
+    if (index >= static_cast<std::int64_t>(num_buckets))
+    {
+        return num_buckets - 1;
+    }
+    return static_cast<std::size_t>(index);
+}
+
+double histogram::bucket_lower(const std::size_t index) noexcept
+{
+    return index == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(index) - zero_bucket);
+}
+
+double histogram::bucket_upper(const std::size_t index) noexcept
+{
+    return index >= num_buckets - 1 ? std::numeric_limits<double>::infinity() :
+                                      std::ldexp(1.0, static_cast<int>(index) - zero_bucket + 1);
+}
+
+void histogram::record(const double value) noexcept
+{
+    buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    observations.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(total, value);
+    atomic_min(lowest, value);
+    atomic_max(highest, value);
+}
+
+void histogram::merge(const histogram& other) noexcept
+{
+    for (std::size_t i = 0; i < num_buckets; ++i)
+    {
+        buckets[i].fetch_add(other.buckets[i].load(std::memory_order_relaxed), std::memory_order_relaxed);
+    }
+    const auto n = other.observations.load(std::memory_order_relaxed);
+    if (n == 0)
+    {
+        return;
+    }
+    observations.fetch_add(n, std::memory_order_relaxed);
+    atomic_add(total, other.total.load(std::memory_order_relaxed));
+    atomic_min(lowest, other.lowest.load(std::memory_order_relaxed));
+    atomic_max(highest, other.highest.load(std::memory_order_relaxed));
+}
+
+std::uint64_t histogram::count() const noexcept
+{
+    return observations.load(std::memory_order_relaxed);
+}
+
+double histogram::sum() const noexcept
+{
+    return total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t histogram::bucket_count(const std::size_t index) const noexcept
+{
+    return index < num_buckets ? buckets[index].load(std::memory_order_relaxed) : 0;
+}
+
+double histogram::min() const noexcept
+{
+    return count() == 0 ? 0.0 : lowest.load(std::memory_order_relaxed);
+}
+
+double histogram::max() const noexcept
+{
+    return count() == 0 ? 0.0 : highest.load(std::memory_order_relaxed);
+}
+
+void histogram::reset() noexcept
+{
+    for (auto& bucket : buckets)
+    {
+        bucket.store(0, std::memory_order_relaxed);
+    }
+    observations.store(0, std::memory_order_relaxed);
+    total.store(0.0, std::memory_order_relaxed);
+    lowest.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    highest.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- registry
+
+struct registry::impl
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<histogram>> histograms;
+    span_node trace_root{};
+    /// Bumped on reset; spans opened under an older generation retire
+    /// without touching the (rebuilt) trace tree.
+    std::uint64_t generation{0};
+};
+
+registry& registry::instance()
+{
+    static registry the_registry;
+    return the_registry;
+}
+
+registry::impl& registry::state()
+{
+    static impl the_state;
+    return the_state;
+}
+
+namespace
+{
+
+template <typename Instrument>
+Instrument& get_or_create(std::unordered_map<std::string, std::unique_ptr<Instrument>>& map,
+                          const std::string_view name)
+{
+    const auto it = map.find(std::string{name});
+    if (it != map.end())
+    {
+        return *it->second;
+    }
+    auto [inserted, is_new] = map.emplace(std::string{name}, std::make_unique<Instrument>());
+    static_cast<void>(is_new);
+    return *inserted->second;
+}
+
+}  // namespace
+
+counter& registry::get_counter(const std::string_view name)
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return get_or_create(s.counters, name);
+}
+
+gauge& registry::get_gauge(const std::string_view name)
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return get_or_create(s.gauges, name);
+}
+
+histogram& registry::get_histogram(const std::string_view name)
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return get_or_create(s.histograms, name);
+}
+
+std::vector<counter_value> registry::counters()
+{
+    auto& s = state();
+    std::vector<counter_value> result;
+    {
+        const std::lock_guard lock{s.mutex};
+        result.reserve(s.counters.size());
+        for (const auto& [name, instrument] : s.counters)
+        {
+            result.push_back({name, instrument->value()});
+        }
+    }
+    std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) { return a.name < b.name; });
+    return result;
+}
+
+std::vector<gauge_value> registry::gauges()
+{
+    auto& s = state();
+    std::vector<gauge_value> result;
+    {
+        const std::lock_guard lock{s.mutex};
+        result.reserve(s.gauges.size());
+        for (const auto& [name, instrument] : s.gauges)
+        {
+            result.push_back({name, instrument->value()});
+        }
+    }
+    std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) { return a.name < b.name; });
+    return result;
+}
+
+std::vector<histogram_value> registry::histograms()
+{
+    auto& s = state();
+    std::vector<histogram_value> result;
+    {
+        const std::lock_guard lock{s.mutex};
+        result.reserve(s.histograms.size());
+        for (const auto& [name, instrument] : s.histograms)
+        {
+            histogram_value v{};
+            v.name = name;
+            v.count = instrument->count();
+            v.sum = instrument->sum();
+            v.min = instrument->min();
+            v.max = instrument->max();
+            for (std::size_t i = 0; i < histogram::num_buckets; ++i)
+            {
+                v.buckets[i] = instrument->bucket_count(i);
+            }
+            result.push_back(std::move(v));
+        }
+    }
+    std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) { return a.name < b.name; });
+    return result;
+}
+
+namespace
+{
+
+std::unique_ptr<span_node> clone_node(const span_node& node)
+{
+    auto copy = std::make_unique<span_node>();
+    copy->name = node.name;
+    copy->calls = node.calls;
+    copy->seconds = node.seconds;
+    copy->children.reserve(node.children.size());
+    for (const auto& child : node.children)
+    {
+        copy->children.push_back(clone_node(*child));
+    }
+    return copy;
+}
+
+}  // namespace
+
+std::unique_ptr<span_node> registry::trace()
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return clone_node(s.trace_root);
+}
+
+void registry::reset()
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    // zero in place: instrument addresses stay valid so hot paths may cache
+    // references across runs
+    for (const auto& [name, instrument] : s.counters)
+    {
+        instrument->reset();
+    }
+    for (const auto& [name, instrument] : s.gauges)
+    {
+        instrument->reset();
+    }
+    for (const auto& [name, instrument] : s.histograms)
+    {
+        instrument->reset();
+    }
+    s.trace_root.children.clear();
+    ++s.generation;
+}
+
+// ------------------------------------------------- convenience entry points
+
+void count(const std::string_view name, const std::uint64_t delta)
+{
+    if (!enabled())
+    {
+        return;
+    }
+    registry::instance().get_counter(name).add(delta);
+}
+
+void observe(const std::string_view name, const double value)
+{
+    if (!enabled())
+    {
+        return;
+    }
+    registry::instance().get_histogram(name).record(value);
+}
+
+void set_gauge(const std::string_view name, const double value)
+{
+    if (!enabled())
+    {
+        return;
+    }
+    registry::instance().get_gauge(name).set(value);
+}
+
+// -------------------------------------------------------------------- spans
+
+namespace
+{
+
+/// Per-thread position in the shared trace tree, validated against the
+/// registry generation so resets cannot leave dangling cursors.
+struct trace_cursor
+{
+    span_node* node{nullptr};
+    std::uint64_t generation{~std::uint64_t{0}};
+};
+
+thread_local trace_cursor cursor;
+
+}  // namespace
+
+span::span(const std::string_view name)
+{
+    if (!enabled())
+    {
+        return;
+    }
+    auto& s = registry::instance().state();
+    const std::lock_guard lock{s.mutex};
+    if (cursor.generation != s.generation)
+    {
+        cursor.node = &s.trace_root;
+        cursor.generation = s.generation;
+    }
+    parent = cursor.node;
+    generation = s.generation;
+    // aggregate: find the sibling of the same name, or append a new child
+    for (const auto& child : parent->children)
+    {
+        if (child->name == name)
+        {
+            node = child.get();
+            break;
+        }
+    }
+    if (node == nullptr)
+    {
+        auto fresh = std::make_unique<span_node>();
+        fresh->name = std::string{name};
+        node = fresh.get();
+        parent->children.push_back(std::move(fresh));
+    }
+    cursor.node = node;
+    watch.restart();
+}
+
+span::~span()
+{
+    if (node == nullptr)
+    {
+        return;
+    }
+    const auto elapsed = watch.seconds();
+    auto& s = registry::instance().state();
+    const std::lock_guard lock{s.mutex};
+    if (s.generation != generation)
+    {
+        return;  // the tree was reset while this span was open
+    }
+    node->calls += 1;
+    node->seconds += elapsed;
+    if (cursor.generation == generation && cursor.node == node)
+    {
+        cursor.node = parent;
+    }
+}
+
+}  // namespace mnt::tel

@@ -1,0 +1,286 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// \brief Unified telemetry for the layout-generation pipeline: a thread-safe
+///        metrics registry (monotonic counters, gauges, log-scale latency
+///        histograms), RAII scoped spans that nest into a per-run trace tree,
+///        and a shared stopwatch used by every algorithm's runtime field.
+///
+/// Design constraints (see DESIGN.md "Telemetry & run reports"):
+///
+/// - **Zero cost when disabled.** The global enable flag is a single relaxed
+///   atomic load; every recording entry point checks it first and the
+///   disabled path performs no allocation, no locking and no registry
+///   lookup. Hot loops (BFS expansions, exact search nodes) accumulate into
+///   local variables and flush once per call.
+/// - **Thread safety.** Counters, gauges and histogram buckets are atomics;
+///   the registry and the trace tree are mutex-protected. Instrument
+///   references returned by the registry have stable addresses for the
+///   process lifetime, so they may be cached (e.g. in function-local
+///   statics).
+/// - **Aggregating spans.** Spans with the same name under the same parent
+///   merge into one trace-tree node (call count + total seconds) instead of
+///   recording individual events, so a 10^6-iteration annealer produces a
+///   bounded report.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnt::tel
+{
+
+// ------------------------------------------------------------- enable flag
+
+/// True when telemetry recording is on. Initialized once from the
+/// MNT_TELEMETRY environment variable ("1", "true", "on" enable it);
+/// overridable at runtime via \ref set_enabled.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Turns recording on or off process-wide (e.g. from the CLI --report flag).
+void set_enabled(bool on) noexcept;
+
+// --------------------------------------------------------------- stopwatch
+
+/// Minimal steady-clock stopwatch: the one way every algorithm computes its
+/// `runtime` field. Starts on construction.
+class stopwatch
+{
+public:
+    stopwatch() noexcept : t0{std::chrono::steady_clock::now()} {}
+
+    /// Seconds elapsed since construction (or the last \ref restart).
+    [[nodiscard]] double seconds() const noexcept
+    {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+
+    void restart() noexcept
+    {
+        t0 = std::chrono::steady_clock::now();
+    }
+
+private:
+    std::chrono::steady_clock::time_point t0;
+};
+
+// ------------------------------------------------------------- instruments
+
+/// Monotonic counter.
+class counter
+{
+public:
+    void add(const std::uint64_t delta = 1) noexcept
+    {
+        total.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept
+    {
+        total.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> total{0};
+};
+
+/// Last-value gauge.
+class gauge
+{
+public:
+    void set(const double value) noexcept
+    {
+        stored.store(value, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] double value() const noexcept
+    {
+        return stored.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept
+    {
+        stored.store(0.0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> stored{0.0};
+};
+
+/// Histogram over positive values with fixed base-2 log-scale buckets.
+///
+/// Bucket i covers the half-open value range [2^(i - zero_bucket),
+/// 2^(i - zero_bucket + 1)); bucket 0 additionally absorbs everything below
+/// its lower bound (zero, negatives, NaN), the last bucket everything above.
+/// With zero_bucket = 32 the grid spans ~2.3e-10 .. 4.3e9, covering
+/// nanosecond latencies as well as multi-gigabyte byte counts.
+class histogram
+{
+public:
+    static constexpr std::size_t num_buckets = 64;
+    static constexpr int zero_bucket = 32;  ///< index of the [1, 2) bucket
+
+    /// Bucket index for \p value (total function; clamps at both ends).
+    [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
+
+    /// Inclusive lower bound of bucket \p index (0 for the first bucket).
+    [[nodiscard]] static double bucket_lower(std::size_t index) noexcept;
+
+    /// Exclusive upper bound of bucket \p index (+inf for the last bucket).
+    [[nodiscard]] static double bucket_upper(std::size_t index) noexcept;
+
+    void record(double value) noexcept;
+
+    /// Adds all of \p other's observations into this histogram.
+    void merge(const histogram& other) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] double sum() const noexcept;
+    /// Observation count of bucket \p index.
+    [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const noexcept;
+    /// Smallest / largest recorded value (0 when empty).
+    [[nodiscard]] double min() const noexcept;
+    [[nodiscard]] double max() const noexcept;
+
+    /// Discards all observations.
+    void reset() noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, num_buckets> buckets{};
+    std::atomic<std::uint64_t> observations{0};
+    std::atomic<double> total{0.0};
+    std::atomic<double> lowest{std::numeric_limits<double>::infinity()};
+    std::atomic<double> highest{-std::numeric_limits<double>::infinity()};
+};
+
+// -------------------------------------------------------------- snapshots
+
+/// Value snapshots used by the run-report exporters (report.hpp).
+struct counter_value
+{
+    std::string name;
+    std::uint64_t value{0};
+};
+
+struct gauge_value
+{
+    std::string name;
+    double value{0.0};
+};
+
+struct histogram_value
+{
+    std::string name;
+    std::uint64_t count{0};
+    double sum{0.0};
+    double min{0.0};
+    double max{0.0};
+    std::array<std::uint64_t, histogram::num_buckets> buckets{};
+};
+
+/// One aggregated node of the trace tree: all spans with the same name under
+/// the same parent fold into a single node. The root node has an empty name
+/// and zero calls; it only holds the top-level spans.
+struct span_node
+{
+    std::string name;
+    std::uint64_t calls{0};
+    double seconds{0.0};
+    std::vector<std::unique_ptr<span_node>> children;
+};
+
+// ----------------------------------------------------------------- registry
+
+/// Process-wide instrument registry. Instruments are created on first use
+/// and live until process exit; returned references are stable (also across
+/// \ref reset, which zeroes instruments in place).
+class registry
+{
+public:
+    [[nodiscard]] static registry& instance();
+
+    [[nodiscard]] counter& get_counter(std::string_view name);
+    [[nodiscard]] gauge& get_gauge(std::string_view name);
+    [[nodiscard]] histogram& get_histogram(std::string_view name);
+
+    /// Snapshots, sorted by name.
+    [[nodiscard]] std::vector<counter_value> counters();
+    [[nodiscard]] std::vector<gauge_value> gauges();
+    [[nodiscard]] std::vector<histogram_value> histograms();
+
+    /// Deep copy of the aggregated trace tree (root has an empty name).
+    [[nodiscard]] std::unique_ptr<span_node> trace();
+
+    /// Zeroes every instrument in place and discards the whole trace tree
+    /// (used between runs and by tests). Spans still open at reset time are
+    /// retired silently: their close does not touch the new tree.
+    /// Instrument references stay valid across resets — entries are never
+    /// erased — so hot paths may cache them for the process lifetime.
+    void reset();
+
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+private:
+    registry() = default;
+
+    struct impl;
+    [[nodiscard]] impl& state();
+
+    friend class span;
+};
+
+// ------------------------------------------------- convenience entry points
+
+/// Increments the named counter by \p delta; no-op (no lookup) when disabled.
+void count(std::string_view name, std::uint64_t delta = 1);
+
+/// Records \p value into the named histogram; no-op when disabled.
+void observe(std::string_view name, double value);
+
+/// Sets the named gauge; no-op when disabled.
+void set_gauge(std::string_view name, double value);
+
+// -------------------------------------------------------------------- spans
+
+/// RAII scoped span. When telemetry is enabled, opening a span descends into
+/// the (thread-local) current position of the shared trace tree; closing it
+/// adds the elapsed time and the call count. Spans nest lexically per
+/// thread; spans opened on other threads attach to the trace root.
+class span
+{
+public:
+    explicit span(std::string_view name);
+    ~span();
+
+    span(const span&) = delete;
+    span& operator=(const span&) = delete;
+    span(span&&) = delete;
+    span& operator=(span&&) = delete;
+
+private:
+    span_node* node{nullptr};  ///< nullptr <=> telemetry was disabled at open
+    span_node* parent{nullptr};
+    std::uint64_t generation{0};
+    stopwatch watch;
+};
+
+#define MNT_TEL_CONCAT_INNER(a, b) a##b
+#define MNT_TEL_CONCAT(a, b) MNT_TEL_CONCAT_INNER(a, b)
+
+/// Opens a scoped span for the rest of the enclosing block:
+/// `MNT_SPAN("ortho/route");`
+#define MNT_SPAN(name_literal) const ::mnt::tel::span MNT_TEL_CONCAT(mnt_tel_span_, __LINE__){name_literal}
+
+}  // namespace mnt::tel

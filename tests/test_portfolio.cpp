@@ -1,11 +1,14 @@
 #include "physical_design/portfolio.hpp"
 
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "test_networks.hpp"
 #include "verification/equivalence.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 using namespace mnt;
 using namespace mnt::pd;
@@ -149,5 +152,44 @@ TEST(PortfolioTest, HexagonalPortfolioIncludesNpr)
     for (const auto& r : results)
     {
         EXPECT_EQ(r.layout.topology(), lyt::layout_topology::hexagonal_even_row);
+    }
+}
+
+TEST(PortfolioTest, EmitsSpanPerAttemptedCombination)
+{
+    tel::set_enabled(true);
+    tel::registry::instance().reset();
+
+    const auto network = mux21();
+    const auto results = run_cartesian_portfolio(network, fast_params());
+    const auto report = tel::capture_report();
+
+    tel::registry::instance().reset();
+    tel::set_enabled(false);
+
+    ASSERT_NE(report.trace, nullptr);
+    const tel::span_node* portfolio_span = nullptr;
+    for (const auto& child : report.trace->children)
+    {
+        if (child->name == "portfolio/cartesian")
+        {
+            portfolio_span = child.get();
+        }
+    }
+    ASSERT_NE(portfolio_span, nullptr);
+    EXPECT_EQ(portfolio_span->calls, 1U);
+
+    // every produced layout corresponds to one "algo@clocking+opts" span
+    for (const auto& r : results)
+    {
+        std::string combo = r.algorithm + "@" + r.clocking;
+        for (const auto& opt : r.optimizations)
+        {
+            combo += "+" + opt;
+        }
+        const auto emitted =
+            std::any_of(portfolio_span->children.cbegin(), portfolio_span->children.cend(),
+                        [&](const auto& child) { return child->name == combo; });
+        EXPECT_TRUE(emitted) << "no span for combination '" << combo << "'";
     }
 }
