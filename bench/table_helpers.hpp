@@ -60,7 +60,7 @@ inline pd::portfolio_params params_for(const bm::size_class size)
 }
 
 /// Runs the portfolio for one benchmark under one library and registers all
-/// results in the catalog.
+/// results — and any failed combinations — in the catalog.
 inline void populate(cat::catalog& catalog, const bm::benchmark_entry& entry,
                      const cat::gate_library_kind library)
 {
@@ -71,11 +71,13 @@ inline void populate(cat::catalog& catalog, const bm::benchmark_entry& entry,
     }
 
     const auto params = params_for(entry.size);
-    const auto results = library == cat::gate_library_kind::qca_one ?
-                             pd::run_cartesian_portfolio(network, params) :
-                             pd::run_hexagonal_portfolio(network, params);
+    const auto run = pd::generate_portfolio(network,
+                                            library == cat::gate_library_kind::qca_one ?
+                                                pd::portfolio_flavor::cartesian :
+                                                pd::portfolio_flavor::hexagonal,
+                                            params);
 
-    for (const auto& r : results)
+    for (const auto& r : run.results)
     {
         cat::layout_record record{};
         record.benchmark_set = entry.set;
@@ -87,6 +89,25 @@ inline void populate(cat::catalog& catalog, const bm::benchmark_entry& entry,
         record.runtime = r.runtime;
         record.layout = r.layout;
         catalog.add_layout(std::move(record));
+    }
+    for (const auto& o : run.outcomes)
+    {
+        if (o.is_ok())
+        {
+            continue;
+        }
+        cat::failure_record failure{};
+        failure.benchmark_set = entry.set;
+        failure.benchmark_name = entry.name;
+        failure.library = library;
+        failure.combination = o.label;
+        failure.kind = res::outcome_kind_name(o.kind);
+        failure.message = o.message;
+        failure.elapsed_s = o.elapsed_s;
+        failure.attempts = o.attempts;
+        catalog.add_failure(std::move(failure));
+        std::fprintf(stderr, "  [failed] %s/%s %s: %s — %.100s\n", entry.set.c_str(), entry.name.c_str(),
+                     o.label.c_str(), res::outcome_kind_name(o.kind), o.message.c_str());
     }
 }
 

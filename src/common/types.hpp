@@ -50,4 +50,14 @@ public:
     explicit design_rule_error(const std::string& what_arg) : mnt_error{what_arg} {}
 };
 
+/// Raised when a generated layout fails functional verification against its
+/// specification (equivalence or wave simulation). Distinguished from the
+/// other kinds so the resilient portfolio can classify it as transient and
+/// retry stochastic tools under a shifted seed.
+class verification_error : public mnt_error
+{
+public:
+    explicit verification_error(const std::string& what_arg) : mnt_error{what_arg} {}
+};
+
 }  // namespace mnt

@@ -70,6 +70,12 @@ void catalog::add_layout(layout_record record)
     }
 }
 
+void catalog::add_failure(failure_record record)
+{
+    failure_records.push_back(std::move(record));
+    tel::count("catalog.failures");
+}
+
 const std::vector<network_record>& catalog::networks() const noexcept
 {
     return network_records;
@@ -78,6 +84,11 @@ const std::vector<network_record>& catalog::networks() const noexcept
 const std::vector<layout_record>& catalog::layouts() const noexcept
 {
     return layout_records;
+}
+
+const std::vector<failure_record>& catalog::failures() const noexcept
+{
+    return failure_records;
 }
 
 const network_record* catalog::find_network(const std::string& set, const std::string& name) const
@@ -113,6 +124,11 @@ std::size_t catalog::num_networks() const noexcept
 std::size_t catalog::num_layouts() const noexcept
 {
     return layout_records.size();
+}
+
+std::size_t catalog::num_failures() const noexcept
+{
+    return failure_records.size();
 }
 
 }  // namespace mnt::cat

@@ -83,6 +83,27 @@ struct layout_record
     [[nodiscard]] std::string label() const;
 };
 
+/// A portfolio combination that failed to produce a layout for a benchmark,
+/// registered next to the layouts it would have joined — the catalog-level
+/// failure manifest (the website's "why is this cell empty" column).
+struct failure_record
+{
+    std::string benchmark_set;
+    std::string benchmark_name;
+    gate_library_kind library{gate_library_kind::qca_one};
+    /// Combination label, e.g. "NPR@USE" or "ortho@ROW+InOrd (SDN)+45°".
+    std::string combination;
+    /// Outcome kind name: "timeout", "verification_failed", "oom",
+    /// "internal_error" (see mnt::res::outcome_kind_name).
+    std::string kind;
+    /// Failure detail (exception message).
+    std::string message;
+    /// Wall-clock seconds spent across all attempts.
+    double elapsed_s{0.0};
+    /// Attempts performed before giving up.
+    std::size_t attempts{1};
+};
+
 /// The catalog: benchmark networks plus generated layouts.
 class catalog
 {
@@ -96,8 +117,12 @@ public:
     /// gate counts) are filled in from the layout automatically.
     void add_layout(layout_record record);
 
+    /// Registers a failed portfolio combination.
+    void add_failure(failure_record record);
+
     [[nodiscard]] const std::vector<network_record>& networks() const noexcept;
     [[nodiscard]] const std::vector<layout_record>& layouts() const noexcept;
+    [[nodiscard]] const std::vector<failure_record>& failures() const noexcept;
 
     /// Finds a registered network.
     [[nodiscard]] const network_record* find_network(const std::string& set, const std::string& name) const;
@@ -108,10 +133,12 @@ public:
 
     [[nodiscard]] std::size_t num_networks() const noexcept;
     [[nodiscard]] std::size_t num_layouts() const noexcept;
+    [[nodiscard]] std::size_t num_failures() const noexcept;
 
 private:
     std::vector<network_record> network_records;
     std::vector<layout_record> layout_records;
+    std::vector<failure_record> failure_records;
 };
 
 }  // namespace mnt::cat

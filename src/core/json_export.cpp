@@ -61,8 +61,18 @@ void write_layout(const layout_record& r, std::ostream& output, const char* inde
            << ", \"crossings\": " << r.num_crossings << ", \"runtime_s\": " << r.runtime << "}";
 }
 
-template <typename NetworkRange, typename LayoutRange>
-void write_document(const NetworkRange& networks, const LayoutRange& layouts, std::ostream& output)
+void write_failure(const failure_record& f, std::ostream& output, const char* indent)
+{
+    output << indent << "{\"set\": \"" << json_escape(f.benchmark_set) << "\", \"name\": \""
+           << json_escape(f.benchmark_name) << "\", \"library\": \"" << json_escape(gate_library_name(f.library))
+           << "\", \"combination\": \"" << json_escape(f.combination) << "\", \"kind\": \""
+           << json_escape(f.kind) << "\", \"message\": \"" << json_escape(f.message)
+           << "\", \"elapsed_s\": " << f.elapsed_s << ", \"attempts\": " << f.attempts << "}";
+}
+
+template <typename NetworkRange, typename LayoutRange, typename FailureRange>
+void write_document(const NetworkRange& networks, const LayoutRange& layouts, const FailureRange& failures,
+                    std::ostream& output)
 {
     output << "{\n  \"networks\": [\n";
     bool first = true;
@@ -86,6 +96,17 @@ void write_document(const NetworkRange& networks, const LayoutRange& layouts, st
         first = false;
         write_layout(*r, output, "    ");
     }
+    output << "\n  ],\n  \"failures\": [\n";
+    first = true;
+    for (const auto* f : failures)
+    {
+        if (!first)
+        {
+            output << ",\n";
+        }
+        first = false;
+        write_failure(*f, output, "    ");
+    }
     output << "\n  ]\n}\n";
 }
 
@@ -99,7 +120,13 @@ void write_catalog_json(const catalog& cat, std::ostream& output)
     {
         all.push_back(&r);
     }
-    write_document(cat.networks(), all, output);
+    std::vector<const failure_record*> failed;
+    failed.reserve(cat.num_failures());
+    for (const auto& f : cat.failures())
+    {
+        failed.push_back(&f);
+    }
+    write_document(cat.networks(), all, failed, output);
 }
 
 void write_selection_json(const catalog& cat, const std::vector<const layout_record*>& selection,
@@ -118,7 +145,20 @@ void write_selection_json(const catalog& cat, const std::vector<const layout_rec
             }
         }
     }
-    write_document(networks, selection, output);
+    // failures of the selected benchmarks only
+    std::vector<const failure_record*> failed;
+    for (const auto& f : cat.failures())
+    {
+        for (const auto& n : networks)
+        {
+            if (f.benchmark_set == n.benchmark_set && f.benchmark_name == n.benchmark_name)
+            {
+                failed.push_back(&f);
+                break;
+            }
+        }
+    }
+    write_document(networks, selection, failed, output);
 }
 
 std::string catalog_json_string(const catalog& cat)

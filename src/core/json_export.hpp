@@ -24,7 +24,9 @@ namespace mnt::cat
 /// \code{.json}
 /// {
 ///   "networks": [ {"set": ..., "name": ..., "inputs": n, ...}, ... ],
-///   "layouts":  [ {"set": ..., "library": ..., "area": n, ...}, ... ]
+///   "layouts":  [ {"set": ..., "library": ..., "area": n, ...}, ... ],
+///   "failures": [ {"set": ..., "combination": "NPR@USE", "kind": "timeout",
+///                  "message": ..., "elapsed_s": t, "attempts": n}, ... ]
 /// }
 /// \endcode
 void write_catalog_json(const catalog& cat, std::ostream& output);

@@ -17,7 +17,7 @@ namespace mnt::io
 namespace
 {
 
-std::int64_t parse_int(const std::string& text, const std::string& context)
+std::int64_t parse_int(const std::string& text, const std::string& context, const std::size_t line)
 {
     std::int64_t value{};
     const auto* begin = text.data();
@@ -25,23 +25,23 @@ std::int64_t parse_int(const std::string& text, const std::string& context)
     const auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr != end)
     {
-        throw parse_error{"invalid integer '" + text + "' in " + context, 0};
+        throw parse_error{"invalid integer '" + text + "' in " + context, line};
     }
     return value;
 }
 
 lyt::coordinate parse_loc(const xml::element& loc, const std::string& context)
 {
-    const auto x = parse_int(loc.child_text("x"), context + "/x");
-    const auto y = parse_int(loc.child_text("y"), context + "/y");
+    const auto x = parse_int(loc.child_text("x"), context + "/x", loc.line);
+    const auto y = parse_int(loc.child_text("y"), context + "/y", loc.line);
     std::int64_t z = 0;
     if (loc.child("z") != nullptr)
     {
-        z = parse_int(loc.child_text("z"), context + "/z");
+        z = parse_int(loc.child_text("z"), context + "/z", loc.line);
     }
     if (z < 0 || z > 1)
     {
-        throw parse_error{"layer z must be 0 or 1 in " + context, 0};
+        throw parse_error{"layer z must be 0 or 1 in " + context, loc.line};
     }
     return {static_cast<std::int32_t>(x), static_cast<std::int32_t>(y), static_cast<std::uint8_t>(z)};
 }
@@ -58,12 +58,12 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
 
     if (root->tag != "fgl")
     {
-        throw parse_error{"root element must be <fgl>, got <" + root->tag + ">", 0};
+        throw parse_error{"root element must be <fgl>, got <" + root->tag + ">", root->line};
     }
     const auto* lay = root->child("layout");
     if (lay == nullptr)
     {
-        throw parse_error{"missing <layout> element", 0};
+        throw parse_error{"missing <layout> element", root->line};
     }
 
     const auto name = lay->child_text("name");
@@ -73,13 +73,13 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
     const auto* size = lay->child("size");
     if (size == nullptr)
     {
-        throw parse_error{"missing <size> element", 0};
+        throw parse_error{"missing <size> element", lay->line};
     }
-    const auto width = parse_int(size->child_text("x"), "size/x");
-    const auto height = parse_int(size->child_text("y"), "size/y");
+    const auto width = parse_int(size->child_text("x"), "size/x", size->line);
+    const auto height = parse_int(size->child_text("y"), "size/y", size->line);
     if (width <= 0 || height <= 0)
     {
-        throw parse_error{"layout dimensions must be positive", 0};
+        throw parse_error{"layout dimensions must be positive", size->line};
     }
 
     auto scheme = lyt::clocking_scheme::create(clocking_kind);
@@ -90,12 +90,12 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         {
             for (const auto* zone : zones->children_of("zone"))
             {
-                const auto x = parse_int(zone->child_text("x"), "zone/x");
-                const auto y = parse_int(zone->child_text("y"), "zone/y");
-                const auto clock = parse_int(zone->child_text("clock"), "zone/clock");
+                const auto x = parse_int(zone->child_text("x"), "zone/x", zone->line);
+                const auto y = parse_int(zone->child_text("y"), "zone/y", zone->line);
+                const auto clock = parse_int(zone->child_text("clock"), "zone/clock", zone->line);
                 if (clock < 0 || clock >= lyt::clocking_scheme::num_clocks)
                 {
-                    throw parse_error{"clock zone must be in [0, 4)", 0};
+                    throw parse_error{"clock zone must be in [0, 4)", zone->line};
                 }
                 scheme.assign_clock({static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)},
                                     static_cast<std::uint8_t>(clock));
@@ -109,7 +109,7 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
     const auto* gates = lay->child("gates");
     if (gates == nullptr)
     {
-        throw parse_error{"missing <gates> element", 0};
+        throw parse_error{"missing <gates> element", lay->line};
     }
 
     // first pass: place all gates
@@ -128,12 +128,12 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         const auto type = ntk::gate_type_from_name(type_name);
         if (type == ntk::gate_type::none)
         {
-            throw parse_error{"unknown gate type '" + type_name + "'", 0};
+            throw parse_error{"unknown gate type '" + type_name + "'", gate->line};
         }
         const auto* loc = gate->child("loc");
         if (loc == nullptr)
         {
-            throw parse_error{"gate without <loc>", 0};
+            throw parse_error{"gate without <loc>", gate->line};
         }
         const auto c = parse_loc(*loc, "gate/loc");
         std::string io_name;
@@ -147,7 +147,7 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         }
         catch (const precondition_error& e)
         {
-            throw design_rule_error{std::string{"fgl: "} + e.what()};
+            throw design_rule_error{std::string{"fgl (line "} + std::to_string(gate->line) + "): " + e.what()};
         }
 
         if (const auto* incoming = gate->child("incoming"); incoming != nullptr)

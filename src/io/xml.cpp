@@ -38,7 +38,7 @@ const std::string& element::child_text(const std::string& child_tag) const
     const auto* c = child(child_tag);
     if (c == nullptr)
     {
-        throw parse_error{"missing element <" + child_tag + "> inside <" + tag + ">", 0};
+        throw parse_error{"missing element <" + child_tag + "> inside <" + tag + ">", line};
     }
     return c->text;
 }
@@ -171,6 +171,7 @@ private:
             throw parse_error{"expected '<'", line};
         }
         auto elem = std::make_unique<element>();
+        elem->line = line;
         elem->tag = parse_name();
 
         // attributes

@@ -22,6 +22,10 @@ struct element
     /// Concatenated character data directly inside this element (trimmed).
     std::string text;
     std::vector<std::unique_ptr<element>> children;
+    /// 1-based source line of the element's opening tag; 0 for elements
+    /// built programmatically (writers). Readers thread it into their
+    /// parse_error diagnostics.
+    std::size_t line{0};
 
     /// First child with the given tag, or nullptr.
     [[nodiscard]] const element* child(const std::string& child_tag) const;

@@ -124,6 +124,8 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
     {
         throw precondition_error{"find_path: source and target must host gates"};
     }
+    MNT_FAULT_POINT("route.search");
+    res::deadline_guard deadline{options.deadline, 256};
 
     // visited/parent bookkeeping is on ground positions: at most one new wire
     // per (x, y) position may join this path (stacking a path above itself is
@@ -148,6 +150,7 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
             flush_search_telemetry(expansions, false);
             return std::nullopt;
         }
+        deadline.poll_or_throw("routing/find_path");
 
         for (const auto& n : layout.outgoing_clocked(current.ground()))
         {

@@ -10,6 +10,7 @@
 /// new wire to layer z = 1 (wire-over-wire crossings only, as in QCA/SiDB
 /// technologies). BFS yields shortest (minimum-tile) connections.
 
+#include "common/resilience.hpp"
 #include "layout/coordinates.hpp"
 #include "layout/gate_level_layout.hpp"
 
@@ -28,6 +29,11 @@ struct routing_options
 
     /// Abort the search after expanding this many tiles (0 = unlimited).
     std::size_t max_expansions{0};
+
+    /// Cooperative global run deadline: the BFS polls it (strided) and
+    /// unwinds with mnt::res::deadline_exceeded once expired. Unbounded by
+    /// default (zero overhead beyond one branch per stride).
+    res::deadline_clock deadline{};
 
     /// Refuse steps that fill a position completely (crossing layer) when
     /// that position is the last usable exit of an adjacent gate that still

@@ -63,6 +63,8 @@ public:
 
     std::optional<gate_level_layout> solve(const std::uint32_t w, const std::uint32_t h)
     {
+        MNT_FAULT_POINT("exact.search");
+        params.deadline.throw_if_expired("exact/solve");
         gate_level_layout layout{net.network_name(), params.topology,
                                  lyt::clocking_scheme::create(params.scheme), w, h};
         tile_of.clear();
@@ -76,7 +78,14 @@ public:
 private:
     void check_deadline()
     {
-        if ((++deadline_counter & 0x3ffu) == 0 && std::chrono::steady_clock::now() > deadline)
+        if ((++deadline_counter & 0x3ffu) != 0)
+        {
+            return;
+        }
+        // the global run deadline outranks the per-run soft timeout: it
+        // unwinds all the way out of exact() for the portfolio to classify
+        params.deadline.throw_if_expired("exact/search");
+        if (std::chrono::steady_clock::now() > deadline)
         {
             throw timeout_signal{};
         }

@@ -23,6 +23,7 @@
 /// timeout. Intended for functions with up to roughly a dozen placeable
 /// nodes — exactly the regime where MNT Bench's Table I uses `exact`.
 
+#include "common/resilience.hpp"
 #include "layout/clocking_scheme.hpp"
 #include "layout/coordinates.hpp"
 #include "layout/gate_level_layout.hpp"
@@ -46,8 +47,14 @@ struct exact_params
     /// Largest area (in tiles) explored before giving up.
     std::uint64_t max_area{80};
 
-    /// Wall-clock budget in seconds.
+    /// Per-run wall-clock budget in seconds (soft: the search gives up and
+    /// returns std::nullopt with stats.timed_out set).
     double timeout_s{10.0};
+
+    /// Cooperative global run deadline (hard: the search unwinds with
+    /// mnt::res::deadline_exceeded so the portfolio can classify the combo
+    /// as timed out). Unbounded by default.
+    res::deadline_clock deadline{};
 
     /// Permit wire crossings on layer z = 1.
     bool allow_crossings{true};

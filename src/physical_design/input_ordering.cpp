@@ -144,6 +144,9 @@ lyt::gate_level_layout input_ordering_ortho(const logic_network& network, const 
 
     for (const auto& perm : orderings)
     {
+        // each ortho run polls the deadline itself; this check stops the
+        // ordering sweep between runs once the budget is gone
+        params.ortho.deadline.throw_if_expired("input_ordering/sweep");
         const auto permuted = reorder_pis(network, perm);
         auto layout = ortho(permuted, params.ortho);
         ++local.orderings_tried;

@@ -125,11 +125,13 @@ bool constructive_placement(gate_level_layout& layout, const logic_network& net,
 {
     lyt::net_surgeon surgeon{layout, params.max_route_expansions};
     surgeon.options().respect_needy_exits = true;
+    surgeon.options().deadline = params.deadline;
 
     std::unordered_map<logic_network::node, coordinate> tile_of;
 
     for (const auto v : net.topological_order())
     {
+        params.deadline.throw_if_expired("nanoplacer/constructive_placement");
         const auto t = net.type(v);
         if (t == gate_type::const0 || t == gate_type::const1)
         {
@@ -410,6 +412,8 @@ std::optional<gate_level_layout> nanoplacer(const logic_network& network, const 
     // simulated annealing over gate relocations
     lyt::net_surgeon surgeon{*layout, params.max_route_expansions};
     surgeon.options().respect_needy_exits = true;
+    surgeon.options().deadline = params.deadline;
+    res::deadline_guard anneal_deadline{params.deadline, 64};
 
     auto gates = layout->tiles_sorted();
     gates.erase(std::remove_if(gates.begin(), gates.end(),
@@ -437,6 +441,10 @@ std::optional<gate_level_layout> nanoplacer(const logic_network& network, const 
 
     for (std::size_t it = 0; it < params.iterations; ++it, temperature *= cooling)
     {
+        if (anneal_deadline.poll())
+        {
+            throw res::deadline_exceeded{"nanoplacer/annealing"};
+        }
         ++local.attempted_moves;
 
         // pick a random gate; track its position across accepted moves

@@ -20,6 +20,7 @@
 /// routing via the generic clocked-grid BFS), which is how the portfolio
 /// produces layouts for those schemes on functions too large for `exact`.
 
+#include "common/resilience.hpp"
 #include "layout/clocking_scheme.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "network/logic_network.hpp"
@@ -60,6 +61,11 @@ struct nanoplacer_params
 
     /// BFS expansion cap per routing query.
     std::size_t max_route_expansions{50000};
+
+    /// Cooperative global run deadline: polled by the constructive placement
+    /// and the annealing loop (and forwarded to every routing query); the
+    /// run unwinds with mnt::res::deadline_exceeded once expired.
+    res::deadline_clock deadline{};
 };
 
 /// Statistics of a \ref nanoplacer run.

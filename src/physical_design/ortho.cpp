@@ -127,6 +127,8 @@ gate_level_layout ortho(const logic_network& network, const ortho_params& params
     {
         throw precondition_error{"ortho: network has no primary outputs"};
     }
+    MNT_FAULT_POINT("ortho.place");
+    res::deadline_guard deadline{params.deadline, 64};
 
     // preprocessing: constants folded, dead logic removed, MAJ decomposed
     // (a 2DDWave tile offers only two incoming directions), fanout degree <= 2
@@ -214,6 +216,7 @@ gate_level_layout ortho(const logic_network& network, const ortho_params& params
 
     for (const auto v : net.topological_order())
     {
+        deadline.poll_or_throw("ortho/placement");
         const auto t = net.type(v);
         if (t == gate_type::const0 || t == gate_type::const1)
         {

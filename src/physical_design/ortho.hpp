@@ -19,6 +19,7 @@
 /// to layer z = 1. The result is linear-time, always succeeds, and produces
 /// O(N^2)-area layouts like the original heuristic.
 
+#include "common/resilience.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "network/logic_network.hpp"
 
@@ -35,6 +36,12 @@ struct ortho_params
     /// fanins greedily by wire span instead of by slot order. Usually
     /// shrinks layouts slightly; never changes the function.
     bool greedy_orientation{true};
+
+    /// Cooperative global run deadline: polled once per placed node; the run
+    /// unwinds with mnt::res::deadline_exceeded once expired. Unbounded by
+    /// default. Ortho is linear-time, so this mostly matters when it runs as
+    /// the tail of a portfolio whose budget is already exhausted.
+    res::deadline_clock deadline{};
 };
 
 /// Statistics of an \ref ortho run.

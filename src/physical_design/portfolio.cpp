@@ -26,7 +26,8 @@ using lyt::gate_level_layout;
 using ntk::logic_network;
 
 /// Telemetry span name of one algorithm×clocking×optimization combination,
-/// e.g. "NPR@USE" or "ortho@ROW+InOrd (SDN)+45°".
+/// e.g. "NPR@USE" or "ortho@ROW+InOrd (SDN)+45°". Doubles as the combination
+/// label in combo_outcomes and the failure manifest.
 std::string combo_span_name(const std::string& algorithm, const std::string& clocking,
                             const std::vector<std::string>& optimizations)
 {
@@ -58,11 +59,15 @@ std::size_t placeable_nodes(const logic_network& network)
 void verify_or_throw(const logic_network& network, const gate_level_layout& layout, const std::string& label)
 {
     MNT_SPAN("verify");
+    if (MNT_FAULT_FIRES("verify.check"))
+    {
+        throw verification_error{"injected fault at verify.check for '" + label + "' (MNT_FAULT_INJECT)"};
+    }
     const auto result = ver::check_layout_equivalence(network, layout);
     if (!result.equivalent)
     {
-        throw mnt_error{"portfolio: layout produced by '" + label + "' for '" + network.network_name() +
-                        "' is NOT equivalent to its specification: " + result.reason};
+        throw verification_error{"portfolio: layout produced by '" + label + "' for '" + network.network_name() +
+                                 "' is NOT equivalent to its specification: " + result.reason};
     }
     // small layouts get the physical (clock-phase-accurate) check on top
     if (layout.num_occupied() <= 400)
@@ -70,8 +75,8 @@ void verify_or_throw(const logic_network& network, const gate_level_layout& layo
         const auto wave = ver::check_wave_equivalence(network, layout);
         if (!wave.equivalent)
         {
-            throw mnt_error{"portfolio: layout produced by '" + label + "' for '" + network.network_name() +
-                            "' fails wave simulation: " + wave.reason};
+            throw verification_error{"portfolio: layout produced by '" + label + "' for '" +
+                                     network.network_name() + "' fails wave simulation: " + wave.reason};
         }
     }
 }
@@ -91,14 +96,91 @@ void add_result(std::vector<layout_result>& results, const logic_network& networ
     results.push_back(std::move(r));
 }
 
-/// Applies PLO to the given result (if budgeted) and appends the optimized
-/// variant as an additional portfolio entry.
-void maybe_add_plo(std::vector<layout_result>& results, const logic_network& network, const layout_result& base,
-                   const portfolio_params& params)
+/// Shared state of one generate_portfolio invocation, threaded through the
+/// per-combination helpers.
+struct combo_context
 {
-    if (!params.try_plo || base.layout.num_occupied() > params.plo_max_tiles)
+    const logic_network& network;
+    const portfolio_params& params;
+    res::guard_params guard;
+    std::vector<layout_result>& results;
+    std::vector<res::combo_outcome>& outcomes;
+};
+
+/// Runs one combination under run_guarded: exceptions become outcomes,
+/// transient failures are retried, and results appended by a failed attempt
+/// are rolled back so retries and failures never leave partial entries.
+template <typename Body>
+void attempt_combo(combo_context& ctx, const std::string& label, Body&& body)
+{
+    const auto mark = ctx.results.size();
+    auto outcome = res::run_guarded(label, ctx.guard,
+                                    [&](const std::size_t attempt)
+                                    {
+                                        ctx.results.resize(mark);  // drop partial entries of a prior attempt
+                                        return body(attempt);
+                                    });
+    if (!outcome.is_ok())
     {
-        if (params.try_plo)
+        ctx.results.resize(mark);
+    }
+
+    if (tel::enabled())
+    {
+        tel::count(outcome.is_ok() ? "portfolio.combos_ok" : "portfolio.combos_failed");
+        if (!outcome.is_ok())
+        {
+            tel::count(std::string{"portfolio.failed."} + res::outcome_kind_name(outcome.kind));
+            tel::add_event({"combo_failure", outcome.label, res::outcome_kind_name(outcome.kind),
+                            outcome.message, outcome.elapsed_s});
+        }
+        if (outcome.attempts > 1)
+        {
+            tel::count("portfolio.retries", outcome.attempts - 1);
+        }
+    }
+    ctx.outcomes.push_back(std::move(outcome));
+}
+
+/// exact on one scheme (both grid families).
+void attempt_exact(combo_context& ctx, const lyt::layout_topology topo, const lyt::clocking_kind scheme)
+{
+    const auto label = combo_span_name(prov::algo_exact, lyt::clocking_name(scheme), {});
+    attempt_combo(ctx, label,
+                  [&](const std::size_t) -> res::outcome_kind
+                  {
+                      const tel::span combo{label};
+                      exact_params ep{};
+                      ep.topology = topo;
+                      ep.scheme = scheme;
+                      ep.timeout_s = ctx.params.exact_timeout_s;
+                      ep.max_area = ctx.params.exact_max_area;
+                      ep.deadline = ctx.guard.deadline;
+                      exact_stats es{};
+                      auto layout = exact(ctx.network, ep, &es);
+                      if (es.timed_out)
+                      {
+                          tel::count("portfolio.exact_timeouts");
+                          return res::outcome_kind::timeout;  // soft per-tool budget, no unwind
+                      }
+                      if (layout.has_value())
+                      {
+                          add_result(ctx.results, ctx.network, std::move(*layout), prov::algo_exact, {}, es.runtime,
+                                     ctx.params.verify);
+                      }
+                      return res::outcome_kind::ok;
+                  });
+}
+
+/// Applies PLO to results[base_index] (if budgeted) and appends the optimized
+/// variant as an additional portfolio entry, as its own guarded combination.
+void maybe_add_plo(combo_context& ctx, const std::size_t base_index)
+{
+    // copy: the results vector may reallocate during the guarded attempt
+    const auto base = ctx.results[base_index];
+    if (!ctx.params.try_plo || base.layout.num_occupied() > ctx.params.plo_max_tiles)
+    {
+        if (ctx.params.try_plo)
         {
             tel::count("portfolio.skipped.plo");
         }
@@ -106,18 +188,119 @@ void maybe_add_plo(std::vector<layout_result>& results, const logic_network& net
     }
     auto opts = base.optimizations;
     opts.emplace_back(prov::opt_post_layout);
-    const tel::span combo{combo_span_name(base.algorithm, base.clocking, opts)};
-    const tel::stopwatch watch;
-    plo_params plo{};
-    plo.max_gate_moves = params.plo_max_gate_moves;
-    const auto optimized = post_layout_optimization(base.layout, plo);
-    if (optimized.area() >= base.layout.area())
+    const auto label = combo_span_name(base.algorithm, base.clocking, opts);
+    attempt_combo(ctx, label,
+                  [&](const std::size_t)
+                  {
+                      const tel::span combo{label};
+                      const tel::stopwatch watch;
+                      plo_params plo{};
+                      plo.max_gate_moves = ctx.params.plo_max_gate_moves;
+                      plo.deadline = ctx.guard.deadline;
+                      const auto optimized = post_layout_optimization(base.layout, plo);
+                      if (optimized.area() >= base.layout.area())
+                      {
+                          tel::count("portfolio.plo_no_gain");
+                          return;  // no improvement: not a distinct portfolio entry
+                      }
+                      add_result(ctx.results, ctx.network, optimized, base.algorithm, opts,
+                                 base.runtime + watch.seconds(), ctx.params.verify);
+                  });
+}
+
+/// NanoPlaceR substitute on one scheme, with the PLO follow-up.
+void attempt_nanoplacer(combo_context& ctx, const lyt::layout_topology topo, const lyt::clocking_kind scheme)
+{
+    const auto label = combo_span_name(prov::algo_nanoplacer, lyt::clocking_name(scheme), {});
+    const auto mark = ctx.results.size();
+    attempt_combo(ctx, label,
+                  [&](const std::size_t attempt)
+                  {
+                      const tel::span combo{label};
+                      nanoplacer_params np{};
+                      np.topology = topo;
+                      np.scheme = scheme;
+                      // shifted seed per retry: a stochastic tool that failed
+                      // verification deserves a genuinely different run
+                      np.seed = ctx.params.seed + (attempt - 1) * 7919;
+                      np.iterations = ctx.params.nanoplacer_iterations;
+                      np.deadline = ctx.guard.deadline;
+                      nanoplacer_stats ns{};
+                      auto layout = nanoplacer(ctx.network, np, &ns);
+                      if (layout.has_value())
+                      {
+                          add_result(ctx.results, ctx.network, std::move(*layout), prov::algo_nanoplacer, {},
+                                     ns.runtime, ctx.params.verify);
+                      }
+                      else
+                      {
+                          tel::count("portfolio.nanoplacer_failures");
+                      }
+                  });
+    if (ctx.results.size() > mark)
     {
-        tel::count("portfolio.plo_no_gain");
-        return;  // no improvement: not a distinct portfolio entry
+        maybe_add_plo(ctx, mark);
     }
-    add_result(results, network, optimized, base.algorithm, std::move(opts),
-               base.runtime + watch.seconds(), params.verify);
+}
+
+/// One ortho-family combination: plain or input-ordered, optionally
+/// hexagonalized (the Bestagon path), with the PLO follow-up.
+void attempt_ortho_variant(combo_context& ctx, const bool hexagonal, const bool ordered)
+{
+    const auto clocking =
+        lyt::clocking_name(hexagonal ? lyt::clocking_kind::row : lyt::clocking_kind::twoddwave);
+    std::vector<std::string> opts;
+    if (ordered)
+    {
+        opts.emplace_back(prov::opt_input_ordering);
+    }
+    if (hexagonal)
+    {
+        opts.emplace_back(prov::opt_hexagonalization);
+    }
+    const auto label = combo_span_name(prov::algo_ortho, clocking, opts);
+    const auto mark = ctx.results.size();
+    attempt_combo(ctx, label,
+                  [&](const std::size_t attempt)
+                  {
+                      const tel::span combo{label};
+                      const tel::stopwatch watch;
+                      ortho_params op{};
+                      op.deadline = ctx.guard.deadline;
+                      gate_level_layout cartesian = [&]
+                      {
+                          if (!ordered)
+                          {
+                              return ortho(ctx.network, op);
+                          }
+                          input_ordering_params ip{};
+                          ip.max_orderings = ctx.params.input_orderings;
+                          ip.seed = ctx.params.seed + (attempt - 1) * 7919;
+                          ip.ortho = op;
+                          return input_ordering_ortho(ctx.network, ip);
+                      }();
+                      auto layout = hexagonal ? hexagonalization(cartesian) : std::move(cartesian);
+                      add_result(ctx.results, ctx.network, std::move(layout), prov::algo_ortho, opts,
+                                 watch.seconds(), ctx.params.verify);
+                  });
+    if (ctx.results.size() > mark)
+    {
+        maybe_add_plo(ctx, mark);
+    }
+}
+
+/// The ortho tail shared by both portfolio flavors.
+void attempt_ortho_family(combo_context& ctx, const bool hexagonal)
+{
+    if (!ctx.params.try_ortho)
+    {
+        return;
+    }
+    attempt_ortho_variant(ctx, hexagonal, /*ordered=*/false);
+    if (ctx.params.try_input_ordering && ctx.network.num_pis() > 1)
+    {
+        attempt_ortho_variant(ctx, hexagonal, /*ordered=*/true);
+    }
 }
 
 }  // namespace
@@ -127,15 +310,41 @@ std::string layout_result::label() const
     return prov::label(algorithm, optimizations);
 }
 
-std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, const portfolio_params& params)
+std::vector<res::combo_outcome> portfolio_run::failures() const
 {
-    MNT_SPAN("portfolio/cartesian");
-    const auto network = params.optimize_network ? ntk::optimize(input) : input;
-    std::vector<layout_result> results;
-    const auto nodes = placeable_nodes(network);
+    std::vector<res::combo_outcome> failed;
+    for (const auto& o : outcomes)
+    {
+        if (!o.is_ok())
+        {
+            failed.push_back(o);
+        }
+    }
+    return failed;
+}
 
-    // exact on every Cartesian scheme (small functions only)
-    if (params.try_exact && nodes <= params.exact_max_nodes)
+portfolio_run generate_portfolio(const logic_network& input, const portfolio_flavor flavor,
+                                 const portfolio_params& params)
+{
+    const tel::span top{flavor == portfolio_flavor::cartesian ? "portfolio/cartesian" : "portfolio/hexagonal"};
+    const auto network = params.optimize_network ? ntk::optimize(input) : input;
+
+    portfolio_run run{};
+    res::guard_params guard{};
+    if (params.deadline_s > 0.0)
+    {
+        guard.deadline = res::deadline_clock::after(params.deadline_s);
+    }
+    guard.retry.max_attempts = std::max<std::size_t>(params.max_attempts, 1);
+    guard.retry.backoff_base_s = params.retry_backoff_s;
+    guard.retry.seed = params.seed;
+    combo_context ctx{network, params, guard, run.results, run.outcomes};
+
+    const auto nodes = placeable_nodes(network);
+    const auto exact_applicable = params.try_exact && nodes <= params.exact_max_nodes;
+    const auto npr_applicable = params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes;
+
+    if (flavor == portfolio_flavor::cartesian)
     {
         for (const auto scheme : params.cartesian_schemes)
         {
@@ -143,210 +352,57 @@ std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, c
             {
                 continue;  // Cartesian ROW cannot host 2-input gates
             }
-            const tel::span combo{combo_span_name(prov::algo_exact, lyt::clocking_name(scheme), {})};
-            exact_params ep{};
-            ep.topology = lyt::layout_topology::cartesian;
-            ep.scheme = scheme;
-            ep.timeout_s = params.exact_timeout_s;
-            ep.max_area = params.exact_max_area;
-            exact_stats es{};
-            auto layout = exact(network, ep, &es);
-            if (es.timed_out)
+            if (exact_applicable)
             {
-                tel::count("portfolio.exact_timeouts");
-            }
-            if (layout.has_value())
-            {
-                add_result(results, network, std::move(*layout), prov::algo_exact, {}, es.runtime, params.verify);
+                attempt_exact(ctx, lyt::layout_topology::cartesian, scheme);
             }
         }
-    }
-    else if (params.try_exact)
-    {
-        tel::count("portfolio.skipped.exact");
-    }
-
-    // NanoPlaceR substitute on every Cartesian scheme (small/medium)
-    if (params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes)
-    {
         for (const auto scheme : params.cartesian_schemes)
         {
             if (scheme == lyt::clocking_kind::row)
             {
                 continue;
             }
-            bool placed = false;
-            const auto base_index = results.size();
+            if (npr_applicable)
             {
-                const tel::span combo{combo_span_name(prov::algo_nanoplacer, lyt::clocking_name(scheme), {})};
-                nanoplacer_params np{};
-                np.topology = lyt::layout_topology::cartesian;
-                np.scheme = scheme;
-                np.seed = params.seed;
-                np.iterations = params.nanoplacer_iterations;
-                nanoplacer_stats ns{};
-                auto layout = nanoplacer(network, np, &ns);
-                if (layout.has_value())
-                {
-                    add_result(results, network, std::move(*layout), prov::algo_nanoplacer, {}, ns.runtime,
-                               params.verify);
-                    placed = true;
-                }
-                else
-                {
-                    tel::count("portfolio.nanoplacer_failures");
-                }
-            }
-            if (placed)
-            {
-                maybe_add_plo(results, network, results[base_index], params);
+                attempt_nanoplacer(ctx, lyt::layout_topology::cartesian, scheme);
             }
         }
     }
-    else if (params.try_nanoplacer)
+    else
+    {
+        if (exact_applicable)
+        {
+            attempt_exact(ctx, lyt::layout_topology::hexagonal_even_row, lyt::clocking_kind::row);
+        }
+        if (npr_applicable)
+        {
+            attempt_nanoplacer(ctx, lyt::layout_topology::hexagonal_even_row, lyt::clocking_kind::row);
+        }
+    }
+    if (params.try_exact && !exact_applicable)
+    {
+        tel::count("portfolio.skipped.exact");
+    }
+    if (params.try_nanoplacer && !npr_applicable)
     {
         tel::count("portfolio.skipped.nanoplacer");
     }
 
-    // ortho (2DDWave by construction)
-    if (params.try_ortho)
-    {
-        const auto base_index = results.size();
-        {
-            const tel::span combo{combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::twoddwave), {})};
-            ortho_stats os{};
-            auto layout = ortho(network, {}, &os);
-            add_result(results, network, std::move(layout), prov::algo_ortho, {}, os.runtime, params.verify);
-        }
-        maybe_add_plo(results, network, results[base_index], params);
+    attempt_ortho_family(ctx, flavor == portfolio_flavor::hexagonal);
 
-        if (params.try_input_ordering && network.num_pis() > 1)
-        {
-            const auto ordered_index = results.size();
-            {
-                const tel::span combo{combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::twoddwave), {prov::opt_input_ordering})};
-                input_ordering_params ip{};
-                ip.max_orderings = params.input_orderings;
-                ip.seed = params.seed;
-                input_ordering_stats is{};
-                auto ordered = input_ordering_ortho(network, ip, &is);
-                add_result(results, network, std::move(ordered), prov::algo_ortho, {prov::opt_input_ordering},
-                           is.runtime, params.verify);
-            }
-            maybe_add_plo(results, network, results[ordered_index], params);
-        }
-    }
+    tel::set_gauge("portfolio.results", static_cast<double>(run.results.size()));
+    return run;
+}
 
-    tel::set_gauge("portfolio.results", static_cast<double>(results.size()));
-    return results;
+std::vector<layout_result> run_cartesian_portfolio(const logic_network& input, const portfolio_params& params)
+{
+    return generate_portfolio(input, portfolio_flavor::cartesian, params).results;
 }
 
 std::vector<layout_result> run_hexagonal_portfolio(const logic_network& input, const portfolio_params& params)
 {
-    MNT_SPAN("portfolio/hexagonal");
-    const auto network = params.optimize_network ? ntk::optimize(input) : input;
-    std::vector<layout_result> results;
-    const auto nodes = placeable_nodes(network);
-
-    // exact directly on the hexagonal ROW grid
-    if (params.try_exact && nodes <= params.exact_max_nodes)
-    {
-        const tel::span combo{combo_span_name(prov::algo_exact, lyt::clocking_name(lyt::clocking_kind::row), {})};
-        exact_params ep{};
-        ep.topology = lyt::layout_topology::hexagonal_even_row;
-        ep.scheme = lyt::clocking_kind::row;
-        ep.timeout_s = params.exact_timeout_s;
-        ep.max_area = params.exact_max_area;
-        exact_stats es{};
-        auto layout = exact(network, ep, &es);
-        if (es.timed_out)
-        {
-            tel::count("portfolio.exact_timeouts");
-        }
-        if (layout.has_value())
-        {
-            add_result(results, network, std::move(*layout), prov::algo_exact, {}, es.runtime, params.verify);
-        }
-    }
-    else if (params.try_exact)
-    {
-        tel::count("portfolio.skipped.exact");
-    }
-
-    // NanoPlaceR substitute directly on the hexagonal grid (small/medium)
-    if (params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes)
-    {
-        const auto base_index = results.size();
-        bool produced = false;
-        {
-            const tel::span combo{combo_span_name(prov::algo_nanoplacer, lyt::clocking_name(lyt::clocking_kind::row), {})};
-            nanoplacer_params np{};
-            np.topology = lyt::layout_topology::hexagonal_even_row;
-            np.scheme = lyt::clocking_kind::row;
-            np.seed = params.seed;
-            np.iterations = params.nanoplacer_iterations;
-            nanoplacer_stats ns{};
-            auto layout = nanoplacer(network, np, &ns);
-            if (layout.has_value())
-            {
-                add_result(results, network, std::move(*layout), prov::algo_nanoplacer, {}, ns.runtime,
-                           params.verify);
-                produced = true;
-            }
-            else
-            {
-                tel::count("portfolio.nanoplacer_failures");
-            }
-        }
-        if (produced)
-        {
-            maybe_add_plo(results, network, results[base_index], params);
-        }
-    }
-    else if (params.try_nanoplacer)
-    {
-        tel::count("portfolio.skipped.nanoplacer");
-    }
-
-    // ortho + 45° hexagonalization
-    if (params.try_ortho)
-    {
-        {
-            const auto base_index = results.size();
-            {
-                const tel::span combo{
-                    combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::row), {prov::opt_hexagonalization})};
-                const tel::stopwatch watch;
-                const auto cartesian = ortho(network);
-                auto hex = hexagonalization(cartesian);
-                add_result(results, network, std::move(hex), prov::algo_ortho, {prov::opt_hexagonalization},
-                           watch.seconds(), params.verify);
-            }
-            maybe_add_plo(results, network, results[base_index], params);
-        }
-
-        if (params.try_input_ordering && network.num_pis() > 1)
-        {
-            const auto base_index = results.size();
-            {
-                const tel::span combo{combo_span_name(prov::algo_ortho, lyt::clocking_name(lyt::clocking_kind::row),
-                                                      {prov::opt_input_ordering, prov::opt_hexagonalization})};
-                const tel::stopwatch watch;
-                input_ordering_params ip{};
-                ip.max_orderings = params.input_orderings;
-                ip.seed = params.seed;
-                const auto cartesian = input_ordering_ortho(network, ip);
-                auto hex = hexagonalization(cartesian);
-                add_result(results, network, std::move(hex), prov::algo_ortho,
-                           {prov::opt_input_ordering, prov::opt_hexagonalization}, watch.seconds(),
-                           params.verify);
-            }
-            maybe_add_plo(results, network, results[base_index], params);
-        }
-    }
-
-    tel::set_gauge("portfolio.results", static_cast<double>(results.size()));
-    return results;
+    return generate_portfolio(input, portfolio_flavor::hexagonal, params).results;
 }
 
 const layout_result* best_by_area(const std::vector<layout_result>& results)

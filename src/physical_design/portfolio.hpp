@@ -7,6 +7,7 @@
 ///        machinery behind contribution #2/#3 of the paper (filterable
 ///        layout generation and best-layout selection).
 
+#include "common/resilience.hpp"
 #include "layout/clocking_scheme.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "network/logic_network.hpp"
@@ -80,17 +81,61 @@ struct portfolio_params
     /// tests and the small benchmark sets). Small layouts are additionally
     /// checked with the clock-phase-accurate wave simulator.
     bool verify{false};
+
+    /// Global wall-clock budget in seconds for the whole portfolio run
+    /// (0 = unbounded). The deadline is cooperative: every algorithm polls it
+    /// and unwinds, and the affected combinations are reported as timeout
+    /// outcomes while everything already produced is kept.
+    double deadline_s{0.0};
+
+    /// Attempts per combination (>= 1). Transient failures — verification
+    /// failures of stochastic tools — are retried under a shifted seed;
+    /// timeouts and hard errors fail fast.
+    std::size_t max_attempts{2};
+
+    /// Base backoff before a retry in seconds (0 retries immediately, the
+    /// right setting for in-process seed-shift retries).
+    double retry_backoff_s{0.0};
 };
 
-/// Runs the Cartesian (QCA ONE) portfolio on \p network.
-///
-/// \throws mnt::mnt_error if verification is enabled and a layout fails it
+/// The two grid families of the MNT Bench portfolio.
+enum class portfolio_flavor : std::uint8_t
+{
+    cartesian,  ///< QCA ONE: Cartesian grids, 2DDWave/USE/RES/ESR clocking
+    hexagonal   ///< Bestagon: hexagonal grids, ROW clocking
+};
+
+/// Everything one portfolio run produced: the healthy layouts plus one
+/// structured outcome per attempted combination (ok and failed alike) — the
+/// failure manifest behind the run report.
+struct portfolio_run
+{
+    std::vector<layout_result> results;
+    std::vector<res::combo_outcome> outcomes;
+
+    /// Outcomes with kind != ok, i.e. the failure manifest.
+    [[nodiscard]] std::vector<res::combo_outcome> failures() const;
+};
+
+/// Runs the portfolio on \p network under full fault isolation: every
+/// algorithm × clocking × optimization combination executes inside
+/// \ref mnt::res::run_guarded, so one crashing, timing-out or misverifying
+/// combination costs exactly its own entry while every healthy layout is
+/// still returned.
+[[nodiscard]] portfolio_run generate_portfolio(const ntk::logic_network& network, portfolio_flavor flavor,
+                                               const portfolio_params& params = {});
+
+/// Runs the Cartesian (QCA ONE) portfolio on \p network and returns the
+/// healthy layouts. Convenience wrapper over \ref generate_portfolio —
+/// failed combinations are dropped silently here; use generate_portfolio
+/// when the failure manifest matters.
 [[nodiscard]] std::vector<layout_result> run_cartesian_portfolio(const ntk::logic_network& network,
                                                                  const portfolio_params& params = {});
 
 /// Runs the hexagonal (Bestagon) portfolio on \p network: exact on the hex
 /// grid for small functions, ortho(+InOrd)+45° hexagonalization for all, PLO
-/// on top where budgeted.
+/// on top where budgeted. Wrapper over \ref generate_portfolio like
+/// \ref run_cartesian_portfolio.
 [[nodiscard]] std::vector<layout_result> run_hexagonal_portfolio(const ntk::logic_network& network,
                                                                  const portfolio_params& params = {});
 

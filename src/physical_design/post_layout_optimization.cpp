@@ -81,6 +81,7 @@ std::size_t relocation_pass(net_surgeon& surgeon, const plo_params& params, std:
 {
     auto& layout = surgeon.layout();
     std::size_t accepted = 0;
+    res::deadline_guard deadline{params.deadline, 16};
 
     // gates ordered by distance from origin, descending: outer gates first
     auto gates = layout.tiles_sorted();
@@ -92,6 +93,7 @@ std::size_t relocation_pass(net_surgeon& surgeon, const plo_params& params, std:
 
     for (const auto& g : gates)
     {
+        deadline.poll_or_throw("plo/relocation");
         // walk each gate inward until no closer position is routable/better
         auto current = g;
         bool moved = true;
@@ -168,6 +170,7 @@ gate_level_layout post_layout_optimization(const gate_level_layout& layout, cons
 
     auto result = layout;  // operate on a copy
     net_surgeon surgeon{result, params.max_route_expansions};
+    surgeon.options().deadline = params.deadline;
 
     plo_stats local{};
     local.area_before = layout.area();
@@ -176,6 +179,8 @@ gate_level_layout post_layout_optimization(const gate_level_layout& layout, cons
     std::size_t move_budget_used = 0;
     for (std::size_t pass = 0; pass < params.max_passes; ++pass)
     {
+        MNT_FAULT_POINT("plo.pass");
+        params.deadline.throw_if_expired("plo/pass");
         ++local.passes;
         const auto rerouted = reroute_pass(surgeon);
         const auto moved = relocation_pass(surgeon, params, move_budget_used);

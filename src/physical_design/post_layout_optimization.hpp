@@ -18,6 +18,7 @@
 /// suite via equivalence checking). Works on Cartesian and hexagonal
 /// layouts under any clocking scheme.
 
+#include "common/resilience.hpp"
 #include "layout/gate_level_layout.hpp"
 
 #include <cstddef>
@@ -44,6 +45,11 @@ struct plo_params
 
     /// BFS expansion cap per routing query (0 = unlimited).
     std::size_t max_route_expansions{20000};
+
+    /// Cooperative global run deadline: polled per optimization pass and per
+    /// relocated gate (and forwarded to every routing query); the run unwinds
+    /// with mnt::res::deadline_exceeded once expired. Unbounded by default.
+    res::deadline_clock deadline{};
 };
 
 /// Statistics of a \ref post_layout_optimization run.

@@ -104,6 +104,8 @@ run_report capture_report()
     report.counters = reg.counters();
     report.gauges = reg.gauges();
     report.histograms = reg.histograms();
+    report.events = reg.events();
+    report.dropped_events = reg.dropped_events();
     report.trace = reg.trace();
     return report;
 }
@@ -115,7 +117,7 @@ void reset()
 
 void write_report_json(const run_report& report, std::ostream& output)
 {
-    output << "{\n  \"schema\": \"mnt-telemetry-report/1\",\n  \"counters\": [\n";
+    output << "{\n  \"schema\": \"mnt-telemetry-report/2\",\n  \"counters\": [\n";
     for (std::size_t i = 0; i < report.counters.size(); ++i)
     {
         const auto& c = report.counters[i];
@@ -150,7 +152,16 @@ void write_report_json(const run_report& report, std::ostream& output)
         }
         output << "]}" << (i + 1 < report.histograms.size() ? ",\n" : "\n");
     }
-    output << "  ],\n  \"spans\": [\n";
+    output << "  ],\n  \"events\": [\n";
+    for (std::size_t i = 0; i < report.events.size(); ++i)
+    {
+        const auto& e = report.events[i];
+        output << "    {\"category\": \"" << json_escape(e.category) << "\", \"label\": \"" << json_escape(e.label)
+               << "\", \"kind\": \"" << json_escape(e.kind) << "\", \"message\": \"" << json_escape(e.message)
+               << "\", \"value\": " << json_number(e.value) << "}"
+               << (i + 1 < report.events.size() ? ",\n" : "\n");
+    }
+    output << "  ],\n  \"dropped_events\": " << report.dropped_events << ",\n  \"spans\": [\n";
     static const std::vector<std::unique_ptr<span_node>> no_spans;
     const auto& roots = report.trace != nullptr ? report.trace->children : no_spans;
     for (std::size_t i = 0; i < roots.size(); ++i)
@@ -220,6 +231,18 @@ void write_report_text(const run_report& report, std::ostream& output)
                           h.name.c_str(), static_cast<unsigned long long>(h.count), h.sum, h.min, h.max,
                           h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
             output << line;
+        }
+    }
+    if (!report.events.empty() || report.dropped_events > 0)
+    {
+        output << "events:\n";
+        for (const auto& e : report.events)
+        {
+            output << "  [" << e.category << "] " << e.label << " (" << e.kind << "): " << e.message << "\n";
+        }
+        if (report.dropped_events > 0)
+        {
+            output << "  ... and " << report.dropped_events << " dropped\n";
         }
     }
 }

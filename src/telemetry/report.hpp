@@ -6,18 +6,24 @@
 ///        with exporters to human-readable text and machine-readable JSON —
 ///        the per-run provenance sidecar of the MNT Bench reproduction.
 ///
-/// JSON schema (`"schema": "mnt-telemetry-report/1"`, documented with an
-/// example in README.md):
+/// JSON schema (`"schema": "mnt-telemetry-report/2"`, documented with an
+/// example in README.md). Version 2 adds the "events" array (and its
+/// "dropped_events" overflow counter) carrying discrete occurrences such as
+/// the portfolio failure manifest; everything from version 1 is unchanged.
 ///
 /// \code{.json}
 /// {
-///   "schema": "mnt-telemetry-report/1",
+///   "schema": "mnt-telemetry-report/2",
 ///   "counters":   [ {"name": "exact.search_nodes", "value": 6500}, ... ],
 ///   "gauges":     [ {"name": "portfolio.results", "value": 9}, ... ],
 ///   "histograms": [ {"name": "catalog.insert_s", "count": 9, "sum": 0.001,
 ///                    "min": 1e-5, "max": 4e-4,
 ///                    "buckets": [ {"lo": 0.0, "hi": 2.3e-10, "count": 0},
 ///                                 ... non-empty buckets only ... ]}, ... ],
+///   "events":     [ {"category": "combo_failure", "label": "NPR@USE",
+///                    "kind": "timeout", "message": "deadline exceeded in ...",
+///                    "value": 1.07}, ... ],
+///   "dropped_events": 0,
 ///   "spans":      [ {"name": "portfolio/cartesian", "calls": 1,
 ///                    "seconds": 1.73, "children": [ ... ]}, ... ]
 /// }
@@ -38,6 +44,10 @@ struct run_report
     std::vector<counter_value> counters;
     std::vector<gauge_value> gauges;
     std::vector<histogram_value> histograms;
+    /// Structured events in append order (bounded; see registry::max_events).
+    std::vector<event_record> events;
+    /// Events lost to the log cap.
+    std::uint64_t dropped_events{0};
     /// Aggregated trace tree; the root is unnamed and holds the top-level
     /// spans as children. Never null after \ref capture_report.
     std::unique_ptr<span_node> trace;

@@ -174,6 +174,8 @@ struct registry::impl
     std::unordered_map<std::string, std::unique_ptr<gauge>> gauges;
     std::unordered_map<std::string, std::unique_ptr<histogram>> histograms;
     span_node trace_root{};
+    std::vector<event_record> events;
+    std::uint64_t events_dropped{0};
     /// Bumped on reset; spans opened under an older generation retire
     /// without touching the (rebuilt) trace tree.
     std::uint64_t generation{0};
@@ -289,6 +291,32 @@ std::vector<histogram_value> registry::histograms()
     return result;
 }
 
+void registry::add_event(event_record ev)
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    if (s.events.size() >= max_events)
+    {
+        ++s.events_dropped;
+        return;
+    }
+    s.events.push_back(std::move(ev));
+}
+
+std::vector<event_record> registry::events()
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return s.events;
+}
+
+std::uint64_t registry::dropped_events()
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return s.events_dropped;
+}
+
 namespace
 {
 
@@ -334,6 +362,8 @@ void registry::reset()
         instrument->reset();
     }
     s.trace_root.children.clear();
+    s.events.clear();
+    s.events_dropped = 0;
     ++s.generation;
 }
 
@@ -364,6 +394,15 @@ void set_gauge(const std::string_view name, const double value)
         return;
     }
     registry::instance().get_gauge(name).set(value);
+}
+
+void add_event(event_record ev)
+{
+    if (!enabled())
+    {
+        return;
+    }
+    registry::instance().add_event(std::move(ev));
 }
 
 // -------------------------------------------------------------------- spans

@@ -189,6 +189,25 @@ struct histogram_value
     std::array<std::uint64_t, histogram::num_buckets> buckets{};
 };
 
+/// One structured event — a discrete, noteworthy occurrence (a combination
+/// failure, a retry, an injected fault) that aggregated instruments cannot
+/// express. Events are kept in a bounded in-order log (see
+/// \ref registry::max_events); overflow increments a drop counter instead of
+/// growing without bound.
+struct event_record
+{
+    /// Event class, e.g. "combo_failure".
+    std::string category;
+    /// Subject, e.g. the combination label "NPR@USE".
+    std::string label;
+    /// Discriminator within the category, e.g. the outcome kind "timeout".
+    std::string kind;
+    /// Free-form human-readable detail.
+    std::string message;
+    /// Numeric payload (e.g. elapsed seconds).
+    double value{0.0};
+};
+
 /// One aggregated node of the trace tree: all spans with the same name under
 /// the same parent fold into a single node. The root node has an empty name
 /// and zero calls; it only holds the top-level spans.
@@ -218,6 +237,18 @@ public:
     [[nodiscard]] std::vector<counter_value> counters();
     [[nodiscard]] std::vector<gauge_value> gauges();
     [[nodiscard]] std::vector<histogram_value> histograms();
+
+    /// Hard cap of the event log; appends past it are counted, not stored.
+    static constexpr std::size_t max_events = 256;
+
+    /// Appends \p ev to the event log (or bumps the drop counter at the cap).
+    void add_event(event_record ev);
+
+    /// Snapshot of the event log, in append order.
+    [[nodiscard]] std::vector<event_record> events();
+
+    /// Events discarded because the log was full.
+    [[nodiscard]] std::uint64_t dropped_events();
 
     /// Deep copy of the aggregated trace tree (root has an empty name).
     [[nodiscard]] std::unique_ptr<span_node> trace();
@@ -251,6 +282,9 @@ void observe(std::string_view name, double value);
 
 /// Sets the named gauge; no-op when disabled.
 void set_gauge(std::string_view name, double value);
+
+/// Appends a structured event to the registry log; no-op when disabled.
+void add_event(event_record ev);
 
 // -------------------------------------------------------------------- spans
 

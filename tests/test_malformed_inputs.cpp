@@ -1,0 +1,312 @@
+#include "common/types.hpp"
+#include "io/fgl_reader.hpp"
+#include "io/verilog_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mnt;
+using namespace mnt::io;
+
+namespace
+{
+
+/// Parses \p document as .fgl, requires a parse_error and returns it for
+/// message/line inspection.
+parse_error fgl_failure(const std::string& document)
+{
+    try
+    {
+        static_cast<void>(read_fgl_string(document));
+    }
+    catch (const parse_error& e)
+    {
+        return e;
+    }
+    ADD_FAILURE() << "expected parse_error for: " << document;
+    return parse_error{"not thrown", 0};
+}
+
+parse_error verilog_failure(const std::string& source)
+{
+    try
+    {
+        static_cast<void>(read_verilog_string(source, "bad"));
+    }
+    catch (const parse_error& e)
+    {
+        return e;
+    }
+    ADD_FAILURE() << "expected parse_error for: " << source;
+    return parse_error{"not thrown", 0};
+}
+
+/// A structurally valid .fgl prefix: <fgl><layout> with name/topology/
+/// clocking/size; \p body is inserted before the closing tags.
+std::string fgl_with(const std::string& body, const std::string& clocking = "2DDWave")
+{
+    return "<fgl>\n"                                          // line 1
+           "  <layout>\n"                                     // line 2
+           "    <name>t</name>\n"                             // line 3
+           "    <topology>cartesian</topology>\n"             // line 4
+           "    <clocking>" + clocking + "</clocking>\n"      // line 5
+           "    <size><x>3</x><y>3</y></size>\n"              // line 6
+           + body +
+           "  </layout>\n"
+           "</fgl>\n";
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- .fgl
+
+TEST(MalformedFglTest, TruncatedDocument)
+{
+    const auto e = fgl_failure("<fgl>\n  <layout>\n    <name>t</name>\n");
+    EXPECT_NE(std::string{e.what()}.find("unterminated"), std::string::npos);
+    EXPECT_GE(e.line_number, 1U);
+}
+
+TEST(MalformedFglTest, EmptyDocument)
+{
+    EXPECT_THROW(static_cast<void>(read_fgl_string("")), parse_error);
+    EXPECT_THROW(static_cast<void>(read_fgl_string("   \n\n  ")), parse_error);
+}
+
+TEST(MalformedFglTest, WrongRootTagReportsItsLine)
+{
+    const auto e = fgl_failure("<!-- a comment -->\n<notfgl></notfgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("<notfgl>"), std::string::npos);
+    EXPECT_EQ(e.line_number, 2U);
+}
+
+TEST(MalformedFglTest, MissingLayoutElement)
+{
+    const auto e = fgl_failure("<fgl>\n</fgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("<layout>"), std::string::npos);
+    EXPECT_EQ(e.line_number, 1U);
+}
+
+TEST(MalformedFglTest, MissingSizeReportsLayoutLine)
+{
+    const auto e = fgl_failure("<fgl>\n  <layout>\n    <name>t</name>\n"
+                               "    <topology>cartesian</topology>\n"
+                               "    <clocking>2DDWave</clocking>\n"
+                               "  </layout>\n</fgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("<size>"), std::string::npos);
+    EXPECT_EQ(e.line_number, 2U);  // the <layout> element's line
+}
+
+TEST(MalformedFglTest, NonNumericDimensionReportsSizeLine)
+{
+    const auto e = fgl_failure("<fgl>\n  <layout>\n    <name>t</name>\n"
+                               "    <topology>cartesian</topology>\n"
+                               "    <clocking>2DDWave</clocking>\n"
+                               "    <size><x>wide</x><y>3</y></size>\n"
+                               "    <gates></gates>\n"
+                               "  </layout>\n</fgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("invalid integer 'wide'"), std::string::npos);
+    EXPECT_EQ(e.line_number, 6U);
+}
+
+TEST(MalformedFglTest, NonPositiveDimensions)
+{
+    const auto e = fgl_failure("<fgl>\n  <layout>\n    <name>t</name>\n"
+                               "    <topology>cartesian</topology>\n"
+                               "    <clocking>2DDWave</clocking>\n"
+                               "    <size><x>0</x><y>3</y></size>\n"
+                               "    <gates></gates>\n"
+                               "  </layout>\n</fgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("positive"), std::string::npos);
+    EXPECT_EQ(e.line_number, 6U);
+}
+
+TEST(MalformedFglTest, OutOfRangeClockZone)
+{
+    const auto body = "    <clockzones>\n"                        // line 7
+                      "      <zone><x>0</x><y>0</y><clock>7</clock></zone>\n"  // line 8
+                      "    </clockzones>\n"
+                      "    <gates></gates>\n";
+    const auto e = fgl_failure(fgl_with(body, "OPEN"));
+    EXPECT_NE(std::string{e.what()}.find("clock zone"), std::string::npos);
+    EXPECT_EQ(e.line_number, 8U);
+}
+
+TEST(MalformedFglTest, NonNumericClockZone)
+{
+    const auto body = "    <clockzones>\n"
+                      "      <zone><x>0</x><y>zero</y><clock>1</clock></zone>\n"
+                      "    </clockzones>\n"
+                      "    <gates></gates>\n";
+    const auto e = fgl_failure(fgl_with(body, "OPEN"));
+    EXPECT_NE(std::string{e.what()}.find("invalid integer 'zero'"), std::string::npos);
+    EXPECT_EQ(e.line_number, 8U);
+}
+
+TEST(MalformedFglTest, UnknownGateTypeReportsGateLine)
+{
+    const auto body = "    <gates>\n"                                            // line 7
+                      "      <gate>\n"                                           // line 8
+                      "        <type>frobnicator</type>\n"
+                      "        <loc><x>0</x><y>0</y></loc>\n"
+                      "      </gate>\n"
+                      "    </gates>\n";
+    const auto e = fgl_failure(fgl_with(body));
+    EXPECT_NE(std::string{e.what()}.find("frobnicator"), std::string::npos);
+    EXPECT_EQ(e.line_number, 8U);
+}
+
+TEST(MalformedFglTest, GateWithoutLocation)
+{
+    const auto body = "    <gates>\n"
+                      "      <gate><type>pi</type><name>a</name></gate>\n"  // line 8
+                      "    </gates>\n";
+    const auto e = fgl_failure(fgl_with(body));
+    EXPECT_NE(std::string{e.what()}.find("<loc>"), std::string::npos);
+    EXPECT_EQ(e.line_number, 8U);
+}
+
+TEST(MalformedFglTest, BadLayerIndex)
+{
+    const auto body = "    <gates>\n"
+                      "      <gate>\n"  // line 8
+                      "        <type>pi</type><name>a</name>\n"
+                      "        <loc><x>0</x><y>0</y><z>3</z></loc>\n"  // line 10
+                      "      </gate>\n"
+                      "    </gates>\n";
+    const auto e = fgl_failure(fgl_with(body));
+    EXPECT_NE(std::string{e.what()}.find("layer z"), std::string::npos);
+    EXPECT_EQ(e.line_number, 10U);
+}
+
+TEST(MalformedFglTest, NonUtf8BytesNeverCrash)
+{
+    // raw high bytes in text content must yield a typed error, not UB
+    std::string body = "    <gates>\n"
+                       "      <gate><type>pi</type><name>a</name>\n"
+                       "        <loc><x>\xFF\xFE</x><y>0</y></loc></gate>\n"
+                       "    </gates>\n";
+    EXPECT_THROW(static_cast<void>(read_fgl_string(fgl_with(body))), parse_error);
+
+    // and raw garbage instead of a document as well
+    EXPECT_THROW(static_cast<void>(read_fgl_string("\xFF\xFE garbage")), parse_error);
+}
+
+TEST(MalformedFglTest, MismatchedClosingTag)
+{
+    const auto e = fgl_failure("<fgl>\n  <layout>\n  </fgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("mismatched"), std::string::npos);
+    EXPECT_EQ(e.line_number, 3U);
+}
+
+// ---------------------------------------------------------------- Verilog
+
+TEST(MalformedVerilogTest, TruncatedModule)
+{
+    const auto e = verilog_failure("module m(a, y);\ninput a;\noutput y;\nassign y = a;\n");
+    EXPECT_NE(std::string{e.what()}.find("endmodule"), std::string::npos);
+}
+
+TEST(MalformedVerilogTest, EmptySource)
+{
+    EXPECT_THROW(static_cast<void>(read_verilog_string("", "empty")), parse_error);
+}
+
+TEST(MalformedVerilogTest, UnterminatedBlockComment)
+{
+    const auto e = verilog_failure("module m(y);\noutput y;\n/* no end\nassign y = 1'b0;\nendmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("unterminated block comment"), std::string::npos);
+    EXPECT_GE(e.line_number, 3U);
+}
+
+TEST(MalformedVerilogTest, DuplicateDriverReportsSecondAssignment)
+{
+    const auto e = verilog_failure("module m(a, b, y);\n"   // line 1
+                                   "input a, b;\n"          // line 2
+                                   "output y;\n"            // line 3
+                                   "assign y = a;\n"        // line 4
+                                   "assign y = b;\n"        // line 5
+                                   "endmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("driven multiple times"), std::string::npos);
+    EXPECT_EQ(e.line_number, 5U);
+}
+
+TEST(MalformedVerilogTest, DuplicatePrimitiveDriver)
+{
+    const auto e = verilog_failure("module m(a, b, y);\n"
+                                   "input a, b;\n"
+                                   "output y;\n"
+                                   "and g1 (y, a, b);\n"
+                                   "or g2 (y, a, b);\n"  // line 5
+                                   "endmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("driven multiple times"), std::string::npos);
+    EXPECT_EQ(e.line_number, 5U);
+}
+
+TEST(MalformedVerilogTest, UndrivenNet)
+{
+    const auto e = verilog_failure("module m(a, y);\ninput a;\noutput y;\nassign y = ghost;\nendmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("never driven"), std::string::npos);
+}
+
+TEST(MalformedVerilogTest, CombinationalCycleReportsDriverLine)
+{
+    const auto e = verilog_failure("module m(a, y);\n"
+                                   "input a;\n"
+                                   "output y;\n"
+                                   "wire u, v;\n"
+                                   "assign u = v & a;\n"  // line 5
+                                   "assign v = u;\n"      // line 6
+                                   "assign y = u;\n"
+                                   "endmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("combinational cycle"), std::string::npos);
+    EXPECT_GE(e.line_number, 5U);
+    EXPECT_LE(e.line_number, 6U);
+}
+
+TEST(MalformedVerilogTest, VectorNetsAreRejected)
+{
+    const auto e = verilog_failure("module m(a, y);\ninput [1:0] a;\noutput y;\nendmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("vector nets"), std::string::npos);
+    EXPECT_EQ(e.line_number, 2U);
+}
+
+TEST(MalformedVerilogTest, MultiBitConstantsAreRejected)
+{
+    const auto e = verilog_failure("module m(y);\noutput y;\nassign y = 4'b1010;\nendmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("single-bit"), std::string::npos);
+    EXPECT_EQ(e.line_number, 3U);
+}
+
+TEST(MalformedVerilogTest, WrongPrimitiveArity)
+{
+    const auto e = verilog_failure("module m(a, y);\n"
+                                   "input a;\n"
+                                   "output y;\n"
+                                   "and g1 (y, a);\n"  // and expects 3 terminals
+                                   "endmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("terminals"), std::string::npos);
+    EXPECT_EQ(e.line_number, 4U);
+}
+
+TEST(MalformedVerilogTest, UnknownStatement)
+{
+    const auto e = verilog_failure("module m(y);\noutput y;\nfrobnicate y;\nendmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("frobnicate"), std::string::npos);
+    EXPECT_EQ(e.line_number, 3U);
+}
+
+TEST(MalformedVerilogTest, NonUtf8BytesNeverCrash)
+{
+    const auto e = verilog_failure("module m(y);\noutput y;\nassign y = \xFF;\nendmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("unexpected character"), std::string::npos);
+    EXPECT_EQ(e.line_number, 3U);
+}
+
+TEST(MalformedVerilogTest, ContentAfterEndmodule)
+{
+    const auto e = verilog_failure("module m(y);\noutput y;\nassign y = 1'b0;\nendmodule\nmodule n(); endmodule\n");
+    EXPECT_NE(std::string{e.what()}.find("single module"), std::string::npos);
+    EXPECT_EQ(e.line_number, 5U);
+}

@@ -258,7 +258,7 @@ TEST_F(TelemetryTest, JsonReportContainsAllSections)
     }
 
     const auto json = tel::report_json_string(tel::capture_report());
-    EXPECT_NE(json.find("\"schema\": \"mnt-telemetry-report/1\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": \"mnt-telemetry-report/2\""), std::string::npos);
     EXPECT_NE(json.find("{\"name\": \"json.counter\", \"value\": 11}"), std::string::npos);
     EXPECT_NE(json.find("{\"name\": \"json.gauge\", \"value\": 2.5}"), std::string::npos);
     EXPECT_NE(json.find("\"name\": \"json.histogram\", \"count\": 1"), std::string::npos);
