@@ -1,0 +1,282 @@
+/// \file mnt_bench_serve.cpp
+/// \brief The MNT Bench catalog server: generates layouts into a persistent
+///        store (incrementally — already-present combinations are skipped),
+///        loads the store into the indexed query engine, and serves the
+///        website's facet queries plus .fgl downloads over HTTP.
+///
+/// Usage:
+///   mnt_bench_serve [--store <dir>] [--generate] [--set <name>] [--name <fn>]
+///                   [--port <p>] [--threads <n>] [--jobs <n>]
+///                   [--deadline <s>] [--retries <n>] [--no-serve]
+///                   [--report <file.json>] [--verbose-telemetry]
+///
+/// Typical session:
+///   mnt_bench_serve --store bench_store --generate --set Trindade16   # populate
+///   mnt_bench_serve --store bench_store --port 8080                   # serve
+///
+/// On startup the server prints one machine-readable line to stdout:
+///   serving <N> layouts on http://127.0.0.1:<port>
+/// (used by the CI smoke job to discover the ephemeral port).
+
+#include "benchmarks/suites.hpp"
+#include "service/populate.hpp"
+#include "service/query.hpp"
+#include "service/server.hpp"
+#include "service/store.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+struct serve_options
+{
+    std::string store_dir{"mnt_bench_store"};
+    bool generate{false};
+    bool serve{true};
+    std::optional<std::string> set;
+    std::optional<std::string> name;
+    std::uint16_t port{0};
+    std::size_t threads{4};
+    std::size_t jobs{1};
+    double deadline_s{0.0};
+    std::optional<std::size_t> max_attempts;
+    std::optional<std::string> report_path;
+    bool verbose_telemetry{false};
+    bool help{false};
+};
+
+serve_options parse_args(const int argc, const char** argv)
+{
+    serve_options options{};
+    for (int i = 1; i < argc; ++i)
+    {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string
+        { return i + 1 < argc ? argv[++i] : std::string{}; };
+        if (arg == "--store")
+        {
+            options.store_dir = next();
+        }
+        else if (arg == "--generate")
+        {
+            options.generate = true;
+        }
+        else if (arg == "--no-serve")
+        {
+            options.serve = false;
+        }
+        else if (arg == "--set")
+        {
+            options.set = next();
+        }
+        else if (arg == "--name")
+        {
+            options.name = next();
+        }
+        else if (arg == "--port")
+        {
+            options.port = static_cast<std::uint16_t>(std::stoul(next()));
+        }
+        else if (arg == "--threads")
+        {
+            options.threads = std::max<std::size_t>(1, std::stoul(next()));
+        }
+        else if (arg == "--jobs")
+        {
+            options.jobs = std::max<std::size_t>(1, std::stoul(next()));
+        }
+        else if (arg == "--deadline")
+        {
+            options.deadline_s = std::stod(next());
+        }
+        else if (arg == "--retries")
+        {
+            options.max_attempts = static_cast<std::size_t>(std::stoul(next())) + 1;
+        }
+        else if (arg == "--report")
+        {
+            options.report_path = next();
+        }
+        else if (arg == "--verbose-telemetry")
+        {
+            options.verbose_telemetry = true;
+        }
+        else if (arg == "--help" || arg == "-h")
+        {
+            options.help = true;
+        }
+        else
+        {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            options.help = true;
+        }
+    }
+    return options;
+}
+
+std::vector<bm::benchmark_entry> selected_entries(const serve_options& options)
+{
+    std::vector<bm::benchmark_entry> selection;
+    for (const auto& entry : bm::all_suites())
+    {
+        if (options.set.has_value() && entry.set != *options.set)
+        {
+            continue;
+        }
+        if (options.name.has_value() && entry.name != *options.name)
+        {
+            continue;
+        }
+        // interactive default: skip the big sets unless explicitly requested
+        if (!options.set.has_value() && (entry.set == "ISCAS85" || entry.set == "EPFL"))
+        {
+            continue;
+        }
+        selection.push_back(entry);
+    }
+    return selection;
+}
+
+std::atomic<bool> interrupted{false};
+
+void on_signal(const int)
+{
+    interrupted.store(true);
+}
+
+void write_telemetry(const serve_options& options)
+{
+    if (!options.report_path.has_value() && !options.verbose_telemetry)
+    {
+        return;
+    }
+    const auto report = tel::capture_report();
+    if (options.report_path.has_value())
+    {
+        tel::write_report_json_file(report, *options.report_path);
+        std::fprintf(stderr, "wrote telemetry report %s\n", options.report_path->c_str());
+    }
+    if (options.verbose_telemetry)
+    {
+        tel::write_report_text(report, std::cerr);
+    }
+}
+
+int run(const serve_options& options)
+{
+    svc::layout_store store{options.store_dir};
+    for (const auto& issue : store.open_issues())
+    {
+        std::fprintf(stderr, "store issue [%s] %s: %s\n", res::outcome_kind_name(issue.kind),
+                     issue.label.c_str(), issue.message.c_str());
+    }
+
+    if (options.generate)
+    {
+        svc::populate_options populate{};
+        populate.params.deadline_s = options.deadline_s;
+        populate.params.jobs = options.jobs;
+        if (options.max_attempts.has_value())
+        {
+            populate.params.max_attempts = *options.max_attempts;
+        }
+        const auto report = svc::populate_store(store, selected_entries(options), populate);
+        std::printf("generated: %zu layouts added, %zu failures, %zu combos run, %zu cached combos skipped\n",
+                    report.layouts_added, report.failures_recorded, report.combos_run,
+                    report.cached_combos_skipped);
+        std::fflush(stdout);
+    }
+
+    const auto snapshot = store.load();
+    for (const auto& issue : snapshot.issues)
+    {
+        std::fprintf(stderr, "store issue [%s] %s: %s\n", res::outcome_kind_name(issue.kind),
+                     issue.label.c_str(), issue.message.c_str());
+    }
+
+    if (!options.serve)
+    {
+        std::printf("store %s: %zu networks, %zu layouts, %zu failures\n", options.store_dir.c_str(),
+                    snapshot.catalog.num_networks(), snapshot.catalog.num_layouts(),
+                    snapshot.catalog.num_failures());
+        write_telemetry(options);
+        return 0;
+    }
+
+    const svc::query_engine engine{snapshot.catalog, snapshot.layout_ids};
+    svc::server_options server_options{};
+    server_options.port = options.port;
+    server_options.threads = options.threads;
+    svc::catalog_server server{engine, server_options};
+    server.attach_store(&store);
+    server.start();
+
+    std::printf("serving %zu layouts on http://127.0.0.1:%u\n", snapshot.catalog.num_layouts(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!interrupted.load())
+    {
+        std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    }
+    std::fprintf(stderr, "shutting down ...\n");
+    server.stop();
+    write_telemetry(options);
+    return 0;
+}
+
+}  // namespace
+
+int main(const int argc, const char** argv)
+{
+    const auto options = parse_args(argc, argv);
+    if (options.help)
+    {
+        std::printf("MNT Bench catalog server (reproduction)\n"
+                    "usage: mnt_bench_serve [options]\n"
+                    "  --store <dir>          store root (default mnt_bench_store)\n"
+                    "  --generate             populate the store before serving (incremental:\n"
+                    "                         already-present combinations are skipped)\n"
+                    "  --set <name>           restrict generation to one benchmark set\n"
+                    "  --name <fn>            restrict generation to one function\n"
+                    "  --port <p>             TCP port (default 0 = ephemeral; printed on startup)\n"
+                    "  --threads <n>          server worker threads (default 4)\n"
+                    "  --jobs <n>             portfolio worker threads (default 1)\n"
+                    "  --deadline <seconds>   wall-clock budget per portfolio run\n"
+                    "  --retries <n>          retries per combination for transient failures\n"
+                    "  --no-serve             exit after generation / store inspection\n"
+                    "  --report <file.json>   write a JSON telemetry run report on exit\n"
+                    "  --verbose-telemetry    print the run report as text to stderr\n"
+                    "endpoints: /healthz /benchmarks /layouts /facets /best /download/<id>\n");
+        return 0;
+    }
+    if (options.report_path.has_value() || options.verbose_telemetry)
+    {
+        tel::set_enabled(true);
+    }
+    try
+    {
+        return run(options);
+    }
+    catch (const std::exception& e)
+    {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

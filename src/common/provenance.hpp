@@ -40,4 +40,20 @@ inline constexpr const char* opt_post_layout = "PLO";
     return s;
 }
 
+/// Combination label, e.g. "NPR@USE" or "ortho@ROW+InOrd (SDN)+45°" — the one
+/// formatting rule behind the portfolio's telemetry span names, the failure
+/// manifest's combination column, and the persistent store's cache keys. A
+/// layout's combination label is reconstructible from its provenance fields
+/// alone, which is what makes incremental regeneration possible.
+[[nodiscard]] inline std::string combo_label(const std::string& algorithm, const std::string& clocking,
+                                             const std::vector<std::string>& optimizations)
+{
+    std::string s = algorithm + "@" + clocking;
+    for (const auto& o : optimizations)
+    {
+        s += "+" + o;
+    }
+    return s;
+}
+
 }  // namespace mnt::prov

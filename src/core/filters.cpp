@@ -9,6 +9,18 @@
 namespace mnt::cat
 {
 
+bool canonical_layout_less(const layout_record& a, const layout_record& b)
+{
+    const auto key = [](const layout_record& r)
+    {
+        return std::tuple<const std::string&, const std::string&, std::string, std::uint64_t, std::string,
+                          const std::string&, std::size_t, std::size_t>{
+            r.benchmark_set, r.benchmark_name, gate_library_name(r.library), r.area,
+            r.label(),       r.clocking,       r.num_wires,                  r.num_crossings};
+    };
+    return key(a) < key(b);
+}
+
 std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_query& query)
 {
     const tel::stopwatch watch;
@@ -68,6 +80,11 @@ std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_
             selection.push_back(r);
         }
     }
+
+    // canonical result order (see canonical_layout_less); stable_sort keeps
+    // catalog insertion order as the final tie-break
+    std::stable_sort(selection.begin(), selection.end(),
+                     [](const layout_record* a, const layout_record* b) { return canonical_layout_less(*a, *b); });
 
     if (tel::enabled())
     {

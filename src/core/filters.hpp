@@ -45,11 +45,28 @@ struct filter_query
     bool best_only{false};
 };
 
-/// Applies \p query to the catalog's layout collection.
+/// Canonical deterministic ordering of layout records, used by every result
+/// surface (apply_filter, the service query engine, store round-trips) so
+/// that pages are byte-stable across runs and processes. Records compare by
+///
+///   (benchmark_set, benchmark_name, library name, area, label(), clocking,
+///    num_wires, num_crossings)
+///
+/// in that order, each ascending lexicographically/numerically. Records equal
+/// on the full key keep their relative catalog insertion order (callers sort
+/// with std::stable_sort).
+[[nodiscard]] bool canonical_layout_less(const layout_record& a, const layout_record& b);
+
+/// Applies \p query to the catalog's layout collection. Results are returned
+/// in the canonical order of \ref canonical_layout_less (ties broken by
+/// catalog insertion order), so repeated runs — in the same process or after
+/// a store round-trip — produce byte-identical serializations.
 [[nodiscard]] std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_query& query);
 
 /// Facet histograms over a layout selection — the counts the website shows
-/// next to each filter option.
+/// next to each filter option. The maps are ordered: iteration yields facet
+/// values in ascending lexicographic (byte-wise) order of their names, so
+/// serialized facet blocks are deterministic too.
 struct facet_counts
 {
     std::map<std::string, std::size_t> per_set;

@@ -15,6 +15,10 @@
 #include "verification/wave_simulation.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <iterator>
+#include <thread>
 
 namespace mnt::pd
 {
@@ -27,16 +31,12 @@ using ntk::logic_network;
 
 /// Telemetry span name of one algorithm×clocking×optimization combination,
 /// e.g. "NPR@USE" or "ortho@ROW+InOrd (SDN)+45°". Doubles as the combination
-/// label in combo_outcomes and the failure manifest.
+/// label in combo_outcomes, the failure manifest, and the service layer's
+/// store cache keys — one vocabulary everywhere (see provenance.hpp).
 std::string combo_span_name(const std::string& algorithm, const std::string& clocking,
                             const std::vector<std::string>& optimizations)
 {
-    std::string s = algorithm + "@" + clocking;
-    for (const auto& o : optimizations)
-    {
-        s += "+" + o;
-    }
-    return s;
+    return prov::combo_label(algorithm, clocking, optimizations);
 }
 
 /// Placeable node count after the standard preprocessing (used for tool
@@ -113,6 +113,15 @@ struct combo_context
 template <typename Body>
 void attempt_combo(combo_context& ctx, const std::string& label, Body&& body)
 {
+    // incremental regeneration: a combination whose result already exists in
+    // the caller's store is skipped wholesale (no outcome entry either —
+    // the cached run already recorded one)
+    if (ctx.params.is_cached && ctx.params.is_cached(label))
+    {
+        tel::count("portfolio.cache_hits");
+        return;
+    }
+
     const auto mark = ctx.results.size();
     auto outcome = res::run_guarded(label, ctx.guard,
                                     [&](const std::size_t attempt)
@@ -289,20 +298,6 @@ void attempt_ortho_variant(combo_context& ctx, const bool hexagonal, const bool 
     }
 }
 
-/// The ortho tail shared by both portfolio flavors.
-void attempt_ortho_family(combo_context& ctx, const bool hexagonal)
-{
-    if (!ctx.params.try_ortho)
-    {
-        return;
-    }
-    attempt_ortho_variant(ctx, hexagonal, /*ordered=*/false);
-    if (ctx.params.try_input_ordering && ctx.network.num_pis() > 1)
-    {
-        attempt_ortho_variant(ctx, hexagonal, /*ordered=*/true);
-    }
-}
-
 }  // namespace
 
 std::string layout_result::label() const
@@ -329,7 +324,6 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
     const tel::span top{flavor == portfolio_flavor::cartesian ? "portfolio/cartesian" : "portfolio/hexagonal"};
     const auto network = params.optimize_network ? ntk::optimize(input) : input;
 
-    portfolio_run run{};
     res::guard_params guard{};
     if (params.deadline_s > 0.0)
     {
@@ -338,12 +332,18 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
     guard.retry.max_attempts = std::max<std::size_t>(params.max_attempts, 1);
     guard.retry.backoff_base_s = params.retry_backoff_s;
     guard.retry.seed = params.seed;
-    combo_context ctx{network, params, guard, run.results, run.outcomes};
 
     const auto nodes = placeable_nodes(network);
     const auto exact_applicable = params.try_exact && nodes <= params.exact_max_nodes;
     const auto npr_applicable = params.try_nanoplacer && nodes <= params.nanoplacer_max_nodes;
 
+    // every independent top-level combination (including its follow-up chain,
+    // e.g. NPR → PLO) becomes one task; the task list is the unit of
+    // --jobs parallelism AND the deterministic merge order
+    using combo_task = std::function<void(combo_context&)>;
+    std::vector<combo_task> tasks;
+
+    const auto hexagonal = flavor == portfolio_flavor::hexagonal;
     if (flavor == portfolio_flavor::cartesian)
     {
         for (const auto scheme : params.cartesian_schemes)
@@ -354,7 +354,8 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
             }
             if (exact_applicable)
             {
-                attempt_exact(ctx, lyt::layout_topology::cartesian, scheme);
+                tasks.emplace_back([scheme](combo_context& ctx)
+                                   { attempt_exact(ctx, lyt::layout_topology::cartesian, scheme); });
             }
         }
         for (const auto scheme : params.cartesian_schemes)
@@ -365,7 +366,8 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
             }
             if (npr_applicable)
             {
-                attempt_nanoplacer(ctx, lyt::layout_topology::cartesian, scheme);
+                tasks.emplace_back([scheme](combo_context& ctx)
+                                   { attempt_nanoplacer(ctx, lyt::layout_topology::cartesian, scheme); });
             }
         }
     }
@@ -373,11 +375,15 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
     {
         if (exact_applicable)
         {
-            attempt_exact(ctx, lyt::layout_topology::hexagonal_even_row, lyt::clocking_kind::row);
+            tasks.emplace_back(
+                [](combo_context& ctx)
+                { attempt_exact(ctx, lyt::layout_topology::hexagonal_even_row, lyt::clocking_kind::row); });
         }
         if (npr_applicable)
         {
-            attempt_nanoplacer(ctx, lyt::layout_topology::hexagonal_even_row, lyt::clocking_kind::row);
+            tasks.emplace_back(
+                [](combo_context& ctx)
+                { attempt_nanoplacer(ctx, lyt::layout_topology::hexagonal_even_row, lyt::clocking_kind::row); });
         }
     }
     if (params.try_exact && !exact_applicable)
@@ -388,8 +394,68 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
     {
         tel::count("portfolio.skipped.nanoplacer");
     }
+    if (params.try_ortho)
+    {
+        tasks.emplace_back([hexagonal](combo_context& ctx)
+                           { attempt_ortho_variant(ctx, hexagonal, /*ordered=*/false); });
+        if (params.try_input_ordering && network.num_pis() > 1)
+        {
+            tasks.emplace_back([hexagonal](combo_context& ctx)
+                               { attempt_ortho_variant(ctx, hexagonal, /*ordered=*/true); });
+        }
+    }
 
-    attempt_ortho_family(ctx, flavor == portfolio_flavor::hexagonal);
+    portfolio_run run{};
+    const auto jobs = std::min(std::max<std::size_t>(params.jobs, 1), std::max<std::size_t>(tasks.size(), 1));
+    if (jobs <= 1)
+    {
+        combo_context ctx{network, params, guard, run.results, run.outcomes};
+        for (const auto& task : tasks)
+        {
+            task(ctx);
+        }
+    }
+    else
+    {
+        // each task writes into its own slot; slots are merged in task order
+        // afterwards, so the output is identical to the sequential run
+        struct task_slot
+        {
+            std::vector<layout_result> results;
+            std::vector<res::combo_outcome> outcomes;
+        };
+        std::vector<task_slot> slots(tasks.size());
+        std::atomic<std::size_t> next{0};
+
+        const auto work = [&]
+        {
+            while (true)
+            {
+                const auto i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= tasks.size())
+                {
+                    return;
+                }
+                combo_context ctx{network, params, guard, slots[i].results, slots[i].outcomes};
+                tasks[i](ctx);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t j = 0; j < jobs; ++j)
+        {
+            pool.emplace_back(work);
+        }
+        for (auto& worker : pool)
+        {
+            worker.join();
+        }
+        for (auto& slot : slots)
+        {
+            std::move(slot.results.begin(), slot.results.end(), std::back_inserter(run.results));
+            std::move(slot.outcomes.begin(), slot.outcomes.end(), std::back_inserter(run.outcomes));
+        }
+    }
 
     tel::set_gauge("portfolio.results", static_cast<double>(run.results.size()));
     return run;

@@ -13,6 +13,7 @@
 #include "network/logic_network.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,6 +97,20 @@ struct portfolio_params
     /// Base backoff before a retry in seconds (0 retries immediately, the
     /// right setting for in-process seed-shift retries).
     double retry_backoff_s{0.0};
+
+    /// Incremental-regeneration hook: called with each combination label
+    /// (e.g. "NPR@USE") before the combination runs; returning true skips it
+    /// entirely — no layout, no outcome entry. Wired to the layout store's
+    /// cache keys by the service layer (see mnt::svc::populate_store). Must
+    /// be thread-safe when \ref jobs > 1. Unset = run everything.
+    std::function<bool(const std::string&)> is_cached{};
+
+    /// Worker threads for independent top-level combinations (1 = run
+    /// sequentially on the caller's thread). Results and outcomes are merged
+    /// in deterministic task order, so the output is identical for any job
+    /// count; an optimization follow-up (PLO) stays on its base
+    /// combination's worker.
+    std::size_t jobs{1};
 };
 
 /// The two grid families of the MNT Bench portfolio.

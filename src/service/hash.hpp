@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file hash.hpp
+/// \brief Content hashing for the persistent layout store. Blobs (.fgl / .v
+///        documents) are addressed by the FNV-1a 64-bit hash of their bytes,
+///        rendered as 16 lower-case hex digits. The hash is stable across
+///        platforms and process runs — it is part of the on-disk format and
+///        of every download URL, so it must never change.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mnt::svc
+{
+
+/// FNV-1a 64-bit over \p bytes.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(const std::string_view bytes) noexcept
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : bytes)
+    {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/// Content address of a blob: fnv1a64 as 16 lower-case hex digits.
+[[nodiscard]] inline std::string content_hash(const std::string_view bytes)
+{
+    auto value = fnv1a64(bytes);
+    std::string hex(16, '0');
+    for (std::size_t i = 16; i-- > 0; value >>= 4)
+    {
+        hex[i] = "0123456789abcdef"[value & 0xF];
+    }
+    return hex;
+}
+
+}  // namespace mnt::svc

@@ -1,0 +1,147 @@
+#include "service/populate.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace mnt::svc
+{
+
+namespace
+{
+
+/// Size-class tool budgets, mirroring the Table I policy (exact only on tiny
+/// functions, stochastic placement up to small, scalable heuristics beyond).
+void apply_size_defaults(pd::portfolio_params& params, const bm::size_class size)
+{
+    switch (size)
+    {
+        case bm::size_class::tiny: break;
+        case bm::size_class::small: params.try_exact = false; break;
+        case bm::size_class::medium:
+            params.try_exact = false;
+            params.try_nanoplacer = false;
+            params.input_orderings = 3;
+            break;
+        case bm::size_class::large:
+            params.try_exact = false;
+            params.try_nanoplacer = false;
+            params.input_orderings = 2;
+            params.try_plo = false;
+            break;
+    }
+}
+
+}  // namespace
+
+populate_report populate_store(layout_store& store, const std::vector<bm::benchmark_entry>& entries,
+                               const populate_options& options)
+{
+    MNT_SPAN("populate/store");
+    populate_report report{};
+    // the is_cached hook runs on portfolio worker threads when params.jobs > 1
+    std::atomic<std::size_t> skipped{0};
+    std::atomic<std::size_t> ran{0};
+
+    std::vector<std::pair<cat::gate_library_kind, pd::portfolio_flavor>> libraries;
+    if (options.qca)
+    {
+        libraries.emplace_back(cat::gate_library_kind::qca_one, pd::portfolio_flavor::cartesian);
+    }
+    if (options.bestagon)
+    {
+        libraries.emplace_back(cat::gate_library_kind::bestagon, pd::portfolio_flavor::hexagonal);
+    }
+
+    for (const auto& entry : entries)
+    {
+        const auto network = entry.build();
+        if (!store.has_network(entry.set, entry.name))
+        {
+            store.put_network(entry.set, entry.name, network);
+            ++report.networks_added;
+        }
+
+        auto params = options.params;
+        if (options.use_entry_size_defaults)
+        {
+            apply_size_defaults(params, entry.size);
+        }
+
+        for (const auto& [library, flavor] : libraries)
+        {
+            // incremental regeneration: the portfolio consults the store
+            // before running each combination
+            params.is_cached = [&store, &entry, library = library, &skipped, &ran](const std::string& combo)
+            {
+                if (store.contains(cache_key(entry.set, entry.name, library, combo)))
+                {
+                    skipped.fetch_add(1, std::memory_order_relaxed);
+                    return true;
+                }
+                ran.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            };
+
+            const auto run = pd::generate_portfolio(network, flavor, params);
+
+            for (const auto& r : run.results)
+            {
+                cat::layout_record record{};
+                record.benchmark_set = entry.set;
+                record.benchmark_name = entry.name;
+                record.library = library;
+                record.clocking = r.clocking;
+                record.algorithm = r.algorithm;
+                record.optimizations = r.optimizations;
+                record.runtime = r.runtime;
+                record.layout = r.layout;
+                store.put_layout(record);
+                ++report.layouts_added;
+            }
+            for (const auto& o : run.outcomes)
+            {
+                const auto key = cache_key(entry.set, entry.name, library, o.label);
+                if (o.is_ok())
+                {
+                    // covers completed-without-layout combinations (exact
+                    // finding no solution, PLO yielding no gain), so reruns
+                    // skip them too; layout-producing combos are keyed twice
+                    // harmlessly
+                    if (!store.contains(key))
+                    {
+                        store.mark_completed(key);
+                    }
+                    continue;
+                }
+                cat::failure_record failure{};
+                failure.benchmark_set = entry.set;
+                failure.benchmark_name = entry.name;
+                failure.library = library;
+                failure.combination = o.label;
+                failure.kind = res::outcome_kind_name(o.kind);
+                failure.message = o.message;
+                failure.elapsed_s = o.elapsed_s;
+                failure.attempts = o.attempts;
+                store.put_failure(failure);
+                ++report.failures_recorded;
+            }
+        }
+    }
+
+    report.cached_combos_skipped = skipped.load();
+    report.combos_run = ran.load();
+    store.save();
+
+    if (tel::enabled())
+    {
+        tel::count("populate.runs");
+        tel::count("populate.layouts_added", report.layouts_added);
+        tel::count("populate.cached_combos_skipped", report.cached_combos_skipped);
+        tel::count("populate.combos_run", report.combos_run);
+    }
+    return report;
+}
+
+}  // namespace mnt::svc

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file populate.hpp
+/// \brief Incremental store population: runs the layout-generation portfolio
+///        over benchmark entries and ingests every product into a
+///        \ref layout_store — skipping combinations whose results the store
+///        already holds. This is the glue between generation (PR 2's
+///        resilient portfolio) and serving (the store + query engine): the
+///        CLI, the server's --generate mode and the CI smoke job all
+///        populate through this one function, so cache semantics are
+///        identical everywhere.
+///
+/// Cache semantics:
+///
+/// - A combination is skipped when \ref cache_key(set, name, library, combo)
+///   is already in the store — either as a stored layout or as a
+///   completed-without-layout marker (exact finding no solution, PLO
+///   yielding no gain).
+/// - ok outcomes are always marked completed, so a second run skips every
+///   combination of an already-populated benchmark.
+/// - Failed combinations are recorded as failure provenance but NOT cached:
+///   a rerun retries them.
+
+#include "benchmarks/suites.hpp"
+#include "physical_design/portfolio.hpp"
+#include "service/store.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mnt::svc
+{
+
+/// Configuration of \ref populate_store.
+struct populate_options
+{
+    /// Portfolio configuration (deadline, retries, jobs, tool budgets). The
+    /// is_cached hook is overwritten by populate_store; size-class defaults
+    /// are applied per entry unless \ref use_entry_size_defaults is off.
+    pd::portfolio_params params{};
+
+    /// Apply per-entry size-class tool budgets (the Table I policy: exact
+    /// only for tiny functions, NanoPlaceR for small ones, ...) on top of
+    /// \ref params.
+    bool use_entry_size_defaults{true};
+
+    /// Gate libraries to generate for.
+    bool qca{true};
+    bool bestagon{true};
+};
+
+/// What one populate run did.
+struct populate_report
+{
+    std::size_t networks_added{0};
+    std::size_t layouts_added{0};
+    std::size_t failures_recorded{0};
+    /// Combinations skipped because the store already had their result.
+    std::size_t cached_combos_skipped{0};
+    /// Combinations actually executed.
+    std::size_t combos_run{0};
+};
+
+/// Runs the portfolio for every entry × enabled library, ingests networks,
+/// layouts and failures into \p store and saves the manifest. Combinations
+/// already present in the store are skipped (incremental regeneration).
+///
+/// \throws mnt::mnt_error when the manifest cannot be saved
+populate_report populate_store(layout_store& store, const std::vector<bm::benchmark_entry>& entries,
+                               const populate_options& options = {});
+
+}  // namespace mnt::svc

@@ -1,0 +1,742 @@
+#include "service/query.hpp"
+
+#include "io/fgl_writer.hpp"
+#include "service/hash.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+
+namespace mnt::svc
+{
+
+namespace
+{
+
+/// Posting list of \p value in \p index (empty when the value is unknown).
+const std::vector<std::uint32_t>& lookup(const std::map<std::string, std::vector<std::uint32_t>>& index,
+                                         const std::string& value)
+{
+    const auto found = index.find(value);
+    static const std::vector<std::uint32_t> empty{};
+    return found != index.cend() ? found->second : empty;
+}
+
+/// Union of sorted posting lists (ascending, duplicate-free).
+std::vector<std::uint32_t> postings_union(std::vector<const std::vector<std::uint32_t>*> lists)
+{
+    std::vector<std::uint32_t> merged;
+    for (const auto* list : lists)
+    {
+        std::vector<std::uint32_t> next;
+        next.reserve(merged.size() + list->size());
+        std::set_union(merged.cbegin(), merged.cend(), list->cbegin(), list->cend(), std::back_inserter(next));
+        merged = std::move(next);
+    }
+    return merged;
+}
+
+/// Intersection of two sorted lists.
+std::vector<std::uint32_t> postings_intersection(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b)
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(std::min(a.size(), b.size()));
+    std::set_intersection(a.cbegin(), a.cend(), b.cbegin(), b.cend(), std::back_inserter(out));
+    return out;
+}
+
+std::size_t parse_size(const std::string& text, const char* what)
+{
+    char* end = nullptr;
+    const auto value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+    {
+        throw mnt_error{std::string{"query: invalid "} + what + " '" + text + "'"};
+    }
+    return static_cast<std::size_t>(value);
+}
+
+bool parse_bool(const std::string& text, const char* what)
+{
+    if (text == "1" || text == "true" || text == "on")
+    {
+        return true;
+    }
+    if (text == "0" || text == "false" || text == "off" || text.empty())
+    {
+        return false;
+    }
+    throw mnt_error{std::string{"query: invalid "} + what + " '" + text + "'"};
+}
+
+/// Splits a comma list, dropping empty tokens.
+std::vector<std::string> split_commas(const std::string& text)
+{
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= text.size())
+    {
+        const auto comma = text.find(',', start);
+        const auto end = comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+        {
+            tokens.push_back(text.substr(start, end - start));
+        }
+        if (comma == std::string::npos)
+        {
+            break;
+        }
+        start = comma + 1;
+    }
+    return tokens;
+}
+
+std::vector<std::string> sorted_unique(std::vector<std::string> values)
+{
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    return values;
+}
+
+void append_list(std::string& out, const char* tag, const std::vector<std::string>& values)
+{
+    out += tag;
+    bool first = true;
+    for (const auto& v : sorted_unique(values))
+    {
+        if (!first)
+        {
+            out += ",";
+        }
+        first = false;
+        out += v;
+    }
+}
+
+json_value counts_to_json(const std::map<std::string, std::size_t>& counts)
+{
+    auto object = json_value::make_object();
+    for (const auto& [name, count] : counts)
+    {
+        object.set(name, json_value{static_cast<std::uint64_t>(count)});
+    }
+    return object;
+}
+
+json_value row_to_json(const cat::layout_record& r, const std::string& id)
+{
+    auto row = json_value::make_object();
+    row.set("id", json_value{id});
+    row.set("set", json_value{r.benchmark_set});
+    row.set("name", json_value{r.benchmark_name});
+    row.set("library", json_value{cat::gate_library_name(r.library)});
+    row.set("clocking", json_value{r.clocking});
+    row.set("algorithm", json_value{r.algorithm});
+    auto opts = json_value::make_array();
+    for (const auto& o : r.optimizations)
+    {
+        opts.push_back(json_value{o});
+    }
+    row.set("optimizations", std::move(opts));
+    row.set("label", json_value{r.label()});
+    row.set("width", json_value{std::uint64_t{r.width}});
+    row.set("height", json_value{std::uint64_t{r.height}});
+    row.set("area", json_value{r.area});
+    row.set("gates", json_value{static_cast<std::uint64_t>(r.num_gates)});
+    row.set("wires", json_value{static_cast<std::uint64_t>(r.num_wires)});
+    row.set("crossings", json_value{static_cast<std::uint64_t>(r.num_crossings)});
+    row.set("runtime_s", json_value{r.runtime});
+    return row;
+}
+
+}  // namespace
+
+const char* sort_key_name(const sort_key key) noexcept
+{
+    switch (key)
+    {
+        case sort_key::area: return "area";
+        case sort_key::benchmark: return "benchmark";
+        case sort_key::algorithm: return "algorithm";
+        case sort_key::runtime: return "runtime";
+    }
+    return "area";
+}
+
+sort_key sort_key_from_name(const std::string_view name)
+{
+    if (name == "area")
+    {
+        return sort_key::area;
+    }
+    if (name == "benchmark")
+    {
+        return sort_key::benchmark;
+    }
+    if (name == "algorithm")
+    {
+        return sort_key::algorithm;
+    }
+    if (name == "runtime")
+    {
+        return sort_key::runtime;
+    }
+    throw mnt_error{"query: unknown sort key '" + std::string{name} + "'"};
+}
+
+std::string page_query::cache_key() const
+{
+    std::string key;
+    key += "set=" + (filter.benchmark_set.has_value() ? *filter.benchmark_set : std::string{"*"});
+    key += "|name=" + (filter.benchmark_name.has_value() ? *filter.benchmark_name : std::string{"*"});
+    std::vector<std::string> libraries;
+    for (const auto library : filter.libraries)
+    {
+        libraries.push_back(cat::gate_library_name(library));
+    }
+    append_list(key, "|lib=", libraries);
+    append_list(key, "|clk=", filter.clockings);
+    append_list(key, "|alg=", filter.algorithms);
+    append_list(key, "|opt=", filter.required_optimizations);
+    key += filter.best_only ? "|best=1" : "|best=0";
+    key += std::string{"|sort="} + sort_key_name(sort);
+    key += order == sort_order::ascending ? "|ord=asc" : "|ord=desc";
+    key += "|off=" + std::to_string(offset);
+    key += "|lim=" + std::to_string(std::min(limit, max_limit));
+    key += include_facets ? "|fac=1" : "|fac=0";
+    return key;
+}
+
+page_query page_query::from_json(const json_value& document)
+{
+    page_query query{};
+    for (const auto& [name, value] : document.as_object())
+    {
+        if (name == "set")
+        {
+            query.filter.benchmark_set = value.as_string();
+        }
+        else if (name == "name")
+        {
+            query.filter.benchmark_name = value.as_string();
+        }
+        else if (name == "libraries")
+        {
+            for (const auto& library : value.as_array())
+            {
+                query.filter.libraries.push_back(cat::gate_library_from_name(library.as_string()));
+            }
+        }
+        else if (name == "clockings")
+        {
+            for (const auto& clocking : value.as_array())
+            {
+                query.filter.clockings.push_back(clocking.as_string());
+            }
+        }
+        else if (name == "algorithms")
+        {
+            for (const auto& algorithm : value.as_array())
+            {
+                query.filter.algorithms.push_back(algorithm.as_string());
+            }
+        }
+        else if (name == "optimizations")
+        {
+            for (const auto& optimization : value.as_array())
+            {
+                query.filter.required_optimizations.push_back(optimization.as_string());
+            }
+        }
+        else if (name == "best_only")
+        {
+            query.filter.best_only = value.as_boolean();
+        }
+        else if (name == "sort")
+        {
+            query.sort = sort_key_from_name(value.as_string());
+        }
+        else if (name == "order")
+        {
+            const auto& order = value.as_string();
+            if (order != "asc" && order != "desc")
+            {
+                throw mnt_error{"query: invalid order '" + order + "'"};
+            }
+            query.order = order == "asc" ? sort_order::ascending : sort_order::descending;
+        }
+        else if (name == "offset")
+        {
+            query.offset = static_cast<std::size_t>(value.as_u64());
+        }
+        else if (name == "limit")
+        {
+            query.limit = static_cast<std::size_t>(value.as_u64());
+        }
+        else if (name == "facets")
+        {
+            query.include_facets = value.as_boolean();
+        }
+        else
+        {
+            throw mnt_error{"query: unknown member '" + name + "'"};
+        }
+    }
+    return query;
+}
+
+page_query page_query::from_query_string(const std::string_view query_string)
+{
+    page_query query{};
+    for (const auto& [key, value] : parse_query_string(query_string))
+    {
+        if (key == "set")
+        {
+            query.filter.benchmark_set = value;
+        }
+        else if (key == "name")
+        {
+            query.filter.benchmark_name = value;
+        }
+        else if (key == "library")
+        {
+            for (const auto& library : split_commas(value))
+            {
+                query.filter.libraries.push_back(cat::gate_library_from_name(library));
+            }
+        }
+        else if (key == "clocking")
+        {
+            for (auto& clocking : split_commas(value))
+            {
+                query.filter.clockings.push_back(std::move(clocking));
+            }
+        }
+        else if (key == "algorithm")
+        {
+            for (auto& algorithm : split_commas(value))
+            {
+                query.filter.algorithms.push_back(std::move(algorithm));
+            }
+        }
+        else if (key == "opt")
+        {
+            for (auto& optimization : split_commas(value))
+            {
+                query.filter.required_optimizations.push_back(std::move(optimization));
+            }
+        }
+        else if (key == "best")
+        {
+            query.filter.best_only = parse_bool(value, "best");
+        }
+        else if (key == "sort")
+        {
+            query.sort = sort_key_from_name(value);
+        }
+        else if (key == "order")
+        {
+            if (value != "asc" && value != "desc")
+            {
+                throw mnt_error{"query: invalid order '" + value + "'"};
+            }
+            query.order = value == "asc" ? sort_order::ascending : sort_order::descending;
+        }
+        else if (key == "offset")
+        {
+            query.offset = parse_size(value, "offset");
+        }
+        else if (key == "limit")
+        {
+            query.limit = parse_size(value, "limit");
+        }
+        else if (key == "facets")
+        {
+            query.include_facets = parse_bool(value, "facets");
+        }
+        else
+        {
+            throw mnt_error{"query: unknown parameter '" + key + "'"};
+        }
+    }
+    return query;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query_string(const std::string_view query_string)
+{
+    const auto decode = [](const std::string_view raw)
+    {
+        std::string out;
+        out.reserve(raw.size());
+        for (std::size_t i = 0; i < raw.size(); ++i)
+        {
+            const char c = raw[i];
+            if (c == '+')
+            {
+                out.push_back(' ');
+            }
+            else if (c == '%')
+            {
+                const auto hex = [&](const char h) -> int
+                {
+                    if (h >= '0' && h <= '9')
+                    {
+                        return h - '0';
+                    }
+                    if (h >= 'a' && h <= 'f')
+                    {
+                        return h - 'a' + 10;
+                    }
+                    if (h >= 'A' && h <= 'F')
+                    {
+                        return h - 'A' + 10;
+                    }
+                    return -1;
+                };
+                if (i + 2 >= raw.size() || hex(raw[i + 1]) < 0 || hex(raw[i + 2]) < 0)
+                {
+                    throw mnt_error{"query: malformed percent-encoding"};
+                }
+                out.push_back(static_cast<char>((hex(raw[i + 1]) << 4) | hex(raw[i + 2])));
+                i += 2;
+            }
+            else
+            {
+                out.push_back(c);
+            }
+        }
+        return out;
+    };
+
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::size_t start = 0;
+    while (start < query_string.size())
+    {
+        auto amp = query_string.find('&', start);
+        if (amp == std::string_view::npos)
+        {
+            amp = query_string.size();
+        }
+        const auto pair = query_string.substr(start, amp - start);
+        if (!pair.empty())
+        {
+            const auto eq = pair.find('=');
+            if (eq == std::string_view::npos)
+            {
+                pairs.emplace_back(decode(pair), std::string{});
+            }
+            else
+            {
+                pairs.emplace_back(decode(pair.substr(0, eq)), decode(pair.substr(eq + 1)));
+            }
+        }
+        start = amp + 1;
+    }
+    return pairs;
+}
+
+query_engine::query_engine(const cat::catalog& cat, std::vector<std::string> ids) :
+        cat_ref{cat},
+        layout_ids{std::move(ids)}
+{
+    const tel::stopwatch watch;
+    const auto& records = cat.layouts();
+    const auto n = records.size();
+
+    if (layout_ids.size() != n)
+    {
+        layout_ids.clear();
+        layout_ids.reserve(n);
+        for (const auto& r : records)
+        {
+            layout_ids.push_back(content_hash(io::write_fgl_string(r.layout)));
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        id_index.emplace(layout_ids[i], i);  // first occurrence wins
+    }
+
+    for (std::uint32_t i = 0; i < n; ++i)
+    {
+        const auto& r = records[i];
+        by_set[r.benchmark_set].push_back(i);
+        by_name[r.benchmark_name].push_back(i);
+        by_clocking[r.clocking].push_back(i);
+        by_algorithm[r.algorithm].push_back(i);
+        by_library[static_cast<std::size_t>(r.library)].push_back(i);
+        for (const auto& opt : r.optimizations)
+        {
+            auto& postings = by_optimization[opt];
+            if (postings.empty() || postings.back() != i)  // dedupe repeated tags
+            {
+                postings.push_back(i);
+            }
+        }
+    }
+
+    // canonical_rank: position of each record in the canonical total order
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+    {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const std::uint32_t a, const std::uint32_t b)
+                     { return cat::canonical_layout_less(records[a], records[b]); });
+    canonical_rank.resize(n);
+    for (std::uint32_t position = 0; position < n; ++position)
+    {
+        canonical_rank[order[position]] = position;
+    }
+
+    if (tel::enabled())
+    {
+        tel::count("query.engine_builds");
+        tel::observe("query.engine_build_s", watch.seconds());
+        tel::set_gauge("query.indexed_layouts", static_cast<double>(n));
+    }
+}
+
+const cat::layout_record& query_engine::record(const std::uint32_t index) const
+{
+    return cat_ref.layouts()[index];
+}
+
+std::vector<const cat::layout_record*> query_engine::filter(const cat::filter_query& query) const
+{
+    const tel::stopwatch watch;
+    const auto n = static_cast<std::uint32_t>(cat_ref.layouts().size());
+
+    // gather one sorted posting list per active constraint
+    std::vector<posting_list> constraints;
+    if (query.benchmark_set.has_value())
+    {
+        constraints.push_back(lookup(by_set, *query.benchmark_set));
+    }
+    if (query.benchmark_name.has_value())
+    {
+        constraints.push_back(lookup(by_name, *query.benchmark_name));
+    }
+    if (!query.libraries.empty())
+    {
+        std::vector<const posting_list*> lists;
+        bool seen[2] = {false, false};
+        for (const auto library : query.libraries)
+        {
+            const auto slot = static_cast<std::size_t>(library);
+            if (!seen[slot])
+            {
+                seen[slot] = true;
+                lists.push_back(&by_library[slot]);
+            }
+        }
+        constraints.push_back(postings_union(std::move(lists)));
+    }
+    const auto union_constraint = [&](const std::map<std::string, posting_list>& index,
+                                      const std::vector<std::string>& values)
+    {
+        std::vector<const posting_list*> lists;
+        for (const auto& value : values)
+        {
+            lists.push_back(&lookup(index, value));
+        }
+        constraints.push_back(postings_union(std::move(lists)));
+    };
+    if (!query.clockings.empty())
+    {
+        union_constraint(by_clocking, query.clockings);
+    }
+    if (!query.algorithms.empty())
+    {
+        union_constraint(by_algorithm, query.algorithms);
+    }
+    for (const auto& opt : query.required_optimizations)
+    {
+        constraints.push_back(lookup(by_optimization, opt));
+    }
+
+    // intersect smallest-first to keep intermediate results minimal
+    posting_list candidates;
+    if (constraints.empty())
+    {
+        candidates.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+        {
+            candidates[i] = i;
+        }
+    }
+    else
+    {
+        std::sort(constraints.begin(), constraints.end(),
+                  [](const posting_list& a, const posting_list& b) { return a.size() < b.size(); });
+        candidates = constraints.front();
+        for (std::size_t i = 1; i < constraints.size() && !candidates.empty(); ++i)
+        {
+            candidates = postings_intersection(candidates, constraints[i]);
+        }
+    }
+
+    if (query.best_only)
+    {
+        // identical selection rule to apply_filter: first area-minimal (ties:
+        // fewer wires) record per (set, name, library) in insertion order
+        std::map<std::tuple<std::string, std::string, cat::gate_library_kind>, std::uint32_t> best;
+        for (const auto i : candidates)
+        {
+            const auto& r = record(i);
+            const auto slot = best.find({r.benchmark_set, r.benchmark_name, r.library});
+            if (slot == best.cend())
+            {
+                best.emplace(std::make_tuple(r.benchmark_set, r.benchmark_name, r.library), i);
+                continue;
+            }
+            const auto& current = record(slot->second);
+            if (r.area < current.area || (r.area == current.area && r.num_wires < current.num_wires))
+            {
+                slot->second = i;
+            }
+        }
+        candidates.clear();
+        for (const auto& [key, i] : best)
+        {
+            candidates.push_back(i);
+        }
+        std::sort(candidates.begin(), candidates.end());
+    }
+
+    // canonical result order (ranks are unique, so plain sort is stable here)
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const std::uint32_t a, const std::uint32_t b) { return canonical_rank[a] < canonical_rank[b]; });
+
+    std::vector<const cat::layout_record*> selection;
+    selection.reserve(candidates.size());
+    for (const auto i : candidates)
+    {
+        selection.push_back(&record(i));
+    }
+
+    if (tel::enabled())
+    {
+        tel::count("query.filters");
+        tel::count("query.filter_hits", selection.size());
+        tel::observe("query.filter_s", watch.seconds());
+    }
+    return selection;
+}
+
+result_page query_engine::run(const page_query& query) const
+{
+    MNT_SPAN("query/run");
+    result_page page{};
+    auto selection = filter(query.filter);
+    page.total = selection.size();
+    page.offset = query.offset;
+
+    if (query.include_facets)
+    {
+        page.facets = cat::compute_facets(selection);
+    }
+
+    // the requested sort key, canonical order as tie-break (selection is
+    // already canonical, so a stable sort by the primary key alone suffices)
+    const auto ascending = query.order == sort_order::ascending;
+    const auto primary = [&](const cat::layout_record* a, const cat::layout_record* b)
+    {
+        switch (query.sort)
+        {
+            case sort_key::area: return ascending ? a->area < b->area : b->area < a->area;
+            case sort_key::benchmark:
+            {
+                const auto ka = std::tie(a->benchmark_set, a->benchmark_name);
+                const auto kb = std::tie(b->benchmark_set, b->benchmark_name);
+                return ascending ? ka < kb : kb < ka;
+            }
+            case sort_key::algorithm:
+            {
+                const auto la = a->label();
+                const auto lb = b->label();
+                return ascending ? la < lb : lb < la;
+            }
+            case sort_key::runtime: return ascending ? a->runtime < b->runtime : b->runtime < a->runtime;
+        }
+        return false;
+    };
+    std::stable_sort(selection.begin(), selection.end(), primary);
+
+    const auto limit = std::min(query.limit, page_query::max_limit);
+    const auto first = std::min(query.offset, selection.size());
+    const auto last = std::min(first + limit, selection.size());
+    page.rows.assign(selection.cbegin() + static_cast<std::ptrdiff_t>(first),
+                     selection.cbegin() + static_cast<std::ptrdiff_t>(last));
+    page.ids.reserve(page.rows.size());
+    const auto* base = cat_ref.layouts().data();
+    for (const auto* row : page.rows)
+    {
+        page.ids.push_back(layout_ids[static_cast<std::size_t>(row - base)]);
+    }
+    tel::count("query.pages");
+    return page;
+}
+
+const std::string& query_engine::id_of(const std::size_t index) const
+{
+    return layout_ids.at(index);
+}
+
+std::optional<std::size_t> query_engine::index_of(const std::string& id) const
+{
+    const auto found = id_index.find(id);
+    if (found == id_index.cend())
+    {
+        return std::nullopt;
+    }
+    return found->second;
+}
+
+const cat::catalog& query_engine::catalog() const noexcept
+{
+    return cat_ref;
+}
+
+std::size_t query_engine::num_index_terms() const noexcept
+{
+    return by_set.size() + by_name.size() + by_clocking.size() + by_algorithm.size() + by_optimization.size() + 2;
+}
+
+json_value page_to_json(const result_page& page)
+{
+    auto document = json_value::make_object();
+    document.set("total", json_value{static_cast<std::uint64_t>(page.total)});
+    document.set("offset", json_value{static_cast<std::uint64_t>(page.offset)});
+    document.set("count", json_value{static_cast<std::uint64_t>(page.rows.size())});
+    auto rows = json_value::make_array();
+    for (std::size_t i = 0; i < page.rows.size(); ++i)
+    {
+        rows.push_back(row_to_json(*page.rows[i], page.ids[i]));
+    }
+    document.set("results", std::move(rows));
+    const auto has_facets = !page.facets.per_set.empty() || !page.facets.per_library.empty() ||
+                            !page.facets.per_clocking.empty() || !page.facets.per_algorithm.empty() ||
+                            !page.facets.per_optimization.empty();
+    if (has_facets || page.total == 0)
+    {
+        auto facets = json_value::make_object();
+        facets.set("sets", counts_to_json(page.facets.per_set));
+        facets.set("libraries", counts_to_json(page.facets.per_library));
+        facets.set("clockings", counts_to_json(page.facets.per_clocking));
+        facets.set("algorithms", counts_to_json(page.facets.per_algorithm));
+        facets.set("optimizations", counts_to_json(page.facets.per_optimization));
+        document.set("facets", std::move(facets));
+    }
+    return document;
+}
+
+std::string page_json_string(const result_page& page)
+{
+    return page_to_json(page).dump();
+}
+
+}  // namespace mnt::svc

@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file query.hpp
+/// \brief Indexed query engine over the catalog — the part of the MNT Bench
+///        platform that answers the website's Figure 1 facet queries at
+///        serving scale. Where core/filters.cpp scans every record per
+///        query, the engine builds inverted facet indexes (facet value →
+///        sorted posting list of record indexes) once at load time and
+///        answers queries by posting-list unions and intersections, then
+///        adds pagination, sorting and facet histograms on top.
+///
+/// Result semantics are identical to \ref mnt::cat::apply_filter by
+/// construction (and by test): same records, same canonical order
+/// (\ref mnt::cat::canonical_layout_less). The engine additionally assigns
+/// every layout a stable content-derived id — the download key of the HTTP
+/// server — either taken from the store snapshot or computed from the
+/// layout's canonical .fgl serialization (the two agree by definition of
+/// the store's content addressing).
+///
+/// A small JSON wire format covers queries (`page_query::from_json`, query
+/// strings via `page_query::from_query_string`) and result pages
+/// (`page_to_json`).
+
+#include "core/catalog.hpp"
+#include "core/filters.hpp"
+#include "service/json.hpp"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::svc
+{
+
+/// Sort key of a result page. Every key uses the canonical order as the
+/// final tie-break, so pages are deterministic for any key.
+enum class sort_key : std::uint8_t
+{
+    area,       ///< ascending layout area (the website's default)
+    benchmark,  ///< (set, name)
+    algorithm,  ///< combined algorithm label
+    runtime     ///< generation runtime
+};
+
+enum class sort_order : std::uint8_t
+{
+    ascending,
+    descending
+};
+
+[[nodiscard]] const char* sort_key_name(sort_key key) noexcept;
+[[nodiscard]] sort_key sort_key_from_name(std::string_view name);
+
+/// One page request: a facet filter plus sorting and pagination.
+struct page_query
+{
+    /// Hard cap on the page size; larger limits are clamped.
+    static constexpr std::size_t max_limit = 500;
+
+    cat::filter_query filter;
+    sort_key sort{sort_key::area};
+    sort_order order{sort_order::ascending};
+    std::size_t offset{0};
+    /// Rows per page; 0 means "metadata only" (total + facets, no rows).
+    std::size_t limit{50};
+    bool include_facets{true};
+
+    /// Canonical normalized key of this query (vectors sorted + deduped) —
+    /// the response-cache key. Two queries with the same semantics have the
+    /// same key regardless of how they were written.
+    [[nodiscard]] std::string cache_key() const;
+
+    /// Parses the JSON body format:
+    ///
+    /// \code{.json}
+    /// {"set": "Trindade16", "name": "2:1 MUX",
+    ///  "libraries": ["QCA ONE"], "clockings": ["USE"],
+    ///  "algorithms": ["exact"], "optimizations": ["PLO"],
+    ///  "best_only": false, "sort": "area", "order": "asc",
+    ///  "offset": 0, "limit": 50, "facets": true}
+    /// \endcode
+    ///
+    /// All members are optional; unknown members raise.
+    ///
+    /// \throws mnt::mnt_error on unknown members or invalid values
+    [[nodiscard]] static page_query from_json(const json_value& document);
+
+    /// Parses an URL query string (`set=...&library=A,B&sort=area&...`).
+    /// Keys: set, name, library, clocking, algorithm, opt, best, sort,
+    /// order, offset, limit, facets. Multi-value facets accept both comma
+    /// lists and repeated keys. %XX and '+' decoding applied.
+    ///
+    /// \throws mnt::mnt_error on unknown keys or invalid values
+    [[nodiscard]] static page_query from_query_string(std::string_view query_string);
+};
+
+/// One result page.
+struct result_page
+{
+    /// Matches before pagination.
+    std::size_t total{0};
+    std::size_t offset{0};
+    /// The page's rows, in requested sort order.
+    std::vector<const cat::layout_record*> rows;
+    /// Download id of rows[i].
+    std::vector<std::string> ids;
+    /// Facet histograms over ALL matches (empty when not requested).
+    cat::facet_counts facets;
+};
+
+/// The engine. Holds a reference to the catalog: the catalog must outlive
+/// the engine and stay unmodified (the serving pipeline loads the catalog
+/// once and never mutates it while queries run — immutability is what makes
+/// the server's lock-free read path safe).
+class query_engine
+{
+public:
+    /// Builds the indexes. \p ids supplies the content hash per layout
+    /// (parallel to cat.layouts(), e.g. from a store snapshot); when empty,
+    /// ids are computed from each layout's .fgl serialization.
+    explicit query_engine(const cat::catalog& cat, std::vector<std::string> ids = {});
+
+    /// Answers \p query via the indexes. Result records and order are
+    /// identical to \ref mnt::cat::apply_filter on the same catalog.
+    [[nodiscard]] std::vector<const cat::layout_record*> filter(const cat::filter_query& query) const;
+
+    /// Runs the full page pipeline: filter → facets → sort → paginate.
+    [[nodiscard]] result_page run(const page_query& query) const;
+
+    /// Download id of catalog.layouts()[index].
+    [[nodiscard]] const std::string& id_of(std::size_t index) const;
+
+    /// Index of the layout with download id \p id.
+    [[nodiscard]] std::optional<std::size_t> index_of(const std::string& id) const;
+
+    [[nodiscard]] const cat::catalog& catalog() const noexcept;
+
+    /// Number of distinct posting lists across all facet indexes
+    /// (diagnostics).
+    [[nodiscard]] std::size_t num_index_terms() const noexcept;
+
+private:
+    using posting_list = std::vector<std::uint32_t>;
+
+    [[nodiscard]] const cat::layout_record& record(std::uint32_t index) const;
+
+    const cat::catalog& cat_ref;
+    std::vector<std::string> layout_ids;
+    std::unordered_map<std::string, std::size_t> id_index;
+
+    std::map<std::string, posting_list> by_set;
+    std::map<std::string, posting_list> by_name;
+    std::map<std::string, posting_list> by_clocking;
+    std::map<std::string, posting_list> by_algorithm;
+    std::map<std::string, posting_list> by_optimization;
+    std::array<posting_list, 2> by_library;  ///< indexed by gate_library_kind
+
+    /// canonical_rank[i] = position of record i in canonical order.
+    std::vector<std::uint32_t> canonical_rank;
+};
+
+/// Serializes a result page:
+///
+/// \code{.json}
+/// {"total": 12, "offset": 0, "count": 10,
+///  "results": [ {"id": "91a...", "set": ..., "name": ..., "library": ...,
+///                "clocking": ..., "algorithm": ..., "optimizations": [...],
+///                "label": ..., "width": w, "height": h, "area": a,
+///                "gates": g, "wires": w, "crossings": c,
+///                "runtime_s": t}, ... ],
+///  "facets": {"sets": {...}, "libraries": {...}, "clockings": {...},
+///             "algorithms": {...}, "optimizations": {...}}}
+/// \endcode
+///
+/// The "facets" member is present only when the page carries facets.
+[[nodiscard]] json_value page_to_json(const result_page& page);
+
+/// Convenience: page JSON as a string.
+[[nodiscard]] std::string page_json_string(const result_page& page);
+
+/// Decodes an URL query string into (key, value) pairs, %XX- and
+/// '+'-decoded, in input order.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> parse_query_string(std::string_view query_string);
+
+}  // namespace mnt::svc

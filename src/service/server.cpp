@@ -1,0 +1,560 @@
+#include "service/server.hpp"
+
+#include "io/fgl_writer.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace mnt::svc
+{
+
+namespace
+{
+
+const char* status_text(const int status) noexcept
+{
+    switch (status)
+    {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 413: return "Payload Too Large";
+        case 500: return "Internal Server Error";
+    }
+    return "Status";
+}
+
+http_response error_response(const int status, const std::string& message)
+{
+    auto error = json_value::make_object();
+    error.set("status", json_value{static_cast<std::uint64_t>(status)});
+    error.set("message", json_value{message});
+    auto document = json_value::make_object();
+    document.set("error", std::move(error));
+    return http_response{status, "application/json", document.dump()};
+}
+
+/// Sends the whole buffer, honoring SO_SNDTIMEO; returns false on error.
+bool send_all(const int fd, const std::string& bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size())
+    {
+        const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+        if (n <= 0)
+        {
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void set_socket_timeout(const int fd, const double seconds)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+[[nodiscard]] bool iequals(const std::string_view a, const std::string_view b) noexcept
+{
+    if (a.size() != b.size())
+    {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i)
+    {
+        const auto la = a[i] >= 'A' && a[i] <= 'Z' ? static_cast<char>(a[i] + 32) : a[i];
+        const auto lb = b[i] >= 'A' && b[i] <= 'Z' ? static_cast<char>(b[i] + 32) : b[i];
+        if (la != lb)
+        {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Outcome of reading one request off a connection.
+struct read_result
+{
+    bool ok{false};
+    bool too_large{false};
+    bool malformed{false};
+    http_request request;
+};
+
+read_result read_request(const int fd, const std::size_t max_bytes)
+{
+    read_result result{};
+    std::string data;
+    char buffer[4096];
+
+    std::size_t header_end = std::string::npos;
+    while ((header_end = data.find("\r\n\r\n")) == std::string::npos)
+    {
+        if (data.size() > max_bytes)
+        {
+            result.too_large = true;
+            return result;
+        }
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+        {
+            result.malformed = !data.empty();
+            return result;
+        }
+        data.append(buffer, static_cast<std::size_t>(n));
+    }
+
+    // request line: METHOD SP target SP HTTP/1.x
+    const auto line_end = data.find("\r\n");
+    const auto line = data.substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.find(' ', sp1 == std::string::npos ? std::string::npos : sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos || line.compare(sp2 + 1, 7, "HTTP/1.") != 0)
+    {
+        result.malformed = true;
+        return result;
+    }
+    result.request.method = line.substr(0, sp1);
+    const auto target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto question = target.find('?');
+    result.request.path = target.substr(0, question);
+    if (question != std::string::npos)
+    {
+        result.request.query = target.substr(question + 1);
+    }
+
+    // headers: only Content-Length matters to this server
+    std::size_t content_length = 0;
+    std::size_t pos = line_end + 2;
+    while (pos < header_end)
+    {
+        const auto eol = data.find("\r\n", pos);
+        const auto header = data.substr(pos, eol - pos);
+        const auto colon = header.find(':');
+        if (colon != std::string::npos && iequals(header.substr(0, colon), "content-length"))
+        {
+            const auto value = header.substr(colon + 1);
+            content_length = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+        }
+        pos = eol + 2;
+    }
+
+    if (header_end + 4 + content_length > max_bytes)
+    {
+        result.too_large = true;
+        return result;
+    }
+    result.request.body = data.substr(header_end + 4);
+    while (result.request.body.size() < content_length)
+    {
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+        {
+            result.malformed = true;
+            return result;
+        }
+        result.request.body.append(buffer, static_cast<std::size_t>(n));
+    }
+    result.request.body.resize(std::min(result.request.body.size(), content_length));
+    result.ok = true;
+    return result;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ response_cache
+
+response_cache::response_cache(const std::size_t capacity) : capacity{capacity} {}
+
+std::optional<std::string> response_cache::get(const std::string& key)
+{
+    const std::scoped_lock lock{mutex};
+    const auto found = index.find(key);
+    if (found == index.cend())
+    {
+        return std::nullopt;
+    }
+    entries.splice(entries.begin(), entries, found->second);
+    return found->second->second;
+}
+
+void response_cache::put(const std::string& key, const std::string& body)
+{
+    if (capacity == 0)
+    {
+        return;
+    }
+    const std::scoped_lock lock{mutex};
+    const auto found = index.find(key);
+    if (found != index.cend())
+    {
+        found->second->second = body;
+        entries.splice(entries.begin(), entries, found->second);
+        return;
+    }
+    entries.emplace_front(key, body);
+    index.emplace(key, entries.begin());
+    while (entries.size() > capacity)
+    {
+        index.erase(entries.back().first);
+        entries.pop_back();
+    }
+}
+
+std::size_t response_cache::size() const
+{
+    const std::scoped_lock lock{mutex};
+    return entries.size();
+}
+
+// ------------------------------------------------------------ catalog_server
+
+catalog_server::catalog_server(const query_engine& engine, server_options options) :
+        engine{engine},
+        options{std::move(options)},
+        cache{this->options.cache_capacity}
+{}
+
+void catalog_server::attach_store(const layout_store* store) noexcept
+{
+    this->store = store;
+}
+
+void catalog_server::start()
+{
+    if (active.load())
+    {
+        throw mnt_error{"server: already running"};
+    }
+    stopping.store(false);
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+    {
+        throw mnt_error{std::string{"server: socket(): "} + std::strerror(errno)};
+    }
+    const int enable = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1)
+    {
+        ::close(listen_fd);
+        listen_fd = -1;
+        throw mnt_error{"server: invalid bind address '" + options.host + "'"};
+    }
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0)
+    {
+        const auto detail = std::string{std::strerror(errno)};
+        ::close(listen_fd);
+        listen_fd = -1;
+        throw mnt_error{"server: bind(" + options.host + ":" + std::to_string(options.port) + "): " + detail};
+    }
+    socklen_t length = sizeof(address);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&address), &length);
+    bound_port = ntohs(address.sin_port);
+    if (::listen(listen_fd, 64) != 0)
+    {
+        const auto detail = std::string{std::strerror(errno)};
+        ::close(listen_fd);
+        listen_fd = -1;
+        throw mnt_error{std::string{"server: listen(): "} + detail};
+    }
+
+    active.store(true);
+    acceptor = std::thread{[this] { accept_loop(); }};
+    const auto num_workers = std::max<std::size_t>(1, options.threads);
+    workers.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i)
+    {
+        workers.emplace_back([this] { worker_loop(); });
+    }
+    tel::set_gauge("server.workers", static_cast<double>(num_workers));
+}
+
+void catalog_server::stop()
+{
+    stopping.store(true);
+    queue_ready.notify_all();
+    if (acceptor.joinable())
+    {
+        acceptor.join();
+    }
+    for (auto& worker : workers)
+    {
+        if (worker.joinable())
+        {
+            worker.join();
+        }
+    }
+    workers.clear();
+    if (listen_fd >= 0)
+    {
+        ::close(listen_fd);
+        listen_fd = -1;
+    }
+    active.store(false);
+}
+
+catalog_server::~catalog_server()
+{
+    stop();
+}
+
+std::uint16_t catalog_server::port() const noexcept
+{
+    return bound_port;
+}
+
+bool catalog_server::running() const noexcept
+{
+    return active.load();
+}
+
+void catalog_server::accept_loop()
+{
+    while (!stopping.load())
+    {
+        pollfd poller{listen_fd, POLLIN, 0};
+        const auto ready = ::poll(&poller, 1, 200);  // finite timeout so stop() is noticed promptly
+        if (ready <= 0)
+        {
+            continue;
+        }
+        const auto fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+        {
+            continue;
+        }
+        tel::count("server.connections");
+        {
+            const std::scoped_lock lock{queue_mutex};
+            pending.push_back(fd);
+        }
+        queue_ready.notify_one();
+    }
+}
+
+void catalog_server::worker_loop()
+{
+    while (true)
+    {
+        int fd = -1;
+        {
+            std::unique_lock lock{queue_mutex};
+            queue_ready.wait(lock, [this] { return stopping.load() || !pending.empty(); });
+            if (pending.empty())
+            {
+                return;  // stopping and fully drained
+            }
+            fd = pending.front();
+            pending.pop_front();
+        }
+        serve_connection(fd);
+    }
+}
+
+void catalog_server::serve_connection(const int fd)
+{
+    set_socket_timeout(fd, options.request_deadline_s);
+    const auto deadline = res::deadline_clock::after(options.request_deadline_s);
+
+    const auto incoming = read_request(fd, options.max_request_bytes);
+    http_response response;
+    if (incoming.ok)
+    {
+        response = handle(incoming.request, deadline);
+    }
+    else if (incoming.too_large)
+    {
+        response = error_response(413, "request exceeds the size limit");
+    }
+    else if (incoming.malformed)
+    {
+        response = error_response(400, "malformed HTTP request");
+    }
+    else
+    {
+        ::close(fd);  // the peer connected and left without sending anything
+        return;
+    }
+
+    std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " + status_text(response.status) + "\r\n";
+    head += "Content-Type: " + response.content_type + "\r\n";
+    head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (send_all(fd, head))
+    {
+        send_all(fd, response.body);
+    }
+    ::close(fd);
+}
+
+http_response catalog_server::handle(const http_request& request, const res::deadline_clock& deadline)
+{
+    MNT_SPAN("server/request");
+    const tel::stopwatch watch;
+    tel::count("server.requests");
+
+    http_response response;
+    try
+    {
+        response = route(request, deadline);
+    }
+    catch (const res::deadline_exceeded& e)
+    {
+        response = error_response(408, e.what());
+    }
+    catch (const mnt_error& e)
+    {
+        response = error_response(400, e.what());
+    }
+    catch (const std::exception& e)
+    {
+        response = error_response(500, e.what());
+    }
+
+    if (tel::enabled())
+    {
+        tel::count("server.responses." + std::to_string(response.status));
+        tel::observe("server.request_s", watch.seconds());
+    }
+    return response;
+}
+
+http_response catalog_server::route(const http_request& request, const res::deadline_clock& deadline)
+{
+    deadline.throw_if_expired("server/route");
+
+    if (request.method != "GET" && request.method != "POST")
+    {
+        return error_response(405, "method not allowed: " + request.method);
+    }
+
+    if (request.path == "/healthz")
+    {
+        auto document = json_value::make_object();
+        document.set("status", json_value{std::string{"ok"}});
+        document.set("layouts", json_value{static_cast<std::uint64_t>(engine.catalog().num_layouts())});
+        return http_response{200, "application/json", document.dump()};
+    }
+    if (request.path == "/benchmarks")
+    {
+        return benchmarks_response();
+    }
+    if (request.path == "/layouts")
+    {
+        const auto query = request.method == "POST" ?
+                               page_query::from_json(json_value::parse(request.body)) :
+                               page_query::from_query_string(request.query);
+        deadline.throw_if_expired("server/layouts");
+        return page_response(query);
+    }
+    if (request.path == "/facets")
+    {
+        auto query = page_query::from_query_string(request.query);
+        query.limit = 0;
+        query.include_facets = true;
+        deadline.throw_if_expired("server/facets");
+        return page_response(query);
+    }
+    if (request.path == "/best")
+    {
+        auto query = page_query::from_query_string(request.query);
+        query.filter.best_only = true;
+        deadline.throw_if_expired("server/best");
+        return page_response(query);
+    }
+    if (request.path.rfind("/download/", 0) == 0)
+    {
+        if (request.method != "GET")
+        {
+            return error_response(405, "downloads are GET-only");
+        }
+        return download_response(request.path.substr(10));
+    }
+    return error_response(404, "no such route: " + request.path);
+}
+
+http_response catalog_server::page_response(const page_query& query)
+{
+    const auto key = query.cache_key();
+    if (auto cached = cache.get(key); cached.has_value())
+    {
+        tel::count("server.cache_hits");
+        return http_response{200, "application/json", std::move(*cached)};
+    }
+    tel::count("server.cache_misses");
+    auto body = page_json_string(engine.run(query));
+    cache.put(key, body);
+    return http_response{200, "application/json", std::move(body)};
+}
+
+http_response catalog_server::benchmarks_response()
+{
+    const auto& cat = engine.catalog();
+    std::map<std::pair<std::string, std::string>, std::size_t> layout_counts;
+    for (const auto& r : cat.layouts())
+    {
+        ++layout_counts[{r.benchmark_set, r.benchmark_name}];
+    }
+
+    auto rows = json_value::make_array();
+    for (const auto& n : cat.networks())
+    {
+        auto row = json_value::make_object();
+        row.set("set", json_value{n.benchmark_set});
+        row.set("name", json_value{n.benchmark_name});
+        row.set("inputs", json_value{static_cast<std::uint64_t>(n.num_pis)});
+        row.set("outputs", json_value{static_cast<std::uint64_t>(n.num_pos)});
+        row.set("gates", json_value{static_cast<std::uint64_t>(n.num_gates)});
+        const auto found = layout_counts.find({n.benchmark_set, n.benchmark_name});
+        row.set("layouts", json_value{static_cast<std::uint64_t>(found != layout_counts.cend() ? found->second : 0)});
+        rows.push_back(std::move(row));
+    }
+    auto document = json_value::make_object();
+    document.set("count", json_value{static_cast<std::uint64_t>(cat.num_networks())});
+    document.set("benchmarks", std::move(rows));
+    return http_response{200, "application/json", document.dump()};
+}
+
+http_response catalog_server::download_response(const std::string& id)
+{
+    if (store != nullptr)
+    {
+        if (const auto path = store->blob_path(id); path.has_value())
+        {
+            tel::count("server.downloads");
+            return http_response{200, "application/xml", read_file(*path)};
+        }
+    }
+    if (const auto index = engine.index_of(id); index.has_value())
+    {
+        tel::count("server.downloads");
+        return http_response{200, "application/xml",
+                             io::write_fgl_string(engine.catalog().layouts()[*index].layout)};
+    }
+    return error_response(404, "no layout with id '" + id + "'");
+}
+
+}  // namespace mnt::svc

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file server.hpp
+/// \brief Minimal HTTP/1.1 catalog server over POSIX sockets — the serving
+///        half of the MNT Bench platform. A fixed worker-thread pool answers
+///        the website's Figure 1 queries from the \ref query_engine, streams
+///        stored .fgl layouts by content hash, and keeps an LRU cache of
+///        rendered responses keyed by the normalized query.
+///
+/// Endpoints (all responses are JSON unless noted):
+///
+///     GET  /healthz           liveness probe
+///     GET  /benchmarks        benchmark sets and functions with layout counts
+///     GET  /layouts?...       facet query → result page (see query.hpp for
+///                             the query-string keys and the page format)
+///     POST /layouts           same, query as a JSON body
+///     GET  /facets?...        facet histograms only (no rows)
+///     GET  /best?...          area-minimal layout per function (best_only
+///                             forced on)
+///     GET  /download/<id>     the stored .fgl blob (application/xml)
+///
+/// Design constraints:
+///
+/// - **Deliberately minimal HTTP.** HTTP/1.1, `Connection: close` on every
+///   response, no keep-alive, no chunked encoding, no TLS. The server fronts
+///   a read-only in-memory index; one short-lived connection per request
+///   keeps the worker pool trivially correct.
+/// - **Read path is lock-free.** The engine and catalog are immutable while
+///   the server runs, so worker threads answer queries without shared-state
+///   locks; only the response cache takes a mutex.
+/// - **Bounded work per request.** Request size is capped
+///   (server_options::max_request_bytes), socket reads carry a timeout
+///   derived from the per-request deadline (PR 2 \ref mnt::res::deadline_clock),
+///   and an expired deadline yields 408 instead of an unbounded stall.
+/// - **Graceful shutdown.** stop() closes the listening socket, drains the
+///   connection queue, joins every worker and only then returns; in-flight
+///   requests complete normally.
+
+#include "core/filters.hpp"
+#include "service/query.hpp"
+#include "service/store.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace mnt::svc
+{
+
+/// Server configuration.
+struct server_options
+{
+    /// Bind address; the loopback default keeps the benchmark service
+    /// private unless explicitly exposed.
+    std::string host{"127.0.0.1"};
+
+    /// TCP port; 0 picks an ephemeral port (query \ref catalog_server::port
+    /// after start()).
+    std::uint16_t port{0};
+
+    /// Worker threads handling accepted connections.
+    std::size_t threads{4};
+
+    /// Response-cache capacity in entries (0 disables the cache).
+    std::size_t cache_capacity{128};
+
+    /// Per-request deadline in seconds (read + handle); expiry yields 408.
+    double request_deadline_s{10.0};
+
+    /// Hard cap on the request head + body size.
+    std::size_t max_request_bytes{1U << 20U};
+};
+
+/// A parsed request, decoupled from the socket so the routing logic is
+/// testable without network I/O (see \ref catalog_server::handle).
+struct http_request
+{
+    std::string method;  ///< "GET", "POST", ...
+    std::string path;    ///< decoded path, e.g. "/layouts"
+    std::string query;   ///< raw query string (no leading '?')
+    std::string body;
+};
+
+/// A response ready for serialization.
+struct http_response
+{
+    int status{200};
+    std::string content_type{"application/json"};
+    std::string body;
+};
+
+/// Thread-safe LRU cache of rendered response bodies keyed by the
+/// normalized query (\ref page_query::cache_key).
+class response_cache
+{
+public:
+    explicit response_cache(std::size_t capacity);
+
+    /// Returns the cached body and refreshes its recency.
+    [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+    /// Inserts (or refreshes) \p body, evicting the least recently used
+    /// entry at capacity. No-op when the cache is disabled.
+    void put(const std::string& key, const std::string& body);
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    using entry_list = std::list<std::pair<std::string, std::string>>;
+
+    mutable std::mutex mutex;
+    std::size_t capacity;
+    entry_list entries;  ///< front = most recently used
+    std::unordered_map<std::string, entry_list::iterator> index;
+};
+
+/// The catalog server. The engine (and the catalog it references) must
+/// outlive the server and stay unmodified while it runs.
+class catalog_server
+{
+public:
+    explicit catalog_server(const query_engine& engine, server_options options = {});
+
+    /// Serve /download/<id> from \p store's blobs instead of re-serializing
+    /// layouts in memory. The store must outlive the server.
+    void attach_store(const layout_store* store) noexcept;
+
+    /// Binds, listens and launches the worker pool.
+    ///
+    /// \throws mnt::mnt_error when the socket cannot be bound
+    void start();
+
+    /// Graceful shutdown: stops accepting, drains queued connections, joins
+    /// all workers. Idempotent; also invoked by the destructor.
+    void stop();
+
+    ~catalog_server();
+
+    catalog_server(const catalog_server&) = delete;
+    catalog_server& operator=(const catalog_server&) = delete;
+
+    /// Actual bound port (resolves port 0 after start()).
+    [[nodiscard]] std::uint16_t port() const noexcept;
+
+    [[nodiscard]] bool running() const noexcept;
+
+    /// Routes one request — the full handler minus the socket layer, used
+    /// directly by tests. \p deadline bounds query execution; expiry yields
+    /// a 408 response.
+    [[nodiscard]] http_response handle(const http_request& request,
+                                       const res::deadline_clock& deadline = res::deadline_clock::unbounded());
+
+private:
+    void accept_loop();
+    void worker_loop();
+    void serve_connection(int fd);
+
+    [[nodiscard]] http_response route(const http_request& request, const res::deadline_clock& deadline);
+    [[nodiscard]] http_response page_response(const page_query& query);
+    [[nodiscard]] http_response benchmarks_response();
+    [[nodiscard]] http_response download_response(const std::string& id);
+
+    const query_engine& engine;
+    server_options options;
+    const layout_store* store{nullptr};
+    response_cache cache;
+
+    int listen_fd{-1};
+    std::uint16_t bound_port{0};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> active{false};
+
+    std::mutex queue_mutex;
+    std::condition_variable queue_ready;
+    std::deque<int> pending;  ///< accepted fds awaiting a worker
+
+    std::thread acceptor;
+    std::vector<std::thread> workers;
+};
+
+}  // namespace mnt::svc

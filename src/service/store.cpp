@@ -1,0 +1,584 @@
+#include "service/store.hpp"
+
+#include "common/provenance.hpp"
+#include "common/types.hpp"
+#include "io/fgl_reader.hpp"
+#include "io/fgl_writer.hpp"
+#include "io/verilog_reader.hpp"
+#include "io/verilog_writer.hpp"
+#include "service/hash.hpp"
+#include "service/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <fstream>
+#include <unistd.h>
+#include <utility>
+
+namespace mnt::svc
+{
+
+namespace
+{
+
+constexpr const char* fgl_extension = ".fgl";
+constexpr const char* verilog_extension = ".v";
+
+/// An entry-level problem found while opening or loading the store, using
+/// the outcome taxonomy: corruption maps to internal_error.
+res::combo_outcome corruption(std::string label, std::string message)
+{
+    res::combo_outcome issue{};
+    issue.label = std::move(label);
+    issue.kind = res::outcome_kind::internal_error;
+    issue.message = std::move(message);
+    issue.attempts = 1;
+    return issue;
+}
+
+json_value strings_to_json(const std::vector<std::string>& values)
+{
+    auto array = json_value::make_array();
+    for (const auto& v : values)
+    {
+        array.push_back(json_value{v});
+    }
+    return array;
+}
+
+std::vector<std::string> strings_from_json(const json_value& array)
+{
+    std::vector<std::string> values;
+    for (const auto& element : array.as_array())
+    {
+        values.push_back(element.as_string());
+    }
+    return values;
+}
+
+}  // namespace
+
+std::string cache_key(const std::string& set, const std::string& name, const cat::gate_library_kind library,
+                      const std::string& combo)
+{
+    return set + "/" + name + "|" + cat::gate_library_name(library) + "|" + combo;
+}
+
+std::string cache_key(const cat::layout_record& record)
+{
+    return cache_key(record.benchmark_set, record.benchmark_name, record.library,
+                     prov::combo_label(record.algorithm, record.clocking, record.optimizations));
+}
+
+void write_file_atomic(const std::filesystem::path& path, const std::string& bytes)
+{
+    const auto temp = path.parent_path() / (path.filename().string() + ".tmp-" + std::to_string(::getpid()));
+    {
+        std::ofstream out{temp, std::ios::binary | std::ios::trunc};
+        if (!out)
+        {
+            throw mnt_error{"store: cannot create '" + temp.string() + "'"};
+        }
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+        {
+            std::error_code ec;
+            std::filesystem::remove(temp, ec);
+            throw mnt_error{"store: short write to '" + temp.string() + "'"};
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec)
+    {
+        std::filesystem::remove(temp, ec);
+        throw mnt_error{"store: cannot rename into '" + path.string() + "': " + ec.message()};
+    }
+}
+
+std::string read_file(const std::filesystem::path& path)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in)
+    {
+        throw mnt_error{"store: cannot open '" + path.string() + "'"};
+    }
+    std::string bytes{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+    return bytes;
+}
+
+layout_store::layout_store(std::filesystem::path root) : store_root{std::move(root)}
+{
+    std::error_code ec;
+    std::filesystem::create_directories(blob_dir(), ec);
+    if (ec)
+    {
+        throw mnt_error{"store: cannot create '" + blob_dir().string() + "': " + ec.message()};
+    }
+    load_manifest();
+}
+
+const std::filesystem::path& layout_store::root() const noexcept
+{
+    return store_root;
+}
+
+const std::vector<res::combo_outcome>& layout_store::open_issues() const noexcept
+{
+    return issues;
+}
+
+std::filesystem::path layout_store::manifest_path() const
+{
+    return store_root / "manifest.json";
+}
+
+std::filesystem::path layout_store::blob_dir() const
+{
+    return store_root / "blobs";
+}
+
+void layout_store::load_manifest()
+{
+    if (!std::filesystem::exists(manifest_path()))
+    {
+        return;  // a fresh store
+    }
+
+    json_value manifest;
+    try
+    {
+        manifest = json_value::parse(read_file(manifest_path()));
+        const auto version = manifest.at("version").as_u64();
+        if (version > manifest_version)
+        {
+            // genuinely unsupported, not corruption: refuse loudly
+            throw mnt_error{"store: manifest version " + std::to_string(version) +
+                            " is newer than supported version " + std::to_string(manifest_version)};
+        }
+    }
+    catch (const parse_error& e)
+    {
+        issues.push_back(corruption("manifest", e.what()));
+        tel::count("store.load_issues");
+        return;  // degrade to an empty store; regeneration will rebuild it
+    }
+
+    if (const auto* networks_json = manifest.find("networks"); networks_json != nullptr)
+    {
+        for (const auto& entry : networks_json->as_array())
+        {
+            try
+            {
+                stored_network n{};
+                n.set = entry.at("set").as_string();
+                n.name = entry.at("name").as_string();
+                n.inputs = entry.at("inputs").as_u64();
+                n.outputs = entry.at("outputs").as_u64();
+                n.gates = entry.at("gates").as_u64();
+                n.blob = entry.at("blob").as_string();
+                network_names.insert(n.set + "/" + n.name);
+                networks.push_back(std::move(n));
+            }
+            catch (const std::exception& e)
+            {
+                issues.push_back(corruption("manifest networks entry", e.what()));
+                tel::count("store.load_issues");
+            }
+        }
+    }
+    if (const auto* layouts_json = manifest.find("layouts"); layouts_json != nullptr)
+    {
+        for (const auto& entry : layouts_json->as_array())
+        {
+            try
+            {
+                stored_layout l{};
+                l.set = entry.at("set").as_string();
+                l.name = entry.at("name").as_string();
+                l.library = entry.at("library").as_string();
+                l.clocking = entry.at("clocking").as_string();
+                l.algorithm = entry.at("algorithm").as_string();
+                l.optimizations = strings_from_json(entry.at("optimizations"));
+                l.width = static_cast<std::uint32_t>(entry.at("width").as_u64());
+                l.height = static_cast<std::uint32_t>(entry.at("height").as_u64());
+                l.area = entry.at("area").as_u64();
+                l.gates = entry.at("gates").as_u64();
+                l.wires = entry.at("wires").as_u64();
+                l.crossings = entry.at("crossings").as_u64();
+                l.runtime_s = entry.at("runtime_s").as_number();
+                l.blob = entry.at("blob").as_string();
+                l.key = entry.at("cache_key").as_string();
+                keys.insert(l.key);
+                layouts.push_back(std::move(l));
+            }
+            catch (const std::exception& e)
+            {
+                issues.push_back(corruption("manifest layouts entry", e.what()));
+                tel::count("store.load_issues");
+            }
+        }
+    }
+    if (const auto* failures_json = manifest.find("failures"); failures_json != nullptr)
+    {
+        for (const auto& entry : failures_json->as_array())
+        {
+            try
+            {
+                stored_failure f{};
+                f.set = entry.at("set").as_string();
+                f.name = entry.at("name").as_string();
+                f.library = entry.at("library").as_string();
+                f.combination = entry.at("combination").as_string();
+                f.kind = entry.at("kind").as_string();
+                f.message = entry.at("message").as_string();
+                f.elapsed_s = entry.at("elapsed_s").as_number();
+                f.attempts = entry.at("attempts").as_u64();
+                failures.push_back(std::move(f));
+            }
+            catch (const std::exception& e)
+            {
+                issues.push_back(corruption("manifest failures entry", e.what()));
+                tel::count("store.load_issues");
+            }
+        }
+    }
+    if (const auto* completed_json = manifest.find("completed"); completed_json != nullptr)
+    {
+        try
+        {
+            for (auto& key : strings_from_json(*completed_json))
+            {
+                if (keys.insert(key).second)
+                {
+                    completed.push_back(std::move(key));
+                }
+            }
+        }
+        catch (const std::exception& e)
+        {
+            issues.push_back(corruption("manifest completed list", e.what()));
+            tel::count("store.load_issues");
+        }
+    }
+}
+
+std::string layout_store::put_network(const std::string& set, const std::string& name,
+                                      const ntk::logic_network& network)
+{
+    if (has_network(set, name))
+    {
+        for (const auto& n : networks)
+        {
+            if (n.set == set && n.name == name)
+            {
+                return n.blob;
+            }
+        }
+    }
+    // primitives style round-trips exactly through read_verilog
+    const auto bytes = io::write_verilog_string(network, io::verilog_style::primitives);
+    const auto hash = content_hash(bytes);
+    const auto path = blob_dir() / (hash + verilog_extension);
+    if (!std::filesystem::exists(path))
+    {
+        write_file_atomic(path, bytes);
+        tel::count("store.blobs_written");
+    }
+    stored_network n{};
+    n.set = set;
+    n.name = name;
+    n.inputs = network.num_pis();
+    n.outputs = network.num_pos();
+    n.gates = network.num_gates();
+    n.blob = hash;
+    network_names.insert(set + "/" + name);
+    networks.push_back(std::move(n));
+    tel::count("store.networks_written");
+    return hash;
+}
+
+std::string layout_store::put_layout(const cat::layout_record& record)
+{
+    auto key = cache_key(record);
+    if (keys.count(key) != 0)
+    {
+        for (const auto& l : layouts)
+        {
+            if (l.key == key)
+            {
+                return l.blob;
+            }
+        }
+        return {};  // key held by a completed marker only: nothing stored
+    }
+    const auto bytes = io::write_fgl_string(record.layout);
+    const auto hash = content_hash(bytes);
+    const auto path = blob_dir() / (hash + fgl_extension);
+    if (!std::filesystem::exists(path))
+    {
+        write_file_atomic(path, bytes);
+        tel::count("store.blobs_written");
+    }
+    stored_layout l{};
+    l.set = record.benchmark_set;
+    l.name = record.benchmark_name;
+    l.library = cat::gate_library_name(record.library);
+    l.clocking = record.clocking;
+    l.algorithm = record.algorithm;
+    l.optimizations = record.optimizations;
+    l.width = record.layout.width();
+    l.height = record.layout.height();
+    l.area = record.layout.area();
+    l.gates = record.layout.num_gates();
+    l.wires = record.layout.num_wires();
+    l.crossings = record.layout.num_crossings();
+    l.runtime_s = record.runtime;
+    l.blob = hash;
+    l.key = key;
+    keys.insert(std::move(key));
+    layouts.push_back(std::move(l));
+    tel::count("store.layouts_written");
+    return hash;
+}
+
+void layout_store::put_failure(const cat::failure_record& record)
+{
+    stored_failure f{};
+    f.set = record.benchmark_set;
+    f.name = record.benchmark_name;
+    f.library = cat::gate_library_name(record.library);
+    f.combination = record.combination;
+    f.kind = record.kind;
+    f.message = record.message;
+    f.elapsed_s = record.elapsed_s;
+    f.attempts = record.attempts;
+    // one record per combination: a rerun's retry replaces the old entry
+    // instead of accumulating duplicates in the manifest
+    for (auto& existing : failures)
+    {
+        if (existing.set == f.set && existing.name == f.name && existing.library == f.library &&
+            existing.combination == f.combination)
+        {
+            existing = std::move(f);
+            return;
+        }
+    }
+    failures.push_back(std::move(f));
+    tel::count("store.failures_written");
+}
+
+void layout_store::mark_completed(const std::string& key)
+{
+    if (keys.insert(key).second)
+    {
+        completed.push_back(key);
+    }
+}
+
+void layout_store::save()
+{
+    auto manifest = json_value::make_object();
+    manifest.set("version", json_value{manifest_version});
+
+    auto networks_json = json_value::make_array();
+    for (const auto& n : networks)
+    {
+        auto entry = json_value::make_object();
+        entry.set("set", json_value{n.set});
+        entry.set("name", json_value{n.name});
+        entry.set("inputs", json_value{n.inputs});
+        entry.set("outputs", json_value{n.outputs});
+        entry.set("gates", json_value{n.gates});
+        entry.set("blob", json_value{n.blob});
+        networks_json.push_back(std::move(entry));
+    }
+    manifest.set("networks", std::move(networks_json));
+
+    auto layouts_json = json_value::make_array();
+    for (const auto& l : layouts)
+    {
+        auto entry = json_value::make_object();
+        entry.set("set", json_value{l.set});
+        entry.set("name", json_value{l.name});
+        entry.set("library", json_value{l.library});
+        entry.set("clocking", json_value{l.clocking});
+        entry.set("algorithm", json_value{l.algorithm});
+        entry.set("optimizations", strings_to_json(l.optimizations));
+        entry.set("width", json_value{std::uint64_t{l.width}});
+        entry.set("height", json_value{std::uint64_t{l.height}});
+        entry.set("area", json_value{l.area});
+        entry.set("gates", json_value{l.gates});
+        entry.set("wires", json_value{l.wires});
+        entry.set("crossings", json_value{l.crossings});
+        entry.set("runtime_s", json_value{l.runtime_s});
+        entry.set("blob", json_value{l.blob});
+        entry.set("cache_key", json_value{l.key});
+        layouts_json.push_back(std::move(entry));
+    }
+    manifest.set("layouts", std::move(layouts_json));
+
+    auto failures_json = json_value::make_array();
+    for (const auto& f : failures)
+    {
+        auto entry = json_value::make_object();
+        entry.set("set", json_value{f.set});
+        entry.set("name", json_value{f.name});
+        entry.set("library", json_value{f.library});
+        entry.set("combination", json_value{f.combination});
+        entry.set("kind", json_value{f.kind});
+        entry.set("message", json_value{f.message});
+        entry.set("elapsed_s", json_value{f.elapsed_s});
+        entry.set("attempts", json_value{f.attempts});
+        failures_json.push_back(std::move(entry));
+    }
+    manifest.set("failures", std::move(failures_json));
+    manifest.set("completed", strings_to_json(completed));
+
+    write_file_atomic(manifest_path(), manifest.dump() + "\n");
+    tel::count("store.manifest_saves");
+}
+
+bool layout_store::contains(const std::string& key) const
+{
+    return keys.count(key) != 0;
+}
+
+bool layout_store::has_network(const std::string& set, const std::string& name) const
+{
+    return network_names.count(set + "/" + name) != 0;
+}
+
+std::size_t layout_store::num_networks() const noexcept
+{
+    return networks.size();
+}
+
+std::size_t layout_store::num_layouts() const noexcept
+{
+    return layouts.size();
+}
+
+std::size_t layout_store::num_failures() const noexcept
+{
+    return failures.size();
+}
+
+std::optional<std::filesystem::path> layout_store::blob_path(const std::string& id) const
+{
+    // ids are hex-only, so no traversal risk; reject anything else outright
+    for (const char c : id)
+    {
+        if ((c < '0' || c > '9') && (c < 'a' || c > 'f'))
+        {
+            return std::nullopt;
+        }
+    }
+    for (const char* extension : {fgl_extension, verilog_extension})
+    {
+        auto path = blob_dir() / (id + extension);
+        if (std::filesystem::exists(path))
+        {
+            return path;
+        }
+    }
+    return std::nullopt;
+}
+
+store_snapshot layout_store::load() const
+{
+    MNT_SPAN("store/load");
+    store_snapshot snapshot{};
+    snapshot.issues = issues;  // carry over manifest-level problems
+
+    const auto report = [&](std::string label, std::string message)
+    {
+        snapshot.issues.push_back(corruption(std::move(label), std::move(message)));
+        tel::count("store.load_issues");
+    };
+
+    for (const auto& n : networks)
+    {
+        try
+        {
+            const auto path = blob_dir() / (n.blob + verilog_extension);
+            const auto bytes = read_file(path);
+            if (content_hash(bytes) != n.blob)
+            {
+                report("network " + n.set + "/" + n.name, "blob content does not match its hash");
+                continue;
+            }
+            auto network = io::read_verilog_string(bytes, n.name);
+            snapshot.catalog.add_network(n.set, n.name, std::move(network));
+        }
+        catch (const std::exception& e)
+        {
+            report("network " + n.set + "/" + n.name, e.what());
+        }
+    }
+
+    for (const auto& l : layouts)
+    {
+        try
+        {
+            const auto path = blob_dir() / (l.blob + fgl_extension);
+            const auto bytes = read_file(path);
+            if (content_hash(bytes) != l.blob)
+            {
+                report(l.key, "blob content does not match its hash");
+                continue;
+            }
+            cat::layout_record record{};
+            record.benchmark_set = l.set;
+            record.benchmark_name = l.name;
+            record.library = cat::gate_library_from_name(l.library);
+            record.clocking = l.clocking;
+            record.algorithm = l.algorithm;
+            record.optimizations = l.optimizations;
+            record.runtime = l.runtime_s;
+            record.layout = io::read_fgl_string(bytes);
+            if (record.layout.area() != l.area || record.layout.num_gates() != l.gates ||
+                record.layout.num_wires() != l.wires)
+            {
+                report(l.key, "blob metrics do not match the manifest");
+                continue;
+            }
+            snapshot.catalog.add_layout(std::move(record));
+            snapshot.layout_ids.push_back(l.blob);
+        }
+        catch (const std::exception& e)
+        {
+            report(l.key, e.what());
+        }
+    }
+
+    for (const auto& f : failures)
+    {
+        try
+        {
+            cat::failure_record record{};
+            record.benchmark_set = f.set;
+            record.benchmark_name = f.name;
+            record.library = cat::gate_library_from_name(f.library);
+            record.combination = f.combination;
+            record.kind = f.kind;
+            record.message = f.message;
+            record.elapsed_s = f.elapsed_s;
+            record.attempts = f.attempts;
+            snapshot.catalog.add_failure(std::move(record));
+        }
+        catch (const std::exception& e)
+        {
+            report("failure " + f.set + "/" + f.name + "|" + f.combination, e.what());
+        }
+    }
+
+    if (tel::enabled())
+    {
+        tel::count("store.loads");
+        tel::count("store.loaded_layouts", snapshot.catalog.num_layouts());
+    }
+    return snapshot;
+}
+
+}  // namespace mnt::svc

@@ -1,0 +1,216 @@
+#pragma once
+
+/// \file store.hpp
+/// \brief Persistent, content-addressed layout store — the on-disk half of
+///        the MNT Bench platform. Where the in-memory mnt::cat::catalog dies
+///        with the process, the store keeps every benchmark network (.v) and
+///        generated layout (.fgl) as a content-addressed blob next to a
+///        versioned JSON manifest with full provenance, and hands a fresh
+///        process everything it needs to serve the website's queries again.
+///
+/// On-disk layout (all paths relative to the store root):
+///
+///     manifest.json        versioned index: networks, layouts, failures,
+///                          completed cache keys (see DESIGN.md "Store")
+///     blobs/<hash>.fgl     gate-level layouts, keyed by content hash
+///     blobs/<hash>.v       benchmark networks, keyed by content hash
+///
+/// Durability and tolerance:
+///
+/// - **Atomic writes.** Blobs and the manifest are written to a temporary
+///   file in the same directory and renamed into place, so a crash never
+///   leaves a half-written file under its final name. Content addressing
+///   makes blob writes idempotent: an existing blob is never rewritten.
+/// - **Corruption-tolerant loading.** A damaged manifest entry, a missing or
+///   truncated blob, or an unparseable document skips exactly that entry and
+///   reports it as a \ref mnt::res::combo_outcome (the PR 2 outcome
+///   taxonomy); everything healthy loads. A wholly unreadable manifest
+///   degrades to an empty store plus a report entry instead of throwing.
+/// - **Incremental regeneration.** Every layout and every completed
+///   portfolio combination is indexed under a \ref cache_key;
+///   generate_portfolio consults it (via portfolio_params::is_cached) and
+///   skips combinations whose results already exist. Failed combinations
+///   are deliberately NOT cached: a rerun retries them.
+
+#include "core/catalog.hpp"
+#include "common/resilience.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mnt::svc
+{
+
+/// Cache key of one portfolio combination for one benchmark × library:
+/// `<set>/<name>|<library>|<combo>`, where `<combo>` is the combination
+/// label from \ref mnt::prov::combo_label (e.g. "NPR@USE"). The key of a
+/// stored layout is reconstructible from its provenance fields alone.
+[[nodiscard]] std::string cache_key(const std::string& set, const std::string& name,
+                                    cat::gate_library_kind library, const std::string& combo);
+
+/// Cache key of a layout record (combo label derived from its provenance).
+[[nodiscard]] std::string cache_key(const cat::layout_record& record);
+
+/// Everything a fresh process gets back from \ref layout_store::load: the
+/// reconstructed catalog, the content hash of every layout (parallel to
+/// catalog.layouts(), used as the stable download id), and one outcome per
+/// entry that had to be skipped.
+struct store_snapshot
+{
+    cat::catalog catalog;
+    /// Content hash (blob id) of catalog.layouts()[i].
+    std::vector<std::string> layout_ids;
+    /// Skipped entries: label = cache key (or blob name), kind per the
+    /// outcome taxonomy (internal_error for corruption), message = detail.
+    std::vector<res::combo_outcome> issues;
+};
+
+/// The persistent store. Not internally synchronized: one writer at a time
+/// (the generation loop); concurrent readers of the written files are safe
+/// because blobs are immutable and the manifest is swapped atomically.
+class layout_store
+{
+public:
+    /// Current manifest schema version.
+    static constexpr std::uint64_t manifest_version = 1;
+
+    /// Opens (or initializes) the store rooted at \p root. Creates the
+    /// directory structure on demand and loads an existing manifest. A
+    /// corrupt manifest is reported via \ref open_issues and treated as
+    /// empty; a manifest from a newer schema version raises.
+    ///
+    /// \throws mnt::mnt_error when the directories cannot be created or the
+    ///         manifest version is unsupported
+    explicit layout_store(std::filesystem::path root);
+
+    [[nodiscard]] const std::filesystem::path& root() const noexcept;
+
+    /// Problems encountered while opening (corrupt manifest, invalid
+    /// entries). Never grows after construction.
+    [[nodiscard]] const std::vector<res::combo_outcome>& open_issues() const noexcept;
+
+    // ------------------------------------------------------------- ingest
+
+    /// Stores \p network as a .v blob plus a manifest entry. Idempotent per
+    /// (set, name). Returns the blob's content hash.
+    std::string put_network(const std::string& set, const std::string& name, const ntk::logic_network& network);
+
+    /// Stores \p record's layout as an .fgl blob plus a manifest entry with
+    /// full provenance. Idempotent per cache key (a duplicate is skipped).
+    /// Derived metrics are taken from the embedded layout. Returns the
+    /// blob's content hash.
+    std::string put_layout(const cat::layout_record& record);
+
+    /// Records a failed combination in the manifest (no blob). Failures are
+    /// provenance, not cache entries: \ref contains stays false for them,
+    /// and a rerun's retry replaces the previous record for the same
+    /// (set, name, library, combination) instead of accumulating.
+    void put_failure(const cat::failure_record& record);
+
+    /// Marks a combination as completed-without-a-distinct-layout (e.g.
+    /// exact finding no solution within budget, PLO yielding no gain), so
+    /// incremental regeneration skips it too.
+    void mark_completed(const std::string& key);
+
+    /// Writes the manifest atomically. Blobs are already on disk at this
+    /// point; a crash before save() loses manifest entries but never
+    /// corrupts the store.
+    ///
+    /// \throws mnt::mnt_error when the manifest cannot be written
+    void save();
+
+    // ------------------------------------------------------------- lookup
+
+    /// True when \p key identifies a stored layout or a completed marker.
+    [[nodiscard]] bool contains(const std::string& key) const;
+
+    [[nodiscard]] bool has_network(const std::string& set, const std::string& name) const;
+
+    [[nodiscard]] std::size_t num_networks() const noexcept;
+    [[nodiscard]] std::size_t num_layouts() const noexcept;
+    [[nodiscard]] std::size_t num_failures() const noexcept;
+
+    /// Path of the blob with content hash \p id (with either known
+    /// extension), or nullopt when no such blob exists on disk.
+    [[nodiscard]] std::optional<std::filesystem::path> blob_path(const std::string& id) const;
+
+    // -------------------------------------------------------------- load
+
+    /// Reconstructs the full catalog from the manifest and the blobs.
+    /// Corrupt entries are skipped and reported in the snapshot's issues.
+    [[nodiscard]] store_snapshot load() const;
+
+private:
+    /// One manifest layout entry: layout_record metadata + blob + cache key.
+    struct stored_layout
+    {
+        std::string set;
+        std::string name;
+        std::string library;
+        std::string clocking;
+        std::string algorithm;
+        std::vector<std::string> optimizations;
+        std::uint32_t width{};
+        std::uint32_t height{};
+        std::uint64_t area{};
+        std::uint64_t gates{};
+        std::uint64_t wires{};
+        std::uint64_t crossings{};
+        double runtime_s{};
+        std::string blob;
+        std::string key;
+    };
+
+    struct stored_network
+    {
+        std::string set;
+        std::string name;
+        std::uint64_t inputs{};
+        std::uint64_t outputs{};
+        std::uint64_t gates{};
+        std::string blob;
+    };
+
+    struct stored_failure
+    {
+        std::string set;
+        std::string name;
+        std::string library;
+        std::string combination;
+        std::string kind;
+        std::string message;
+        double elapsed_s{};
+        std::uint64_t attempts{};
+    };
+
+    void load_manifest();
+    [[nodiscard]] std::filesystem::path manifest_path() const;
+    [[nodiscard]] std::filesystem::path blob_dir() const;
+
+    std::filesystem::path store_root;
+    std::vector<stored_network> networks;
+    std::vector<stored_layout> layouts;
+    std::vector<stored_failure> failures;
+    std::vector<std::string> completed;  ///< completed-marker keys, in order
+    std::unordered_set<std::string> keys;  ///< layout keys ∪ completed markers
+    std::unordered_set<std::string> network_names;  ///< "set/name"
+    std::vector<res::combo_outcome> issues;
+};
+
+/// Writes \p bytes to \p path atomically (temp file + rename).
+///
+/// \throws mnt::mnt_error when the file cannot be written or renamed
+void write_file_atomic(const std::filesystem::path& path, const std::string& bytes);
+
+/// Reads a whole file into a string.
+///
+/// \throws mnt::mnt_error when the file cannot be opened
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+}  // namespace mnt::svc

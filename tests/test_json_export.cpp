@@ -42,6 +42,66 @@ TEST(JsonExportTest, EscapeSpecials)
     EXPECT_EQ(json_escape("plain"), "plain");
 }
 
+TEST(JsonExportTest, EscapeControlCharactersAndDelete)
+{
+    EXPECT_EQ(json_escape(std::string{"a\bb\fc"}), "a\\bb\\fc");
+    EXPECT_EQ(json_escape(std::string{"nul\0byte", 8}), "nul\\u0000byte");
+    EXPECT_EQ(json_escape(std::string{"del\x7f"}), "del\\u007f");
+    EXPECT_EQ(json_escape(std::string{"\x01\x02\x1f"}), "\\u0001\\u0002\\u001f");
+}
+
+TEST(JsonExportTest, ValidUtf8PassesThroughVerbatim)
+{
+    // 2-, 3- and 4-byte sequences (é, 漢, 😀) and a benchmark-style name
+    EXPECT_EQ(json_escape("\xC3\xA9"), "\xC3\xA9");
+    EXPECT_EQ(json_escape("\xE6\xBC\xA2"), "\xE6\xBC\xA2");
+    EXPECT_EQ(json_escape("\xF0\x9F\x98\x80"), "\xF0\x9F\x98\x80");
+    EXPECT_EQ(json_escape("ortho@ROW+45°"), "ortho@ROW+45°");
+}
+
+TEST(JsonExportTest, InvalidUtf8IsReplacedNotEmitted)
+{
+    // hostile benchmark names must never produce invalid JSON output:
+    // every byte that cannot start/continue a valid sequence becomes U+FFFD
+    EXPECT_EQ(json_escape("\xFF"), "\\ufffd");
+    EXPECT_EQ(json_escape("a\x80z"), "a\\ufffdz");              // lone continuation
+    EXPECT_EQ(json_escape("\xC3 x"), "\\ufffd x");              // truncated 2-byte
+    EXPECT_EQ(json_escape("\xC0\xAF"), "\\ufffd\\ufffd");       // overlong 2-byte
+    EXPECT_EQ(json_escape("\xE0\x80\x80"), "\\ufffd\\ufffd\\ufffd");  // overlong 3-byte
+    EXPECT_EQ(json_escape("\xED\xA0\x80"), "\\ufffd\\ufffd\\ufffd");  // UTF-16 surrogate
+    EXPECT_EQ(json_escape("\xF5\x80\x80\x80"), "\\ufffd\\ufffd\\ufffd\\ufffd");  // > U+10FFFF
+    EXPECT_EQ(json_escape(std::string{"\xF0\x9F\x98"}), "\\ufffd\\ufffd\\ufffd");  // truncated 4-byte
+}
+
+TEST(JsonExportTest, HostileNamesYieldParseableDocuments)
+{
+    catalog c;
+    c.add_network("set\"\\\n\x01\xFF", "name\x7f\xC3(", bm::mux21());
+
+    layout_record record{};
+    record.benchmark_set = "set\"\\\n\x01\xFF";
+    record.benchmark_name = "name\x7f\xC3(";
+    record.library = gate_library_kind::qca_one;
+    record.clocking = "2DDWave";
+    record.algorithm = "ortho";
+    record.optimizations = {"opt\twith\x02junk\x90"};
+    record.layout = pd::ortho(bm::mux21());
+    c.add_layout(std::move(record));
+
+    const auto doc = catalog_json_string(c);
+    // no raw control or invalid byte may survive into the document
+    for (const char ch : doc)
+    {
+        const auto byte = static_cast<unsigned char>(ch);
+        EXPECT_TRUE(byte >= 0x20 || ch == '\n') << "raw byte " << static_cast<int>(byte);
+        EXPECT_NE(byte, 0xFFu);
+        EXPECT_NE(byte, 0x90u);
+    }
+    EXPECT_NE(doc.find("set\\\"\\\\\\n\\u0001\\ufffd"), std::string::npos);
+    EXPECT_NE(doc.find("name\\u007f\\ufffd("), std::string::npos);
+    EXPECT_NE(doc.find("opt\\twith\\u0002junk\\ufffd"), std::string::npos);
+}
+
 TEST(JsonExportTest, DocumentStructure)
 {
     const auto c = small_catalog();

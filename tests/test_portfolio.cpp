@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 
 using namespace mnt;
@@ -153,6 +154,89 @@ TEST(PortfolioTest, HexagonalPortfolioIncludesNpr)
     {
         EXPECT_EQ(r.layout.topology(), lyt::layout_topology::hexagonal_even_row);
     }
+}
+
+TEST(PortfolioTest, WorkerPoolIsDeterministic)
+{
+    // any --jobs value must produce the same layouts in the same order
+    const auto network = half_adder();
+    auto params = fast_params();
+    params.exact_timeout_s = 1.0;
+
+    const auto combo_of = [](const layout_result& r)
+    {
+        std::string combo = r.algorithm + "@" + r.clocking;
+        for (const auto& opt : r.optimizations)
+        {
+            combo += "+" + opt;
+        }
+        return combo + "#" + std::to_string(r.layout.area());
+    };
+    const auto signature = [&](const std::vector<layout_result>& results)
+    {
+        std::vector<std::string> sig;
+        sig.reserve(results.size());
+        for (const auto& r : results)
+        {
+            sig.push_back(combo_of(r));
+        }
+        return sig;
+    };
+
+    const auto serial = run_cartesian_portfolio(network, params);
+    params.jobs = 3;
+    const auto parallel = run_cartesian_portfolio(network, params);
+    params.jobs = 16;
+    const auto oversubscribed = run_cartesian_portfolio(network, params);
+
+    EXPECT_EQ(signature(serial), signature(parallel));
+    EXPECT_EQ(signature(serial), signature(oversubscribed));
+}
+
+TEST(PortfolioTest, CachedCombinationsAreSkipped)
+{
+    tel::set_enabled(true);
+    tel::registry::instance().reset();
+
+    const auto network = mux21();
+    auto params = fast_params();
+    params.try_exact = false;
+    params.try_nanoplacer = false;
+
+    const auto full = run_cartesian_portfolio(network, params);
+    ASSERT_FALSE(full.empty());
+
+    // a cache that already holds every ortho combination: nothing to do
+    params.is_cached = [](const std::string& combo) { return combo.rfind("ortho@", 0) == 0; };
+    const auto cached = run_cartesian_portfolio(network, params);
+    EXPECT_TRUE(cached.empty());
+
+    const auto report = tel::capture_report();
+    tel::registry::instance().reset();
+    tel::set_enabled(false);
+
+    // one hit per cached base combination (a cached base also skips its
+    // PLO follow-up without a separate hit)
+    std::uint64_t hits = 0;
+    for (const auto& c : report.counters)
+    {
+        if (c.name == "portfolio.cache_hits")
+        {
+            hits = c.value;
+        }
+    }
+    EXPECT_GE(hits, 1u);
+}
+
+TEST(PortfolioTest, CacheConsultedUnderWorkerPool)
+{
+    const auto network = mux21();
+    auto params = fast_params();
+    params.try_exact = false;
+    params.jobs = 4;
+    params.is_cached = [](const std::string&) { return true; };
+    EXPECT_TRUE(run_cartesian_portfolio(network, params).empty());
+    EXPECT_TRUE(run_hexagonal_portfolio(network, params).empty());
 }
 
 TEST(PortfolioTest, EmitsSpanPerAttemptedCombination)

@@ -1,0 +1,355 @@
+#include "service/query.hpp"
+
+#include "core/filters.hpp"
+#include "layout/clocking_scheme.hpp"
+#include "layout/gate_level_layout.hpp"
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::svc;
+
+namespace
+{
+
+/// Builds a randomized catalog of blank layouts: provenance facets drawn
+/// from small pools, dimensions randomized so area/tie-break paths are all
+/// exercised. Blank layouts are enough — filters and the engine only look
+/// at provenance and derived metrics, never at gates.
+cat::catalog make_random_catalog(const std::uint32_t seed, const std::size_t count)
+{
+    static const std::vector<std::string> sets{"Trindade16", "Fontes18", "ISCAS85"};
+    static const std::vector<std::string> names{"mux21", "xor2", "par_gen", "c17"};
+    static const std::vector<lyt::clocking_kind> clockings{lyt::clocking_kind::twoddwave, lyt::clocking_kind::use,
+                                                           lyt::clocking_kind::res};
+    static const std::vector<std::string> algorithms{"exact", "ortho", "NPR"};
+    static const std::vector<std::string> opts{"InOrd (SDN)", "45°", "PLO"};
+
+    std::mt19937 rng{seed};
+    const auto pick = [&rng](const auto& pool) { return pool[rng() % pool.size()]; };
+
+    cat::catalog catalog;
+    for (std::size_t i = 0; i < count; ++i)
+    {
+        const auto kind = pick(clockings);
+        cat::layout_record record{};
+        record.benchmark_set = pick(sets);
+        record.benchmark_name = pick(names);
+        record.library = (rng() % 2 == 0) ? cat::gate_library_kind::qca_one : cat::gate_library_kind::bestagon;
+        record.algorithm = pick(algorithms);
+        for (const auto& opt : opts)
+        {
+            if (rng() % 3 == 0)
+            {
+                record.optimizations.push_back(opt);
+            }
+        }
+        record.runtime = static_cast<double>(rng() % 1000) / 64.0;
+        // unique layout name => unique .fgl serialization => unique id
+        record.layout =
+            lyt::gate_level_layout{"rnd" + std::to_string(i), lyt::layout_topology::cartesian,
+                                   lyt::clocking_scheme::create(kind), static_cast<std::uint32_t>(1 + rng() % 6),
+                                   static_cast<std::uint32_t>(1 + rng() % 6)};
+        record.clocking = record.layout.clocking().name();
+        catalog.add_layout(std::move(record));
+    }
+    return catalog;
+}
+
+/// Draws a random filter query over the same facet pools.
+cat::filter_query make_random_filter(std::mt19937& rng)
+{
+    static const std::vector<std::string> sets{"Trindade16", "Fontes18", "ISCAS85", "absent"};
+    static const std::vector<std::string> names{"mux21", "xor2", "par_gen", "c17"};
+    static const std::vector<std::string> clockings{"2DDWave", "USE", "RES"};
+    static const std::vector<std::string> algorithms{"exact", "ortho", "NPR"};
+    static const std::vector<std::string> opts{"InOrd (SDN)", "45°", "PLO"};
+    const auto pick = [&rng](const auto& pool) { return pool[rng() % pool.size()]; };
+
+    cat::filter_query query{};
+    if (rng() % 3 == 0)
+    {
+        query.benchmark_set = pick(sets);
+    }
+    if (rng() % 4 == 0)
+    {
+        query.benchmark_name = pick(names);
+    }
+    if (rng() % 3 == 0)
+    {
+        query.libraries.push_back((rng() % 2 == 0) ? cat::gate_library_kind::qca_one :
+                                                     cat::gate_library_kind::bestagon);
+    }
+    while (rng() % 3 == 0)
+    {
+        query.clockings.push_back(pick(clockings));
+    }
+    while (rng() % 4 == 0)
+    {
+        query.algorithms.push_back(pick(algorithms));
+    }
+    while (rng() % 4 == 0)
+    {
+        query.required_optimizations.push_back(pick(opts));
+    }
+    query.best_only = (rng() % 4 == 0);
+    return query;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- parity
+
+TEST(QueryEngineTest, FilterMatchesApplyFilterOnRandomizedCatalog)
+{
+    const auto catalog = make_random_catalog(7u, 160);
+    const query_engine engine{catalog};
+
+    std::mt19937 rng{99u};
+    for (int round = 0; round < 200; ++round)
+    {
+        const auto query = make_random_filter(rng);
+        const auto expected = cat::apply_filter(catalog, query);
+        const auto actual = engine.filter(query);
+        ASSERT_EQ(expected, actual) << "round " << round;  // pointer-identical, same order
+    }
+}
+
+TEST(QueryEngineTest, EmptyFilterReturnsWholeCatalogInCanonicalOrder)
+{
+    const auto catalog = make_random_catalog(3u, 60);
+    const query_engine engine{catalog};
+    const auto all = engine.filter({});
+    EXPECT_EQ(all.size(), catalog.num_layouts());
+    EXPECT_EQ(all, cat::apply_filter(catalog, {}));
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                               [](const auto* a, const auto* b) { return cat::canonical_layout_less(*a, *b); }));
+    EXPECT_GT(engine.num_index_terms(), 0u);
+}
+
+// ----------------------------------------------------------------------- ids
+
+TEST(QueryEngineTest, IdLookupRoundTrips)
+{
+    const auto catalog = make_random_catalog(11u, 40);
+    const query_engine engine{catalog};
+    for (std::size_t i = 0; i < catalog.num_layouts(); ++i)
+    {
+        const auto& id = engine.id_of(i);
+        EXPECT_EQ(id.size(), 16u);
+        const auto index = engine.index_of(id);
+        ASSERT_TRUE(index.has_value());
+        EXPECT_EQ(*index, i);
+    }
+    EXPECT_FALSE(engine.index_of("0000000000000000").has_value());
+}
+
+TEST(QueryEngineTest, SuppliedIdsAreUsedVerbatim)
+{
+    const auto catalog = make_random_catalog(5u, 4);
+    std::vector<std::string> ids{"aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb", "cccccccccccccccc", "dddddddddddddddd"};
+    const query_engine engine{catalog, ids};
+    EXPECT_EQ(engine.id_of(2), "cccccccccccccccc");
+    EXPECT_EQ(engine.index_of("bbbbbbbbbbbbbbbb"), std::optional<std::size_t>{1});
+}
+
+// ---------------------------------------------------------------- pagination
+
+TEST(QueryEngineTest, PaginationCoversSelectionWithoutOverlap)
+{
+    const auto catalog = make_random_catalog(21u, 90);
+    const query_engine engine{catalog};
+
+    page_query query{};
+    query.limit = 7;
+    std::vector<std::string> collected;
+    for (std::size_t offset = 0;; offset += query.limit)
+    {
+        query.offset = offset;
+        const auto page = engine.run(query);
+        EXPECT_EQ(page.total, catalog.num_layouts());
+        EXPECT_EQ(page.offset, offset);
+        ASSERT_EQ(page.rows.size(), page.ids.size());
+        collected.insert(collected.end(), page.ids.begin(), page.ids.end());
+        if (page.rows.size() < query.limit)
+        {
+            break;
+        }
+    }
+    EXPECT_EQ(collected.size(), catalog.num_layouts());
+    std::sort(collected.begin(), collected.end());
+    EXPECT_EQ(std::unique(collected.begin(), collected.end()), collected.end());
+}
+
+TEST(QueryEngineTest, LimitZeroReturnsMetadataOnly)
+{
+    const auto catalog = make_random_catalog(2u, 30);
+    const query_engine engine{catalog};
+    page_query query{};
+    query.limit = 0;
+    const auto page = engine.run(query);
+    EXPECT_EQ(page.total, 30u);
+    EXPECT_TRUE(page.rows.empty());
+    EXPECT_FALSE(page.facets.per_library.empty());
+}
+
+TEST(QueryEngineTest, OffsetPastEndYieldsEmptyPage)
+{
+    const auto catalog = make_random_catalog(2u, 10);
+    const query_engine engine{catalog};
+    page_query query{};
+    query.offset = 1000;
+    const auto page = engine.run(query);
+    EXPECT_EQ(page.total, 10u);
+    EXPECT_TRUE(page.rows.empty());
+}
+
+// ------------------------------------------------------------------- sorting
+
+TEST(QueryEngineTest, SortOrdersAreRespectedAndDeterministic)
+{
+    const auto catalog = make_random_catalog(13u, 80);
+    const query_engine engine{catalog};
+
+    page_query query{};
+    query.limit = page_query::max_limit;
+
+    query.sort = sort_key::area;
+    query.order = sort_order::ascending;
+    const auto asc = engine.run(query);
+    EXPECT_TRUE(std::is_sorted(asc.rows.begin(), asc.rows.end(),
+                               [](const auto* a, const auto* b) { return a->area < b->area; }));
+
+    query.order = sort_order::descending;
+    const auto desc = engine.run(query);
+    EXPECT_TRUE(std::is_sorted(desc.rows.begin(), desc.rows.end(),
+                               [](const auto* a, const auto* b) { return a->area > b->area; }));
+
+    query.sort = sort_key::runtime;
+    const auto runtime_page = engine.run(query);
+    EXPECT_TRUE(std::is_sorted(runtime_page.rows.begin(), runtime_page.rows.end(),
+                               [](const auto* a, const auto* b) { return a->runtime > b->runtime; }));
+
+    // same query twice => byte-identical page
+    EXPECT_EQ(page_json_string(engine.run(query)), page_json_string(runtime_page));
+}
+
+// ------------------------------------------------------------ wire format in
+
+TEST(PageQueryTest, FromQueryStringParsesEveryKey)
+{
+    const auto query = page_query::from_query_string(
+        "set=Trindade16&name=2%3A1%20MUX&library=QCA%20ONE,Bestagon&clocking=USE&algorithm=exact,ortho"
+        "&opt=PLO&best=1&sort=benchmark&order=desc&offset=5&limit=10&facets=0");
+    EXPECT_EQ(query.filter.benchmark_set, std::optional<std::string>{"Trindade16"});
+    EXPECT_EQ(query.filter.benchmark_name, std::optional<std::string>{"2:1 MUX"});
+    ASSERT_EQ(query.filter.libraries.size(), 2u);
+    EXPECT_EQ(query.filter.libraries[0], cat::gate_library_kind::qca_one);
+    EXPECT_EQ(query.filter.libraries[1], cat::gate_library_kind::bestagon);
+    EXPECT_EQ(query.filter.clockings, (std::vector<std::string>{"USE"}));
+    EXPECT_EQ(query.filter.algorithms, (std::vector<std::string>{"exact", "ortho"}));
+    EXPECT_EQ(query.filter.required_optimizations, (std::vector<std::string>{"PLO"}));
+    EXPECT_TRUE(query.filter.best_only);
+    EXPECT_EQ(query.sort, sort_key::benchmark);
+    EXPECT_EQ(query.order, sort_order::descending);
+    EXPECT_EQ(query.offset, 5u);
+    EXPECT_EQ(query.limit, 10u);
+    EXPECT_FALSE(query.include_facets);
+}
+
+TEST(PageQueryTest, FromQueryStringRejectsUnknownAndMalformed)
+{
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("unknown=1")), mnt_error);
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("library=cmos")), mnt_error);
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("sort=color")), mnt_error);
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("offset=abc")), mnt_error);
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("best=maybe")), mnt_error);
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("set=%zz")), mnt_error);
+    EXPECT_THROW(static_cast<void>(page_query::from_query_string("set=%2")), mnt_error);
+}
+
+TEST(PageQueryTest, FromJsonParsesAndRejectsUnknownMembers)
+{
+    const auto query = page_query::from_json(json_value::parse(
+        R"({"set": "Fontes18", "libraries": ["Bestagon"], "optimizations": ["PLO", "45°"],
+            "best_only": true, "sort": "runtime", "order": "desc", "offset": 2, "limit": 3, "facets": false})"));
+    EXPECT_EQ(query.filter.benchmark_set, std::optional<std::string>{"Fontes18"});
+    EXPECT_EQ(query.filter.libraries, (std::vector<cat::gate_library_kind>{cat::gate_library_kind::bestagon}));
+    EXPECT_EQ(query.filter.required_optimizations, (std::vector<std::string>{"PLO", "45°"}));
+    EXPECT_TRUE(query.filter.best_only);
+    EXPECT_EQ(query.sort, sort_key::runtime);
+    EXPECT_EQ(query.order, sort_order::descending);
+    EXPECT_EQ(query.offset, 2u);
+    EXPECT_EQ(query.limit, 3u);
+    EXPECT_FALSE(query.include_facets);
+
+    EXPECT_THROW(static_cast<void>(page_query::from_json(json_value::parse(R"({"colour": "red"})"))), mnt_error);
+}
+
+TEST(PageQueryTest, ParseQueryStringDecodesInOrder)
+{
+    const auto pairs = parse_query_string("a=1&b=x%20y&c=1+2&flag");
+    ASSERT_EQ(pairs.size(), 4u);
+    EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"a", "1"}));
+    EXPECT_EQ(pairs[1], (std::pair<std::string, std::string>{"b", "x y"}));
+    EXPECT_EQ(pairs[2], (std::pair<std::string, std::string>{"c", "1 2"}));
+    EXPECT_EQ(pairs[3], (std::pair<std::string, std::string>{"flag", ""}));
+}
+
+// ----------------------------------------------------------------- cache key
+
+TEST(PageQueryTest, CacheKeyNormalizesEquivalentQueries)
+{
+    page_query a{};
+    a.filter.clockings = {"USE", "RES", "USE"};
+    a.filter.algorithms = {"ortho", "exact"};
+
+    page_query b{};
+    b.filter.clockings = {"RES", "USE"};
+    b.filter.algorithms = {"exact", "ortho"};
+
+    EXPECT_EQ(a.cache_key(), b.cache_key());
+
+    page_query c = b;
+    c.offset = 10;
+    EXPECT_NE(b.cache_key(), c.cache_key());
+    page_query d = b;
+    d.filter.best_only = true;
+    EXPECT_NE(b.cache_key(), d.cache_key());
+}
+
+// ----------------------------------------------------------- wire format out
+
+TEST(PageToJsonTest, EmitsDocumentedShape)
+{
+    const auto catalog = make_random_catalog(17u, 25);
+    const query_engine engine{catalog};
+    page_query query{};
+    query.limit = 10;
+    const auto page = engine.run(query);
+    const auto document = json_value::parse(page_json_string(page));
+
+    EXPECT_EQ(document.at("total").as_u64(), 25u);
+    EXPECT_EQ(document.at("offset").as_u64(), 0u);
+    EXPECT_EQ(document.at("count").as_u64(), 10u);
+    const auto& results = document.at("results").as_array();
+    ASSERT_EQ(results.size(), 10u);
+    const auto& first = results.front();
+    EXPECT_EQ(first.at("id").as_string(), engine.id_of(engine.index_of(page.ids.front()).value()));
+    EXPECT_EQ(first.at("set").as_string(), page.rows.front()->benchmark_set);
+    EXPECT_EQ(first.at("area").as_u64(), page.rows.front()->area);
+    EXPECT_EQ(first.at("label").as_string(), page.rows.front()->label());
+    ASSERT_NE(document.find("facets"), nullptr);
+    EXPECT_NE(document.at("facets").find("libraries"), nullptr);
+
+    // facets suppressed on request
+    query.include_facets = false;
+    const auto bare = json_value::parse(page_json_string(engine.run(query)));
+    EXPECT_EQ(bare.find("facets"), nullptr);
+}

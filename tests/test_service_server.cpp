@@ -1,0 +1,286 @@
+#include "service/server.hpp"
+
+#include "benchmarks/functions.hpp"
+#include "core/filters.hpp"
+#include "io/fgl_writer.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "service/json.hpp"
+#include "service/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::svc;
+
+namespace
+{
+
+/// A raw loopback HTTP/1.1 client: one request, reads until the server
+/// closes the connection (the server always sends `Connection: close`).
+struct client_response
+{
+    int status{0};
+    std::string headers;
+    std::string body;
+};
+
+client_response http_exchange(const std::uint16_t port, const std::string& request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr), 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+
+    std::size_t sent = 0;
+    while (sent < request.size())
+    {
+        const auto n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0)
+        {
+            break;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char buffer[4096];
+    for (;;)
+    {
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+        {
+            break;
+        }
+        raw.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    client_response response{};
+    const auto header_end = raw.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+    {
+        return response;
+    }
+    response.headers = raw.substr(0, header_end);
+    response.body = raw.substr(header_end + 4);
+    // "HTTP/1.1 NNN ..."
+    if (response.headers.size() > 12)
+    {
+        response.status = std::stoi(response.headers.substr(9, 3));
+    }
+    return response;
+}
+
+std::string get_request(const std::string& target)
+{
+    return "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+}
+
+std::string post_request(const std::string& target, const std::string& body)
+{
+    return "POST " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " + std::to_string(body.size()) +
+           "\r\n\r\n" + body;
+}
+
+/// A tiny real catalog: two layouts of 2:1 MUX (cartesian + hexagonal).
+class server_fixture : public ::testing::Test
+{
+protected:
+    void SetUp() override
+    {
+        const auto network = bm::mux21();
+        catalog.add_network("Trindade16", "2:1 MUX", network);
+
+        const auto cartesian = pd::ortho(network);
+        cat::layout_record qca{};
+        qca.benchmark_set = "Trindade16";
+        qca.benchmark_name = "2:1 MUX";
+        qca.library = cat::gate_library_kind::qca_one;
+        qca.clocking = cartesian.clocking().name();
+        qca.algorithm = "ortho";
+        qca.runtime = 0.1;
+        qca.layout = cartesian;
+        catalog.add_layout(qca);
+
+        cat::layout_record hex{};
+        hex.benchmark_set = "Trindade16";
+        hex.benchmark_name = "2:1 MUX";
+        hex.library = cat::gate_library_kind::bestagon;
+        hex.algorithm = "ortho";
+        hex.optimizations = {"45°"};
+        hex.runtime = 0.2;
+        hex.layout = pd::hexagonalization(cartesian);
+        hex.clocking = hex.layout.clocking().name();
+        catalog.add_layout(hex);
+
+        engine = std::make_unique<query_engine>(catalog);
+    }
+
+    cat::catalog catalog;
+    std::unique_ptr<query_engine> engine;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ response cache
+
+TEST(ResponseCacheTest, EvictsLeastRecentlyUsed)
+{
+    response_cache cache{2};
+    cache.put("a", "1");
+    cache.put("b", "2");
+    EXPECT_EQ(cache.get("a"), std::optional<std::string>{"1"});  // refreshes "a"
+    cache.put("c", "3");                                         // evicts "b"
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_EQ(cache.get("a"), std::optional<std::string>{"1"});
+    EXPECT_EQ(cache.get("c"), std::optional<std::string>{"3"});
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResponseCacheTest, ZeroCapacityDisablesCaching)
+{
+    response_cache cache{0};
+    cache.put("a", "1");
+    EXPECT_FALSE(cache.get("a").has_value());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// --------------------------------------------------------- socketless routes
+
+TEST_F(server_fixture, HandleRoutesWithoutSockets)
+{
+    catalog_server server{*engine};
+
+    const auto health = server.handle({"GET", "/healthz", "", ""});
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(json_value::parse(health.body).at("layouts").as_u64(), 2u);
+
+    const auto layouts = server.handle({"GET", "/layouts", "", ""});
+    EXPECT_EQ(layouts.status, 200);
+    EXPECT_EQ(layouts.body, page_json_string(engine->run(page_query{})));
+
+    const auto not_found = server.handle({"GET", "/nope", "", ""});
+    EXPECT_EQ(not_found.status, 404);
+    const auto bad_method = server.handle({"PUT", "/layouts", "", ""});
+    EXPECT_EQ(bad_method.status, 405);
+    const auto bad_query = server.handle({"GET", "/layouts", "library=cmos", ""});
+    EXPECT_EQ(bad_query.status, 400);
+    EXPECT_NE(json_value::parse(bad_query.body).at("error").at("message").as_string(), "");
+}
+
+TEST_F(server_fixture, HandleHonorsExpiredDeadline)
+{
+    catalog_server server{*engine};
+    const auto response = server.handle({"GET", "/layouts", "", ""}, res::deadline_clock::after(0.0));
+    EXPECT_EQ(response.status, 408);
+}
+
+// -------------------------------------------------------------- HTTP end2end
+
+TEST_F(server_fixture, ServesEveryEndpointOverLoopback)
+{
+    server_options options{};
+    options.threads = 2;
+    catalog_server server{*engine, options};
+    server.start();
+    ASSERT_TRUE(server.running());
+    ASSERT_NE(server.port(), 0);
+
+    // /healthz
+    const auto health = http_exchange(server.port(), get_request("/healthz"));
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.headers.find("Content-Type: application/json"), std::string::npos);
+    EXPECT_NE(health.headers.find("Connection: close"), std::string::npos);
+
+    // /layouts — identical to the in-memory engine
+    const auto layouts = http_exchange(server.port(), get_request("/layouts?library=Bestagon"));
+    EXPECT_EQ(layouts.status, 200);
+    page_query expected_query{};
+    expected_query.filter.libraries = {cat::gate_library_kind::bestagon};
+    EXPECT_EQ(layouts.body, page_json_string(engine->run(expected_query)));
+
+    // POST /layouts with a JSON body
+    const auto posted =
+        http_exchange(server.port(), post_request("/layouts", R"({"libraries": ["Bestagon"]})"));
+    EXPECT_EQ(posted.status, 200);
+    EXPECT_EQ(posted.body, layouts.body);
+
+    // /facets — metadata only
+    const auto facets = http_exchange(server.port(), get_request("/facets"));
+    EXPECT_EQ(facets.status, 200);
+    const auto facet_doc = json_value::parse(facets.body);
+    EXPECT_EQ(facet_doc.at("count").as_u64(), 0u);
+    EXPECT_EQ(facet_doc.at("facets").at("libraries").at("Bestagon").as_u64(), 1u);
+
+    // /best — best_only forced
+    const auto best = http_exchange(server.port(), get_request("/best"));
+    EXPECT_EQ(best.status, 200);
+    page_query best_query{};
+    best_query.filter.best_only = true;
+    EXPECT_EQ(best.body, page_json_string(engine->run(best_query)));
+
+    // /benchmarks
+    const auto benchmarks = http_exchange(server.port(), get_request("/benchmarks"));
+    EXPECT_EQ(benchmarks.status, 200);
+    const auto bench_doc = json_value::parse(benchmarks.body);
+    EXPECT_EQ(bench_doc.at("count").as_u64(), 1u);
+    EXPECT_EQ(bench_doc.at("benchmarks").as_array().front().at("layouts").as_u64(), 2u);
+
+    // /download/<id> — canonical .fgl bytes
+    const auto& id = engine->id_of(0);
+    const auto download = http_exchange(server.port(), get_request("/download/" + id));
+    EXPECT_EQ(download.status, 200);
+    EXPECT_NE(download.headers.find("Content-Type: application/xml"), std::string::npos);
+    EXPECT_EQ(download.body, io::write_fgl_string(catalog.layouts()[0].layout));
+
+    // error paths
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/ffffffffffffffff")).status, 404);
+    EXPECT_EQ(http_exchange(server.port(), get_request("/layouts?library=cmos")).status, 400);
+    EXPECT_EQ(http_exchange(server.port(), get_request("/nope")).status, 404);
+    EXPECT_EQ(http_exchange(server.port(), "NONSENSE\r\n\r\n").status, 400);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop();  // idempotent
+}
+
+TEST_F(server_fixture, ConcurrentClientsGetConsistentAnswers)
+{
+    server_options options{};
+    options.threads = 4;
+    catalog_server server{*engine, options};
+    server.start();
+
+    const auto expected = page_json_string(engine->run(page_query{}));
+    std::vector<std::thread> clients;
+    std::vector<std::string> bodies(8);
+    for (std::size_t i = 0; i < bodies.size(); ++i)
+    {
+        clients.emplace_back([&, i] { bodies[i] = http_exchange(server.port(), get_request("/layouts")).body; });
+    }
+    for (auto& t : clients)
+    {
+        t.join();
+    }
+    for (const auto& body : bodies)
+    {
+        EXPECT_EQ(body, expected);
+    }
+    server.stop();
+}

@@ -1,0 +1,391 @@
+#include "service/store.hpp"
+
+#include "benchmarks/functions.hpp"
+#include "core/filters.hpp"
+#include "core/json_export.hpp"
+#include "io/fgl_writer.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "service/hash.hpp"
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace mnt;
+using namespace mnt::svc;
+
+namespace
+{
+
+/// A throwaway store root under the system temp directory.
+class store_dir
+{
+public:
+    explicit store_dir(const char* name) : path{std::filesystem::temp_directory_path() / name}
+    {
+        std::filesystem::remove_all(path);
+    }
+
+    ~store_dir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    std::filesystem::path path;
+};
+
+cat::layout_record make_record(const std::string& set, const std::string& name,
+                               const cat::gate_library_kind library, const std::string& algorithm,
+                               lyt::gate_level_layout layout)
+{
+    cat::layout_record record{};
+    record.benchmark_set = set;
+    record.benchmark_name = name;
+    record.library = library;
+    record.clocking = layout.clocking().name();
+    record.algorithm = algorithm;
+    record.runtime = 0.125;
+    record.layout = std::move(layout);
+    return record;
+}
+
+/// Facet/provenance signature of a filter result, for cross-process
+/// comparison (pointers differ between catalogs, content must not).
+std::vector<std::string> signature(const std::vector<const cat::layout_record*>& selection)
+{
+    std::vector<std::string> sig;
+    sig.reserve(selection.size());
+    for (const auto* r : selection)
+    {
+        sig.push_back(r->benchmark_set + "|" + r->benchmark_name + "|" + cat::gate_library_name(r->library) + "|" +
+                      r->clocking + "|" + r->label() + "|" + std::to_string(r->area) + "|" +
+                      std::to_string(r->num_wires));
+    }
+    return sig;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- json model
+
+TEST(ServiceJsonTest, ParsesScalarsArraysObjects)
+{
+    const auto v = json_value::parse(R"({"a": 1, "b": [true, null, "x"], "c": {"d": -2.5}})");
+    EXPECT_EQ(v.at("a").as_u64(), 1u);
+    EXPECT_TRUE(v.at("b").as_array()[0].as_boolean());
+    EXPECT_TRUE(v.at("b").as_array()[1].is_null());
+    EXPECT_EQ(v.at("b").as_array()[2].as_string(), "x");
+    EXPECT_DOUBLE_EQ(v.at("c").at("d").as_number(), -2.5);
+    EXPECT_EQ(v.find("zzz"), nullptr);
+}
+
+TEST(ServiceJsonTest, RoundTripsThroughDump)
+{
+    const char* text = R"({"s":"q\"\\\n\u00e9","n":1.5,"i":42,"a":[1,2],"o":{"k":false}})";
+    const auto v = json_value::parse(text);
+    const auto again = json_value::parse(v.dump());
+    EXPECT_EQ(again.at("s").as_string(), v.at("s").as_string());
+    EXPECT_DOUBLE_EQ(again.at("n").as_number(), 1.5);
+    EXPECT_EQ(again.at("i").as_u64(), 42u);
+    EXPECT_EQ(again.dump(), v.dump());  // dump is deterministic
+}
+
+TEST(ServiceJsonTest, DecodesSurrogatePairs)
+{
+    const auto v = json_value::parse(R"("\ud83d\ude00")");  // 😀 U+1F600
+    EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(ServiceJsonTest, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(static_cast<void>(json_value::parse("{")), parse_error);
+    EXPECT_THROW(static_cast<void>(json_value::parse("[1,]")), parse_error);
+    EXPECT_THROW(static_cast<void>(json_value::parse("{\"a\":1} trailing")), parse_error);
+    EXPECT_THROW(static_cast<void>(json_value::parse("\"\\u12\"")), parse_error);
+    EXPECT_THROW(static_cast<void>(json_value::parse("01")), parse_error);
+}
+
+TEST(ServiceJsonTest, CheckedAccessorsThrowOnKindMismatch)
+{
+    const auto v = json_value::parse(R"({"s": "x", "neg": -1, "frac": 0.5})");
+    EXPECT_THROW(static_cast<void>(v.at("s").as_u64()), mnt_error);
+    EXPECT_THROW(static_cast<void>(v.at("neg").as_u64()), mnt_error);
+    EXPECT_THROW(static_cast<void>(v.at("frac").as_u64()), mnt_error);
+    EXPECT_THROW(static_cast<void>(v.at("s").as_array()), mnt_error);
+    EXPECT_THROW(static_cast<void>(v.at("missing")), mnt_error);
+}
+
+// ------------------------------------------------------------------- hashing
+
+TEST(ContentHashTest, StableAndHexFormatted)
+{
+    const auto h = content_hash("hello");
+    EXPECT_EQ(h.size(), 16u);
+    EXPECT_EQ(h, content_hash("hello"));
+    EXPECT_NE(h, content_hash("hello!"));
+    for (const char c : h)
+    {
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+    }
+}
+
+// ----------------------------------------------------------------- cache keys
+
+TEST(CacheKeyTest, EncodesProvenance)
+{
+    EXPECT_EQ(cache_key("Trindade16", "2:1 MUX", cat::gate_library_kind::qca_one, "NPR@USE"),
+              "Trindade16/2:1 MUX|QCA ONE|NPR@USE");
+
+    auto record = make_record("S", "f", cat::gate_library_kind::bestagon, "ortho", pd::ortho(bm::mux21()));
+    record.clocking = "ROW";
+    record.optimizations = {"45°", "PLO"};
+    EXPECT_EQ(cache_key(record), "S/f|Bestagon|ortho@ROW+45°+PLO");
+}
+
+// ----------------------------------------------------------------- file utils
+
+TEST(StoreFileTest, AtomicWriteRoundTrip)
+{
+    const store_dir dir{"mnt_store_files_test"};
+    std::filesystem::create_directories(dir.path);
+    const auto path = dir.path / "data.bin";
+    const std::string payload{"line\n\0binary", 12};
+    write_file_atomic(path, payload);
+    EXPECT_EQ(read_file(path), payload);
+    write_file_atomic(path, "replaced");  // overwrite is atomic too
+    EXPECT_EQ(read_file(path), "replaced");
+    EXPECT_THROW(static_cast<void>(read_file(dir.path / "missing")), mnt_error);
+}
+
+// --------------------------------------------------------------------- store
+
+TEST(LayoutStoreTest, RoundTripPreservesQueryResults)
+{
+    const store_dir dir{"mnt_store_roundtrip_test"};
+    const auto network = bm::mux21();
+    const auto cartesian = pd::ortho(network);
+    const auto hexagonal = pd::hexagonalization(cartesian);
+
+    cat::catalog original;
+    original.add_network("Trindade16", "2:1 MUX", network);
+    {
+        layout_store store{dir.path};
+        EXPECT_TRUE(store.open_issues().empty());
+        store.put_network("Trindade16", "2:1 MUX", network);
+
+        auto qca = make_record("Trindade16", "2:1 MUX", cat::gate_library_kind::qca_one, "ortho", cartesian);
+        auto hex = make_record("Trindade16", "2:1 MUX", cat::gate_library_kind::bestagon, "ortho", hexagonal);
+        hex.optimizations = {"45°"};
+        store.put_layout(qca);
+        store.put_layout(hex);
+        original.add_layout(qca);
+        original.add_layout(hex);
+
+        cat::failure_record failure{};
+        failure.benchmark_set = "Trindade16";
+        failure.benchmark_name = "2:1 MUX";
+        failure.library = cat::gate_library_kind::qca_one;
+        failure.combination = "NPR@USE";
+        failure.kind = "timeout";
+        failure.message = "deadline exceeded";
+        failure.elapsed_s = 1.5;
+        failure.attempts = 2;
+        store.put_failure(failure);
+        store.save();
+    }
+
+    // a fresh process: reopen and reload everything from disk
+    layout_store reopened{dir.path};
+    EXPECT_TRUE(reopened.open_issues().empty());
+    EXPECT_EQ(reopened.num_networks(), 1u);
+    EXPECT_EQ(reopened.num_layouts(), 2u);
+    EXPECT_EQ(reopened.num_failures(), 1u);
+
+    const auto snapshot = reopened.load();
+    EXPECT_TRUE(snapshot.issues.empty());
+    ASSERT_EQ(snapshot.catalog.num_layouts(), 2u);
+    ASSERT_EQ(snapshot.layout_ids.size(), 2u);
+    EXPECT_EQ(snapshot.catalog.num_failures(), 1u);
+    EXPECT_EQ(snapshot.catalog.failures().front().kind, "timeout");
+
+    // identical query results on every surface
+    for (const auto best_only : {false, true})
+    {
+        for (const auto& library :
+             {std::vector<cat::gate_library_kind>{}, std::vector<cat::gate_library_kind>{
+                                                         cat::gate_library_kind::bestagon}})
+        {
+            cat::filter_query query{};
+            query.best_only = best_only;
+            query.libraries = library;
+            EXPECT_EQ(signature(cat::apply_filter(original, query)),
+                      signature(cat::apply_filter(snapshot.catalog, query)));
+        }
+    }
+
+    // download ids are the blobs' content hashes
+    for (std::size_t i = 0; i < snapshot.layout_ids.size(); ++i)
+    {
+        const auto path = reopened.blob_path(snapshot.layout_ids[i]);
+        ASSERT_TRUE(path.has_value());
+        const auto bytes = read_file(*path);
+        EXPECT_EQ(content_hash(bytes), snapshot.layout_ids[i]);
+        EXPECT_EQ(bytes, io::write_fgl_string(snapshot.catalog.layouts()[i].layout));
+    }
+}
+
+TEST(LayoutStoreTest, PutLayoutIsIdempotentPerCacheKey)
+{
+    const store_dir dir{"mnt_store_idempotent_test"};
+    layout_store store{dir.path};
+    const auto record = make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", pd::ortho(bm::mux21()));
+    const auto first = store.put_layout(record);
+    const auto second = store.put_layout(record);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(store.num_layouts(), 1u);
+    EXPECT_TRUE(store.contains(cache_key(record)));
+}
+
+TEST(LayoutStoreTest, RepeatedFailureReplacesThePreviousRecord)
+{
+    const store_dir dir{"mnt_store_failure_dedupe_test"};
+    layout_store store{dir.path};
+    cat::failure_record failure{};
+    failure.benchmark_set = "S";
+    failure.benchmark_name = "f";
+    failure.library = cat::gate_library_kind::qca_one;
+    failure.combination = "exact@USE";
+    failure.kind = "timeout";
+    failure.attempts = 1;
+    store.put_failure(failure);
+    failure.attempts = 2;  // the rerun's retry supersedes the first record
+    store.put_failure(failure);
+    EXPECT_EQ(store.num_failures(), 1u);
+    store.save();
+
+    const layout_store reopened{dir.path};
+    const auto snapshot = reopened.load();
+    ASSERT_EQ(snapshot.catalog.num_failures(), 1u);
+    EXPECT_EQ(snapshot.catalog.failures().front().attempts, 2u);
+}
+
+TEST(LayoutStoreTest, CompletedMarkersPersist)
+{
+    const store_dir dir{"mnt_store_completed_test"};
+    {
+        layout_store store{dir.path};
+        store.mark_completed("S/f|QCA ONE|exact@USE");
+        store.mark_completed("S/f|QCA ONE|exact@USE");  // duplicate is a no-op
+        store.save();
+    }
+    layout_store reopened{dir.path};
+    EXPECT_TRUE(reopened.contains("S/f|QCA ONE|exact@USE"));
+    EXPECT_FALSE(reopened.contains("S/f|QCA ONE|exact@RES"));
+}
+
+TEST(LayoutStoreTest, CorruptManifestDegradesToEmptyStore)
+{
+    const store_dir dir{"mnt_store_corrupt_manifest_test"};
+    {
+        layout_store store{dir.path};
+        store.put_layout(make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", pd::ortho(bm::mux21())));
+        store.save();
+    }
+    write_file_atomic(dir.path / "manifest.json", "{\"version\": 1, \"layouts\": [ BROKEN");
+
+    layout_store reopened{dir.path};
+    ASSERT_FALSE(reopened.open_issues().empty());
+    EXPECT_EQ(reopened.open_issues().front().kind, res::outcome_kind::internal_error);
+    EXPECT_EQ(reopened.num_layouts(), 0u);
+    const auto snapshot = reopened.load();
+    EXPECT_FALSE(snapshot.issues.empty());
+    EXPECT_EQ(snapshot.catalog.num_layouts(), 0u);
+}
+
+TEST(LayoutStoreTest, InvalidManifestEntryIsSkippedOthersSurvive)
+{
+    const store_dir dir{"mnt_store_bad_entry_test"};
+    {
+        layout_store store{dir.path};
+        store.put_layout(make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", pd::ortho(bm::mux21())));
+        store.save();
+    }
+    // splice a structurally-valid JSON entry with missing members in front
+    auto manifest = read_file(dir.path / "manifest.json");
+    const auto anchor = manifest.find("\"layouts\":[");
+    ASSERT_NE(anchor, std::string::npos);
+    manifest.insert(anchor + std::string{"\"layouts\":["}.size(), "{\"set\":\"S\"},");
+    write_file_atomic(dir.path / "manifest.json", manifest);
+
+    layout_store reopened{dir.path};
+    EXPECT_EQ(reopened.open_issues().size(), 1u);
+    EXPECT_EQ(reopened.num_layouts(), 1u);  // the healthy entry survived
+    const auto snapshot = reopened.load();
+    EXPECT_EQ(snapshot.catalog.num_layouts(), 1u);
+}
+
+TEST(LayoutStoreTest, TruncatedBlobIsSkippedAndReported)
+{
+    const store_dir dir{"mnt_store_truncated_blob_test"};
+    const auto cartesian = pd::ortho(bm::mux21());
+    const auto hexagonal = pd::hexagonalization(cartesian);
+    std::string hex_blob;
+    {
+        layout_store store{dir.path};
+        store.put_layout(make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", cartesian));
+        hex_blob = store.put_layout(
+            make_record("S", "f", cat::gate_library_kind::bestagon, "ortho", hexagonal));
+        store.save();
+    }
+    // truncate the hexagonal blob
+    const auto blob = dir.path / "blobs" / (hex_blob + ".fgl");
+    const auto bytes = read_file(blob);
+    write_file_atomic(blob, bytes.substr(0, bytes.size() / 2));
+
+    const layout_store reopened{dir.path};
+    const auto snapshot = reopened.load();
+    ASSERT_EQ(snapshot.issues.size(), 1u);
+    EXPECT_EQ(snapshot.issues.front().kind, res::outcome_kind::internal_error);
+    ASSERT_EQ(snapshot.catalog.num_layouts(), 1u);  // the intact layout loads
+    EXPECT_EQ(snapshot.catalog.layouts().front().library, cat::gate_library_kind::qca_one);
+}
+
+TEST(LayoutStoreTest, MissingBlobIsSkippedAndReported)
+{
+    const store_dir dir{"mnt_store_missing_blob_test"};
+    std::string blob_id;
+    {
+        layout_store store{dir.path};
+        blob_id =
+            store.put_layout(make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", pd::ortho(bm::mux21())));
+        store.save();
+    }
+    std::filesystem::remove(dir.path / "blobs" / (blob_id + ".fgl"));
+
+    const layout_store reopened{dir.path};
+    const auto snapshot = reopened.load();
+    EXPECT_EQ(snapshot.catalog.num_layouts(), 0u);
+    ASSERT_EQ(snapshot.issues.size(), 1u);
+    EXPECT_EQ(snapshot.issues.front().label, cache_key("S", "f", cat::gate_library_kind::qca_one, "ortho@2DDWave"));
+}
+
+TEST(LayoutStoreTest, NewerManifestVersionRefusesToOpen)
+{
+    const store_dir dir{"mnt_store_version_test"};
+    std::filesystem::create_directories(dir.path / "blobs");
+    write_file_atomic(dir.path / "manifest.json", "{\"version\": 999}");
+    EXPECT_THROW((layout_store{dir.path}), mnt_error);
+}
+
+TEST(LayoutStoreTest, BlobPathRejectsNonHexIds)
+{
+    const store_dir dir{"mnt_store_traversal_test"};
+    const layout_store store{dir.path};
+    EXPECT_FALSE(store.blob_path("../manifest").has_value());
+    EXPECT_FALSE(store.blob_path("ABCDEF0123456789").has_value());  // upper case is not an id
+    EXPECT_FALSE(store.blob_path("0123456789abcdef").has_value());  // hex but absent
+}
