@@ -229,6 +229,9 @@ int run(const serve_options& options)
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 
+    // the server sends with MSG_NOSIGNAL, but ignore SIGPIPE process-wide
+    // too so no stray write to a disconnected peer can kill the process
+    std::signal(SIGPIPE, SIG_IGN);
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     while (!interrupted.load())

@@ -2,11 +2,15 @@
 
 /// \file hash.hpp
 /// \brief Content hashing for the persistent layout store. Blobs (.fgl / .v
-///        documents) are addressed by the FNV-1a 64-bit hash of their bytes,
-///        rendered as 16 lower-case hex digits. The hash is stable across
-///        platforms and process runs — it is part of the on-disk format and
-///        of every download URL, so it must never change.
+///        documents) are addressed by the first 128 bits of the SHA-256
+///        digest of their bytes, rendered as 32 lower-case hex digits. The
+///        hash is stable across platforms and process runs — it is part of
+///        the on-disk format and of every download URL, so it must never
+///        change. 128 bits make accidental collisions (which would silently
+///        alias two distinct layouts under one blob) a non-event, unlike the
+///        64-bit FNV-1a address used by manifest version 1.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -14,26 +18,115 @@
 namespace mnt::svc
 {
 
-/// FNV-1a 64-bit over \p bytes.
-[[nodiscard]] constexpr std::uint64_t fnv1a64(const std::string_view bytes) noexcept
+/// SHA-256 (FIPS 180-4) over \p bytes. Self-contained single-shot
+/// implementation — the store hashes whole in-memory serializations, so no
+/// streaming interface is needed.
+[[nodiscard]] inline std::array<std::uint8_t, 32> sha256(const std::string_view bytes) noexcept
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (const char c : bytes)
+    constexpr std::array<std::uint32_t, 64> k{
+        0x428a2f98U, 0x71374491U, 0xb5c0fbcfU, 0xe9b5dba5U, 0x3956c25bU, 0x59f111f1U, 0x923f82a4U, 0xab1c5ed5U,
+        0xd807aa98U, 0x12835b01U, 0x243185beU, 0x550c7dc3U, 0x72be5d74U, 0x80deb1feU, 0x9bdc06a7U, 0xc19bf174U,
+        0xe49b69c1U, 0xefbe4786U, 0x0fc19dc6U, 0x240ca1ccU, 0x2de92c6fU, 0x4a7484aaU, 0x5cb0a9dcU, 0x76f988daU,
+        0x983e5152U, 0xa831c66dU, 0xb00327c8U, 0xbf597fc7U, 0xc6e00bf3U, 0xd5a79147U, 0x06ca6351U, 0x14292967U,
+        0x27b70a85U, 0x2e1b2138U, 0x4d2c6dfcU, 0x53380d13U, 0x650a7354U, 0x766a0abbU, 0x81c2c92eU, 0x92722c85U,
+        0xa2bfe8a1U, 0xa81a664bU, 0xc24b8b70U, 0xc76c51a3U, 0xd192e819U, 0xd6990624U, 0xf40e3585U, 0x106aa070U,
+        0x19a4c116U, 0x1e376c08U, 0x2748774cU, 0x34b0bcb5U, 0x391c0cb3U, 0x4ed8aa4aU, 0x5b9cca4fU, 0x682e6ff3U,
+        0x748f82eeU, 0x78a5636fU, 0x84c87814U, 0x8cc70208U, 0x90befffaU, 0xa4506cebU, 0xbef9a3f7U, 0xc67178f2U};
+
+    std::array<std::uint32_t, 8> h{0x6a09e667U, 0xbb67ae85U, 0x3c6ef372U, 0xa54ff53aU,
+                                   0x510e527fU, 0x9b05688cU, 0x1f83d9abU, 0x5be0cd19U};
+
+    const auto rotr = [](const std::uint32_t x, const unsigned n) noexcept -> std::uint32_t
+    { return (x >> n) | (x << (32U - n)); };
+
+    // message schedule: the padded message is processed in 64-byte chunks
+    // without materializing the padding — `take` yields message bytes, then
+    // 0x80, zeros, and the 64-bit big-endian bit length
+    const std::uint64_t bit_length = static_cast<std::uint64_t>(bytes.size()) * 8U;
+    const std::size_t total = ((bytes.size() + 8U) / 64U + 1U) * 64U;
+    const auto take = [&](const std::size_t i) noexcept -> std::uint8_t
     {
-        hash ^= static_cast<std::uint8_t>(c);
-        hash *= 0x100000001b3ULL;
+        if (i < bytes.size())
+        {
+            return static_cast<std::uint8_t>(bytes[i]);
+        }
+        if (i == bytes.size())
+        {
+            return 0x80U;
+        }
+        if (i >= total - 8U)
+        {
+            return static_cast<std::uint8_t>(bit_length >> ((total - 1U - i) * 8U));
+        }
+        return 0U;
+    };
+
+    for (std::size_t chunk = 0; chunk < total; chunk += 64U)
+    {
+        std::array<std::uint32_t, 64> w{};
+        for (std::size_t i = 0; i < 16U; ++i)
+        {
+            w[i] = (static_cast<std::uint32_t>(take(chunk + 4U * i)) << 24U) |
+                   (static_cast<std::uint32_t>(take(chunk + 4U * i + 1U)) << 16U) |
+                   (static_cast<std::uint32_t>(take(chunk + 4U * i + 2U)) << 8U) |
+                   static_cast<std::uint32_t>(take(chunk + 4U * i + 3U));
+        }
+        for (std::size_t i = 16U; i < 64U; ++i)
+        {
+            const auto s0 = rotr(w[i - 15U], 7U) ^ rotr(w[i - 15U], 18U) ^ (w[i - 15U] >> 3U);
+            const auto s1 = rotr(w[i - 2U], 17U) ^ rotr(w[i - 2U], 19U) ^ (w[i - 2U] >> 10U);
+            w[i] = w[i - 16U] + s0 + w[i - 7U] + s1;
+        }
+
+        auto [a, b, c, d, e, f, g, hh] = h;
+        for (std::size_t i = 0; i < 64U; ++i)
+        {
+            const auto s1 = rotr(e, 6U) ^ rotr(e, 11U) ^ rotr(e, 25U);
+            const auto ch = (e & f) ^ (~e & g);
+            const auto temp1 = hh + s1 + ch + k[i] + w[i];
+            const auto s0 = rotr(a, 2U) ^ rotr(a, 13U) ^ rotr(a, 22U);
+            const auto maj = (a & b) ^ (a & c) ^ (b & c);
+            const auto temp2 = s0 + maj;
+            hh = g;
+            g = f;
+            f = e;
+            e = d + temp1;
+            d = c;
+            c = b;
+            b = a;
+            a = temp1 + temp2;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+        h[5] += f;
+        h[6] += g;
+        h[7] += hh;
     }
-    return hash;
+
+    std::array<std::uint8_t, 32> digest{};
+    for (std::size_t i = 0; i < 8U; ++i)
+    {
+        digest[4U * i] = static_cast<std::uint8_t>(h[i] >> 24U);
+        digest[4U * i + 1U] = static_cast<std::uint8_t>(h[i] >> 16U);
+        digest[4U * i + 2U] = static_cast<std::uint8_t>(h[i] >> 8U);
+        digest[4U * i + 3U] = static_cast<std::uint8_t>(h[i]);
+    }
+    return digest;
 }
 
-/// Content address of a blob: fnv1a64 as 16 lower-case hex digits.
+/// Content address of a blob: the first 16 bytes of sha256 as 32 lower-case
+/// hex digits.
 [[nodiscard]] inline std::string content_hash(const std::string_view bytes)
 {
-    auto value = fnv1a64(bytes);
-    std::string hex(16, '0');
-    for (std::size_t i = 16; i-- > 0; value >>= 4)
+    const auto digest = sha256(bytes);
+    std::string hex(32, '0');
+    for (std::size_t i = 0; i < 16U; ++i)
     {
-        hex[i] = "0123456789abcdef"[value & 0xF];
+        hex[2U * i] = "0123456789abcdef"[digest[i] >> 4U];
+        hex[2U * i + 1U] = "0123456789abcdef"[digest[i] & 0xFU];
     }
     return hex;
 }

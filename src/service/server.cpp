@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <utility>
@@ -47,13 +48,19 @@ http_response error_response(const int status, const std::string& message)
     return http_response{status, "application/json", document.dump()};
 }
 
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // non-Linux fallback; pair with an external SIGPIPE handler
+#endif
+
 /// Sends the whole buffer, honoring SO_SNDTIMEO; returns false on error.
+/// MSG_NOSIGNAL turns a peer that closed the connection into an EPIPE error
+/// instead of a process-killing SIGPIPE.
 bool send_all(const int fd, const std::string& bytes)
 {
     std::size_t sent = 0;
     while (sent < bytes.size())
     {
-        const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+        const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
         if (n <= 0)
         {
             return false;
@@ -65,9 +72,12 @@ bool send_all(const int fd, const std::string& bytes)
 
 void set_socket_timeout(const int fd, const double seconds)
 {
+    // never pass a zero timeval: SO_RCVTIMEO/SO_SNDTIMEO treat it as
+    // "block forever"
+    const auto bounded = std::max(seconds, 1e-3);
     timeval tv{};
-    tv.tv_sec = static_cast<time_t>(seconds);
-    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    tv.tv_sec = static_cast<time_t>(bounded);
+    tv.tv_usec = static_cast<suseconds_t>((bounded - static_cast<double>(tv.tv_sec)) * 1e6);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
@@ -96,10 +106,36 @@ struct read_result
     bool ok{false};
     bool too_large{false};
     bool malformed{false};
+    bool timed_out{false};
     http_request request;
 };
 
-read_result read_request(const int fd, const std::size_t max_bytes)
+/// One bounded recv against the request deadline: SO_RCVTIMEO is shrunk to
+/// the remaining budget before every call, so a slow-loris client trickling
+/// bytes cannot stretch a read beyond \p deadline no matter how many
+/// one-byte packets it sends. Returns the recv count, or -2 when the
+/// deadline expired (before or during the call).
+ssize_t recv_within_deadline(const int fd, char* buffer, const std::size_t capacity,
+                             const res::deadline_clock& deadline)
+{
+    const auto remaining = deadline.remaining_s();
+    if (remaining <= 0.0)
+    {
+        return -2;
+    }
+    if (std::isfinite(remaining))
+    {
+        set_socket_timeout(fd, remaining);
+    }
+    const auto n = ::recv(fd, buffer, capacity, 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    {
+        return -2;
+    }
+    return n;
+}
+
+read_result read_request(const int fd, const std::size_t max_bytes, const res::deadline_clock& deadline)
 {
     read_result result{};
     std::string data;
@@ -113,7 +149,12 @@ read_result read_request(const int fd, const std::size_t max_bytes)
             result.too_large = true;
             return result;
         }
-        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        const auto n = recv_within_deadline(fd, buffer, sizeof(buffer), deadline);
+        if (n == -2)
+        {
+            result.timed_out = true;
+            return result;
+        }
         if (n <= 0)
         {
             result.malformed = !data.empty();
@@ -165,7 +206,12 @@ read_result read_request(const int fd, const std::size_t max_bytes)
     result.request.body = data.substr(header_end + 4);
     while (result.request.body.size() < content_length)
     {
-        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        const auto n = recv_within_deadline(fd, buffer, sizeof(buffer), deadline);
+        if (n == -2)
+        {
+            result.timed_out = true;
+            return result;
+        }
         if (n <= 0)
         {
             result.malformed = true;
@@ -379,11 +425,16 @@ void catalog_server::serve_connection(const int fd)
     set_socket_timeout(fd, options.request_deadline_s);
     const auto deadline = res::deadline_clock::after(options.request_deadline_s);
 
-    const auto incoming = read_request(fd, options.max_request_bytes);
+    const auto incoming = read_request(fd, options.max_request_bytes, deadline);
     http_response response;
     if (incoming.ok)
     {
         response = handle(incoming.request, deadline);
+    }
+    else if (incoming.timed_out)
+    {
+        tel::count("server.read_timeouts");
+        response = error_response(408, "request was not received within the deadline");
     }
     else if (incoming.too_large)
     {

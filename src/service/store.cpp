@@ -145,23 +145,37 @@ void layout_store::load_manifest()
         return;  // a fresh store
     }
 
+    // any failure to read or parse the manifest, or to extract a numeric
+    // version from it, degrades to an empty store; regeneration rebuilds it
     json_value manifest;
+    std::uint64_t version = 0;
     try
     {
         manifest = json_value::parse(read_file(manifest_path()));
-        const auto version = manifest.at("version").as_u64();
-        if (version > manifest_version)
-        {
-            // genuinely unsupported, not corruption: refuse loudly
-            throw mnt_error{"store: manifest version " + std::to_string(version) +
-                            " is newer than supported version " + std::to_string(manifest_version)};
-        }
+        version = manifest.at("version").as_u64();
     }
-    catch (const parse_error& e)
+    catch (const std::exception& e)
     {
         issues.push_back(corruption("manifest", e.what()));
         tel::count("store.load_issues");
-        return;  // degrade to an empty store; regeneration will rebuild it
+        return;
+    }
+    if (version > manifest_version)
+    {
+        // genuinely unsupported, not corruption: refuse loudly
+        throw mnt_error{"store: manifest version " + std::to_string(version) +
+                        " is newer than supported version " + std::to_string(manifest_version)};
+    }
+    if (version < manifest_version)
+    {
+        // version 1 addressed blobs by 64-bit FNV-1a; every blob reference
+        // would fail the hash cross-check, so treat the store as empty and
+        // let regeneration rewrite it under the current format
+        issues.push_back(corruption("manifest", "manifest version " + std::to_string(version) +
+                                                    " predates the current blob-address format; "
+                                                    "treating the store as empty"));
+        tel::count("store.load_issues");
+        return;
     }
 
     if (const auto* networks_json = manifest.find("networks"); networks_json != nullptr)
@@ -485,7 +499,7 @@ std::optional<std::filesystem::path> layout_store::blob_path(const std::string& 
     return std::nullopt;
 }
 
-store_snapshot layout_store::load() const
+store_snapshot layout_store::load()
 {
     MNT_SPAN("store/load");
     store_snapshot snapshot{};
@@ -497,15 +511,32 @@ store_snapshot layout_store::load() const
         tel::count("store.load_issues");
     };
 
-    for (const auto& n : networks)
+    // a blob whose bytes no longer hash to its name is irrecoverably bad AND
+    // blocks regeneration (put_* skips writing over an existing file), so it
+    // is deleted; a fresh run then rewrites it under the same address
+    const auto discard_blob = [&](const std::filesystem::path& path)
     {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    };
+
+    // indices of entries that failed to load; pruned below so contains() /
+    // has_network() stop claiming them and regeneration reruns the combos
+    std::vector<std::size_t> bad_networks;
+    std::vector<std::size_t> bad_layouts;
+
+    for (std::size_t i = 0; i < networks.size(); ++i)
+    {
+        const auto& n = networks[i];
+        const auto path = blob_dir() / (n.blob + verilog_extension);
         try
         {
-            const auto path = blob_dir() / (n.blob + verilog_extension);
             const auto bytes = read_file(path);
             if (content_hash(bytes) != n.blob)
             {
                 report("network " + n.set + "/" + n.name, "blob content does not match its hash");
+                discard_blob(path);
+                bad_networks.push_back(i);
                 continue;
             }
             auto network = io::read_verilog_string(bytes, n.name);
@@ -514,18 +545,22 @@ store_snapshot layout_store::load() const
         catch (const std::exception& e)
         {
             report("network " + n.set + "/" + n.name, e.what());
+            bad_networks.push_back(i);
         }
     }
 
-    for (const auto& l : layouts)
+    for (std::size_t i = 0; i < layouts.size(); ++i)
     {
+        const auto& l = layouts[i];
+        const auto path = blob_dir() / (l.blob + fgl_extension);
         try
         {
-            const auto path = blob_dir() / (l.blob + fgl_extension);
             const auto bytes = read_file(path);
             if (content_hash(bytes) != l.blob)
             {
                 report(l.key, "blob content does not match its hash");
+                discard_blob(path);
+                bad_layouts.push_back(i);
                 continue;
             }
             cat::layout_record record{};
@@ -540,7 +575,10 @@ store_snapshot layout_store::load() const
             if (record.layout.area() != l.area || record.layout.num_gates() != l.gates ||
                 record.layout.num_wires() != l.wires)
             {
+                // the blob itself is sound (its hash matched) — only the
+                // manifest row is wrong, so the file stays for reuse
                 report(l.key, "blob metrics do not match the manifest");
+                bad_layouts.push_back(i);
                 continue;
             }
             snapshot.catalog.add_layout(std::move(record));
@@ -549,7 +587,20 @@ store_snapshot layout_store::load() const
         catch (const std::exception& e)
         {
             report(l.key, e.what());
+            bad_layouts.push_back(i);
         }
+    }
+
+    // prune in reverse so the collected indices stay valid
+    for (auto it = bad_layouts.rbegin(); it != bad_layouts.rend(); ++it)
+    {
+        keys.erase(layouts[*it].key);
+        layouts.erase(layouts.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    for (auto it = bad_networks.rbegin(); it != bad_networks.rend(); ++it)
+    {
+        network_names.erase(networks[*it].set + "/" + networks[*it].name);
+        networks.erase(networks.begin() + static_cast<std::ptrdiff_t>(*it));
     }
 
     for (const auto& f : failures)

@@ -26,6 +26,9 @@
 ///   reports it as a \ref mnt::res::combo_outcome (the PR 2 outcome
 ///   taxonomy); everything healthy loads. A wholly unreadable manifest
 ///   degrades to an empty store plus a report entry instead of throwing.
+///   Skipped entries are pruned (cache key dropped, mismatched blob file
+///   deleted), so incremental regeneration repairs the damage on the next
+///   run instead of treating the corrupt entry as cached.
 /// - **Incremental regeneration.** Every layout and every completed
 ///   portfolio combination is indexed under a \ref cache_key;
 ///   generate_portfolio consults it (via portfolio_params::is_cached) and
@@ -77,8 +80,11 @@ struct store_snapshot
 class layout_store
 {
 public:
-    /// Current manifest schema version.
-    static constexpr std::uint64_t manifest_version = 1;
+    /// Current manifest schema version. Version 2 switched the blob content
+    /// address from 64-bit FNV-1a to truncated SHA-256 (collision-safe
+    /// download ids); version-1 stores load as empty and are rebuilt by the
+    /// next generation run.
+    static constexpr std::uint64_t manifest_version = 2;
 
     /// Opens (or initializes) the store rooted at \p root. Creates the
     /// directory structure on demand and loads an existing manifest. A
@@ -143,8 +149,12 @@ public:
     // -------------------------------------------------------------- load
 
     /// Reconstructs the full catalog from the manifest and the blobs.
-    /// Corrupt entries are skipped and reported in the snapshot's issues.
-    [[nodiscard]] store_snapshot load() const;
+    /// Corrupt entries are skipped and reported in the snapshot's issues —
+    /// and *pruned*: the entry (and its cache key) is dropped from the
+    /// in-memory manifest so \ref contains no longer claims it, and a blob
+    /// whose bytes no longer match its hash is deleted from disk so the next
+    /// generation run rewrites it instead of being fooled by the stale file.
+    store_snapshot load();
 
 private:
     /// One manifest layout entry: layout_record metadata + blob + cache key.

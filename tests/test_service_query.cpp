@@ -142,7 +142,7 @@ TEST(QueryEngineTest, IdLookupRoundTrips)
     for (std::size_t i = 0; i < catalog.num_layouts(); ++i)
     {
         const auto& id = engine.id_of(i);
-        EXPECT_EQ(id.size(), 16u);
+        EXPECT_EQ(id.size(), 32u);
         const auto index = engine.index_of(id);
         ASSERT_TRUE(index.has_value());
         EXPECT_EQ(*index, i);

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -258,6 +259,51 @@ TEST_F(server_fixture, ServesEveryEndpointOverLoopback)
     server.stop();
     EXPECT_FALSE(server.running());
     server.stop();  // idempotent
+}
+
+TEST_F(server_fixture, SlowClientIsCutOffWithRequestTimeout)
+{
+    server_options options{};
+    options.threads = 1;
+    options.request_deadline_s = 0.3;
+    catalog_server server{*engine, options};
+    server.start();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+
+    // a slow-loris client: trickle an incomplete request head and never
+    // finish it — the worker must answer 408 once the deadline expires
+    // instead of waiting on the socket indefinitely
+    const std::string fragment = "GET /layouts HTTP/1.1\r\n";
+    for (const char c : fragment)
+    {
+        if (::send(fd, &c, 1, 0) <= 0)
+        {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+
+    std::string raw;
+    char buffer[1024];
+    for (;;)
+    {
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+        {
+            break;
+        }
+        raw.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_EQ(raw.rfind("HTTP/1.1 408", 0), 0u) << raw;
+    server.stop();
 }
 
 TEST_F(server_fixture, ConcurrentClientsGetConsistentAnswers)

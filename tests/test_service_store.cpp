@@ -124,13 +124,28 @@ TEST(ServiceJsonTest, CheckedAccessorsThrowOnKindMismatch)
 TEST(ContentHashTest, StableAndHexFormatted)
 {
     const auto h = content_hash("hello");
-    EXPECT_EQ(h.size(), 16u);
+    EXPECT_EQ(h.size(), 32u);
     EXPECT_EQ(h, content_hash("hello"));
     EXPECT_NE(h, content_hash("hello!"));
     for (const char c : h)
     {
         EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
     }
+    // known-answer: the first 128 bits of SHA-256 — part of the on-disk
+    // format and of every download URL, so it must never change
+    EXPECT_EQ(h, "2cf24dba5fb0a30e26e83b2ac5b9e29e");
+    EXPECT_EQ(content_hash(""), "e3b0c44298fc1c149afbf4c8996fb924");
+}
+
+TEST(ContentHashTest, MatchesSha256AcrossBlockBoundaries)
+{
+    // exercise the padding logic around the 64-byte chunk boundary
+    const std::string a(55, 'a');   // length byte still fits the first chunk
+    const std::string b(56, 'a');   // padding spills into a second chunk
+    const std::string c(200, 'a');  // multi-chunk
+    EXPECT_EQ(content_hash(a), "9f4390f8d30c2dd92ec9f095b65e2b9a");
+    EXPECT_EQ(content_hash(b), "b35439a4ac6f0948b6d6f9e3c6af0f5f");
+    EXPECT_EQ(content_hash(c), "c2a908d98f5df987ade41b5fce213067");
 }
 
 // ----------------------------------------------------------------- cache keys
@@ -267,7 +282,7 @@ TEST(LayoutStoreTest, RepeatedFailureReplacesThePreviousRecord)
     EXPECT_EQ(store.num_failures(), 1u);
     store.save();
 
-    const layout_store reopened{dir.path};
+    layout_store reopened{dir.path};
     const auto snapshot = reopened.load();
     ASSERT_EQ(snapshot.catalog.num_failures(), 1u);
     EXPECT_EQ(snapshot.catalog.failures().front().attempts, 2u);
@@ -346,12 +361,77 @@ TEST(LayoutStoreTest, TruncatedBlobIsSkippedAndReported)
     const auto bytes = read_file(blob);
     write_file_atomic(blob, bytes.substr(0, bytes.size() / 2));
 
-    const layout_store reopened{dir.path};
+    layout_store reopened{dir.path};
     const auto snapshot = reopened.load();
     ASSERT_EQ(snapshot.issues.size(), 1u);
     EXPECT_EQ(snapshot.issues.front().kind, res::outcome_kind::internal_error);
     ASSERT_EQ(snapshot.catalog.num_layouts(), 1u);  // the intact layout loads
     EXPECT_EQ(snapshot.catalog.layouts().front().library, cat::gate_library_kind::qca_one);
+}
+
+TEST(LayoutStoreTest, CorruptBlobIsPrunedAndRegenerable)
+{
+    const store_dir dir{"mnt_store_regen_blob_test"};
+    const auto record = make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", pd::ortho(bm::mux21()));
+    const auto key = cache_key(record);
+    std::string blob_id;
+    {
+        layout_store store{dir.path};
+        blob_id = store.put_layout(record);
+        store.save();
+    }
+    // damage the blob in place: its bytes no longer match its hash
+    const auto blob = dir.path / "blobs" / (blob_id + ".fgl");
+    write_file_atomic(blob, "garbage");
+
+    layout_store reopened{dir.path};
+    EXPECT_TRUE(reopened.contains(key));  // the manifest still claims it ...
+    const auto snapshot = reopened.load();
+    ASSERT_EQ(snapshot.issues.size(), 1u);
+    EXPECT_EQ(snapshot.catalog.num_layouts(), 0u);
+
+    // ... but load() pruned the entry and deleted the bad file, so the next
+    // generation run reruns the combo and rewrites the blob
+    EXPECT_FALSE(reopened.contains(key));
+    EXPECT_FALSE(std::filesystem::exists(blob));
+    EXPECT_EQ(reopened.put_layout(record), blob_id);
+    EXPECT_TRUE(std::filesystem::exists(blob));
+    reopened.save();
+
+    layout_store repaired{dir.path};
+    const auto healthy = repaired.load();
+    EXPECT_TRUE(healthy.issues.empty());
+    ASSERT_EQ(healthy.catalog.num_layouts(), 1u);
+    EXPECT_EQ(read_file(blob), io::write_fgl_string(record.layout));
+}
+
+TEST(LayoutStoreTest, ManifestWithBadVersionFieldDegradesToEmptyStore)
+{
+    const store_dir dir{"mnt_store_bad_version_test"};
+    for (const char* manifest : {"{\"layouts\": []}",               // version missing
+                                 "{\"version\": \"two\"}",         // version not a number
+                                 "{\"version\": 2, \"layouts\""})  // truncated document
+    {
+        std::filesystem::create_directories(dir.path / "blobs");
+        write_file_atomic(dir.path / "manifest.json", manifest);
+        layout_store store{dir.path};  // must not throw
+        ASSERT_FALSE(store.open_issues().empty()) << manifest;
+        EXPECT_EQ(store.open_issues().front().kind, res::outcome_kind::internal_error);
+        EXPECT_EQ(store.num_layouts(), 0u);
+    }
+}
+
+TEST(LayoutStoreTest, OlderManifestVersionLoadsAsEmptyStore)
+{
+    const store_dir dir{"mnt_store_old_version_test"};
+    std::filesystem::create_directories(dir.path / "blobs");
+    // a version-1 store addressed blobs by 64-bit FNV-1a; it cannot be
+    // verified under the current format, so it is reported and rebuilt
+    write_file_atomic(dir.path / "manifest.json", "{\"version\": 1, \"layouts\": []}");
+    layout_store store{dir.path};
+    ASSERT_FALSE(store.open_issues().empty());
+    EXPECT_NE(store.open_issues().front().message.find("predates"), std::string::npos);
+    EXPECT_EQ(store.num_layouts(), 0u);
 }
 
 TEST(LayoutStoreTest, MissingBlobIsSkippedAndReported)
@@ -366,7 +446,7 @@ TEST(LayoutStoreTest, MissingBlobIsSkippedAndReported)
     }
     std::filesystem::remove(dir.path / "blobs" / (blob_id + ".fgl"));
 
-    const layout_store reopened{dir.path};
+    layout_store reopened{dir.path};
     const auto snapshot = reopened.load();
     EXPECT_EQ(snapshot.catalog.num_layouts(), 0u);
     ASSERT_EQ(snapshot.issues.size(), 1u);
