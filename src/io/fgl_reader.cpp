@@ -7,6 +7,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,10 +31,24 @@ std::int64_t parse_int(const std::string& text, const std::string& context, cons
     return value;
 }
 
+/// Hard ceiling on width * height accepted from a file. The dense grid
+/// allocates storage for every tile up front, so an absurd declared size
+/// must be a diagnostic, not an attempted multi-gigabyte allocation.
+constexpr std::int64_t max_fgl_area = 16'777'216;  // 2^24 tiles
+
+std::int32_t checked_i32(const std::int64_t value, const std::string& context, const std::size_t line)
+{
+    if (value < std::numeric_limits<std::int32_t>::min() || value > std::numeric_limits<std::int32_t>::max())
+    {
+        throw parse_error{"coordinate " + std::to_string(value) + " out of range in " + context, line};
+    }
+    return static_cast<std::int32_t>(value);
+}
+
 lyt::coordinate parse_loc(const xml::element& loc, const std::string& context)
 {
-    const auto x = parse_int(loc.child_text("x"), context + "/x", loc.line);
-    const auto y = parse_int(loc.child_text("y"), context + "/y", loc.line);
+    const auto x = checked_i32(parse_int(loc.child_text("x"), context + "/x", loc.line), context + "/x", loc.line);
+    const auto y = checked_i32(parse_int(loc.child_text("y"), context + "/y", loc.line), context + "/y", loc.line);
     std::int64_t z = 0;
     if (loc.child("z") != nullptr)
     {
@@ -43,7 +58,7 @@ lyt::coordinate parse_loc(const xml::element& loc, const std::string& context)
     {
         throw parse_error{"layer z must be 0 or 1 in " + context, loc.line};
     }
-    return {static_cast<std::int32_t>(x), static_cast<std::int32_t>(y), static_cast<std::uint8_t>(z)};
+    return {x, y, static_cast<std::uint8_t>(z)};
 }
 
 }  // namespace
@@ -81,6 +96,12 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
     {
         throw parse_error{"layout dimensions must be positive", size->line};
     }
+    if (width > max_fgl_area || height > max_fgl_area || width * height > max_fgl_area)
+    {
+        throw parse_error{"layout size " + std::to_string(width) + "x" + std::to_string(height) +
+                              " exceeds the supported area of " + std::to_string(max_fgl_area) + " tiles",
+                          size->line};
+    }
 
     auto scheme = lyt::clocking_scheme::create(clocking_kind);
     if (!scheme.is_regular())
@@ -96,6 +117,15 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
                 if (clock < 0 || clock >= lyt::clocking_scheme::num_clocks)
                 {
                     throw parse_error{"clock zone must be in [0, 4)", zone->line};
+                }
+                // zones live on the (already parsed) layout grid; bounding
+                // them here keeps hostile coordinates from blowing up the
+                // dense per-tile zone storage
+                if (x < 0 || y < 0 || x >= width || y >= height)
+                {
+                    throw parse_error{"clock zone location (" + std::to_string(x) + ", " + std::to_string(y) +
+                                          ") is outside the declared layout size",
+                                      zone->line};
                 }
                 scheme.assign_clock({static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)},
                                     static_cast<std::uint8_t>(clock));
@@ -117,6 +147,7 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
     {
         lyt::coordinate from;
         lyt::coordinate to;
+        std::size_t line;  // source line of the <loc> for diagnostics
     };
     std::vector<pending_connection> connections;
     std::size_t num_records = 0;
@@ -154,7 +185,13 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         {
             for (const auto* in : incoming->children_of("loc"))
             {
-                connections.push_back({parse_loc(*in, "incoming/loc"), c});
+                const auto from = parse_loc(*in, "incoming/loc");
+                if (from == c)
+                {
+                    throw design_rule_error{std::string{"fgl (line "} + std::to_string(in->line) +
+                                            "): gate at " + c.to_string() + " lists itself as fanin"};
+                }
+                connections.push_back({from, c, in->line});
             }
         }
     }
@@ -168,7 +205,7 @@ lyt::gate_level_layout read_fgl(std::istream& input, const fgl_reader_options& o
         }
         catch (const precondition_error& e)
         {
-            throw design_rule_error{std::string{"fgl: "} + e.what()};
+            throw design_rule_error{std::string{"fgl (line "} + std::to_string(conn.line) + "): " + e.what()};
         }
     }
 

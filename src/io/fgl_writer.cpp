@@ -37,8 +37,11 @@ void write_fgl(const lyt::gate_level_layout& layout, std::ostream& output)
     size.add("x", std::to_string(layout.width()));
     size.add("y", std::to_string(layout.height()));
 
+    // one sorted scan serves both the gate list and the clock-zone list
+    const auto tiles = layout.tiles_sorted();
+
     auto& gates = lay.add("gates");
-    for (const auto& c : layout.tiles_sorted())
+    for (const auto& c : tiles)
     {
         const auto& d = layout.get(c);
         ++num_records;
@@ -62,7 +65,7 @@ void write_fgl(const lyt::gate_level_layout& layout, std::ostream& output)
     if (!layout.clocking().is_regular())
     {
         auto& zones = lay.add("clockzones");
-        for (const auto& c : layout.tiles_sorted())
+        for (const auto& c : tiles)
         {
             if (c.z != 0)
             {

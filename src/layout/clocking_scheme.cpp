@@ -131,12 +131,21 @@ bool clocking_scheme::is_regular() const noexcept
     return scheme_kind != clocking_kind::open;
 }
 
+std::uint8_t clocking_scheme::zone_at(const std::int32_t x, const std::int32_t y) const noexcept
+{
+    if (x < 0 || y < 0 || x >= static_cast<std::int32_t>(assigned_w) || y >= static_cast<std::int32_t>(assigned_h))
+    {
+        return unassigned;
+    }
+    return assigned[static_cast<std::size_t>(y) * assigned_w + static_cast<std::size_t>(x)];
+}
+
 std::uint8_t clocking_scheme::clock_number(const coordinate& c) const
 {
     if (scheme_kind == clocking_kind::open)
     {
-        const auto it = assigned.find(c.ground());
-        return it == assigned.cend() ? std::uint8_t{0} : it->second;
+        const auto zone = zone_at(c.x, c.y);
+        return zone == unassigned ? std::uint8_t{0} : zone;
     }
     const auto yy = ((c.y % 4) + 4) % 4;
     const auto xx = ((c.x % 4) + 4) % 4;
@@ -153,12 +162,68 @@ void clocking_scheme::assign_clock(const coordinate& c, const std::uint8_t zone)
     {
         throw precondition_error{"assign_clock: zone must be in [0, 4)"};
     }
-    assigned[c.ground()] = zone;
+    if (c.x < 0 || c.y < 0)
+    {
+        throw precondition_error{"assign_clock: tile " + c.to_string() + " has negative coordinates"};
+    }
+    const auto x = static_cast<std::uint32_t>(c.x);
+    const auto y = static_cast<std::uint32_t>(c.y);
+    if (x >= assigned_w || y >= assigned_h)
+    {
+        // grow the dense grid geometrically so repeated assignments along a
+        // diagonal stay amortized-linear
+        const auto new_w = std::max({x + 1, assigned_w, assigned_w * 2});
+        const auto new_h = std::max({y + 1, assigned_h, assigned_h * 2});
+        std::vector<std::uint8_t> grown(static_cast<std::size_t>(new_w) * new_h, unassigned);
+        for (std::uint32_t row = 0; row < assigned_h; ++row)
+        {
+            std::copy_n(assigned.begin() + static_cast<std::ptrdiff_t>(row) * assigned_w, assigned_w,
+                        grown.begin() + static_cast<std::ptrdiff_t>(row) * new_w);
+        }
+        assigned = std::move(grown);
+        assigned_w = new_w;
+        assigned_h = new_h;
+    }
+    auto& cell = assigned[static_cast<std::size_t>(y) * assigned_w + x];
+    if (cell == unassigned)
+    {
+        ++assigned_count;
+    }
+    cell = zone;
 }
 
 bool clocking_scheme::has_assigned_clock(const coordinate& c) const
 {
-    return scheme_kind != clocking_kind::open || assigned.contains(c.ground());
+    return scheme_kind != clocking_kind::open || zone_at(c.x, c.y) != unassigned;
+}
+
+std::size_t clocking_scheme::num_assigned_clocks() const noexcept
+{
+    return assigned_count;
+}
+
+void clocking_scheme::prune_assigned_outside(const std::uint32_t width, const std::uint32_t height)
+{
+    if (scheme_kind != clocking_kind::open || assigned_count == 0)
+    {
+        return;
+    }
+    for (std::uint32_t y = 0; y < assigned_h; ++y)
+    {
+        for (std::uint32_t x = 0; x < assigned_w; ++x)
+        {
+            if (x < width && y < height)
+            {
+                continue;
+            }
+            auto& cell = assigned[static_cast<std::size_t>(y) * assigned_w + x];
+            if (cell != unassigned)
+            {
+                cell = unassigned;
+                --assigned_count;
+            }
+        }
+    }
 }
 
 bool clocking_scheme::is_incoming_clocked(const coordinate& to, const coordinate& from) const
@@ -168,7 +233,25 @@ bool clocking_scheme::is_incoming_clocked(const coordinate& to, const coordinate
 
 bool clocking_scheme::operator==(const clocking_scheme& other) const
 {
-    return scheme_kind == other.scheme_kind && cutout == other.cutout && assigned == other.assigned;
+    if (scheme_kind != other.scheme_kind || cutout != other.cutout || assigned_count != other.assigned_count)
+    {
+        return false;
+    }
+    // dense extents may differ (they track assignment history, not content):
+    // compare the assigned sets semantically
+    for (std::uint32_t y = 0; y < assigned_h; ++y)
+    {
+        for (std::uint32_t x = 0; x < assigned_w; ++x)
+        {
+            const auto zone = assigned[static_cast<std::size_t>(y) * assigned_w + x];
+            if (zone != unassigned &&
+                zone != other.zone_at(static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)))
+            {
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 bool may_flow(const clocking_kind kind, const layout_topology topo, const coordinate& from, const coordinate& to)

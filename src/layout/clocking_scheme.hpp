@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace mnt::lyt
@@ -85,11 +84,22 @@ public:
 
     /// Assigns a zone in an OPEN scheme.
     ///
-    /// \throws precondition_error when called on a regular scheme
+    /// \throws precondition_error when called on a regular scheme, with a
+    ///         zone >= 4, or with negative coordinates (per-tile zones live
+    ///         on the non-negative layout grid)
     void assign_clock(const coordinate& c, std::uint8_t zone);
 
     /// For OPEN schemes: whether a zone has been explicitly assigned.
     [[nodiscard]] bool has_assigned_clock(const coordinate& c) const;
+
+    /// Number of explicitly assigned per-tile zones (0 for regular schemes).
+    [[nodiscard]] std::size_t num_assigned_clocks() const noexcept;
+
+    /// Drops every per-tile zone at x >= width or y >= height. Called by
+    /// layout resize/shrink so that stale overrides outside the new bounds
+    /// cannot resurface when the layout later grows again. No-op on regular
+    /// schemes.
+    void prune_assigned_outside(std::uint32_t width, std::uint32_t height);
 
     /// True if information can flow from tile \p from to planar-adjacent tile
     /// \p to, i.e. zone(to) == zone(from) + 1 (mod 4). Adjacency itself is
@@ -101,11 +111,23 @@ public:
 private:
     explicit clocking_scheme(clocking_kind scheme_kind);
 
+    /// Sentinel marking an unassigned cell of the dense zone grid.
+    static constexpr std::uint8_t unassigned = 0xFF;
+
+    /// Grid cell for \p c, or \ref unassigned if outside the stored extent.
+    [[nodiscard]] std::uint8_t zone_at(std::int32_t x, std::int32_t y) const noexcept;
+
     clocking_kind scheme_kind;
     /// 4x4 cutout for regular schemes, indexed [y % 4][x % 4].
     std::array<std::array<std::uint8_t, 4>, 4> cutout{};
-    /// Per-tile zones for OPEN schemes (ground coordinates only).
-    std::unordered_map<coordinate, std::uint8_t, coordinate_hash> assigned;
+    /// Per-tile zones for OPEN schemes as a dense row-major grid over the
+    /// ground layer; \ref unassigned marks untouched cells. The extent grows
+    /// on demand in \ref assign_clock — layouts assign zones for their own
+    /// (non-negative, in-bounds) tiles, so the grid tracks the layout area.
+    std::vector<std::uint8_t> assigned;
+    std::uint32_t assigned_w{0};
+    std::uint32_t assigned_h{0};
+    std::size_t assigned_count{0};
 };
 
 /// Lists all regular scheme kinds applicable to a topology: Cartesian

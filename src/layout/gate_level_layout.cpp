@@ -27,6 +27,7 @@ gate_level_layout::gate_level_layout(std::string layout_name, const layout_topol
     {
         throw precondition_error{"gate_level_layout: hexagonal layouts support only ROW or OPEN clocking"};
     }
+    grid.resize(static_cast<std::size_t>(2) * w * h);
 }
 
 gate_level_layout::gate_level_layout() :
@@ -75,20 +76,54 @@ void gate_level_layout::resize(const std::uint32_t width, const std::uint32_t he
     {
         throw precondition_error{"resize: dimensions must be positive"};
     }
-    for (const auto& [c, d] : tiles)
+    // validate-then-commit: a failed resize must leave the layout untouched
+    if (width < w || height < h)
     {
-        if (c.x >= static_cast<std::int32_t>(width) || c.y >= static_cast<std::int32_t>(height))
+        bool all_inside = true;
+        coordinate offender{};
+        foreach_tile(
+            [&](const coordinate& c, const tile_data&)
+            {
+                if (all_inside &&
+                    (c.x >= static_cast<std::int32_t>(width) || c.y >= static_cast<std::int32_t>(height)))
+                {
+                    all_inside = false;
+                    offender = c;
+                }
+            });
+        if (!all_inside)
         {
-            throw precondition_error{"resize: occupied tile " + c.to_string() + " would fall out of bounds"};
+            throw precondition_error{"resize: occupied tile " + offender.to_string() +
+                                     " would fall out of bounds"};
         }
     }
+
+    std::vector<grid_slot> remapped(static_cast<std::size_t>(2) * width * height);
+    std::size_t index = 0;
+    for (std::uint8_t z = 0; z < 2; ++z)
+    {
+        for (std::uint32_t y = 0; y < h; ++y)
+        {
+            for (std::uint32_t x = 0; x < w; ++x, ++index)
+            {
+                auto& slot = grid[index];
+                if (slot.data.type == ntk::gate_type::none || x >= width || y >= height)
+                {
+                    continue;
+                }
+                remapped[(static_cast<std::size_t>(z) * height + y) * width + x] = std::move(slot);
+            }
+        }
+    }
+    grid = std::move(remapped);
     w = width;
     h = height;
+    scheme.prune_assigned_outside(width, height);
 }
 
 std::pair<coordinate, coordinate> gate_level_layout::bounding_box() const
 {
-    if (tiles.empty())
+    if (occupied_count == 0)
     {
         return {{0, 0}, {0, 0}};
     }
@@ -96,41 +131,48 @@ std::pair<coordinate, coordinate> gate_level_layout::bounding_box() const
     std::int32_t min_y = std::numeric_limits<std::int32_t>::max();
     std::int32_t max_x = std::numeric_limits<std::int32_t>::min();
     std::int32_t max_y = std::numeric_limits<std::int32_t>::min();
-    for (const auto& [c, d] : tiles)
-    {
-        min_x = std::min(min_x, c.x);
-        min_y = std::min(min_y, c.y);
-        max_x = std::max(max_x, c.x);
-        max_y = std::max(max_y, c.y);
-    }
+    foreach_tile(
+        [&](const coordinate& c, const tile_data&)
+        {
+            min_x = std::min(min_x, c.x);
+            min_y = std::min(min_y, c.y);
+            max_x = std::max(max_x, c.x);
+            max_y = std::max(max_y, c.y);
+        });
     return {{min_x, min_y}, {max_x, max_y}};
 }
 
 void gate_level_layout::shrink_to_fit()
 {
-    if (tiles.empty())
+    if (occupied_count == 0)
     {
         w = 1;
         h = 1;
+        grid.assign(2, grid_slot{});
+        scheme.prune_assigned_outside(1, 1);
         return;
     }
     const auto [min_c, max_c] = bounding_box();
 
+    std::int32_t dx = 0;
+    std::int32_t dy = 0;
     if (min_c.x != 0 || min_c.y != 0)
     {
         // Translate everything toward the origin by the largest shift that
         // preserves all clock zones (regular schemes are 4-periodic, so at
         // most 3 rows/columns of margin remain). Hexagonal layouts
-        // additionally require an even row shift to keep the offset parity.
+        // additionally require an even row shift to keep the offset parity —
+        // for OPEN schemes as well: zones can be re-keyed, but an odd row
+        // shift would change the offset neighborhoods themselves.
         const auto zone_preserving = [this](const std::int32_t sx, const std::int32_t sy)
         {
-            if (!scheme.is_regular())
-            {
-                return true;  // zones are re-keyed below
-            }
             if (topo == layout_topology::hexagonal_even_row && sy % 2 != 0)
             {
                 return false;
+            }
+            if (!scheme.is_regular())
+            {
+                return true;  // zones are re-keyed below
             }
             for (std::int32_t y = 0; y < 4; ++y)
             {
@@ -145,8 +187,6 @@ void gate_level_layout::shrink_to_fit()
             return true;
         };
 
-        std::int32_t dx = 0;
-        std::int32_t dy = 0;
         for (std::int32_t sx = min_c.x; sx >= std::max(0, min_c.x - 3); --sx)
         {
             for (std::int32_t sy = min_c.y; sy >= std::max(0, min_c.y - 3); --sy)
@@ -158,57 +198,86 @@ void gate_level_layout::shrink_to_fit()
                 }
             }
         }
-
-        if (dx != 0 || dy != 0)
-        {
-            std::unordered_map<coordinate, tile_data, coordinate_hash> new_tiles;
-            std::unordered_map<coordinate, std::vector<coordinate>, coordinate_hash> new_outgoing;
-            const auto shift = [dx, dy](const coordinate& c) { return coordinate{c.x - dx, c.y - dy, c.z}; };
-            for (auto& [c, d] : tiles)
-            {
-                auto nd = std::move(d);
-                for (auto& in : nd.incoming)
-                {
-                    in = shift(in);
-                }
-                new_tiles.emplace(shift(c), std::move(nd));
-            }
-            for (auto& [c, outs] : outgoing)
-            {
-                auto no = std::move(outs);
-                for (auto& o : no)
-                {
-                    o = shift(o);
-                }
-                new_outgoing.emplace(shift(c), std::move(no));
-            }
-            tiles = std::move(new_tiles);
-            outgoing = std::move(new_outgoing);
-            for (auto& c : pis)
-            {
-                c = shift(c);
-            }
-            for (auto& c : pos)
-            {
-                c = shift(c);
-            }
-            if (!scheme.is_regular())
-            {
-                // re-key the assigned zones
-                clocking_scheme shifted = clocking_scheme::open();
-                for (const auto& [c, d] : tiles)
-                {
-                    shifted.assign_clock(c.ground(), scheme.clock_number(coordinate{c.x + dx, c.y + dy, 0}));
-                }
-                scheme = std::move(shifted);
-            }
-            w = static_cast<std::uint32_t>(max_c.x - dx + 1);
-            h = static_cast<std::uint32_t>(max_c.y - dy + 1);
-            return;
-        }
     }
-    w = static_cast<std::uint32_t>(max_c.x + 1);
-    h = static_cast<std::uint32_t>(max_c.y + 1);
+
+    const auto new_w = static_cast<std::uint32_t>(max_c.x - dx + 1);
+    const auto new_h = static_cast<std::uint32_t>(max_c.y - dy + 1);
+    const auto shift = [dx, dy](const coordinate& c) { return coordinate{c.x - dx, c.y - dy, c.z}; };
+
+    if (dx != 0 || dy != 0)
+    {
+        // remap the grid under the translation, patching the coordinates
+        // embedded in fanin/fanout lists
+        std::vector<grid_slot> remapped(static_cast<std::size_t>(2) * new_w * new_h);
+        std::size_t index = 0;
+        for (std::uint8_t z = 0; z < 2; ++z)
+        {
+            for (std::uint32_t y = 0; y < h; ++y)
+            {
+                for (std::uint32_t x = 0; x < w; ++x, ++index)
+                {
+                    auto& slot = grid[index];
+                    if (slot.data.type == ntk::gate_type::none)
+                    {
+                        continue;
+                    }
+                    const auto to = shift({static_cast<std::int32_t>(x), static_cast<std::int32_t>(y), z});
+                    for (auto& in : slot.data.incoming)
+                    {
+                        in = shift(in);
+                    }
+                    for (std::uint8_t i = 0; i < slot.out_count; ++i)
+                    {
+                        slot.outs[i] = shift(slot.outs[i]);
+                    }
+                    remapped[(static_cast<std::size_t>(to.z) * new_h + static_cast<std::size_t>(to.y)) * new_w +
+                             static_cast<std::size_t>(to.x)] = std::move(slot);
+                }
+            }
+        }
+
+        if (!scheme.is_regular())
+        {
+            // re-key the assigned zones of the occupied ground positions
+            // (crossings share their ground tile's zone, so assign per ground
+            // coordinate of every occupied tile)
+            clocking_scheme shifted = clocking_scheme::open();
+            index = 0;
+            for (std::uint8_t z = 0; z < 2; ++z)
+            {
+                for (std::uint32_t y = 0; y < new_h; ++y)
+                {
+                    for (std::uint32_t x = 0; x < new_w; ++x, ++index)
+                    {
+                        if (remapped[index].data.type != ntk::gate_type::none)
+                        {
+                            shifted.assign_clock(
+                                {static_cast<std::int32_t>(x), static_cast<std::int32_t>(y), 0},
+                                scheme.clock_number(
+                                    {static_cast<std::int32_t>(x) + dx, static_cast<std::int32_t>(y) + dy, 0}));
+                        }
+                    }
+                }
+            }
+            scheme = std::move(shifted);
+        }
+
+        grid = std::move(remapped);
+        for (auto& c : pis)
+        {
+            c = shift(c);
+        }
+        for (auto& c : pos)
+        {
+            c = shift(c);
+        }
+        w = new_w;
+        h = new_h;
+        scheme.prune_assigned_outside(new_w, new_h);
+        return;
+    }
+
+    resize(new_w, new_h);
 }
 
 void gate_level_layout::place(const coordinate& c, const ntk::gate_type t, const std::string& io_name)
@@ -217,7 +286,8 @@ void gate_level_layout::place(const coordinate& c, const ntk::gate_type t, const
     {
         throw precondition_error{"place: tile " + c.to_string() + " is out of bounds"};
     }
-    if (tiles.contains(c))
+    auto& slot = slot_at(c);
+    if (slot.data.type != ntk::gate_type::none)
     {
         throw precondition_error{"place: tile " + c.to_string() + " is already occupied"};
     }
@@ -230,10 +300,9 @@ void gate_level_layout::place(const coordinate& c, const ntk::gate_type t, const
         throw precondition_error{"place: crossing layer tiles may only host wire segments"};
     }
 
-    tile_data d{};
-    d.type = t;
-    d.io_name = io_name;
-    tiles.emplace(c, std::move(d));
+    slot.data.type = t;
+    slot.data.io_name = io_name;
+    ++occupied_count;
 
     if (t == ntk::gate_type::pi)
     {
@@ -247,7 +316,7 @@ void gate_level_layout::place(const coordinate& c, const ntk::gate_type t, const
 
 void gate_level_layout::check_occupied(const coordinate& c, const char* ctx) const
 {
-    if (!tiles.contains(c))
+    if (!occupied_at(c))
     {
         throw precondition_error{std::string{ctx} + ": tile " + c.to_string() + " is empty"};
     }
@@ -258,48 +327,59 @@ void gate_level_layout::connect(const coordinate& src, const coordinate& dst)
     check_occupied(src, "connect (source)");
     check_occupied(dst, "connect (target)");
 
-    auto& d = tiles.at(dst);
+    auto& d = slot_at(dst).data;
     const auto capacity = (dst.z == 1) ? std::size_t{1} : static_cast<std::size_t>(ntk::gate_arity(d.type));
     if (d.incoming.size() >= capacity)
     {
         throw precondition_error{"connect: all fanin slots of " + dst.to_string() + " are taken"};
     }
+    auto& src_slot = slot_at(src);
+    if (src_slot.out_count >= max_fanout)
+    {
+        throw precondition_error{"connect: fanout capacity (" + std::to_string(max_fanout) + ") of " +
+                                 src.to_string() + " is exhausted"};
+    }
     d.incoming.push_back(src);
-    outgoing[src].push_back(dst);
+    src_slot.outs[src_slot.out_count++] = dst;
+}
+
+void gate_level_layout::erase_outgoing(grid_slot& slot, const coordinate& dst) noexcept
+{
+    for (std::uint8_t i = 0; i < slot.out_count; ++i)
+    {
+        if (slot.outs[i] == dst)
+        {
+            for (std::uint8_t j = i; j + 1 < slot.out_count; ++j)
+            {
+                slot.outs[j] = slot.outs[j + 1];
+            }
+            --slot.out_count;
+            return;
+        }
+    }
 }
 
 void gate_level_layout::disconnect(const coordinate& src, const coordinate& dst)
 {
-    const auto it = tiles.find(dst);
-    if (it != tiles.end())
+    if (occupied_at(dst))
     {
-        auto& in = it->second.incoming;
+        auto& in = slot_at(dst).data.incoming;
         const auto pos_it = std::find(in.begin(), in.end(), src);
         if (pos_it != in.end())
         {
             in.erase(pos_it);
         }
     }
-    const auto out_it = outgoing.find(src);
-    if (out_it != outgoing.end())
+    if (within_bounds(src))
     {
-        auto& outs = out_it->second;
-        const auto pos_it = std::find(outs.begin(), outs.end(), dst);
-        if (pos_it != outs.end())
-        {
-            outs.erase(pos_it);
-        }
-        if (outs.empty())
-        {
-            outgoing.erase(out_it);
-        }
+        erase_outgoing(slot_at(src), dst);
     }
 }
 
 void gate_level_layout::set_incoming_order(const coordinate& dst, const std::vector<coordinate>& order)
 {
     check_occupied(dst, "set_incoming_order");
-    auto& in = tiles.at(dst).incoming;
+    auto& in = slot_at(dst).data.incoming;
     auto sorted_current = in;
     auto sorted_order = order;
     std::sort(sorted_current.begin(), sorted_current.end());
@@ -314,29 +394,26 @@ void gate_level_layout::set_incoming_order(const coordinate& dst, const std::vec
 
 void gate_level_layout::clear_tile(const coordinate& c)
 {
-    const auto it = tiles.find(c);
-    if (it == tiles.end())
+    if (!occupied_at(c))
     {
         return;
     }
+    auto& slot = slot_at(c);
 
     // sever incoming connections
-    for (const auto& src : std::vector<coordinate>{it->second.incoming})
+    for (const auto& src : std::vector<coordinate>{slot.data.incoming})
     {
         disconnect(src, c);
     }
     // sever outgoing connections
-    if (const auto out_it = outgoing.find(c); out_it != outgoing.end())
+    while (slot.out_count > 0)
     {
-        for (const auto& dst : std::vector<coordinate>{out_it->second})
-        {
-            disconnect(c, dst);
-        }
+        disconnect(c, slot.outs[0]);
     }
-    outgoing.erase(c);
 
-    const auto t = it->second.type;
-    tiles.erase(it);
+    const auto t = slot.data.type;
+    slot.data = tile_data{};
+    --occupied_count;
     if (t == ntk::gate_type::pi)
     {
         pis.erase(std::remove(pis.begin(), pis.end(), c), pis.end());
@@ -354,45 +431,50 @@ void gate_level_layout::move_tile(const coordinate& from, const coordinate& to)
         return;
     }
     check_occupied(from, "move_tile");
-    if (tiles.contains(to))
-    {
-        throw precondition_error{"move_tile: target " + to.to_string() + " is occupied"};
-    }
     if (!within_bounds(to))
     {
         throw precondition_error{"move_tile: target " + to.to_string() + " is out of bounds"};
     }
-
-    auto d = std::move(tiles.at(from));
-    tiles.erase(from);
-    if (to.z == 1 && d.type != ntk::gate_type::buf)
+    if (slot_at(to).data.type != ntk::gate_type::none)
     {
-        tiles.emplace(from, std::move(d));
+        throw precondition_error{"move_tile: target " + to.to_string() + " is occupied"};
+    }
+    auto& src_slot = slot_at(from);
+    if (to.z == 1 && src_slot.data.type != ntk::gate_type::buf)
+    {
         throw precondition_error{"move_tile: crossing layer tiles may only host wire segments"};
     }
 
     // patch fanin lists of successors
-    if (const auto out_it = outgoing.find(from); out_it != outgoing.end())
+    for (std::uint8_t i = 0; i < src_slot.out_count; ++i)
     {
-        for (const auto& dst : out_it->second)
-        {
-            auto& in = tiles.at(dst).incoming;
-            std::replace(in.begin(), in.end(), from, to);
-        }
-        outgoing.emplace(to, std::move(out_it->second));
-        outgoing.erase(from);
+        auto& in = slot_at(src_slot.outs[i]).data.incoming;
+        std::replace(in.begin(), in.end(), from, to);
     }
     // patch outgoing lists of predecessors
-    for (const auto& src : d.incoming)
+    for (const auto& src : src_slot.data.incoming)
     {
-        if (const auto src_out = outgoing.find(src); src_out != outgoing.end())
+        if (within_bounds(src))
         {
-            std::replace(src_out->second.begin(), src_out->second.end(), from, to);
+            auto& pred = slot_at(src);
+            for (std::uint8_t i = 0; i < pred.out_count; ++i)
+            {
+                if (pred.outs[i] == from)
+                {
+                    pred.outs[i] = to;
+                }
+            }
         }
     }
 
-    const auto t = d.type;
-    tiles.emplace(to, std::move(d));
+    auto& dst_slot = slot_at(to);
+    dst_slot.data = std::move(src_slot.data);
+    dst_slot.outs = src_slot.outs;
+    dst_slot.out_count = src_slot.out_count;
+    src_slot.data = tile_data{};
+    src_slot.out_count = 0;
+
+    const auto t = dst_slot.data.type;
     if (t == ntk::gate_type::pi)
     {
         std::replace(pis.begin(), pis.end(), from, to);
@@ -405,38 +487,39 @@ void gate_level_layout::move_tile(const coordinate& from, const coordinate& to)
 
 bool gate_level_layout::is_empty_tile(const coordinate& c) const
 {
-    return !tiles.contains(c);
+    return !occupied_at(c);
 }
 
 bool gate_level_layout::has_tile(const coordinate& c) const
 {
-    return tiles.contains(c);
+    return occupied_at(c);
 }
 
 const gate_level_layout::tile_data& gate_level_layout::get(const coordinate& c) const
 {
     check_occupied(c, "get");
-    return tiles.at(c);
+    return slot_at(c).data;
 }
 
 ntk::gate_type gate_level_layout::type_of(const coordinate& c) const
 {
-    const auto it = tiles.find(c);
-    return it == tiles.cend() ? ntk::gate_type::none : it->second.type;
+    return occupied_at(c) ? slot_at(c).data.type : ntk::gate_type::none;
 }
 
 const std::vector<coordinate>& gate_level_layout::incoming_of(const coordinate& c) const
 {
     static const std::vector<coordinate> empty{};
-    const auto it = tiles.find(c);
-    return it == tiles.cend() ? empty : it->second.incoming;
+    return occupied_at(c) ? slot_at(c).data.incoming : empty;
 }
 
-const std::vector<coordinate>& gate_level_layout::outgoing_of(const coordinate& c) const
+std::span<const coordinate> gate_level_layout::outgoing_of(const coordinate& c) const
 {
-    static const std::vector<coordinate> empty{};
-    const auto it = outgoing.find(c);
-    return it == outgoing.cend() ? empty : it->second;
+    if (!occupied_at(c))
+    {
+        return {};
+    }
+    const auto& slot = slot_at(c);
+    return {slot.outs.data(), slot.out_count};
 }
 
 const std::vector<coordinate>& gate_level_layout::pi_tiles() const noexcept
@@ -461,27 +544,35 @@ std::size_t gate_level_layout::num_pos() const noexcept
 
 std::size_t gate_level_layout::num_gates() const
 {
-    return static_cast<std::size_t>(std::count_if(tiles.cbegin(), tiles.cend(), [](const auto& kv)
-                                                  { return ntk::is_logic_gate(kv.second.type); }));
+    std::size_t count = 0;
+    foreach_tile([&](const coordinate&, const tile_data& d) { count += ntk::is_logic_gate(d.type) ? 1u : 0u; });
+    return count;
 }
 
 std::size_t gate_level_layout::num_wires() const
 {
-    return static_cast<std::size_t>(
-        std::count_if(tiles.cbegin(), tiles.cend(),
-                      [](const auto& kv)
-                      { return kv.second.type == ntk::gate_type::buf || kv.second.type == ntk::gate_type::fanout; }));
+    std::size_t count = 0;
+    foreach_tile(
+        [&](const coordinate&, const tile_data& d)
+        { count += (d.type == ntk::gate_type::buf || d.type == ntk::gate_type::fanout) ? 1u : 0u; });
+    return count;
 }
 
 std::size_t gate_level_layout::num_crossings() const
 {
-    return static_cast<std::size_t>(
-        std::count_if(tiles.cbegin(), tiles.cend(), [](const auto& kv) { return kv.first.z == 1; }));
+    // the crossing layer is the second half of the grid
+    std::size_t count = 0;
+    const auto plane = static_cast<std::size_t>(w) * h;
+    for (std::size_t i = plane; i < grid.size(); ++i)
+    {
+        count += grid[i].data.type != ntk::gate_type::none ? 1u : 0u;
+    }
+    return count;
 }
 
 std::size_t gate_level_layout::num_occupied() const noexcept
 {
-    return tiles.size();
+    return occupied_count;
 }
 
 std::uint8_t gate_level_layout::clock_number(const coordinate& c) const
@@ -518,12 +609,23 @@ std::vector<coordinate> gate_level_layout::incoming_clocked(const coordinate& c)
 std::vector<coordinate> gate_level_layout::tiles_sorted() const
 {
     std::vector<coordinate> result;
-    result.reserve(tiles.size());
-    for (const auto& [c, d] : tiles)
+    result.reserve(occupied_count);
+    const auto plane = static_cast<std::size_t>(w) * h;
+    std::size_t row_base = 0;
+    for (std::int32_t y = 0; y < static_cast<std::int32_t>(h); ++y, row_base += w)
     {
-        result.push_back(c);
+        for (std::int32_t x = 0; x < static_cast<std::int32_t>(w); ++x)
+        {
+            if (grid[row_base + static_cast<std::size_t>(x)].data.type != ntk::gate_type::none)
+            {
+                result.push_back({x, y, 0});
+            }
+            if (grid[plane + row_base + static_cast<std::size_t>(x)].data.type != ntk::gate_type::none)
+            {
+                result.push_back({x, y, 1});
+            }
+        }
     }
-    std::sort(result.begin(), result.end());
     return result;
 }
 

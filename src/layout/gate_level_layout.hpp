@@ -14,14 +14,23 @@
 /// The class is deliberately permissive while a layout is under
 /// construction; \ref mnt::ver::gate_level_drc performs the full design-rule
 /// check (adjacency, clocking, fanin/fanout capacities, crossing rules).
+///
+/// Storage is a dense flat grid: one slot per (x, y, z) cell, indexed
+/// (z * height + y) * width + x, with the gate type doubling as the
+/// occupancy flag (\ref ntk::gate_type::none = empty) and fixed-capacity
+/// inline fanout lists (FCN fanout is at most 2). All point queries are
+/// O(1) array lookups, full traversals are linear row-major scans, and
+/// \ref tiles_sorted needs no sort — the scan order *is* the documented
+/// (y, x, z) order.
 
 #include "layout/clocking_scheme.hpp"
 #include "layout/coordinates.hpp"
 #include "network/gate_type.hpp"
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace mnt::lyt
@@ -73,7 +82,11 @@ public:
     /// True if (x, y) lies within the current bounds and z < 2.
     [[nodiscard]] bool within_bounds(const coordinate& c) const noexcept;
 
-    /// Grows or shrinks the bounding dimensions.
+    /// Grows or shrinks the bounding dimensions. Validate-then-commit: on
+    /// failure the layout (tiles, connectivity, PI/PO lists and per-tile
+    /// clock overrides) is left untouched. On shrink, OPEN-scheme clock
+    /// overrides outside the new bounds are pruned so a later re-grow cannot
+    /// resurrect stale zones.
     ///
     /// \throws precondition_error if an occupied tile would fall outside
     void resize(std::uint32_t width, std::uint32_t height);
@@ -95,11 +108,18 @@ public:
     ///         the type is none/const, or the crossing-layer rule is violated
     void place(const coordinate& c, ntk::gate_type t, const std::string& io_name = {});
 
+    /// Maximum number of outgoing connections per tile. FCN gates drive one
+    /// successor, fanout gates two — the inline fanout lists of the dense
+    /// grid are sized accordingly (the DRC additionally enforces the
+    /// per-gate-type budget).
+    static constexpr std::size_t max_fanout = 2;
+
     /// Declares that the output of tile \p src feeds the next free fanin
     /// slot of tile \p dst.
     ///
-    /// \throws precondition_error if either tile is empty or all fanin slots
-    ///         of \p dst are taken
+    /// \throws precondition_error if either tile is empty, all fanin slots
+    ///         of \p dst are taken, or \p src already drives
+    ///         \ref max_fanout successors
     void connect(const coordinate& src, const coordinate& dst);
 
     /// Removes a previously declared connection.
@@ -139,8 +159,10 @@ public:
     /// Fanin tiles of \p c in slot order (empty vector for empty tiles).
     [[nodiscard]] const std::vector<coordinate>& incoming_of(const coordinate& c) const;
 
-    /// Tiles fed by \p c (unordered; empty vector for empty tiles).
-    [[nodiscard]] const std::vector<coordinate>& outgoing_of(const coordinate& c) const;
+    /// Tiles fed by \p c in connection order (empty span for empty tiles).
+    /// The span views the tile's inline fanout list; it is invalidated by
+    /// any mutation of the layout.
+    [[nodiscard]] std::span<const coordinate> outgoing_of(const coordinate& c) const;
 
     /// PI/PO tiles in creation order.
     [[nodiscard]] const std::vector<coordinate>& pi_tiles() const noexcept;
@@ -172,24 +194,69 @@ public:
     /// (zone - 1), as ground-layer coordinates.
     [[nodiscard]] std::vector<coordinate> incoming_clocked(const coordinate& c) const;
 
-    /// Iterates all occupied tiles (arbitrary order): fn(coordinate, tile_data).
+    /// Iterates all occupied tiles in deterministic layer-major
+    /// (z, y, x) scan order: fn(coordinate, tile_data).
     template <typename Fn>
     void foreach_tile(Fn&& fn) const
     {
-        for (const auto& [c, d] : tiles)
+        std::size_t index = 0;
+        for (std::uint8_t z = 0; z < 2; ++z)
         {
-            fn(c, d);
+            for (std::int32_t y = 0; y < static_cast<std::int32_t>(h); ++y)
+            {
+                for (std::int32_t x = 0; x < static_cast<std::int32_t>(w); ++x, ++index)
+                {
+                    const auto& slot = grid[index];
+                    if (slot.data.type != ntk::gate_type::none)
+                    {
+                        fn(coordinate{x, y, z}, slot.data);
+                    }
+                }
+            }
         }
     }
 
-    /// All occupied coordinates in deterministic (y, x, z) order.
+    /// All occupied coordinates in deterministic (y, x, z) order — a cheap
+    /// row-major scan of the dense grid, no sort involved.
     [[nodiscard]] std::vector<coordinate> tiles_sorted() const;
 
     [[nodiscard]] const std::string& layout_name() const noexcept;
     void set_layout_name(std::string layout_name);
 
 private:
+    /// One dense grid slot: the public tile payload plus the inline fanout
+    /// list. An empty slot is data.type == none with empty vectors — cheap
+    /// enough that the grid stores slots for every cell.
+    struct grid_slot
+    {
+        tile_data data{};
+        std::array<coordinate, max_fanout> outs{};
+        std::uint8_t out_count{0};
+    };
+
+    [[nodiscard]] std::size_t index_of(const coordinate& c) const noexcept
+    {
+        return (static_cast<std::size_t>(c.z) * h + static_cast<std::size_t>(c.y)) * w +
+               static_cast<std::size_t>(c.x);
+    }
+
+    /// Slot lookup; callers must ensure within_bounds(c).
+    [[nodiscard]] grid_slot& slot_at(const coordinate& c) noexcept
+    {
+        return grid[index_of(c)];
+    }
+    [[nodiscard]] const grid_slot& slot_at(const coordinate& c) const noexcept
+    {
+        return grid[index_of(c)];
+    }
+
+    [[nodiscard]] bool occupied_at(const coordinate& c) const noexcept
+    {
+        return within_bounds(c) && slot_at(c).data.type != ntk::gate_type::none;
+    }
+
     void check_occupied(const coordinate& c, const char* ctx) const;
+    void erase_outgoing(grid_slot& slot, const coordinate& dst) noexcept;
 
     std::string design_name;
     layout_topology topo;
@@ -197,8 +264,9 @@ private:
     std::uint32_t w;
     std::uint32_t h;
 
-    std::unordered_map<coordinate, tile_data, coordinate_hash> tiles;
-    std::unordered_map<coordinate, std::vector<coordinate>, coordinate_hash> outgoing;
+    /// 2 * w * h slots, indexed (z * h + y) * w + x.
+    std::vector<grid_slot> grid;
+    std::size_t occupied_count{0};
     std::vector<coordinate> pis;
     std::vector<coordinate> pos;
 };

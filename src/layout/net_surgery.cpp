@@ -55,7 +55,8 @@ std::vector<connection> net_surgeon::incident_connections(const coordinate& g) c
     {
         result.push_back(trace_incoming(g, slot));
     }
-    for (const auto& out : std::vector<coordinate>{target.outgoing_of(g)})
+    const auto outs_view = target.outgoing_of(g);
+    for (const auto& out : std::vector<coordinate>(outs_view.begin(), outs_view.end()))
     {
         connection conn;
         conn.src = g;

@@ -5,7 +5,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 namespace mnt::lyt
 {
@@ -129,13 +130,23 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
 
     // visited/parent bookkeeping is on ground positions: at most one new wire
     // per (x, y) position may join this path (stacking a path above itself is
-    // never useful for shortest paths)
-    std::unordered_map<coordinate, coordinate, coordinate_hash> parent;  // placed coord -> predecessor placed coord
-    std::unordered_map<coordinate, coordinate, coordinate_hash> placed;  // ground position -> placed coord
+    // never useful for shortest paths). Both tables are dense arrays indexed
+    // like the layout grid — the search touches them once per neighbor, and
+    // a w*h byte/coordinate fill is cheaper than hash-map churn at every
+    // realistic grid size.
+    const auto w = static_cast<std::size_t>(layout.width());
+    const auto h = static_cast<std::size_t>(layout.height());
+    const auto ground_index = [w](const coordinate& c)
+    { return static_cast<std::size_t>(c.y) * w + static_cast<std::size_t>(c.x); };
+    const auto placed_index = [w, h](const coordinate& c)
+    { return (static_cast<std::size_t>(c.z) * h + static_cast<std::size_t>(c.y)) * w + static_cast<std::size_t>(c.x); };
+
+    std::vector<std::uint8_t> visited(w * h, 0);   // ground position seen?
+    std::vector<coordinate> parent(2 * w * h);     // placed coord -> predecessor placed coord
 
     std::deque<coordinate> queue;  // placed coords (or src)
     queue.push_back(src);
-    placed.emplace(src.ground(), src);
+    visited[ground_index(src)] = 1;
 
     std::size_t expansions = 0;
     const auto target_ground = dst.ground();
@@ -162,13 +173,13 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
                 while (!(walk.ground() == src.ground()))
                 {
                     path.push_back(walk);
-                    walk = parent.at(walk);
+                    walk = parent[placed_index(walk)];
                 }
                 std::reverse(path.begin(), path.end());
                 flush_search_telemetry(expansions, true);
                 return path;
             }
-            if (placed.contains(n.ground()))
+            if (visited[ground_index(n)] != 0)
             {
                 continue;
             }
@@ -177,8 +188,8 @@ std::optional<std::vector<coordinate>> find_path(const gate_level_layout& layout
             {
                 continue;
             }
-            placed.emplace(n.ground(), *step);
-            parent.emplace(*step, current);
+            visited[ground_index(n)] = 1;
+            parent[placed_index(*step)] = current;
             queue.push_back(*step);
         }
     }

@@ -542,7 +542,15 @@ http_response catalog_server::route(const http_request& request, const res::dead
         {
             return error_response(405, "downloads are GET-only");
         }
-        return download_response(request.path.substr(10));
+        // ids are 32 lowercase hex digits; reject anything else up front so
+        // hostile ids (path traversal, case variants) never reach the store
+        // or the filesystem
+        const auto id = request.path.substr(10);
+        if (!is_valid_blob_id(id))
+        {
+            return error_response(404, "no layout with id '" + id + "'");
+        }
+        return download_response(id);
     }
     return error_response(404, "no such route: " + request.path);
 }
@@ -587,6 +595,16 @@ http_response catalog_server::benchmarks_response()
     document.set("count", json_value{static_cast<std::uint64_t>(cat.num_networks())});
     document.set("benchmarks", std::move(rows));
     return http_response{200, "application/json", document.dump()};
+}
+
+bool catalog_server::is_valid_blob_id(const std::string& id) noexcept
+{
+    if (id.size() != 32)
+    {
+        return false;
+    }
+    return std::all_of(id.cbegin(), id.cend(), [](const unsigned char ch)
+                       { return (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'); });
 }
 
 http_response catalog_server::download_response(const std::string& id)

@@ -168,6 +168,10 @@ private:
     [[nodiscard]] http_response benchmarks_response();
     [[nodiscard]] http_response download_response(const std::string& id);
 
+    /// True iff \p id is exactly 32 lowercase hex digits — the only id shape
+    /// \ref layout_store and \ref query_engine ever mint.
+    [[nodiscard]] static bool is_valid_blob_id(const std::string& id) noexcept;
+
     const query_engine& engine;
     server_options options;
     const layout_store* store{nullptr};

@@ -4,7 +4,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace mnt::ver
 {
@@ -14,15 +15,21 @@ synchronization_report analyze_synchronization(const lyt::gate_level_layout& lay
     synchronization_report report{};
 
     // earliest/latest PI-path arrival per tile, in ticks; a tile's own latch
-    // adds one tick on top of its fanins' arrivals
-    std::unordered_map<lyt::coordinate, std::pair<std::size_t, std::size_t>, lyt::coordinate_hash> arrival;
+    // adds one tick on top of its fanins' arrivals. The table is a dense
+    // array indexed like the layout grid — the topological walk guarantees
+    // every fanin's entry is written before it is read.
+    const auto w = static_cast<std::size_t>(layout.width());
+    const auto h = static_cast<std::size_t>(layout.height());
+    const auto index_of = [w, h](const lyt::coordinate& c)
+    { return (static_cast<std::size_t>(c.z) * h + static_cast<std::size_t>(c.y)) * w + static_cast<std::size_t>(c.x); };
+    std::vector<std::pair<std::size_t, std::size_t>> arrival(2 * w * h);
 
     for (const auto& c : lyt::topological_tile_order(layout))
     {
         const auto& d = layout.get(c);
         if (d.incoming.empty())
         {
-            arrival[c] = {0, 0};  // PIs (and floating tiles) start the wave
+            arrival[index_of(c)] = {0, 0};  // PIs (and floating tiles) start the wave
             continue;
         }
 
@@ -30,11 +37,11 @@ synchronization_report analyze_synchronization(const lyt::gate_level_layout& lay
         std::size_t max_in = 0;
         for (const auto& in : d.incoming)
         {
-            const auto& [lo, hi] = arrival.at(in);
+            const auto& [lo, hi] = arrival[index_of(in)];
             min_in = std::min(min_in, lo);
             max_in = std::max(max_in, hi);
         }
-        arrival[c] = {min_in + 1, max_in + 1};
+        arrival[index_of(c)] = {min_in + 1, max_in + 1};
 
         // skew matters where data is *combined*: gates with several fanins
         if (d.incoming.size() > 1)
@@ -44,7 +51,7 @@ synchronization_report analyze_synchronization(const lyt::gate_level_layout& lay
             std::size_t hi = 0;
             for (const auto& in : d.incoming)
             {
-                const auto latest = arrival.at(in).second;
+                const auto latest = arrival[index_of(in)].second;
                 lo = std::min(lo, latest);
                 hi = std::max(hi, latest);
             }
@@ -57,7 +64,7 @@ synchronization_report analyze_synchronization(const lyt::gate_level_layout& lay
 
         if (d.type == ntk::gate_type::po)
         {
-            report.max_po_arrival = std::max(report.max_po_arrival, arrival.at(c).second);
+            report.max_po_arrival = std::max(report.max_po_arrival, arrival[index_of(c)].second);
         }
     }
 

@@ -7,9 +7,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <random>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 namespace mnt::ver
 {
@@ -21,6 +23,40 @@ using lyt::coordinate;
 using lyt::gate_level_layout;
 using ntk::gate_type;
 
+/// Dense tile-value table indexed like the layout grid. The wave simulators
+/// read up to three fanin values per tile per tick, so the per-lookup hash
+/// of a coordinate-keyed map dominates; a flat array addressed by
+/// (z·h + y)·w + x makes every lookup a single indexed load.
+class value_grid
+{
+  public:
+    explicit value_grid(const gate_level_layout& layout) :
+            w{static_cast<std::size_t>(layout.width())},
+            h{static_cast<std::size_t>(layout.height())},
+            values(2 * w * h, 0)
+    {}
+
+    [[nodiscard]] std::uint64_t operator[](const coordinate& c) const noexcept
+    {
+        return values[index_of(c)];
+    }
+    void set(const coordinate& c, const std::uint64_t v) noexcept
+    {
+        values[index_of(c)] = v;
+    }
+
+  private:
+    [[nodiscard]] std::size_t index_of(const coordinate& c) const noexcept
+    {
+        return (static_cast<std::size_t>(c.z) * h + static_cast<std::size_t>(c.y)) * w +
+               static_cast<std::size_t>(c.x);
+    }
+
+    std::size_t w;
+    std::size_t h;
+    std::vector<std::uint64_t> values;
+};
+
 }  // namespace
 
 wave_result wave_simulate(const gate_level_layout& layout, const std::vector<std::uint64_t>& pi_words,
@@ -31,9 +67,8 @@ wave_result wave_simulate(const gate_level_layout& layout, const std::vector<std
         throw precondition_error{"wave_simulate: one input word per PI required"};
     }
 
-    // tile values; absent = all-zero (the reset state)
-    std::unordered_map<coordinate, std::uint64_t, lyt::coordinate_hash> values;
-    values.reserve(layout.num_occupied());
+    // tile values; zero-initialized = the reset state
+    value_grid values{layout};
 
     // group tiles by clock zone for fast per-tick iteration
     std::array<std::vector<coordinate>, 4> by_zone;
@@ -45,20 +80,16 @@ wave_result wave_simulate(const gate_level_layout& layout, const std::vector<std
     }
 
     // fixed PI values
-    std::unordered_map<coordinate, std::uint64_t, lyt::coordinate_hash> pi_values;
+    value_grid pi_values{layout};
     for (std::size_t i = 0; i < layout.pi_tiles().size(); ++i)
     {
-        pi_values.emplace(layout.pi_tiles()[i], pi_words[i]);
+        pi_values.set(layout.pi_tiles()[i], pi_words[i]);
     }
 
     const auto max_ticks =
         options.max_ticks != 0 ? options.max_ticks : 8 * (layout.num_occupied() + 4) + 16;
 
-    const auto value_of = [&](const coordinate& c) -> std::uint64_t
-    {
-        const auto it = values.find(c);
-        return it == values.cend() ? 0ull : it->second;
-    };
+    const auto value_of = [&](const coordinate& c) -> std::uint64_t { return values[c]; };
 
     wave_result result{};
     std::size_t stable_ticks = 0;
@@ -72,7 +103,7 @@ wave_result wave_simulate(const gate_level_layout& layout, const std::vector<std
             std::uint64_t next{};
             if (d.type == gate_type::pi)
             {
-                next = pi_values.at(c);
+                next = pi_values[c];
             }
             else
             {
@@ -84,7 +115,7 @@ wave_result wave_simulate(const gate_level_layout& layout, const std::vector<std
             }
             if (value_of(c) != next)
             {
-                values[c] = next;
+                values.set(c, next);
                 changed = true;
             }
         }
@@ -144,7 +175,7 @@ stream_result wave_stream_simulate(const gate_level_layout& layout,
     }
 
     // persistent tile state across frames
-    std::unordered_map<coordinate, std::uint64_t, lyt::coordinate_hash> values;
+    value_grid values{layout};
     std::array<std::vector<coordinate>, 4> by_zone;
     layout.foreach_tile([&](const coordinate& c, const gate_level_layout::tile_data&)
                         { by_zone[layout.clock_number(c) % 4].push_back(c); });
@@ -152,11 +183,7 @@ stream_result wave_stream_simulate(const gate_level_layout& layout,
     {
         std::sort(zone.begin(), zone.end());
     }
-    const auto value_of = [&](const coordinate& c) -> std::uint64_t
-    {
-        const auto it = values.find(c);
-        return it == values.cend() ? 0ull : it->second;
-    };
+    const auto value_of = [&](const coordinate& c) -> std::uint64_t { return values[c]; };
 
     stream_result result{};
     for (const auto& po : layout.po_tiles())
@@ -171,10 +198,10 @@ stream_result wave_stream_simulate(const gate_level_layout& layout,
     for (std::size_t f = 0; f < frames.size() + flush; ++f)
     {
         const auto& frame = frames[std::min(f, frames.size() - 1)];
-        std::unordered_map<coordinate, std::uint64_t, lyt::coordinate_hash> pi_values;
+        value_grid pi_values{layout};
         for (std::size_t i = 0; i < layout.pi_tiles().size(); ++i)
         {
-            pi_values.emplace(layout.pi_tiles()[i], frame[i]);
+            pi_values.set(layout.pi_tiles()[i], frame[i]);
         }
 
         for (std::size_t tick = 0; tick < 4 * cycles_per_frame; ++tick)
@@ -184,14 +211,14 @@ stream_result wave_stream_simulate(const gate_level_layout& layout,
                 const auto& d = layout.get(c);
                 if (d.type == gate_type::pi)
                 {
-                    values[c] = pi_values.at(c);
+                    values.set(c, pi_values[c]);
                     continue;
                 }
                 const auto& in = d.incoming;
                 const auto a = !in.empty() ? value_of(in[0]) : 0ull;
                 const auto b = in.size() > 1 ? value_of(in[1]) : 0ull;
                 const auto e = in.size() > 2 ? value_of(in[2]) : 0ull;
-                values[c] = ntk::evaluate_gate_word(d.type, a, b, e);
+                values.set(c, ntk::evaluate_gate_word(d.type, a, b, e));
             }
         }
         for (std::size_t o = 0; o < layout.po_tiles().size(); ++o)

@@ -266,3 +266,111 @@ TEST(GateLevelLayoutTest, ShrinkMixedShiftPartiallyApplies)
     EXPECT_EQ(layout.width(), 1u);
     EXPECT_EQ(layout.height(), 3u);
 }
+
+TEST(GateLevelLayoutTest, FailedResizeLeavesLayoutUntouched)
+{
+    // validate-then-commit: a rejected resize must not alter dimensions,
+    // tiles, connectivity, PI/PO lists, or per-tile clock overrides
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::open(), 6, 6};
+    layout.place({1, 0}, gate_type::pi, "a");
+    layout.place({4, 4}, gate_type::po, "y");
+    layout.connect({1, 0}, {4, 4});
+    layout.clocking_mutable().assign_clock({1, 0}, 0);
+    layout.clocking_mutable().assign_clock({4, 4}, 1);
+    layout.clocking_mutable().assign_clock({5, 5}, 2);  // override beyond the would-be bounds
+
+    EXPECT_THROW(layout.resize(3, 3), precondition_error);  // po at (4,4) falls out
+
+    EXPECT_EQ(layout.width(), 6u);
+    EXPECT_EQ(layout.height(), 6u);
+    EXPECT_EQ(layout.type_of({4, 4}), gate_type::po);
+    ASSERT_EQ(layout.incoming_of({4, 4}).size(), 1u);
+    EXPECT_EQ(layout.incoming_of({4, 4})[0], coordinate(1, 0));
+    ASSERT_EQ(layout.outgoing_of({1, 0}).size(), 1u);
+    EXPECT_EQ(layout.outgoing_of({1, 0})[0], coordinate(4, 4));
+    EXPECT_EQ(layout.num_pis(), 1u);
+    EXPECT_EQ(layout.num_pos(), 1u);
+    // even the override outside the rejected bounds must survive
+    EXPECT_TRUE(layout.clocking().has_assigned_clock({5, 5}));
+    EXPECT_EQ(layout.clocking().num_assigned_clocks(), 3u);
+}
+
+TEST(GateLevelLayoutTest, ResizeSmallerPrunesOpenOverrides)
+{
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::open(), 6, 6};
+    layout.place({0, 0}, gate_type::pi, "a");
+    layout.clocking_mutable().assign_clock({0, 0}, 0);
+    layout.clocking_mutable().assign_clock({5, 5}, 3);
+
+    layout.resize(2, 2);
+
+    EXPECT_TRUE(layout.clocking().has_assigned_clock({0, 0}));
+    EXPECT_FALSE(layout.clocking().has_assigned_clock({5, 5}));
+    EXPECT_EQ(layout.clocking().num_assigned_clocks(), 1u);
+}
+
+TEST(GateLevelLayoutTest, ShrinkThenRegrowDoesNotResurrectStaleZones)
+{
+    // a zone assigned at (5, 5), shrunk away, must not resurface once the
+    // layout grows back over that coordinate
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::open(), 6, 6};
+    layout.place({0, 0}, gate_type::pi, "a");
+    layout.clocking_mutable().assign_clock({0, 0}, 0);
+    layout.clocking_mutable().assign_clock({5, 5}, 3);
+
+    layout.shrink_to_fit();
+    EXPECT_EQ(layout.width(), 1u);
+    EXPECT_EQ(layout.height(), 1u);
+
+    layout.resize(6, 6);
+    EXPECT_FALSE(layout.clocking().has_assigned_clock({5, 5}));
+    EXPECT_EQ(layout.clock_number({5, 5}), 0u);  // unassigned default, not the stale 3
+    EXPECT_TRUE(layout.clocking().has_assigned_clock({0, 0}));
+}
+
+TEST(GateLevelLayoutTest, ShrinkTranslationRekeysOpenZones)
+{
+    auto layout = gate_level_layout{"t", layout_topology::cartesian, clocking_scheme::open(), 8, 8};
+    layout.place({3, 2}, gate_type::pi, "a");
+    layout.place({4, 2}, gate_type::po, "y");
+    layout.connect({3, 2}, {4, 2});
+    layout.clocking_mutable().assign_clock({3, 2}, 1);
+    layout.clocking_mutable().assign_clock({4, 2}, 2);
+
+    layout.shrink_to_fit();
+
+    EXPECT_EQ(layout.width(), 2u);
+    EXPECT_EQ(layout.height(), 1u);
+    EXPECT_EQ(layout.clock_number({0, 0}), 1u);
+    EXPECT_EQ(layout.clock_number({1, 0}), 2u);
+    // nothing outside the shrunken bounds remains assigned
+    EXPECT_EQ(layout.clocking().num_assigned_clocks(), 2u);
+}
+
+TEST(GateLevelLayoutTest, HexagonalOpenShrinkKeepsRowParity)
+{
+    // an odd row shift would flip the even-row offset neighborhoods; the
+    // shrink must keep one margin row instead
+    auto layout = gate_level_layout{"t", layout_topology::hexagonal_even_row, clocking_scheme::open(), 8, 8};
+    layout.place({0, 1}, gate_type::pi, "a");
+    layout.clocking_mutable().assign_clock({0, 1}, 1);
+
+    layout.shrink_to_fit();
+
+    EXPECT_EQ(layout.height(), 2u);
+    EXPECT_EQ(layout.type_of({0, 1}), gate_type::pi);
+    EXPECT_EQ(layout.clock_number({0, 1}), 1u);
+}
+
+TEST(GateLevelLayoutTest, ConnectRejectsFanoutOverCapacity)
+{
+    auto layout = make_empty();
+    layout.place({0, 0}, gate_type::fanout);
+    layout.place({1, 0}, gate_type::buf);
+    layout.place({0, 1}, gate_type::buf);
+    layout.place({1, 1}, gate_type::and2);
+    layout.connect({0, 0}, {1, 0});
+    layout.connect({0, 0}, {0, 1});
+    EXPECT_THROW(layout.connect({0, 0}, {1, 1}), precondition_error);
+    EXPECT_EQ(layout.outgoing_of({0, 0}).size(), gate_level_layout::max_fanout);
+}

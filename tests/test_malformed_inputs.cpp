@@ -310,3 +310,175 @@ TEST(MalformedVerilogTest, ContentAfterEndmodule)
     EXPECT_NE(std::string{e.what()}.find("single module"), std::string::npos);
     EXPECT_EQ(e.line_number, 5U);
 }
+
+// --------------------------------------------------- hostile .fgl documents
+
+namespace
+{
+
+/// Parses \p document as .fgl, requires a design_rule_error and returns its
+/// message for inspection.
+std::string fgl_rule_failure(const std::string& document)
+{
+    try
+    {
+        static_cast<void>(read_fgl_string(document));
+    }
+    catch (const design_rule_error& e)
+    {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected design_rule_error for: " << document;
+    return {};
+}
+
+}  // namespace
+
+TEST(HostileFglTest, DuplicateTilesAtOneCoordinate)
+{
+    const auto body = "    <gates>\n"                                        // line 7
+                      "      <gate><type>pi</type><name>a</name>\n"          // line 8
+                      "        <loc><x>1</x><y>1</y></loc></gate>\n"
+                      "      <gate><type>and</type>\n"                       // line 10
+                      "        <loc><x>1</x><y>1</y></loc></gate>\n"
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("already occupied"), std::string::npos);
+    EXPECT_NE(message.find("line 10"), std::string::npos);
+}
+
+TEST(HostileFglTest, DuplicateCrossingTilesAtOneCoordinate)
+{
+    const auto body = "    <gates>\n"
+                      "      <gate><type>buf</type>\n"
+                      "        <loc><x>1</x><y>1</y><z>1</z></loc></gate>\n"
+                      "      <gate><type>buf</type>\n"  // line 10
+                      "        <loc><x>1</x><y>1</y><z>1</z></loc></gate>\n"
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("already occupied"), std::string::npos);
+    EXPECT_NE(message.find("line 10"), std::string::npos);
+}
+
+TEST(HostileFglTest, SelfLoopConnectionIsRejectedWithItsLine)
+{
+    const auto body = "    <gates>\n"                               // line 7
+                      "      <gate><type>buf</type>\n"              // line 8
+                      "        <loc><x>1</x><y>1</y></loc>\n"
+                      "        <incoming>\n"
+                      "          <loc><x>1</x><y>1</y></loc>\n"     // line 11
+                      "        </incoming>\n"
+                      "      </gate>\n"
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("itself as fanin"), std::string::npos);
+    EXPECT_NE(message.find("line 11"), std::string::npos);
+}
+
+TEST(HostileFglTest, OutOfBoundsIncomingReferenceReportsItsLine)
+{
+    const auto body = "    <gates>\n"
+                      "      <gate><type>po</type><name>y</name>\n"
+                      "        <loc><x>1</x><y>1</y></loc>\n"
+                      "        <incoming>\n"
+                      "          <loc><x>99</x><y>99</y></loc>\n"  // line 11: outside the 3x3 grid
+                      "        </incoming>\n"
+                      "      </gate>\n"
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("is empty"), std::string::npos);
+    EXPECT_NE(message.find("line 11"), std::string::npos);
+}
+
+TEST(HostileFglTest, DanglingIncomingReferenceReportsItsLine)
+{
+    // in bounds, but no gate was ever placed there
+    const auto body = "    <gates>\n"
+                      "      <gate><type>po</type><name>y</name>\n"
+                      "        <loc><x>1</x><y>1</y></loc>\n"
+                      "        <incoming>\n"
+                      "          <loc><x>0</x><y>0</y></loc>\n"  // line 11
+                      "        </incoming>\n"
+                      "      </gate>\n"
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("is empty"), std::string::npos);
+    EXPECT_NE(message.find("line 11"), std::string::npos);
+}
+
+TEST(HostileFglTest, OutOfBoundsGatePlacementReportsItsLine)
+{
+    const auto body = "    <gates>\n"
+                      "      <gate><type>pi</type><name>a</name>\n"  // line 8
+                      "        <loc><x>7</x><y>0</y></loc></gate>\n"
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("out of bounds"), std::string::npos);
+    EXPECT_NE(message.find("line 8"), std::string::npos);
+}
+
+TEST(HostileFglTest, CoordinateOverflowIsATypedError)
+{
+    // 2^33 + 5 would silently alias to 5 under a bare int32 cast
+    const auto body = "    <gates>\n"
+                      "      <gate><type>pi</type><name>a</name>\n"
+                      "        <loc><x>8589934597</x><y>0</y></loc></gate>\n"  // line 9
+                      "    </gates>\n";
+    const auto e = fgl_failure(fgl_with(body));
+    EXPECT_NE(std::string{e.what()}.find("out of range"), std::string::npos);
+    EXPECT_EQ(e.line_number, 9U);
+}
+
+TEST(HostileFglTest, AbsurdDeclaredSizeIsRejectedNotAllocated)
+{
+    // the dense grid would otherwise try to reserve billions of slots
+    const auto e = fgl_failure("<fgl>\n  <layout>\n    <name>t</name>\n"
+                               "    <topology>cartesian</topology>\n"
+                               "    <clocking>2DDWave</clocking>\n"
+                               "    <size><x>1000000000</x><y>1000000000</y></size>\n"  // line 6
+                               "    <gates></gates>\n"
+                               "  </layout>\n</fgl>\n");
+    EXPECT_NE(std::string{e.what()}.find("exceeds the supported area"), std::string::npos);
+    EXPECT_EQ(e.line_number, 6U);
+}
+
+TEST(HostileFglTest, ClockZoneOutsideDeclaredSizeIsRejected)
+{
+    // a huge zone coordinate must not blow up the dense zone grid
+    const auto body = "    <clockzones>\n"                                              // line 7
+                      "      <zone><x>2000000</x><y>0</y><clock>1</clock></zone>\n"     // line 8
+                      "    </clockzones>\n"
+                      "    <gates></gates>\n";
+    const auto e = fgl_failure(fgl_with(body, "OPEN"));
+    EXPECT_NE(std::string{e.what()}.find("outside the declared layout size"), std::string::npos);
+    EXPECT_EQ(e.line_number, 8U);
+}
+
+TEST(HostileFglTest, NegativeClockZoneCoordinateIsRejected)
+{
+    const auto body = "    <clockzones>\n"
+                      "      <zone><x>-1</x><y>0</y><clock>1</clock></zone>\n"  // line 8
+                      "    </clockzones>\n"
+                      "    <gates></gates>\n";
+    const auto e = fgl_failure(fgl_with(body, "OPEN"));
+    EXPECT_NE(std::string{e.what()}.find("outside the declared layout size"), std::string::npos);
+    EXPECT_EQ(e.line_number, 8U);
+}
+
+TEST(HostileFglTest, FanoutOverflowIsATypedError)
+{
+    // three successors of one tile exceed the fixed fanout capacity; the
+    // reader must surface the rule violation with the offending line
+    const auto body = "    <gates>\n"
+                      "      <gate><type>fanout</type><loc><x>0</x><y>0</y></loc></gate>\n"
+                      "      <gate><type>buf</type><loc><x>1</x><y>0</y></loc>\n"
+                      "        <incoming><loc><x>0</x><y>0</y></loc></incoming></gate>\n"
+                      "      <gate><type>buf</type><loc><x>0</x><y>1</y></loc>\n"
+                      "        <incoming><loc><x>0</x><y>0</y></loc></incoming></gate>\n"
+                      "      <gate><type>buf</type><loc><x>1</x><y>1</y></loc>\n"
+                      "        <incoming><loc><x>0</x><y>0</y></loc></incoming></gate>\n"  // line 14
+                      "    </gates>\n";
+    const auto message = fgl_rule_failure(fgl_with(body));
+    EXPECT_NE(message.find("fanout capacity"), std::string::npos);
+    EXPECT_NE(message.find("line 14"), std::string::npos);
+}

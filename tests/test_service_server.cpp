@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -328,5 +330,37 @@ TEST_F(server_fixture, ConcurrentClientsGetConsistentAnswers)
     {
         EXPECT_EQ(body, expected);
     }
+    server.stop();
+}
+
+TEST_F(server_fixture, DownloadRejectsMalformedIds)
+{
+    server_options options{};
+    options.threads = 1;
+    catalog_server server{*engine, options};
+    server.start();
+    ASSERT_TRUE(server.running());
+
+    const auto& good = engine->id_of(0);
+    ASSERT_EQ(http_exchange(server.port(), get_request("/download/" + good)).status, 200);
+
+    // path traversal must never reach the store or the filesystem
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/../../etc/passwd")).status, 404);
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/..%2f..%2fetc%2fpasswd")).status, 404);
+    // uppercase hex is not a minted id shape
+    std::string upper = good;
+    for (auto& ch : upper)
+    {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/" + upper)).status, 404);
+    // too short / too long / empty
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/abc123")).status, 404);
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/" + good + "00")).status, 404);
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/")).status, 404);
+    // correct length, non-hex alphabet
+    EXPECT_EQ(http_exchange(server.port(), get_request("/download/zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz")).status,
+              404);
+
     server.stop();
 }

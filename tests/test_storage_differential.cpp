@@ -1,0 +1,442 @@
+/// \file test_storage_differential.cpp
+/// \brief Differential tests for the dense tile-grid layout storage.
+///
+/// The gate-level layout used to be backed by hash maps; it is now a dense
+/// flat-vector grid. These tests replay randomized place/route/erase
+/// sequences against a minimal map-backed reference model implementing the
+/// old semantics and assert identical observable state — occupancy, gate
+/// types, fanin/fanout order, tiles_sorted order, and bounding box. A second
+/// set of tests pins the .fgl serialization of every Trindade16 and Fontes18
+/// benchmark to content hashes captured with the map-backed implementation,
+/// proving the storage swap is byte-invisible on the paper's Table I flows.
+
+#include "benchmarks/suites.hpp"
+#include "common/types.hpp"
+#include "io/fgl_writer.hpp"
+#include "layout/gate_level_layout.hpp"
+#include "network/gate_type.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "service/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::lyt;
+using mnt::ntk::gate_type;
+
+namespace
+{
+
+/// Map-backed reference model mirroring the observable semantics of the old
+/// hash-map layout storage: insertion-ordered fanin/fanout lists, first-
+/// occurrence removal, PI/PO creation order.
+class reference_model
+{
+public:
+    struct entry
+    {
+        gate_type type{gate_type::none};
+        std::vector<coordinate> incoming;
+    };
+
+    void place(const coordinate& c, const gate_type t)
+    {
+        tiles[c] = entry{t, {}};
+        if (t == gate_type::pi)
+        {
+            pis.push_back(c);
+        }
+        else if (t == gate_type::po)
+        {
+            pos.push_back(c);
+        }
+    }
+
+    void connect(const coordinate& src, const coordinate& dst)
+    {
+        tiles.at(dst).incoming.push_back(src);
+        outgoing[src].push_back(dst);
+    }
+
+    void disconnect(const coordinate& src, const coordinate& dst)
+    {
+        if (const auto it = tiles.find(dst); it != tiles.end())
+        {
+            auto& in = it->second.incoming;
+            if (const auto pos_it = std::find(in.begin(), in.end(), src); pos_it != in.end())
+            {
+                in.erase(pos_it);
+            }
+        }
+        if (const auto out_it = outgoing.find(src); out_it != outgoing.end())
+        {
+            auto& outs = out_it->second;
+            if (const auto pos_it = std::find(outs.begin(), outs.end(), dst); pos_it != outs.end())
+            {
+                outs.erase(pos_it);
+            }
+            if (outs.empty())
+            {
+                outgoing.erase(out_it);
+            }
+        }
+    }
+
+    void clear_tile(const coordinate& c)
+    {
+        const auto it = tiles.find(c);
+        if (it == tiles.end())
+        {
+            return;
+        }
+        for (const auto& src : std::vector<coordinate>{it->second.incoming})
+        {
+            disconnect(src, c);
+        }
+        if (const auto out_it = outgoing.find(c); out_it != outgoing.end())
+        {
+            for (const auto& dst : std::vector<coordinate>{out_it->second})
+            {
+                disconnect(c, dst);
+            }
+        }
+        outgoing.erase(c);
+        const auto t = it->second.type;
+        tiles.erase(it);
+        if (t == gate_type::pi)
+        {
+            pis.erase(std::remove(pis.begin(), pis.end(), c), pis.end());
+        }
+        else if (t == gate_type::po)
+        {
+            pos.erase(std::remove(pos.begin(), pos.end(), c), pos.end());
+        }
+    }
+
+    void move_tile(const coordinate& from, const coordinate& to)
+    {
+        auto d = std::move(tiles.at(from));
+        tiles.erase(from);
+        if (const auto out_it = outgoing.find(from); out_it != outgoing.end())
+        {
+            for (const auto& dst : out_it->second)
+            {
+                auto& in = tiles.at(dst).incoming;
+                std::replace(in.begin(), in.end(), from, to);
+            }
+            outgoing.emplace(to, std::move(out_it->second));
+            outgoing.erase(from);
+        }
+        for (const auto& src : d.incoming)
+        {
+            if (const auto src_out = outgoing.find(src); src_out != outgoing.end())
+            {
+                std::replace(src_out->second.begin(), src_out->second.end(), from, to);
+            }
+        }
+        const auto t = d.type;
+        tiles.emplace(to, std::move(d));
+        if (t == gate_type::pi)
+        {
+            std::replace(pis.begin(), pis.end(), from, to);
+        }
+        else if (t == gate_type::po)
+        {
+            std::replace(pos.begin(), pos.end(), from, to);
+        }
+    }
+
+    [[nodiscard]] std::vector<coordinate> outgoing_of(const coordinate& c) const
+    {
+        const auto it = outgoing.find(c);
+        return it == outgoing.cend() ? std::vector<coordinate>{} : it->second;
+    }
+
+    // std::map iterates keys in coordinate (y, x, z) order — exactly the
+    // documented tiles_sorted order
+    std::map<coordinate, entry> tiles;
+    std::unordered_map<coordinate, std::vector<coordinate>, coordinate_hash> outgoing;
+    std::vector<coordinate> pis;
+    std::vector<coordinate> pos;
+};
+
+constexpr std::uint32_t side = 8;
+
+/// Asserts that layout and model agree on every observable query.
+void expect_equivalent(const gate_level_layout& layout, const reference_model& model)
+{
+    ASSERT_EQ(layout.num_occupied(), model.tiles.size());
+    ASSERT_EQ(layout.pi_tiles(), model.pis);
+    ASSERT_EQ(layout.po_tiles(), model.pos);
+
+    for (std::uint8_t z = 0; z < 2; ++z)
+    {
+        for (std::int32_t y = 0; y < static_cast<std::int32_t>(side); ++y)
+        {
+            for (std::int32_t x = 0; x < static_cast<std::int32_t>(side); ++x)
+            {
+                const coordinate c{x, y, z};
+                const auto it = model.tiles.find(c);
+                if (it == model.tiles.cend())
+                {
+                    ASSERT_TRUE(layout.is_empty_tile(c)) << "spurious tile at " << c.to_string();
+                    ASSERT_EQ(layout.type_of(c), gate_type::none);
+                    ASSERT_TRUE(layout.outgoing_of(c).empty());
+                    ASSERT_TRUE(layout.incoming_of(c).empty());
+                    continue;
+                }
+                ASSERT_TRUE(layout.has_tile(c)) << "missing tile at " << c.to_string();
+                ASSERT_EQ(layout.type_of(c), it->second.type) << "type mismatch at " << c.to_string();
+                ASSERT_EQ(layout.incoming_of(c), it->second.incoming) << "fanin mismatch at " << c.to_string();
+                const auto outs = layout.outgoing_of(c);
+                ASSERT_EQ(std::vector<coordinate>(outs.begin(), outs.end()), model.outgoing_of(c))
+                    << "fanout mismatch at " << c.to_string();
+            }
+        }
+    }
+
+    // tiles_sorted must equal the model's key order (y, x, z)
+    std::vector<coordinate> expected_sorted;
+    expected_sorted.reserve(model.tiles.size());
+    for (const auto& [c, d] : model.tiles)
+    {
+        expected_sorted.push_back(c);
+    }
+    ASSERT_EQ(layout.tiles_sorted(), expected_sorted);
+
+    if (!model.tiles.empty())
+    {
+        std::int32_t min_x = side;
+        std::int32_t min_y = side;
+        std::int32_t max_x = -1;
+        std::int32_t max_y = -1;
+        for (const auto& [c, d] : model.tiles)
+        {
+            min_x = std::min(min_x, c.x);
+            min_y = std::min(min_y, c.y);
+            max_x = std::max(max_x, c.x);
+            max_y = std::max(max_y, c.y);
+        }
+        const auto [lo, hi] = layout.bounding_box();
+        ASSERT_EQ(lo, coordinate(min_x, min_y));
+        ASSERT_EQ(hi, coordinate(max_x, max_y));
+    }
+}
+
+/// Replays \p num_ops random operations with the given seed on both
+/// implementations, checking equivalence as it goes.
+void run_differential(const std::uint32_t seed, const std::size_t num_ops)
+{
+    std::mt19937 rng{seed};
+    gate_level_layout layout{"diff", layout_topology::cartesian, clocking_scheme::twoddwave(), side, side};
+    reference_model model;
+
+    const std::vector<gate_type> types{gate_type::pi,  gate_type::po,     gate_type::buf, gate_type::inv,
+                                       gate_type::and2, gate_type::fanout, gate_type::buf, gate_type::buf};
+
+    const auto random_coordinate = [&rng]
+    {
+        std::uniform_int_distribution<std::int32_t> xy(0, static_cast<std::int32_t>(side) - 1);
+        std::uniform_int_distribution<int> layer(0, 9);
+        return coordinate{xy(rng), xy(rng), static_cast<std::uint8_t>(layer(rng) == 0 ? 1 : 0)};
+    };
+    const auto random_occupied = [&rng, &model]() -> coordinate
+    {
+        std::uniform_int_distribution<std::size_t> pick(0, model.tiles.size() - 1);
+        auto it = model.tiles.cbegin();
+        std::advance(it, static_cast<std::ptrdiff_t>(pick(rng)));
+        return it->first;
+    };
+
+    std::uniform_int_distribution<int> op_dist(0, 99);
+    for (std::size_t op = 0; op < num_ops; ++op)
+    {
+        const auto roll = op_dist(rng);
+        try
+        {
+            if (roll < 40 || model.tiles.empty())
+            {
+                const auto c = random_coordinate();
+                const auto t = types[std::uniform_int_distribution<std::size_t>(0, types.size() - 1)(rng)];
+                layout.place(c, t);           // throws on occupied/invalid
+                model.place(c, t);            // reached only on success
+            }
+            else if (roll < 65)
+            {
+                const auto src = random_occupied();
+                const auto dst = random_occupied();
+                if (src == dst)
+                {
+                    continue;  // self-loops are rejected at the reader level
+                }
+                layout.connect(src, dst);
+                model.connect(src, dst);
+            }
+            else if (roll < 75)
+            {
+                const auto src = random_occupied();
+                const auto dst = random_occupied();
+                layout.disconnect(src, dst);  // never throws
+                model.disconnect(src, dst);
+            }
+            else if (roll < 90)
+            {
+                const auto c = random_occupied();
+                layout.clear_tile(c);
+                model.clear_tile(c);
+            }
+            else
+            {
+                const auto from = random_occupied();
+                const auto to = random_coordinate();
+                layout.move_tile(from, to);
+                if (from != to)
+                {
+                    model.move_tile(from, to);
+                }
+            }
+        }
+        catch (const precondition_error&)
+        {
+            // rejected operations must leave the layout untouched; the model
+            // was deliberately not updated, so the equivalence check below
+            // verifies exactly that
+        }
+
+        if (op % 16 == 0)
+        {
+            expect_equivalent(layout, model);
+            if (::testing::Test::HasFatalFailure())
+            {
+                FAIL() << "divergence with seed " << seed << " after " << op << " operations";
+            }
+        }
+    }
+    expect_equivalent(layout, model);
+}
+
+}  // namespace
+
+TEST(StorageDifferentialTest, RandomizedSequencesMatchMapSemantics)
+{
+    for (std::uint32_t seed = 1; seed <= 8; ++seed)
+    {
+        run_differential(seed, 600);
+        if (HasFatalFailure())
+        {
+            return;
+        }
+    }
+}
+
+TEST(StorageDifferentialTest, HeavyChurnSingleSeed)
+{
+    run_differential(0xC0FFEE, 5000);
+}
+
+// --------------------------------------------------------- golden .fgl bytes
+//
+// Content hashes of io::write_fgl_string over ortho (Cartesian/QCA ONE) and
+// hexagonalization (Bestagon) layouts of every Trindade16 and Fontes18
+// function, captured with the hash-map storage immediately before the dense
+// grid replaced it. Byte-identical output proves the swap preserves
+// placement, routing, tile order, and serialization.
+
+namespace
+{
+
+struct golden_hash
+{
+    const char* name;
+    const char* hash;
+};
+
+constexpr golden_hash golden_cartesian[] = {
+    {"2:1 MUX", "7361bafc2c0c9afaf78146be7fca7335"},
+    {"XOR", "d5a7fc69314f4f688623084a81b73590"},
+    {"XNOR", "f7a44445bf744a2f68d80c833307112f"},
+    {"Half Adder", "eeb7f4b764388928cb0067a5a3a76c5b"},
+    {"Full Adder", "204b76b1cf54a3ee13c0bfcd45a82d9c"},
+    {"Parity Gen.", "852765d56fba8db8aa2d89ab35bca4c5"},
+    {"Parity Check.", "cb220afc441318495e642f1dc59c07dc"},
+    {"t", "3beed10682bbf84d2ba1479ec8eb14aa"},
+    {"b1_r2", "12d62c18c9dc4c77a0b9b059005b2d92"},
+    {"majority", "6a480c8dd6250ea1d3861a654e10fc64"},
+    {"newtag", "dee8d874922c37b2e6d8c27835043e55"},
+    {"clpl", "c2a970c5fa6b3c41b9854b5e21b401f6"},
+    {"1bitAdderAOIG", "c3b1a262368ceb1b9b2c09c67b290fc2"},
+    {"1bitAdderMaj", "87647cfc18994824c4f24a6f14d62052"},
+    {"2bitAdderMaj", "35b8774e17a387403736e30af9deaf52"},
+    {"xor5Maj", "7824ab00aa93f73fac6075ad772ad7ac"},
+    {"cm82a_5", "dff53bbda91ca00020f6ac1a67d9194d"},
+    {"parity", "d70ae8cc411ece5d968607df5324d2eb"},
+};
+
+constexpr golden_hash golden_hexagonal[] = {
+    {"2:1 MUX", "5004a664733f6b1eb7993cdef509e5d2"},
+    {"XOR", "2e8df92fedaf5314d3ddb3a3a6dc9d58"},
+    {"XNOR", "0fad3bb66cf254f5cef4ebbaad4a1da4"},
+    {"Half Adder", "242f7145d96d046db7fcb0ab0b4a2141"},
+    {"Full Adder", "6b45b9ba911c837202d3c0829bf85173"},
+    {"Parity Gen.", "05bc7d68ab02f26d62efa3e9bd49c8e0"},
+    {"Parity Check.", "1933e28c8da7ce4f4a393793633d34f0"},
+    {"t", "d79e6cf668a9957d77cdf519abbe3a5e"},
+    {"b1_r2", "b2d6e32025aa200d9cdb0b13e1974862"},
+    {"majority", "2c40b425b50b4b931bf776e184218574"},
+    {"newtag", "b0882e9eb0798224245aba9c99818674"},
+    {"clpl", "16bdae011842be6b5f65c1feff5208db"},
+    {"1bitAdderAOIG", "64283980417163e3e71e355cdece06b1"},
+    {"1bitAdderMaj", "d6ddc1f310877b6497dd8c47bc9f5671"},
+    {"2bitAdderMaj", "e4084d6a2acd0cd952ca61c67a0302b9"},
+    {"xor5Maj", "d52168ee90a91e97bc5c4e9ddb749ab4"},
+    {"cm82a_5", "7f416f134ddcf84b0c4bc24a095a7780"},
+    {"parity", "8afd121ac7e16f4e4b828a4dca7a26b7"},
+};
+
+const char* lookup(const golden_hash (&table)[18], const std::string& name)
+{
+    for (const auto& row : table)
+    {
+        if (name == row.name)
+        {
+            return row.hash;
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(StorageDifferentialTest, FglOutputByteIdenticalToMapBackedBaseline)
+{
+    auto entries = bm::trindade16();
+    for (const auto& f : bm::fontes18())
+    {
+        entries.push_back(f);
+    }
+    ASSERT_EQ(entries.size(), 18u);
+
+    for (const auto& entry : entries)
+    {
+        const auto* cart_hash = lookup(golden_cartesian, entry.name);
+        const auto* hex_hash = lookup(golden_hexagonal, entry.name);
+        ASSERT_NE(cart_hash, nullptr) << "no golden hash for " << entry.name;
+        ASSERT_NE(hex_hash, nullptr) << "no golden hash for " << entry.name;
+
+        const auto network = entry.build();
+        const auto cart = pd::ortho(network);
+        EXPECT_EQ(svc::content_hash(io::write_fgl_string(cart)), cart_hash)
+            << ".fgl bytes changed for " << entry.name << " (Cartesian)";
+        EXPECT_EQ(svc::content_hash(io::write_fgl_string(pd::hexagonalization(cart))), hex_hash)
+            << ".fgl bytes changed for " << entry.name << " (hexagonal)";
+    }
+}
