@@ -141,13 +141,18 @@ read_result read_request(const int fd, const std::size_t max_bytes, const res::d
     std::string data;
     char buffer[4096];
 
-    std::size_t header_end = std::string::npos;
-    while ((header_end = data.find("\r\n\r\n")) == std::string::npos)
+    while (true)
     {
-        if (data.size() > max_bytes)
+        auto parsed = parse_http_request(data, max_bytes);
+        switch (parsed.status)
         {
-            result.too_large = true;
-            return result;
+            case http_parse_status::ok:
+                result.ok = true;
+                result.request = std::move(parsed.request);
+                return result;
+            case http_parse_status::malformed: result.malformed = true; return result;
+            case http_parse_status::too_large: result.too_large = true; return result;
+            case http_parse_status::incomplete: break;
         }
         const auto n = recv_within_deadline(fd, buffer, sizeof(buffer), deadline);
         if (n == -2)
@@ -157,29 +162,46 @@ read_result read_request(const int fd, const std::size_t max_bytes, const res::d
         }
         if (n <= 0)
         {
+            // peer closed mid-request; an empty read on a fresh connection is
+            // not an error, anything else is
             result.malformed = !data.empty();
             return result;
         }
         data.append(buffer, static_cast<std::size_t>(n));
     }
+}
 
-    // request line: METHOD SP target SP HTTP/1.x
-    const auto line_end = data.find("\r\n");
-    const auto line = data.substr(0, line_end);
-    const auto sp1 = line.find(' ');
-    const auto sp2 = line.find(' ', sp1 == std::string::npos ? std::string::npos : sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos || line.compare(sp2 + 1, 7, "HTTP/1.") != 0)
+}  // namespace
+
+http_parse_result parse_http_request(const std::string_view bytes, const std::size_t max_bytes)
+{
+    http_parse_result result{};
+
+    const auto header_end = bytes.find("\r\n\r\n");
+    if (header_end == std::string_view::npos)
     {
-        result.malformed = true;
+        result.status = bytes.size() > max_bytes ? http_parse_status::too_large : http_parse_status::incomplete;
         return result;
     }
-    result.request.method = line.substr(0, sp1);
+
+    // request line: METHOD SP target SP HTTP/1.x
+    const auto line_end = bytes.find("\r\n");
+    const auto line = bytes.substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.find(' ', sp1 == std::string_view::npos ? std::string_view::npos : sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.substr(sp2 + 1).substr(0, 7) != "HTTP/1.")
+    {
+        result.status = http_parse_status::malformed;
+        return result;
+    }
+    result.request.method = std::string{line.substr(0, sp1)};
     const auto target = line.substr(sp1 + 1, sp2 - sp1 - 1);
     const auto question = target.find('?');
-    result.request.path = target.substr(0, question);
-    if (question != std::string::npos)
+    result.request.path = std::string{target.substr(0, question)};
+    if (question != std::string_view::npos)
     {
-        result.request.query = target.substr(question + 1);
+        result.request.query = std::string{target.substr(question + 1)};
     }
 
     // headers: only Content-Length matters to this server
@@ -187,44 +209,33 @@ read_result read_request(const int fd, const std::size_t max_bytes, const res::d
     std::size_t pos = line_end + 2;
     while (pos < header_end)
     {
-        const auto eol = data.find("\r\n", pos);
-        const auto header = data.substr(pos, eol - pos);
+        const auto eol = bytes.find("\r\n", pos);
+        const auto header = bytes.substr(pos, eol - pos);
         const auto colon = header.find(':');
-        if (colon != std::string::npos && iequals(header.substr(0, colon), "content-length"))
+        if (colon != std::string_view::npos && iequals(header.substr(0, colon), "content-length"))
         {
-            const auto value = header.substr(colon + 1);
+            const std::string value{header.substr(colon + 1)};
             content_length = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
         }
         pos = eol + 2;
     }
 
-    if (header_end + 4 + content_length > max_bytes)
+    const auto body_start = header_end + 4;
+    if (body_start + content_length > max_bytes)
     {
-        result.too_large = true;
+        result.status = http_parse_status::too_large;
         return result;
     }
-    result.request.body = data.substr(header_end + 4);
-    while (result.request.body.size() < content_length)
+    if (bytes.size() - body_start < content_length)
     {
-        const auto n = recv_within_deadline(fd, buffer, sizeof(buffer), deadline);
-        if (n == -2)
-        {
-            result.timed_out = true;
-            return result;
-        }
-        if (n <= 0)
-        {
-            result.malformed = true;
-            return result;
-        }
-        result.request.body.append(buffer, static_cast<std::size_t>(n));
+        result.status = http_parse_status::incomplete;
+        return result;
     }
-    result.request.body.resize(std::min(result.request.body.size(), content_length));
-    result.ok = true;
+    result.request.body = std::string{bytes.substr(body_start, content_length)};
+    result.consumed = body_start + content_length;
+    result.status = http_parse_status::ok;
     return result;
 }
-
-}  // namespace
 
 // ------------------------------------------------------------ response_cache
 

@@ -97,6 +97,36 @@ struct http_response
     std::string body;
 };
 
+/// Outcome of \ref parse_http_request.
+enum class http_parse_status : std::uint8_t
+{
+    ok,          ///< a complete request was parsed
+    incomplete,  ///< valid so far, but more bytes are needed
+    malformed,   ///< the bytes can never become a valid request
+    too_large    ///< head or declared body exceeds the size cap
+};
+
+/// Result of parsing one request from a byte prefix.
+struct http_parse_result
+{
+    http_parse_status status{http_parse_status::incomplete};
+
+    /// The parsed request; only meaningful when status == ok.
+    http_request request;
+
+    /// Bytes consumed by the request (head + declared body) when status ==
+    /// ok; 0 otherwise.
+    std::size_t consumed{0};
+};
+
+/// Parses an HTTP/1.1 request (request line, headers — of which only
+/// Content-Length is interpreted — and body) from \p bytes. Pure function of
+/// its inputs: the socket read loop feeds it growing prefixes until the
+/// status leaves `incomplete`, and the fuzzer and property tests drive it
+/// with arbitrary byte-streams directly. Never throws; any input yields one
+/// of the four statuses.
+[[nodiscard]] http_parse_result parse_http_request(std::string_view bytes, std::size_t max_bytes);
+
 /// Thread-safe LRU cache of rendered response bodies keyed by the
 /// normalized query (\ref page_query::cache_key).
 class response_cache

@@ -1,0 +1,652 @@
+#include "testing/generators.hpp"
+
+#include "io/fgl_writer.hpp"
+#include "io/verilog_writer.hpp"
+#include "physical_design/ortho.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+namespace mnt::pbt
+{
+
+// ------------------------------------------------------- network generator
+
+std::vector<ntk::gate_type> network_gate_pool(const network_spec& spec)
+{
+    using ntk::gate_type;
+    // weighted by repetition: AND/OR shapes dominate like in technology-
+    // mapped benchmarks, inverters are common, comparators rare
+    std::vector<gate_type> pool{gate_type::and2, gate_type::and2, gate_type::or2,  gate_type::or2,
+                                gate_type::inv,  gate_type::inv,  gate_type::nand2, gate_type::nor2,
+                                gate_type::lt2,  gate_type::gt2,  gate_type::le2,   gate_type::ge2};
+    if (spec.allow_xor)
+    {
+        pool.push_back(gate_type::xor2);
+        pool.push_back(gate_type::xor2);
+        pool.push_back(gate_type::xnor2);
+    }
+    if (spec.allow_maj)
+    {
+        pool.push_back(gate_type::maj3);
+    }
+    return pool;
+}
+
+namespace
+{
+
+/// Partial constant evaluation: the value a gate folds to when its fanins'
+/// fold values are \p fanin_values, or nullopt when it stays input-dependent.
+/// Brute-forces the unknown inputs, so every domination rule of
+/// ntk::propagate_constants (AND with 0, GE with 0, ...) is covered.
+std::optional<bool> fold_value(const ntk::gate_type t, const std::vector<std::optional<bool>>& fanin_values)
+{
+    std::vector<std::size_t> unknown;
+    bool inputs[3] = {false, false, false};
+    for (std::size_t i = 0; i < fanin_values.size(); ++i)
+    {
+        if (fanin_values[i].has_value())
+        {
+            inputs[i] = *fanin_values[i];
+        }
+        else
+        {
+            unknown.push_back(i);
+        }
+    }
+    std::optional<bool> folded;
+    for (std::size_t mask = 0; mask < (std::size_t{1} << unknown.size()); ++mask)
+    {
+        for (std::size_t bit = 0; bit < unknown.size(); ++bit)
+        {
+            inputs[unknown[bit]] = ((mask >> bit) & 1U) != 0;
+        }
+        const bool value = ntk::evaluate_gate(t, inputs[0], inputs[1], inputs[2]);
+        if (!folded.has_value())
+        {
+            folded = value;
+        }
+        else if (*folded != value)
+        {
+            return std::nullopt;
+        }
+    }
+    return folded;
+}
+
+}  // namespace
+
+ntk::logic_network random_network(rng& random, const network_spec& spec)
+{
+    ntk::logic_network network{spec.name};
+
+    // fold value per node: the physical design tools reject networks whose
+    // POs constant-propagate to constants, so the generator tracks folding
+    // and never drives a PO from a folding signal
+    std::vector<std::optional<bool>> node_fold;
+    const auto fold_of = [&](const ntk::logic_network::node n) -> std::optional<bool>
+    { return n < node_fold.size() ? node_fold[n] : std::nullopt; };
+    const auto record_fold = [&](const ntk::logic_network::node n, const std::optional<bool> value)
+    {
+        if (n >= node_fold.size())
+        {
+            node_fold.resize(n + 1);
+        }
+        node_fold[n] = value;
+    };
+    record_fold(network.get_constant(false), false);
+    record_fold(network.get_constant(true), true);
+
+    const auto num_pis = static_cast<std::size_t>(random.range(spec.min_pis, spec.max_pis));
+    const auto num_pos = static_cast<std::size_t>(random.range(spec.min_pos, spec.max_pos));
+    const auto num_gates = static_cast<std::size_t>(random.range(spec.min_gates, spec.max_gates));
+
+    std::vector<ntk::logic_network::node> signals;
+    signals.reserve(num_pis + num_gates);
+    for (std::size_t i = 0; i < num_pis; ++i)
+    {
+        signals.push_back(network.create_pi("x" + std::to_string(i)));
+    }
+
+    // PIs not yet used as a fanin; preferred while any remain so that every
+    // input reaches logic when the gate budget allows
+    std::vector<ntk::logic_network::node> unused_pis = signals;
+    auto previous = ntk::logic_network::invalid_node;
+
+    const auto draw_fanin = [&]() -> ntk::logic_network::node
+    {
+        if (!unused_pis.empty() && random.chance(60, 100))
+        {
+            const auto index = static_cast<std::size_t>(random.below(unused_pis.size()));
+            const auto n = unused_pis[index];
+            unused_pis.erase(unused_pis.begin() + static_cast<std::ptrdiff_t>(index));
+            return n;
+        }
+        if (previous != ntk::logic_network::invalid_node && random.chance(spec.chain_percent, 100))
+        {
+            return previous;
+        }
+        if (random.chance(spec.constant_percent, 100))
+        {
+            return network.get_constant(random.chance(1, 2));
+        }
+        const auto window = spec.window == 0 ? signals.size() : std::min(spec.window, signals.size());
+        return signals[signals.size() - window + static_cast<std::size_t>(random.below(window))];
+    };
+
+    const auto pool = network_gate_pool(spec);
+    for (std::size_t g = 0; g < num_gates; ++g)
+    {
+        const auto t = pool[static_cast<std::size_t>(random.below(pool.size()))];
+        std::vector<ntk::logic_network::node> fanins;
+        for (std::uint8_t i = 0; i < ntk::gate_arity(t); ++i)
+        {
+            fanins.push_back(draw_fanin());
+        }
+        const auto n = network.create_gate(t, fanins);
+        std::vector<std::optional<bool>> fanin_values;
+        fanin_values.reserve(fanins.size());
+        for (const auto fi : fanins)
+        {
+            fanin_values.push_back(fold_of(fi));
+        }
+        record_fold(n, fold_value(t, fanin_values));
+        signals.push_back(n);
+        previous = n;
+    }
+
+    // unused PIs that never became a fanin still count toward the interface;
+    // drive POs by distinct signals, newest first, so outputs usually depend
+    // on the whole cone
+    std::vector<ntk::logic_network::node> po_sources;
+    const auto used = [&](const ntk::logic_network::node n)
+    { return std::find(po_sources.begin(), po_sources.end(), n) != po_sources.end(); };
+    for (std::size_t j = 0; j < num_pos; ++j)
+    {
+        ntk::logic_network::node source = ntk::logic_network::invalid_node;
+        for (std::size_t attempt = 0; attempt < 8; ++attempt)
+        {
+            const auto candidate =
+                signals[signals.size() - 1 - static_cast<std::size_t>(random.below(std::min<std::size_t>(
+                                                 signals.size(), num_gates == 0 ? signals.size() : num_gates + 2)))];
+            if (fold_of(candidate).has_value())
+            {
+                continue;  // would constant-propagate to a constant PO
+            }
+            source = candidate;
+            if (!used(candidate))
+            {
+                break;
+            }
+        }
+        if (source == ntk::logic_network::invalid_node)
+        {
+            // newest non-folding signal, preferring unused ones; PIs never
+            // fold, so at least one candidate always exists
+            for (auto it = signals.rbegin(); it != signals.rend(); ++it)
+            {
+                if (!fold_of(*it).has_value() && (source == ntk::logic_network::invalid_node || !used(*it)))
+                {
+                    source = *it;
+                    if (!used(*it))
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        po_sources.push_back(source);
+        network.create_po(source, "y" + std::to_string(j));
+    }
+
+    return network;
+}
+
+// ------------------------------------------------------ document generators
+
+namespace
+{
+
+/// Splits into lines (keeping content only; separators re-added on join).
+std::vector<std::string> split_lines(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size())
+    {
+        const auto eol = text.find('\n', start);
+        if (eol == std::string::npos)
+        {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, eol - start));
+        start = eol + 1;
+    }
+    return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines)
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+    {
+        out += lines[i];
+        if (i + 1 < lines.size())
+        {
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+/// Replaces the first occurrence of \p from after a random offset.
+void swap_token(rng& random, std::string& text, const std::string& from, const std::string& to)
+{
+    if (text.empty() || from.empty())
+    {
+        return;
+    }
+    const auto offset = static_cast<std::size_t>(random.below(text.size()));
+    auto pos = text.find(from, offset);
+    if (pos == std::string::npos)
+    {
+        pos = text.find(from);
+    }
+    if (pos != std::string::npos)
+    {
+        text.replace(pos, from.size(), to);
+    }
+}
+
+/// Replaces a random digit run with a random (possibly hostile) number.
+void corrupt_number(rng& random, std::string& text)
+{
+    const auto is_digit = [](const char c) { return c >= '0' && c <= '9'; };
+    if (text.empty())
+    {
+        return;
+    }
+    auto pos = static_cast<std::size_t>(random.below(text.size()));
+    for (std::size_t steps = 0; steps < text.size() && !is_digit(text[pos]); ++steps)
+    {
+        pos = (pos + 1) % text.size();
+    }
+    if (!is_digit(text[pos]))
+    {
+        return;
+    }
+    auto end = pos;
+    while (end < text.size() && is_digit(text[end]))
+    {
+        ++end;
+    }
+    static const std::vector<std::string> numbers{"0",  "-1", "2147483648", "99999999999999999999",
+                                                  "7",  "-0", "1000000000", "0x10",
+                                                  "00", "3.5"};
+    std::string replacement = numbers[static_cast<std::size_t>(random.below(numbers.size()))];
+    text.replace(pos, end - pos, replacement);
+}
+
+void mutate_document(rng& random, std::string& document, const document_spec& spec,
+                     const std::vector<std::pair<std::string, std::string>>& token_swaps)
+{
+    const auto mutations = random.range(spec.min_mutations, spec.max_mutations);
+    for (std::uint64_t m = 0; m < mutations; ++m)
+    {
+        switch (random.below(8))
+        {
+            case 0:  // delete a random line
+            {
+                auto lines = split_lines(document);
+                if (lines.size() > 1)
+                {
+                    lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(random.below(lines.size())));
+                    document = join_lines(lines);
+                }
+                break;
+            }
+            case 1:  // duplicate a random line
+            {
+                auto lines = split_lines(document);
+                if (!lines.empty())
+                {
+                    const auto index = static_cast<std::size_t>(random.below(lines.size()));
+                    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(index), lines[index]);
+                    document = join_lines(lines);
+                }
+                break;
+            }
+            case 2: corrupt_number(random, document); break;
+            case 3:  // flip one byte
+                if (!document.empty())
+                {
+                    document[static_cast<std::size_t>(random.below(document.size()))] =
+                        static_cast<char>(random.range(1, 255));
+                }
+                break;
+            case 4:  // token swap from the format vocabulary
+            {
+                const auto& [from, to] = token_swaps[static_cast<std::size_t>(random.below(token_swaps.size()))];
+                swap_token(random, document, from, to);
+                break;
+            }
+            case 5:  // insert junk
+            {
+                static const std::vector<std::string> junk{"<junk/>", "<!-- x -->", "\xff\xfe", "  ", "\t\t",
+                                                           "</gate>", "1'bz",       "//",       "&"};
+                const auto pos = static_cast<std::size_t>(random.below(document.size() + 1));
+                document.insert(pos, junk[static_cast<std::size_t>(random.below(junk.size()))]);
+                break;
+            }
+            case 6:  // truncate the tail
+                if (document.size() > 4 && random.chance(1, 3))
+                {
+                    document.resize(document.size() - random.range(1, document.size() / 2));
+                }
+                break;
+            case 7:  // duplicate a random span (oversized lists, repeated elements)
+            {
+                if (!document.empty())
+                {
+                    const auto pos = static_cast<std::size_t>(random.below(document.size()));
+                    const auto len =
+                        std::min<std::size_t>(document.size() - pos, static_cast<std::size_t>(random.range(1, 40)));
+                    document.insert(pos, document.substr(pos, len));
+                }
+                break;
+            }
+        }
+    }
+}
+
+std::string scratch_tag_soup(rng& random, const std::vector<std::string>& vocabulary)
+{
+    std::string out;
+    const auto pieces = random.range(3, 40);
+    for (std::uint64_t i = 0; i < pieces; ++i)
+    {
+        const auto& word = vocabulary[static_cast<std::size_t>(random.below(vocabulary.size()))];
+        switch (random.below(4))
+        {
+            case 0: out += "<" + word + ">"; break;
+            case 1: out += "</" + word + ">"; break;
+            case 2: out += word; break;
+            case 3: out += std::to_string(random.below(1000)); break;
+        }
+        if (random.chance(1, 3))
+        {
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string random_fgl_document(rng& random, const document_spec& spec)
+{
+    static const std::vector<std::string> vocabulary{"fgl",  "layout", "name",     "topology", "clocking",
+                                                     "size", "x",      "y",        "z",        "gates",
+                                                     "gate", "type",   "loc",      "incoming", "clockzones",
+                                                     "zone", "clock",  "cartesian", "2DDWave",  "pi"};
+    if (random.chance(spec.scratch_percent, 100))
+    {
+        return scratch_tag_soup(random, vocabulary);
+    }
+
+    // a valid serialization of a small random layout as the mutation seed
+    network_spec shape{};
+    shape.max_pis = 4;
+    shape.max_gates = 8;
+    shape.allow_maj = false;  // keep the seed layouts small and fast
+    auto seed_rng = random.split();
+    const auto network = random_network(seed_rng, shape);
+    auto document = io::write_fgl_string(pd::ortho(network));
+
+    static const std::vector<std::pair<std::string, std::string>> swaps{
+        {"cartesian", "hexagonal"}, {"cartesian", "spherical"}, {"2DDWave", "OPEN"},
+        {"2DDWave", "USE"},         {"2DDWave", "NONSUCH"},     {"<type>", "<typo>"},
+        {"pi", "frobnicator"},      {"and", "xand"},            {"<loc>", "<lolc>"},
+        {"incoming", "outgoing"},   {"</gate>", ""},            {"<x>", "<x><x>"},
+    };
+    mutate_document(random, document, spec, swaps);
+    return document;
+}
+
+std::string random_verilog_document(rng& random, const document_spec& spec)
+{
+    static const std::vector<std::string> vocabulary{"module", "endmodule", "input",  "output", "wire",
+                                                     "assign", "and",       "or",     "not",    "maj",
+                                                     "1'b0",   "1'b1",      "(",      ")",      ";",
+                                                     "=",      "&",         "|",      "^",      "~"};
+    if (random.chance(spec.scratch_percent, 100))
+    {
+        return scratch_tag_soup(random, vocabulary);
+    }
+
+    network_spec shape{};
+    shape.max_pis = 5;
+    shape.max_gates = 10;
+    auto seed_rng = random.split();
+    const auto network = random_network(seed_rng, shape);
+    const auto style = random.chance(1, 2) ? io::verilog_style::assignments : io::verilog_style::primitives;
+    auto document = io::write_verilog_string(network, style);
+
+    static const std::vector<std::pair<std::string, std::string>> swaps{
+        {"endmodule", ""},         {"module", "nodule"},     {"assign", "assing"},
+        {"input", "inout"},        {"output", "input"},      {"wire", "reg"},
+        {"1'b0", "4'b1010"},       {"1'b1", "1'bz"},         {"=", "=="},
+        {";", ""},                 {"(", "(("},              {"&", "&&&"},
+    };
+    mutate_document(random, document, spec, swaps);
+    return document;
+}
+
+// ------------------------------------------------- layout mutation programs
+
+std::string layout_op::to_string() const
+{
+    const auto coord = [](const lyt::coordinate& c)
+    { return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + "," + std::to_string(c.z) + ")"; };
+    switch (kind)
+    {
+        case layout_op_kind::place:
+            return "place " + std::string{ntk::gate_type_name(type)} + " " + coord(a);
+        case layout_op_kind::connect: return "connect " + coord(a) + " -> " + coord(b);
+        case layout_op_kind::disconnect: return "disconnect " + coord(a) + " -> " + coord(b);
+        case layout_op_kind::clear: return "clear " + coord(a);
+        case layout_op_kind::move: return "move " + coord(a) + " -> " + coord(b);
+        case layout_op_kind::resize:
+            return "resize " + std::to_string(a.x + 1) + "x" + std::to_string(a.y + 1);
+    }
+    return "?";
+}
+
+std::string layout_ops_to_string(const std::vector<layout_op>& ops)
+{
+    std::string out;
+    for (const auto& op : ops)
+    {
+        out += op.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<layout_op> random_layout_ops(rng& random, const std::size_t length, const std::uint32_t side)
+{
+    using ntk::gate_type;
+    static const std::vector<gate_type> types{gate_type::pi,   gate_type::po,     gate_type::buf,
+                                             gate_type::buf,  gate_type::inv,    gate_type::and2,
+                                             gate_type::xor2, gate_type::fanout, gate_type::maj3};
+
+    const auto random_coordinate = [&]() -> lyt::coordinate
+    {
+        // mostly in bounds; occasionally just outside to exercise rejection
+        const auto limit = static_cast<std::uint64_t>(side) + (random.chance(1, 16) ? 2 : 0);
+        return lyt::coordinate{static_cast<std::int32_t>(random.below(limit)),
+                               static_cast<std::int32_t>(random.below(limit)),
+                               static_cast<std::uint8_t>(random.chance(1, 10) ? 1 : 0)};
+    };
+
+    std::vector<layout_op> ops;
+    ops.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+    {
+        layout_op op{};
+        const auto roll = random.below(100);
+        if (roll < 40)
+        {
+            op.kind = layout_op_kind::place;
+            op.a = random_coordinate();
+            op.type = types[static_cast<std::size_t>(random.below(types.size()))];
+        }
+        else if (roll < 65)
+        {
+            op.kind = layout_op_kind::connect;
+            op.a = random_coordinate();
+            op.b = random_coordinate();
+        }
+        else if (roll < 75)
+        {
+            op.kind = layout_op_kind::disconnect;
+            op.a = random_coordinate();
+            op.b = random_coordinate();
+        }
+        else if (roll < 85)
+        {
+            op.kind = layout_op_kind::clear;
+            op.a = random_coordinate();
+        }
+        else if (roll < 95)
+        {
+            op.kind = layout_op_kind::move;
+            op.a = random_coordinate();
+            op.b = random_coordinate();
+        }
+        else
+        {
+            op.kind = layout_op_kind::resize;
+            // resize target in [side/2, side + 2] per dimension
+            op.a = lyt::coordinate{static_cast<std::int32_t>(random.range(side / 2, side + 2)),
+                                   static_cast<std::int32_t>(random.range(side / 2, side + 2))};
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+// -------------------------------------------------- HTTP request generator
+
+std::string random_http_request(rng& random)
+{
+    static const std::vector<std::string> methods{"GET", "GET", "GET", "POST", "PUT", "HEAD", "BREW", "get"};
+    static const std::vector<std::string> paths{
+        "/healthz", "/benchmarks", "/layouts",  "/facets",      "/best",
+        "/nope",    "/download",   "/download/", "/download/abc", "/layouts/extra",
+        "/",        "//layouts",   "/LAYOUTS"};
+    static const std::vector<std::string> keys{"set",   "name",  "library", "clocking", "algorithm",
+                                               "opt",   "best",  "sort",    "order",    "offset",
+                                               "limit", "facets", "bogus"};
+    static const std::vector<std::string> values{"Trindade16", "Fontes18",  "QCA ONE", "Bestagon", "2DDWave",
+                                                 "USE",        "exact",     "ortho",   "NPR",      "PLO",
+                                                 "area",       "runtime",   "asc",     "desc",     "true",
+                                                 "false",      "0",         "50",      "-3",       "1e9",
+                                                 "2%3A1+MUX",  "%zz",       "%",       "+",        "cmos",
+                                                 "999999999999999999999"};
+
+    const auto shape = random.below(100);
+    if (shape >= 85)
+    {
+        // raw garbage / truncated heads
+        std::string out;
+        const auto n = random.range(0, 200);
+        for (std::uint64_t i = 0; i < n; ++i)
+        {
+            out += static_cast<char>(random.range(0, 255));
+        }
+        if (random.chance(1, 2))
+        {
+            out = "GET /layo" + out;  // looks like a request for a while
+        }
+        return out;
+    }
+
+    std::string target = paths[static_cast<std::size_t>(random.below(paths.size()))];
+    if (target == "/download/abc" && random.chance(3, 4))
+    {
+        // sometimes a syntactically valid 32-hex id (unlikely to exist)
+        target = "/download/";
+        for (int i = 0; i < 32; ++i)
+        {
+            target += "0123456789abcdef"[random.below(16)];
+        }
+    }
+    const auto params = random.below(5);
+    for (std::uint64_t p = 0; p < params; ++p)
+    {
+        target += p == 0 ? '?' : '&';
+        target += keys[static_cast<std::size_t>(random.below(keys.size()))];
+        if (random.chance(9, 10))
+        {
+            target += '=';
+            target += values[static_cast<std::size_t>(random.below(values.size()))];
+        }
+    }
+
+    std::string body;
+    if (random.chance(1, 3))
+    {
+        static const std::vector<std::string> bodies{
+            R"({"best_only": true})",
+            R"({"set": "Trindade16", "limit": 5})",
+            R"({"sort": "area", "order": "desc", "offset": 1})",
+            R"({"limit": "ten"})",
+            R"({"unknown_member": 1})",
+            R"({)",
+            R"([1, 2, 3])",
+            "not json at all",
+            std::string(64, '{'),
+        };
+        body = bodies[static_cast<std::size_t>(random.below(bodies.size()))];
+    }
+
+    std::string head = methods[static_cast<std::size_t>(random.below(methods.size()))] + " " + target;
+    if (random.chance(19, 20))
+    {
+        head += " HTTP/1.1";
+    }
+    else
+    {
+        head += random.chance(1, 2) ? " HTTP/2.0" : "";
+    }
+    std::string request = head + "\r\n";
+    request += "Host: 127.0.0.1\r\n";
+    if (random.chance(1, 4))
+    {
+        request += "X-Fuzz: " + std::to_string(random.next()) + "\r\n";
+    }
+    if (!body.empty() || random.chance(1, 8))
+    {
+        switch (random.below(4))
+        {
+            case 0: request += "Content-Length: " + std::to_string(body.size()) + "\r\n"; break;
+            case 1: request += "Content-Length: " + std::to_string(body.size() + random.range(1, 64)) + "\r\n"; break;
+            case 2: request += "Content-Length: 18446744073709551615\r\n"; break;
+            case 3: request += "Content-Length: banana\r\n"; break;
+        }
+    }
+    request += "\r\n";
+    request += body;
+    if (random.chance(1, 16) && !request.empty())
+    {
+        request.resize(static_cast<std::size_t>(random.below(request.size())));
+    }
+    return request;
+}
+
+}  // namespace mnt::pbt

@@ -1,0 +1,201 @@
+#pragma once
+
+/// \file generators.hpp
+/// \brief Seeded random-input generators for property-based testing — the
+///        "arbitrary" half of the `src/testing/` subsystem. Every generator
+///        is a pure function of a \ref mnt::pbt::rng, so a 64-bit seed fully
+///        determines the produced value and any failure replays from its
+///        seed alone (see proptest.hpp for the seed-derivation contract).
+///
+/// Generators cover the stack end to end:
+///
+/// - **logic networks** with a configurable gate mix, depth/fanout shape and
+///   PI/PO counts — always structurally valid, so pipeline oracles measure
+///   the tools, not the generator;
+/// - **hostile-but-parseable documents** (.fgl and Verilog): seeded from a
+///   valid serialization, then mutated at the byte and token level. Parsers
+///   must either accept them or fail with a typed mnt::mnt_error — anything
+///   else (crash, sanitizer finding, uncaught foreign exception) is a bug;
+/// - **layout mutation sequences**: randomized place/connect/disconnect/
+///   clear/move/resize programs for the dense tile grid;
+/// - **HTTP/1.1 request byte-streams** for the catalog server's parser and
+///   router.
+
+#include "layout/coordinates.hpp"
+#include "network/gate_type.hpp"
+#include "network/logic_network.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnt::pbt
+{
+
+// ------------------------------------------------------------------- rng
+
+/// Deterministic 64-bit PRNG (splitmix64). Chosen over std::mt19937 because
+/// its output is specified here, not by the standard library vendor: seeds
+/// reproduce byte-identically on every platform and toolchain, which the
+/// seed-replay contract depends on.
+class rng
+{
+public:
+    explicit constexpr rng(const std::uint64_t seed) noexcept : state{seed} {}
+
+    /// Next raw 64-bit word.
+    constexpr std::uint64_t next() noexcept
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27U)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31U);
+    }
+
+    /// Uniform value in [0, bound); bound = 0 yields 0.
+    constexpr std::uint64_t below(const std::uint64_t bound) noexcept
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /// Uniform value in [lo, hi] (inclusive).
+    constexpr std::uint64_t range(const std::uint64_t lo, const std::uint64_t hi) noexcept
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /// True with probability \p numerator / \p denominator.
+    constexpr bool chance(const std::uint64_t numerator, const std::uint64_t denominator) noexcept
+    {
+        return below(denominator) < numerator;
+    }
+
+    /// Uniformly picked element of \p pool (which must be non-empty).
+    template <typename T>
+    const T& pick(const std::vector<T>& pool) noexcept
+    {
+        return pool[static_cast<std::size_t>(below(pool.size()))];
+    }
+
+    /// Child generator with an independent stream (for sub-structures).
+    constexpr rng split() noexcept
+    {
+        return rng{next()};
+    }
+
+private:
+    std::uint64_t state;
+};
+
+// ------------------------------------------------------- network generator
+
+/// Shape parameters of \ref random_network. Ranges are inclusive.
+struct network_spec
+{
+    std::size_t min_pis{2};
+    std::size_t max_pis{6};
+    std::size_t min_pos{1};
+    std::size_t max_pos{3};
+    std::size_t min_gates{1};
+    std::size_t max_gates{16};
+
+    /// Fanins are drawn from the last `window` created signals (locality);
+    /// 0 = uniform over all existing signals.
+    std::size_t window{0};
+
+    /// Probability (percent) that a fanin re-uses the previous gate's output,
+    /// creating chains (depth) and shared fanout.
+    std::uint64_t chain_percent{35};
+
+    /// Include 3-input majority gates.
+    bool allow_maj{true};
+
+    /// Include XOR/XNOR gates.
+    bool allow_xor{true};
+
+    /// Probability (percent) of a constant fanin (exercises constant
+    /// propagation paths in the tools).
+    std::uint64_t constant_percent{3};
+
+    std::string name{"prop"};
+};
+
+/// Generates a structurally valid random logic network: `p` PIs named
+/// "x0..", a gate DAG over them with the configured mix, and `q` POs named
+/// "y0.." driven by distinct signals where possible. Every PI transitively
+/// reaches at least one gate input when the gate budget allows, so layout
+/// oracles never see degenerate all-dangling interfaces.
+[[nodiscard]] ntk::logic_network random_network(rng& random, const network_spec& spec = {});
+
+/// The logic gate types \ref random_network draws from under \p spec.
+[[nodiscard]] std::vector<ntk::gate_type> network_gate_pool(const network_spec& spec);
+
+// ------------------------------------------------- document generators
+
+/// Severity of document mutations.
+struct document_spec
+{
+    /// Number of mutations applied to the seed document.
+    std::size_t min_mutations{0};
+    std::size_t max_mutations{6};
+
+    /// Probability (percent) of generating a from-scratch random document
+    /// instead of mutating a valid serialization.
+    std::uint64_t scratch_percent{15};
+};
+
+/// A hostile-but-usually-parseable .fgl document: a valid write_fgl
+/// serialization of a small random layout, mutated by byte edits, line
+/// deletion/duplication, number corruption and token swaps — or, with
+/// \ref document_spec::scratch_percent, random tag soup. The reader must
+/// accept or raise a typed error; accepted documents must round-trip to a
+/// byte fixpoint.
+[[nodiscard]] std::string random_fgl_document(rng& random, const document_spec& spec = {});
+
+/// Hostile-but-usually-parseable structural Verilog, built the same way from
+/// \ref mnt::io::write_verilog_string (both styles).
+[[nodiscard]] std::string random_verilog_document(rng& random, const document_spec& spec = {});
+
+// ------------------------------------------------ layout mutation programs
+
+/// One step of a layout mutation program.
+enum class layout_op_kind : std::uint8_t
+{
+    place,       ///< place gate `type` at `a`
+    connect,     ///< connect a -> b
+    disconnect,  ///< disconnect a -> b
+    clear,       ///< clear_tile(a)
+    move,        ///< move_tile(a, b)
+    resize       ///< resize(a.x + 1, a.y + 1)
+};
+
+struct layout_op
+{
+    layout_op_kind kind{layout_op_kind::place};
+    lyt::coordinate a{};
+    lyt::coordinate b{};
+    ntk::gate_type type{ntk::gate_type::buf};
+
+    /// Printable form, e.g. "place buf (1,2,0)" — the reproducer format.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// A random mutation program of \p length steps over a \p side x \p side
+/// grid. Ops may individually be invalid (occupied tile, empty source, full
+/// fanin) — the apply helper treats precondition_error as a no-op, and the
+/// container oracle checks that rejected ops really leave no trace.
+[[nodiscard]] std::vector<layout_op> random_layout_ops(rng& random, std::size_t length, std::uint32_t side);
+
+/// Prints a whole program one op per line (reproducer rendering).
+[[nodiscard]] std::string layout_ops_to_string(const std::vector<layout_op>& ops);
+
+// ------------------------------------------------- HTTP request generator
+
+/// A random HTTP/1.1 request byte-stream: usually a well-formed request to
+/// one of the catalog server's endpoints with randomized query strings,
+/// headers and JSON-ish bodies; sometimes truncated heads, lying
+/// Content-Length values, oversized targets or raw binary garbage.
+[[nodiscard]] std::string random_http_request(rng& random);
+
+}  // namespace mnt::pbt

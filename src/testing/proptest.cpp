@@ -1,0 +1,105 @@
+#include "testing/proptest.hpp"
+
+#include <cstdlib>
+
+namespace mnt::pbt
+{
+
+proptest_config proptest_config::from_environment(std::string property, const std::size_t default_cases)
+{
+    proptest_config config{};
+    config.property = std::move(property);
+    config.cases = default_cases;
+
+    bool seed_from_env = false;
+    if (const char* seed = std::getenv("MNT_PROPTEST_SEED"); seed != nullptr && *seed != '\0')
+    {
+        // base 0 accepts both decimal and the 0x... form the reports print
+        config.seed = std::strtoull(seed, nullptr, 0);
+        seed_from_env = true;
+    }
+    if (const char* cases = std::getenv("MNT_PROPTEST_CASES"); cases != nullptr && *cases != '\0')
+    {
+        const auto parsed = std::strtoull(cases, nullptr, 10);
+        if (parsed > 0)
+        {
+            config.cases = static_cast<std::size_t>(parsed);
+        }
+    }
+    config.replay_single = seed_from_env && config.cases == 1;
+    return config;
+}
+
+std::uint64_t derive_case_seed(const std::uint64_t master_seed, const std::string_view property,
+                               const std::size_t case_index)
+{
+    std::uint64_t name_hash = 1469598103934665603ull;  // FNV-1a
+    for (const char c : property)
+    {
+        name_hash = (name_hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+    rng mixer{master_seed ^ name_hash ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(case_index) + 1))};
+    return mixer.next();
+}
+
+namespace
+{
+
+std::string hex_seed(const std::uint64_t seed)
+{
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out{"0x"};
+    bool significant = false;
+    for (int shift = 60; shift >= 0; shift -= 4)
+    {
+        const auto nibble = (seed >> static_cast<unsigned>(shift)) & 0xFU;
+        if (nibble != 0 || significant || shift == 0)
+        {
+            out += digits[nibble];
+            significant = true;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string replay_command(const proptest_config& config, const std::uint64_t case_seed)
+{
+    std::string command = "MNT_PROPTEST_SEED=" + hex_seed(case_seed) + " MNT_PROPTEST_CASES=1 ./tests/";
+    command += config.binary.empty() ? "<test-binary>" : config.binary;
+    if (!config.gtest_filter.empty())
+    {
+        command += " --gtest_filter=" + config.gtest_filter;
+    }
+    return command;
+}
+
+std::string proptest_result::report() const
+{
+    if (!failure.has_value())
+    {
+        return {};
+    }
+    const auto& f = *failure;
+    std::string out = "property failed at case " + std::to_string(f.case_index) + " (seed " + hex_seed(f.case_seed) +
+                      "):\n  " + f.reason + "\n";
+    if (!f.reproducer.empty())
+    {
+        out += "shrunk reproducer";
+        if (f.shrunk_reason != f.reason)
+        {
+            out += " (fails with: " + f.shrunk_reason + ")";
+        }
+        out += ":\n";
+        out += f.reproducer;
+        if (out.back() != '\n')
+        {
+            out += '\n';
+        }
+    }
+    out += "replay: " + f.replay + "\n";
+    return out;
+}
+
+}  // namespace mnt::pbt

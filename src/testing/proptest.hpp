@@ -1,0 +1,229 @@
+#pragma once
+
+/// \file proptest.hpp
+/// \brief The property-based testing harness: runs `generate → check` for N
+///        seeded cases, and on the first failure shrinks the input and
+///        renders a reproducer with the exact one-command replay line.
+///
+/// ## Seed-replay contract
+///
+/// Every case is driven by a 64-bit **case seed**. By default the case seed
+/// is derived deterministically from (master seed, property name, case
+/// index), so all properties are reproducible run over run. The environment
+/// overrides:
+///
+///   MNT_PROPTEST_SEED=<n|0xhex>   master seed (default: built-in constant)
+///   MNT_PROPTEST_CASES=<n>        cases per property (default: per-suite)
+///
+/// When MNT_PROPTEST_CASES=1 **and** MNT_PROPTEST_SEED is set, the master
+/// seed IS the case seed — which is exactly what a failure report prints:
+///
+///   MNT_PROPTEST_SEED=0x1234abcd MNT_PROPTEST_CASES=1
+///       ./tests/test_properties_io --gtest_filter=Suite.Test
+///
+/// replays the failing case (and nothing else) locally.
+///
+/// Per-case deadlines reuse \ref mnt::res::run_guarded, so a hung case
+/// surfaces as a timeout failure instead of wedging the suite, and the
+/// `proptest.case` fault-injection site (MNT_FAULT_INJECT=proptest.case)
+/// forces failures end-to-end through shrinking and reporting.
+
+#include "common/resilience.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mnt::pbt
+{
+
+/// Configuration of one property run.
+struct proptest_config
+{
+    /// Stable property name; part of the case-seed derivation, so renaming a
+    /// property reshuffles its cases (by design: the name identifies the
+    /// input distribution).
+    std::string property;
+
+    /// Master seed (see the seed-replay contract above).
+    std::uint64_t seed{default_seed};
+
+    /// Number of cases to run.
+    std::size_t cases{200};
+
+    /// Per-case deadline in seconds (0 = unbounded).
+    double case_deadline_s{20.0};
+
+    /// Check budget handed to shrinkers via \ref max_shrink_checks.
+    std::size_t max_shrink_checks{200};
+
+    /// True when the master seed is the case seed (replay mode).
+    bool replay_single{false};
+
+    /// Test binary name for the replay command (filled by the gtest glue
+    /// from the MNT_TEST_BINARY compile definition).
+    std::string binary;
+
+    /// --gtest_filter value for the replay command (Suite.Test).
+    std::string gtest_filter;
+
+    static constexpr std::uint64_t default_seed = 0x6d6e745f70627431ull;  // "mnt_pbt1"
+
+    /// Reads MNT_PROPTEST_SEED / MNT_PROPTEST_CASES and returns a config for
+    /// \p property with \p default_cases as the fallback case count.
+    [[nodiscard]] static proptest_config from_environment(std::string property, std::size_t default_cases = 200);
+};
+
+/// Deterministic case-seed derivation (splitmix64 over master ⊕ FNV-1a of
+/// the property name ⊕ the case index).
+[[nodiscard]] std::uint64_t derive_case_seed(std::uint64_t master_seed, std::string_view property,
+                                             std::size_t case_index);
+
+/// The exact shell command that replays one case of \p config.
+[[nodiscard]] std::string replay_command(const proptest_config& config, std::uint64_t case_seed);
+
+/// One failed case, fully rendered.
+struct proptest_failure
+{
+    std::size_t case_index{0};
+    std::uint64_t case_seed{0};
+
+    /// Violation of the original input.
+    std::string reason;
+
+    /// Printable form of the *shrunk* input.
+    std::string reproducer;
+
+    /// Violation of the shrunk input (usually == reason).
+    std::string shrunk_reason;
+
+    /// One-command local replay (see the seed-replay contract).
+    std::string replay;
+};
+
+/// Result of \ref run_property.
+struct proptest_result
+{
+    std::size_t cases_run{0};
+    std::optional<proptest_failure> failure;
+
+    [[nodiscard]] bool passed() const noexcept
+    {
+        return !failure.has_value();
+    }
+
+    /// Human-readable failure report (empty string when passed).
+    [[nodiscard]] std::string report() const;
+};
+
+/// One property: how to generate a value, how to check it, and (optionally)
+/// how to shrink a failing one and how to print it.
+template <typename Value>
+struct property
+{
+    /// Generates a value from a seeded rng. Must be deterministic per seed.
+    std::function<Value(rng&)> generate;
+
+    /// Checks the value; the deadline is the per-case budget (thread it into
+    /// algorithm params where supported).
+    std::function<oracle_result(const Value&, const res::deadline_clock&)> check;
+
+    /// Optional: minimizes a failing value. Receives the value and a
+    /// `still_fails` predicate; returns the minimized value (see shrink.hpp
+    /// for ready-made shrinkers).
+    std::function<Value(Value, const std::function<bool(const Value&)>&)> shrink;
+
+    /// Optional: renders a value for the reproducer section of the report.
+    std::function<std::string(const Value&)> show;
+};
+
+/// Runs \p prop for config.cases seeded cases; stops at the first failure,
+/// shrinks it, and returns the rendered failure. Oracle failures, typed
+/// errors, foreign exceptions and per-case deadline expiry all count as
+/// failures (mapped through \ref mnt::res::run_guarded).
+template <typename Value>
+[[nodiscard]] proptest_result run_property(const proptest_config& config, const property<Value>& prop)
+{
+    proptest_result result{};
+
+    // one guarded evaluation; empty string = the property holds
+    const auto check_once = [&](const Value& value) -> std::string
+    {
+        oracle_result oracle{};
+        const auto deadline = config.case_deadline_s > 0.0 ? res::deadline_clock::after(config.case_deadline_s) :
+                                                             res::deadline_clock::unbounded();
+        res::guard_params guard{};
+        guard.deadline = deadline;
+        const auto outcome = res::run_guarded(config.property, guard,
+                                              [&](std::size_t)
+                                              {
+                                                  MNT_FAULT_POINT("proptest.case");
+                                                  oracle = prop.check(value, deadline);
+                                              });
+        if (!outcome.is_ok())
+        {
+            return std::string{res::outcome_kind_name(outcome.kind)} + ": " + outcome.message;
+        }
+        return oracle.passed ? std::string{} : oracle.reason;
+    };
+
+    for (std::size_t index = 0; index < config.cases; ++index)
+    {
+        const auto case_seed =
+            config.replay_single ? config.seed : derive_case_seed(config.seed, config.property, index);
+
+        proptest_failure failure{};
+        failure.case_index = index;
+        failure.case_seed = case_seed;
+        failure.replay = replay_command(config, case_seed);
+
+        rng random{case_seed};
+        Value value;
+        try
+        {
+            value = prop.generate(random);
+        }
+        catch (const std::exception& e)
+        {
+            // a generator must never throw — report it with full seed info
+            failure.reason = std::string{"generator threw: "} + e.what();
+            failure.shrunk_reason = failure.reason;
+            result.failure = std::move(failure);
+            ++result.cases_run;
+            return result;
+        }
+
+        auto reason = check_once(value);
+        ++result.cases_run;
+        if (reason.empty())
+        {
+            continue;
+        }
+        failure.reason = std::move(reason);
+
+        Value minimized = std::move(value);
+        if (prop.shrink)
+        {
+            minimized = prop.shrink(std::move(minimized),
+                                    [&](const Value& candidate) { return !check_once(candidate).empty(); });
+        }
+        failure.shrunk_reason = check_once(minimized);
+        if (failure.shrunk_reason.empty())
+        {
+            failure.shrunk_reason = failure.reason;  // flaky check; report the original
+        }
+        if (prop.show)
+        {
+            failure.reproducer = prop.show(minimized);
+        }
+        result.failure = std::move(failure);
+        return result;
+    }
+    return result;
+}
+
+}  // namespace mnt::pbt

@@ -1,0 +1,98 @@
+#include "testing/shrink.hpp"
+
+#include "network/gate_type.hpp"
+
+namespace mnt::pbt
+{
+
+std::string shrink_bytes(std::string input, const std::function<bool(const std::string&)>& still_fails,
+                         const std::size_t max_checks)
+{
+    return detail::greedy_delete(std::move(input), still_fails, max_checks);
+}
+
+namespace
+{
+
+/// Rebuilds \p network without \p victim. Gates/buffers/fan-outs are spliced
+/// out by mapping their id to their first fanin's image; POs and PIs are
+/// simply not recreated. Callers guarantee the removal keeps the network
+/// well-formed (a skipped PI has no fanout, a skipped PO is not the last).
+ntk::logic_network rebuild_without(const ntk::logic_network& network, const ntk::logic_network::node victim)
+{
+    using ntk::gate_type;
+    ntk::logic_network out{network.network_name()};
+    std::vector<ntk::logic_network::node> image(network.size(), ntk::logic_network::invalid_node);
+    image[network.get_constant(false)] = out.get_constant(false);
+    image[network.get_constant(true)] = out.get_constant(true);
+
+    for (ntk::logic_network::node n = 2; n < static_cast<ntk::logic_network::node>(network.size()); ++n)
+    {
+        const auto t = network.type(n);
+        if (n == victim)
+        {
+            if (t != gate_type::pi && t != gate_type::po)
+            {
+                image[n] = image[network.fanins(n).front()];
+            }
+            continue;
+        }
+        if (t == gate_type::pi)
+        {
+            image[n] = out.create_pi(network.name_of(n));
+        }
+        else if (t == gate_type::po)
+        {
+            image[n] = out.create_po(image[network.fanins(n).front()], network.name_of(n));
+        }
+        else
+        {
+            std::vector<ntk::logic_network::node> fanins;
+            for (const auto f : network.fanins(n))
+            {
+                fanins.push_back(image[f]);
+            }
+            image[n] = out.create_gate(t, fanins);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+ntk::logic_network shrink_network(ntk::logic_network input,
+                                  const std::function<bool(const ntk::logic_network&)>& still_fails,
+                                  const std::size_t max_checks)
+{
+    using ntk::gate_type;
+    std::size_t checks = 0;
+    bool progress = true;
+    while (progress && checks < max_checks)
+    {
+        progress = false;
+        // newest-first removes from the top of the cone, which tends to
+        // detach whole subtrees for the following iterations
+        for (auto n = static_cast<ntk::logic_network::node>(input.size()); n-- > 2 && checks < max_checks;)
+        {
+            const auto t = input.type(n);
+            const bool removable = ntk::is_logic_gate(t) || t == gate_type::buf || t == gate_type::fanout ||
+                                   (t == gate_type::po && input.num_pos() > 1) ||
+                                   (t == gate_type::pi && input.fanout_size(n) == 0 && input.num_pis() > 1);
+            if (!removable)
+            {
+                continue;
+            }
+            auto candidate = rebuild_without(input, n);
+            ++checks;
+            if (still_fails(candidate))
+            {
+                input = std::move(candidate);
+                progress = true;
+                break;  // node ids shifted; restart the scan
+            }
+        }
+    }
+    return input;
+}
+
+}  // namespace mnt::pbt

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file shrink.hpp
+/// \brief Greedy input minimization for property-based testing. Once a
+///        property fails for some generated value, these routines search for
+///        a smaller value that still fails, so the reproducer the harness
+///        prints is close to minimal instead of a 16-gate/4-KiB haystack.
+///
+/// All shrinkers take a `still_fails` predicate — "does the property still
+/// fail on this candidate?" — and only ever commit a candidate for which it
+/// returns true, so the result is guaranteed to reproduce the original
+/// failure. Every shrinker is bounded by a check budget because a single
+/// predicate call can be as expensive as a full place-and-verify pipeline.
+
+#include "network/logic_network.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mnt::pbt
+{
+
+namespace detail
+{
+
+/// ddmin-style greedy chunk deletion over any erasable container (std::string
+/// or std::vector): try removing windows of size n/2, n/4, ... 1, keeping a
+/// deletion whenever the property still fails, until a 1-granular pass makes
+/// no progress or the check budget runs out.
+template <typename Container, typename Predicate>
+Container greedy_delete(Container current, const Predicate& still_fails, const std::size_t max_checks)
+{
+    std::size_t checks = 0;
+    auto chunk = std::max<std::size_t>(1, current.size() / 2);
+    while (true)
+    {
+        bool progress = false;
+        for (std::size_t start = 0; start < current.size();)
+        {
+            if (checks >= max_checks)
+            {
+                return current;
+            }
+            const auto length = std::min(chunk, current.size() - start);
+            Container candidate = current;
+            candidate.erase(std::next(candidate.begin(), static_cast<std::ptrdiff_t>(start)),
+                            std::next(candidate.begin(), static_cast<std::ptrdiff_t>(start + length)));
+            ++checks;
+            if (still_fails(candidate))
+            {
+                current = std::move(candidate);
+                progress = true;  // same start now points at fresh content
+            }
+            else
+            {
+                start += chunk;
+            }
+        }
+        if (chunk == 1)
+        {
+            if (!progress)
+            {
+                return current;
+            }
+        }
+        else
+        {
+            chunk = std::max<std::size_t>(1, chunk / 2);
+        }
+    }
+}
+
+}  // namespace detail
+
+/// Minimizes a byte string (document, HTTP request) by greedy chunk deletion.
+[[nodiscard]] std::string shrink_bytes(std::string input, const std::function<bool(const std::string&)>& still_fails,
+                                       std::size_t max_checks = 2000);
+
+/// Minimizes an operation sequence (e.g. layout mutation programs) by greedy
+/// chunk deletion.
+template <typename T>
+[[nodiscard]] std::vector<T> shrink_sequence(std::vector<T> input,
+                                             const std::function<bool(const std::vector<T>&)>& still_fails,
+                                             const std::size_t max_checks = 2000)
+{
+    return detail::greedy_delete(std::move(input), still_fails, max_checks);
+}
+
+/// Minimizes a failing logic network by node deletion: gates, buffers and
+/// fan-outs are removed by redirecting their uses to their first fanin;
+/// surplus POs and dangling PIs are dropped. Each committed candidate still
+/// fails the property; the loop runs to a fixpoint or the check budget.
+/// Predicate calls are expensive (typically a full layout + equivalence
+/// pipeline), so the default budget is small.
+[[nodiscard]] ntk::logic_network shrink_network(ntk::logic_network input,
+                                                const std::function<bool(const ntk::logic_network&)>& still_fails,
+                                                std::size_t max_checks = 300);
+
+}  // namespace mnt::pbt

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file proptest_gtest.hpp
+/// \brief GoogleTest glue for the property harness: builds a
+///        \ref mnt::pbt::proptest_config whose replay command names the
+///        current test binary (via the MNT_TEST_BINARY compile definition
+///        from tests/CMakeLists.txt) and the running Suite.Test, then
+///        asserts on the rendered failure report.
+
+#include "testing/proptest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace mnt::pbt
+{
+
+/// Config for the currently running gtest case: environment contract applied,
+/// replay command pre-wired to this binary and --gtest_filter.
+inline proptest_config current_test_config(std::string property, const std::size_t default_cases = 200)
+{
+    auto config = proptest_config::from_environment(std::move(property), default_cases);
+#ifdef MNT_TEST_BINARY
+    config.binary = MNT_TEST_BINARY;
+#endif
+    if (const auto* info = ::testing::UnitTest::GetInstance()->current_test_info(); info != nullptr)
+    {
+        config.gtest_filter = std::string{info->test_suite_name()} + "." + info->name();
+    }
+    return config;
+}
+
+}  // namespace mnt::pbt
+
+/// Runs a property and fails the surrounding gtest case with the full
+/// reproducer report on violation.
+#define MNT_RUN_PROPERTY(config, prop)                              \
+    do                                                              \
+    {                                                               \
+        const auto mnt_result_ = mnt::pbt::run_property(config, prop); \
+        ASSERT_TRUE(mnt_result_.passed()) << mnt_result_.report();  \
+    } while (false)

@@ -1,0 +1,350 @@
+/// \file test_proptest_harness.cpp
+/// \brief Self-tests of the property harness: seed derivation, generator
+///        determinism, shrinking, failure reporting, replay, fault injection
+///        and per-case deadlines. These tests exercise the machinery the
+///        test_properties_* suites rely on.
+
+#include "proptest_gtest.hpp"
+
+#include "common/resilience.hpp"
+#include "io/fgl_writer.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+#include "testing/proptest.hpp"
+#include "testing/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+pbt::proptest_config plain_config(std::string property, const std::size_t cases)
+{
+    pbt::proptest_config config{};
+    config.property = std::move(property);
+    config.cases = cases;
+    config.binary = "test_proptest_harness";
+    config.gtest_filter = "Suite.Test";
+    return config;
+}
+
+/// An integer property: fails iff the value is >= threshold.
+pbt::property<std::uint64_t> threshold_property(const std::uint64_t threshold)
+{
+    pbt::property<std::uint64_t> prop{};
+    prop.generate = [](pbt::rng& random) { return random.below(1000); };
+    prop.check = [threshold](const std::uint64_t& value, const res::deadline_clock&)
+    {
+        return value < threshold ? pbt::oracle_result::pass() :
+                                   pbt::oracle_result::fail("value " + std::to_string(value) + " >= threshold");
+    };
+    prop.show = [](const std::uint64_t& value) { return std::to_string(value); };
+    return prop;
+}
+
+TEST(SeedDerivation, DeterministicAndDistinct)
+{
+    const auto a = pbt::derive_case_seed(1, "prop.a", 0);
+    EXPECT_EQ(a, pbt::derive_case_seed(1, "prop.a", 0));
+
+    // distinct across index, property name and master seed
+    std::set<std::uint64_t> seeds{};
+    for (std::size_t index = 0; index < 100; ++index)
+    {
+        seeds.insert(pbt::derive_case_seed(1, "prop.a", index));
+    }
+    seeds.insert(pbt::derive_case_seed(1, "prop.b", 0));
+    seeds.insert(pbt::derive_case_seed(2, "prop.a", 0));
+    EXPECT_EQ(seeds.size(), 102U);
+}
+
+TEST(SeedDerivation, RngIsSplitmix64)
+{
+    // lock the PRNG's output: the replay contract depends on these bytes
+    pbt::rng random{0};
+    EXPECT_EQ(random.next(), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(random.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Generators, NetworkDeterministicPerSeed)
+{
+    pbt::rng a{42};
+    pbt::rng b{42};
+    const auto na = pbt::random_network(a);
+    const auto nb = pbt::random_network(b);
+    EXPECT_TRUE(na.structurally_equal(nb));
+    EXPECT_GE(na.num_pis(), 2U);
+    EXPECT_GE(na.num_pos(), 1U);
+}
+
+TEST(Generators, DocumentsDeterministicPerSeed)
+{
+    pbt::rng a{7};
+    pbt::rng b{7};
+    EXPECT_EQ(pbt::random_fgl_document(a), pbt::random_fgl_document(b));
+
+    pbt::rng c{9};
+    pbt::rng d{9};
+    EXPECT_EQ(pbt::random_verilog_document(c), pbt::random_verilog_document(d));
+
+    pbt::rng e{11};
+    pbt::rng f{11};
+    EXPECT_EQ(pbt::random_http_request(e), pbt::random_http_request(f));
+}
+
+TEST(Generators, LayoutOpsDeterministicPerSeed)
+{
+    pbt::rng a{3};
+    pbt::rng b{3};
+    const auto oa = pbt::random_layout_ops(a, 40, 6);
+    const auto ob = pbt::random_layout_ops(b, 40, 6);
+    EXPECT_EQ(pbt::layout_ops_to_string(oa), pbt::layout_ops_to_string(ob));
+    EXPECT_EQ(oa.size(), 40U);
+}
+
+TEST(Harness, PassingPropertyRunsAllCases)
+{
+    const auto config = plain_config("harness.pass", 50);
+    const auto result = pbt::run_property(config, threshold_property(1001));
+    EXPECT_TRUE(result.passed());
+    EXPECT_EQ(result.cases_run, 50U);
+    EXPECT_TRUE(result.report().empty());
+}
+
+TEST(Harness, FailureCarriesSeedAndReplay)
+{
+    const auto config = plain_config("harness.fail", 200);
+    const auto result = pbt::run_property(config, threshold_property(10));
+    ASSERT_FALSE(result.passed());
+    const auto& failure = *result.failure;
+    EXPECT_NE(failure.reason.find(">= threshold"), std::string::npos);
+    EXPECT_NE(failure.replay.find("MNT_PROPTEST_SEED=0x"), std::string::npos);
+    EXPECT_NE(failure.replay.find("MNT_PROPTEST_CASES=1"), std::string::npos);
+    EXPECT_NE(failure.replay.find("./tests/test_proptest_harness"), std::string::npos);
+    EXPECT_NE(failure.replay.find("--gtest_filter=Suite.Test"), std::string::npos);
+
+    const auto report = result.report();
+    EXPECT_NE(report.find("replay:"), std::string::npos);
+    EXPECT_NE(report.find(failure.replay), std::string::npos);
+}
+
+TEST(Harness, ReplaySingleReproducesTheFailingCase)
+{
+    const auto config = plain_config("harness.replay", 200);
+    const auto first = pbt::run_property(config, threshold_property(10));
+    ASSERT_FALSE(first.passed());
+
+    // what the printed command does: master seed = case seed, one case
+    auto replay = plain_config("harness.replay", 1);
+    replay.seed = first.failure->case_seed;
+    replay.replay_single = true;
+    const auto second = pbt::run_property(replay, threshold_property(10));
+    ASSERT_FALSE(second.passed());
+    EXPECT_EQ(second.failure->reason, first.failure->reason);
+    EXPECT_EQ(second.failure->case_index, 0U);
+}
+
+TEST(Harness, FromEnvironmentReadsSeedAndCases)
+{
+    ::setenv("MNT_PROPTEST_SEED", "0xdeadbeef", 1);
+    ::setenv("MNT_PROPTEST_CASES", "1", 1);
+    const auto replay = pbt::proptest_config::from_environment("env.prop", 200);
+    EXPECT_EQ(replay.seed, 0xdeadbeefULL);
+    EXPECT_EQ(replay.cases, 1U);
+    EXPECT_TRUE(replay.replay_single);
+
+    ::setenv("MNT_PROPTEST_CASES", "25", 1);
+    const auto many = pbt::proptest_config::from_environment("env.prop", 200);
+    EXPECT_EQ(many.cases, 25U);
+    EXPECT_FALSE(many.replay_single);  // >1 case: seeds are derived again
+
+    ::unsetenv("MNT_PROPTEST_SEED");
+    ::unsetenv("MNT_PROPTEST_CASES");
+    const auto defaults = pbt::proptest_config::from_environment("env.prop", 200);
+    EXPECT_EQ(defaults.cases, 200U);
+    EXPECT_EQ(defaults.seed, pbt::proptest_config::default_seed);
+    EXPECT_FALSE(defaults.replay_single);
+}
+
+TEST(Harness, ShrinkMinimizesTheReproducer)
+{
+    auto prop = threshold_property(10);
+    prop.shrink = [](std::uint64_t value, const std::function<bool(const std::uint64_t&)>& still_fails)
+    {
+        // bisect towards the smallest still-failing value
+        while (value > 0 && still_fails(value / 2))
+        {
+            value /= 2;
+        }
+        while (value > 0 && still_fails(value - 1))
+        {
+            --value;
+        }
+        return value;
+    };
+    const auto result = pbt::run_property(plain_config("harness.shrink", 100), prop);
+    ASSERT_FALSE(result.passed());
+    EXPECT_EQ(result.failure->reproducer, "10");  // minimal value >= threshold
+    EXPECT_NE(result.failure->shrunk_reason.find("value 10"), std::string::npos);
+}
+
+TEST(Harness, GeneratorExceptionIsReportedWithSeed)
+{
+    pbt::property<int> prop{};
+    prop.generate = [](pbt::rng&) -> int { throw std::runtime_error{"boom"}; };
+    prop.check = [](const int&, const res::deadline_clock&) { return pbt::oracle_result::pass(); };
+    const auto result = pbt::run_property(plain_config("harness.genthrow", 5), prop);
+    ASSERT_FALSE(result.passed());
+    EXPECT_NE(result.failure->reason.find("generator threw: boom"), std::string::npos);
+    EXPECT_NE(result.failure->replay.find("MNT_PROPTEST_SEED=0x"), std::string::npos);
+}
+
+TEST(Harness, CaseDeadlineMapsToTimeoutFailure)
+{
+    pbt::property<int> prop{};
+    prop.generate = [](pbt::rng&) { return 0; };
+    prop.check = [](const int&, const res::deadline_clock& deadline)
+    {
+        while (!deadline.expired())
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds{5});
+        }
+        deadline.throw_if_expired("harness.slow");
+        return pbt::oracle_result::pass();
+    };
+    auto config = plain_config("harness.slow", 1);
+    config.case_deadline_s = 0.05;
+    const auto result = pbt::run_property(config, prop);
+    ASSERT_FALSE(result.passed());
+    EXPECT_NE(result.failure->reason.find("timeout"), std::string::npos);
+}
+
+TEST(Harness, FaultInjectionForcesShrunkFailureReport)
+{
+    // MNT_FAULT_INJECT=proptest.case end-to-end: forced failure, shrink
+    // still fails (the fault fires on every check), full report renders.
+    res::fault::configure("proptest.case");
+
+    pbt::property<std::vector<int>> prop{};
+    prop.generate = [](pbt::rng& random)
+    {
+        std::vector<int> values(static_cast<std::size_t>(random.range(4, 12)));
+        for (auto& v : values)
+        {
+            v = static_cast<int>(random.below(100));
+        }
+        return values;
+    };
+    prop.check = [](const std::vector<int>&, const res::deadline_clock&) { return pbt::oracle_result::pass(); };
+    prop.shrink = [](std::vector<int> values, const std::function<bool(const std::vector<int>&)>& still_fails)
+    { return pbt::shrink_sequence<int>(std::move(values), still_fails, 100); };
+    prop.show = [](const std::vector<int>& values) { return "sequence of " + std::to_string(values.size()); };
+
+    const auto result = pbt::run_property(plain_config("harness.fault", 10), prop);
+    res::fault::configure("");  // disarm before asserting
+
+    ASSERT_FALSE(result.passed());
+    EXPECT_EQ(result.failure->case_index, 0U);  // fires immediately
+    EXPECT_NE(result.failure->reason.find("injected fault at proptest.case"), std::string::npos);
+    // the fault fires on every shrink probe too, so the sequence collapses
+    EXPECT_EQ(result.failure->reproducer, "sequence of 0");
+    const auto report = result.report();
+    EXPECT_NE(report.find("shrunk reproducer"), std::string::npos);
+    EXPECT_NE(report.find("replay: MNT_PROPTEST_SEED=0x"), std::string::npos);
+}
+
+TEST(Shrink, BytesFindMinimalWitness)
+{
+    const auto contains_x = [](const std::string& s) { return s.find('x') != std::string::npos; };
+    const auto shrunk = pbt::shrink_bytes("aaaaaaaaaaaaaaaaxaaaaaaaaaaaaaa", contains_x);
+    EXPECT_EQ(shrunk, "x");
+}
+
+TEST(Shrink, BytesRespectBudget)
+{
+    std::size_t calls = 0;
+    const auto pred = [&calls](const std::string& s)
+    {
+        ++calls;
+        return s.find('x') != std::string::npos;
+    };
+    const auto shrunk = pbt::shrink_bytes(std::string(512, 'a') + "x", pred, 10);
+    EXPECT_LE(calls, 10U);
+    EXPECT_NE(shrunk.find('x'), std::string::npos);  // never commits a passing candidate
+}
+
+TEST(Shrink, SequenceFindsMinimalWitness)
+{
+    std::vector<int> input{1, 2, 3, 7, 4, 5, 6, 8, 9, 10};
+    const auto has_seven = [](const std::vector<int>& v)
+    { return std::find(v.begin(), v.end(), 7) != v.end(); };
+    const auto shrunk = pbt::shrink_sequence<int>(std::move(input), has_seven);
+    ASSERT_EQ(shrunk.size(), 1U);
+    EXPECT_EQ(shrunk.front(), 7);
+}
+
+TEST(Shrink, NetworkDropsIrrelevantNodes)
+{
+    // a wide network whose failure only depends on having an XOR gate:
+    // shrinking must strip the unrelated gates and surplus interface
+    pbt::rng random{2024};
+    pbt::network_spec spec{};
+    spec.min_gates = 12;
+    spec.max_gates = 16;
+    spec.allow_xor = true;
+    auto net = pbt::random_network(random, spec);
+
+    const auto has_xor = [](const ntk::logic_network& candidate)
+    {
+        for (ntk::logic_network::node n = 0; n < candidate.size(); ++n)
+        {
+            if (candidate.type(n) == ntk::gate_type::xor2 || candidate.type(n) == ntk::gate_type::xnor2)
+            {
+                return true;
+            }
+        }
+        return false;
+    };
+    if (!has_xor(net))
+    {
+        GTEST_SKIP() << "seed produced no XOR gate";
+    }
+    const auto before = net.num_gates();
+    const auto shrunk = pbt::shrink_network(std::move(net), has_xor);
+    EXPECT_TRUE(has_xor(shrunk));
+    EXPECT_LE(shrunk.num_gates(), before);
+    EXPECT_LE(shrunk.num_gates(), 3U);  // greedy deletion gets close to minimal
+}
+
+TEST(Oracles, PassAndFailCarryReasons)
+{
+    const auto ok = pbt::oracle_result::pass();
+    EXPECT_TRUE(ok.passed);
+    EXPECT_TRUE(static_cast<bool>(ok));
+    const auto bad = pbt::oracle_result::fail("because");
+    EXPECT_FALSE(bad.passed);
+    EXPECT_EQ(bad.reason, "because");
+}
+
+TEST(Glue, CurrentTestConfigNamesThisBinaryAndTest)
+{
+    const auto config = pbt::current_test_config("glue.prop", 33);
+    EXPECT_EQ(config.cases, 33U);
+    EXPECT_EQ(config.binary, "test_proptest_harness");
+    EXPECT_EQ(config.gtest_filter, "Glue.CurrentTestConfigNamesThisBinaryAndTest");
+    const auto replay = pbt::replay_command(config, 0xabULL);
+    EXPECT_NE(replay.find("MNT_PROPTEST_SEED=0xab "), std::string::npos);
+    EXPECT_NE(replay.find("./tests/test_proptest_harness --gtest_filter=Glue."), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+/// \file test_regressions.cpp
+/// \brief Shrunk reproducers of bugs found by the property suites and
+///        fuzzers, pinned forever. The suite is data-driven: every file
+///        dropped into tests/regressions/ is replayed through the oracle
+///        matching its extension —
+///
+///            *.fgl   → check_fgl_document      (reader + write fixpoint)
+///            *.v     → check_verilog_document  (reader + round-trip)
+///            *.http  → check_http_byte_stream  (parser + router)
+///
+///        so adding a regression is: shrink, save the reproducer, done.
+///        Bug-specific invariants that need more than a document get their
+///        own named TESTs below.
+
+#include "core/catalog.hpp"
+#include "physical_design/ortho.hpp"
+#include "service/query.hpp"
+#include "service/server.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+std::filesystem::path regressions_dir()
+{
+#ifdef MNT_REGRESSIONS_DIR
+    return std::filesystem::path{MNT_REGRESSIONS_DIR};
+#else
+    return std::filesystem::path{"regressions"};
+#endif
+}
+
+std::string slurp(const std::filesystem::path& file)
+{
+    std::ifstream in{file, std::ios::binary};
+    std::ostringstream out{};
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::vector<std::filesystem::path> reproducers(const std::string& extension)
+{
+    std::vector<std::filesystem::path> files{};
+    if (std::filesystem::exists(regressions_dir()))
+    {
+        for (const auto& entry : std::filesystem::directory_iterator{regressions_dir()})
+        {
+            if (entry.is_regular_file() && entry.path().extension() == extension)
+            {
+                files.push_back(entry.path());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(Regressions, FglReproducers)
+{
+    for (const auto& file : reproducers(".fgl"))
+    {
+        const auto result = pbt::check_fgl_document(slurp(file));
+        EXPECT_TRUE(result.passed) << file.filename().string() << ": " << result.reason;
+    }
+}
+
+TEST(Regressions, VerilogReproducers)
+{
+    for (const auto& file : reproducers(".v"))
+    {
+        const auto result = pbt::check_verilog_document(slurp(file));
+        EXPECT_TRUE(result.passed) << file.filename().string() << ": " << result.reason;
+    }
+}
+
+TEST(Regressions, HttpReproducers)
+{
+    // a one-record catalog is enough: these reproducers target the parser
+    // and router, not the query semantics
+    cat::catalog catalog{};
+    pbt::rng random{1};
+    cat::layout_record record{};
+    record.benchmark_set = "Regress";
+    record.benchmark_name = "f0";
+    record.clocking = "2DDWave";
+    record.algorithm = "ortho";
+    record.layout = pd::ortho(pbt::random_network(random));
+    catalog.add_layout(std::move(record));
+    const svc::query_engine engine{catalog};
+    svc::catalog_server server{engine};
+
+    for (const auto& file : reproducers(".http"))
+    {
+        const auto result = pbt::check_http_byte_stream(server, slurp(file));
+        EXPECT_TRUE(result.passed) << file.filename().string() << ": " << result.reason;
+    }
+}
+
+}  // namespace
