@@ -244,6 +244,13 @@ logic_network propagate_constants(const logic_network& network)
                         map[n] = result.create_gate(t, mapped);
                         return;
                     }
+                    // both inputs constant: the gate is a constant itself
+                    // (reachable e.g. via xnor(c0, c0) after upstream folds)
+                    if (is_const(a) && (b == logic_network::invalid_node || is_const(b)))
+                    {
+                        map[n] = evaluate_gate(t, is_c1(a), b != logic_network::invalid_node && is_c1(b)) ? c1 : c0;
+                        return;
+                    }
                     // evaluate the gate for both values of the non-constant
                     // input; implement the residual function directly
                     const bool a_const = is_const(a);

@@ -13,6 +13,7 @@
 ///        own named TESTs below.
 
 #include "core/catalog.hpp"
+#include "network/transforms.hpp"
 #include "physical_design/ortho.hpp"
 #include "service/query.hpp"
 #include "service/server.hpp"
@@ -106,6 +107,27 @@ TEST(Regressions, HttpReproducers)
         const auto result = pbt::check_http_byte_stream(server, slurp(file));
         EXPECT_TRUE(result.passed) << file.filename().string() << ": " << result.reason;
     }
+}
+
+// Shrunk from pd.ortho.slot_order: constant propagation rewrote a gate
+// with two constant fanins into not(const)/buf(const) instead of folding
+// it, and ortho later crashed placing a gate fed by a bare constant.
+TEST(Regressions, ConstantFoldingCoversBothConstantFanins)
+{
+    using N = ntk::logic_network::node;
+    ntk::logic_network net{"both_const"};
+    const auto x0 = net.create_pi("x0");
+    const auto k =
+        net.create_gate(ntk::gate_type::xnor2, std::vector<N>{net.get_constant(false), net.get_constant(false)});
+    net.create_po(net.create_and(x0, k), "y");
+
+    // xnor(0,0) = 1 and and(x0, 1) = x0: everything must fold away
+    EXPECT_EQ(ntk::propagate_constants(net).num_gates(), 0U);
+
+    pd::ortho_params params{};
+    params.greedy_orientation = false;
+    const auto contract = pbt::check_layout_contract(net, pd::ortho(net, params));
+    EXPECT_TRUE(contract.passed) << contract.reason;
 }
 
 }  // namespace
