@@ -259,6 +259,13 @@ bool constructive_placement(gate_level_layout& layout, const logic_network& net,
         std::size_t tries = 0;
         for (const auto& [score, c] : candidates)
         {
+            // the candidate list is a snapshot: a rip-up-and-reroute for an
+            // earlier fanin (or an earlier failed attempt) may have moved
+            // another net across this tile since it was collected
+            if (!layout.is_empty_tile(c))
+            {
+                continue;
+            }
             if (++tries > max_tries)
             {
                 break;

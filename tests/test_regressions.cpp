@@ -130,4 +130,33 @@ TEST(Regressions, ConstantFoldingCoversBothConstantFanins)
     EXPECT_TRUE(contract.passed) << contract.reason;
 }
 
+// Shrunk from pd.npr.contract (scheme=RES): the nanoplacer computed its
+// candidate-tile list once per node, but rip-up-and-reroute during fanin
+// routing can move another net across a listed tile; placing a later
+// candidate then threw "tile already occupied".
+TEST(Regressions, NanoplacerRevalidatesStaleCandidateTiles)
+{
+    using N = ntk::logic_network::node;
+    ntk::logic_network net{"npr_res"};
+    const auto x0 = net.create_pi("x0");
+    const auto x1 = net.create_pi("x1");
+    const auto x2 = net.create_pi("x2");
+    const auto n5 = net.create_gate(ntk::gate_type::nor2, std::vector<N>{x0, x2});
+    const auto n6 = net.create_gate(ntk::gate_type::xor2, std::vector<N>{n5, x2});
+    const auto n7 = net.create_gate(ntk::gate_type::nor2, std::vector<N>{x1, n6});
+    const auto n8 = net.create_gate(ntk::gate_type::nor2, std::vector<N>{n5, n7});
+    const auto n9 = net.create_gate(ntk::gate_type::or2, std::vector<N>{n8, n5});
+    const auto n10 = net.create_gate(ntk::gate_type::and2, std::vector<N>{n5, n9});
+    net.create_po(n5, "y0");
+    net.create_po(n10, "y1");
+    net.create_po(n9, "y2");
+
+    pd::nanoplacer_params params{};
+    params.scheme = lyt::clocking_kind::res;
+    params.seed = 1349393628427396533ULL;
+    params.iterations = 150;
+    const auto result = pbt::check_npr_pipeline(net, params);
+    EXPECT_TRUE(result.passed) << result.reason;
+}
+
 }  // namespace
