@@ -4,6 +4,7 @@
 #include "network/gate_type.hpp"
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <map>
@@ -459,6 +460,18 @@ private:
         while (true)
         {
             const auto name = expect_identifier("net name");
+            if (category == "input" || category == "output")
+            {
+                // a port name may appear in exactly one direction, exactly
+                // once; accepting repeats would produce networks the writer
+                // cannot round-trip (duplicate POs become duplicate drivers)
+                const auto declared = [&](const std::vector<std::string>& ports)
+                { return std::find(ports.cbegin(), ports.cend(), name) != ports.cend(); };
+                if (declared(mod.inputs) || declared(mod.outputs))
+                {
+                    throw parse_error{"port '" + name + "' is declared more than once", line};
+                }
+            }
             if (category == "input")
             {
                 mod.inputs.push_back(name);
