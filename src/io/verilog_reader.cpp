@@ -362,6 +362,9 @@ struct module_description
     std::unordered_map<std::string, expression_ptr> assignments;
     std::unordered_map<std::string, primitive_instance> primitives;
     std::unordered_map<std::string, std::size_t> driver_lines;
+    // driven nets in document order; elaboration follows this order so that
+    // a written file reads back with gates in their original sequence
+    std::vector<std::string> driver_order;
 };
 
 class verilog_parser
@@ -510,6 +513,7 @@ private:
         }
         mod.assignments.emplace(lhs, std::move(expr));
         mod.driver_lines.emplace(lhs, line);
+        mod.driver_order.push_back(lhs);
     }
 
     void parse_primitive(module_description& mod, const gate_type type, const std::size_t line)
@@ -563,6 +567,7 @@ private:
         inst.line = line;
         mod.primitives.emplace(output, std::move(inst));
         mod.driver_lines.emplace(output, line);
+        mod.driver_order.push_back(output);
     }
 
     std::string expect_identifier(const std::string& what)
@@ -617,6 +622,18 @@ public:
             node_of.emplace(in, network.create_pi(in));
         }
 
+        // elaborate live drivers in document order: demand-driven DFS from
+        // the outputs alone would create gates in cone order, so a written
+        // file would not read back structurally identical
+        const auto live = live_nets();
+        for (const auto& net : mod.driver_order)
+        {
+            if (live.contains(net))
+            {
+                resolve(net);
+            }
+        }
+
         for (const auto& out : mod.outputs)
         {
             network.create_po(resolve(out), out);
@@ -625,6 +642,46 @@ public:
     }
 
 private:
+    /// Nets reachable from the outputs through the driver maps. Dead
+    /// drivers stay unelaborated (and undiagnosed), like ntk::cleanup.
+    [[nodiscard]] std::unordered_set<std::string> live_nets() const
+    {
+        std::unordered_set<std::string> live;
+        std::vector<std::string> stack{mod.outputs.cbegin(), mod.outputs.cend()};
+        while (!stack.empty())
+        {
+            auto net = std::move(stack.back());
+            stack.pop_back();
+            if (!live.insert(net).second)
+            {
+                continue;
+            }
+            if (const auto a = mod.assignments.find(net); a != mod.assignments.cend())
+            {
+                collect_nets(*a->second, stack);
+            }
+            else if (const auto p = mod.primitives.find(net); p != mod.primitives.cend())
+            {
+                stack.insert(stack.end(), p->second.inputs.cbegin(), p->second.inputs.cend());
+            }
+        }
+        return live;
+    }
+
+    static void collect_nets(const expression& expr, std::vector<std::string>& out)
+    {
+        switch (expr.type)
+        {
+            case expression::kind::net: out.push_back(expr.name); break;
+            case expression::kind::constant: break;
+            case expression::kind::op_not: collect_nets(*expr.lhs, out); break;
+            default:
+                collect_nets(*expr.lhs, out);
+                collect_nets(*expr.rhs, out);
+                break;
+        }
+    }
+
     logic_network::node resolve(const std::string& net)
     {
         if (net == "$const0")

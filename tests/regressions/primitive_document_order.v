@@ -1,0 +1,13 @@
+// shrunk by io.verilog.roundtrip: demand-driven elaboration from the
+// outputs created 'maj' before 'and' (cone-DFS order), so a written
+// file did not read back structurally identical. The reader must create
+// gates in document order.
+module prop( x0, x1, x2, x3, y0 );
+  input x0, x1, x2, x3;
+  output y0;
+  wire n6, n7, n8;
+  and g0(n6, x3, x0);
+  maj g1(n7, x1, x1, x2);
+  lt g2(n8, n7, n6);
+  assign y0 = n8;
+endmodule

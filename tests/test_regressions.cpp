@@ -13,6 +13,7 @@
 ///        own named TESTs below.
 
 #include "core/catalog.hpp"
+#include "io/verilog_reader.hpp"
 #include "network/transforms.hpp"
 #include "physical_design/ortho.hpp"
 #include "service/query.hpp"
@@ -157,6 +158,22 @@ TEST(Regressions, NanoplacerRevalidatesStaleCandidateTiles)
     params.iterations = 150;
     const auto result = pbt::check_npr_pipeline(net, params);
     EXPECT_TRUE(result.passed) << result.reason;
+}
+
+// The document-order half of primitive_document_order.v: a round-trip
+// fixpoint alone cannot catch it (cone order is itself a fixpoint), so
+// pin the gate creation order of the reader explicitly.
+TEST(Regressions, VerilogReaderPreservesDocumentOrder)
+{
+    const auto network = io::read_verilog_file(regressions_dir() / "primitive_document_order.v");
+    ASSERT_EQ(network.num_gates(), 3U);
+    // nodes: const0, const1, x0..x3, then gates in document order
+    EXPECT_EQ(network.type(6), ntk::gate_type::and2);
+    EXPECT_EQ(network.type(7), ntk::gate_type::maj3);
+    EXPECT_EQ(network.type(8), ntk::gate_type::lt2);
+
+    const auto roundtrip = pbt::check_verilog_roundtrip(network);
+    EXPECT_TRUE(roundtrip.passed) << roundtrip.reason;
 }
 
 }  // namespace
