@@ -221,7 +221,10 @@ http_parse_result parse_http_request(const std::string_view bytes, const std::si
     }
 
     const auto body_start = header_end + 4;
-    if (body_start + content_length > max_bytes)
+    // subtract instead of adding: body_start + content_length can wrap
+    // around for a hostile Content-Length near SIZE_MAX, turning an
+    // oversized request into a never-completing "incomplete" one
+    if (body_start > max_bytes || content_length > max_bytes - body_start)
     {
         result.status = http_parse_status::too_large;
         return result;

@@ -176,4 +176,15 @@ TEST(Regressions, VerilogReaderPreservesDocumentOrder)
     EXPECT_TRUE(roundtrip.passed) << roundtrip.reason;
 }
 
+// huge_content_length.http carries Content-Length: 2^64-1. The byte-stream
+// oracle only proves "classified without a crash", so pin the class: the
+// size check must not wrap around and report a request that can never
+// complete as merely incomplete.
+TEST(Regressions, HugeContentLengthIsTooLargeNotIncomplete)
+{
+    const auto bytes = slurp(regressions_dir() / "huge_content_length.http");
+    const auto parsed = svc::parse_http_request(bytes, 1U << 20U);
+    EXPECT_EQ(parsed.status, svc::http_parse_status::too_large);
+}
+
 }  // namespace
