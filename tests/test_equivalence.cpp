@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 using namespace mnt;
 using namespace mnt::ntk;
@@ -192,4 +193,87 @@ TEST(EquivalenceTest, BrokenLayoutReportsExtractionFailure)
     const auto result = check_layout_equivalence(spec, layout);
     EXPECT_FALSE(result.equivalent);
     EXPECT_NE(result.reason.find("extraction failed"), std::string::npos);
+}
+
+// ---------------------------------------------------------- shared fanout
+//
+// XOR/XNOR/MAJ behind a shared driver exercise the miter construction
+// where one signal participates in several parity/majority cones at once —
+// the cases the FCN flows produce after fanout substitution.
+
+TEST(EquivalenceTest, SharedFanoutXorXnorComplementAgree)
+{
+    // y0 = a ^ b, y1 = ~(a ^ b), both cones sharing the same xor node
+    logic_network shared{"shared_parity"};
+    {
+        const auto a = shared.create_pi("a");
+        const auto b = shared.create_pi("b");
+        const auto x = shared.create_xor(a, b);
+        shared.create_po(x, "y0");
+        shared.create_po(shared.create_not(x), "y1");
+    }
+
+    // independent cones: y1 rebuilt as a dedicated xnor gate
+    logic_network split{"split_parity"};
+    {
+        const auto a = split.create_pi("a");
+        const auto b = split.create_pi("b");
+        split.create_po(split.create_xor(a, b), "y0");
+        split.create_po(split.create_gate(gate_type::xnor2, std::vector<logic_network::node>{a, b}), "y1");
+    }
+    EXPECT_TRUE(check_equivalence(shared, split));
+}
+
+TEST(EquivalenceTest, SharedFanoutMajorityDecompositionAgrees)
+{
+    // maj(a, b, c) with a and b additionally driving a second output
+    logic_network majority{"shared_maj"};
+    {
+        const auto a = majority.create_pi("a");
+        const auto b = majority.create_pi("b");
+        const auto c = majority.create_pi("c");
+        majority.create_po(majority.create_maj(a, b, c), "y0");
+        majority.create_po(majority.create_and(a, b), "y1");
+    }
+
+    logic_network decomposed{"decomposed_maj"};
+    {
+        const auto a = decomposed.create_pi("a");
+        const auto b = decomposed.create_pi("b");
+        const auto c = decomposed.create_pi("c");
+        const auto ab = decomposed.create_and(a, b);
+        const auto ac = decomposed.create_and(a, c);
+        const auto bc = decomposed.create_and(b, c);
+        decomposed.create_po(decomposed.create_or(decomposed.create_or(ab, ac), bc), "y0");
+        decomposed.create_po(ab, "y1");
+    }
+    EXPECT_TRUE(check_equivalence(majority, decomposed));
+
+    // the layout-prep transforms must preserve the shared-fanout function
+    EXPECT_TRUE(check_equivalence(majority, substitute_fanouts(decompose_maj(majority), 2)));
+}
+
+TEST(EquivalenceTest, SharedFanoutParityFlipIsDetected)
+{
+    // same sharing shape, but y1 loses its complement: must not pass
+    logic_network shared{"shared_parity"};
+    {
+        const auto a = shared.create_pi("a");
+        const auto b = shared.create_pi("b");
+        const auto x = shared.create_xor(a, b);
+        shared.create_po(x, "y0");
+        shared.create_po(shared.create_not(x), "y1");
+    }
+
+    logic_network flipped{"flipped_parity"};
+    {
+        const auto a = flipped.create_pi("a");
+        const auto b = flipped.create_pi("b");
+        const auto x = flipped.create_xor(a, b);
+        flipped.create_po(x, "y0");
+        flipped.create_po(x, "y1");
+    }
+    const auto result = check_equivalence(shared, flipped);
+    EXPECT_FALSE(result.equivalent);
+    EXPECT_FALSE(result.reason.empty());
 }

@@ -1,0 +1,112 @@
+/// \file test_properties_io.cpp
+/// \brief Property suites over the readers and writers: accepted .fgl
+///        documents reach a write→read→write byte fixpoint, hostile
+///        documents either parse or raise typed errors (never crash),
+///        and Verilog round-trips preserve structure (primitives style)
+///        and function (assignments style).
+
+#include "proptest_gtest.hpp"
+
+#include "common/resilience.hpp"
+#include "io/fgl_reader.hpp"
+#include "io/fgl_writer.hpp"
+#include "io/verilog_writer.hpp"
+#include "physical_design/ortho.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+#include "testing/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace
+{
+
+using namespace mnt;
+
+/// Document properties share the same shape: generate a (possibly hostile)
+/// document, run a reader oracle, shrink at the byte level.
+pbt::property<std::string> document_property(
+    std::function<std::string(pbt::rng&)> generate,
+    std::function<pbt::oracle_result(const std::string&, const res::deadline_clock&)> check)
+{
+    pbt::property<std::string> prop{};
+    prop.generate = std::move(generate);
+    prop.check = std::move(check);
+    prop.shrink = [](std::string document, const std::function<bool(const std::string&)>& still_fails)
+    { return pbt::shrink_bytes(std::move(document), still_fails); };
+    prop.show = [](const std::string& document) { return document; };
+    return prop;
+}
+
+TEST(FglFixpoint, OrthoLayoutsRoundTripByteIdentically)
+{
+    const auto config = pbt::current_test_config("io.fgl.fixpoint", 200);
+    pbt::property<ntk::logic_network> prop{};
+    prop.generate = [](pbt::rng& random) { return pbt::random_network(random); };
+    prop.check = [](const ntk::logic_network& network, const res::deadline_clock& deadline)
+    {
+        if (pbt::has_constant_po(network))
+        {
+            return pbt::oracle_result::pass();  // shrink probes may fold
+        }
+        pd::ortho_params params{};
+        params.deadline = deadline;
+        return pbt::check_fgl_fixpoint(pd::ortho(network, params));
+    };
+    prop.shrink = [](ntk::logic_network network, const std::function<bool(const ntk::logic_network&)>& still_fails)
+    { return pbt::shrink_network(std::move(network), still_fails); };
+    prop.show = [](const ntk::logic_network& network)
+    { return io::write_verilog_string(network, io::verilog_style::primitives); };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+TEST(FglReader, HostileDocumentsParseOrRaiseTypedErrors)
+{
+    const auto config = pbt::current_test_config("io.fgl.hostile", 200);
+    MNT_RUN_PROPERTY(config, document_property([](pbt::rng& random) { return pbt::random_fgl_document(random); },
+                                               [](const std::string& document, const res::deadline_clock&)
+                                               { return pbt::check_fgl_document(document); }));
+}
+
+TEST(FglReader, HeavilyMutatedDocumentsNeverCrash)
+{
+    // crank mutation count + scratch probability: deep hostile territory
+    const auto config = pbt::current_test_config("io.fgl.hostile_deep", 200);
+    pbt::document_spec spec{};
+    spec.min_mutations = 4;
+    spec.max_mutations = 16;
+    spec.scratch_percent = 40;
+    MNT_RUN_PROPERTY(config,
+                     document_property([spec](pbt::rng& random) { return pbt::random_fgl_document(random, spec); },
+                                       [](const std::string& document, const res::deadline_clock&)
+                                       { return pbt::check_fgl_document(document); }));
+}
+
+TEST(VerilogReader, HostileDocumentsParseOrRaiseTypedErrors)
+{
+    const auto config = pbt::current_test_config("io.verilog.hostile", 200);
+    MNT_RUN_PROPERTY(config,
+                     document_property([](pbt::rng& random) { return pbt::random_verilog_document(random); },
+                                       [](const std::string& document, const res::deadline_clock&)
+                                       { return pbt::check_verilog_document(document); }));
+}
+
+TEST(VerilogRoundtrip, BothStylesPreserveTheNetwork)
+{
+    const auto config = pbt::current_test_config("io.verilog.roundtrip", 200);
+    pbt::property<ntk::logic_network> prop{};
+    prop.generate = [](pbt::rng& random) { return pbt::random_network(random); };
+    prop.check = [](const ntk::logic_network& network, const res::deadline_clock&)
+    { return pbt::check_verilog_roundtrip(network); };
+    prop.shrink = [](ntk::logic_network network, const std::function<bool(const ntk::logic_network&)>& still_fails)
+    { return pbt::shrink_network(std::move(network), still_fails); };
+    prop.show = [](const ntk::logic_network& network)
+    { return io::write_verilog_string(network, io::verilog_style::primitives); };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+}  // namespace

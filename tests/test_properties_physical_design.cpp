@@ -1,0 +1,224 @@
+/// \file test_properties_physical_design.cpp
+/// \brief Property suites over the physical design stack: every layout an
+///        algorithm emits must satisfy the full layout contract (DRC +
+///        graph equivalence + wave agreement + synchronization), PLO must
+///        never grow areas, the dense tile grid must keep its container
+///        invariants under arbitrary mutation programs, and the portfolio
+///        must be deterministic regardless of worker-thread count.
+///
+/// Failing cases shrink to minimal networks / op sequences and print a
+/// one-command replay line (see src/testing/proptest.hpp).
+
+#include "proptest_gtest.hpp"
+
+#include "common/resilience.hpp"
+#include "io/fgl_writer.hpp"
+#include "io/verilog_writer.hpp"
+#include "layout/clocking_scheme.hpp"
+#include "physical_design/nanoplacer.hpp"
+#include "physical_design/ortho.hpp"
+#include "physical_design/portfolio.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+#include "testing/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+/// Reproducer rendering: structural Verilog of the specification network.
+std::string show_network(const ntk::logic_network& network)
+{
+    return io::write_verilog_string(network, io::verilog_style::primitives);
+}
+
+pbt::property<ntk::logic_network> network_property(
+    pbt::network_spec spec,
+    std::function<pbt::oracle_result(const ntk::logic_network&, const res::deadline_clock&)> check)
+{
+    pbt::property<ntk::logic_network> prop{};
+    prop.generate = [spec](pbt::rng& random) { return pbt::random_network(random, spec); };
+    prop.check = std::move(check);
+    prop.shrink = [](ntk::logic_network network, const std::function<bool(const ntk::logic_network&)>& still_fails)
+    { return pbt::shrink_network(std::move(network), still_fails); };
+    prop.show = show_network;
+    return prop;
+}
+
+TEST(OrthoPipeline, LayoutContractHolds)
+{
+    const auto config = pbt::current_test_config("pd.ortho.contract", 200);
+    MNT_RUN_PROPERTY(config, network_property({},
+                                              [](const ntk::logic_network& network,
+                                                 const res::deadline_clock& deadline)
+                                              { return pbt::check_ortho_pipeline(network, deadline); }));
+}
+
+TEST(OrthoPipeline, ContractHoldsWithoutGreedyOrientation)
+{
+    // the alternative orientation policy must uphold the same contract
+    const auto config = pbt::current_test_config("pd.ortho.slot_order", 200);
+    pbt::network_spec spec{};
+    spec.max_gates = 12;
+    MNT_RUN_PROPERTY(config,
+                     network_property(spec,
+                                      [](const ntk::logic_network& network, const res::deadline_clock& deadline)
+                                      {
+                                          if (pbt::has_constant_po(network))
+                                          {
+                                              return pbt::oracle_result::pass();  // shrink probes may fold
+                                          }
+                                          pd::ortho_params params{};
+                                          params.greedy_orientation = false;
+                                          params.deadline = deadline;
+                                          try
+                                          {
+                                              const auto layout = pd::ortho(network, params);
+                                              return pbt::check_layout_contract(network, layout);
+                                          }
+                                          catch (const mnt_error& e)
+                                          {
+                                              return pbt::oracle_result::fail(std::string{"ortho threw: "} +
+                                                                              e.what());
+                                          }
+                                      }));
+}
+
+TEST(NprPipeline, LayoutContractHoldsAcrossSchemes)
+{
+    const auto config = pbt::current_test_config("pd.npr.contract", 200);
+
+    struct npr_case
+    {
+        ntk::logic_network network;
+        lyt::clocking_kind scheme{lyt::clocking_kind::twoddwave};
+        std::uint64_t seed{1};
+    };
+
+    pbt::property<npr_case> prop{};
+    prop.generate = [](pbt::rng& random)
+    {
+        pbt::network_spec spec{};
+        spec.max_gates = 6;  // annealing placement: keep cases small
+        npr_case value{pbt::random_network(random, spec), lyt::clocking_kind::twoddwave, random.next()};
+        const std::vector<lyt::clocking_kind> schemes{lyt::clocking_kind::twoddwave, lyt::clocking_kind::use,
+                                                      lyt::clocking_kind::res};
+        value.scheme = random.pick(schemes);
+        return value;
+    };
+    prop.check = [](const npr_case& value, const res::deadline_clock& deadline)
+    {
+        pd::nanoplacer_params params{};
+        params.scheme = value.scheme;
+        params.seed = value.seed;
+        params.iterations = 150;
+        params.deadline = deadline;
+        return pbt::check_npr_pipeline(value.network, params);
+    };
+    prop.shrink = [](npr_case value, const std::function<bool(const npr_case&)>& still_fails)
+    {
+        value.network = pbt::shrink_network(std::move(value.network),
+                                            [&](const ntk::logic_network& candidate)
+                                            {
+                                                npr_case probe{candidate, value.scheme, value.seed};
+                                                return still_fails(probe);
+                                            });
+        return value;
+    };
+    prop.show = [](const npr_case& value)
+    {
+        return "scheme=" + lyt::clocking_name(value.scheme) + " npr_seed=" + std::to_string(value.seed) + "\n" +
+               show_network(value.network);
+    };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+TEST(PloPipeline, PreservesContractAndNeverGrowsArea)
+{
+    const auto config = pbt::current_test_config("pd.plo.contract", 200);
+    pbt::network_spec spec{};
+    spec.max_gates = 10;
+    MNT_RUN_PROPERTY(config, network_property(spec,
+                                              [](const ntk::logic_network& network,
+                                                 const res::deadline_clock& deadline)
+                                              { return pbt::check_plo_pipeline(network, deadline); }));
+}
+
+TEST(LayoutOps, ContainerInvariantsSurviveMutationPrograms)
+{
+    const auto config = pbt::current_test_config("pd.layout_ops", 200);
+    constexpr std::uint32_t side = 6;
+
+    pbt::property<std::vector<pbt::layout_op>> prop{};
+    prop.generate = [](pbt::rng& random)
+    { return pbt::random_layout_ops(random, static_cast<std::size_t>(random.range(1, 60)), side); };
+    prop.check = [](const std::vector<pbt::layout_op>& ops, const res::deadline_clock&)
+    { return pbt::check_layout_ops(ops, side); };
+    prop.shrink =
+        [](std::vector<pbt::layout_op> ops, const std::function<bool(const std::vector<pbt::layout_op>&)>& still_fails)
+    { return pbt::shrink_sequence<pbt::layout_op>(std::move(ops), still_fails, 500); };
+    prop.show = [](const std::vector<pbt::layout_op>& ops) { return pbt::layout_ops_to_string(ops); };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+TEST(Portfolio, ResultsAreIndependentOfJobCount)
+{
+    // same params, jobs=1 vs jobs=4: identical layout multiset (label →
+    // .fgl bytes). This is the property the nightly TSan job leans on.
+    const auto config = pbt::current_test_config("pd.portfolio.jobs", 40);
+
+    pbt::network_spec spec{};
+    spec.max_gates = 5;
+    spec.max_pis = 4;
+
+    pbt::property<ntk::logic_network> prop = network_property(spec, nullptr);
+    prop.check = [](const ntk::logic_network& network, const res::deadline_clock&)
+    {
+        pd::portfolio_params params{};
+        params.try_exact = false;  // SAT search dominates runtime; not needed for parity
+        params.nanoplacer_iterations = 120;
+        params.input_orderings = 2;
+        params.verify = false;
+        params.seed = 11;
+
+        const auto digest = [&](const std::size_t jobs)
+        {
+            auto p = params;
+            p.jobs = jobs;
+            const auto run = pd::generate_portfolio(network, pd::portfolio_flavor::cartesian, p);
+            std::map<std::string, std::vector<std::string>> by_label{};
+            for (const auto& result : run.results)
+            {
+                by_label[result.label() + "@" + result.clocking].push_back(io::write_fgl_string(result.layout));
+            }
+            for (auto& [label, blobs] : by_label)
+            {
+                std::sort(blobs.begin(), blobs.end());
+            }
+            return by_label;
+        };
+
+        const auto serial = digest(1);
+        const auto parallel = digest(4);
+        if (serial != parallel)
+        {
+            return pbt::oracle_result::fail("portfolio results differ between jobs=1 (" +
+                                            std::to_string(serial.size()) + " labels) and jobs=4 (" +
+                                            std::to_string(parallel.size()) + " labels)");
+        }
+        return pbt::oracle_result::pass();
+    };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+}  // namespace

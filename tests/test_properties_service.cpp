@@ -1,0 +1,315 @@
+/// \file test_properties_service.cpp
+/// \brief Property suites over the benchmark service layer: the indexed
+///        query engine must match the linear scan record-for-record, result
+///        pages must be consistent with a from-scratch re-derivation, the
+///        persistent store must round-trip byte-identically, and the HTTP
+///        stack (parser + router) must classify arbitrary byte-streams
+///        without crashing or answering 5xx.
+
+#include "proptest_gtest.hpp"
+
+#include "common/resilience.hpp"
+#include "core/catalog.hpp"
+#include "core/filters.hpp"
+#include "physical_design/ortho.hpp"
+#include "service/query.hpp"
+#include "service/server.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracles.hpp"
+#include "testing/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+// --------------------------------------------------------- catalog fixture
+
+/// A catalog of 30 distinct small layouts with metadata spread over every
+/// facet dimension, plus the engine indexing it. Built once per process.
+struct service_fixture
+{
+    cat::catalog catalog;
+    std::unique_ptr<svc::query_engine> engine;
+};
+
+const service_fixture& fixture()
+{
+    static const service_fixture instance = []
+    {
+        service_fixture f{};
+        const std::vector<std::string> sets{"Trindade16", "Fontes18"};
+        const std::vector<std::string> clockings{"2DDWave", "USE", "RES"};
+        const std::vector<std::string> algorithms{"ortho", "NPR", "exact"};
+        const std::vector<std::vector<std::string>> optimization_sets{
+            {}, {"PLO"}, {"InOrd (SDN)"}, {"InOrd (SDN)", "PLO"}, {"45°", "PLO"}};
+
+        pbt::rng random{0x5eedf00dULL};
+        for (std::size_t i = 0; i < 30; ++i)
+        {
+            pbt::network_spec spec{};
+            spec.name = "fixture" + std::to_string(i);
+            // distinct networks => distinct .fgl blobs => distinct engine ids
+            const auto network = pbt::random_network(random, spec);
+
+            cat::layout_record record{};
+            record.benchmark_set = sets[i % sets.size()];
+            record.benchmark_name = "f" + std::to_string(i % 6);
+            record.library = (i % 3 == 0) ? cat::gate_library_kind::bestagon : cat::gate_library_kind::qca_one;
+            record.clocking = clockings[i % clockings.size()];
+            record.algorithm = algorithms[(i / 2) % algorithms.size()];
+            record.optimizations = optimization_sets[i % optimization_sets.size()];
+            record.runtime = 0.01 * static_cast<double>(i + 1);
+            record.layout = pd::ortho(network);
+            f.catalog.add_layout(std::move(record));
+        }
+        f.engine = std::make_unique<svc::query_engine>(f.catalog);
+        return f;
+    }();
+    return instance;
+}
+
+// ----------------------------------------------------------- query inputs
+
+cat::filter_query random_filter(pbt::rng& random)
+{
+    // vocabulary deliberately includes values absent from the fixture, so
+    // empty selections and dead posting lists get exercised too
+    const std::vector<std::string> sets{"Trindade16", "Fontes18", "ISCAS85"};
+    const std::vector<std::string> names{"f0", "f1", "f2", "f3", "f4", "f5", "mux21"};
+    const std::vector<std::string> clockings{"2DDWave", "USE", "RES", "ESR"};
+    const std::vector<std::string> algorithms{"ortho", "NPR", "exact", "gold"};
+    const std::vector<std::string> optimizations{"PLO", "InOrd (SDN)", "45°", "SDN"};
+
+    cat::filter_query query{};
+    if (random.chance(1, 2))
+    {
+        query.benchmark_set = random.pick(sets);
+    }
+    if (random.chance(1, 3))
+    {
+        query.benchmark_name = random.pick(names);
+    }
+    if (random.chance(1, 2))
+    {
+        query.libraries.push_back(random.chance(1, 2) ? cat::gate_library_kind::qca_one :
+                                                        cat::gate_library_kind::bestagon);
+    }
+    for (std::size_t i = random.below(3); i > 0; --i)
+    {
+        query.clockings.push_back(random.pick(clockings));
+    }
+    for (std::size_t i = random.below(3); i > 0; --i)
+    {
+        query.algorithms.push_back(random.pick(algorithms));
+    }
+    for (std::size_t i = random.below(2); i > 0; --i)
+    {
+        query.required_optimizations.push_back(random.pick(optimizations));
+    }
+    query.best_only = random.chance(1, 4);
+    return query;
+}
+
+std::string show_filter(const cat::filter_query& query)
+{
+    std::string out{"filter{"};
+    if (query.benchmark_set)
+    {
+        out += " set=" + *query.benchmark_set;
+    }
+    if (query.benchmark_name)
+    {
+        out += " name=" + *query.benchmark_name;
+    }
+    for (const auto lib : query.libraries)
+    {
+        out += " lib=" + cat::gate_library_name(lib);
+    }
+    for (const auto& c : query.clockings)
+    {
+        out += " clk=" + c;
+    }
+    for (const auto& a : query.algorithms)
+    {
+        out += " alg=" + a;
+    }
+    for (const auto& o : query.required_optimizations)
+    {
+        out += " opt=" + o;
+    }
+    if (query.best_only)
+    {
+        out += " best";
+    }
+    return out + " }";
+}
+
+TEST(QueryEngine, FilterMatchesLinearScan)
+{
+    const auto config = pbt::current_test_config("svc.query.parity", 200);
+    const auto& f = fixture();
+
+    pbt::property<cat::filter_query> prop{};
+    prop.generate = random_filter;
+    prop.check = [&f](const cat::filter_query& query, const res::deadline_clock&)
+    { return pbt::check_query_parity(*f.engine, f.catalog, query); };
+    prop.show = show_filter;
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+TEST(QueryEngine, PagesAreConsistentWithRederivation)
+{
+    const auto config = pbt::current_test_config("svc.query.pages", 200);
+    const auto& f = fixture();
+
+    pbt::property<svc::page_query> prop{};
+    prop.generate = [](pbt::rng& random)
+    {
+        svc::page_query query{};
+        query.filter = random_filter(random);
+        const std::vector<svc::sort_key> keys{svc::sort_key::area, svc::sort_key::benchmark,
+                                              svc::sort_key::algorithm, svc::sort_key::runtime};
+        query.sort = random.pick(keys);
+        query.order = random.chance(1, 2) ? svc::sort_order::ascending : svc::sort_order::descending;
+        query.offset = static_cast<std::size_t>(random.below(40));
+        // 0 (metadata only), tiny, typical and above-cap limits
+        query.limit = static_cast<std::size_t>(random.chance(1, 8) ? 0 : random.below(600));
+        query.include_facets = random.chance(1, 2);
+        return query;
+    };
+    prop.check = [&f](const svc::page_query& query, const res::deadline_clock&)
+    { return pbt::check_page_consistency(*f.engine, f.catalog, query); };
+    prop.show = [](const svc::page_query& query)
+    {
+        return show_filter(query.filter) + " sort=" + svc::sort_key_name(query.sort) +
+               (query.order == svc::sort_order::descending ? " desc" : " asc") +
+               " offset=" + std::to_string(query.offset) + " limit=" + std::to_string(query.limit) +
+               (query.include_facets ? " facets" : "");
+    };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+TEST(Store, RoundTripsArbitraryNetworksByteIdentically)
+{
+    const auto config = pbt::current_test_config("svc.store.roundtrip", 200);
+
+    static std::atomic<std::uint64_t> dir_counter{0};
+    pbt::property<ntk::logic_network> prop{};
+    prop.generate = [](pbt::rng& random)
+    {
+        pbt::network_spec spec{};
+        spec.max_gates = 10;
+        return pbt::random_network(random, spec);
+    };
+    prop.check = [](const ntk::logic_network& network, const res::deadline_clock&)
+    {
+        const auto root = std::filesystem::temp_directory_path() /
+                          ("mnt_prop_store_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(dir_counter.fetch_add(1)));
+        std::filesystem::remove_all(root);
+        const auto result = pbt::check_store_roundtrip(network, root);
+        std::filesystem::remove_all(root);
+        return result;
+    };
+    prop.shrink = [](ntk::logic_network network, const std::function<bool(const ntk::logic_network&)>& still_fails)
+    { return pbt::shrink_network(std::move(network), still_fails); };
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+// ------------------------------------------------------------- HTTP stack
+
+std::string show_bytes(const std::string& bytes)
+{
+    // render CR/LF and non-printables so reproducers paste safely
+    std::string out{};
+    for (const auto c : bytes)
+    {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '\r')
+        {
+            out += "\\r";
+        }
+        else if (c == '\n')
+        {
+            out += "\\n\n";
+        }
+        else if (u < 0x20 || u > 0x7e)
+        {
+            constexpr const char* hex = "0123456789abcdef";
+            out += std::string{"\\x"} + hex[u >> 4U] + std::string{hex[u & 0x0fU]};
+        }
+        else
+        {
+            out += c;
+        }
+    }
+    return out;
+}
+
+TEST(HttpStack, ArbitraryByteStreamsNeverCrashOrAnswer5xx)
+{
+    const auto config = pbt::current_test_config("svc.http.bytes", 200);
+    const auto& f = fixture();
+    svc::catalog_server server{*f.engine};  // handle() only; never start()ed
+
+    pbt::property<std::string> prop{};
+    prop.generate = [](pbt::rng& random) { return pbt::random_http_request(random); };
+    prop.check = [&server](const std::string& bytes, const res::deadline_clock&)
+    { return pbt::check_http_byte_stream(server, bytes); };
+    prop.shrink = [](std::string bytes, const std::function<bool(const std::string&)>& still_fails)
+    { return pbt::shrink_bytes(std::move(bytes), still_fails); };
+    prop.show = show_bytes;
+    MNT_RUN_PROPERTY(config, prop);
+}
+
+TEST(HttpStack, ConcurrentHandleIsRaceFree)
+{
+    // the nightly TSan run leans on this: many threads through the shared
+    // read path (indexes + response cache) with generated requests
+    const auto& f = fixture();
+    svc::catalog_server server{*f.engine};
+
+    constexpr std::size_t threads = 4;
+    constexpr std::size_t requests_per_thread = 50;
+    std::atomic<std::size_t> failures{0};
+
+    std::vector<std::thread> pool{};
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+    {
+        pool.emplace_back(
+            [&server, &failures, t]
+            {
+                pbt::rng random{0xc0ffee00ULL + t};
+                for (std::size_t i = 0; i < requests_per_thread; ++i)
+                {
+                    const auto bytes = pbt::random_http_request(random);
+                    if (!pbt::check_http_byte_stream(server, bytes))
+                    {
+                        failures.fetch_add(1);
+                    }
+                }
+            });
+    }
+    for (auto& worker : pool)
+    {
+        worker.join();
+    }
+    EXPECT_EQ(failures.load(), 0U);
+}
+
+}  // namespace
