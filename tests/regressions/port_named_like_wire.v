@@ -1,0 +1,9 @@
+// found by fuzz_verilog_reader: the input is named like the generated
+// wire of the only gate (node id 4), so the writer emitted "wire n4;"
+// next to "input n4" and the document silently rewired y to the input
+// on re-read. Generated wire names must avoid port names.
+module m(n4, b, y);
+input n4, b;
+output y;
+and g(y, n4, b);
+endmodule
