@@ -1,0 +1,4 @@
+module m(y);
+output y;
+assign y = y;
+endmodule

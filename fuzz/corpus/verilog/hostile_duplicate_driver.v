@@ -1,0 +1,6 @@
+module m(a, b, y);
+input a, b;
+output y;
+assign y = a;
+assign y = b;
+endmodule

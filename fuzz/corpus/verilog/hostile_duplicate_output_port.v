@@ -1,0 +1,5 @@
+// shrunk by io.verilog.hostile: 'y2' is declared output twice, so the
+// reader produced two POs named y2 and the writer emitted a document
+// that re-reading rejected ("driven multiple times"). The reader must
+// reject the duplicate port declaration up front.
+module p();input x,x2;output y2;output y2;wire n;assign n=0;assign n7=1;assign y=n;assign y1=x;assign y2=x;endmodule

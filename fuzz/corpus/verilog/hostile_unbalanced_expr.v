@@ -1,0 +1,5 @@
+module m(a, y);
+input a;
+output y;
+assign y = ~(a;
+endmodule

@@ -1,0 +1,29 @@
+/// \file fuzz_fgl_reader.cpp
+/// \brief Differential fuzz target for the .fgl reader: every input must
+///        either be rejected with a typed error or parse into a layout
+///        whose write→read→write cycle reaches a byte fixpoint (the same
+///        oracle the property suite uses). Anything else — a crash, a
+///        foreign exception, an accepted-but-unstable document — aborts.
+
+#include "testing/oracles.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    if (size > (1U << 16U))
+    {
+        return 0;  // keep per-input cost bounded; size is not the target
+    }
+    const std::string document{reinterpret_cast<const char*>(data), size};
+    const auto result = mnt::pbt::check_fgl_document(document);
+    if (!result.passed)
+    {
+        std::fprintf(stderr, "fgl oracle violation: %s\n", result.reason.c_str());
+        std::abort();
+    }
+    return 0;
+}

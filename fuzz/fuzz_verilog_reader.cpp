@@ -1,0 +1,28 @@
+/// \file fuzz_verilog_reader.cpp
+/// \brief Differential fuzz target for the Verilog reader: inputs must be
+///        rejected with a typed error or produce a network that survives
+///        both round-trips — structural for the primitives style,
+///        functional (equivalence-checked) for the assignments style.
+
+#include "testing/oracles.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    if (size > (1U << 16U))
+    {
+        return 0;  // keep per-input cost bounded; size is not the target
+    }
+    const std::string document{reinterpret_cast<const char*>(data), size};
+    const auto result = mnt::pbt::check_verilog_document(document);
+    if (!result.passed)
+    {
+        std::fprintf(stderr, "verilog oracle violation: %s\n", result.reason.c_str());
+        std::abort();
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/// \file standalone_driver.cpp
+/// \brief Fallback driver for toolchains without libFuzzer
+///        (-fsanitize=fuzzer is clang-only): replays every file given on
+///        the command line — directories are walked recursively — and,
+///        when MNT_FUZZ_SECONDS is set, keeps feeding mutated corpus
+///        entries to the target until the time budget expires. Mutations
+///        use a fixed-seed splitmix64 stream, so a run is reproducible.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace
+{
+
+std::uint64_t rng_state = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t next_random()
+{
+    std::uint64_t z = (rng_state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31U);
+}
+
+void run_one(const std::string& bytes)
+{
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+std::string mutate(std::string bytes)
+{
+    const auto mutations = 1 + next_random() % 8;
+    for (std::uint64_t m = 0; m < mutations; ++m)
+    {
+        switch (next_random() % 5)
+        {
+            case 0:  // flip a byte
+                if (!bytes.empty())
+                {
+                    bytes[next_random() % bytes.size()] = static_cast<char>(next_random());
+                }
+                break;
+            case 1:  // insert a byte
+                bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(next_random() % (bytes.size() + 1)),
+                             static_cast<char>(next_random()));
+                break;
+            case 2:  // delete a byte
+                if (!bytes.empty())
+                {
+                    bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(next_random() % bytes.size()));
+                }
+                break;
+            case 3:  // truncate
+                if (!bytes.empty())
+                {
+                    bytes.resize(next_random() % bytes.size());
+                }
+                break;
+            default:  // duplicate a chunk
+                if (!bytes.empty())
+                {
+                    const auto from = next_random() % bytes.size();
+                    const auto len = next_random() % (bytes.size() - from) + 1;
+                    bytes.insert(next_random() % (bytes.size() + 1), bytes, from, len);
+                }
+                break;
+        }
+    }
+    return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::vector<std::string> corpus;
+    for (int i = 1; i < argc; ++i)
+    {
+        const std::filesystem::path arg{argv[i]};
+        std::vector<std::filesystem::path> files;
+        if (std::filesystem::is_directory(arg))
+        {
+            for (const auto& entry : std::filesystem::recursive_directory_iterator{arg})
+            {
+                if (entry.is_regular_file())
+                {
+                    files.push_back(entry.path());
+                }
+            }
+        }
+        else
+        {
+            files.push_back(arg);
+        }
+        for (const auto& file : files)
+        {
+            std::ifstream in{file, std::ios::binary};
+            std::ostringstream out;
+            out << in.rdbuf();
+            corpus.push_back(out.str());
+        }
+    }
+
+    for (const auto& bytes : corpus)
+    {
+        run_one(bytes);
+    }
+    std::fprintf(stderr, "replayed %zu corpus entries\n", corpus.size());
+
+    const char* budget = std::getenv("MNT_FUZZ_SECONDS");
+    const auto seconds = budget != nullptr ? std::strtoul(budget, nullptr, 10) : 0UL;
+    if (seconds == 0 || corpus.empty())
+    {
+        return 0;
+    }
+    if (const char* seed = std::getenv("MNT_FUZZ_SEED"); seed != nullptr)
+    {
+        rng_state = std::strtoull(seed, nullptr, 0);
+    }
+
+    std::size_t executions = 0;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds{seconds};
+    while (std::chrono::steady_clock::now() < deadline)
+    {
+        run_one(mutate(corpus[next_random() % corpus.size()]));
+        ++executions;
+    }
+    std::fprintf(stderr, "mutated %zu inputs in %lus\n", executions, seconds);
+    return 0;
+}
