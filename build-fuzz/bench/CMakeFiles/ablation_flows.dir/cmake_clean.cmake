@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flows.dir/ablation_flows.cpp.o"
+  "CMakeFiles/ablation_flows.dir/ablation_flows.cpp.o.d"
+  "ablation_flows"
+  "ablation_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

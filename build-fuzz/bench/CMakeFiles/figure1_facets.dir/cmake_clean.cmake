@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_facets.dir/figure1_facets.cpp.o"
+  "CMakeFiles/figure1_facets.dir/figure1_facets.cpp.o.d"
+  "figure1_facets"
+  "figure1_facets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_facets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

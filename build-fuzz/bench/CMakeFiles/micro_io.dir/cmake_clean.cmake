@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_io.dir/micro_io.cpp.o"
+  "CMakeFiles/micro_io.dir/micro_io.cpp.o.d"
+  "micro_io"
+  "micro_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

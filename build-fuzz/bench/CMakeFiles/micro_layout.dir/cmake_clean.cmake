@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_layout.dir/micro_layout.cpp.o"
+  "CMakeFiles/micro_layout.dir/micro_layout.cpp.o.d"
+  "micro_layout"
+  "micro_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bestagon.dir/table1_bestagon.cpp.o"
+  "CMakeFiles/table1_bestagon.dir/table1_bestagon.cpp.o.d"
+  "table1_bestagon"
+  "table1_bestagon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bestagon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

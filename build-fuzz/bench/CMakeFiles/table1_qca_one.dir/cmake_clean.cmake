@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_qca_one.dir/table1_qca_one.cpp.o"
+  "CMakeFiles/table1_qca_one.dir/table1_qca_one.cpp.o.d"
+  "table1_qca_one"
+  "table1_qca_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_qca_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_qca_one.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_of_catalog.dir/best_of_catalog.cpp.o"
+  "CMakeFiles/best_of_catalog.dir/best_of_catalog.cpp.o.d"
+  "best_of_catalog"
+  "best_of_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_of_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgl_roundtrip_inspect.dir/fgl_roundtrip_inspect.cpp.o"
+  "CMakeFiles/fgl_roundtrip_inspect.dir/fgl_roundtrip_inspect.cpp.o.d"
+  "fgl_roundtrip_inspect"
+  "fgl_roundtrip_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgl_roundtrip_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnt_bench_cli.dir/mnt_bench_cli.cpp.o"
+  "CMakeFiles/mnt_bench_cli.dir/mnt_bench_cli.cpp.o.d"
+  "mnt_bench_cli"
+  "mnt_bench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnt_bench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

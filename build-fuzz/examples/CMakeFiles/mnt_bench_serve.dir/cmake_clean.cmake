@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnt_bench_serve.dir/mnt_bench_serve.cpp.o"
+  "CMakeFiles/mnt_bench_serve.dir/mnt_bench_serve.cpp.o.d"
+  "mnt_bench_serve"
+  "mnt_bench_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnt_bench_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_fgl_reader.dir/fuzz_fgl_reader.cpp.o"
+  "CMakeFiles/fuzz_fgl_reader.dir/fuzz_fgl_reader.cpp.o.d"
+  "CMakeFiles/fuzz_fgl_reader.dir/standalone_driver.cpp.o"
+  "CMakeFiles/fuzz_fgl_reader.dir/standalone_driver.cpp.o.d"
+  "fuzz_fgl_reader"
+  "fuzz_fgl_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_fgl_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fuzz_fgl_reader.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_http_request.dir/fuzz_http_request.cpp.o"
+  "CMakeFiles/fuzz_http_request.dir/fuzz_http_request.cpp.o.d"
+  "CMakeFiles/fuzz_http_request.dir/standalone_driver.cpp.o"
+  "CMakeFiles/fuzz_http_request.dir/standalone_driver.cpp.o.d"
+  "fuzz_http_request"
+  "fuzz_http_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_http_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/functions.cpp" "src/CMakeFiles/mnt.dir/benchmarks/functions.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/benchmarks/functions.cpp.o.d"
+  "/root/repo/src/benchmarks/suites.cpp" "src/CMakeFiles/mnt.dir/benchmarks/suites.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/benchmarks/suites.cpp.o.d"
+  "/root/repo/src/benchmarks/synthetic.cpp" "src/CMakeFiles/mnt.dir/benchmarks/synthetic.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/benchmarks/synthetic.cpp.o.d"
+  "/root/repo/src/common/resilience.cpp" "src/CMakeFiles/mnt.dir/common/resilience.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/common/resilience.cpp.o.d"
+  "/root/repo/src/core/best_selection.cpp" "src/CMakeFiles/mnt.dir/core/best_selection.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/core/best_selection.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/CMakeFiles/mnt.dir/core/catalog.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/core/catalog.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/mnt.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/filters.cpp" "src/CMakeFiles/mnt.dir/core/filters.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/core/filters.cpp.o.d"
+  "/root/repo/src/core/json_export.cpp" "src/CMakeFiles/mnt.dir/core/json_export.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/core/json_export.cpp.o.d"
+  "/root/repo/src/gate_library/bestagon.cpp" "src/CMakeFiles/mnt.dir/gate_library/bestagon.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/gate_library/bestagon.cpp.o.d"
+  "/root/repo/src/gate_library/cell_layout.cpp" "src/CMakeFiles/mnt.dir/gate_library/cell_layout.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/gate_library/cell_layout.cpp.o.d"
+  "/root/repo/src/gate_library/qca_one.cpp" "src/CMakeFiles/mnt.dir/gate_library/qca_one.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/gate_library/qca_one.cpp.o.d"
+  "/root/repo/src/io/ascii_printer.cpp" "src/CMakeFiles/mnt.dir/io/ascii_printer.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/ascii_printer.cpp.o.d"
+  "/root/repo/src/io/cell_readers.cpp" "src/CMakeFiles/mnt.dir/io/cell_readers.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/cell_readers.cpp.o.d"
+  "/root/repo/src/io/fgl_reader.cpp" "src/CMakeFiles/mnt.dir/io/fgl_reader.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/fgl_reader.cpp.o.d"
+  "/root/repo/src/io/fgl_writer.cpp" "src/CMakeFiles/mnt.dir/io/fgl_writer.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/fgl_writer.cpp.o.d"
+  "/root/repo/src/io/qca_writer.cpp" "src/CMakeFiles/mnt.dir/io/qca_writer.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/qca_writer.cpp.o.d"
+  "/root/repo/src/io/sqd_writer.cpp" "src/CMakeFiles/mnt.dir/io/sqd_writer.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/sqd_writer.cpp.o.d"
+  "/root/repo/src/io/verilog_reader.cpp" "src/CMakeFiles/mnt.dir/io/verilog_reader.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/verilog_reader.cpp.o.d"
+  "/root/repo/src/io/verilog_writer.cpp" "src/CMakeFiles/mnt.dir/io/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/verilog_writer.cpp.o.d"
+  "/root/repo/src/io/xml.cpp" "src/CMakeFiles/mnt.dir/io/xml.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/io/xml.cpp.o.d"
+  "/root/repo/src/layout/clocking_scheme.cpp" "src/CMakeFiles/mnt.dir/layout/clocking_scheme.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/layout/clocking_scheme.cpp.o.d"
+  "/root/repo/src/layout/coordinates.cpp" "src/CMakeFiles/mnt.dir/layout/coordinates.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/layout/coordinates.cpp.o.d"
+  "/root/repo/src/layout/gate_level_layout.cpp" "src/CMakeFiles/mnt.dir/layout/gate_level_layout.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/layout/gate_level_layout.cpp.o.d"
+  "/root/repo/src/layout/layout_utils.cpp" "src/CMakeFiles/mnt.dir/layout/layout_utils.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/layout/layout_utils.cpp.o.d"
+  "/root/repo/src/layout/net_surgery.cpp" "src/CMakeFiles/mnt.dir/layout/net_surgery.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/layout/net_surgery.cpp.o.d"
+  "/root/repo/src/layout/routing.cpp" "src/CMakeFiles/mnt.dir/layout/routing.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/layout/routing.cpp.o.d"
+  "/root/repo/src/network/gate_type.cpp" "src/CMakeFiles/mnt.dir/network/gate_type.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/network/gate_type.cpp.o.d"
+  "/root/repo/src/network/logic_network.cpp" "src/CMakeFiles/mnt.dir/network/logic_network.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/network/logic_network.cpp.o.d"
+  "/root/repo/src/network/network_utils.cpp" "src/CMakeFiles/mnt.dir/network/network_utils.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/network/network_utils.cpp.o.d"
+  "/root/repo/src/network/optimization.cpp" "src/CMakeFiles/mnt.dir/network/optimization.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/network/optimization.cpp.o.d"
+  "/root/repo/src/network/simulation.cpp" "src/CMakeFiles/mnt.dir/network/simulation.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/network/simulation.cpp.o.d"
+  "/root/repo/src/network/transforms.cpp" "src/CMakeFiles/mnt.dir/network/transforms.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/network/transforms.cpp.o.d"
+  "/root/repo/src/physical_design/exact.cpp" "src/CMakeFiles/mnt.dir/physical_design/exact.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/exact.cpp.o.d"
+  "/root/repo/src/physical_design/hexagonalization.cpp" "src/CMakeFiles/mnt.dir/physical_design/hexagonalization.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/hexagonalization.cpp.o.d"
+  "/root/repo/src/physical_design/input_ordering.cpp" "src/CMakeFiles/mnt.dir/physical_design/input_ordering.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/input_ordering.cpp.o.d"
+  "/root/repo/src/physical_design/nanoplacer.cpp" "src/CMakeFiles/mnt.dir/physical_design/nanoplacer.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/nanoplacer.cpp.o.d"
+  "/root/repo/src/physical_design/ortho.cpp" "src/CMakeFiles/mnt.dir/physical_design/ortho.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/ortho.cpp.o.d"
+  "/root/repo/src/physical_design/portfolio.cpp" "src/CMakeFiles/mnt.dir/physical_design/portfolio.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/portfolio.cpp.o.d"
+  "/root/repo/src/physical_design/post_layout_optimization.cpp" "src/CMakeFiles/mnt.dir/physical_design/post_layout_optimization.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/physical_design/post_layout_optimization.cpp.o.d"
+  "/root/repo/src/service/json.cpp" "src/CMakeFiles/mnt.dir/service/json.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/service/json.cpp.o.d"
+  "/root/repo/src/service/populate.cpp" "src/CMakeFiles/mnt.dir/service/populate.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/service/populate.cpp.o.d"
+  "/root/repo/src/service/query.cpp" "src/CMakeFiles/mnt.dir/service/query.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/service/query.cpp.o.d"
+  "/root/repo/src/service/server.cpp" "src/CMakeFiles/mnt.dir/service/server.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/service/server.cpp.o.d"
+  "/root/repo/src/service/store.cpp" "src/CMakeFiles/mnt.dir/service/store.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/service/store.cpp.o.d"
+  "/root/repo/src/telemetry/report.cpp" "src/CMakeFiles/mnt.dir/telemetry/report.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/telemetry/report.cpp.o.d"
+  "/root/repo/src/telemetry/telemetry.cpp" "src/CMakeFiles/mnt.dir/telemetry/telemetry.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/telemetry/telemetry.cpp.o.d"
+  "/root/repo/src/testing/generators.cpp" "src/CMakeFiles/mnt.dir/testing/generators.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/testing/generators.cpp.o.d"
+  "/root/repo/src/testing/oracles.cpp" "src/CMakeFiles/mnt.dir/testing/oracles.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/testing/oracles.cpp.o.d"
+  "/root/repo/src/testing/proptest.cpp" "src/CMakeFiles/mnt.dir/testing/proptest.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/testing/proptest.cpp.o.d"
+  "/root/repo/src/testing/shrink.cpp" "src/CMakeFiles/mnt.dir/testing/shrink.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/testing/shrink.cpp.o.d"
+  "/root/repo/src/verification/cell_drc.cpp" "src/CMakeFiles/mnt.dir/verification/cell_drc.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/verification/cell_drc.cpp.o.d"
+  "/root/repo/src/verification/drc.cpp" "src/CMakeFiles/mnt.dir/verification/drc.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/verification/drc.cpp.o.d"
+  "/root/repo/src/verification/equivalence.cpp" "src/CMakeFiles/mnt.dir/verification/equivalence.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/verification/equivalence.cpp.o.d"
+  "/root/repo/src/verification/synchronization.cpp" "src/CMakeFiles/mnt.dir/verification/synchronization.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/verification/synchronization.cpp.o.d"
+  "/root/repo/src/verification/wave_simulation.cpp" "src/CMakeFiles/mnt.dir/verification/wave_simulation.cpp.o" "gcc" "src/CMakeFiles/mnt.dir/verification/wave_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_printer.dir/test_ascii_printer.cpp.o"
+  "CMakeFiles/test_ascii_printer.dir/test_ascii_printer.cpp.o.d"
+  "test_ascii_printer"
+  "test_ascii_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

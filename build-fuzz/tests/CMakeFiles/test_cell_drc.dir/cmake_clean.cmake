@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_drc.dir/test_cell_drc.cpp.o"
+  "CMakeFiles/test_cell_drc.dir/test_cell_drc.cpp.o.d"
+  "test_cell_drc"
+  "test_cell_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_readers.dir/test_cell_readers.cpp.o"
+  "CMakeFiles/test_cell_readers.dir/test_cell_readers.cpp.o.d"
+  "test_cell_readers"
+  "test_cell_readers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

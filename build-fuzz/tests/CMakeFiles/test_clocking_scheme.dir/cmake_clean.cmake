@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocking_scheme.dir/test_clocking_scheme.cpp.o"
+  "CMakeFiles/test_clocking_scheme.dir/test_clocking_scheme.cpp.o.d"
+  "test_clocking_scheme"
+  "test_clocking_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocking_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

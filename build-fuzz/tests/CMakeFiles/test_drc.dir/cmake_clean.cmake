@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drc.dir/test_drc.cpp.o"
+  "CMakeFiles/test_drc.dir/test_drc.cpp.o.d"
+  "test_drc"
+  "test_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

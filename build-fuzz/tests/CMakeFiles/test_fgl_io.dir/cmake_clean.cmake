@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fgl_io.dir/test_fgl_io.cpp.o"
+  "CMakeFiles/test_fgl_io.dir/test_fgl_io.cpp.o.d"
+  "test_fgl_io"
+  "test_fgl_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fgl_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

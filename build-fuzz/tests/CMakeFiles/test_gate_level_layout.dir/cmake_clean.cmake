@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_level_layout.dir/test_gate_level_layout.cpp.o"
+  "CMakeFiles/test_gate_level_layout.dir/test_gate_level_layout.cpp.o.d"
+  "test_gate_level_layout"
+  "test_gate_level_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_level_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_type.dir/test_gate_type.cpp.o"
+  "CMakeFiles/test_gate_type.dir/test_gate_type.cpp.o.d"
+  "test_gate_type"
+  "test_gate_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

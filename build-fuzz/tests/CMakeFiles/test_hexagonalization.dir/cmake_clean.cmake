@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hexagonalization.dir/test_hexagonalization.cpp.o"
+  "CMakeFiles/test_hexagonalization.dir/test_hexagonalization.cpp.o.d"
+  "test_hexagonalization"
+  "test_hexagonalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hexagonalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

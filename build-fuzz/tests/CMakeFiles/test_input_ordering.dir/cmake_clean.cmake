@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_ordering.dir/test_input_ordering.cpp.o"
+  "CMakeFiles/test_input_ordering.dir/test_input_ordering.cpp.o.d"
+  "test_input_ordering"
+  "test_input_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

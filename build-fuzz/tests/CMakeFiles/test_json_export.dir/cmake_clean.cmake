@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_export.dir/test_json_export.cpp.o"
+  "CMakeFiles/test_json_export.dir/test_json_export.cpp.o.d"
+  "test_json_export"
+  "test_json_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

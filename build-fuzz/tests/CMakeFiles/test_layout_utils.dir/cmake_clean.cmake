@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_utils.dir/test_layout_utils.cpp.o"
+  "CMakeFiles/test_layout_utils.dir/test_layout_utils.cpp.o.d"
+  "test_layout_utils"
+  "test_layout_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_malformed_inputs.dir/test_malformed_inputs.cpp.o"
+  "CMakeFiles/test_malformed_inputs.dir/test_malformed_inputs.cpp.o.d"
+  "test_malformed_inputs"
+  "test_malformed_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_malformed_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nanoplacer.dir/test_nanoplacer.cpp.o"
+  "CMakeFiles/test_nanoplacer.dir/test_nanoplacer.cpp.o.d"
+  "test_nanoplacer"
+  "test_nanoplacer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nanoplacer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_surgery.dir/test_net_surgery.cpp.o"
+  "CMakeFiles/test_net_surgery.dir/test_net_surgery.cpp.o.d"
+  "test_net_surgery"
+  "test_net_surgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_surgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ortho.dir/test_ortho.cpp.o"
+  "CMakeFiles/test_ortho.dir/test_ortho.cpp.o.d"
+  "test_ortho"
+  "test_ortho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ortho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portfolio.dir/test_portfolio.cpp.o"
+  "CMakeFiles/test_portfolio.dir/test_portfolio.cpp.o.d"
+  "test_portfolio"
+  "test_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

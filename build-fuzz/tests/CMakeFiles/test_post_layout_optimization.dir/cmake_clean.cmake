@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_post_layout_optimization.dir/test_post_layout_optimization.cpp.o"
+  "CMakeFiles/test_post_layout_optimization.dir/test_post_layout_optimization.cpp.o.d"
+  "test_post_layout_optimization"
+  "test_post_layout_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_post_layout_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_io.dir/test_properties_io.cpp.o"
+  "CMakeFiles/test_properties_io.dir/test_properties_io.cpp.o.d"
+  "test_properties_io"
+  "test_properties_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

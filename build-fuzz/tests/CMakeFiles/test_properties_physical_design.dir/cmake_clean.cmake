@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_physical_design.dir/test_properties_physical_design.cpp.o"
+  "CMakeFiles/test_properties_physical_design.dir/test_properties_physical_design.cpp.o.d"
+  "test_properties_physical_design"
+  "test_properties_physical_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_physical_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_service.dir/test_properties_service.cpp.o"
+  "CMakeFiles/test_properties_service.dir/test_properties_service.cpp.o.d"
+  "test_properties_service"
+  "test_properties_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proptest_harness.dir/test_proptest_harness.cpp.o"
+  "CMakeFiles/test_proptest_harness.dir/test_proptest_harness.cpp.o.d"
+  "test_proptest_harness"
+  "test_proptest_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proptest_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_query.dir/test_service_query.cpp.o"
+  "CMakeFiles/test_service_query.dir/test_service_query.cpp.o.d"
+  "test_service_query"
+  "test_service_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_server.dir/test_service_server.cpp.o"
+  "CMakeFiles/test_service_server.dir/test_service_server.cpp.o.d"
+  "test_service_server"
+  "test_service_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

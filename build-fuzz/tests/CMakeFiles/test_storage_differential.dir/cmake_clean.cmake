@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_differential.dir/test_storage_differential.cpp.o"
+  "CMakeFiles/test_storage_differential.dir/test_storage_differential.cpp.o.d"
+  "test_storage_differential"
+  "test_storage_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

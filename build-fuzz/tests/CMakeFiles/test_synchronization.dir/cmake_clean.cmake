@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synchronization.dir/test_synchronization.cpp.o"
+  "CMakeFiles/test_synchronization.dir/test_synchronization.cpp.o.d"
+  "test_synchronization"
+  "test_synchronization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synchronization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog_io.dir/test_verilog_io.cpp.o"
+  "CMakeFiles/test_verilog_io.dir/test_verilog_io.cpp.o.d"
+  "test_verilog_io"
+  "test_verilog_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave_simulation.dir/test_wave_simulation.cpp.o"
+  "CMakeFiles/test_wave_simulation.dir/test_wave_simulation.cpp.o.d"
+  "test_wave_simulation"
+  "test_wave_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
