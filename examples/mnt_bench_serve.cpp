@@ -9,6 +9,7 @@
 ///                   [--port <p>] [--threads <n>] [--jobs <n>]
 ///                   [--deadline <s>] [--retries <n>] [--no-serve]
 ///                   [--report <file.json>] [--verbose-telemetry]
+///                   [--trace-out <file.json>] [--event-log <file.jsonl>]
 ///
 /// Typical session:
 ///   mnt_bench_serve --store bench_store --generate --set Trindade16   # populate
@@ -23,8 +24,10 @@
 #include "service/query.hpp"
 #include "service/server.hpp"
 #include "service/store.hpp"
+#include "telemetry/eventlog.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -55,6 +58,8 @@ struct serve_options
     double deadline_s{0.0};
     std::optional<std::size_t> max_attempts;
     std::optional<std::string> report_path;
+    std::optional<std::string> trace_path;
+    std::optional<std::string> event_log_path;
     bool verbose_telemetry{false};
     bool help{false};
 };
@@ -114,6 +119,14 @@ serve_options parse_args(const int argc, const char** argv)
         else if (arg == "--verbose-telemetry")
         {
             options.verbose_telemetry = true;
+        }
+        else if (arg == "--trace-out")
+        {
+            options.trace_path = next();
+        }
+        else if (arg == "--event-log")
+        {
+            options.event_log_path = next();
         }
         else if (arg == "--help" || arg == "-h")
         {
@@ -176,14 +189,26 @@ void write_telemetry(const serve_options& options)
     }
 }
 
+/// Emits the Chrome trace requested via --trace-out (or MNT_TRACE_OUT).
+void write_trace(const serve_options& options)
+{
+    if (options.trace_path.has_value())
+    {
+        tel::write_chrome_trace_file(*options.trace_path);
+        std::fprintf(stderr, "wrote trace %s\n", options.trace_path->c_str());
+        return;
+    }
+    if (const auto path = tel::export_trace_if_requested(); !path.empty())
+    {
+        std::fprintf(stderr, "wrote trace %s\n", path.c_str());
+    }
+}
+
 int run(const serve_options& options)
 {
+    // store corruption / repair reports flow through the structured event
+    // log (echoed to stderr via the warn mirror) instead of ad-hoc prints
     svc::layout_store store{options.store_dir};
-    for (const auto& issue : store.open_issues())
-    {
-        std::fprintf(stderr, "store issue [%s] %s: %s\n", res::outcome_kind_name(issue.kind),
-                     issue.label.c_str(), issue.message.c_str());
-    }
 
     if (options.generate)
     {
@@ -202,11 +227,6 @@ int run(const serve_options& options)
     }
 
     const auto snapshot = store.load();
-    for (const auto& issue : snapshot.issues)
-    {
-        std::fprintf(stderr, "store issue [%s] %s: %s\n", res::outcome_kind_name(issue.kind),
-                     issue.label.c_str(), issue.message.c_str());
-    }
 
     if (!options.serve)
     {
@@ -214,6 +234,7 @@ int run(const serve_options& options)
                     snapshot.catalog.num_networks(), snapshot.catalog.num_layouts(),
                     snapshot.catalog.num_failures());
         write_telemetry(options);
+        write_trace(options);
         return 0;
     }
 
@@ -241,6 +262,7 @@ int run(const serve_options& options)
     std::fprintf(stderr, "shutting down ...\n");
     server.stop();
     write_telemetry(options);
+    write_trace(options);
     return 0;
 }
 
@@ -266,13 +288,24 @@ int main(const int argc, const char** argv)
                     "  --no-serve             exit after generation / store inspection\n"
                     "  --report <file.json>   write a JSON telemetry run report on exit\n"
                     "  --verbose-telemetry    print the run report as text to stderr\n"
-                    "endpoints: /healthz /benchmarks /layouts /facets /best /download/<id>\n");
+                    "  --trace-out <file>     write a Chrome/Perfetto trace on exit (or MNT_TRACE_OUT)\n"
+                    "  --event-log <file>     append the structured JSONL event log (or MNT_EVENT_LOG)\n"
+                    "endpoints: /healthz /metrics /statz /benchmarks /layouts /facets /best /download/<id>\n");
         return 0;
     }
     if (options.report_path.has_value() || options.verbose_telemetry)
     {
         tel::set_enabled(true);
     }
+    if (options.trace_path.has_value())
+    {
+        tel::set_trace_recording(true);
+    }
+    if (options.event_log_path.has_value())
+    {
+        tel::event_log::instance().open_sink(*options.event_log_path);
+    }
+    tel::event_log::instance().set_stderr_echo(true);
     try
     {
         return run(options);

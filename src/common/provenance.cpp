@@ -1,0 +1,39 @@
+#include "common/provenance.hpp"
+
+#define MNT_STRINGIFY_INNER(x) #x
+#define MNT_STRINGIFY(x) MNT_STRINGIFY_INNER(x)
+
+namespace mnt::prov
+{
+
+const build_info_t& build_info()
+{
+    static const build_info_t info = []
+    {
+        build_info_t b{};
+#ifdef MNT_VERSION
+        b.version = MNT_VERSION;
+#else
+        b.version = "unversioned";
+#endif
+#if defined(__clang__)
+        b.compiler = "clang " MNT_STRINGIFY(__clang_major__) "." MNT_STRINGIFY(
+            __clang_minor__) "." MNT_STRINGIFY(__clang_patchlevel__);
+#elif defined(__GNUC__)
+        b.compiler = "gcc " MNT_STRINGIFY(__GNUC__) "." MNT_STRINGIFY(__GNUC_MINOR__) "." MNT_STRINGIFY(
+            __GNUC_PATCHLEVEL__);
+#else
+        b.compiler = "unknown";
+#endif
+#ifdef NDEBUG
+        b.build_type = "Release";
+#else
+        b.build_type = "Debug";
+#endif
+        b.cxx_standard = std::to_string(__cplusplus);
+        return b;
+    }();
+    return info;
+}
+
+}  // namespace mnt::prov

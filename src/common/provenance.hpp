@@ -56,4 +56,23 @@ inline constexpr const char* opt_post_layout = "PLO";
     return s;
 }
 
+// ------------------------------------------------------- build provenance
+
+/// Compile-time facts about this binary, surfaced on /healthz, /statz and in
+/// trace exports so an operator can tell *which* build produced a number.
+struct build_info_t
+{
+    /// Project version (the MNT_VERSION compile definition, or "unversioned").
+    std::string version;
+    /// Compiler id and version, e.g. "gcc 13.2.0".
+    std::string compiler;
+    /// "Release" or "Debug" (from NDEBUG).
+    std::string build_type;
+    /// The __cplusplus language level, e.g. "202002".
+    std::string cxx_standard;
+};
+
+/// The process-wide build info (constructed once, thread-safe).
+[[nodiscard]] const build_info_t& build_info();
+
 }  // namespace mnt::prov

@@ -1,5 +1,7 @@
 #include "common/resilience.hpp"
 
+#include "telemetry/eventlog.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -90,6 +92,14 @@ std::uint64_t label_salt(const std::string_view label) noexcept
         h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
     }
     return mix64(h);
+}
+
+void note_retry(const std::string_view label, const std::string_view kind, const std::size_t attempt)
+{
+    tel::log_event(tel::log_severity::warn, "resilience", "retrying after transient failure",
+                   {{"combo", std::string{label}},
+                    {"kind", std::string{kind}},
+                    {"attempt", std::to_string(attempt)}});
 }
 
 }  // namespace detail

@@ -273,6 +273,11 @@ struct guard_params
 namespace detail
 {
 [[nodiscard]] std::uint64_t label_salt(std::string_view label) noexcept;
+
+/// Reports one retry of \p label (about to re-run after a transient
+/// \p kind on attempt \p attempt) to the structured event log. Out-of-line
+/// so this header does not pull in the event log.
+void note_retry(std::string_view label, std::string_view kind, std::size_t attempt);
 }  // namespace detail
 
 /// Executes one portfolio combination under full fault isolation.
@@ -362,6 +367,7 @@ template <typename F>
         {
             break;
         }
+        detail::note_retry(outcome.label, outcome_kind_name(outcome.kind), attempt);
         backoff_sleep(backoff_delay_s(params.retry, attempt + 1, salt), params.deadline);
     }
 

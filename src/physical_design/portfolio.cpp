@@ -10,6 +10,7 @@
 #include "physical_design/ortho.hpp"
 #include "physical_design/post_layout_optimization.hpp"
 #include "network/optimization.hpp"
+#include "telemetry/eventlog.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verification/equivalence.hpp"
 #include "verification/wave_simulation.hpp"
@@ -132,6 +133,11 @@ void attempt_combo(combo_context& ctx, const std::string& label, Body&& body)
     if (!outcome.is_ok())
     {
         ctx.results.resize(mark);
+        tel::log_event(tel::log_severity::warn, "portfolio", "combination failed",
+                       {{"combo", outcome.label},
+                        {"kind", res::outcome_kind_name(outcome.kind)},
+                        {"attempts", std::to_string(outcome.attempts)},
+                        {"detail", outcome.message}});
     }
 
     if (tel::enabled())
@@ -427,8 +433,13 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
         std::vector<task_slot> slots(tasks.size());
         std::atomic<std::size_t> next{0};
 
+        // workers adopt the caller's trace position, so per-combo spans nest
+        // under the portfolio root exactly as in the sequential run instead
+        // of surfacing as orphan per-thread roots
+        const auto parent_context = tel::current_span_context();
         const auto work = [&]
         {
+            const tel::context_guard adopt{parent_context};
             while (true)
             {
                 const auto i = next.fetch_add(1, std::memory_order_relaxed);

@@ -1,6 +1,9 @@
 #include "service/server.hpp"
 
+#include "common/provenance.hpp"
 #include "io/fgl_writer.hpp"
+#include "telemetry/eventlog.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
@@ -36,6 +39,15 @@ const char* status_text(const int status) noexcept
         case 500: return "Internal Server Error";
     }
     return "Status";
+}
+
+/// Server metrics are recorded unconditionally — not gated by MNT_TELEMETRY
+/// — so a /metrics scrape of an otherwise-unconfigured server is still
+/// informative. Registry instrument references are stable for the process
+/// lifetime, which is what makes direct recording safe here.
+void count_always(const std::string_view name, const std::uint64_t delta = 1)
+{
+    tel::registry::instance().get_counter(name).add(delta);
 }
 
 http_response error_response(const int status, const std::string& message)
@@ -349,11 +361,16 @@ void catalog_server::start()
     {
         workers.emplace_back([this] { worker_loop(); });
     }
-    tel::set_gauge("server.workers", static_cast<double>(num_workers));
+    tel::registry::instance().get_gauge("server.workers").set(static_cast<double>(num_workers));
+    tel::log_event(tel::log_severity::info, "server", "listening",
+                   {{"host", options.host},
+                    {"port", std::to_string(bound_port)},
+                    {"workers", std::to_string(num_workers)}});
 }
 
 void catalog_server::stop()
 {
+    const auto was_active = active.load();
     stopping.store(true);
     queue_ready.notify_all();
     if (acceptor.joinable())
@@ -374,6 +391,10 @@ void catalog_server::stop()
         listen_fd = -1;
     }
     active.store(false);
+    if (was_active)
+    {
+        tel::log_event(tel::log_severity::info, "server", "stopped", {{"uptime_s", std::to_string(uptime_s())}});
+    }
 }
 
 catalog_server::~catalog_server()
@@ -406,7 +427,7 @@ void catalog_server::accept_loop()
         {
             continue;
         }
-        tel::count("server.connections");
+        count_always("server.connections");
         {
             const std::scoped_lock lock{queue_mutex};
             pending.push_back(fd);
@@ -447,15 +468,20 @@ void catalog_server::serve_connection(const int fd)
     }
     else if (incoming.timed_out)
     {
-        tel::count("server.read_timeouts");
+        count_always("server.read_timeouts");
+        tel::log_event(tel::log_severity::warn, "server", "request read timed out",
+                       {{"deadline_s", std::to_string(options.request_deadline_s)}});
         response = error_response(408, "request was not received within the deadline");
     }
     else if (incoming.too_large)
     {
+        tel::log_event(tel::log_severity::warn, "server", "request exceeds the size limit",
+                       {{"max_bytes", std::to_string(options.max_request_bytes)}});
         response = error_response(413, "request exceeds the size limit");
     }
     else if (incoming.malformed)
     {
+        tel::log_event(tel::log_severity::info, "server", "malformed HTTP request");
         response = error_response(400, "malformed HTTP request");
     }
     else
@@ -477,9 +503,9 @@ void catalog_server::serve_connection(const int fd)
 
 http_response catalog_server::handle(const http_request& request, const res::deadline_clock& deadline)
 {
-    MNT_SPAN("server/request");
+    const tel::span request_span{"server/request", request.method + ' ' + request.path};
     const tel::stopwatch watch;
-    tel::count("server.requests");
+    count_always("server.requests");
 
     http_response response;
     try
@@ -496,14 +522,16 @@ http_response catalog_server::handle(const http_request& request, const res::dea
     }
     catch (const std::exception& e)
     {
+        tel::log_event(tel::log_severity::error, "server", "unhandled exception in request handler",
+                       {{"path", request.path}, {"what", e.what()}});
         response = error_response(500, e.what());
     }
 
-    if (tel::enabled())
-    {
-        tel::count("server.responses." + std::to_string(response.status));
-        tel::observe("server.request_s", watch.seconds());
-    }
+    const auto elapsed = watch.seconds();
+    auto& reg = tel::registry::instance();
+    reg.get_counter("server.responses[code=" + std::to_string(response.status) + "]").add();
+    reg.get_histogram("server.request_s").record(elapsed);
+    reg.get_histogram("server.request_s[route=" + route_key(request.path) + "]").record(elapsed);
     return response;
 }
 
@@ -518,10 +546,15 @@ http_response catalog_server::route(const http_request& request, const res::dead
 
     if (request.path == "/healthz")
     {
-        auto document = json_value::make_object();
-        document.set("status", json_value{std::string{"ok"}});
-        document.set("layouts", json_value{static_cast<std::uint64_t>(engine.catalog().num_layouts())});
-        return http_response{200, "application/json", document.dump()};
+        return healthz_response();
+    }
+    if (request.path == "/metrics")
+    {
+        return http_response{200, "text/plain; version=0.0.4; charset=utf-8", tel::prometheus_text()};
+    }
+    if (request.path == "/statz")
+    {
+        return statz_response();
     }
     if (request.path == "/benchmarks")
     {
@@ -574,10 +607,10 @@ http_response catalog_server::page_response(const page_query& query)
     const auto key = query.cache_key();
     if (auto cached = cache.get(key); cached.has_value())
     {
-        tel::count("server.cache_hits");
+        count_always("server.cache_hits");
         return http_response{200, "application/json", std::move(*cached)};
     }
-    tel::count("server.cache_misses");
+    count_always("server.cache_misses");
     auto body = page_json_string(engine.run(query));
     cache.put(key, body);
     return http_response{200, "application/json", std::move(body)};
@@ -611,6 +644,105 @@ http_response catalog_server::benchmarks_response()
     return http_response{200, "application/json", document.dump()};
 }
 
+http_response catalog_server::healthz_response()
+{
+    auto document = json_value::make_object();
+    document.set("status", json_value{std::string{"ok"}});
+    document.set("layouts", json_value{static_cast<std::uint64_t>(engine.catalog().num_layouts())});
+    document.set("uptime_s", json_value{uptime_s()});
+    document.set("version", json_value{prov::build_info().version});
+    return http_response{200, "application/json", document.dump()};
+}
+
+http_response catalog_server::statz_response()
+{
+    auto& reg = tel::registry::instance();
+    const auto& info = prov::build_info();
+
+    auto document = json_value::make_object();
+    document.set("uptime_s", json_value{uptime_s()});
+
+    auto build = json_value::make_object();
+    build.set("version", json_value{info.version});
+    build.set("compiler", json_value{info.compiler});
+    build.set("build_type", json_value{info.build_type});
+    build.set("cxx_standard", json_value{info.cxx_standard});
+    document.set("build", std::move(build));
+
+    auto srv = json_value::make_object();
+    srv.set("requests", json_value{reg.get_counter("server.requests").value()});
+    srv.set("connections", json_value{reg.get_counter("server.connections").value()});
+    srv.set("read_timeouts", json_value{reg.get_counter("server.read_timeouts").value()});
+    srv.set("workers", json_value{static_cast<std::uint64_t>(workers.size())});
+    srv.set("cache_entries", json_value{static_cast<std::uint64_t>(cache.size())});
+    document.set("server", std::move(srv));
+
+    // per-route p50/p95/p99 estimated from the log-bucket latency histograms
+    auto latency = json_value::make_object();
+    for (const auto& h : reg.histograms())
+    {
+        const auto identity = tel::parse_instrument_name(h.name);
+        if (identity.base != "server.request_s" || identity.labels.empty())
+        {
+            continue;
+        }
+        auto entry = json_value::make_object();
+        entry.set("count", json_value{h.count});
+        entry.set("p50_s", json_value{tel::histogram_quantile(h, 0.50)});
+        entry.set("p95_s", json_value{tel::histogram_quantile(h, 0.95)});
+        entry.set("p99_s", json_value{tel::histogram_quantile(h, 0.99)});
+        latency.set(identity.labels.front().second, std::move(entry));
+    }
+    document.set("request_latency_s", std::move(latency));
+
+    if (store != nullptr)
+    {
+        auto st = json_value::make_object();
+        st.set("networks", json_value{static_cast<std::uint64_t>(store->num_networks())});
+        st.set("layouts", json_value{static_cast<std::uint64_t>(store->num_layouts())});
+        st.set("failures", json_value{static_cast<std::uint64_t>(store->num_failures())});
+        st.set("open_issues", json_value{static_cast<std::uint64_t>(store->open_issues().size())});
+        document.set("store", std::move(st));
+    }
+
+    auto& log = tel::event_log::instance();
+    auto events = json_value::make_object();
+    events.set("total", json_value{log.total_logged()});
+    events.set("overwritten", json_value{log.overwritten()});
+    document.set("eventlog", std::move(events));
+
+    auto trace = json_value::make_object();
+    trace.set("recording", json_value{tel::trace_recording()});
+    trace.set("events", json_value{static_cast<std::uint64_t>(reg.trace_events().size())});
+    trace.set("dropped", json_value{reg.dropped_trace_events()});
+    document.set("trace", std::move(trace));
+
+    return http_response{200, "application/json", document.dump()};
+}
+
+double catalog_server::uptime_s() const noexcept
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at).count();
+}
+
+std::string catalog_server::route_key(const std::string& path)
+{
+    static constexpr const char* known[] = {"/healthz", "/metrics", "/statz",  "/benchmarks",
+                                            "/layouts", "/facets",  "/best"};
+    for (const char* route : known)
+    {
+        if (path == route)
+        {
+            return route;
+        }
+    }
+    if (path.rfind("/download/", 0) == 0)
+    {
+        return "/download";
+    }
+    return "other";
+}
+
 bool catalog_server::is_valid_blob_id(const std::string& id) noexcept
 {
     if (id.size() != 32)
@@ -627,7 +759,7 @@ http_response catalog_server::download_response(const std::string& id)
     {
         if (const auto path = store->blob_path(id); path.has_value())
         {
-            tel::count("server.downloads");
+            count_always("server.downloads");
             return http_response{200, "application/xml", read_file(*path)};
         }
     }

@@ -9,7 +9,13 @@
 ///
 /// Endpoints (all responses are JSON unless noted):
 ///
-///     GET  /healthz           liveness probe
+///     GET  /healthz           liveness probe (status, layouts, uptime, version)
+///     GET  /metrics           Prometheus text exposition of the telemetry
+///                             registry (text/plain), incl. per-route request
+///                             latency histograms
+///     GET  /statz             operational snapshot: uptime, build provenance,
+///                             request counts, per-route latency quantiles,
+///                             store stats, event-log counters
 ///     GET  /benchmarks        benchmark sets and functions with layout counts
 ///     GET  /layouts?...       facet query → result page (see query.hpp for
 ///                             the query-string keys and the page format)
@@ -41,6 +47,7 @@
 #include "service/store.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -197,6 +204,17 @@ private:
     [[nodiscard]] http_response page_response(const page_query& query);
     [[nodiscard]] http_response benchmarks_response();
     [[nodiscard]] http_response download_response(const std::string& id);
+    [[nodiscard]] http_response healthz_response();
+    [[nodiscard]] http_response statz_response();
+
+    /// Seconds since this server object was constructed.
+    [[nodiscard]] double uptime_s() const noexcept;
+
+    /// Bounded-cardinality route label for the per-route latency histograms:
+    /// known routes verbatim, every /download/<id> collapsed to "/download",
+    /// anything else to "other" — a hostile client scanning random paths
+    /// must not mint unbounded metric series.
+    [[nodiscard]] static std::string route_key(const std::string& path);
 
     /// True iff \p id is exactly 32 lowercase hex digits — the only id shape
     /// \ref layout_store and \ref query_engine ever mint.
@@ -206,6 +224,7 @@ private:
     server_options options;
     const layout_store* store{nullptr};
     response_cache cache;
+    const std::chrono::steady_clock::time_point started_at{std::chrono::steady_clock::now()};
 
     int listen_fd{-1};
     std::uint16_t bound_port{0};

@@ -8,6 +8,7 @@
 #include "io/verilog_writer.hpp"
 #include "service/hash.hpp"
 #include "service/json.hpp"
+#include "telemetry/eventlog.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <fstream>
@@ -24,9 +25,13 @@ constexpr const char* fgl_extension = ".fgl";
 constexpr const char* verilog_extension = ".v";
 
 /// An entry-level problem found while opening or loading the store, using
-/// the outcome taxonomy: corruption maps to internal_error.
+/// the outcome taxonomy: corruption maps to internal_error. Every issue is
+/// also reported to the structured event log — store repair used to be the
+/// silent path of the pipeline.
 res::combo_outcome corruption(std::string label, std::string message)
 {
+    tel::log_event(tel::log_severity::warn, "store", "corrupt entry quarantined",
+                   {{"entry", label}, {"detail", message}});
     res::combo_outcome issue{};
     issue.label = std::move(label);
     issue.kind = res::outcome_kind::internal_error;

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file eventlog.hpp
+/// \brief Structured, process-wide event log: severity-leveled records with
+///        key/value fields, kept in a bounded ring buffer and optionally
+///        streamed to a JSONL sink — the one place the server, the
+///        portfolio, store repair and resilience retries report discrete
+///        occurrences, replacing ad-hoc stderr prints.
+///
+/// Design constraints:
+///
+/// - **Always on, bounded.** Unlike the aggregated telemetry registry
+///   (gated by MNT_TELEMETRY), the event log records unconditionally: a
+///   ring buffer of the most recent \ref event_log::default_capacity
+///   records costs a few hundred kilobytes at worst and makes the server's
+///   /statz endpoint informative without any flag. Overwritten records are
+///   counted, never silently lost.
+/// - **One line per record.** The JSONL sink writes each record as one
+///   self-contained JSON object per line (schema below), so logs are
+///   greppable, `jq`-able and append-safe across process restarts.
+/// - **Thread safety.** All entry points are mutex-protected; the record
+///   path is one lock, one ring slot write and (with a sink) one buffered
+///   line write — cheap enough for warn/error paths, and hot loops should
+///   not log per-iteration anyway.
+///
+/// JSONL schema (one object per line):
+///
+/// \code{.json}
+/// {"ts": 1754650000.123, "severity": "warn", "component": "store",
+///  "message": "pruned corrupt blob", "fields": {"id": "3f2a...", "n": "1"}}
+/// \endcode
+///
+/// Environment:
+///
+/// - `MNT_EVENT_LOG=<path>`  open a JSONL sink at startup (append mode)
+/// - `MNT_LOG_LEVEL=<debug|info|warn|error>`  minimum recorded severity
+///   (default info)
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mnt::tel
+{
+
+/// Record severity, ordered: debug < info < warn < error.
+enum class log_severity : std::uint8_t
+{
+    debug = 0,
+    info = 1,
+    warn = 2,
+    error = 3
+};
+
+/// Lowercase severity name ("debug", "info", "warn", "error").
+[[nodiscard]] const char* severity_name(log_severity severity) noexcept;
+
+/// Parses a severity name (case-sensitive, as listed above); anything
+/// unrecognized yields info.
+[[nodiscard]] log_severity parse_severity(std::string_view name) noexcept;
+
+/// One structured log record.
+struct log_record
+{
+    /// Wall-clock seconds since the Unix epoch at record time.
+    double ts{0.0};
+    log_severity severity{log_severity::info};
+    /// Emitting subsystem, e.g. "server", "portfolio", "store", "resilience".
+    std::string component;
+    std::string message;
+    /// Ordered key/value detail pairs.
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Serializes \p record as one JSONL line (no trailing newline). All strings
+/// are JSON-escaped; invalid UTF-8 bytes are replaced, never emitted raw.
+[[nodiscard]] std::string log_record_json(const log_record& record);
+
+/// The process-wide event log.
+class event_log
+{
+public:
+    static constexpr std::size_t default_capacity = 1024;
+
+    [[nodiscard]] static event_log& instance();
+
+    /// Appends a record (timestamped now) when \p severity clears the
+    /// minimum. With a sink attached the record is also written as one JSONL
+    /// line and flushed on warn/error.
+    void log(log_severity severity, std::string_view component, std::string_view message,
+             std::vector<std::pair<std::string, std::string>> fields = {});
+
+    /// Minimum severity recorded (default info, or MNT_LOG_LEVEL).
+    void set_min_severity(log_severity severity);
+    [[nodiscard]] log_severity min_severity() const;
+
+    /// Resizes the ring buffer (drops the oldest records when shrinking).
+    void set_capacity(std::size_t capacity);
+
+    /// Opens (append) a JSONL sink at \p path, replacing any previous sink.
+    ///
+    /// \throws mnt::mnt_error when the file cannot be opened
+    void open_sink(const std::filesystem::path& path);
+
+    /// Flushes and detaches the sink (records keep going to the ring).
+    void close_sink();
+
+    /// Mirror warn/error records to stderr as human-readable lines (what the
+    /// CLIs enable so operators still see problems without tailing a file).
+    void set_stderr_echo(bool on);
+
+    /// The retained records, oldest first.
+    [[nodiscard]] std::vector<log_record> snapshot() const;
+
+    /// Total records accepted (including ones the ring has since dropped).
+    [[nodiscard]] std::uint64_t total_logged() const;
+
+    /// Records overwritten by ring wrap-around.
+    [[nodiscard]] std::uint64_t overwritten() const;
+
+    /// Empties the ring and zeroes the counters (tests); the sink, echo flag
+    /// and severity threshold are kept.
+    void clear();
+
+    event_log(const event_log&) = delete;
+    event_log& operator=(const event_log&) = delete;
+
+private:
+    event_log();
+    ~event_log();
+
+    struct impl;
+    impl* state;
+};
+
+/// Convenience: event_log::instance().log(...).
+void log_event(log_severity severity, std::string_view component, std::string_view message,
+               std::vector<std::pair<std::string, std::string>> fields = {});
+
+}  // namespace mnt::tel

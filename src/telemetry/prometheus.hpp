@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file prometheus.hpp
+/// \brief Prometheus text exposition (format 0.0.4) over the telemetry
+///        registry: counters, gauges and log-scale histograms rendered as
+///        scrapeable metric families, plus log-bucket quantile estimation
+///        for the p50/p95/p99 summaries shown on /statz.
+///
+/// Naming convention. Registry instruments are flat dotted names
+/// ("server.request_s"); an optional bracketed label suffix turns one
+/// logical instrument into a labeled family member:
+///
+///     server.request_s[route=/layouts]
+///
+/// becomes the Prometheus series
+///
+///     mnt_server_request_s_bucket{route="/layouts",le="..."} ...
+///
+/// All emitted metric names are sanitized to `mnt_` + [a-zA-Z0-9_:]*; label
+/// values keep their raw bytes modulo UTF-8 scrubbing and the exposition
+/// escapes (backslash, double quote, newline). Series sharing a base name
+/// are grouped under a single # TYPE line, as the format requires.
+
+#include "telemetry/telemetry.hpp"
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mnt::tel
+{
+
+/// An instrument name split into its metric base and label set.
+struct metric_identity
+{
+    std::string base;
+    std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Splits `base[key=value,key2=value2]` into base + labels. Names without a
+/// well-formed bracket suffix (no `[`, unterminated, or a pair missing `=`)
+/// are returned whole as the base with no labels — a malformed name must
+/// still be scrapeable, just unlabeled.
+[[nodiscard]] metric_identity parse_instrument_name(std::string_view raw);
+
+/// Sanitized Prometheus metric name: "mnt_" + \p base with every byte
+/// outside [a-zA-Z0-9_:] replaced by '_'.
+[[nodiscard]] std::string prometheus_metric_name(std::string_view base);
+
+/// Label-value escaping per the exposition format: `\` -> `\\`, `"` -> `\"`,
+/// newline -> `\n`; invalid UTF-8 bytes are replaced with U+FFFD first.
+[[nodiscard]] std::string prometheus_escape_label(std::string_view value);
+
+/// Estimated \p quantile (in [0, 1]) of a log-bucket histogram snapshot:
+/// linear interpolation inside the owning bucket, clamped to the recorded
+/// [min, max] so the estimate never leaves the observed range. Returns 0
+/// when the histogram is empty.
+[[nodiscard]] double histogram_quantile(const histogram_value& h, double quantile);
+
+/// Renders the full registry (counters, gauges, histograms) as Prometheus
+/// text exposition into \p out. Histograms emit cumulative `_bucket` series
+/// with `le` upper bounds, `_sum` and `_count`; only buckets that hold
+/// observations appear (plus the mandatory `+Inf`), keeping the 64-bucket
+/// grid from bloating every scrape.
+void write_prometheus_text(std::ostream& out);
+
+/// \ref write_prometheus_text into a string (what the /metrics handler
+/// serves).
+[[nodiscard]] std::string prometheus_text();
+
+}  // namespace mnt::tel

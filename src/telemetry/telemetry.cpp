@@ -32,6 +32,36 @@ std::atomic<bool>& enabled_flag() noexcept
     return flag;
 }
 
+std::atomic<bool>& trace_flag() noexcept
+{
+    // recording is implied by MNT_TRACE_OUT: the CLIs export to that path on
+    // exit, and tests/tools may also toggle it programmatically
+    static std::atomic<bool> flag{std::getenv("MNT_TRACE_OUT") != nullptr};
+    return flag;
+}
+
+/// Process-wide timeline origin; every trace_event timestamp is relative to
+/// this instant. Anchored on first use (first span or first query).
+std::chrono::steady_clock::time_point trace_epoch() noexcept
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/// Microseconds since the trace epoch.
+double since_epoch_us(const std::chrono::steady_clock::time_point t) noexcept
+{
+    return std::chrono::duration<double, std::micro>(t - trace_epoch()).count();
+}
+
+/// Small dense thread id for trace events: 1, 2, 3, ... in first-span order.
+std::uint32_t trace_thread_id() noexcept
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
 /// Lock-free atomic min/max via CAS (atomic<double> has no fetch_min).
 void atomic_min(std::atomic<double>& slot, const double value) noexcept
 {
@@ -67,6 +97,20 @@ bool enabled() noexcept
 void set_enabled(const bool on) noexcept
 {
     enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+bool trace_recording() noexcept
+{
+    return trace_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_recording(const bool on) noexcept
+{
+    if (on)
+    {
+        trace_epoch();  // anchor the timeline before the first event
+    }
+    trace_flag().store(on, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------- histogram
@@ -176,6 +220,8 @@ struct registry::impl
     span_node trace_root{};
     std::vector<event_record> events;
     std::uint64_t events_dropped{0};
+    std::vector<trace_event> timeline;
+    std::uint64_t timeline_dropped{0};
     /// Bumped on reset; spans opened under an older generation retire
     /// without touching the (rebuilt) trace tree.
     std::uint64_t generation{0};
@@ -343,6 +389,20 @@ std::unique_ptr<span_node> registry::trace()
     return clone_node(s.trace_root);
 }
 
+std::vector<trace_event> registry::trace_events()
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return s.timeline;
+}
+
+std::uint64_t registry::dropped_trace_events()
+{
+    auto& s = state();
+    const std::lock_guard lock{s.mutex};
+    return s.timeline_dropped;
+}
+
 void registry::reset()
 {
     auto& s = state();
@@ -364,6 +424,9 @@ void registry::reset()
     s.trace_root.children.clear();
     s.events.clear();
     s.events_dropped = 0;
+    s.timeline.clear();
+    s.timeline.shrink_to_fit();
+    s.timeline_dropped = 0;
     ++s.generation;
 }
 
@@ -422,11 +485,18 @@ thread_local trace_cursor cursor;
 
 }  // namespace
 
-span::span(const std::string_view name)
+span::span(const std::string_view name, std::string args)
 {
-    if (!enabled())
+    const auto tracing = trace_recording();
+    if (!enabled() && !tracing)
     {
         return;
+    }
+    if (tracing)
+    {
+        event_name = std::string{name};
+        event_args = std::move(args);
+        event_start_us = since_epoch_us(std::chrono::steady_clock::now());
     }
     auto& s = registry::instance().state();
     const std::lock_guard lock{s.mutex};
@@ -476,6 +546,65 @@ span::~span()
     {
         cursor.node = parent;
     }
+    if (event_start_us >= 0.0 && trace_recording())
+    {
+        if (s.timeline.size() >= registry::max_trace_events)
+        {
+            ++s.timeline_dropped;
+        }
+        else
+        {
+            s.timeline.push_back(trace_event{std::move(event_name), std::move(event_args), event_start_us,
+                                             elapsed * 1e6, trace_thread_id()});
+        }
+    }
+}
+
+// ------------------------------------------------------ span-context handoff
+
+span_context current_span_context()
+{
+    span_context context{};
+    if (!enabled() && !trace_recording())
+    {
+        return context;
+    }
+    auto& s = registry::instance().state();
+    const std::lock_guard lock{s.mutex};
+    if (cursor.generation != s.generation)
+    {
+        cursor.node = &s.trace_root;
+        cursor.generation = s.generation;
+    }
+    context.node = cursor.node;
+    context.generation = cursor.generation;
+    return context;
+}
+
+context_guard::context_guard(const span_context& context)
+{
+    if (context.node == nullptr)
+    {
+        return;
+    }
+    adopted = true;
+    saved_node = cursor.node;
+    saved_generation = cursor.generation;
+    // the adopted position is validated against the current generation at
+    // every span open, so a reset between capture and adoption degrades to
+    // the root instead of a dangling node
+    cursor.node = context.node;
+    cursor.generation = context.generation;
+}
+
+context_guard::~context_guard()
+{
+    if (!adopted)
+    {
+        return;
+    }
+    cursor.node = saved_node;
+    cursor.generation = saved_generation;
 }
 
 }  // namespace mnt::tel

@@ -46,6 +46,18 @@ namespace mnt::tel
 /// Turns recording on or off process-wide (e.g. from the CLI --report flag).
 void set_enabled(bool on) noexcept;
 
+/// True when timeline trace-event recording is on: every span additionally
+/// appends one timestamped complete event (begin + duration + thread id) to
+/// a bounded process-wide buffer, exportable as Chrome/Perfetto trace JSON
+/// (see trace_export.hpp). Initialized once from the presence of the
+/// MNT_TRACE_OUT environment variable; overridable via
+/// \ref set_trace_recording. Independent of \ref enabled — a trace can be
+/// recorded without the aggregated report and vice versa.
+[[nodiscard]] bool trace_recording() noexcept;
+
+/// Turns timeline recording on or off process-wide (e.g. from --trace-out).
+void set_trace_recording(bool on) noexcept;
+
 // --------------------------------------------------------------- stopwatch
 
 /// Minimal steady-clock stopwatch: the one way every algorithm computes its
@@ -219,7 +231,29 @@ struct span_node
     std::vector<std::unique_ptr<span_node>> children;
 };
 
+/// One timestamped timeline event — an individual span occurrence, recorded
+/// only while \ref trace_recording is on. Unlike the aggregated \ref
+/// span_node tree, timeline events keep every occurrence with its wall
+/// position, so a Perfetto/Chrome trace viewer can show portfolio combos,
+/// algorithm phases and HTTP requests on a per-thread timeline.
+struct trace_event
+{
+    std::string name;
+    /// Free-form detail shown as the event's "detail" arg in the viewer
+    /// (e.g. "GET /layouts"); empty = no args.
+    std::string args;
+    /// Microseconds since the process-wide trace epoch (steady clock).
+    double start_us{0.0};
+    /// Event duration in microseconds.
+    double dur_us{0.0};
+    /// Small dense thread id (assigned per thread on first span).
+    std::uint32_t tid{0};
+};
+
 // ----------------------------------------------------------------- registry
+
+class span_context;
+[[nodiscard]] span_context current_span_context();
 
 /// Process-wide instrument registry. Instruments are created on first use
 /// and live until process exit; returned references are stable (also across
@@ -253,6 +287,17 @@ public:
     /// Deep copy of the aggregated trace tree (root has an empty name).
     [[nodiscard]] std::unique_ptr<span_node> trace();
 
+    /// Hard cap of the timeline buffer; spans closed past it bump
+    /// \ref dropped_trace_events instead of growing without bound.
+    static constexpr std::size_t max_trace_events = 1U << 20U;
+
+    /// Snapshot of the timeline buffer (recorded while \ref trace_recording
+    /// was on), in completion order.
+    [[nodiscard]] std::vector<trace_event> trace_events();
+
+    /// Timeline events discarded because the buffer was full.
+    [[nodiscard]] std::uint64_t dropped_trace_events();
+
     /// Zeroes every instrument in place and discards the whole trace tree
     /// (used between runs and by tests). Spans still open at reset time are
     /// retired silently: their close does not touch the new tree.
@@ -270,6 +315,7 @@ private:
     [[nodiscard]] impl& state();
 
     friend class span;
+    friend span_context current_span_context();
 };
 
 // ------------------------------------------------- convenience entry points
@@ -291,11 +337,14 @@ void add_event(event_record ev);
 /// RAII scoped span. When telemetry is enabled, opening a span descends into
 /// the (thread-local) current position of the shared trace tree; closing it
 /// adds the elapsed time and the call count. Spans nest lexically per
-/// thread; spans opened on other threads attach to the trace root.
+/// thread; spans opened on other threads attach to the trace root unless the
+/// thread adopted a parent via \ref context_guard. While \ref
+/// trace_recording is on, closing a span additionally appends one
+/// timestamped \ref trace_event (with the optional \p args detail string).
 class span
 {
 public:
-    explicit span(std::string_view name);
+    explicit span(std::string_view name, std::string args = {});
     ~span();
 
     span(const span&) = delete;
@@ -308,6 +357,56 @@ private:
     span_node* parent{nullptr};
     std::uint64_t generation{0};
     stopwatch watch;
+    std::string event_name;  ///< only kept while the timeline records
+    std::string event_args;
+    double event_start_us{-1.0};  ///< < 0 <=> no timeline event on close
+};
+
+// ------------------------------------------------------ span-context handoff
+
+/// An opaque position in the shared trace tree, capturable on one thread and
+/// adoptable on another so worker-pool spans nest under the span that
+/// launched the pool instead of appearing as orphan per-thread roots.
+/// Invalidated by registry::reset (adoption then degrades to the root, never
+/// to a dangling node).
+class span_context
+{
+public:
+    /// Context naming the trace root (the default for unadopted threads).
+    span_context() = default;
+
+private:
+    span_node* node{nullptr};
+    std::uint64_t generation{~std::uint64_t{0}};
+
+    friend class context_guard;
+    friend span_context current_span_context();
+};
+
+/// The calling thread's current position in the trace tree (the innermost
+/// open span). Capture this *before* spawning workers and hand it to each
+/// worker's \ref context_guard.
+[[nodiscard]] span_context current_span_context();
+
+/// RAII adoption of a \ref span_context: for its lifetime, spans opened on
+/// this thread nest under the adopted position. Restores the thread's
+/// previous position on destruction. A default-constructed context is a
+/// no-op (spans attach to the root as before).
+class context_guard
+{
+public:
+    explicit context_guard(const span_context& context);
+    ~context_guard();
+
+    context_guard(const context_guard&) = delete;
+    context_guard& operator=(const context_guard&) = delete;
+    context_guard(context_guard&&) = delete;
+    context_guard& operator=(context_guard&&) = delete;
+
+private:
+    span_node* saved_node{nullptr};
+    std::uint64_t saved_generation{0};
+    bool adopted{false};
 };
 
 #define MNT_TEL_CONCAT_INNER(a, b) a##b

@@ -1,0 +1,235 @@
+#include "telemetry/eventlog.hpp"
+
+#include "common/types.hpp"
+#include "service/json.hpp"
+#include "testing/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::tel;
+using mnt::svc::json_value;
+
+namespace
+{
+
+/// The event log is process-wide; every test starts from an empty ring with
+/// default threshold and no sink.
+class eventlog_fixture : public ::testing::Test
+{
+protected:
+    void SetUp() override
+    {
+        auto& log = event_log::instance();
+        log.close_sink();
+        log.set_min_severity(log_severity::info);
+        log.set_capacity(event_log::default_capacity);
+        log.set_stderr_echo(false);
+        log.clear();
+    }
+
+    void TearDown() override
+    {
+        SetUp();  // same reset, leave the singleton clean for other tests
+    }
+};
+
+std::string hostile_string(pbt::rng& random, const std::size_t length)
+{
+    static constexpr unsigned char nasty[] = {'"', '\\', '\n', '\r', '\t', 0x00, 0x01, 0x1F,
+                                              0x7F, 0xC0, 0xE0, 0xED, 0xF5, 0xFF, 0x80};
+    std::string out;
+    for (std::size_t i = 0; i < length; ++i)
+    {
+        if (random.chance(1, 2))
+        {
+            out += static_cast<char>(nasty[random.below(sizeof(nasty))]);
+        }
+        else
+        {
+            out += static_cast<char>('a' + random.below(26));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- severity
+
+TEST(EventLogSeverity, NamesRoundTrip)
+{
+    for (const auto severity :
+         {log_severity::debug, log_severity::info, log_severity::warn, log_severity::error})
+    {
+        EXPECT_EQ(parse_severity(severity_name(severity)), severity);
+    }
+    EXPECT_EQ(parse_severity("bogus"), log_severity::info);
+    EXPECT_EQ(parse_severity(""), log_severity::info);
+}
+
+TEST_F(eventlog_fixture, MinimumSeverityFiltersRecords)
+{
+    auto& log = event_log::instance();
+    log.set_min_severity(log_severity::warn);
+    log.log(log_severity::debug, "test", "dropped");
+    log.log(log_severity::info, "test", "dropped too");
+    log.log(log_severity::warn, "test", "kept");
+    log.log(log_severity::error, "test", "kept too");
+
+    const auto records = log.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].message, "kept");
+    EXPECT_EQ(records[1].message, "kept too");
+    EXPECT_EQ(log.total_logged(), 2u);
+}
+
+// --------------------------------------------------------------- ring buffer
+
+TEST_F(eventlog_fixture, RingWrapsAndCountsOverwrites)
+{
+    auto& log = event_log::instance();
+    log.set_capacity(4);
+    for (int i = 0; i < 10; ++i)
+    {
+        log.log(log_severity::info, "test", "message " + std::to_string(i));
+    }
+    const auto records = log.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records.front().message, "message 6");  // oldest retained
+    EXPECT_EQ(records.back().message, "message 9");
+    EXPECT_EQ(log.total_logged(), 10u);
+    EXPECT_EQ(log.overwritten(), 6u);
+}
+
+TEST_F(eventlog_fixture, ShrinkingCapacityDropsTheOldest)
+{
+    auto& log = event_log::instance();
+    for (int i = 0; i < 8; ++i)
+    {
+        log.log(log_severity::info, "test", std::to_string(i));
+    }
+    log.set_capacity(2);
+    const auto records = log.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].message, "6");
+    EXPECT_EQ(records[1].message, "7");
+}
+
+// ------------------------------------------------------------ JSONL encoding
+
+TEST_F(eventlog_fixture, RecordsSerializeAsStrictJson)
+{
+    log_record record{};
+    record.ts = 1754650000.123;
+    record.severity = log_severity::warn;
+    record.component = "store";
+    record.message = "pruned corrupt blob";
+    record.fields = {{"id", "3f2a"}, {"n", "1"}};
+
+    const auto line = log_record_json(record);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    const auto parsed = json_value::parse(line);
+    EXPECT_DOUBLE_EQ(parsed.at("ts").as_number(), 1754650000.123);
+    EXPECT_EQ(parsed.at("severity").as_string(), "warn");
+    EXPECT_EQ(parsed.at("component").as_string(), "store");
+    EXPECT_EQ(parsed.at("message").as_string(), "pruned corrupt blob");
+    EXPECT_EQ(parsed.at("fields").at("id").as_string(), "3f2a");
+    EXPECT_EQ(parsed.at("fields").at("n").as_string(), "1");
+}
+
+TEST_F(eventlog_fixture, HostileStringsAlwaysYieldOneParsableLine)
+{
+    pbt::rng random{0xC0FFEEULL};
+    for (int round = 0; round < 200; ++round)
+    {
+        log_record record{};
+        record.severity = log_severity::error;
+        record.component = hostile_string(random, 1 + random.below(12));
+        record.message = hostile_string(random, 1 + random.below(32));
+        record.fields = {{hostile_string(random, 4), hostile_string(random, 16)}};
+
+        const auto line = log_record_json(record);
+        ASSERT_EQ(line.find('\n'), std::string::npos) << "round " << round;
+        // strict parse: raw control bytes or broken escapes would throw
+        ASSERT_NO_THROW(json_value::parse(line)) << "round " << round << ": " << line;
+    }
+}
+
+// ------------------------------------------------------------------- sink
+
+TEST_F(eventlog_fixture, SinkReceivesOneLinePerRecord)
+{
+    const auto path = std::filesystem::temp_directory_path() / "mnt_eventlog_test.jsonl";
+    std::filesystem::remove(path);
+
+    auto& log = event_log::instance();
+    log.open_sink(path);
+    log.log(log_severity::info, "test", "first", {{"k", "v"}});
+    log.log(log_severity::warn, "test", "second");
+    log.close_sink();
+
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+    {
+        lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(json_value::parse(lines[0]).at("message").as_string(), "first");
+    EXPECT_EQ(json_value::parse(lines[0]).at("fields").at("k").as_string(), "v");
+    EXPECT_EQ(json_value::parse(lines[1]).at("severity").as_string(), "warn");
+    std::filesystem::remove(path);
+}
+
+TEST_F(eventlog_fixture, SinkAppendsAcrossReopens)
+{
+    const auto path = std::filesystem::temp_directory_path() / "mnt_eventlog_append.jsonl";
+    std::filesystem::remove(path);
+
+    auto& log = event_log::instance();
+    log.open_sink(path);
+    log.log(log_severity::info, "test", "run 1");
+    log.close_sink();
+    log.open_sink(path);
+    log.log(log_severity::info, "test", "run 2");
+    log.close_sink();
+
+    std::ifstream in{path};
+    std::size_t count = 0;
+    std::string line;
+    while (std::getline(in, line))
+    {
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+    std::filesystem::remove(path);
+}
+
+TEST_F(eventlog_fixture, UnopenableSinkThrows)
+{
+    EXPECT_THROW(event_log::instance().open_sink("/nonexistent-dir/events.jsonl"), mnt::mnt_error);
+}
+
+// ------------------------------------------------------------- convenience
+
+TEST_F(eventlog_fixture, LogEventForwardsToTheSingleton)
+{
+    log_event(log_severity::warn, "portfolio", "combination failed",
+              {{"combo", "ortho|USE"}, {"kind", "timeout"}});
+    const auto records = event_log::instance().snapshot();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].component, "portfolio");
+    ASSERT_EQ(records[0].fields.size(), 2u);
+    EXPECT_EQ(records[0].fields[0].first, "combo");
+    EXPECT_GT(records[0].ts, 0.0);
+}

@@ -1,0 +1,329 @@
+#include "telemetry/prometheus.hpp"
+
+#include "telemetry/telemetry.hpp"
+#include "testing/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::tel;
+
+namespace
+{
+
+/// A fresh registry state per test: instruments are zeroed in place (their
+/// names survive — the registry never erases entries), so assertions below
+/// filter by the names they create.
+class prometheus_fixture : public ::testing::Test
+{
+protected:
+    void SetUp() override
+    {
+        registry::instance().reset();
+    }
+
+    void TearDown() override
+    {
+        registry::instance().reset();
+    }
+};
+
+/// A byte string sprinkled with exposition-hostile content: quotes,
+/// backslashes, newlines, and invalid UTF-8 lead/continuation bytes.
+std::string hostile_string(pbt::rng& random, const std::size_t length)
+{
+    static constexpr unsigned char nasty[] = {'"', '\\', '\n', '\r', '\t', 0x01, 0x7F,
+                                              0xC0, 0xE0, 0xED, 0xF5, 0xFF, 0x80};
+    std::string out;
+    for (std::size_t i = 0; i < length; ++i)
+    {
+        if (random.chance(1, 2))
+        {
+            out += static_cast<char>(nasty[random.below(sizeof(nasty))]);
+        }
+        else
+        {
+            out += static_cast<char>('a' + random.below(26));
+        }
+    }
+    return out;
+}
+
+/// All `metric{...} value` sample lines of \p text for \p metric.
+std::vector<std::string> sample_lines(const std::string& text, const std::string& metric)
+{
+    std::vector<std::string> lines;
+    std::istringstream in{text};
+    std::string line;
+    while (std::getline(in, line))
+    {
+        if (line.rfind(metric, 0) == 0)
+        {
+            lines.push_back(line);
+        }
+    }
+    return lines;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- name parsing
+
+TEST(PrometheusNames, ParsesLabeledInstrumentNames)
+{
+    const auto plain = parse_instrument_name("server.request_s");
+    EXPECT_EQ(plain.base, "server.request_s");
+    EXPECT_TRUE(plain.labels.empty());
+
+    const auto labeled = parse_instrument_name("server.request_s[route=/layouts]");
+    EXPECT_EQ(labeled.base, "server.request_s");
+    ASSERT_EQ(labeled.labels.size(), 1u);
+    EXPECT_EQ(labeled.labels[0].first, "route");
+    EXPECT_EQ(labeled.labels[0].second, "/layouts");
+
+    const auto multi = parse_instrument_name("x[a=1,b=two]");
+    ASSERT_EQ(multi.labels.size(), 2u);
+    EXPECT_EQ(multi.labels[1].first, "b");
+    EXPECT_EQ(multi.labels[1].second, "two");
+}
+
+TEST(PrometheusNames, MalformedBracketSuffixFallsBackToWholeName)
+{
+    // unterminated, missing '=', empty key: all must stay scrapeable
+    for (const char* raw : {"x[route=/layouts", "x[route]", "x[=v]", "x[]"})
+    {
+        const auto identity = parse_instrument_name(raw);
+        EXPECT_EQ(identity.base, raw);
+        EXPECT_TRUE(identity.labels.empty());
+    }
+}
+
+TEST(PrometheusNames, SanitizesMetricNames)
+{
+    EXPECT_EQ(prometheus_metric_name("server.request_s"), "mnt_server_request_s");
+    EXPECT_EQ(prometheus_metric_name("weird name#1"), "mnt_weird_name_1");
+    EXPECT_EQ(prometheus_metric_name("a:b"), "mnt_a:b");  // colons are legal in metric names
+}
+
+// ---------------------------------------------------------- label escaping
+
+TEST(PrometheusEscaping, EscapesQuotesBackslashesAndNewlines)
+{
+    EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+    EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+    EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+    EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusEscaping, HostileLabelValuesNeverBreakTheExposition)
+{
+    pbt::rng random{0xFEEDFACEULL};
+    for (int round = 0; round < 200; ++round)
+    {
+        const auto raw = hostile_string(random, 1 + random.below(24));
+        const auto escaped = prometheus_escape_label(raw);
+        // no literal newline may survive (it would terminate the sample line)
+        EXPECT_EQ(escaped.find('\n'), std::string::npos) << "round " << round;
+        // every '"' must be preceded by a backslash, else the label value
+        // terminates early
+        for (std::size_t i = 0; i < escaped.size(); ++i)
+        {
+            if (escaped[i] == '"')
+            {
+                ASSERT_GT(i, 0u);
+                EXPECT_EQ(escaped[i - 1], '\\') << "round " << round;
+            }
+        }
+    }
+}
+
+TEST_F(prometheus_fixture, HostileInstrumentNamesRenderOneSampleEach)
+{
+    pbt::rng random{0xABCDEF12ULL};
+    auto& reg = registry::instance();
+    for (int i = 0; i < 16; ++i)
+    {
+        reg.get_counter("hostile.ctr[key=" + hostile_string(random, 8) + "]").add(1);
+    }
+    const auto text = prometheus_text();
+    const auto lines = sample_lines(text, "mnt_hostile_ctr");
+    // hostile values may collide after escaping, but never vanish entirely
+    EXPECT_GE(lines.size(), 1u);
+    for (const auto& line : lines)
+    {
+        // a raw tab inside a quoted label value is legal; a newline is not,
+        // and sample_lines would have split such a line before the value
+        EXPECT_EQ(line.back() >= '0' && line.back() <= '9', true) << line;
+    }
+}
+
+// ------------------------------------------------------- histogram families
+
+TEST_F(prometheus_fixture, HistogramBucketsAreCumulativeAndMonotonic)
+{
+    pbt::rng random{42};
+    auto& h = registry::instance().get_histogram("mono.lat_s");
+    for (int i = 0; i < 500; ++i)
+    {
+        h.record(std::exp((static_cast<double>(random.below(2000)) - 1000.0) / 100.0));
+    }
+
+    const auto text = prometheus_text();
+    const auto buckets = sample_lines(text, "mnt_mono_lat_s_bucket");
+    ASSERT_GE(buckets.size(), 2u);
+
+    std::uint64_t previous = 0;
+    for (const auto& line : buckets)
+    {
+        const auto space = line.rfind(' ');
+        const auto value = std::stoull(line.substr(space + 1));
+        EXPECT_GE(value, previous) << line;
+        previous = value;
+    }
+    // the +Inf bucket must equal _count
+    const auto count_lines = sample_lines(text, "mnt_mono_lat_s_count");
+    ASSERT_EQ(count_lines.size(), 1u);
+    const auto total = std::stoull(count_lines[0].substr(count_lines[0].rfind(' ') + 1));
+    EXPECT_EQ(previous, total);
+    EXPECT_EQ(total, 500u);
+    EXPECT_NE(buckets.back().find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(prometheus_fixture, ExpositionHasOneTypeLinePerFamily)
+{
+    auto& reg = registry::instance();
+    reg.get_histogram("family.lat_s[route=/a]").record(0.5);
+    reg.get_histogram("family.lat_s[route=/b]").record(1.5);
+    reg.get_counter("family.total").add(3);
+
+    const auto text = prometheus_text();
+    std::size_t type_lines = 0;
+    std::istringstream in{text};
+    std::string line;
+    while (std::getline(in, line))
+    {
+        if (line.rfind("# TYPE mnt_family_lat_s ", 0) == 0)
+        {
+            ++type_lines;
+            EXPECT_EQ(line, "# TYPE mnt_family_lat_s histogram");
+        }
+    }
+    EXPECT_EQ(type_lines, 1u);
+    EXPECT_NE(text.find("mnt_family_lat_s_bucket{route=\"/a\",le=\""), std::string::npos);
+    EXPECT_NE(text.find("mnt_family_lat_s_bucket{route=\"/b\",le=\""), std::string::npos);
+    EXPECT_NE(text.find("# TYPE mnt_family_total counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- quantiles
+
+TEST_F(prometheus_fixture, QuantileIsWithinOneLogBucketOfExact)
+{
+    pbt::rng random{0xDEADBEEFULL};
+    auto& h = registry::instance().get_histogram("q.lat_s");
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i)
+    {
+        // spread across several orders of magnitude, as latencies are
+        const auto v = std::exp((static_cast<double>(random.below(1600)) - 800.0) / 120.0);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+
+    histogram_value snapshot{};
+    snapshot.count = h.count();
+    snapshot.sum = h.sum();
+    snapshot.min = h.min();
+    snapshot.max = h.max();
+    for (std::size_t i = 0; i < histogram::num_buckets; ++i)
+    {
+        snapshot.buckets[i] = h.bucket_count(i);
+    }
+
+    for (const double q : {0.5, 0.95, 0.99})
+    {
+        const auto exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+        const auto estimate = histogram_quantile(snapshot, q);
+        // the estimate must land in the exact value's log-bucket or one of
+        // its direct neighbors (the estimator cannot be finer than the grid)
+        const auto exact_bucket = histogram::bucket_index(exact);
+        const auto estimate_bucket = histogram::bucket_index(estimate);
+        const auto distance = exact_bucket > estimate_bucket ? exact_bucket - estimate_bucket :
+                                                               estimate_bucket - exact_bucket;
+        EXPECT_LE(distance, 1u) << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+        EXPECT_GE(estimate, snapshot.min);
+        EXPECT_LE(estimate, snapshot.max);
+    }
+}
+
+TEST(PrometheusQuantile, EmptyAndSingletonHistograms)
+{
+    histogram_value empty{};
+    EXPECT_EQ(histogram_quantile(empty, 0.5), 0.0);
+
+    histogram_value one{};
+    one.count = 1;
+    one.min = one.max = 3.0;
+    one.sum = 3.0;
+    one.buckets[histogram::bucket_index(3.0)] = 1;
+    EXPECT_DOUBLE_EQ(histogram_quantile(one, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(histogram_quantile(one, 0.99), 3.0);
+}
+
+// ------------------------------------------------------- concurrent scrape
+
+/// Scrapes must be race-free against concurrent writers: the nightly TSan
+/// build runs this test under -fsanitize=thread.
+TEST_F(prometheus_fixture, ScrapeIsRaceFreeAgainstConcurrentWriters)
+{
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    writers.reserve(4);
+    for (int t = 0; t < 4; ++t)
+    {
+        writers.emplace_back(
+            [&stop, t]
+            {
+                auto& reg = registry::instance();
+                auto& ctr = reg.get_counter("scrape.ops[writer=" + std::to_string(t) + "]");
+                auto& lat = reg.get_histogram("scrape.lat_s");
+                auto& g = reg.get_gauge("scrape.level");
+                for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i)
+                {
+                    ctr.add(1);
+                    lat.record(1e-6 * static_cast<double>(i % 1000 + 1));
+                    g.set(static_cast<double>(i));
+                }
+            });
+    }
+
+    for (int scrape = 0; scrape < 50; ++scrape)
+    {
+        const auto text = prometheus_text();
+        EXPECT_NE(text.find("# TYPE"), std::string::npos);
+    }
+    stop.store(true);
+    for (auto& w : writers)
+    {
+        w.join();
+    }
+
+    // cumulative bucket sums of a racing histogram may lag the _count read a
+    // moment later, but the final scrape (quiescent) must be consistent
+    const auto text = prometheus_text();
+    const auto buckets = sample_lines(text, "mnt_scrape_lat_s_bucket");
+    ASSERT_FALSE(buckets.empty());
+    const auto inf_line = buckets.back();
+    const auto count_line = sample_lines(text, "mnt_scrape_lat_s_count").at(0);
+    EXPECT_EQ(std::stoull(inf_line.substr(inf_line.rfind(' ') + 1)),
+              std::stoull(count_line.substr(count_line.rfind(' ') + 1)));
+}
