@@ -10,16 +10,22 @@
 ///                   [--deadline <s>] [--retries <n>] [--no-serve]
 ///                   [--report <file.json>] [--verbose-telemetry]
 ///                   [--trace-out <file.json>] [--event-log <file.jsonl>]
+///                   [--resume] [--supervise] [--shards <n>] [--deterministic]
 ///
 /// Typical session:
 ///   mnt_bench_serve --store bench_store --generate --set Trindade16   # populate
 ///   mnt_bench_serve --store bench_store --port 8080                   # serve
+///
+/// Crash-contained regeneration (PR 7): --supervise/--shards fork each
+/// benchmark × library job into a sandboxed worker process; a SIGKILLed or
+/// interrupted run resumes with --resume, replaying the store's journal.
 ///
 /// On startup the server prints one machine-readable line to stdout:
 ///   serving <N> layouts on http://127.0.0.1:<port>
 /// (used by the CI smoke job to discover the ephemeral port).
 
 #include "benchmarks/suites.hpp"
+#include "common/supervisor.hpp"
 #include "service/populate.hpp"
 #include "service/query.hpp"
 #include "service/server.hpp"
@@ -35,6 +41,7 @@
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -62,6 +69,21 @@ struct serve_options
     std::optional<std::string> event_log_path;
     bool verbose_telemetry{false};
     bool help{false};
+
+    /// Resume a killed/interrupted regeneration from the store's journal.
+    bool resume{false};
+    /// Run generation jobs in supervised worker processes.
+    bool supervise{false};
+    /// Number of concurrent supervised workers (implies --supervise).
+    std::size_t shards{1};
+    /// Deterministic output mode (zeroed wall-clock fields, no exact).
+    bool deterministic{false};
+    /// Worker rlimits (0 = off).
+    double worker_cpu_s{0.0};
+    std::uint64_t worker_mem_mb{0};
+    double worker_hang_s{0.0};
+    /// Hidden: run exactly one regeneration job and exit (worker mode).
+    std::optional<std::string> worker_job;
 };
 
 serve_options parse_args(const int argc, const char** argv)
@@ -128,6 +150,40 @@ serve_options parse_args(const int argc, const char** argv)
         {
             options.event_log_path = next();
         }
+        else if (arg == "--resume")
+        {
+            options.resume = true;
+            options.generate = true;
+        }
+        else if (arg == "--supervise")
+        {
+            options.supervise = true;
+        }
+        else if (arg == "--shards")
+        {
+            options.shards = std::max<std::size_t>(1, std::stoul(next()));
+            options.supervise = true;
+        }
+        else if (arg == "--deterministic")
+        {
+            options.deterministic = true;
+        }
+        else if (arg == "--worker-cpu")
+        {
+            options.worker_cpu_s = std::stod(next());
+        }
+        else if (arg == "--worker-mem")
+        {
+            options.worker_mem_mb = std::stoull(next());
+        }
+        else if (arg == "--worker-hang-timeout")
+        {
+            options.worker_hang_s = std::stod(next());
+        }
+        else if (arg == "--worker-job")
+        {
+            options.worker_job = next();
+        }
         else if (arg == "--help" || arg == "-h")
         {
             options.help = true;
@@ -165,10 +221,20 @@ std::vector<bm::benchmark_entry> selected_entries(const serve_options& options)
 }
 
 std::atomic<bool> interrupted{false};
+std::atomic<int> interrupt_signal{0};
 
-void on_signal(const int)
+void on_signal(const int sig)
 {
+    // async-signal-safe: only set flags; generation observes the flag via
+    // portfolio_params::stop and checkpoints the journal on the normal path
+    interrupt_signal.store(sig);
     interrupted.store(true);
+}
+
+/// Non-owning view of the global interrupt flag for populate/portfolio.
+std::shared_ptr<const std::atomic<bool>> interrupt_flag()
+{
+    return {&interrupted, [](const std::atomic<bool>*) {}};
 }
 
 void write_telemetry(const serve_options& options)
@@ -204,26 +270,106 @@ void write_trace(const serve_options& options)
     }
 }
 
+svc::populate_options build_populate_options(const serve_options& options)
+{
+    svc::populate_options populate{};
+    populate.params.deadline_s = options.deadline_s;
+    populate.params.jobs = options.jobs;
+    if (options.max_attempts.has_value())
+    {
+        populate.params.max_attempts = *options.max_attempts;
+    }
+    populate.resume = options.resume;
+    populate.deterministic = options.deterministic;
+    populate.cancel = interrupt_flag();
+    return populate;
+}
+
+/// argv prefix that re-invokes this very binary as a one-job worker; the
+/// populate layer appends `--worker-job <id>`.
+std::vector<std::string> worker_command(const serve_options& options)
+{
+    std::vector<std::string> argv{sup::self_executable(), "--store", options.store_dir, "--no-serve"};
+    if (options.set.has_value())
+    {
+        argv.insert(argv.end(), {"--set", *options.set});
+    }
+    if (options.name.has_value())
+    {
+        argv.insert(argv.end(), {"--name", *options.name});
+    }
+    if (options.deadline_s > 0.0)
+    {
+        argv.insert(argv.end(), {"--deadline", std::to_string(options.deadline_s)});
+    }
+    if (options.max_attempts.has_value())
+    {
+        argv.insert(argv.end(), {"--retries", std::to_string(*options.max_attempts - 1)});
+    }
+    if (options.jobs > 1)
+    {
+        argv.insert(argv.end(), {"--jobs", std::to_string(options.jobs)});
+    }
+    if (options.deterministic)
+    {
+        argv.push_back("--deterministic");
+    }
+    return argv;
+}
+
 int run(const serve_options& options)
 {
+    // regeneration must be interruptible from the very first job: the
+    // handlers set a flag that the portfolio observes cooperatively, the
+    // journal records a checkpoint, and the run exits resumable
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    if (options.worker_job.has_value())
+    {
+        // supervised worker mode: run exactly one job into a shard manifest
+        const auto report =
+            svc::run_regen_job(options.store_dir, selected_entries(options), *options.worker_job,
+                               build_populate_options(options));
+        return report.interrupted ? 1 : 0;
+    }
+
     // store corruption / repair reports flow through the structured event
     // log (echoed to stderr via the warn mirror) instead of ad-hoc prints
     svc::layout_store store{options.store_dir};
 
     if (options.generate)
     {
-        svc::populate_options populate{};
-        populate.params.deadline_s = options.deadline_s;
-        populate.params.jobs = options.jobs;
-        if (options.max_attempts.has_value())
+        auto populate = build_populate_options(options);
+        if (options.supervise)
         {
-            populate.params.max_attempts = *options.max_attempts;
+            populate.workers = options.shards;
+            populate.worker_command = worker_command(options);
+            populate.worker_cpu_limit_s = options.worker_cpu_s;
+            populate.worker_address_space_bytes = options.worker_mem_mb * 1024 * 1024;
+            populate.worker_hang_timeout_s = options.worker_hang_s;
         }
         const auto report = svc::populate_store(store, selected_entries(options), populate);
         std::printf("generated: %zu layouts added, %zu failures, %zu combos run, %zu cached combos skipped\n",
                     report.layouts_added, report.failures_recorded, report.combos_run,
                     report.cached_combos_skipped);
+        if (report.jobs_total > 0)
+        {
+            std::printf("jobs: %zu total, %zu run, %zu resumed-skip, %zu crashed%s\n", report.jobs_total,
+                        report.jobs_run, report.jobs_skipped_resume, report.jobs_crashed,
+                        report.interrupted ? ", interrupted (resume with --resume)" : "");
+        }
         std::fflush(stdout);
+        if (report.interrupted)
+        {
+            // journal is checkpointed; flush observability sinks and exit
+            // with the conventional 128+signal status
+            write_telemetry(options);
+            write_trace(options);
+            tel::event_log::instance().flush();
+            return 128 + interrupt_signal.load();
+        }
     }
 
     const auto snapshot = store.load();
@@ -290,6 +436,13 @@ int main(const int argc, const char** argv)
                     "  --verbose-telemetry    print the run report as text to stderr\n"
                     "  --trace-out <file>     write a Chrome/Perfetto trace on exit (or MNT_TRACE_OUT)\n"
                     "  --event-log <file>     append the structured JSONL event log (or MNT_EVENT_LOG)\n"
+                    "  --resume               resume a killed regeneration from the store's journal\n"
+                    "  --supervise            run each generation job in a supervised worker process\n"
+                    "  --shards <n>           concurrent supervised workers (implies --supervise)\n"
+                    "  --deterministic        byte-reproducible output (zeroed runtimes, no exact)\n"
+                    "  --worker-cpu <s>       RLIMIT_CPU seconds per worker process\n"
+                    "  --worker-mem <mb>      RLIMIT_AS megabytes per worker process\n"
+                    "  --worker-hang-timeout <s>  kill a worker silent for this long\n"
                     "endpoints: /healthz /metrics /statz /benchmarks /layouts /facets /best /download/<id>\n");
         return 0;
     }

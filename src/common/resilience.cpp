@@ -42,6 +42,8 @@ const char* outcome_kind_name(const outcome_kind kind) noexcept
         case outcome_kind::verification_failed: return "verification_failed";
         case outcome_kind::oom: return "oom";
         case outcome_kind::internal_error: return "internal_error";
+        case outcome_kind::crashed: return "crashed";
+        case outcome_kind::hung: return "hung";
     }
     return "internal_error";
 }
@@ -115,14 +117,18 @@ struct site_plan
     std::string site;
     double probability{1.0};
     std::uint64_t seed{1};
+    /// Counted kill-point trigger (`site=N` spec form): fire exactly on the
+    /// N-th query, never otherwise. 0 = probabilistic mode.
+    std::uint64_t fire_at{0};
     /// Firing index; combined with the seed this makes injection
     /// deterministic per call sequence yet thread-safe.
     std::atomic<std::uint64_t> queries{0};
 
-    site_plan(std::string s, const double p, const std::uint64_t sd) :
+    site_plan(std::string s, const double p, const std::uint64_t sd, const std::uint64_t at) :
             site{std::move(s)},
             probability{p},
-            seed{sd}
+            seed{sd},
+            fire_at{at}
     {}
 };
 
@@ -161,6 +167,35 @@ std::vector<std::unique_ptr<site_plan>> parse_spec(const std::string& spec)
             {
                 break;
             }
+            continue;
+        }
+
+        // counted kill-point form: `site=N` fires exactly on the N-th query
+        const auto eq = entry.find('=');
+        if (eq != std::string::npos && entry.find(':') == std::string::npos)
+        {
+            const auto site = entry.substr(0, eq);
+            const auto count_text = entry.substr(eq + 1);
+            if (site.empty())
+            {
+                throw mnt_error{"MNT_FAULT_INJECT: empty site name in '" + spec + "'"};
+            }
+            std::uint64_t fire_at = 0;
+            try
+            {
+                std::size_t consumed = 0;
+                fire_at = std::stoull(count_text, &consumed);
+                if (consumed != count_text.size() || fire_at == 0)
+                {
+                    throw std::invalid_argument{count_text};
+                }
+            }
+            catch (const std::exception&)
+            {
+                throw mnt_error{"MNT_FAULT_INJECT: invalid trigger count '" + count_text + "' for site '" + site +
+                                "' (expected site=N with N >= 1)"};
+            }
+            sites.push_back(std::make_unique<site_plan>(site, 1.0, std::uint64_t{1}, fire_at));
             continue;
         }
 
@@ -212,7 +247,7 @@ std::vector<std::unique_ptr<site_plan>> parse_spec(const std::string& spec)
                 }
             }
         }
-        sites.push_back(std::make_unique<site_plan>(site, probability, seed));
+        sites.push_back(std::make_unique<site_plan>(site, probability, seed, std::uint64_t{0}));
     }
     return sites;
 }
@@ -287,12 +322,16 @@ bool fire(const std::string_view site) noexcept
             {
                 return false;
             }
-            const auto n = plan->queries.fetch_add(1, std::memory_order_relaxed);
+            const auto n = plan->queries.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (plan->fire_at > 0)
+            {
+                return n == plan->fire_at;
+            }
             if (plan->probability >= 1.0)
             {
                 return true;
             }
-            return unit_interval(mix64(plan->seed ^ mix64(n + 1))) < plan->probability;
+            return unit_interval(mix64(plan->seed ^ mix64(n))) < plan->probability;
         }
     }
     return false;
@@ -310,8 +349,15 @@ std::string current_spec()
             spec += ',';
         }
         char buffer[64];
-        std::snprintf(buffer, sizeof(buffer), ":%g:%llu", plan->probability,
-                      static_cast<unsigned long long>(plan->seed));
+        if (plan->fire_at > 0)
+        {
+            std::snprintf(buffer, sizeof(buffer), "=%llu", static_cast<unsigned long long>(plan->fire_at));
+        }
+        else
+        {
+            std::snprintf(buffer, sizeof(buffer), ":%g:%llu", plan->probability,
+                          static_cast<unsigned long long>(plan->seed));
+        }
         spec += plan->site + buffer;
     }
     return spec;

@@ -175,14 +175,20 @@ private:
 
 // ------------------------------------------------------------ combo_outcome
 
-/// How one guarded combination ended.
+/// How one guarded combination ended. The last two kinds cannot be produced
+/// by in-process guarded execution — they are the crash taxonomy of the
+/// process-isolated worker supervisor (common/supervisor.hpp): a child that
+/// dies on a signal maps to \ref crashed, one the watchdog had to kill after
+/// its heartbeat went silent maps to \ref hung.
 enum class outcome_kind : std::uint8_t
 {
     ok,                   ///< completed (possibly without producing a layout)
     timeout,              ///< global deadline or per-tool budget expired
     verification_failed,  ///< produced layout is not equivalent to its spec
     oom,                  ///< allocation failure (std::bad_alloc)
-    internal_error        ///< any other exception
+    internal_error,       ///< any other exception
+    crashed,              ///< worker process died on a signal (SIGSEGV, ...)
+    hung                  ///< worker stopped heartbeating; watchdog killed it
 };
 
 /// Stable lower-case name ("ok", "timeout", ...), used in telemetry counter
@@ -248,6 +254,10 @@ struct retry_policy
             case outcome_kind::internal_error: return retry_internal;
             case outcome_kind::ok:
             case outcome_kind::timeout: return false;
+            // worker-level kinds are retried at the job level (journal resume
+            // re-queues crashed jobs), never inside one process
+            case outcome_kind::crashed:
+            case outcome_kind::hung: return false;
         }
         return false;
     }
@@ -387,6 +397,13 @@ namespace fault
 ///
 /// e.g. "verify.check:0.5:7,route.search:0.01". Probability defaults to 1,
 /// seed to 1. An empty spec disables injection.
+///
+/// A site may instead carry a counted kill-point trigger `site=N`: the site
+/// fires exactly on its N-th query (N >= 1) and never otherwise. This is how
+/// the crash-recovery harness pins a process death to one precise journal
+/// append, e.g. `MNT_FAULT_INJECT=journal.kill_after=3` (see
+/// service/journal.hpp — that site SIGKILLs the process, simulating a power
+/// loss immediately after the third durable journal record).
 ///
 /// \throws mnt::mnt_error on malformed specs
 void configure(const std::string& spec);

@@ -1,0 +1,538 @@
+#include "common/supervisor.hpp"
+
+#include "common/types.hpp"
+#include "telemetry/eventlog.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace mnt::sup
+{
+
+namespace
+{
+
+/// Bounded ring over the child's stderr stream: O(1) append, keeps only the
+/// trailing `limit` bytes — exactly what a failure record wants.
+struct tail_buffer
+{
+    std::string data;
+    std::size_t limit;
+
+    explicit tail_buffer(const std::size_t l) : limit{l} {}
+
+    void append(const char* bytes, const std::size_t n)
+    {
+        if (limit == 0 || n == 0)
+        {
+            return;
+        }
+        if (n >= limit)
+        {
+            data.assign(bytes + (n - limit), limit);
+            return;
+        }
+        if (data.size() + n > limit)
+        {
+            data.erase(0, data.size() + n - limit);
+        }
+        data.append(bytes, n);
+    }
+};
+
+/// RAII pair of pipe fds; -1 means closed/moved.
+struct pipe_pair
+{
+    int fds[2]{-1, -1};
+
+    bool open() noexcept
+    {
+        return ::pipe(fds) == 0;
+    }
+
+    void close_read() noexcept
+    {
+        if (fds[0] >= 0)
+        {
+            ::close(fds[0]);
+            fds[0] = -1;
+        }
+    }
+
+    void close_write() noexcept
+    {
+        if (fds[1] >= 0)
+        {
+            ::close(fds[1]);
+            fds[1] = -1;
+        }
+    }
+
+    ~pipe_pair()
+    {
+        close_read();
+        close_write();
+    }
+};
+
+double now_s() noexcept
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+
+void set_nonblocking(const int fd) noexcept
+{
+    const auto flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+    {
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+}
+
+void set_cloexec(const int fd) noexcept
+{
+    const auto flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags >= 0)
+    {
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+    }
+}
+
+/// Child-side setup between fork and exec. async-signal-safe territory:
+/// only raw syscalls, no allocation, no stdio.
+[[noreturn]] void child_exec(char* const* argv, const worker_limits& limits, const int stderr_write,
+                             const int heartbeat_write, const int exec_errno_write)
+{
+    ::dup2(stderr_write, STDERR_FILENO);
+
+    // hand the heartbeat fd to the worker via the environment; keep it
+    // non-blocking so a full pipe can never stall the child
+    set_nonblocking(heartbeat_write);
+    char fd_text[16];
+    std::snprintf(fd_text, sizeof(fd_text), "%d", heartbeat_write);
+    ::setenv(heartbeat_env, fd_text, 1);
+
+    // the parent may have handlers installed (CLI SIGINT flag, ignored
+    // SIGPIPE); the child should die by default so escalation works
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGPIPE, SIG_IGN);  // heartbeat writes must never kill us
+
+    if (limits.cpu_limit_s > 0.0)
+    {
+        const auto secs = static_cast<rlim_t>(std::ceil(limits.cpu_limit_s));
+        // hard limit one second above soft: SIGXCPU first, SIGKILL backstop
+        const rlimit rl{secs, secs + 1};
+        ::setrlimit(RLIMIT_CPU, &rl);
+    }
+    if (limits.address_space_bytes > 0)
+    {
+        const auto bytes = static_cast<rlim_t>(limits.address_space_bytes);
+        const rlimit rl{bytes, bytes};
+        ::setrlimit(RLIMIT_AS, &rl);
+    }
+
+    ::execvp(argv[0], argv);
+
+    // exec failed: report errno through the CLOEXEC pipe and vanish
+    const int err = errno;
+    [[maybe_unused]] const auto written = ::write(exec_errno_write, &err, sizeof(err));
+    ::_exit(127);
+}
+
+}  // namespace
+
+worker_result run_worker(const std::vector<std::string>& argv, const worker_limits& limits)
+{
+    worker_result result{};
+    if (argv.empty())
+    {
+        result.status = worker_status::spawn_failed;
+        result.error = "empty argv";
+        return result;
+    }
+
+    pipe_pair stderr_pipe{};
+    pipe_pair heartbeat_pipe{};
+    pipe_pair exec_pipe{};
+    if (!stderr_pipe.open() || !heartbeat_pipe.open() || !exec_pipe.open())
+    {
+        result.status = worker_status::spawn_failed;
+        result.error = std::string{"pipe: "} + std::strerror(errno);
+        return result;
+    }
+    // the exec-errno pipe closes on successful exec: zero bytes read means
+    // the program is running, an int means execvp failed with that errno
+    set_cloexec(exec_pipe.fds[1]);
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& arg : argv)
+    {
+        cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+
+    const auto start = now_s();
+    const auto pid = ::fork();
+    if (pid < 0)
+    {
+        result.status = worker_status::spawn_failed;
+        result.error = std::string{"fork: "} + std::strerror(errno);
+        return result;
+    }
+    if (pid == 0)
+    {
+        stderr_pipe.close_read();
+        heartbeat_pipe.close_read();
+        exec_pipe.close_read();
+        child_exec(cargv.data(), limits, stderr_pipe.fds[1], heartbeat_pipe.fds[1], exec_pipe.fds[1]);
+    }
+
+    // parent
+    stderr_pipe.close_write();
+    heartbeat_pipe.close_write();
+    exec_pipe.close_write();
+    set_nonblocking(stderr_pipe.fds[0]);
+    set_nonblocking(heartbeat_pipe.fds[0]);
+    set_nonblocking(exec_pipe.fds[0]);
+
+    tel::count("supervisor.spawns");
+
+    tail_buffer tail{limits.stderr_tail_bytes};
+    auto last_activity = start;
+    bool term_sent = false;
+    double term_sent_at = 0.0;
+    auto reason = kill_reason::none;
+    int exec_errno = 0;
+    bool exec_pipe_open = true;
+
+    const auto terminate = [&](const kill_reason why)
+    {
+        if (!term_sent)
+        {
+            reason = why;
+            ::kill(pid, SIGTERM);
+            term_sent = true;
+            term_sent_at = now_s();
+        }
+        else if (now_s() - term_sent_at >= limits.term_grace_s)
+        {
+            ::kill(pid, SIGKILL);
+        }
+    };
+
+    int wait_status = 0;
+    bool reaped = false;
+    while (!reaped)
+    {
+        pollfd fds[3];
+        nfds_t nfds = 0;
+        int stderr_idx = -1;
+        int hb_idx = -1;
+        int exec_idx = -1;
+        if (stderr_pipe.fds[0] >= 0)
+        {
+            stderr_idx = static_cast<int>(nfds);
+            fds[nfds++] = pollfd{stderr_pipe.fds[0], POLLIN, 0};
+        }
+        if (heartbeat_pipe.fds[0] >= 0)
+        {
+            hb_idx = static_cast<int>(nfds);
+            fds[nfds++] = pollfd{heartbeat_pipe.fds[0], POLLIN, 0};
+        }
+        if (exec_pipe_open && exec_pipe.fds[0] >= 0)
+        {
+            exec_idx = static_cast<int>(nfds);
+            fds[nfds++] = pollfd{exec_pipe.fds[0], POLLIN, 0};
+        }
+
+        ::poll(fds, nfds, 50);  // 50 ms watchdog tick
+
+        char buffer[4096];
+        if (stderr_idx >= 0 && (fds[stderr_idx].revents & (POLLIN | POLLHUP)) != 0)
+        {
+            for (;;)
+            {
+                const auto n = ::read(stderr_pipe.fds[0], buffer, sizeof(buffer));
+                if (n > 0)
+                {
+                    tail.append(buffer, static_cast<std::size_t>(n));
+                    last_activity = now_s();
+                    continue;
+                }
+                if (n == 0)
+                {
+                    stderr_pipe.close_read();
+                }
+                break;
+            }
+        }
+        if (hb_idx >= 0 && (fds[hb_idx].revents & (POLLIN | POLLHUP)) != 0)
+        {
+            for (;;)
+            {
+                const auto n = ::read(heartbeat_pipe.fds[0], buffer, sizeof(buffer));
+                if (n > 0)
+                {
+                    result.heartbeats += static_cast<std::uint64_t>(n);
+                    last_activity = now_s();
+                    continue;
+                }
+                if (n == 0)
+                {
+                    heartbeat_pipe.close_read();
+                }
+                break;
+            }
+        }
+        if (exec_idx >= 0 && (fds[exec_idx].revents & (POLLIN | POLLHUP)) != 0)
+        {
+            const auto n = ::read(exec_pipe.fds[0], &exec_errno, sizeof(exec_errno));
+            if (n <= 0)
+            {
+                exec_errno = 0;  // pipe closed without payload: exec succeeded
+            }
+            exec_pipe.close_read();
+            exec_pipe_open = false;
+        }
+
+        const auto reap = ::waitpid(pid, &wait_status, WNOHANG);
+        if (reap == pid)
+        {
+            reaped = true;
+            break;
+        }
+
+        const auto now = now_s();
+        if (limits.cancel != nullptr && limits.cancel->load(std::memory_order_relaxed))
+        {
+            terminate(kill_reason::cancel);
+        }
+        else if (limits.wall_timeout_s > 0.0 && now - start >= limits.wall_timeout_s)
+        {
+            terminate(kill_reason::wall_timeout);
+        }
+        else if (limits.hang_timeout_s > 0.0 && now - last_activity >= limits.hang_timeout_s)
+        {
+            terminate(kill_reason::hang);
+        }
+        else if (term_sent)
+        {
+            terminate(reason);  // keep the escalation clock running
+        }
+    }
+
+    // drain whatever stderr remained buffered at exit
+    if (stderr_pipe.fds[0] >= 0)
+    {
+        char buffer[4096];
+        for (;;)
+        {
+            const auto n = ::read(stderr_pipe.fds[0], buffer, sizeof(buffer));
+            if (n <= 0)
+            {
+                break;
+            }
+            tail.append(buffer, static_cast<std::size_t>(n));
+        }
+    }
+    if (exec_pipe_open && exec_pipe.fds[0] >= 0)
+    {
+        const auto n = ::read(exec_pipe.fds[0], &exec_errno, sizeof(exec_errno));
+        if (n <= 0)
+        {
+            exec_errno = 0;
+        }
+    }
+
+    result.elapsed_s = now_s() - start;
+    result.stderr_tail = std::move(tail.data);
+    result.reason = reason;
+
+    if (exec_errno != 0)
+    {
+        result.status = worker_status::spawn_failed;
+        result.error = std::string{"exec '"} + argv[0] + "': " + std::strerror(exec_errno);
+        tel::count("supervisor.spawn_failures");
+        tel::log_event(tel::log_severity::error, "supervisor", "worker failed to start",
+                       {{"argv0", argv[0]}, {"error", result.error}});
+        return result;
+    }
+
+    if (WIFEXITED(wait_status))
+    {
+        result.status = worker_status::exited;
+        result.exit_code = WEXITSTATUS(wait_status);
+    }
+    else if (WIFSIGNALED(wait_status))
+    {
+        result.signal = WTERMSIG(wait_status);
+        result.killed_by_watchdog = term_sent && (result.signal == SIGTERM || result.signal == SIGKILL);
+        result.status = reason == kill_reason::hang ? worker_status::hung : worker_status::crashed;
+        if (result.status == worker_status::hung)
+        {
+            tel::count("supervisor.hangs");
+        }
+        else
+        {
+            tel::count("supervisor.crashes");
+        }
+        if (result.killed_by_watchdog)
+        {
+            tel::count("supervisor.kills");
+        }
+        tel::log_event(tel::log_severity::warn, "supervisor", "worker terminated by signal",
+                       {{"argv0", argv[0]},
+                        {"signal", std::to_string(result.signal)},
+                        {"status", worker_status_name(result.status)},
+                        {"reason", kill_reason_name(reason)},
+                        {"elapsed_s", std::to_string(result.elapsed_s)}});
+    }
+    else
+    {
+        result.status = worker_status::crashed;
+        tel::count("supervisor.crashes");
+    }
+    return result;
+}
+
+namespace
+{
+
+/// The heartbeat fd is resolved once per process from the environment.
+int heartbeat_fd() noexcept
+{
+    static const int fd = []() noexcept
+    {
+        const char* env = std::getenv(heartbeat_env);
+        if (env == nullptr || *env == '\0')
+        {
+            return -1;
+        }
+        char* end = nullptr;
+        const auto value = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || value < 0)
+        {
+            return -1;
+        }
+        return static_cast<int>(value);
+    }();
+    return fd;
+}
+
+}  // namespace
+
+void heartbeat() noexcept
+{
+    const auto fd = heartbeat_fd();
+    if (fd < 0)
+    {
+        return;
+    }
+    const char beat = '.';
+    [[maybe_unused]] const auto n = ::write(fd, &beat, 1);  // EAGAIN on a full pipe is fine
+}
+
+bool supervised() noexcept
+{
+    return heartbeat_fd() >= 0;
+}
+
+const char* worker_status_name(const worker_status status) noexcept
+{
+    switch (status)
+    {
+        case worker_status::exited: return "exited";
+        case worker_status::crashed: return "crashed";
+        case worker_status::hung: return "hung";
+        case worker_status::spawn_failed: return "spawn_failed";
+    }
+    return "spawn_failed";
+}
+
+const char* kill_reason_name(const kill_reason reason) noexcept
+{
+    switch (reason)
+    {
+        case kill_reason::none: return "none";
+        case kill_reason::wall_timeout: return "wall_timeout";
+        case kill_reason::hang: return "hang";
+        case kill_reason::cancel: return "cancel";
+    }
+    return "none";
+}
+
+res::outcome_kind classify(const worker_result& result) noexcept
+{
+    switch (result.status)
+    {
+        case worker_status::exited:
+            return result.exit_code == 0 ? res::outcome_kind::ok : res::outcome_kind::internal_error;
+        case worker_status::hung: return res::outcome_kind::hung;
+        case worker_status::crashed:
+            if (result.signal == SIGXCPU || result.reason == kill_reason::wall_timeout)
+            {
+                return res::outcome_kind::timeout;
+            }
+            return res::outcome_kind::crashed;
+        case worker_status::spawn_failed: return res::outcome_kind::internal_error;
+    }
+    return res::outcome_kind::internal_error;
+}
+
+std::string describe(const worker_result& result)
+{
+    char buffer[160];
+    switch (result.status)
+    {
+        case worker_status::exited:
+            std::snprintf(buffer, sizeof(buffer), "exited with code %d after %.2f s", result.exit_code,
+                          result.elapsed_s);
+            break;
+        case worker_status::crashed:
+        {
+            const char* name = ::strsignal(result.signal);
+            std::snprintf(buffer, sizeof(buffer), "crashed: signal %d (%s)%s after %.2f s", result.signal,
+                          name != nullptr ? name : "?",
+                          result.killed_by_watchdog ? " [watchdog]" : "", result.elapsed_s);
+            break;
+        }
+        case worker_status::hung:
+            std::snprintf(buffer, sizeof(buffer), "hung: no heartbeat, killed by watchdog after %.2f s",
+                          result.elapsed_s);
+            break;
+        case worker_status::spawn_failed:
+            std::snprintf(buffer, sizeof(buffer), "spawn failed: %s", result.error.c_str());
+            break;
+    }
+    return buffer;
+}
+
+std::string self_executable()
+{
+    char buffer[4096];
+    const auto n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+    if (n <= 0)
+    {
+        throw mnt_error{std::string{"readlink /proc/self/exe: "} + std::strerror(errno)};
+    }
+    buffer[n] = '\0';
+    return buffer;
+}
+
+}  // namespace mnt::sup

@@ -1,0 +1,140 @@
+//
+// Process-isolated worker supervisor.
+//
+// fork/execs a job into a sandboxed child process with resource limits
+// (CPU seconds, address space), captures its stderr tail, and watches a
+// heartbeat pipe. A child that stops making progress is escalated
+// SIGTERM -> SIGKILL by the watchdog, and every termination mode — clean
+// exit, nonzero exit, fatal signal, hang, spawn failure — is reported as a
+// structured worker_result instead of propagating into the parent. This is
+// what turns "exact segfaulted" from a dead portfolio sweep into one
+// failure_record in the catalog while the remaining shards complete.
+//
+
+#ifndef MNT_COMMON_SUPERVISOR_HPP
+#define MNT_COMMON_SUPERVISOR_HPP
+
+#include "common/resilience.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnt::sup
+{
+
+/// Environment variable through which a supervised child receives the write
+/// end of the heartbeat pipe (as a decimal file descriptor number).
+inline constexpr const char* heartbeat_env = "MNT_HEARTBEAT_FD";
+
+/// Resource limits and watchdog configuration for a supervised worker.
+struct worker_limits
+{
+    /// Hard wall-clock budget for the whole child; 0 disables. On expiry the
+    /// watchdog escalates SIGTERM -> SIGKILL.
+    double wall_timeout_s{0.0};
+    /// Maximum silence on the heartbeat pipe before the child is considered
+    /// hung; 0 disables hang detection. Stderr output also counts as a sign
+    /// of life.
+    double hang_timeout_s{0.0};
+    /// Grace period between SIGTERM and SIGKILL during escalation.
+    double term_grace_s{2.0};
+    /// RLIMIT_CPU in seconds (rounded up); 0 leaves the limit untouched.
+    /// A child exceeding it receives SIGXCPU/SIGKILL from the kernel.
+    double cpu_limit_s{0.0};
+    /// RLIMIT_AS in bytes; 0 leaves the limit untouched. Allocation beyond
+    /// it fails with std::bad_alloc (or the child dies), containing OOM.
+    std::uint64_t address_space_bytes{0};
+    /// How many bytes of trailing stderr to keep for the failure record.
+    std::size_t stderr_tail_bytes{4096};
+    /// Optional cooperative cancel flag: when it becomes true the watchdog
+    /// terminates the child (SIGTERM -> SIGKILL) and reports the kill reason
+    /// as `cancel`.
+    const std::atomic<bool>* cancel{nullptr};
+};
+
+/// Coarse termination mode of a supervised worker.
+enum class worker_status : std::uint8_t
+{
+    exited,        ///< child ran to completion and exited (code may be nonzero)
+    crashed,       ///< child died on a signal it did not request (SIGSEGV, ...)
+    hung,          ///< watchdog killed the child after heartbeat silence
+    spawn_failed,  ///< fork/exec itself failed; the job never ran
+};
+
+/// Why the watchdog intervened, if it did.
+enum class kill_reason : std::uint8_t
+{
+    none,          ///< watchdog never fired
+    wall_timeout,  ///< wall-clock budget exceeded
+    hang,          ///< heartbeat silence exceeded hang_timeout_s
+    cancel,        ///< cooperative cancel flag was raised
+};
+
+/// Everything the parent learns about one supervised child.
+struct worker_result
+{
+    worker_status status{worker_status::spawn_failed};
+    /// Exit code when status == exited, else -1.
+    int exit_code{-1};
+    /// Terminating signal number when the child died on a signal, else 0.
+    int signal{0};
+    /// Why the watchdog killed the child (none if it terminated on its own).
+    kill_reason reason{kill_reason::none};
+    /// True when the fatal signal was delivered by the watchdog, false when
+    /// the child earned it on its own (segfault, kernel rlimit, ...).
+    bool killed_by_watchdog{false};
+    /// Wall-clock seconds between spawn and reap.
+    double elapsed_s{0.0};
+    /// Number of heartbeat bytes received from the child.
+    std::uint64_t heartbeats{0};
+    /// Trailing bytes of the child's stderr (bounded by stderr_tail_bytes).
+    std::string stderr_tail{};
+    /// Human-readable spawn-failure detail when status == spawn_failed.
+    std::string error{};
+
+    [[nodiscard]] bool ok() const noexcept
+    {
+        return status == worker_status::exited && exit_code == 0;
+    }
+};
+
+/// Runs `argv` (argv[0] = executable, resolved via PATH) as a supervised
+/// child process and blocks until it terminates or the watchdog reaps it.
+/// Never throws on child failure — every outcome is encoded in the result.
+[[nodiscard]] worker_result run_worker(const std::vector<std::string>& argv, const worker_limits& limits = {});
+
+/// Child-side: emit one heartbeat byte on the pipe inherited from the
+/// supervisor. No-op (and cheap) when not running under supervision; safe to
+/// call from hot loops — the pipe is non-blocking and a full pipe is fine
+/// (any unread byte already proves liveness).
+void heartbeat() noexcept;
+
+/// True when this process runs under a supervisor (heartbeat pipe present).
+[[nodiscard]] bool supervised() noexcept;
+
+/// Stable lowercase name for a worker_status, for logs and JSON.
+[[nodiscard]] const char* worker_status_name(worker_status status) noexcept;
+
+/// Stable lowercase name for a kill_reason, for logs and JSON.
+[[nodiscard]] const char* kill_reason_name(kill_reason reason) noexcept;
+
+/// Maps a worker_result onto the PR 2 outcome taxonomy: clean exit -> ok,
+/// nonzero exit -> internal_error, SIGXCPU / watchdog wall-timeout kill ->
+/// timeout, heartbeat-silence kill -> hung, other fatal signals -> crashed,
+/// spawn failure -> internal_error.
+[[nodiscard]] res::outcome_kind classify(const worker_result& result) noexcept;
+
+/// One-line human-readable description of the result, e.g.
+/// "crashed: signal 11 (SIGSEGV) after 0.31 s".
+[[nodiscard]] std::string describe(const worker_result& result);
+
+/// Absolute path of the currently running executable (/proc/self/exe),
+/// for re-invoking ourselves as a worker. Throws mnt_error on failure.
+[[nodiscard]] std::string self_executable();
+
+}  // namespace mnt::sup
+
+#endif  // MNT_COMMON_SUPERVISOR_HPP

@@ -335,6 +335,10 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
     {
         guard.deadline = res::deadline_clock::after(params.deadline_s);
     }
+    if (params.stop != nullptr)
+    {
+        guard.deadline.attach_stop(params.stop);
+    }
     guard.retry.max_attempts = std::max<std::size_t>(params.max_attempts, 1);
     guard.retry.backoff_base_s = params.retry_backoff_s;
     guard.retry.seed = params.seed;

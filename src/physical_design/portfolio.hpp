@@ -12,8 +12,10 @@
 #include "layout/gate_level_layout.hpp"
 #include "network/logic_network.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -111,6 +113,12 @@ struct portfolio_params
     /// count; an optimization follow-up (PLO) stays on its base
     /// combination's worker.
     std::size_t jobs{1};
+
+    /// Optional external cancellation flag (stop_token style): once set, the
+    /// run's deadline reads as expired, every algorithm unwinds at its next
+    /// poll, and generate_portfolio returns what it has. This is how SIGINT/
+    /// SIGTERM handlers stop a regeneration without losing completed work.
+    std::shared_ptr<const std::atomic<bool>> stop{};
 };
 
 /// The two grid families of the MNT Bench portfolio.

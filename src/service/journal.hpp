@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file journal.hpp
+/// \brief Append-only, fsync'd JSONL run journal for resumable regeneration.
+///
+/// Every regeneration run writes a redo log next to the store manifest: one
+/// JSON object per line, appended with a single write() and fsync'd before
+/// the writer proceeds. Because the manifest itself is made durable *before*
+/// a job's `job_done` record lands, replaying the journal after a kill at any
+/// byte offset yields a consistent picture: jobs marked done have all their
+/// results in the store, everything else is safely re-runnable. The reader
+/// side (journal_replay) is torn-tail tolerant — a half-written final line is
+/// exactly what a SIGKILL mid-append leaves behind and is silently ignored.
+///
+/// Record vocabulary (the `"event"` member):
+///   run_start    {ts, jobs, config}        a regeneration began
+///   job_start    {ts, job}                 job entered the in-flight set
+///   job_done     {ts, job, layouts, failures, completed, results[]}
+///   job_crashed  {ts, job, state, signal, exit_code, detail}
+///   checkpoint   {ts, reason}              graceful SIGTERM/SIGINT mark
+///   run_end      {ts, jobs_run, jobs_crashed}
+///
+/// Fault-injection kill-points for the crash-recovery property suite:
+/// `MNT_FAULT_INJECT=journal.kill_before=N` SIGKILLs the process immediately
+/// before the N-th journal append, `journal.kill_after=N` immediately after
+/// the N-th append+fsync — bracketing every durability boundary of a run.
+
+#include "service/json.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mnt::svc
+{
+
+/// Append-side handle on a run journal. Thread-safe: appends are serialized
+/// by an internal mutex, each record is a single write() + fsync so records
+/// are never interleaved and are durable once append() returns.
+class run_journal
+{
+public:
+    /// The journal's on-disk name inside the store directory.
+    static constexpr const char* default_filename = "journal.jsonl";
+
+    /// Opens (creating if absent) the journal at \p path for appending.
+    ///
+    /// \throws mnt_error when the file cannot be opened
+    explicit run_journal(const std::filesystem::path& path);
+
+    run_journal(const run_journal&) = delete;
+    run_journal& operator=(const run_journal&) = delete;
+
+    ~run_journal();
+
+    /// Journal location on disk.
+    [[nodiscard]] const std::filesystem::path& path() const noexcept
+    {
+        return journal_path;
+    }
+
+    /// Records the beginning of a run over \p jobs total jobs; \p config is a
+    /// free-form description of the options (for humans and debugging).
+    void run_start(std::uint64_t jobs, const std::string& config);
+
+    /// Marks \p job in-flight. A job that has a start but no matching done
+    /// record is re-queued on resume.
+    void job_start(const std::string& job);
+
+    /// Marks \p job complete. MUST only be called after the store manifest
+    /// holding the job's results has been made durable — that ordering is
+    /// what makes replay sound. \p results lists the content-addressed ids
+    /// the job produced.
+    void job_done(const std::string& job, std::uint64_t layouts, std::uint64_t failures, std::uint64_t completed,
+                  const std::vector<std::string>& results);
+
+    /// Records that \p job's worker died (crash/hang/spawn failure).
+    /// Crashed jobs are re-queued on resume, like in-flight ones.
+    void job_crashed(const std::string& job, const std::string& state, int signal, int exit_code,
+                     const std::string& detail);
+
+    /// Graceful-interrupt marker (SIGTERM/SIGINT checkpoint).
+    void checkpoint(const std::string& reason);
+
+    /// Records the end of a complete (or cancelled-but-checkpointed) run.
+    void run_end(std::uint64_t jobs_run, std::uint64_t jobs_crashed);
+
+private:
+    void append(json_value record);
+
+    std::filesystem::path journal_path;
+    int fd{-1};
+    std::mutex mutex;
+};
+
+/// Replay of an existing journal: which jobs completed, which crashed, and
+/// which were in flight when the previous process died.
+struct journal_replay
+{
+    /// Jobs with a durable job_done record — skipped on resume.
+    std::set<std::string> done{};
+    /// Jobs whose worker crashed — re-run on resume.
+    std::set<std::string> crashed{};
+    /// Jobs started but neither done nor crashed — the kill window; re-run.
+    std::set<std::string> in_flight{};
+    /// Total well-formed records read.
+    std::uint64_t lines{0};
+    /// Malformed lines *before* the final one (the final line may legally be
+    /// torn by a kill; mid-file corruption is counted here and logged).
+    std::uint64_t malformed_lines{0};
+    /// config string from the most recent run_start, if any.
+    std::string config{};
+    /// True when the journal ends without a run_end record (the previous run
+    /// was killed or checkpointed mid-way).
+    bool interrupted{false};
+
+    /// Reads and replays \p path. A missing file replays as empty. Torn or
+    /// malformed lines never throw — resumability must survive exactly the
+    /// corruption a kill produces.
+    [[nodiscard]] static journal_replay replay(const std::filesystem::path& path);
+};
+
+}  // namespace mnt::svc

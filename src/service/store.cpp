@@ -11,9 +11,16 @@
 #include "telemetry/eventlog.hpp"
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
 #include <fstream>
-#include <unistd.h>
+#include <tuple>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace mnt::svc
 {
@@ -77,27 +84,58 @@ std::string cache_key(const cat::layout_record& record)
 void write_file_atomic(const std::filesystem::path& path, const std::string& bytes)
 {
     const auto temp = path.parent_path() / (path.filename().string() + ".tmp-" + std::to_string(::getpid()));
+    const auto fail = [&](const std::string& what)
     {
-        std::ofstream out{temp, std::ios::binary | std::ios::trunc};
-        if (!out)
-        {
-            throw mnt_error{"store: cannot create '" + temp.string() + "'"};
-        }
-        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-        out.flush();
-        if (!out)
-        {
-            std::error_code ec;
-            std::filesystem::remove(temp, ec);
-            throw mnt_error{"store: short write to '" + temp.string() + "'"};
-        }
+        std::error_code ec;
+        std::filesystem::remove(temp, ec);
+        throw mnt_error{"store: " + what};
+    };
+
+    const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+    {
+        throw mnt_error{"store: cannot create '" + temp.string() + "': " + std::strerror(errno)};
     }
+    std::size_t offset = 0;
+    while (offset < bytes.size())
+    {
+        const auto n = ::write(fd, bytes.data() + offset, bytes.size() - offset);
+        if (n < 0)
+        {
+            if (errno == EINTR)
+            {
+                continue;
+            }
+            ::close(fd);
+            fail("short write to '" + temp.string() + "': " + std::strerror(errno));
+        }
+        offset += static_cast<std::size_t>(n);
+    }
+    // the file's bytes must be durable before the rename makes them visible
+    // under the final name — otherwise a power cut could surface an empty
+    // file at the real path
+    if (::fsync(fd) != 0)
+    {
+        ::close(fd);
+        fail("fsync of '" + temp.string() + "' failed: " + std::strerror(errno));
+    }
+    ::close(fd);
+
     std::error_code ec;
     std::filesystem::rename(temp, path, ec);
     if (ec)
     {
-        std::filesystem::remove(temp, ec);
-        throw mnt_error{"store: cannot rename into '" + path.string() + "': " + ec.message()};
+        fail("cannot rename into '" + path.string() + "': " + ec.message());
+    }
+
+    // the rename itself lives in the directory — without a directory fsync a
+    // power cut can forget the entry even though the data blocks survived
+    const auto dir = path.parent_path().empty() ? std::filesystem::path{"."} : path.parent_path();
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0)
+    {
+        ::fsync(dir_fd);  // best effort: some filesystems reject directory fsync
+        ::close(dir_fd);
     }
 }
 
@@ -112,7 +150,47 @@ std::string read_file(const std::filesystem::path& path)
     return bytes;
 }
 
-layout_store::layout_store(std::filesystem::path root) : store_root{std::move(root)}
+namespace
+{
+
+/// Removes `*.tmp-<pid>` leftovers of writers that are no longer alive. A
+/// SIGKILL mid-write legitimately strands a temp file; pruning it on the
+/// next open keeps the store's byte layout identical to an uninterrupted
+/// run. Temps of *live* pids (concurrent shard workers) are left alone.
+void prune_stale_temps(const std::filesystem::path& dir)
+{
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator{dir, ec})
+    {
+        const auto name = entry.path().filename().string();
+        const auto marker = name.rfind(".tmp-");
+        if (marker == std::string::npos)
+        {
+            continue;
+        }
+        const auto pid_text = name.substr(marker + 5);
+        char* end = nullptr;
+        const auto pid = std::strtol(pid_text.c_str(), &end, 10);
+        if (end == pid_text.c_str() || *end != '\0' || pid <= 0)
+        {
+            continue;
+        }
+        if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH)
+        {
+            std::error_code remove_ec;
+            std::filesystem::remove(entry.path(), remove_ec);
+        }
+    }
+}
+
+}  // namespace
+
+layout_store::layout_store(std::filesystem::path root) : layout_store{std::move(root), "manifest.json"}
+{}
+
+layout_store::layout_store(std::filesystem::path root, const std::filesystem::path& manifest_file_) :
+        store_root{std::move(root)},
+        manifest_file{manifest_file_}
 {
     std::error_code ec;
     std::filesystem::create_directories(blob_dir(), ec);
@@ -120,6 +198,17 @@ layout_store::layout_store(std::filesystem::path root) : store_root{std::move(ro
     {
         throw mnt_error{"store: cannot create '" + blob_dir().string() + "': " + ec.message()};
     }
+    if (manifest_path().parent_path() != store_root)
+    {
+        std::filesystem::create_directories(manifest_path().parent_path(), ec);
+        if (ec)
+        {
+            throw mnt_error{"store: cannot create '" + manifest_path().parent_path().string() +
+                            "': " + ec.message()};
+        }
+    }
+    prune_stale_temps(store_root);
+    prune_stale_temps(blob_dir());
     load_manifest();
 }
 
@@ -135,7 +224,7 @@ const std::vector<res::combo_outcome>& layout_store::open_issues() const noexcep
 
 std::filesystem::path layout_store::manifest_path() const
 {
-    return store_root / "manifest.json";
+    return store_root / manifest_file;
 }
 
 std::filesystem::path layout_store::blob_dir() const
@@ -161,6 +250,8 @@ void layout_store::load_manifest()
     }
     catch (const std::exception& e)
     {
+        tel::log_event(tel::log_severity::error, "store", "manifest unreadable; store loads empty",
+                       {{"path", manifest_path().string()}, {"error", e.what()}});
         issues.push_back(corruption("manifest", e.what()));
         tel::count("store.load_issues");
         return;
@@ -168,6 +259,10 @@ void layout_store::load_manifest()
     if (version > manifest_version)
     {
         // genuinely unsupported, not corruption: refuse loudly
+        tel::log_event(tel::log_severity::error, "store", "manifest version newer than supported",
+                       {{"path", manifest_path().string()},
+                        {"version", std::to_string(version)},
+                        {"supported", std::to_string(manifest_version)}});
         throw mnt_error{"store: manifest version " + std::to_string(version) +
                         " is newer than supported version " + std::to_string(manifest_version)};
     }
@@ -176,6 +271,10 @@ void layout_store::load_manifest()
         // version 1 addressed blobs by 64-bit FNV-1a; every blob reference
         // would fail the hash cross-check, so treat the store as empty and
         // let regeneration rewrite it under the current format
+        tel::log_event(tel::log_severity::warn, "store", "manifest version predates blob-address format",
+                       {{"path", manifest_path().string()},
+                        {"version", std::to_string(version)},
+                        {"supported", std::to_string(manifest_version)}});
         issues.push_back(corruption("manifest", "manifest version " + std::to_string(version) +
                                                     " predates the current blob-address format; "
                                                     "treating the store as empty"));
@@ -183,6 +282,12 @@ void layout_store::load_manifest()
         return;
     }
 
+    absorb_manifest(manifest, "manifest");
+}
+
+merge_stats layout_store::absorb_manifest(const json_value& manifest, const std::string& origin)
+{
+    merge_stats stats{};
     if (const auto* networks_json = manifest.find("networks"); networks_json != nullptr)
     {
         for (const auto& entry : networks_json->as_array())
@@ -196,12 +301,17 @@ void layout_store::load_manifest()
                 n.outputs = entry.at("outputs").as_u64();
                 n.gates = entry.at("gates").as_u64();
                 n.blob = entry.at("blob").as_string();
-                network_names.insert(n.set + "/" + n.name);
+                if (!network_names.insert(n.set + "/" + n.name).second)
+                {
+                    continue;  // already present (shard duplicated a network)
+                }
+                stats.blob_ids.push_back(n.blob);
                 networks.push_back(std::move(n));
+                ++stats.networks;
             }
             catch (const std::exception& e)
             {
-                issues.push_back(corruption("manifest networks entry", e.what()));
+                issues.push_back(corruption(origin + " networks entry", e.what()));
                 tel::count("store.load_issues");
             }
         }
@@ -228,12 +338,17 @@ void layout_store::load_manifest()
                 l.runtime_s = entry.at("runtime_s").as_number();
                 l.blob = entry.at("blob").as_string();
                 l.key = entry.at("cache_key").as_string();
-                keys.insert(l.key);
+                if (!keys.insert(l.key).second)
+                {
+                    continue;  // layout or completed marker already known
+                }
+                stats.blob_ids.push_back(l.blob);
                 layouts.push_back(std::move(l));
+                ++stats.layouts;
             }
             catch (const std::exception& e)
             {
-                issues.push_back(corruption("manifest layouts entry", e.what()));
+                issues.push_back(corruption(origin + " layouts entry", e.what()));
                 tel::count("store.load_issues");
             }
         }
@@ -253,11 +368,28 @@ void layout_store::load_manifest()
                 f.message = entry.at("message").as_string();
                 f.elapsed_s = entry.at("elapsed_s").as_number();
                 f.attempts = entry.at("attempts").as_u64();
-                failures.push_back(std::move(f));
+                // replace-by-combination, like put_failure: a rerun's result
+                // supersedes the previous record instead of accumulating
+                auto replaced = false;
+                for (auto& existing : failures)
+                {
+                    if (existing.set == f.set && existing.name == f.name && existing.library == f.library &&
+                        existing.combination == f.combination)
+                    {
+                        existing = std::move(f);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if (!replaced)
+                {
+                    failures.push_back(std::move(f));
+                }
+                ++stats.failures;
             }
             catch (const std::exception& e)
             {
-                issues.push_back(corruption("manifest failures entry", e.what()));
+                issues.push_back(corruption(origin + " failures entry", e.what()));
                 tel::count("store.load_issues");
             }
         }
@@ -271,15 +403,40 @@ void layout_store::load_manifest()
                 if (keys.insert(key).second)
                 {
                     completed.push_back(std::move(key));
+                    ++stats.completed;
                 }
             }
         }
         catch (const std::exception& e)
         {
-            issues.push_back(corruption("manifest completed list", e.what()));
+            issues.push_back(corruption(origin + " completed list", e.what()));
             tel::count("store.load_issues");
         }
     }
+    return stats;
+}
+
+merge_stats layout_store::merge_manifest_file(const std::filesystem::path& path)
+{
+    json_value manifest;
+    std::uint64_t version = 0;
+    try
+    {
+        manifest = json_value::parse(read_file(path));
+        version = manifest.at("version").as_u64();
+    }
+    catch (const std::exception& e)
+    {
+        throw mnt_error{"store: cannot merge shard manifest '" + path.string() + "': " + e.what()};
+    }
+    if (version != manifest_version)
+    {
+        throw mnt_error{"store: shard manifest '" + path.string() + "' has version " + std::to_string(version) +
+                        ", expected " + std::to_string(manifest_version)};
+    }
+    auto stats = absorb_manifest(manifest, "shard " + path.filename().string());
+    tel::count("store.shard_merges");
+    return stats;
 }
 
 std::string layout_store::put_network(const std::string& set, const std::string& name,
@@ -395,8 +552,38 @@ void layout_store::mark_completed(const std::string& key)
     }
 }
 
+bool layout_store::remove_failure(const std::string& set, const std::string& name, const std::string& library,
+                                  const std::string& combination)
+{
+    for (auto it = failures.begin(); it != failures.end(); ++it)
+    {
+        if (it->set == set && it->name == name && it->library == library && it->combination == combination)
+        {
+            failures.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 void layout_store::save()
 {
+    // canonical order: the manifest bytes must be a pure function of the
+    // content set, independent of ingestion order — a resumed run and an
+    // uninterrupted one then produce byte-identical manifests
+    std::sort(networks.begin(), networks.end(),
+              [](const stored_network& a, const stored_network& b)
+              { return std::tie(a.set, a.name) < std::tie(b.set, b.name); });
+    std::sort(layouts.begin(), layouts.end(),
+              [](const stored_layout& a, const stored_layout& b) { return a.key < b.key; });
+    std::sort(failures.begin(), failures.end(),
+              [](const stored_failure& a, const stored_failure& b)
+              {
+                  return std::tie(a.set, a.name, a.library, a.combination) <
+                         std::tie(b.set, b.name, b.library, b.combination);
+              });
+    std::sort(completed.begin(), completed.end());
+
     auto manifest = json_value::make_object();
     manifest.set("version", json_value{manifest_version});
 

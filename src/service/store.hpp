@@ -38,6 +38,7 @@
 #include "core/catalog.hpp"
 #include "common/resilience.hpp"
 #include "network/logic_network.hpp"
+#include "service/json.hpp"
 
 #include <cstdint>
 #include <filesystem>
@@ -74,6 +75,18 @@ struct store_snapshot
     std::vector<res::combo_outcome> issues;
 };
 
+/// Outcome of folding a shard manifest into the store: how many new entries
+/// each section contributed (duplicates are skipped) and the content hashes
+/// of the absorbed blobs (the journal's content-addressed result ids).
+struct merge_stats
+{
+    std::size_t networks{0};
+    std::size_t layouts{0};
+    std::size_t failures{0};
+    std::size_t completed{0};
+    std::vector<std::string> blob_ids{};
+};
+
 /// The persistent store. Not internally synchronized: one writer at a time
 /// (the generation loop); concurrent readers of the written files are safe
 /// because blobs are immutable and the manifest is swapped atomically.
@@ -86,14 +99,28 @@ public:
     /// next generation run.
     static constexpr std::uint64_t manifest_version = 2;
 
+    /// Subdirectory (under the store root) where supervised workers park
+    /// their per-job shard manifests until the parent merges them.
+    static constexpr const char* shard_dir_name = "shards";
+
     /// Opens (or initializes) the store rooted at \p root. Creates the
     /// directory structure on demand and loads an existing manifest. A
     /// corrupt manifest is reported via \ref open_issues and treated as
-    /// empty; a manifest from a newer schema version raises.
+    /// empty; a manifest from a newer schema version raises. Temp files left
+    /// behind by dead writers (`*.tmp-<pid>` with no live process <pid>) are
+    /// pruned, so a killed run never pollutes the next one's byte layout.
     ///
     /// \throws mnt::mnt_error when the directories cannot be created or the
     ///         manifest version is unsupported
     explicit layout_store(std::filesystem::path root);
+
+    /// Same, but with the manifest at \p manifest_file (relative to the
+    /// root) instead of manifest.json. Supervised worker processes use this
+    /// to write a per-job shard manifest (`shards/job-<hash>.json`) sharing
+    /// the parent's blob directory: blobs are content-addressed and
+    /// idempotent, so concurrent shard writers never conflict, and the
+    /// parent stays the only writer of the main manifest.
+    layout_store(std::filesystem::path root, const std::filesystem::path& manifest_file);
 
     [[nodiscard]] const std::filesystem::path& root() const noexcept;
 
@@ -124,9 +151,30 @@ public:
     /// incremental regeneration skips it too.
     void mark_completed(const std::string& key);
 
-    /// Writes the manifest atomically. Blobs are already on disk at this
-    /// point; a crash before save() loses manifest entries but never
-    /// corrupts the store.
+    /// Drops the failure record for (set, name, library, combination), if
+    /// any. Resume uses this to clear a synthesized worker-crash record once
+    /// the job reruns successfully. Returns true when a record was removed.
+    bool remove_failure(const std::string& set, const std::string& name, const std::string& library,
+                        const std::string& combination);
+
+    /// Folds the manifest at \p path (same schema as manifest.json, e.g. a
+    /// worker's shard manifest) into this store's in-memory state. Entries
+    /// already present — networks by (set, name), layouts by cache key,
+    /// completed markers by key — are skipped; failure records replace any
+    /// existing record for the same combination. Call \ref save afterwards
+    /// to persist the merged manifest.
+    ///
+    /// \throws mnt::mnt_error when the file is missing, unparseable, or of
+    ///         an unsupported version — a shard that cannot be merged means
+    ///         its job must be re-run, not silently dropped
+    merge_stats merge_manifest_file(const std::filesystem::path& path);
+
+    /// Writes the manifest atomically and durably (fsync'd file + directory).
+    /// Entries are emitted in canonical sorted order, so the manifest bytes
+    /// are a pure function of the content set — a resumed run that converges
+    /// on the same content produces a byte-identical manifest. Blobs are
+    /// already on disk at this point; a crash before save() loses manifest
+    /// entries but never corrupts the store.
     ///
     /// \throws mnt::mnt_error when the manifest cannot be written
     void save();
@@ -200,10 +248,12 @@ private:
     };
 
     void load_manifest();
+    merge_stats absorb_manifest(const json_value& manifest, const std::string& origin);
     [[nodiscard]] std::filesystem::path manifest_path() const;
     [[nodiscard]] std::filesystem::path blob_dir() const;
 
     std::filesystem::path store_root;
+    std::filesystem::path manifest_file{"manifest.json"};
     std::vector<stored_network> networks;
     std::vector<stored_layout> layouts;
     std::vector<stored_failure> failures;
@@ -213,7 +263,10 @@ private:
     std::vector<res::combo_outcome> issues;
 };
 
-/// Writes \p bytes to \p path atomically (temp file + rename).
+/// Writes \p bytes to \p path atomically and durably: temp file in the same
+/// directory, fsync of the file, rename into place, fsync of the containing
+/// directory — so the entry survives both a crash mid-write (rename
+/// atomicity) and power loss after the rename (directory fsync).
 ///
 /// \throws mnt::mnt_error when the file cannot be written or renamed
 void write_file_atomic(const std::filesystem::path& path, const std::string& bytes);

@@ -222,6 +222,15 @@ void event_log::close_sink()
     }
 }
 
+void event_log::flush()
+{
+    const std::lock_guard lock{state->mutex};
+    if (state->sink.is_open())
+    {
+        state->sink.flush();
+    }
+}
+
 void event_log::set_stderr_echo(const bool on)
 {
     const std::lock_guard lock{state->mutex};

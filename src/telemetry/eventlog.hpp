@@ -108,6 +108,10 @@ public:
     /// Flushes and detaches the sink (records keep going to the ring).
     void close_sink();
 
+    /// Flushes the sink without detaching it. Interrupt paths call this so
+    /// an exiting process leaves no buffered JSONL lines behind.
+    void flush();
+
     /// Mirror warn/error records to stderr as human-readable lines (what the
     /// CLIs enable so operators still see problems without tailing a file).
     void set_stderr_echo(bool on);

@@ -1,0 +1,387 @@
+//
+// Crash-recovery property suite: kill the regeneration process at every
+// journal append (before and after the fsync), resume, and require the
+// resulting store to be byte-identical to an uninterrupted run. Plus unit
+// coverage of journal replay (torn tails, malformed lines, checkpoints) and
+// the supervised worker-crash containment + recovery path.
+//
+
+#include "benchmarks/functions.hpp"
+#include "benchmarks/suites.hpp"
+#include "common/resilience.hpp"
+#include "service/journal.hpp"
+#include "service/populate.hpp"
+#include "service/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::svc;
+
+namespace
+{
+
+/// A throwaway directory under the system temp directory.
+class temp_dir
+{
+public:
+    explicit temp_dir(const char* name) : path{std::filesystem::temp_directory_path() / name}
+    {
+        std::filesystem::remove_all(path);
+    }
+
+    ~temp_dir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    std::filesystem::path path;
+};
+
+/// The one-benchmark workload every recovery test regenerates: small enough
+/// to run in milliseconds, rich enough to produce layouts for both libraries.
+std::vector<bm::benchmark_entry> tiny_entries()
+{
+    return {{"Trindade16", "2:1 MUX", &bm::mux21, bm::size_class::tiny}};
+}
+
+populate_options deterministic_options()
+{
+    populate_options options{};
+    options.deterministic = true;
+    return options;
+}
+
+/// Content signature of a store: the exact manifest bytes plus the sorted
+/// blob file names (blobs are content-addressed, so names pin the contents).
+/// The journal and shard directories are deliberately excluded — they are
+/// run-history, not content.
+std::string store_signature(const std::filesystem::path& root)
+{
+    std::string sig = read_file(root / "manifest.json");
+    std::vector<std::string> blobs;
+    if (std::filesystem::exists(root / "blobs"))
+    {
+        for (const auto& entry : std::filesystem::directory_iterator{root / "blobs"})
+        {
+            blobs.push_back(entry.path().filename().string());
+        }
+    }
+    std::sort(blobs.begin(), blobs.end());
+    for (const auto& blob : blobs)
+    {
+        sig += "\n" + blob;
+    }
+    return sig;
+}
+
+/// Regenerates \p root from scratch without interruption (the golden run).
+std::string golden_signature(const std::filesystem::path& root)
+{
+    layout_store store{root};
+    const auto report = populate_store(store, tiny_entries(), deterministic_options());
+    EXPECT_EQ(report.jobs_crashed, 0u);
+    EXPECT_FALSE(report.interrupted);
+    return store_signature(root);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ journal units
+
+TEST(RunJournalTest, MissingFileReplaysEmpty)
+{
+    const auto replay = journal_replay::replay("/nonexistent/journal.jsonl");
+    EXPECT_TRUE(replay.done.empty());
+    EXPECT_TRUE(replay.in_flight.empty());
+    EXPECT_EQ(replay.lines, 0u);
+    EXPECT_FALSE(replay.interrupted);
+}
+
+TEST(RunJournalTest, RoundTripsThroughReplay)
+{
+    temp_dir dir{"mnt_journal_roundtrip"};
+    std::filesystem::create_directories(dir.path);
+    const auto path = dir.path / run_journal::default_filename;
+    {
+        run_journal journal{path};
+        journal.run_start(3, "cfg=1");
+        journal.job_start("a");
+        journal.job_done("a", 2, 0, 1, {"blob1", "blob2"});
+        journal.job_start("b");
+        journal.job_crashed("b", "crashed", SIGSEGV, -1, "signal 11");
+        journal.job_start("c");
+        journal.run_end(2, 1);
+    }
+    const auto replay = journal_replay::replay(path);
+    EXPECT_EQ(replay.done, (std::set<std::string>{"a"}));
+    EXPECT_EQ(replay.crashed, (std::set<std::string>{"b"}));
+    EXPECT_EQ(replay.in_flight, (std::set<std::string>{"c"}));
+    EXPECT_EQ(replay.config, "cfg=1");
+    EXPECT_EQ(replay.lines, 7u);
+    EXPECT_EQ(replay.malformed_lines, 0u);
+    EXPECT_FALSE(replay.interrupted);
+}
+
+TEST(RunJournalTest, RerunOfACrashedJobMarksItDone)
+{
+    temp_dir dir{"mnt_journal_rerun"};
+    std::filesystem::create_directories(dir.path);
+    const auto path = dir.path / run_journal::default_filename;
+    {
+        run_journal journal{path};
+        journal.job_start("a");
+        journal.job_crashed("a", "crashed", SIGSEGV, -1, "signal 11");
+        journal.job_start("a");
+        journal.job_done("a", 1, 0, 0, {});
+    }
+    const auto replay = journal_replay::replay(path);
+    EXPECT_EQ(replay.done, (std::set<std::string>{"a"}));
+    EXPECT_TRUE(replay.crashed.empty());
+    EXPECT_TRUE(replay.in_flight.empty());
+}
+
+TEST(RunJournalTest, TornFinalLineIsIgnored)
+{
+    temp_dir dir{"mnt_journal_torn"};
+    std::filesystem::create_directories(dir.path);
+    const auto path = dir.path / run_journal::default_filename;
+    {
+        run_journal journal{path};
+        journal.run_start(1, "cfg");
+        journal.job_start("a");
+        journal.job_done("a", 1, 0, 0, {});
+    }
+    // simulate a kill mid-append: a half-written record with no newline
+    {
+        std::ofstream torn{path, std::ios::app};
+        torn << R"({"event":"job_start","job":"b)";
+    }
+    const auto replay = journal_replay::replay(path);
+    EXPECT_EQ(replay.done, (std::set<std::string>{"a"}));
+    EXPECT_TRUE(replay.in_flight.empty());  // the torn record never happened
+    EXPECT_EQ(replay.malformed_lines, 0u);  // a torn tail is expected, not corruption
+    EXPECT_TRUE(replay.interrupted);        // no run_end
+}
+
+TEST(RunJournalTest, MalformedMidFileLinesAreCountedAndSkipped)
+{
+    temp_dir dir{"mnt_journal_malformed"};
+    std::filesystem::create_directories(dir.path);
+    const auto path = dir.path / run_journal::default_filename;
+    {
+        std::ofstream out{path};
+        out << R"({"event":"job_start","job":"a","ts":1})" << "\n";
+        out << "this is not json\n";
+        out << R"({"event":"job_done","job":"a","layouts":1,"failures":0,"completed":0,"results":[],"ts":2})"
+            << "\n";
+    }
+    const auto replay = journal_replay::replay(path);
+    EXPECT_EQ(replay.done, (std::set<std::string>{"a"}));
+    EXPECT_EQ(replay.malformed_lines, 1u);
+}
+
+TEST(RunJournalTest, CheckpointWithoutRunEndMeansInterrupted)
+{
+    temp_dir dir{"mnt_journal_checkpoint"};
+    std::filesystem::create_directories(dir.path);
+    const auto path = dir.path / run_journal::default_filename;
+    {
+        run_journal journal{path};
+        journal.run_start(2, "cfg");
+        journal.job_start("a");
+        journal.job_done("a", 1, 0, 0, {});
+        journal.checkpoint("cancelled");
+    }
+    const auto replay = journal_replay::replay(path);
+    EXPECT_TRUE(replay.interrupted);
+    EXPECT_EQ(replay.done, (std::set<std::string>{"a"}));
+}
+
+// ------------------------------------------------- kill-anywhere resumption
+
+namespace
+{
+
+/// Forks a child that regenerates \p root with a SIGKILL scheduled at the
+/// \p k-th journal append (\p site selects before/after the fsync). Returns
+/// true when the child was killed, false when it finished the whole run
+/// (i.e. k exceeds the run's journal record count).
+bool run_killed_regeneration(const std::filesystem::path& root, const char* site, const unsigned k)
+{
+    const pid_t pid = fork();
+    if (pid == 0)
+    {
+        res::fault::configure(std::string{site} + "=" + std::to_string(k));
+        try
+        {
+            layout_store store{root};
+            static_cast<void>(populate_store(store, tiny_entries(), deterministic_options()));
+        }
+        catch (...)
+        {
+            std::_Exit(99);
+        }
+        std::_Exit(0);
+    }
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    if (WIFSIGNALED(status))
+    {
+        EXPECT_EQ(WTERMSIG(status), SIGKILL);
+        return true;
+    }
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "child failed instead of being killed";
+    return false;
+}
+
+}  // namespace
+
+/// The core recovery property: for EVERY journal append index k, killing the
+/// process immediately before or immediately after that append and then
+/// resuming yields a store byte-identical to an uninterrupted run. This is
+/// exhaustive over all kill points (strictly stronger than sampling them
+/// randomly): the journal of this workload has a fixed record count, and the
+/// loop brackets every fsync boundary of the run.
+TEST(CrashRecoveryTest, KillAtEveryJournalAppendThenResumeIsByteIdentical)
+{
+    temp_dir golden_dir{"mnt_recovery_golden"};
+    const auto golden = golden_signature(golden_dir.path);
+
+    for (const char* site : {"journal.kill_before", "journal.kill_after"})
+    {
+        for (unsigned k = 1; k <= 16; ++k)
+        {
+            temp_dir dir{"mnt_recovery_kill"};
+            const bool killed = run_killed_regeneration(dir.path, site, k);
+            if (!killed)
+            {
+                // k exceeded the journal record count: the run completed, the
+                // matrix is exhausted for this site
+                EXPECT_GT(k, 2u) << "run finished before any job completed";
+                EXPECT_EQ(store_signature(dir.path), golden);
+                break;
+            }
+
+            // resume after the kill; the store must converge byte-identically
+            layout_store store{dir.path};
+            auto options = deterministic_options();
+            options.resume = true;
+            const auto report = populate_store(store, tiny_entries(), options);
+            EXPECT_FALSE(report.interrupted);
+            EXPECT_EQ(report.jobs_run + report.jobs_skipped_resume, report.jobs_total)
+                << site << "=" << k;
+            EXPECT_EQ(store_signature(dir.path), golden) << "divergence after " << site << "=" << k;
+        }
+    }
+}
+
+TEST(CrashRecoveryTest, ResumeOfACompletedRunRunsNothing)
+{
+    temp_dir dir{"mnt_recovery_noop"};
+    const auto golden = golden_signature(dir.path);
+
+    layout_store store{dir.path};
+    auto options = deterministic_options();
+    options.resume = true;
+    const auto report = populate_store(store, tiny_entries(), options);
+    EXPECT_EQ(report.jobs_run, 0u);
+    EXPECT_EQ(report.jobs_skipped_resume, report.jobs_total);
+    EXPECT_EQ(store_signature(dir.path), golden);
+}
+
+TEST(CrashRecoveryTest, CancelCheckpointsAndResumes)
+{
+    temp_dir golden_dir{"mnt_recovery_cancel_golden"};
+    const auto golden = golden_signature(golden_dir.path);
+
+    temp_dir dir{"mnt_recovery_cancel"};
+    {
+        // a pre-raised cancel flag: the run must stop before its first job,
+        // write a checkpoint record, and stay resumable
+        layout_store store{dir.path};
+        auto options = deterministic_options();
+        options.cancel = std::make_shared<const std::atomic<bool>>(true);
+        const auto report = populate_store(store, tiny_entries(), options);
+        EXPECT_TRUE(report.interrupted);
+        EXPECT_EQ(report.jobs_run, 0u);
+    }
+    const auto replay = journal_replay::replay(dir.path / run_journal::default_filename);
+    EXPECT_TRUE(replay.interrupted);
+
+    layout_store store{dir.path};
+    auto options = deterministic_options();
+    options.resume = true;
+    const auto report = populate_store(store, tiny_entries(), options);
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_EQ(store_signature(dir.path), golden);
+}
+
+// --------------------------------------------- supervised crash containment
+
+TEST(CrashRecoveryTest, WorkerCrashIsContainedAndRecoveredOnResume)
+{
+    temp_dir golden_dir{"mnt_recovery_sup_golden"};
+    const auto golden = golden_signature(golden_dir.path);
+
+    temp_dir dir{"mnt_recovery_sup"};
+    {
+        // every worker segfaults: the run must complete anyway, recording one
+        // synthesized "(worker)" failure per job instead of dying
+        layout_store store{dir.path};
+        auto options = deterministic_options();
+        options.workers = 1;
+        options.worker_command = {MNT_WORKER_PROBE, "segv"};
+        const auto report = populate_store(store, tiny_entries(), options);
+        EXPECT_EQ(report.jobs_crashed, report.jobs_total);
+        EXPECT_EQ(report.jobs_crashed, 2u);
+        EXPECT_FALSE(report.interrupted);
+        EXPECT_EQ(store.num_failures(), 2u);
+        EXPECT_NE(read_file(dir.path / "manifest.json").find(worker_combination), std::string::npos);
+    }
+
+    // resume with a working worker: the crashed jobs re-run, the synthesized
+    // failure records are cleared, and the store converges on the golden bytes
+    layout_store store{dir.path};
+    auto options = deterministic_options();
+    options.resume = true;
+    options.workers = 2;
+    options.worker_command = {MNT_WORKER_PROBE, "job", dir.path.string()};
+    const auto report = populate_store(store, tiny_entries(), options);
+    EXPECT_EQ(report.jobs_crashed, 0u);
+    EXPECT_EQ(report.jobs_run, 2u);
+    EXPECT_EQ(store.num_failures(), 0u);
+    EXPECT_EQ(store_signature(dir.path), golden);
+}
+
+TEST(CrashRecoveryTest, SupervisedRunMatchesInProcessRunByteForByte)
+{
+    temp_dir golden_dir{"mnt_recovery_inproc"};
+    const auto golden = golden_signature(golden_dir.path);
+
+    temp_dir dir{"mnt_recovery_workers"};
+    layout_store store{dir.path};
+    auto options = deterministic_options();
+    options.workers = 2;
+    options.worker_command = {MNT_WORKER_PROBE, "job", dir.path.string()};
+    const auto report = populate_store(store, tiny_entries(), options);
+    EXPECT_EQ(report.jobs_crashed, 0u);
+    EXPECT_EQ(report.jobs_run, report.jobs_total);
+    EXPECT_EQ(store_signature(dir.path), golden);
+}

@@ -8,6 +8,7 @@
 #include "physical_design/ortho.hpp"
 #include "service/hash.hpp"
 #include "service/json.hpp"
+#include "telemetry/eventlog.hpp"
 
 #include <gtest/gtest.h>
 
@@ -468,4 +469,201 @@ TEST(LayoutStoreTest, BlobPathRejectsNonHexIds)
     EXPECT_FALSE(store.blob_path("../manifest").has_value());
     EXPECT_FALSE(store.blob_path("ABCDEF0123456789").has_value());  // upper case is not an id
     EXPECT_FALSE(store.blob_path("0123456789abcdef").has_value());  // hex but absent
+}
+
+// ----------------------------------------------- durability and shard merge
+
+TEST(LayoutStoreTest, RemoveFailureDropsExactlyTheMatchingRecord)
+{
+    const store_dir dir{"mnt_store_remove_failure_test"};
+    layout_store store{dir.path};
+    cat::failure_record failure{};
+    failure.benchmark_set = "S";
+    failure.benchmark_name = "f";
+    failure.library = cat::gate_library_kind::qca_one;
+    failure.combination = "(worker)";
+    failure.kind = "crashed";
+    store.put_failure(failure);
+    failure.combination = "exact@USE";
+    store.put_failure(failure);
+    ASSERT_EQ(store.num_failures(), 2u);
+
+    EXPECT_TRUE(store.remove_failure("S", "f", "QCA ONE", "(worker)"));
+    EXPECT_EQ(store.num_failures(), 1u);
+    EXPECT_FALSE(store.remove_failure("S", "f", "QCA ONE", "(worker)"));  // already gone
+    EXPECT_FALSE(store.remove_failure("S", "f", "Bestagon", "exact@USE"));  // wrong library
+    EXPECT_EQ(store.num_failures(), 1u);
+}
+
+TEST(LayoutStoreTest, MergeManifestFileFoldsAShardAndDeduplicates)
+{
+    const store_dir dir{"mnt_store_merge_test"};
+    const auto network = bm::mux21();
+    const auto cartesian = pd::ortho(network);
+
+    layout_store main_store{dir.path};
+    main_store.put_network("S", "f", network);
+
+    // a worker's shard: same root (shared blobs), separate manifest
+    const std::filesystem::path shard_file =
+        std::filesystem::path{layout_store::shard_dir_name} / "job-test.json";
+    {
+        layout_store shard{dir.path, shard_file};
+        shard.put_network("S", "f", network);  // duplicate of the main store's
+        shard.put_layout(make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", cartesian));
+        shard.mark_completed("S/f|QCA ONE|exact@USE");
+        cat::failure_record failure{};
+        failure.benchmark_set = "S";
+        failure.benchmark_name = "f";
+        failure.library = cat::gate_library_kind::qca_one;
+        failure.combination = "NPR@USE";
+        failure.kind = "timeout";
+        shard.put_failure(failure);
+        shard.save();
+    }
+
+    const auto stats = main_store.merge_manifest_file(dir.path / shard_file);
+    EXPECT_EQ(stats.networks, 0u);  // deduplicated against the main store
+    EXPECT_EQ(stats.layouts, 1u);
+    EXPECT_EQ(stats.failures, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.blob_ids.size(), 1u);
+    EXPECT_EQ(main_store.num_layouts(), 1u);
+    EXPECT_TRUE(main_store.contains("S/f|QCA ONE|exact@USE"));
+
+    // merging the same shard again adds nothing
+    const auto again = main_store.merge_manifest_file(dir.path / shard_file);
+    EXPECT_EQ(again.layouts, 0u);
+    EXPECT_EQ(again.completed, 0u);
+    EXPECT_EQ(main_store.num_layouts(), 1u);
+    EXPECT_EQ(main_store.num_failures(), 1u);  // failure replaced, not duplicated
+
+    // the merged state persists and reloads cleanly
+    main_store.save();
+    layout_store reopened{dir.path};
+    EXPECT_EQ(reopened.num_layouts(), 1u);
+    EXPECT_EQ(reopened.num_failures(), 1u);
+    EXPECT_TRUE(reopened.load().issues.empty());
+}
+
+TEST(LayoutStoreTest, MergeManifestFileRejectsMissingOrForeignFiles)
+{
+    const store_dir dir{"mnt_store_merge_reject_test"};
+    layout_store store{dir.path};
+    EXPECT_THROW(static_cast<void>(store.merge_manifest_file(dir.path / "nope.json")), mnt_error);
+
+    write_file_atomic(dir.path / "bad.json", "not json");
+    EXPECT_THROW(static_cast<void>(store.merge_manifest_file(dir.path / "bad.json")), mnt_error);
+
+    write_file_atomic(dir.path / "old.json", "{\"version\": 1}");
+    EXPECT_THROW(static_cast<void>(store.merge_manifest_file(dir.path / "old.json")), mnt_error);
+}
+
+TEST(LayoutStoreTest, ManifestBytesAreIndependentOfIngestOrder)
+{
+    const store_dir dir_a{"mnt_store_order_a_test"};
+    const store_dir dir_b{"mnt_store_order_b_test"};
+    const auto network = bm::mux21();
+    const auto cartesian = pd::ortho(network);
+    const auto hexagonal = pd::hexagonalization(cartesian);
+    const auto qca = make_record("S", "f", cat::gate_library_kind::qca_one, "ortho", cartesian);
+    const auto hex = make_record("S", "f", cat::gate_library_kind::bestagon, "ortho", hexagonal);
+
+    {
+        layout_store store{dir_a.path};
+        store.put_network("S", "f", network);
+        store.put_layout(qca);
+        store.put_layout(hex);
+        store.mark_completed("S/f|QCA ONE|exact@USE");
+        store.mark_completed("S/f|Bestagon|exact@ROW");
+        store.save();
+    }
+    {
+        // same content, reverse ingest order
+        layout_store store{dir_b.path};
+        store.mark_completed("S/f|Bestagon|exact@ROW");
+        store.mark_completed("S/f|QCA ONE|exact@USE");
+        store.put_layout(hex);
+        store.put_layout(qca);
+        store.put_network("S", "f", network);
+        store.save();
+    }
+    EXPECT_EQ(read_file(dir_a.path / "manifest.json"), read_file(dir_b.path / "manifest.json"));
+}
+
+TEST(LayoutStoreTest, StaleTempFilesOfDeadWritersArePruned)
+{
+    const store_dir dir{"mnt_store_stale_temp_test"};
+    std::filesystem::create_directories(dir.path / "blobs");
+    // pid 1 is not ours to signal -> kill(1, 0) fails with EPERM, so the file
+    // is treated as live and kept; a wildly out-of-range pid is surely dead
+    write_file_atomic(dir.path / "manifest.json", "{\"version\": 2}");
+    const auto dead = dir.path / "blobs" / "deadbeef.fgl.tmp-999999999";
+    {
+        std::ofstream out{dead};
+        out << "partial";
+    }
+    layout_store store{dir.path};
+    EXPECT_FALSE(std::filesystem::exists(dead));
+}
+
+TEST(LayoutStoreTest, UnreadableManifestLogsAStructuredEvent)
+{
+    const store_dir dir{"mnt_store_manifest_event_test"};
+    std::filesystem::create_directories(dir.path / "blobs");
+    write_file_atomic(dir.path / "manifest.json", "{broken");
+
+    auto& log = tel::event_log::instance();
+    log.clear();
+    layout_store store{dir.path};
+    EXPECT_EQ(store.num_layouts(), 0u);
+
+    bool found = false;
+    for (const auto& record : log.snapshot())
+    {
+        if (record.component == "store" && record.severity == tel::log_severity::error &&
+            record.message.find("unreadable") != std::string::npos)
+        {
+            found = true;
+            // the event must carry the offending path for the operator
+            bool has_path = false;
+            for (const auto& [key, value] : record.fields)
+            {
+                has_path |= key == "path" && value.find("manifest.json") != std::string::npos;
+            }
+            EXPECT_TRUE(has_path);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LayoutStoreTest, VersionSkewLogsWarnAndErrorEvents)
+{
+    auto& log = tel::event_log::instance();
+
+    const store_dir old_dir{"mnt_store_event_old_test"};
+    std::filesystem::create_directories(old_dir.path / "blobs");
+    write_file_atomic(old_dir.path / "manifest.json", "{\"version\": 1}");
+    log.clear();
+    layout_store old_store{old_dir.path};
+    bool warned = false;
+    for (const auto& record : log.snapshot())
+    {
+        warned |= record.component == "store" && record.severity == tel::log_severity::warn &&
+                  record.message.find("predates") != std::string::npos;
+    }
+    EXPECT_TRUE(warned);
+
+    const store_dir new_dir{"mnt_store_event_new_test"};
+    std::filesystem::create_directories(new_dir.path / "blobs");
+    write_file_atomic(new_dir.path / "manifest.json", "{\"version\": 999}");
+    log.clear();
+    EXPECT_THROW((layout_store{new_dir.path}), mnt_error);
+    bool errored = false;
+    for (const auto& record : log.snapshot())
+    {
+        errored |= record.component == "store" && record.severity == tel::log_severity::error &&
+                   record.message.find("newer") != std::string::npos;
+    }
+    EXPECT_TRUE(errored);
 }

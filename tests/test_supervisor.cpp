@@ -1,0 +1,223 @@
+#include "common/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mnt;
+using namespace mnt::sup;
+
+namespace
+{
+
+/// Path of the probe helper binary, injected by the build.
+std::string probe()
+{
+    return MNT_WORKER_PROBE;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- exit and crash
+
+TEST(SupervisorTest, CleanExitIsOk)
+{
+    const auto result = run_worker({probe(), "exit", "0"});
+    EXPECT_EQ(result.status, worker_status::exited);
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.reason, kill_reason::none);
+    EXPECT_FALSE(result.killed_by_watchdog);
+    EXPECT_EQ(classify(result), res::outcome_kind::ok);
+}
+
+TEST(SupervisorTest, NonzeroExitCodeReported)
+{
+    const auto result = run_worker({probe(), "exit", "3"});
+    EXPECT_EQ(result.status, worker_status::exited);
+    EXPECT_EQ(result.exit_code, 3);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(classify(result), res::outcome_kind::internal_error);
+}
+
+TEST(SupervisorTest, CrashCapturedAsSignalNotException)
+{
+    const auto result = run_worker({probe(), "segv"});
+    EXPECT_EQ(result.status, worker_status::crashed);
+    EXPECT_EQ(result.signal, SIGSEGV);
+    EXPECT_FALSE(result.killed_by_watchdog);
+    EXPECT_EQ(classify(result), res::outcome_kind::crashed);
+    EXPECT_NE(describe(result).find("signal"), std::string::npos);
+}
+
+TEST(SupervisorTest, StderrTailSurvivesTheCrash)
+{
+    const auto result = run_worker({probe(), "stderr-then-segv"});
+    EXPECT_EQ(result.status, worker_status::crashed);
+    EXPECT_NE(result.stderr_tail.find("about to crash on purpose"), std::string::npos);
+}
+
+TEST(SupervisorTest, StderrTailIsBounded)
+{
+    worker_limits limits{};
+    limits.stderr_tail_bytes = 8;
+    const auto result = run_worker({probe(), "stderr-then-segv"}, limits);
+    EXPECT_LE(result.stderr_tail.size(), 8u);
+}
+
+// ------------------------------------------------------------ watchdog kills
+
+TEST(SupervisorTest, HangEscalatesToTermination)
+{
+    worker_limits limits{};
+    limits.hang_timeout_s = 0.2;
+    limits.term_grace_s = 0.2;
+    const auto result = run_worker({probe(), "spin"}, limits);
+    EXPECT_EQ(result.status, worker_status::hung);
+    EXPECT_EQ(result.reason, kill_reason::hang);
+    EXPECT_TRUE(result.killed_by_watchdog);
+    EXPECT_EQ(classify(result), res::outcome_kind::hung);
+}
+
+TEST(SupervisorTest, TermIgnoringChildGetsSigkilled)
+{
+    worker_limits limits{};
+    limits.hang_timeout_s = 0.2;
+    limits.term_grace_s = 0.2;
+    const auto result = run_worker({probe(), "spin-ignore-term"}, limits);
+    EXPECT_EQ(result.status, worker_status::hung);
+    EXPECT_EQ(result.signal, SIGKILL);
+    EXPECT_TRUE(result.killed_by_watchdog);
+}
+
+TEST(SupervisorTest, HeartbeatsKeepASlowChildAlive)
+{
+    worker_limits limits{};
+    limits.hang_timeout_s = 0.25;
+    // the child runs ~0.4 s total, well past the hang timeout, but heartbeats
+    // every 50 ms — the watchdog must not fire
+    const auto result = run_worker({probe(), "heartbeat", "8", "50"}, limits);
+    EXPECT_TRUE(result.ok()) << describe(result);
+    EXPECT_GE(result.heartbeats, 1u);
+}
+
+TEST(SupervisorTest, WallTimeoutKillsEvenAHeartbeatingChild)
+{
+    worker_limits limits{};
+    limits.wall_timeout_s = 0.3;
+    limits.term_grace_s = 0.2;
+    const auto result = run_worker({probe(), "heartbeat", "200", "50"}, limits);
+    EXPECT_EQ(result.reason, kill_reason::wall_timeout);
+    EXPECT_TRUE(result.killed_by_watchdog);
+    EXPECT_EQ(classify(result), res::outcome_kind::timeout);
+}
+
+TEST(SupervisorTest, CancelFlagTerminatesTheChild)
+{
+    std::atomic<bool> cancel{false};
+    worker_limits limits{};
+    limits.term_grace_s = 0.2;
+    limits.cancel = &cancel;
+    std::thread trigger{[&cancel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds{100});
+        cancel.store(true);
+    }};
+    const auto result = run_worker({probe(), "spin"}, limits);
+    trigger.join();
+    EXPECT_EQ(result.reason, kill_reason::cancel);
+    EXPECT_TRUE(result.killed_by_watchdog);
+}
+
+// ------------------------------------------------------------------ rlimits
+
+TEST(SupervisorTest, CpuLimitContainsABusyLoop)
+{
+    worker_limits limits{};
+    limits.cpu_limit_s = 1.0;
+    const auto result = run_worker({probe(), "cpu-burn"}, limits);
+    EXPECT_EQ(result.status, worker_status::crashed);
+    EXPECT_TRUE(result.signal == SIGXCPU || result.signal == SIGKILL) << describe(result);
+    EXPECT_FALSE(result.killed_by_watchdog);
+    // SIGXCPU maps onto the timeout outcome: the job exceeded its budget
+    if (result.signal == SIGXCPU)
+    {
+        EXPECT_EQ(classify(result), res::outcome_kind::timeout);
+    }
+}
+
+// sanitizers reserve enormous shadow address space; RLIMIT_AS would kill the
+// probe at startup rather than at the oversized allocation, so the OOM
+// containment test only runs in plain builds
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer) && !__has_feature(memory_sanitizer)
+#define MNT_PROBE_SANITIZER_FREE 1
+#endif
+#else
+#define MNT_PROBE_SANITIZER_FREE 1
+#endif
+#if defined(MNT_PROBE_SANITIZER_FREE) && !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define MNT_PLAIN_BUILD 1
+#endif
+
+#ifdef MNT_PLAIN_BUILD
+TEST(SupervisorTest, AddressSpaceLimitContainsOom)
+{
+    worker_limits limits{};
+    limits.address_space_bytes = 256ull * 1024 * 1024;
+    const auto result = run_worker({probe(), "alloc", "512"}, limits);
+    // the allocation must fail inside the child (bad_alloc -> exit 42); on
+    // some kernels the child instead dies on a signal — either way the parent
+    // survives and the failure is contained
+    if (result.status == worker_status::exited)
+    {
+        EXPECT_EQ(result.exit_code, 42) << describe(result);
+    }
+    else
+    {
+        EXPECT_EQ(result.status, worker_status::crashed) << describe(result);
+    }
+}
+#endif
+
+// ------------------------------------------------------------ spawn failure
+
+TEST(SupervisorTest, SpawnFailureIsReportedNotThrown)
+{
+    const auto result = run_worker({"/nonexistent/binary/definitely-missing"});
+    EXPECT_EQ(result.status, worker_status::spawn_failed);
+    EXPECT_FALSE(result.error.empty());
+    EXPECT_EQ(classify(result), res::outcome_kind::internal_error);
+}
+
+// -------------------------------------------------------------- child-side
+
+TEST(SupervisorTest, HeartbeatIsANoopWithoutASupervisor)
+{
+    EXPECT_FALSE(supervised());
+    heartbeat();  // must not crash or block
+    heartbeat();
+}
+
+TEST(SupervisorTest, StatusAndReasonNamesAreStable)
+{
+    EXPECT_STREQ(worker_status_name(worker_status::exited), "exited");
+    EXPECT_STREQ(worker_status_name(worker_status::crashed), "crashed");
+    EXPECT_STREQ(worker_status_name(worker_status::hung), "hung");
+    EXPECT_STREQ(worker_status_name(worker_status::spawn_failed), "spawn_failed");
+    EXPECT_STREQ(kill_reason_name(kill_reason::none), "none");
+    EXPECT_STREQ(kill_reason_name(kill_reason::wall_timeout), "wall_timeout");
+    EXPECT_STREQ(kill_reason_name(kill_reason::hang), "hang");
+    EXPECT_STREQ(kill_reason_name(kill_reason::cancel), "cancel");
+}
+
+TEST(SupervisorTest, SelfExecutableResolves)
+{
+    const auto self = self_executable();
+    EXPECT_FALSE(self.empty());
+    EXPECT_EQ(self.front(), '/');
+}
