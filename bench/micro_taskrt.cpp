@@ -1,0 +1,231 @@
+/// \file micro_taskrt.cpp
+/// \brief Task-runtime microbenchmarks (μ7): executor dispatch overhead,
+///        Chase–Lev steal throughput, and the runtime-parallelized algorithm
+///        stages (DRC row scan, InOrd ordering sweep, NanoPlaceR chains,
+///        exact aspect-ratio race) at 1/2/4/8 compute threads. Run with
+///        `--benchmark_out=micro_taskrt.json --benchmark_out_format=json`
+///        to produce the artifact tracked in BENCH_pr8.json and by the CI
+///        perf-smoke job. On a single-core runner the >1-thread rows
+///        measure oversubscription overhead, not speedup — BENCH_pr8.json
+///        states which machine produced its numbers.
+
+#include "benchmarks/suites.hpp"
+#include "benchmarks/synthetic.hpp"
+#include "common/taskrt/deque.hpp"
+#include "common/taskrt/taskrt.hpp"
+#include "physical_design/exact.hpp"
+#include "physical_design/input_ordering.hpp"
+#include "physical_design/nanoplacer.hpp"
+#include "physical_design/ortho.hpp"
+#include "verification/drc.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+bm::synthetic_spec spec_of(const std::size_t gates)
+{
+    bm::synthetic_spec spec{};
+    spec.name = "bench";
+    spec.num_pis = 8;
+    spec.num_pos = 4;
+    spec.num_gates = gates;
+    spec.window = 32;
+    return spec;
+}
+
+/// The thread count is process-global: every benchmark pins it from its
+/// Arg(0) on entry and the pool is restarted only when the size changes.
+void use_threads(const std::int64_t threads)
+{
+    trt::set_thread_count(static_cast<std::size_t>(threads));
+}
+
+// ------------------------------------------------------------- primitives
+
+/// Dispatch overhead: tasks that do almost nothing, so the per-task cost of
+/// submit + steal/pop + join dominates.
+void taskrt_dispatch(benchmark::State& state)
+{
+    use_threads(state.range(0));
+    constexpr std::size_t tasks = 1024;
+    for (auto _ : state)
+    {
+        std::atomic<std::uint64_t> sum{0};
+        trt::parallel_for(0, tasks, 1,
+                          [&](const std::size_t b, const std::size_t e)
+                          { sum.fetch_add(e - b, std::memory_order_relaxed); });
+        benchmark::DoNotOptimize(sum.load());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(tasks));
+}
+BENCHMARK(taskrt_dispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+/// CPU-bound parallel_for over real work (integer mixing), the primitive
+/// whose scaling every integration inherits.
+void taskrt_parallel_for(benchmark::State& state)
+{
+    use_threads(state.range(0));
+    constexpr std::size_t n = 1u << 16;
+    for (auto _ : state)
+    {
+        std::atomic<std::uint64_t> total{0};
+        trt::parallel_for(0, n, 256,
+                          [&](const std::size_t b, const std::size_t e)
+                          {
+                              std::uint64_t acc = 0;
+                              for (std::size_t i = b; i < e; ++i)
+                              {
+                                  auto z = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+                                  z ^= z >> 29;
+                                  acc += z * 0xbf58476d1ce4e5b9ULL;
+                              }
+                              total.fetch_add(acc, std::memory_order_relaxed);
+                          });
+        benchmark::DoNotOptimize(total.load());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(taskrt_parallel_for)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+/// Raw Chase–Lev throughput: one owner pushing/popping, Arg(0)-1 thieves
+/// stealing as fast as they can.
+void taskrt_steal_throughput(benchmark::State& state)
+{
+    const auto thieves = static_cast<std::size_t>(state.range(0)) - 1;
+    constexpr std::size_t n = 1u << 14;
+    std::vector<int> items(n);
+    std::iota(items.begin(), items.end(), 0);
+
+    for (auto _ : state)
+    {
+        trt::chase_lev_deque<int> dq{};
+        std::atomic<std::size_t> consumed{0};
+        std::atomic<bool> done{false};
+        std::vector<std::thread> pool;
+        pool.reserve(thieves);
+        for (std::size_t t = 0; t < thieves; ++t)
+        {
+            pool.emplace_back(
+                [&]
+                {
+                    while (!done.load(std::memory_order_acquire))
+                    {
+                        if (dq.steal() != nullptr)
+                        {
+                            consumed.fetch_add(1, std::memory_order_relaxed);
+                        }
+                    }
+                });
+        }
+        for (auto& item : items)
+        {
+            dq.push(&item);
+        }
+        while (dq.pop() != nullptr)
+        {
+            consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (consumed.load(std::memory_order_relaxed) < n)
+        {
+            if (dq.pop() != nullptr)
+            {
+                consumed.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        done.store(true, std::memory_order_release);
+        for (auto& t : pool)
+        {
+            t.join();
+        }
+        benchmark::DoNotOptimize(consumed.load());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(taskrt_steal_throughput)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+// ----------------------------------------------------- algorithm stages
+
+/// The fused row-parallel DRC scan (satellite of PR 8: the layout_drc/256
+/// 0.99x regression from BENCH_pr4.json goes green through this path).
+void taskrt_drc(benchmark::State& state)
+{
+    use_threads(state.range(0));
+    const auto layout = pd::ortho(bm::synthetic_network(spec_of(256)));
+    for (auto _ : state)
+    {
+        const auto report = ver::gate_level_drc(layout);
+        benchmark::DoNotOptimize(report.errors.size());
+    }
+    state.counters["tiles"] = static_cast<double>(layout.num_occupied());
+}
+BENCHMARK(taskrt_drc)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// InOrd PI-ordering sweep through parallel_map_reduce.
+void taskrt_inord_sweep(benchmark::State& state)
+{
+    use_threads(state.range(0));
+    const auto network = bm::synthetic_network(spec_of(48));
+    pd::input_ordering_params params{};
+    params.max_orderings = 8;
+    for (auto _ : state)
+    {
+        const auto layout = pd::input_ordering_ortho(network, params);
+        benchmark::DoNotOptimize(layout.area());
+    }
+}
+BENCHMARK(taskrt_inord_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// NanoPlaceR multi-chain annealing: 4 chains exchanging every 256 moves.
+void taskrt_npr_chains(benchmark::State& state)
+{
+    use_threads(state.range(0));
+    const auto network = bm::synthetic_network(spec_of(24));
+    pd::nanoplacer_params params{};
+    params.iterations = 1500;
+    params.chains = 4;
+    params.exchange_period = 256;
+    for (auto _ : state)
+    {
+        const auto layout = pd::nanoplacer(network, params);
+        benchmark::DoNotOptimize(layout.has_value());
+    }
+}
+BENCHMARK(taskrt_npr_chains)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// exact's aspect-ratio race through first_winner (a tiny function, so the
+/// SAT-style search actually completes instead of burning its soft budget).
+void taskrt_exact_race(benchmark::State& state)
+{
+    use_threads(state.range(0));
+    bm::synthetic_spec spec{};
+    spec.name = "bench";
+    spec.num_pis = 3;
+    spec.num_pos = 1;
+    spec.num_gates = 3;
+    spec.window = 4;
+    const auto network = bm::synthetic_network(spec);
+    pd::exact_params params{};
+    params.timeout_s = 10.0;
+    for (auto _ : state)
+    {
+        pd::exact_stats stats{};
+        const auto layout = pd::exact(network, params, &stats);
+        benchmark::DoNotOptimize(layout.has_value());
+    }
+}
+BENCHMARK(taskrt_exact_race)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

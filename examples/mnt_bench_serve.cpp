@@ -6,7 +6,7 @@
 ///
 /// Usage:
 ///   mnt_bench_serve [--store <dir>] [--generate] [--set <name>] [--name <fn>]
-///                   [--port <p>] [--threads <n>] [--jobs <n>]
+///                   [--port <p>] [--threads <n>] [--jobs <n>] [--pd-threads <n>]
 ///                   [--deadline <s>] [--retries <n>] [--no-serve]
 ///                   [--report <file.json>] [--verbose-telemetry]
 ///                   [--trace-out <file.json>] [--event-log <file.jsonl>]
@@ -26,6 +26,7 @@
 
 #include "benchmarks/suites.hpp"
 #include "common/supervisor.hpp"
+#include "common/taskrt/taskrt.hpp"
 #include "service/populate.hpp"
 #include "service/query.hpp"
 #include "service/server.hpp"
@@ -62,6 +63,10 @@ struct serve_options
     std::uint16_t port{0};
     std::size_t threads{4};
     std::size_t jobs{1};
+    /// Physical-design task-runtime threads (0 = auto). --threads here means
+    /// *server* worker threads, so the compute pool gets its own flag:
+    /// --pd-threads > MNT_THREADS > hardware concurrency.
+    std::optional<std::size_t> pd_threads;
     double deadline_s{0.0};
     std::optional<std::size_t> max_attempts;
     std::optional<std::string> report_path;
@@ -125,6 +130,10 @@ serve_options parse_args(const int argc, const char** argv)
         else if (arg == "--jobs")
         {
             options.jobs = std::max<std::size_t>(1, std::stoul(next()));
+        }
+        else if (arg == "--pd-threads")
+        {
+            options.pd_threads = std::stoul(next());
         }
         else if (arg == "--deadline")
         {
@@ -310,6 +319,13 @@ std::vector<std::string> worker_command(const serve_options& options)
     {
         argv.insert(argv.end(), {"--jobs", std::to_string(options.jobs)});
     }
+    // fair-share compute threads per shard worker (cores/shards, min 1)
+    // unless the user pinned an explicit count
+    const auto worker_threads =
+        options.pd_threads.has_value()
+            ? *options.pd_threads
+            : std::max<std::size_t>(1, trt::resolve_auto_threads() / std::max<std::size_t>(1, options.shards));
+    argv.insert(argv.end(), {"--pd-threads", std::to_string(worker_threads)});
     if (options.deterministic)
     {
         argv.push_back("--deterministic");
@@ -417,6 +433,10 @@ int run(const serve_options& options)
 int main(const int argc, const char** argv)
 {
     const auto options = parse_args(argc, argv);
+    if (options.pd_threads.has_value())
+    {
+        trt::set_thread_count(*options.pd_threads);
+    }
     if (options.help)
     {
         std::printf("MNT Bench catalog server (reproduction)\n"
@@ -429,6 +449,8 @@ int main(const int argc, const char** argv)
                     "  --port <p>             TCP port (default 0 = ephemeral; printed on startup)\n"
                     "  --threads <n>          server worker threads (default 4)\n"
                     "  --jobs <n>             portfolio worker threads (default 1)\n"
+                    "  --pd-threads <n>       physical-design compute threads, 0 = auto\n"
+                    "                         (precedence --pd-threads > MNT_THREADS > hardware)\n"
                     "  --deadline <seconds>   wall-clock budget per portfolio run\n"
                     "  --retries <n>          retries per combination for transient failures\n"
                     "  --no-serve             exit after generation / store inspection\n"

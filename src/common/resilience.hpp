@@ -90,15 +90,39 @@ public:
         stop_flag = std::move(flag);
     }
 
+    /// Returns a copy that additionally observes \p flag — used by the task
+    /// runtime to compose a race's cancellation token with an already
+    /// attached stop flag (e.g. the CLI's SIGINT flag) without replacing it.
+    /// Two external flags are supported per clock, which covers the deepest
+    /// real chain (portfolio stop + first_winner cancel); deriving a third
+    /// time overwrites the second slot.
+    [[nodiscard]] deadline_clock with_stop(std::shared_ptr<const std::atomic<bool>> flag) const
+    {
+        deadline_clock d{*this};
+        if (d.stop_flag == nullptr)
+        {
+            d.stop_flag = std::move(flag);
+        }
+        else
+        {
+            d.stop_flag2 = std::move(flag);
+        }
+        return d;
+    }
+
     /// True when a time budget is set or a stop flag is attached.
     [[nodiscard]] bool bounded() const noexcept
     {
-        return point != clock::time_point::max() || stop_flag != nullptr;
+        return point != clock::time_point::max() || stop_flag != nullptr || stop_flag2 != nullptr;
     }
 
     [[nodiscard]] bool expired() const noexcept
     {
         if (stop_flag != nullptr && stop_flag->load(std::memory_order_relaxed))
+        {
+            return true;
+        }
+        if (stop_flag2 != nullptr && stop_flag2->load(std::memory_order_relaxed))
         {
             return true;
         }
@@ -128,6 +152,7 @@ public:
 private:
     clock::time_point point{clock::time_point::max()};
     std::shared_ptr<const std::atomic<bool>> stop_flag{};
+    std::shared_ptr<const std::atomic<bool>> stop_flag2{};
 };
 
 /// Strided deadline poll for hot loops: consults the clock only every

@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file deque.hpp
+/// \brief Chase–Lev work-stealing deque (single owner, many thieves).
+///
+/// This is the per-worker run queue of the task runtime (taskrt.hpp). The
+/// owning worker pushes and pops at the *bottom* without locks; any other
+/// thread steals from the *top* with a single CAS. The implementation
+/// follows the weak-memory-corrected formulation of Lê, Pop, Cohen &
+/// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+/// Models" (PPoPP 2013), which is the variant that is clean under TSan and
+/// on ARM — the original SPAA 2005 pseudocode assumes sequential
+/// consistency on the buffer accesses.
+///
+/// Memory-ordering notes (the load-bearing fences):
+///
+/// - push() publishes the task with a *release store into the slot itself*
+///   (plus the paper's release fence before incrementing bottom). The
+///   per-slot release pairs with the thief's acquire load in steal(), so the
+///   non-atomic task payload written before push() happens-before the
+///   thief's reads. The paper gets the same edge from the standalone fence,
+///   but standalone fences are invisible to ThreadSanitizer — the per-slot
+///   release/acquire pair is equally correct, free on x86, and keeps the
+///   deque TSan-provable.
+/// - pop() decrements bottom and then issues a seq_cst fence before reading
+///   top: this is the classic "store then load on the other index" pattern
+///   that plain acquire/release cannot order.
+/// - steal() reads top, fences, reads bottom — the mirror image — and
+///   claims the element with a seq_cst CAS on top. Losing the CAS means
+///   another thief (or the owner's last-element pop) took it.
+///
+/// The ring buffer grows geometrically and old buffers are *retired*, not
+/// freed: a thief may still be dereferencing a stale buffer pointer after
+/// the owner swapped in a bigger one, so retired rings live until the deque
+/// is destroyed. The deque stores raw task pointers and does not own them.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mnt::trt
+{
+
+template <typename T>
+class chase_lev_deque
+{
+  public:
+    explicit chase_lev_deque(std::int64_t initial_capacity = 256)
+    {
+        auto first = std::make_unique<ring>(round_up_pow2(initial_capacity));
+        buffer.store(first.get(), std::memory_order_relaxed);
+        retired.push_back(std::move(first));
+    }
+
+    chase_lev_deque(const chase_lev_deque&)            = delete;
+    chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+    /// Owner only. Never fails: the ring grows when full.
+    void push(T* item)
+    {
+        const auto b = bottom.load(std::memory_order_relaxed);
+        const auto t = top.load(std::memory_order_acquire);
+        auto*      a = buffer.load(std::memory_order_relaxed);
+
+        if (b - t > a->capacity - 1)
+        {
+            a = grow(a, t, b);
+        }
+        a->put(b, item);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /// Owner only. Returns nullptr when the deque is empty (or the single
+    /// remaining element was lost to a concurrent thief).
+    [[nodiscard]] T* pop()
+    {
+        const auto b = bottom.load(std::memory_order_relaxed) - 1;
+        auto*      a = buffer.load(std::memory_order_relaxed);
+        bottom.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        auto t = top.load(std::memory_order_relaxed);
+
+        if (t > b)  // already empty: undo the decrement
+        {
+            bottom.store(b + 1, std::memory_order_relaxed);
+            return nullptr;
+        }
+
+        T* item = a->get(b);
+        if (t == b)  // last element: race the thieves for it
+        {
+            if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed))
+            {
+                item = nullptr;  // a thief got there first
+            }
+            bottom.store(b + 1, std::memory_order_relaxed);
+        }
+        return item;
+    }
+
+    /// Any thread. Returns nullptr when empty or when the CAS was lost to a
+    /// competing thief / the owner — callers treat both as "try elsewhere".
+    [[nodiscard]] T* steal()
+    {
+        auto t = top.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const auto b = bottom.load(std::memory_order_acquire);
+
+        if (t >= b)
+        {
+            return nullptr;
+        }
+
+        auto* a    = buffer.load(std::memory_order_acquire);
+        T*    item = a->get_acquire(t);
+        if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed))
+        {
+            return nullptr;
+        }
+        return item;
+    }
+
+    /// Approximate occupancy — indices are read without synchronization, so
+    /// this is a monitoring hint, not a correctness primitive.
+    [[nodiscard]] std::size_t size_estimate() const noexcept
+    {
+        const auto b = bottom.load(std::memory_order_relaxed);
+        const auto t = top.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0u;
+    }
+
+  private:
+    struct ring
+    {
+        std::int64_t                        capacity;
+        std::int64_t                        mask;
+        std::unique_ptr<std::atomic<T*>[]> slots;
+
+        explicit ring(std::int64_t cap) :
+                capacity{cap},
+                mask{cap - 1},
+                slots{std::make_unique<std::atomic<T*>[]>(static_cast<std::size_t>(cap))}
+        {}
+
+        /// Owner-side read (pop, grow): the owner wrote the slot itself, so
+        /// relaxed is enough.
+        [[nodiscard]] T* get(std::int64_t i) const noexcept
+        {
+            return slots[static_cast<std::size_t>(i & mask)].load(std::memory_order_relaxed);
+        }
+        /// Thief-side read (steal): pairs with put()'s release so the task
+        /// payload written before push() is visible to the stealing thread.
+        [[nodiscard]] T* get_acquire(std::int64_t i) const noexcept
+        {
+            return slots[static_cast<std::size_t>(i & mask)].load(std::memory_order_acquire);
+        }
+        void put(std::int64_t i, T* v) noexcept
+        {
+            slots[static_cast<std::size_t>(i & mask)].store(v, std::memory_order_release);
+        }
+    };
+
+    [[nodiscard]] static std::int64_t round_up_pow2(std::int64_t n) noexcept
+    {
+        std::int64_t p = 8;
+        while (p < n)
+        {
+            p <<= 1;
+        }
+        return p;
+    }
+
+    /// Owner only (called from push). Copies the live window into a ring of
+    /// twice the capacity and publishes it; the old ring is kept alive for
+    /// thieves still holding its pointer.
+    ring* grow(ring* old, std::int64_t t, std::int64_t b)
+    {
+        auto bigger = std::make_unique<ring>(old->capacity * 2);
+        for (auto i = t; i < b; ++i)
+        {
+            bigger->put(i, old->get(i));
+        }
+        ring* raw = bigger.get();
+        buffer.store(raw, std::memory_order_release);
+        retired.push_back(std::move(bigger));
+        return raw;
+    }
+
+    std::atomic<std::int64_t> top{0};
+    std::atomic<std::int64_t> bottom{0};
+    std::atomic<ring*>        buffer{nullptr};
+    /// All rings ever allocated, newest last; mutated only by the owner
+    /// (grow) and freed only on destruction, when no thief can be active.
+    std::vector<std::unique_ptr<ring>> retired{};
+};
+
+}  // namespace mnt::trt

@@ -1,0 +1,650 @@
+#include "common/taskrt/taskrt.hpp"
+
+#include "common/taskrt/deque.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mnt::trt
+{
+
+/// One worker's counters, cache-line padded so neighbouring workers never
+/// false-share. All fields are relaxed atomics: they are written by one
+/// thread almost always, but stats()/publish_telemetry() read them from
+/// arbitrary threads and TSan (rightly) demands atomicity for that.
+struct alignas(64) worker_counters
+{
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> steal_failures{0};
+    std::atomic<std::uint64_t> overflow_pushes{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> max_depth{0};
+
+    void note_depth(const std::size_t depth) noexcept
+    {
+        auto prev = max_depth.load(std::memory_order_relaxed);
+        while (depth > prev && !max_depth.compare_exchange_weak(prev, depth, std::memory_order_relaxed))
+        {
+        }
+    }
+};
+
+class executor;
+
+struct detail::task_group::state
+{
+    std::atomic<std::size_t> pending{0};
+    std::atomic<bool>        failed{false};
+    std::exception_ptr       first_error{};
+    std::mutex               error_mutex{};
+    tel::span_context        parent{};
+    executor*                exec{nullptr};  ///< pool the tasks were submitted to
+
+    void record_error(std::exception_ptr e)
+    {
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (first_error == nullptr)
+        {
+            first_error = std::move(e);
+        }
+        failed.store(true, std::memory_order_release);
+    }
+};
+
+struct task
+{
+    std::function<void()>                      fn;
+    std::shared_ptr<detail::task_group::state> group;
+};
+
+/// The worker pool. Spawns total_threads - 1 OS threads; the caller of a
+/// parallel region acts as the remaining compute thread by helping from
+/// task_group::wait(). Owned by a shared_ptr so a shutdown/restart races
+/// cleanly with threads still finishing their last task.
+class executor
+{
+  public:
+    explicit executor(const std::size_t total) : total_threads{total}, worker_count{total > 0 ? total - 1 : 0}
+    {
+        deques.reserve(worker_count);
+        counters.reserve(worker_count + 1);
+        for (std::size_t i = 0; i < worker_count; ++i)
+        {
+            deques.push_back(std::make_unique<chase_lev_deque<task>>());
+        }
+        for (std::size_t i = 0; i < worker_count + 1; ++i)  // last slot: external/helping threads
+        {
+            counters.push_back(std::make_unique<worker_counters>());
+        }
+        threads.reserve(worker_count);
+        for (std::size_t i = 0; i < worker_count; ++i)
+        {
+            threads.emplace_back([this, i] { worker_main(i); });
+        }
+    }
+
+    ~executor() { stop_and_join(); }
+
+    executor(const executor&)            = delete;
+    executor& operator=(const executor&) = delete;
+
+    void stop_and_join()
+    {
+        {
+            const std::lock_guard<std::mutex> lock{park_mutex};
+            stopping.store(true, std::memory_order_release);
+        }
+        park_cv.notify_all();
+        for (auto& t : threads)
+        {
+            if (t.joinable())
+            {
+                t.join();
+            }
+        }
+        threads.clear();
+    }
+
+    void submit(task* t)
+    {
+        if (tls_pool == this && tls_worker >= 0)
+        {
+            auto&      dq  = *deques[static_cast<std::size_t>(tls_worker)];
+            dq.push(t);
+            counters[static_cast<std::size_t>(tls_worker)]->note_depth(dq.size_estimate());
+        }
+        else
+        {
+            {
+                const std::lock_guard<std::mutex> lock{overflow_mutex};
+                overflow.push_back(t);
+                external().note_depth(overflow.size());
+            }
+            external().overflow_pushes.fetch_add(1, std::memory_order_relaxed);
+        }
+        wake_one();
+    }
+
+    /// Executes one pending task if any can be found (own deque for workers,
+    /// then overflow, then stealing). Returns false when nothing was found.
+    bool help_one()
+    {
+        const bool is_worker = tls_pool == this && tls_worker >= 0;
+        auto&      stats     = is_worker ? *counters[static_cast<std::size_t>(tls_worker)] : external();
+
+        task* t = nullptr;
+        if (is_worker)
+        {
+            t = deques[static_cast<std::size_t>(tls_worker)]->pop();
+        }
+        if (t == nullptr)
+        {
+            t = take_overflow();
+        }
+        if (t == nullptr)
+        {
+            t = steal_sweep(is_worker ? static_cast<std::size_t>(tls_worker) : 0, stats);
+        }
+        if (t == nullptr)
+        {
+            return false;
+        }
+        execute(t, stats);
+        return true;
+    }
+
+    void worker_main(const std::size_t index)
+    {
+        tls_pool   = this;
+        tls_worker = static_cast<int>(index);
+        while (!stopped())
+        {
+            if (help_one())
+            {
+                continue;
+            }
+            park();
+        }
+        // drain: leave nothing behind on shutdown (callers still wait on
+        // group pending counts, which execute() decrements)
+        while (help_one())
+        {
+        }
+        tls_pool   = nullptr;
+        tls_worker = -1;
+    }
+
+    [[nodiscard]] bool stopped() const noexcept { return stopping.load(std::memory_order_acquire); }
+
+    [[nodiscard]] std::size_t workers() const noexcept { return worker_count; }
+
+    [[nodiscard]] runtime_stats snapshot() const
+    {
+        runtime_stats s{};
+        s.workers = worker_count;
+        for (const auto& c : counters)
+        {
+            s.tasks_executed += c->executed.load(std::memory_order_relaxed);
+            s.tasks_stolen += c->stolen.load(std::memory_order_relaxed);
+            s.steal_failures += c->steal_failures.load(std::memory_order_relaxed);
+            s.overflow_pushes += c->overflow_pushes.load(std::memory_order_relaxed);
+            s.busy_s += static_cast<double>(c->busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+            const auto depth = static_cast<std::size_t>(c->max_depth.load(std::memory_order_relaxed));
+            if (depth > s.max_queue_depth)
+            {
+                s.max_queue_depth = depth;
+            }
+        }
+        return s;
+    }
+
+    void reset_counters()
+    {
+        for (auto& c : counters)
+        {
+            c->executed.store(0, std::memory_order_relaxed);
+            c->stolen.store(0, std::memory_order_relaxed);
+            c->steal_failures.store(0, std::memory_order_relaxed);
+            c->overflow_pushes.store(0, std::memory_order_relaxed);
+            c->busy_ns.store(0, std::memory_order_relaxed);
+            c->max_depth.store(0, std::memory_order_relaxed);
+        }
+    }
+
+    /// Per-worker gauge rows for publish_telemetry().
+    void publish() const
+    {
+        for (std::size_t i = 0; i < counters.size(); ++i)
+        {
+            const auto& c     = *counters[i];
+            const auto  label = i < worker_count ? std::to_string(i) : std::string{"caller"};
+            tel::set_gauge("taskrt.tasks_executed[worker=" + label + "]",
+                           static_cast<double>(c.executed.load(std::memory_order_relaxed)));
+            tel::set_gauge("taskrt.busy_s[worker=" + label + "]",
+                           static_cast<double>(c.busy_ns.load(std::memory_order_relaxed)) * 1e-9);
+        }
+    }
+
+    const std::size_t total_threads;
+
+  private:
+    [[nodiscard]] worker_counters& external() noexcept { return *counters[worker_count]; }
+
+    [[nodiscard]] task* take_overflow()
+    {
+        const std::lock_guard<std::mutex> lock{overflow_mutex};
+        if (overflow.empty())
+        {
+            return nullptr;
+        }
+        task* t = overflow.front();
+        overflow.pop_front();
+        return t;
+    }
+
+    [[nodiscard]] task* steal_sweep(const std::size_t self, worker_counters& stats)
+    {
+        for (std::size_t k = 0; k < worker_count; ++k)
+        {
+            const auto victim = (self + 1 + k) % worker_count;
+            if (task* t = deques[victim]->steal(); t != nullptr)
+            {
+                stats.stolen.fetch_add(1, std::memory_order_relaxed);
+                return t;
+            }
+        }
+        stats.steal_failures.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+
+    void execute(task* t, worker_counters& stats)
+    {
+        const auto start = std::chrono::steady_clock::now();
+        {
+            tel::context_guard adopt{t->group->parent};
+            if (!t->group->failed.load(std::memory_order_acquire))
+            {
+                try
+                {
+                    t->fn();
+                }
+                catch (...)
+                {
+                    t->group->record_error(std::current_exception());
+                }
+            }
+        }
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - start);
+        stats.busy_ns.fetch_add(static_cast<std::uint64_t>(elapsed.count()), std::memory_order_relaxed);
+        stats.executed.fetch_add(1, std::memory_order_relaxed);
+
+        auto group = std::move(t->group);
+        delete t;
+        group->pending.fetch_sub(1, std::memory_order_release);
+    }
+
+    void park()
+    {
+        std::unique_lock<std::mutex> lock{park_mutex};
+        if (stopping.load(std::memory_order_acquire))
+        {
+            return;
+        }
+        ++sleeper_count;
+        // Bounded wait instead of a pure predicate: a submit racing the
+        // queue re-check above would otherwise be a lost wakeup; the 500 us
+        // cap turns that race into bounded latency.
+        park_cv.wait_for(lock, std::chrono::microseconds{500});
+        --sleeper_count;
+    }
+
+    void wake_one()
+    {
+        if (sleeper_count.load(std::memory_order_relaxed) > 0)
+        {
+            park_cv.notify_one();
+        }
+    }
+
+    const std::size_t worker_count;
+
+    std::vector<std::unique_ptr<chase_lev_deque<task>>> deques{};
+    std::vector<std::unique_ptr<worker_counters>>       counters{};
+    std::vector<std::thread>                            threads{};
+
+    std::mutex        overflow_mutex{};
+    std::deque<task*> overflow{};
+
+    std::mutex               park_mutex{};
+    std::condition_variable  park_cv{};
+    std::atomic<std::size_t> sleeper_count{0};
+    std::atomic<bool>        stopping{false};  ///< also written under park_mutex for the cv handshake
+
+    static thread_local executor* tls_pool;
+    static thread_local int       tls_worker;
+};
+
+thread_local executor* executor::tls_pool   = nullptr;
+thread_local int       executor::tls_worker = -1;
+
+namespace
+{
+
+std::mutex                g_mutex;              // guards everything below
+std::shared_ptr<executor> g_pool;               // live pool (null until first parallel region)
+std::size_t               g_override    = 0;    // set_thread_count (0 = auto)
+bool                      g_hooked      = false;
+runtime_stats             g_retired{};          // totals from shut-down pools
+std::atomic<std::size_t>  g_effective{0};       // cached resolution (0 = stale)
+std::atomic<std::uint64_t> g_inline_tasks{0};
+
+[[nodiscard]] std::size_t resolve_locked()
+{
+    if (g_override > 0)
+    {
+        return g_override;
+    }
+    return resolve_auto_threads();
+}
+
+void retire_pool_locked()
+{
+    if (g_pool == nullptr)
+    {
+        return;
+    }
+    g_pool->stop_and_join();
+    const auto s = g_pool->snapshot();
+    g_retired.tasks_executed += s.tasks_executed;
+    g_retired.tasks_stolen += s.tasks_stolen;
+    g_retired.steal_failures += s.steal_failures;
+    g_retired.overflow_pushes += s.overflow_pushes;
+    g_retired.busy_s += s.busy_s;
+    if (s.max_queue_depth > g_retired.max_queue_depth)
+    {
+        g_retired.max_queue_depth = s.max_queue_depth;
+    }
+    g_pool.reset();
+}
+
+/// Lazily launches (or returns) the pool; null when the runtime is serial.
+[[nodiscard]] std::shared_ptr<executor> pool()
+{
+    const auto n = thread_count();
+    if (n <= 1)
+    {
+        return nullptr;
+    }
+    const std::lock_guard<std::mutex> lock{g_mutex};
+    if (g_pool == nullptr)
+    {
+        g_pool = std::make_shared<executor>(n);
+        if (!g_hooked)
+        {
+            tel::register_scrape_hook(&publish_telemetry);
+            g_hooked = true;
+        }
+    }
+    return g_pool;
+}
+
+}  // namespace
+
+std::size_t resolve_auto_threads()
+{
+    if (const char* env = std::getenv("MNT_THREADS"); env != nullptr)
+    {
+        char*      end    = nullptr;
+        const auto parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+        {
+            return static_cast<std::size_t>(parsed);
+        }
+    }
+    const auto hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<std::size_t>(hw) : 1u;
+}
+
+std::size_t thread_count()
+{
+    const auto cached = g_effective.load(std::memory_order_acquire);
+    if (cached != 0)
+    {
+        return cached;
+    }
+    const std::lock_guard<std::mutex> lock{g_mutex};
+    const auto                        n = resolve_locked();
+    g_effective.store(n, std::memory_order_release);
+    return n;
+}
+
+void set_thread_count(const std::size_t n)
+{
+    const std::lock_guard<std::mutex> lock{g_mutex};
+    g_override = n;
+    const auto effective = resolve_locked();
+    g_effective.store(effective, std::memory_order_release);
+    if (g_pool != nullptr && g_pool->total_threads != effective)
+    {
+        retire_pool_locked();  // next parallel region relaunches at the new size
+    }
+}
+
+bool parallel()
+{
+    return thread_count() > 1;
+}
+
+void shutdown()
+{
+    const std::lock_guard<std::mutex> lock{g_mutex};
+    retire_pool_locked();
+}
+
+runtime_stats stats()
+{
+    runtime_stats s;
+    {
+        const std::lock_guard<std::mutex> lock{g_mutex};
+        s = g_retired;
+        if (g_pool != nullptr)
+        {
+            const auto live = g_pool->snapshot();
+            s.workers = live.workers;
+            s.tasks_executed += live.tasks_executed;
+            s.tasks_stolen += live.tasks_stolen;
+            s.steal_failures += live.steal_failures;
+            s.overflow_pushes += live.overflow_pushes;
+            s.busy_s += live.busy_s;
+            if (live.max_queue_depth > s.max_queue_depth)
+            {
+                s.max_queue_depth = live.max_queue_depth;
+            }
+        }
+    }
+    s.tasks_inline = g_inline_tasks.load(std::memory_order_relaxed);
+    return s;
+}
+
+void reset_stats()
+{
+    const std::lock_guard<std::mutex> lock{g_mutex};
+    g_retired = runtime_stats{};
+    if (g_pool != nullptr)
+    {
+        g_pool->reset_counters();
+    }
+    g_inline_tasks.store(0, std::memory_order_relaxed);
+}
+
+void publish_telemetry()
+{
+    const auto s = stats();
+    tel::set_gauge("taskrt.workers", static_cast<double>(s.workers));
+    tel::set_gauge("taskrt.tasks_executed", static_cast<double>(s.tasks_executed));
+    tel::set_gauge("taskrt.tasks_stolen", static_cast<double>(s.tasks_stolen));
+    tel::set_gauge("taskrt.steal_failures", static_cast<double>(s.steal_failures));
+    tel::set_gauge("taskrt.overflow_pushes", static_cast<double>(s.overflow_pushes));
+    tel::set_gauge("taskrt.tasks_inline", static_cast<double>(s.tasks_inline));
+    tel::set_gauge("taskrt.max_queue_depth", static_cast<double>(s.max_queue_depth));
+    tel::set_gauge("taskrt.busy_s", s.busy_s);
+    tel::set_gauge("taskrt.scratch_high_water_bytes", static_cast<double>(scratch().high_water_bytes()));
+    std::shared_ptr<executor> live;
+    {
+        const std::lock_guard<std::mutex> lock{g_mutex};
+        live = g_pool;
+    }
+    if (live != nullptr)
+    {
+        live->publish();
+    }
+}
+
+scratch_arena& scratch()
+{
+    thread_local scratch_arena arena{};
+    return arena;
+}
+
+// ------------------------------------------------------------- task_group
+
+namespace detail
+{
+
+task_group::task_group() : st{std::make_shared<state>()}
+{
+    st->parent = tel::current_span_context();
+}
+
+task_group::~task_group()
+{
+    // A group abandoned without wait() (e.g. run() threw mid-loop) must not
+    // leave tasks referencing a destroyed frame: wait for them, swallowing.
+    if (st != nullptr && st->pending.load(std::memory_order_acquire) != 0)
+    {
+        try
+        {
+            wait();
+        }
+        catch (...)  // NOLINT(bugprone-empty-catch) — destructor must not throw
+        {
+        }
+    }
+}
+
+void task_group::run(std::function<void()> fn)
+{
+    auto ex = pool();
+    if (ex == nullptr)
+    {
+        g_inline_tasks.fetch_add(1, std::memory_order_relaxed);
+        if (!st->failed.load(std::memory_order_acquire))
+        {
+            try
+            {
+                fn();
+            }
+            catch (...)
+            {
+                st->record_error(std::current_exception());
+            }
+        }
+        return;
+    }
+    st->exec = ex.get();
+    st->pending.fetch_add(1, std::memory_order_relaxed);
+    ex->submit(new task{std::move(fn), st});
+}
+
+void task_group::wait()
+{
+    std::size_t idle_spins = 0;
+    while (st->pending.load(std::memory_order_acquire) != 0)
+    {
+        if (st->exec != nullptr && st->exec->help_one())
+        {
+            idle_spins = 0;
+            continue;
+        }
+        // nothing runnable here: tasks of this group are executing on other
+        // threads — yield, then back off to a short sleep
+        if (++idle_spins < 64)
+        {
+            std::this_thread::yield();
+        }
+        else
+        {
+            std::this_thread::sleep_for(std::chrono::microseconds{50});
+        }
+    }
+    std::exception_ptr error;
+    {
+        const std::lock_guard<std::mutex> lock{st->error_mutex};
+        error = st->first_error;
+        st->first_error = nullptr;
+    }
+    if (error != nullptr)
+    {
+        std::rethrow_exception(error);
+    }
+}
+
+bool task_group::aborted() const noexcept
+{
+    return st->failed.load(std::memory_order_acquire);
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------ parallel_for
+
+void parallel_for(const std::size_t begin, const std::size_t end, const std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (begin >= end)
+    {
+        return;
+    }
+    const auto n = end - begin;
+    const auto g = grain > 0 ? grain : 1;
+    if (!parallel() || n <= g)
+    {
+        body(begin, end);
+        return;
+    }
+
+    // Aim for enough chunks to balance (8 per compute thread) but never
+    // below the grain size the caller asked for.
+    const auto  threads    = thread_count();
+    std::size_t chunks     = (n + g - 1) / g;
+    const auto  max_chunks = threads * 8;
+    if (chunks > max_chunks)
+    {
+        chunks = max_chunks;
+    }
+    if (chunks <= 1)
+    {
+        body(begin, end);
+        return;
+    }
+    const auto chunk_size = (n + chunks - 1) / chunks;
+
+    detail::task_group group{};
+    for (std::size_t lo = begin; lo < end; lo += chunk_size)
+    {
+        const auto hi = lo + chunk_size < end ? lo + chunk_size : end;
+        group.run([&body, lo, hi] { body(lo, hi); });
+    }
+    group.wait();
+}
+
+}  // namespace mnt::trt

@@ -1,0 +1,265 @@
+#pragma once
+
+/// \file taskrt.hpp
+/// \brief Bounded work-stealing task runtime for in-algorithm parallelism.
+///
+/// The runtime is a lazily constructed singleton pool of N-1 worker threads
+/// (the caller of a parallel region is the N-th compute thread: it executes
+/// pending tasks while waiting, so nested parallel regions never deadlock
+/// and a serial configuration spawns no threads at all). Each worker owns a
+/// Chase–Lev deque (deque.hpp); tasks submitted from outside the pool land
+/// in a mutex-protected overflow queue that workers drain before stealing.
+///
+/// Thread-count resolution, highest precedence first:
+///
+///   1. set_thread_count(n)  — the `--threads N` CLI flag
+///   2. MNT_THREADS          — environment
+///   3. std::thread::hardware_concurrency()
+///
+/// n == 1 means fully serial: every primitive below runs inline on the
+/// calling thread with zero synchronization, so single-threaded behavior
+/// (and its RNG/byte-output) is exactly the pre-runtime behavior.
+///
+/// Determinism contract: parallel_map_reduce folds results in submission
+/// order; first_winner selects the lowest-index success; parallel_for writes
+/// into caller-provided disjoint slots. Under `--deterministic` every
+/// algorithm built on these produces byte-identical output at any thread
+/// count (asserted by tests/test_parallel_determinism.cpp at 1, 2 and 8
+/// threads).
+///
+/// Cancellation: cancel_token wraps a shared stop flag compatible with
+/// res::deadline_clock::with_stop, so a losing first_winner branch unwinds
+/// at its next deadline poll — cooperative, never preemptive.
+///
+/// Telemetry: per-worker counters (tasks executed / stolen, steal failures,
+/// overflow pushes, max queue depth, busy seconds) are cache-line padded and
+/// published into the registry lazily via a scrape hook (`taskrt.*` →
+/// `mnt_taskrt_*`), so the per-task hot path never touches the registry
+/// mutex. Tasks adopt the submitting thread's span context, so trace spans
+/// opened inside tasks nest under the caller's span.
+
+#include "common/taskrt/arena.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mnt::trt
+{
+
+/// Cooperative cancellation token: a shared boolean whose handle() plugs
+/// into res::deadline_clock::with_stop. Copies share the same flag.
+class cancel_token
+{
+  public:
+    cancel_token() : flag{std::make_shared<std::atomic<bool>>(false)} {}
+
+    void cancel() const noexcept { flag->store(true, std::memory_order_release); }
+
+    [[nodiscard]] bool cancelled() const noexcept { return flag->load(std::memory_order_acquire); }
+
+    /// The flag in the shape deadline_clock::with_stop / attach_stop expect.
+    [[nodiscard]] std::shared_ptr<const std::atomic<bool>> handle() const noexcept { return flag; }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag;
+};
+
+/// Effective compute-thread count (>= 1) after precedence resolution. The
+/// first call locks in the pool size until set_thread_count changes it.
+[[nodiscard]] std::size_t thread_count();
+
+/// Overrides the thread count (`--threads N`). 0 restores automatic
+/// resolution (MNT_THREADS, then hardware_concurrency). May only be called
+/// while no parallel region is active; a live pool of a different size is
+/// shut down and relaunched on next use.
+void set_thread_count(std::size_t n);
+
+/// The MNT_THREADS > hardware_concurrency fallback chain, ignoring any
+/// set_thread_count override (used to size shard-worker thread budgets).
+[[nodiscard]] std::size_t resolve_auto_threads();
+
+/// True when the runtime would actually run tasks concurrently.
+[[nodiscard]] bool parallel();
+
+/// Joins and destroys the worker pool (idempotent). The next parallel
+/// region relaunches it; used by tests that re-run at several thread counts.
+void shutdown();
+
+/// Aggregate runtime statistics (summed over workers and helping callers).
+struct runtime_stats
+{
+    std::size_t   workers{0};  ///< pool threads (excludes helping callers)
+    std::uint64_t tasks_executed{0};
+    std::uint64_t tasks_stolen{0};
+    std::uint64_t steal_failures{0};
+    std::uint64_t overflow_pushes{0};
+    std::uint64_t tasks_inline{0};  ///< run serially without entering the pool
+    std::size_t   max_queue_depth{0};
+    double        busy_s{0.0};  ///< summed wall time spent executing tasks
+};
+
+[[nodiscard]] runtime_stats stats();
+void                        reset_stats();
+
+/// Publishes the current stats into the telemetry registry as `taskrt.*`
+/// series (per-worker rows labeled `[worker=i]`). Registered as a scrape
+/// hook on first pool launch; callable directly for reports.
+void publish_telemetry();
+
+namespace detail
+{
+
+/// A fork-join group of tasks sharing error propagation and span context.
+/// wait() helps execute pending tasks (its own and others') until every
+/// task of the group finished, then rethrows the first captured exception.
+/// After the first exception, remaining tasks of the group are skipped.
+class task_group
+{
+  public:
+    task_group();
+    ~task_group();
+
+    task_group(const task_group&)            = delete;
+    task_group& operator=(const task_group&) = delete;
+
+    /// Submits \p fn; runs it inline immediately when the runtime is serial.
+    void run(std::function<void()> fn);
+
+    /// Blocks (helping) until all submitted tasks completed; rethrows.
+    void wait();
+
+    /// True once a task of this group threw — bodies can poll to bail early.
+    [[nodiscard]] bool aborted() const noexcept;
+
+    struct state;  // defined in taskrt.cpp; public so the executor's task
+                   // records can hold a shared_ptr to it
+
+  private:
+    std::shared_ptr<state> st;
+};
+
+}  // namespace detail
+
+/// Runs body(chunk_begin, chunk_end) over [begin, end) split into chunks of
+/// at least \p grain indices. Chunks run concurrently; the call returns when
+/// all finished and rethrows the first exception thrown by any chunk.
+/// Serial runtime (or a single chunk) executes inline on the caller.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Maps i -> map(i) for i in [0, n) concurrently, then folds the results
+/// *sequentially in submission order*: fold(acc, std::move(result_i)) for
+/// i = 0..n-1. The ordered reduction makes the outcome independent of the
+/// thread count and schedule — the determinism contract of `--deterministic`.
+template <typename T, typename MapFn, typename FoldFn>
+[[nodiscard]] T parallel_map_reduce(const std::size_t n, T init, MapFn&& map, FoldFn&& fold,
+                                    const std::size_t grain = 1)
+{
+    T acc = std::move(init);
+    if (n == 0)
+    {
+        return acc;
+    }
+    if (!parallel() || n == 1)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            fold(acc, map(i));
+        }
+        return acc;
+    }
+
+    std::vector<std::optional<T>> slots(n);
+    parallel_for(0, n, grain,
+                 [&](const std::size_t chunk_begin, const std::size_t chunk_end)
+                 {
+                     for (std::size_t i = chunk_begin; i < chunk_end; ++i)
+                     {
+                         slots[i].emplace(map(i));
+                     }
+                 });
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        fold(acc, std::move(*slots[i]));
+    }
+    return acc;
+}
+
+/// Races attempt(i, token_i) for i in [0, n); the *lowest index* returning
+/// an engaged optional wins — identical to trying the attempts in order
+/// sequentially. On a win, the tokens of all higher-index attempts are
+/// cancelled (attempts are expected to poll them via a deadline_clock and
+/// unwind); lower-index attempts still run to completion, since one of them
+/// could produce an even lower-index success. Serial runtime short-circuits
+/// exactly like a sequential loop: attempts after the first success never
+/// run at all.
+template <typename T, typename AttemptFn>
+[[nodiscard]] std::optional<T> first_winner(const std::size_t n, AttemptFn&& attempt)
+{
+    if (n == 0)
+    {
+        return std::nullopt;
+    }
+    if (!parallel() || n == 1)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            cancel_token token{};
+            if (auto result = attempt(i, token); result.has_value())
+            {
+                return result;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::vector<std::optional<T>> results(n);
+    std::vector<cancel_token>     tokens(n);
+    std::atomic<std::size_t>      best{n};
+
+    detail::task_group group{};
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        group.run(
+            [&, i]
+            {
+                if (best.load(std::memory_order_acquire) < i)
+                {
+                    return;  // a lower index already won; this attempt is moot
+                }
+                auto result = attempt(i, tokens[i]);
+                if (!result.has_value())
+                {
+                    return;
+                }
+                results[i] = std::move(result);
+                auto current = best.load(std::memory_order_acquire);
+                while (i < current &&
+                       !best.compare_exchange_weak(current, i, std::memory_order_acq_rel))
+                {
+                }
+                for (std::size_t j = i + 1; j < n; ++j)  // cancel what can no longer win
+                {
+                    tokens[j].cancel();
+                }
+            });
+    }
+    group.wait();
+
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (results[i].has_value())
+        {
+            return std::move(results[i]);
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace mnt::trt

@@ -216,6 +216,24 @@ public:
         }
     }
 
+    /// Scans one (z, y) row of the grid in x order — the row-batched unit of
+    /// DRC's parallel sweep. Same callback shape as \ref foreach_tile;
+    /// visiting rows z-major (z*height + y ascending) reproduces the exact
+    /// foreach_tile visit order.
+    template <typename Fn>
+    void foreach_tile_in_row(const std::uint8_t z, const std::int32_t y, Fn&& fn) const
+    {
+        auto index = (static_cast<std::size_t>(z) * h + static_cast<std::size_t>(y)) * w;
+        for (std::int32_t x = 0; x < static_cast<std::int32_t>(w); ++x, ++index)
+        {
+            const auto& slot = grid[index];
+            if (slot.data.type != ntk::gate_type::none)
+            {
+                fn(coordinate{x, y, z}, slot.data);
+            }
+        }
+    }
+
     /// All occupied coordinates in deterministic (y, x, z) order — a cheap
     /// row-major scan of the dense grid, no sort involved.
     [[nodiscard]] std::vector<coordinate> tiles_sorted() const;

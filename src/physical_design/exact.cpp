@@ -1,11 +1,13 @@
 #include "physical_design/exact.hpp"
 
+#include "common/taskrt/taskrt.hpp"
 #include "common/types.hpp"
 #include "layout/layout_utils.hpp"
 #include "network/transforms.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,12 +31,14 @@ struct timeout_signal
 class exact_solver
 {
 public:
-    exact_solver(const logic_network& preprocessed, const exact_params& parameters) :
+    /// \p soft_deadline is the shared wall-clock budget of the whole
+    /// aspect-ratio sweep — one point for all ratios, whether they are tried
+    /// sequentially or raced in parallel.
+    exact_solver(const logic_network& preprocessed, const exact_params& parameters,
+                 const std::chrono::steady_clock::time_point soft_deadline) :
             net{preprocessed},
             params{parameters},
-            deadline{std::chrono::steady_clock::now() +
-                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                         std::chrono::duration<double>(parameters.timeout_s))}
+            deadline{soft_deadline}
     {
         for (const auto v : net.topological_order())
         {
@@ -261,8 +265,17 @@ private:
         const auto fis = net.fanins(v);
 
         // candidate tiles: empty ground tiles compatible with all placed
-        // fanins, nearest-first
-        std::vector<std::pair<std::uint32_t, coordinate>> candidates;
+        // fanins, nearest-first. The list is rebuilt at every search node, so
+        // it lives in the thread's scratch arena: recursion nests regions
+        // LIFO and the steady state allocates nothing.
+        struct scored_tile
+        {
+            std::uint32_t key;
+            coordinate tile;
+        };
+        auto& arena = trt::scratch();
+        const trt::scratch_region region{arena};
+        trt::scratch_buffer<scored_tile> candidates{arena};
         for (std::int32_t y = 0; y < static_cast<std::int32_t>(layout.height()); ++y)
         {
             for (std::int32_t x = 0; x < static_cast<std::int32_t>(layout.width()); ++x)
@@ -311,12 +324,12 @@ private:
                     continue;
                 }
                 // bias toward the origin so minimal bounding boxes emerge
-                candidates.emplace_back(dist * 4u + static_cast<std::uint32_t>(x + y), c);
+                candidates.push_back(scored_tile{dist * 4u + static_cast<std::uint32_t>(x + y), c});
             }
         }
         std::sort(candidates.begin(), candidates.end(),
                   [](const auto& a, const auto& b)
-                  { return a.first != b.first ? a.first < b.first : a.second < b.second; });
+                  { return a.key != b.key ? a.key < b.key : a.tile < b.tile; });
 
         for (const auto& [key, c] : candidates)
         {
@@ -404,7 +417,10 @@ std::optional<gate_level_layout> exact(const logic_network& network, const exact
             }
         });
 
-    exact_solver solver{net, params};
+    const auto soft_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(params.timeout_s));
+    exact_solver solver{net, params, soft_deadline};
 
     exact_stats local{};
     local.placeable_nodes = solver.num_placeable();
@@ -438,27 +454,104 @@ std::optional<gate_level_layout> exact(const logic_network& network, const exact
               });
 
     std::optional<gate_level_layout> result;
-    try
+    if (trt::parallel() && ratios.size() > 1)
     {
-        for (const auto& [w, h] : ratios)
+        // Race the aspect ratios: the lowest-index ratio that yields a
+        // solution wins — the same ratio the sequential sweep would have
+        // returned, because the sweep tries ratios by ascending area and
+        // stops at the first solvable one. Losing ratios are cancelled via
+        // their tokens and unwind at their next deadline poll.
+        struct ratio_outcome
         {
-            auto solution = solver.solve(w, h);
-            if (solution.has_value())
+            std::optional<gate_level_layout> layout;
+            bool soft_timeout{false};
+        };
+
+        std::atomic<std::size_t> search_nodes{0};
+        std::atomic<std::size_t> deadline_checks{0};
+        std::atomic<std::size_t> explored{0};
+
+        auto winner = trt::first_winner<ratio_outcome>(
+            ratios.size(),
+            [&](const std::size_t i, const trt::cancel_token& token) -> std::optional<ratio_outcome>
             {
-                result = std::move(solution);
-                break;
+                exact_params task_params = params;
+                task_params.deadline     = params.deadline.with_stop(token.handle());
+                exact_solver task_solver{net, task_params, soft_deadline};
+                const auto   accumulate = [&]
+                {
+                    search_nodes.fetch_add(task_solver.num_search_nodes(), std::memory_order_relaxed);
+                    deadline_checks.fetch_add(task_solver.num_deadline_checks(), std::memory_order_relaxed);
+                };
+                try
+                {
+                    auto solution = task_solver.solve(ratios[i].first, ratios[i].second);
+                    accumulate();
+                    if (solution.has_value())
+                    {
+                        return ratio_outcome{std::move(solution), false};
+                    }
+                    explored.fetch_add(1, std::memory_order_relaxed);
+                    return std::nullopt;
+                }
+                catch (const timeout_signal&)
+                {
+                    // the shared soft budget ran out: this "wins" the race as
+                    // a timeout marker, exactly like the sequential sweep
+                    // aborting at this ratio
+                    accumulate();
+                    return ratio_outcome{std::nullopt, true};
+                }
+                catch (const res::deadline_exceeded&)
+                {
+                    accumulate();
+                    if (params.deadline.expired())
+                    {
+                        throw;  // the real global deadline — unwind out of exact()
+                    }
+                    return std::nullopt;  // lost the race (token cancellation)
+                }
+            });
+
+        if (winner.has_value())
+        {
+            if (winner->layout.has_value())
+            {
+                result = std::move(winner->layout);
             }
-            ++local.explored_aspect_ratios;
+            else
+            {
+                local.timed_out = true;
+            }
         }
+        local.search_nodes = search_nodes.load(std::memory_order_relaxed);
+        local.deadline_checks = deadline_checks.load(std::memory_order_relaxed);
+        local.explored_aspect_ratios = explored.load(std::memory_order_relaxed);
     }
-    catch (const timeout_signal&)
+    else
     {
-        local.timed_out = true;
+        try
+        {
+            for (const auto& [w, h] : ratios)
+            {
+                auto solution = solver.solve(w, h);
+                if (solution.has_value())
+                {
+                    result = std::move(solution);
+                    break;
+                }
+                ++local.explored_aspect_ratios;
+            }
+        }
+        catch (const timeout_signal&)
+        {
+            local.timed_out = true;
+        }
+        local.search_nodes = solver.num_search_nodes();
+        local.deadline_checks = solver.num_deadline_checks();
     }
 
     local.runtime = watch.seconds();
-    local.search_nodes = solver.num_search_nodes();
-    local.deadline_checks = solver.num_deadline_checks();
 
     if (tel::enabled())
     {

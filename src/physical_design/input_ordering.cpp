@@ -1,12 +1,15 @@
 #include "physical_design/input_ordering.hpp"
 
+#include "common/taskrt/taskrt.hpp"
 #include "common/types.hpp"
 #include "network/network_utils.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <random>
+#include <utility>
 #include <vector>
 
 namespace mnt::pd
@@ -140,22 +143,46 @@ lyt::gate_level_layout input_ordering_ortho(const logic_network& network, const 
     }
 
     input_ordering_stats local{};
-    std::optional<lyt::gate_level_layout> best;
 
-    for (const auto& perm : orderings)
+    // One sweep cell per ordering, combined in submission order: the strict
+    // `<` keeps the *earliest* ordering among equal areas, so the reduction
+    // picks exactly the layout the old sequential loop kept — at any thread
+    // count.
+    struct sweep_acc
     {
-        // each ortho run polls the deadline itself; this check stops the
-        // ordering sweep between runs once the budget is gone
-        params.ortho.deadline.throw_if_expired("input_ordering/sweep");
-        const auto permuted = reorder_pis(network, perm);
-        auto layout = ortho(permuted, params.ortho);
-        ++local.orderings_tried;
-        local.worst_area = std::max(local.worst_area, layout.area());
-        if (!best.has_value() || layout.area() < best->area())
+        std::optional<lyt::gate_level_layout> best{};
+        std::uint64_t worst_area{0};
+        std::size_t tried{0};
+    };
+
+    auto swept = trt::parallel_map_reduce<sweep_acc>(
+        orderings.size(), sweep_acc{},
+        [&](const std::size_t i)
         {
-            best = std::move(layout);
-        }
-    }
+            // each ortho run polls the deadline itself; this check stops the
+            // ordering sweep between runs once the budget is gone
+            params.ortho.deadline.throw_if_expired("input_ordering/sweep");
+            const auto permuted = reorder_pis(network, orderings[i]);
+            auto layout = ortho(permuted, params.ortho);
+            sweep_acc cell{};
+            cell.worst_area = layout.area();
+            cell.best = std::move(layout);
+            cell.tried = 1;
+            return cell;
+        },
+        [](sweep_acc& acc, sweep_acc&& cell)
+        {
+            acc.tried += cell.tried;
+            acc.worst_area = std::max(acc.worst_area, cell.worst_area);
+            if (!acc.best.has_value() || (cell.best.has_value() && cell.best->area() < acc.best->area()))
+            {
+                acc.best = std::move(cell.best);
+            }
+        });
+
+    local.orderings_tried = swept.tried;
+    local.worst_area = swept.worst_area;
+    auto best = std::move(swept.best);
 
     local.best_area = best->area();
     local.runtime = watch.seconds();

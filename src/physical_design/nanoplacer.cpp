@@ -1,5 +1,6 @@
 #include "physical_design/nanoplacer.hpp"
 
+#include "common/taskrt/taskrt.hpp"
 #include "common/types.hpp"
 #include "layout/layout_utils.hpp"
 #include "layout/net_surgery.hpp"
@@ -12,6 +13,7 @@
 #include <cmath>
 #include <random>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mnt::pd
@@ -302,6 +304,113 @@ bool constructive_placement(gate_level_layout& layout, const logic_network& net,
     return true;
 }
 
+/// The final quality metric (area, then wires): the best snapshot is
+/// tracked by this key so more iterations can never end worse than fewer
+/// for the same seed.
+using layout_key = std::pair<std::uint64_t, std::size_t>;
+
+[[nodiscard]] layout_key final_key(const gate_level_layout& l)
+{
+    const auto [min_c, max_c] = l.bounding_box();
+    static_cast<void>(min_c);
+    return {static_cast<std::uint64_t>(max_c.x + 1) * static_cast<std::uint64_t>(max_c.y + 1), l.num_wires()};
+}
+
+/// Non-wire tiles of \p layout — the relocatable gates of the annealer.
+[[nodiscard]] std::vector<coordinate> gate_tiles(const gate_level_layout& layout)
+{
+    auto gates = layout.tiles_sorted();
+    gates.erase(std::remove_if(gates.begin(), gates.end(),
+                               [&](const coordinate& c) { return layout.type_of(c) == gate_type::buf; }),
+                gates.end());
+    return gates;
+}
+
+/// Everything one annealing chain owns. Chains never share mutable state:
+/// each has its own layout copy, RNG stream and best snapshot, so segments
+/// of different chains run concurrently without synchronization.
+struct chain_state
+{
+    gate_level_layout layout;
+    std::vector<coordinate> gates;
+    std::mt19937_64 rng;
+    double current_cost{0.0};
+    double temperature{0.0};
+    gate_level_layout best;
+    layout_key best_key{};
+};
+
+/// Runs \p iterations annealing moves on \p st — the classic loop body,
+/// verbatim: with a single chain and a single segment this consumes the RNG
+/// stream in exactly the historic order, keeping single-chain output
+/// byte-identical to previous releases.
+void anneal_segment(chain_state& st, const nanoplacer_params& params, const double cooling,
+                    const std::size_t iterations, nanoplacer_stats& segment_stats)
+{
+    lyt::net_surgeon surgeon{st.layout, params.max_route_expansions};
+    surgeon.options().respect_needy_exits = true;
+    surgeon.options().deadline = params.deadline;
+    res::deadline_guard anneal_deadline{params.deadline, 64};
+
+    std::uniform_real_distribution<double> uniform{0.0, 1.0};
+
+    for (std::size_t it = 0; it < iterations; ++it, st.temperature *= cooling)
+    {
+        if (anneal_deadline.poll())
+        {
+            throw res::deadline_exceeded{"nanoplacer/annealing"};
+        }
+        ++segment_stats.attempted_moves;
+
+        // pick a random gate; track its position across accepted moves
+        auto& g = st.gates[std::uniform_int_distribution<std::size_t>{0, st.gates.size() - 1}(st.rng)];
+
+        // random empty target, biased toward the origin
+        const auto w = static_cast<std::int32_t>(st.layout.width());
+        const auto h = static_cast<std::int32_t>(st.layout.height());
+        coordinate target{};
+        bool found = false;
+        for (int probe = 0; probe < 12 && !found; ++probe)
+        {
+            const auto rx = std::min(std::uniform_int_distribution<std::int32_t>{0, w - 1}(st.rng),
+                                     std::uniform_int_distribution<std::int32_t>{0, w - 1}(st.rng));
+            const auto ry = std::min(std::uniform_int_distribution<std::int32_t>{0, h - 1}(st.rng),
+                                     std::uniform_int_distribution<std::int32_t>{0, h - 1}(st.rng));
+            const coordinate c{rx, ry, 0};
+            if (st.layout.is_empty_tile(c) && st.layout.is_empty_tile(c.elevated()))
+            {
+                target = c;
+                found = true;
+            }
+        }
+        if (!found)
+        {
+            continue;
+        }
+
+        double new_cost = 0.0;
+        const auto committed = lyt::try_relocate(surgeon, g, target,
+                                                 [&]()
+                                                 {
+                                                     new_cost = cost_of(st.layout, params.lambda);
+                                                     const auto delta = new_cost - st.current_cost;
+                                                     return delta <= 0.0 ||
+                                                            uniform(st.rng) < std::exp(-delta / st.temperature);
+                                                 });
+        if (committed)
+        {
+            st.current_cost = new_cost;
+            g = target;
+            ++segment_stats.accepted_moves;
+            if (const auto key = final_key(st.layout); key < st.best_key)
+            {
+                st.best_key = key;
+                st.best = st.layout;
+            }
+        }
+    }
+}
+
 /// One-shot telemetry flush at the end of a nanoplacer run (counters are
 /// accumulated locally so the annealing loop itself stays telemetry-free).
 void flush_telemetry(const nanoplacer_stats& stats, const bool succeeded)
@@ -323,6 +432,16 @@ void flush_telemetry(const nanoplacer_stats& stats, const bool succeeded)
 }
 
 }  // namespace
+
+std::uint64_t nanoplacer_chain_seed(const std::uint64_t base_seed, const std::size_t chain) noexcept
+{
+    // splitmix64 finalizer over (seed, chain) — the same derivation style as
+    // pbt::rng, so chain streams are decorrelated even for adjacent seeds
+    auto z = base_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chain) + 1);
+    z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31U);
+}
 
 std::optional<gate_level_layout> nanoplacer(const logic_network& network, const nanoplacer_params& params,
                                             nanoplacer_stats* stats)
@@ -417,92 +536,104 @@ std::optional<gate_level_layout> nanoplacer(const logic_network& network, const 
     }
 
     // simulated annealing over gate relocations
-    lyt::net_surgeon surgeon{*layout, params.max_route_expansions};
-    surgeon.options().respect_needy_exits = true;
-    surgeon.options().deadline = params.deadline;
-    res::deadline_guard anneal_deadline{params.deadline, 64};
-
-    auto gates = layout->tiles_sorted();
-    gates.erase(std::remove_if(gates.begin(), gates.end(),
-                               [&](const coordinate& c) { return layout->type_of(c) == gate_type::buf; }),
-                gates.end());
-
-    double current_cost = cost_of(*layout, params.lambda);
-    // best snapshot tracked by the *final* metric (area, then wires) so more
-    // iterations can never end worse than fewer for the same seed
-    const auto final_key = [](const gate_level_layout& l)
-    {
-        const auto [min_c, max_c] = l.bounding_box();
-        static_cast<void>(min_c);
-        return std::make_pair(static_cast<std::uint64_t>(max_c.x + 1) * static_cast<std::uint64_t>(max_c.y + 1),
-                              l.num_wires());
-    };
-    auto best = *layout;  // snapshot of the best solution seen (SA may end uphill)
-    auto best_key = final_key(best);
     const double cooling =
         params.iterations > 1 ? std::pow(params.t_end / params.t_start, 1.0 / static_cast<double>(params.iterations))
                               : 1.0;
-    double temperature = params.t_start;
+    const auto chain_count = std::max<std::size_t>(params.chains, 1);
 
-    std::uniform_real_distribution<double> uniform{0.0, 1.0};
-
-    for (std::size_t it = 0; it < params.iterations; ++it, temperature *= cooling)
+    if (chain_count == 1)
     {
-        if (anneal_deadline.poll())
+        // classic single-chain annealer: one segment covering the whole
+        // schedule, continuing the RNG stream the constructive placement
+        // consumed from — byte-identical to all previous releases
+        chain_state st{std::move(*layout), {}, std::move(rng), 0.0, params.t_start, {}, {}};
+        st.gates = gate_tiles(st.layout);
+        st.current_cost = cost_of(st.layout, params.lambda);
+        st.best = st.layout;  // snapshot of the best solution seen (SA may end uphill)
+        st.best_key = final_key(st.best);
+        anneal_segment(st, params, cooling, params.iterations, local);
+        *layout = std::move(st.best);
+    }
+    else
+    {
+        // multi-chain parallel annealing with periodic best-exchange: chains
+        // anneal independent copies, synchronizing at fixed iteration
+        // boundaries where the currently-worst chain restarts from the
+        // globally best snapshot. All exchange decisions are deterministic
+        // (keys, then chain index), so the result depends only on
+        // (seed, chains, iterations) — not on the thread count.
+        std::vector<chain_state> states;
+        states.reserve(chain_count);
+        for (std::size_t c = 0; c < chain_count; ++c)
         {
-            throw res::deadline_exceeded{"nanoplacer/annealing"};
+            chain_state st{*layout,
+                           gate_tiles(*layout),
+                           std::mt19937_64{nanoplacer_chain_seed(params.seed, c)},
+                           cost_of(*layout, params.lambda),
+                           params.t_start,
+                           *layout,
+                           final_key(*layout)};
+            states.push_back(std::move(st));
         }
-        ++local.attempted_moves;
 
-        // pick a random gate; track its position across accepted moves
-        auto& g = gates[std::uniform_int_distribution<std::size_t>{0, gates.size() - 1}(rng)];
-
-        // random empty target, biased toward the origin
-        const auto w = static_cast<std::int32_t>(layout->width());
-        const auto h = static_cast<std::int32_t>(layout->height());
-        coordinate target{};
-        bool found = false;
-        for (int probe = 0; probe < 12 && !found; ++probe)
+        const auto period = params.exchange_period > 0 ? params.exchange_period : params.iterations;
+        std::size_t remaining = params.iterations;
+        while (remaining > 0)
         {
-            const auto rx = std::min(std::uniform_int_distribution<std::int32_t>{0, w - 1}(rng),
-                                     std::uniform_int_distribution<std::int32_t>{0, w - 1}(rng));
-            const auto ry = std::min(std::uniform_int_distribution<std::int32_t>{0, h - 1}(rng),
-                                     std::uniform_int_distribution<std::int32_t>{0, h - 1}(rng));
-            const coordinate c{rx, ry, 0};
-            if (layout->is_empty_tile(c) && layout->is_empty_tile(c.elevated()))
+            const auto segment = std::min(period, remaining);
+            std::vector<nanoplacer_stats> segment_stats(chain_count);
+            trt::parallel_for(0, chain_count, 1,
+                              [&](const std::size_t chunk_begin, const std::size_t chunk_end)
+                              {
+                                  for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                                  {
+                                      anneal_segment(states[c], params, cooling, segment, segment_stats[c]);
+                                  }
+                              });
+            for (const auto& s : segment_stats)
             {
-                target = c;
-                found = true;
+                local.attempted_moves += s.attempted_moves;
+                local.accepted_moves += s.accepted_moves;
+            }
+            remaining -= segment;
+
+            if (remaining > 0)
+            {
+                // deterministic exchange: lowest-index best chain donates its
+                // snapshot to the (first) worst current chain
+                std::size_t best_chain = 0;
+                std::size_t worst_chain = 0;
+                for (std::size_t c = 1; c < chain_count; ++c)
+                {
+                    if (states[c].best_key < states[best_chain].best_key)
+                    {
+                        best_chain = c;
+                    }
+                    if (final_key(states[c].layout) > final_key(states[worst_chain].layout))
+                    {
+                        worst_chain = c;
+                    }
+                }
+                if (worst_chain != best_chain)
+                {
+                    states[worst_chain].layout = states[best_chain].best;
+                    states[worst_chain].gates = gate_tiles(states[worst_chain].layout);
+                    states[worst_chain].current_cost = cost_of(states[worst_chain].layout, params.lambda);
+                }
             }
         }
-        if (!found)
-        {
-            continue;
-        }
 
-        double new_cost = 0.0;
-        const auto committed = lyt::try_relocate(surgeon, g, target,
-                                                 [&]()
-                                                 {
-                                                     new_cost = cost_of(*layout, params.lambda);
-                                                     const auto delta = new_cost - current_cost;
-                                                     return delta <= 0.0 ||
-                                                            uniform(rng) < std::exp(-delta / temperature);
-                                                 });
-        if (committed)
+        std::size_t winner = 0;
+        for (std::size_t c = 1; c < chain_count; ++c)
         {
-            current_cost = new_cost;
-            g = target;
-            ++local.accepted_moves;
-            if (const auto key = final_key(*layout); key < best_key)
+            if (states[c].best_key < states[winner].best_key)
             {
-                best_key = key;
-                best = *layout;
+                winner = c;
             }
         }
+        *layout = std::move(states[winner].best);
     }
 
-    *layout = std::move(best);
     layout->shrink_to_fit();
 
     local.runtime = watch.seconds();

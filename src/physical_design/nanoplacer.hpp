@@ -66,7 +66,26 @@ struct nanoplacer_params
     /// and the annealing loop (and forwarded to every routing query); the
     /// run unwinds with mnt::res::deadline_exceeded once expired.
     res::deadline_clock deadline{};
+
+    /// Parallel annealing chains. 1 (the default) runs the classic
+    /// single-chain annealer, byte-identical to all previous releases.
+    /// More chains anneal independent copies of the seed layout — chain c
+    /// seeded with \ref nanoplacer_chain_seed(seed, c), so any chain can be
+    /// replayed in isolation — exchanging their best snapshot every
+    /// \ref exchange_period iterations: the currently-worst chain restarts
+    /// from the globally best layout. Exchanges happen at fixed iteration
+    /// boundaries with a deterministic winner rule, so the result depends
+    /// only on (seed, chains, iterations), never on the thread count.
+    std::size_t chains{1};
+
+    /// Iterations between best-exchange synchronization points (chains > 1).
+    std::size_t exchange_period{512};
 };
+
+/// Derived RNG seed of annealing chain \p chain (splitmix64 over the base
+/// seed, matching the pbt::rng derivation style): chains are individually
+/// replayable by constructing a single-chain run with this seed.
+[[nodiscard]] std::uint64_t nanoplacer_chain_seed(std::uint64_t base_seed, std::size_t chain) noexcept;
 
 /// Statistics of a \ref nanoplacer run.
 struct nanoplacer_stats

@@ -1,6 +1,7 @@
 #include "physical_design/portfolio.hpp"
 
 #include "common/provenance.hpp"
+#include "common/taskrt/taskrt.hpp"
 #include "common/types.hpp"
 #include "network/transforms.hpp"
 #include "physical_design/exact.hpp"
@@ -435,36 +436,60 @@ portfolio_run generate_portfolio(const logic_network& input, const portfolio_fla
             std::vector<res::combo_outcome> outcomes;
         };
         std::vector<task_slot> slots(tasks.size());
-        std::atomic<std::size_t> next{0};
 
-        // workers adopt the caller's trace position, so per-combo spans nest
-        // under the portfolio root exactly as in the sequential run instead
-        // of surfacing as orphan per-thread roots
-        const auto parent_context = tel::current_span_context();
-        const auto work = [&]
+        if (trt::parallel())
         {
-            const tel::context_guard adopt{parent_context};
-            while (true)
+            // in-process thread mode: combos become tasks of the shared
+            // runtime, composing with any in-algorithm parallelism (exact
+            // races, NPR chains) instead of oversubscribing with a second
+            // thread pool. Span adoption is handled by the runtime itself.
+            trt::parallel_for(0, tasks.size(), 1,
+                              [&](const std::size_t chunk_begin, const std::size_t chunk_end)
+                              {
+                                  for (std::size_t i = chunk_begin; i < chunk_end; ++i)
+                                  {
+                                      combo_context ctx{network, params, guard, slots[i].results,
+                                                        slots[i].outcomes};
+                                      tasks[i](ctx);
+                                  }
+                              });
+        }
+        else
+        {
+            // the runtime is pinned serial (--threads 1 / single-core): honor
+            // the explicit --jobs request with the classic dedicated pool
+            std::atomic<std::size_t> next{0};
+
+            // workers adopt the caller's trace position, so per-combo spans
+            // nest under the portfolio root exactly as in the sequential run
+            // instead of surfacing as orphan per-thread roots
+            const auto parent_context = tel::current_span_context();
+            const auto work = [&]
             {
-                const auto i = next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= tasks.size())
+                const tel::context_guard adopt{parent_context};
+                while (true)
                 {
-                    return;
+                    const auto i = next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= tasks.size())
+                    {
+                        return;
+                    }
+                    combo_context ctx{network, params, guard, slots[i].results, slots[i].outcomes};
+                    tasks[i](ctx);
                 }
-                combo_context ctx{network, params, guard, slots[i].results, slots[i].outcomes};
-                tasks[i](ctx);
+            };
+            std::vector<std::thread> pool;
+            pool.reserve(jobs);
+            for (std::size_t j = 0; j < jobs; ++j)
+            {
+                pool.emplace_back(work);
             }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (std::size_t j = 0; j < jobs; ++j)
-        {
-            pool.emplace_back(work);
+            for (auto& worker : pool)
+            {
+                worker.join();
+            }
         }
-        for (auto& worker : pool)
-        {
-            worker.join();
-        }
+
         for (auto& slot : slots)
         {
             std::move(slot.results.begin(), slot.results.end(), std::back_inserter(run.results));

@@ -257,6 +257,8 @@ double histogram_quantile(const histogram_value& h, double quantile)
 
 void write_prometheus_text(std::ostream& out)
 {
+    run_scrape_hooks();  // let lazy publishers (taskrt, ...) push their stats first
+
     auto& reg = registry::instance();
     family_set families;
 

@@ -99,6 +99,8 @@ void write_span_text(const span_node& node, std::ostream& output, const int dept
 
 run_report capture_report()
 {
+    run_scrape_hooks();  // let lazy publishers (taskrt, ...) push their stats first
+
     auto& reg = registry::instance();
     run_report report{};
     report.counters = reg.counters();

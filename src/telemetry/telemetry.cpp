@@ -468,6 +468,49 @@ void add_event(event_record ev)
     registry::instance().add_event(std::move(ev));
 }
 
+// ------------------------------------------------------------- scrape hooks
+
+namespace
+{
+
+/// Plain function pointers in a fixed-capacity slot array: registration is
+/// rare (once per subsystem) and lookups are lock-free, so a scrape never
+/// blocks a registering thread or vice versa.
+constexpr std::size_t max_scrape_hooks = 8;
+std::atomic<void (*)()> scrape_hooks[max_scrape_hooks]{};
+std::atomic<std::size_t> scrape_hook_count{0};
+
+}  // namespace
+
+void register_scrape_hook(void (*hook)())
+{
+    if (hook == nullptr)
+    {
+        return;
+    }
+    const auto slot = scrape_hook_count.fetch_add(1, std::memory_order_acq_rel);
+    if (slot < max_scrape_hooks)
+    {
+        scrape_hooks[slot].store(hook, std::memory_order_release);
+    }
+}
+
+void run_scrape_hooks()
+{
+    auto n = scrape_hook_count.load(std::memory_order_acquire);
+    if (n > max_scrape_hooks)
+    {
+        n = max_scrape_hooks;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (auto* hook = scrape_hooks[i].load(std::memory_order_acquire); hook != nullptr)
+        {
+            hook();
+        }
+    }
+}
+
 // -------------------------------------------------------------------- spans
 
 namespace

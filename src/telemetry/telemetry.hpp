@@ -332,6 +332,22 @@ void set_gauge(std::string_view name, double value);
 /// Appends a structured event to the registry log; no-op when disabled.
 void add_event(event_record ev);
 
+// ------------------------------------------------------------- scrape hooks
+
+/// Registers a callback invoked immediately before metric snapshots are
+/// taken (/metrics exposition, run-report capture). Subsystems that keep
+/// their counters *outside* the registry for hot-path reasons — the task
+/// runtime's per-worker sharded stats, for example — publish them lazily
+/// from their hook instead of taking the registry mutex per event. Hooks
+/// run outside the registry lock (they typically call \ref set_gauge) and
+/// must be callable from any thread. Registration is process-lifetime:
+/// hooks cannot be removed.
+void register_scrape_hook(void (*hook)());
+
+/// Invokes every registered scrape hook (called by the prometheus and
+/// report snapshot paths; idempotent and cheap when no hooks exist).
+void run_scrape_hooks();
+
 // -------------------------------------------------------------------- spans
 
 /// RAII scoped span. When telemetry is enabled, opening a span descends into

@@ -53,7 +53,10 @@ client_response http_exchange(const std::uint16_t port, const std::string& reque
     std::size_t sent = 0;
     while (sent < request.size())
     {
-        const auto n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+        // MSG_NOSIGNAL: if the server hits its read deadline and closes the
+        // connection mid-send (it will under heavy ctest load), the client must
+        // see EPIPE and break, not die from a process-wide SIGPIPE
+        const auto n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
         if (n <= 0)
         {
             break;
@@ -285,7 +288,7 @@ TEST_F(server_fixture, SlowClientIsCutOffWithRequestTimeout)
     const std::string fragment = "GET /layouts HTTP/1.1\r\n";
     for (const char c : fragment)
     {
-        if (::send(fd, &c, 1, 0) <= 0)
+        if (::send(fd, &c, 1, MSG_NOSIGNAL) <= 0)
         {
             break;
         }
