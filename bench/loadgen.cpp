@@ -1,0 +1,550 @@
+/// \file loadgen.cpp
+/// \brief HTTP load generator for the catalog server — the measured load
+///        story behind the event-driven rework. Drives a realistic
+///        read-mostly request mix (pbt::random_catalog_target) against
+///        either a self-hosted demo catalog or a live server (--port), in
+///        three connection disciplines:
+///
+///          close      one request per TCP connection (the pre-rework
+///                     server's only mode: every response was
+///                     `Connection: close`)
+///          keepalive  many requests per connection, strictly one in flight
+///          pipeline   many requests per connection, PIPELINE_DEPTH in
+///                     flight (HTTP/1.1 pipelining)
+///
+///        Per mode it records p50/p95/p99 request latency and sustained
+///        requests/second, and writes them as a BENCH-notes JSON document
+///        (bench_diff's format, microseconds-per-request so lower is
+///        better) for the CI `bench_diff --calibrate` gate against
+///        bench/baselines/loadgen_baseline.json.
+///
+/// Usage:
+///   loadgen [--port <p>] [--requests <n>] [--clients <n>] [--mode <m>]
+///           [--out <file.json>] [--quick]
+///
+///   --port <p>       target a running server instead of self-hosting
+///   --requests <n>   requests per client per mode (default 400)
+///   --clients <n>    concurrent client connections (default 4)
+///   --mode <m>       close | keepalive | pipeline | all (default all)
+///   --out <file>     output path (default BENCH_service.json)
+///   --quick          tiny counts for the ctest smoke run
+
+#include "benchmarks/functions.hpp"
+#include "core/catalog.hpp"
+#include "physical_design/hexagonalization.hpp"
+#include "physical_design/ortho.hpp"
+#include "service/json.hpp"
+#include "service/query.hpp"
+#include "service/server.hpp"
+#include "testing/generators.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace
+{
+
+using namespace mnt;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t PIPELINE_DEPTH = 4;
+
+// ------------------------------------------------------------- HTTP client
+
+/// A blocking loopback client with Content-Length response framing, so any
+/// number of responses can be read off one keep-alive connection.
+class http_client
+{
+public:
+    explicit http_client(const std::uint16_t port)
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+        {
+            throw mnt_error{"loadgen: socket() failed"};
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0)
+        {
+            ::close(fd);
+            fd = -1;
+            throw mnt_error{std::string{"loadgen: connect() failed: "} + std::strerror(errno)};
+        }
+    }
+
+    ~http_client()
+    {
+        if (fd >= 0)
+        {
+            ::close(fd);
+        }
+    }
+
+    http_client(const http_client&) = delete;
+    http_client& operator=(const http_client&) = delete;
+
+    void send_raw(const std::string& bytes) const
+    {
+        std::size_t sent = 0;
+        while (sent < bytes.size())
+        {
+            const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0)
+            {
+                throw mnt_error{"loadgen: send() failed"};
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    /// Reads one response; returns its status code.
+    int read_response()
+    {
+        const auto header_end = fill_until("\r\n\r\n");
+        const auto headers = buffered.substr(0, header_end);
+        buffered.erase(0, header_end + 4);
+        const int status = std::stoi(headers.substr(9, 3));
+
+        std::size_t content_length = 0;
+        const auto key = headers.find("Content-Length: ");
+        if (key != std::string::npos)
+        {
+            content_length = std::stoul(headers.substr(key + 16));
+        }
+        while (buffered.size() < content_length)
+        {
+            fill_more();
+        }
+        buffered.erase(0, content_length);
+        return status;
+    }
+
+private:
+    [[nodiscard]] std::size_t fill_until(const std::string& marker)
+    {
+        for (;;)
+        {
+            const auto at = buffered.find(marker);
+            if (at != std::string::npos)
+            {
+                return at;
+            }
+            fill_more();
+        }
+    }
+
+    void fill_more()
+    {
+        char buffer[8192];
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+        {
+            throw mnt_error{"loadgen: connection closed mid-response"};
+        }
+        buffered.append(buffer, static_cast<std::size_t>(n));
+    }
+
+    int fd{-1};
+    std::string buffered;
+};
+
+std::string get_request(const std::string& target, const bool keep_alive)
+{
+    return "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n" +
+           (keep_alive ? std::string{} : std::string{"Connection: close\r\n"}) + "\r\n";
+}
+
+// --------------------------------------------------------------- run modes
+
+struct mode_result
+{
+    std::string mode;
+    std::size_t requests{0};
+    std::size_t errors{0};  ///< non-2xx/3xx responses
+    double elapsed_s{0.0};
+    double p50_us{0.0};
+    double p95_us{0.0};
+    double p99_us{0.0};
+
+    [[nodiscard]] double requests_per_s() const
+    {
+        return elapsed_s > 0.0 ? static_cast<double>(requests) / elapsed_s : 0.0;
+    }
+
+    /// Mean service cost in microseconds per request — the lower-is-better
+    /// number the perf gate tracks (1e6 / requests-per-second).
+    [[nodiscard]] double us_per_request() const
+    {
+        return requests > 0 ? elapsed_s * 1e6 / static_cast<double>(requests) : 0.0;
+    }
+};
+
+double percentile(std::vector<double>& sorted_us, const double q)
+{
+    if (sorted_us.empty())
+    {
+        return 0.0;
+    }
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted_us.size()))); // 1-based
+    return sorted_us[std::min(sorted_us.size(), std::max<std::size_t>(1, rank)) - 1];
+}
+
+/// One client worker: \p requests requests drawn from the catalog mix.
+/// Latencies are appended in microseconds.
+void run_client(const std::uint16_t port, const std::string& mode, const std::size_t requests,
+                const std::uint64_t seed, std::vector<double>& latencies_us, std::size_t& errors)
+{
+    pbt::rng random{seed};
+
+    if (mode == "close")
+    {
+        for (std::size_t i = 0; i < requests; ++i)
+        {
+            const auto t0 = clock_type::now();
+            http_client client{port};
+            client.send_raw(get_request(pbt::random_catalog_target(random), false));
+            const auto status = client.read_response();
+            latencies_us.push_back(std::chrono::duration<double, std::micro>(clock_type::now() - t0).count());
+            errors += status >= 400 ? 1 : 0;
+        }
+        return;
+    }
+
+    http_client client{port};
+    if (mode == "keepalive")
+    {
+        for (std::size_t i = 0; i < requests; ++i)
+        {
+            const auto t0 = clock_type::now();
+            client.send_raw(get_request(pbt::random_catalog_target(random), true));
+            const auto status = client.read_response();
+            latencies_us.push_back(std::chrono::duration<double, std::micro>(clock_type::now() - t0).count());
+            errors += status >= 400 ? 1 : 0;
+        }
+        return;
+    }
+
+    // pipeline: PIPELINE_DEPTH requests on the wire before the first read;
+    // per-request latency is the batch round-trip amortized over the batch
+    for (std::size_t done = 0; done < requests;)
+    {
+        const auto batch = std::min(PIPELINE_DEPTH, requests - done);
+        std::string wire;
+        for (std::size_t b = 0; b < batch; ++b)
+        {
+            wire += get_request(pbt::random_catalog_target(random), true);
+        }
+        const auto t0 = clock_type::now();
+        client.send_raw(wire);
+        for (std::size_t b = 0; b < batch; ++b)
+        {
+            errors += client.read_response() >= 400 ? 1 : 0;
+        }
+        const auto batch_us = std::chrono::duration<double, std::micro>(clock_type::now() - t0).count();
+        for (std::size_t b = 0; b < batch; ++b)
+        {
+            latencies_us.push_back(batch_us / static_cast<double>(batch));
+        }
+        done += batch;
+    }
+}
+
+mode_result run_mode(const std::uint16_t port, const std::string& mode, const std::size_t clients,
+                     const std::size_t requests_per_client)
+{
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::size_t> errors(clients, 0);
+
+    const auto t0 = clock_type::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c)
+    {
+        pool.emplace_back([&, c]
+                          { run_client(port, mode, requests_per_client, 0x10ad6e12ULL + c, latencies[c],
+                                       errors[c]); });
+    }
+    for (auto& t : pool)
+    {
+        t.join();
+    }
+
+    mode_result result{};
+    result.mode = mode;
+    result.elapsed_s = std::chrono::duration<double>(clock_type::now() - t0).count();
+
+    std::vector<double> all;
+    for (std::size_t c = 0; c < clients; ++c)
+    {
+        all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+        result.errors += errors[c];
+    }
+    result.requests = all.size();
+    std::sort(all.begin(), all.end());
+    result.p50_us = percentile(all, 0.50);
+    result.p95_us = percentile(all, 0.95);
+    result.p99_us = percentile(all, 0.99);
+    return result;
+}
+
+// ------------------------------------------------------------ demo catalog
+
+/// A small in-memory catalog (three functions, two layouts each) so the
+/// loadgen is self-contained: `loadgen` with no --port measures the server
+/// code itself, not a particular store.
+cat::catalog demo_catalog()
+{
+    cat::catalog catalog;
+    const std::vector<std::pair<std::string, ntk::logic_network>> functions{
+        {"2:1 MUX", bm::mux21()}, {"XOR", bm::xor2()}, {"Half Adder", bm::half_adder()}};
+    for (const auto& [name, network] : functions)
+    {
+        catalog.add_network("Trindade16", name, network);
+
+        const auto cartesian = pd::ortho(network);
+        cat::layout_record qca{};
+        qca.benchmark_set = "Trindade16";
+        qca.benchmark_name = name;
+        qca.library = cat::gate_library_kind::qca_one;
+        qca.clocking = cartesian.clocking().name();
+        qca.algorithm = "ortho";
+        qca.runtime = 0.1;
+        qca.layout = cartesian;
+        catalog.add_layout(qca);
+
+        cat::layout_record hex{};
+        hex.benchmark_set = "Trindade16";
+        hex.benchmark_name = name;
+        hex.library = cat::gate_library_kind::bestagon;
+        hex.algorithm = "ortho";
+        hex.optimizations = {"45°"};
+        hex.runtime = 0.2;
+        hex.layout = pd::hexagonalization(cartesian);
+        hex.clocking = hex.layout.clocking().name();
+        catalog.add_layout(hex);
+    }
+    return catalog;
+}
+
+// ------------------------------------------------------------------ output
+
+void write_bench_json(const std::string& path, const std::vector<mode_result>& results)
+{
+    auto rows = svc::json_value::make_array();
+    for (const auto& r : results)
+    {
+        const auto add = [&rows](const std::string& name, const double value)
+        {
+            auto row = svc::json_value::make_object();
+            row.set("name", svc::json_value{name});
+            row.set("unit", svc::json_value{std::string{"us"}});
+            row.set("after", svc::json_value{value});
+            rows.push_back(std::move(row));
+        };
+        add("loadgen_" + r.mode + "_req_us", r.us_per_request());
+        add("loadgen_" + r.mode + "_p50_us", r.p50_us);
+        add("loadgen_" + r.mode + "_p95_us", r.p95_us);
+        add("loadgen_" + r.mode + "_p99_us", r.p99_us);
+    }
+
+    auto modes = svc::json_value::make_array();
+    for (const auto& r : results)
+    {
+        auto mode = svc::json_value::make_object();
+        mode.set("mode", svc::json_value{r.mode});
+        mode.set("requests", svc::json_value{static_cast<std::uint64_t>(r.requests)});
+        mode.set("errors", svc::json_value{static_cast<std::uint64_t>(r.errors)});
+        mode.set("elapsed_s", svc::json_value{r.elapsed_s});
+        mode.set("requests_per_s", svc::json_value{r.requests_per_s()});
+        mode.set("p50_us", svc::json_value{r.p50_us});
+        mode.set("p95_us", svc::json_value{r.p95_us});
+        mode.set("p99_us", svc::json_value{r.p99_us});
+        modes.push_back(std::move(mode));
+    }
+
+    auto document = svc::json_value::make_object();
+    document.set("title", svc::json_value{std::string{
+                              "catalog-server load test: latency and throughput per connection discipline"}});
+    document.set(
+        "methodology",
+        svc::json_value{std::string{
+            "bench/loadgen drives the pbt::random_catalog_target read mix against the epoll catalog server "
+            "over loopback. close = one request per TCP connection (the pre-rework behavior), keepalive = "
+            "one in-flight request on a persistent connection, pipeline = 4 in-flight. The *_req_us rows "
+            "are mean microseconds per request (1e6 / requests-per-second) so every row is lower-is-better "
+            "for bench_diff; p50/p95/p99 are per-request latency percentiles."}});
+    document.set("benchmarks", std::move(rows));
+    document.set("modes", std::move(modes));
+
+    std::ofstream out{path};
+    out << document.dump() << '\n';
+    if (!out)
+    {
+        throw mnt_error{"loadgen: cannot write " + path};
+    }
+}
+
+struct loadgen_options
+{
+    std::optional<std::uint16_t> port;
+    std::size_t requests{400};
+    std::size_t clients{4};
+    std::string mode{"all"};
+    std::string out{"BENCH_service.json"};
+    bool help{false};
+};
+
+loadgen_options parse_args(const int argc, const char** argv)
+{
+    loadgen_options options{};
+    for (int i = 1; i < argc; ++i)
+    {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : std::string{}; };
+        if (arg == "--port")
+        {
+            options.port = static_cast<std::uint16_t>(std::stoul(next()));
+        }
+        else if (arg == "--requests")
+        {
+            options.requests = std::max<std::size_t>(1, std::stoul(next()));
+        }
+        else if (arg == "--clients")
+        {
+            options.clients = std::max<std::size_t>(1, std::stoul(next()));
+        }
+        else if (arg == "--mode")
+        {
+            options.mode = next();
+        }
+        else if (arg == "--out")
+        {
+            options.out = next();
+        }
+        else if (arg == "--quick")
+        {
+            options.requests = 25;
+            options.clients = 2;
+        }
+        else if (arg == "--help" || arg == "-h")
+        {
+            options.help = true;
+        }
+        else
+        {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            options.help = true;
+        }
+    }
+    return options;
+}
+
+}  // namespace
+
+int main(const int argc, const char** argv)
+{
+    const auto options = parse_args(argc, argv);
+    if (options.help)
+    {
+        std::printf("catalog-server load generator\n"
+                    "usage: loadgen [--port <p>] [--requests <n>] [--clients <n>]\n"
+                    "               [--mode close|keepalive|pipeline|all] [--out <file.json>] [--quick]\n");
+        return 0;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+
+    try
+    {
+        // self-host unless pointed at a live server
+        std::unique_ptr<cat::catalog> catalog;
+        std::unique_ptr<svc::query_engine> engine;
+        std::unique_ptr<svc::catalog_server> server;
+        std::uint16_t port = 0;
+        if (options.port.has_value())
+        {
+            port = *options.port;
+        }
+        else
+        {
+            catalog = std::make_unique<cat::catalog>(demo_catalog());
+            engine = std::make_unique<svc::query_engine>(*catalog);
+            svc::server_options server_options{};
+            server_options.threads = 2;
+            server = std::make_unique<svc::catalog_server>(*engine, server_options);
+            server->start();
+            port = server->port();
+            std::printf("self-hosting %zu layouts on port %u\n", catalog->num_layouts(),
+                        static_cast<unsigned>(port));
+        }
+
+        std::vector<std::string> modes;
+        if (options.mode == "all")
+        {
+            modes = {"close", "keepalive", "pipeline"};
+        }
+        else if (options.mode == "close" || options.mode == "keepalive" || options.mode == "pipeline")
+        {
+            modes = {options.mode};
+        }
+        else
+        {
+            std::fprintf(stderr, "unknown mode '%s'\n", options.mode.c_str());
+            return 2;
+        }
+
+        std::vector<mode_result> results;
+        for (const auto& mode : modes)
+        {
+            // warm the server's caches/snapshot path before measuring
+            auto warmup = run_mode(port, mode, 1, std::min<std::size_t>(options.requests, 20));
+            static_cast<void>(warmup);
+            auto result = run_mode(port, mode, options.clients, options.requests);
+            std::printf("%-9s  %6zu req  %8.1f req/s  p50 %7.1f us  p95 %7.1f us  p99 %7.1f us  errors %zu\n",
+                        result.mode.c_str(), result.requests, result.requests_per_s(), result.p50_us,
+                        result.p95_us, result.p99_us, result.errors);
+            if (result.errors > 0)
+            {
+                std::fprintf(stderr, "loadgen: %zu requests answered >= 400 in mode %s\n", result.errors,
+                             mode.c_str());
+                return 1;
+            }
+            results.push_back(std::move(result));
+        }
+
+        write_bench_json(options.out, results);
+        std::printf("wrote %s\n", options.out.c_str());
+
+        if (server)
+        {
+            server->stop();
+        }
+        return 0;
+    }
+    catch (const std::exception& e)
+    {
+        std::fprintf(stderr, "loadgen error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -11,6 +11,7 @@
 ///                   [--report <file.json>] [--verbose-telemetry]
 ///                   [--trace-out <file.json>] [--event-log <file.jsonl>]
 ///                   [--resume] [--supervise] [--shards <n>] [--deterministic]
+///                   [--idle-timeout <s>] [--cache-mb <mb>] [--max-connections <n>]
 ///
 /// Typical session:
 ///   mnt_bench_serve --store bench_store --generate --set Trindade16   # populate
@@ -63,6 +64,12 @@ struct serve_options
     std::uint16_t port{0};
     std::size_t threads{4};
     std::size_t jobs{1};
+    /// Keep-alive idle timeout (seconds).
+    double idle_timeout_s{15.0};
+    /// Response-cache byte budget in megabytes.
+    std::size_t cache_mb{8};
+    /// Open-connection cap across all event loops.
+    std::size_t max_connections{1024};
     /// Physical-design task-runtime threads (0 = auto). --threads here means
     /// *server* worker threads, so the compute pool gets its own flag:
     /// --pd-threads > MNT_THREADS > hardware concurrency.
@@ -130,6 +137,18 @@ serve_options parse_args(const int argc, const char** argv)
         else if (arg == "--jobs")
         {
             options.jobs = std::max<std::size_t>(1, std::stoul(next()));
+        }
+        else if (arg == "--idle-timeout")
+        {
+            options.idle_timeout_s = std::stod(next());
+        }
+        else if (arg == "--cache-mb")
+        {
+            options.cache_mb = std::stoul(next());
+        }
+        else if (arg == "--max-connections")
+        {
+            options.max_connections = std::max<std::size_t>(1, std::stoul(next()));
         }
         else if (arg == "--pd-threads")
         {
@@ -231,6 +250,7 @@ std::vector<bm::benchmark_entry> selected_entries(const serve_options& options)
 
 std::atomic<bool> interrupted{false};
 std::atomic<int> interrupt_signal{0};
+std::atomic<bool> reload_requested{false};
 
 void on_signal(const int sig)
 {
@@ -238,6 +258,14 @@ void on_signal(const int sig)
     // portfolio_params::stop and checkpoints the journal on the normal path
     interrupt_signal.store(sig);
     interrupted.store(true);
+}
+
+void on_reload(const int)
+{
+    // SIGHUP = "the store changed on disk, pick it up": the serve loop
+    // reloads the store and publishes a fresh snapshot without dropping
+    // connections
+    reload_requested.store(true);
 }
 
 /// Non-owning view of the global interrupt flag for populate/portfolio.
@@ -388,10 +416,9 @@ int run(const serve_options& options)
         }
     }
 
-    const auto snapshot = store.load();
-
     if (!options.serve)
     {
+        const auto snapshot = store.load();
         std::printf("store %s: %zu networks, %zu layouts, %zu failures\n", options.store_dir.c_str(),
                     snapshot.catalog.num_networks(), snapshot.catalog.num_layouts(),
                     snapshot.catalog.num_failures());
@@ -400,15 +427,38 @@ int run(const serve_options& options)
         return 0;
     }
 
-    const svc::query_engine engine{snapshot.catalog, snapshot.layout_ids};
+    // the engine indexes (and references) its store snapshot, so the two
+    // travel as one shared bundle; catalog_snapshot's engine shared_ptr
+    // aliases the bundle, keeping the catalog alive for as long as any
+    // in-flight request still reads it — which is what makes SIGHUP reloads
+    // safe while serving
+    struct engine_bundle
+    {
+        svc::store_snapshot snapshot;
+        std::unique_ptr<svc::query_engine> engine;
+    };
+    const auto load_engine = [&store]
+    {
+        auto bundle = std::make_shared<engine_bundle>();
+        bundle->snapshot = store.load();
+        bundle->engine =
+            std::make_unique<svc::query_engine>(bundle->snapshot.catalog, bundle->snapshot.layout_ids);
+        return std::shared_ptr<const svc::query_engine>{bundle, bundle->engine.get()};
+    };
+
+    auto engine = load_engine();
+    const auto num_layouts = engine->catalog().num_layouts();
     svc::server_options server_options{};
     server_options.port = options.port;
     server_options.threads = options.threads;
-    svc::catalog_server server{engine, server_options};
+    server_options.idle_timeout_s = options.idle_timeout_s;
+    server_options.cache_capacity_bytes = options.cache_mb << 20U;
+    server_options.max_connections = options.max_connections;
+    svc::catalog_server server{std::move(engine), server_options};
     server.attach_store(&store);
     server.start();
 
-    std::printf("serving %zu layouts on http://127.0.0.1:%u\n", snapshot.catalog.num_layouts(),
+    std::printf("serving %zu layouts on http://127.0.0.1:%u\n", num_layouts,
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 
@@ -417,8 +467,15 @@ int run(const serve_options& options)
     std::signal(SIGPIPE, SIG_IGN);
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::signal(SIGHUP, on_reload);
     while (!interrupted.load())
     {
+        if (reload_requested.exchange(false))
+        {
+            auto reloaded = load_engine();
+            std::fprintf(stderr, "reloading store: %zu layouts\n", reloaded->catalog().num_layouts());
+            server.publish(std::move(reloaded));
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds{100});
     }
     std::fprintf(stderr, "shutting down ...\n");
@@ -447,7 +504,11 @@ int main(const int argc, const char** argv)
                     "  --set <name>           restrict generation to one benchmark set\n"
                     "  --name <fn>            restrict generation to one function\n"
                     "  --port <p>             TCP port (default 0 = ephemeral; printed on startup)\n"
-                    "  --threads <n>          server worker threads (default 4)\n"
+                    "  --threads <n>          server event-loop threads (default 4)\n"
+                    "  --idle-timeout <s>     close idle keep-alive connections after s seconds (default 15)\n"
+                    "  --cache-mb <mb>        response-cache byte budget (default 8)\n"
+                    "  --max-connections <n>  open-connection cap; past it the oldest idle\n"
+                    "                         keep-alive connection is shed (default 1024)\n"
                     "  --jobs <n>             portfolio worker threads (default 1)\n"
                     "  --pd-threads <n>       physical-design compute threads, 0 = auto\n"
                     "                         (precedence --pd-threads > MNT_THREADS > hardware)\n"
@@ -465,6 +526,8 @@ int main(const int argc, const char** argv)
                     "  --worker-cpu <s>       RLIMIT_CPU seconds per worker process\n"
                     "  --worker-mem <mb>      RLIMIT_AS megabytes per worker process\n"
                     "  --worker-hang-timeout <s>  kill a worker silent for this long\n"
+                    "signals: SIGTERM/SIGINT drain and exit; SIGHUP reloads the store and publishes\n"
+                    "         a fresh serving snapshot without dropping connections\n"
                     "endpoints: /healthz /metrics /statz /benchmarks /layouts /facets /best /download/<id>\n");
         return 0;
     }

@@ -739,4 +739,26 @@ std::string page_json_string(const result_page& page)
     return page_to_json(page).dump();
 }
 
+std::vector<page_query> default_page_queries()
+{
+    std::vector<page_query> queries;
+    // GET /layouts and its sort variants: default filter, first page
+    for (const auto key : {sort_key::area, sort_key::benchmark, sort_key::algorithm, sort_key::runtime})
+    {
+        page_query query{};
+        query.sort = key;
+        queries.push_back(query);
+    }
+    // GET /facets: metadata only
+    page_query facets{};
+    facets.limit = 0;
+    facets.include_facets = true;
+    queries.push_back(facets);
+    // GET /best: area-minimal layout per function
+    page_query best{};
+    best.filter.best_only = true;
+    queries.push_back(best);
+    return queries;
+}
+
 }  // namespace mnt::svc

@@ -188,4 +188,13 @@ private:
 /// '+'-decoded, in input order.
 [[nodiscard]] std::vector<std::pair<std::string, std::string>> parse_query_string(std::string_view query_string);
 
+/// The hot queries of the serving layer, exactly as the HTTP routes
+/// construct them: the default first page for every sort key (what
+/// `GET /layouts` and `GET /layouts?sort=...` answer with no filter), the
+/// facets-only metadata query behind `GET /facets`, and the default
+/// best-per-function page behind `GET /best`. The server precomputes these
+/// into its immutable catalog snapshot (see server.hpp) so the common
+/// queries are answered without touching the engine.
+[[nodiscard]] std::vector<page_query> default_page_queries();
+
 }  // namespace mnt::svc

@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include "common/provenance.hpp"
+#include "common/resilience.hpp"
 #include "io/fgl_writer.hpp"
 #include "telemetry/eventlog.hpp"
 #include "telemetry/prometheus.hpp"
@@ -8,16 +9,16 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cmath>
 #include <cstring>
-#include <map>
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 namespace mnt::svc
@@ -31,12 +32,15 @@ const char* status_text(const int status) noexcept
     switch (status)
     {
         case 200: return "OK";
+        case 304: return "Not Modified";
         case 400: return "Bad Request";
         case 404: return "Not Found";
         case 405: return "Method Not Allowed";
         case 408: return "Request Timeout";
         case 413: return "Payload Too Large";
         case 500: return "Internal Server Error";
+        case 501: return "Not Implemented";
+        case 503: return "Service Unavailable";
     }
     return "Status";
 }
@@ -57,42 +61,12 @@ http_response error_response(const int status, const std::string& message)
     error.set("message", json_value{message});
     auto document = json_value::make_object();
     document.set("error", std::move(error));
-    return http_response{status, "application/json", document.dump()};
+    return http_response{status, "application/json", document.dump(), {}};
 }
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0  // non-Linux fallback; pair with an external SIGPIPE handler
 #endif
-
-/// Sends the whole buffer, honoring SO_SNDTIMEO; returns false on error.
-/// MSG_NOSIGNAL turns a peer that closed the connection into an EPIPE error
-/// instead of a process-killing SIGPIPE.
-bool send_all(const int fd, const std::string& bytes)
-{
-    std::size_t sent = 0;
-    while (sent < bytes.size())
-    {
-        const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0)
-        {
-            return false;
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-void set_socket_timeout(const int fd, const double seconds)
-{
-    // never pass a zero timeval: SO_RCVTIMEO/SO_SNDTIMEO treat it as
-    // "block forever"
-    const auto bounded = std::max(seconds, 1e-3);
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(bounded);
-    tv.tv_usec = static_cast<suseconds_t>((bounded - static_cast<double>(tv.tv_sec)) * 1e6);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
 
 [[nodiscard]] bool iequals(const std::string_view a, const std::string_view b) noexcept
 {
@@ -112,75 +86,91 @@ void set_socket_timeout(const int fd, const double seconds)
     return true;
 }
 
-/// Outcome of reading one request off a connection.
-struct read_result
+[[nodiscard]] std::string_view trim_ows(std::string_view text) noexcept
 {
-    bool ok{false};
-    bool too_large{false};
-    bool malformed{false};
-    bool timed_out{false};
-    http_request request;
-};
-
-/// One bounded recv against the request deadline: SO_RCVTIMEO is shrunk to
-/// the remaining budget before every call, so a slow-loris client trickling
-/// bytes cannot stretch a read beyond \p deadline no matter how many
-/// one-byte packets it sends. Returns the recv count, or -2 when the
-/// deadline expired (before or during the call).
-ssize_t recv_within_deadline(const int fd, char* buffer, const std::size_t capacity,
-                             const res::deadline_clock& deadline)
-{
-    const auto remaining = deadline.remaining_s();
-    if (remaining <= 0.0)
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
     {
-        return -2;
+        text.remove_prefix(1);
     }
-    if (std::isfinite(remaining))
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\t'))
     {
-        set_socket_timeout(fd, remaining);
+        text.remove_suffix(1);
     }
-    const auto n = ::recv(fd, buffer, capacity, 0);
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-    {
-        return -2;
-    }
-    return n;
+    return text;
 }
 
-read_result read_request(const int fd, const std::size_t max_bytes, const res::deadline_clock& deadline)
+/// True when the comma-separated Connection header \p value carries
+/// \p token (case-insensitive).
+[[nodiscard]] bool connection_header_has(const std::string_view value, const std::string_view token) noexcept
 {
-    read_result result{};
-    std::string data;
-    char buffer[4096];
-
-    while (true)
+    std::size_t pos = 0;
+    while (pos <= value.size())
     {
-        auto parsed = parse_http_request(data, max_bytes);
-        switch (parsed.status)
+        const auto comma = value.find(',', pos);
+        const auto part =
+            trim_ows(value.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos));
+        if (iequals(part, token))
         {
-            case http_parse_status::ok:
-                result.ok = true;
-                result.request = std::move(parsed.request);
-                return result;
-            case http_parse_status::malformed: result.malformed = true; return result;
-            case http_parse_status::too_large: result.too_large = true; return result;
-            case http_parse_status::incomplete: break;
+            return true;
         }
-        const auto n = recv_within_deadline(fd, buffer, sizeof(buffer), deadline);
-        if (n == -2)
+        if (comma == std::string_view::npos)
         {
-            result.timed_out = true;
-            return result;
+            break;
         }
-        if (n <= 0)
-        {
-            // peer closed mid-request; an empty read on a fresh connection is
-            // not an error, anything else is
-            result.malformed = !data.empty();
-            return result;
-        }
-        data.append(buffer, static_cast<std::size_t>(n));
+        pos = comma + 1;
     }
+    return false;
+}
+
+/// RFC 7231's method registry; anything else is unrecognized and earns 501
+/// rather than a route-shaped 404/405.
+[[nodiscard]] bool known_http_method(const std::string& method) noexcept
+{
+    static constexpr const char* methods[] = {"GET",    "HEAD",    "POST",  "PUT",  "DELETE",
+                                              "CONNECT", "OPTIONS", "TRACE", "PATCH"};
+    return std::any_of(std::begin(methods), std::end(methods),
+                       [&](const char* m) { return method == m; });
+}
+
+/// Renders the response head (+ body unless suppressed) for the wire.
+/// HEAD responses keep the would-be Content-Length with no body; 304
+/// responses carry neither content headers nor body (RFC 7232) but do
+/// repeat the ETag.
+[[nodiscard]] std::string serialize_response(const http_response& response, const bool keep_alive,
+                                             const bool head_only)
+{
+    std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " + status_text(response.status) + "\r\n";
+    if (response.status != 304)
+    {
+        wire += "Content-Type: " + response.content_type + "\r\n";
+        wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    }
+    if (!response.etag.empty())
+    {
+        wire += "ETag: \"" + response.etag + "\"\r\n";
+    }
+    wire += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
+    if (!head_only && response.status != 304)
+    {
+        wire += response.body;
+    }
+    return wire;
+}
+
+void set_nonblocking(const int fd) noexcept
+{
+    const auto flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+    {
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+}
+
+using clock_type = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(const clock_type::time_point then) noexcept
+{
+    return std::chrono::duration<double>(clock_type::now() - then).count();
 }
 
 }  // namespace
@@ -215,22 +205,43 @@ http_parse_result parse_http_request(const std::string_view bytes, const std::si
     {
         result.request.query = std::string{target.substr(question + 1)};
     }
+    // HTTP/1.0 defaults to close unless the client opts into keep-alive
+    const auto version_tail = line.substr(sp2 + 1);
+    const bool http10 = version_tail.size() >= 8 && version_tail[7] == '0';
 
-    // headers: only Content-Length matters to this server
+    // headers: Content-Length (framing), Connection (persistence),
+    // If-None-Match (conditional requests)
     std::size_t content_length = 0;
+    bool close_requested = false;
+    bool keep_alive_requested = false;
     std::size_t pos = line_end + 2;
     while (pos < header_end)
     {
         const auto eol = bytes.find("\r\n", pos);
         const auto header = bytes.substr(pos, eol - pos);
         const auto colon = header.find(':');
-        if (colon != std::string_view::npos && iequals(header.substr(0, colon), "content-length"))
+        if (colon != std::string_view::npos)
         {
-            const std::string value{header.substr(colon + 1)};
-            content_length = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+            const auto name = header.substr(0, colon);
+            const auto value = trim_ows(header.substr(colon + 1));
+            if (iequals(name, "content-length"))
+            {
+                const std::string text{value};
+                content_length = static_cast<std::size_t>(std::strtoull(text.c_str(), nullptr, 10));
+            }
+            else if (iequals(name, "connection"))
+            {
+                close_requested = close_requested || connection_header_has(value, "close");
+                keep_alive_requested = keep_alive_requested || connection_header_has(value, "keep-alive");
+            }
+            else if (iequals(name, "if-none-match"))
+            {
+                result.request.if_none_match = std::string{value};
+            }
         }
         pos = eol + 2;
     }
+    result.request.connection_close = close_requested || (http10 && !keep_alive_requested);
 
     const auto body_start = header_end + 4;
     // subtract instead of adding: body_start + content_length can wrap
@@ -254,9 +265,12 @@ http_parse_result parse_http_request(const std::string_view bytes, const std::si
 
 // ------------------------------------------------------------ response_cache
 
-response_cache::response_cache(const std::size_t capacity) : capacity{capacity} {}
+response_cache::response_cache(const std::size_t max_entries, const std::size_t max_bytes) :
+        max_entries{max_entries},
+        max_bytes{max_bytes}
+{}
 
-std::optional<std::string> response_cache::get(const std::string& key)
+std::optional<cached_response> response_cache::get(const std::string& key)
 {
     const std::scoped_lock lock{mutex};
     const auto found = index.find(key);
@@ -265,28 +279,55 @@ std::optional<std::string> response_cache::get(const std::string& key)
         return std::nullopt;
     }
     entries.splice(entries.begin(), entries, found->second);
-    return found->second->second;
+    return found->second->response;
 }
 
-void response_cache::put(const std::string& key, const std::string& body)
+void response_cache::put(const std::string& key, const std::string& body, const std::string& etag,
+                         const std::uint64_t generation)
 {
-    if (capacity == 0)
+    if (max_entries == 0)
     {
         return;
     }
     const std::scoped_lock lock{mutex};
-    const auto found = index.find(key);
-    if (found != index.cend())
+    if (generation != current_generation)
     {
-        found->second->second = body;
-        entries.splice(entries.begin(), entries, found->second);
-        return;
+        return;  // rendered against a snapshot that has since been swapped out
     }
-    entries.emplace_front(key, body);
-    index.emplace(key, entries.begin());
-    while (entries.size() > capacity)
+    const auto entry_bytes = key.size() + body.size() + etag.size();
+    if (const auto found = index.find(key); found != index.cend())
     {
-        index.erase(entries.back().first);
+        total_bytes -= found->second->key.size() + found->second->response.body.size() +
+                       found->second->response.etag.size();
+        found->second->response = cached_response{body, etag};
+        total_bytes += entry_bytes;
+        entries.splice(entries.begin(), entries, found->second);
+    }
+    else
+    {
+        entries.emplace_front(entry{key, cached_response{body, etag}});
+        index.emplace(key, entries.begin());
+        total_bytes += entry_bytes;
+    }
+    evict_to_bounds();
+}
+
+void response_cache::invalidate(const std::uint64_t generation)
+{
+    const std::scoped_lock lock{mutex};
+    current_generation = generation;
+    entries.clear();
+    index.clear();
+    total_bytes = 0;
+}
+
+void response_cache::evict_to_bounds()
+{
+    while (!entries.empty() && (entries.size() > max_entries || total_bytes > max_bytes))
+    {
+        const auto& victim = entries.back();
+        total_bytes -= victim.key.size() + victim.response.body.size() + victim.response.etag.size();
+        index.erase(victim.key);
         entries.pop_back();
     }
 }
@@ -297,17 +338,100 @@ std::size_t response_cache::size() const
     return entries.size();
 }
 
+std::size_t response_cache::bytes() const
+{
+    const std::scoped_lock lock{mutex};
+    return total_bytes;
+}
+
+// ----------------------------------------------------------- event-loop state
+
+/// Per-connection state machine. A connection cycles between *reading* (a
+/// partial request sits in inbuf; must complete within the request
+/// deadline), *idle* (keep-alive, nothing buffered; bounded by the idle
+/// timeout) and *flushing* (outbuf bytes pending; EPOLLOUT armed until
+/// drained).
+struct catalog_server::connection
+{
+    int fd{-1};
+    std::string inbuf;   ///< received, not-yet-parsed bytes
+    std::string outbuf;  ///< serialized responses awaiting the socket
+    std::size_t outpos{0};
+    clock_type::time_point last_activity{};
+    clock_type::time_point read_start{};  ///< first byte of the pending request
+    bool reading{false};                  ///< inbuf holds a partial request
+    bool want_write{false};               ///< EPOLLOUT currently armed
+    bool close_after_flush{false};
+    bool peer_closed{false};
+};
+
+/// Per-thread epoll state. Each loop owns its connections outright; no
+/// cross-loop locking ever touches a connection.
+struct catalog_server::event_loop
+{
+    int epoll_fd{-1};
+    int wake_fd{-1};  ///< eventfd poked by stop()
+    bool accept_armed{false};
+    std::uint32_t accept_backoff_ms{0};
+    clock_type::time_point accept_resume_at{};
+    std::unordered_map<int, connection> connections;
+    bool draining{false};
+    clock_type::time_point drain_deadline{};
+};
+
 // ------------------------------------------------------------ catalog_server
 
 catalog_server::catalog_server(const query_engine& engine, server_options options) :
-        engine{engine},
+        // non-owning: the caller guarantees the engine outlives the server
+        catalog_server{std::shared_ptr<const query_engine>{&engine, [](const query_engine*) {}},
+                       std::move(options)}
+{}
+
+catalog_server::catalog_server(std::shared_ptr<const query_engine> engine, server_options options) :
         options{std::move(options)},
-        cache{this->options.cache_capacity}
+        cache{this->options.cache_capacity, this->options.cache_capacity_bytes},
+        current_snapshot{build_catalog_snapshot(std::move(engine), 0)}
 {}
 
 void catalog_server::attach_store(const layout_store* store) noexcept
 {
     this->store = store;
+}
+
+std::shared_ptr<const catalog_snapshot> catalog_server::snapshot() const
+{
+    const std::scoped_lock lock{snapshot_mutex};
+    return current_snapshot;
+}
+
+void catalog_server::publish(std::shared_ptr<const query_engine> engine)
+{
+    std::uint64_t generation = 0;
+    {
+        const std::scoped_lock lock{snapshot_mutex};
+        generation = next_generation++;
+    }
+    auto snapshot = build_catalog_snapshot(std::move(engine), generation);
+    // invalidate BEFORE the swap: once the cache's accepted generation has
+    // advanced, a put() raced from a handler still rendering against the old
+    // snapshot is rejected — the stale-200-after-regeneration window closes
+    cache.invalidate(generation);
+    {
+        const std::scoped_lock lock{snapshot_mutex};
+        current_snapshot = snapshot;
+    }
+    auto& reg = tel::registry::instance();
+    reg.get_gauge("server.snapshot_generation").set(static_cast<double>(generation));
+    reg.get_gauge("server.cache_bytes").set(static_cast<double>(cache.bytes()));
+    tel::log_event(tel::log_severity::info, "server", "snapshot published",
+                   {{"generation", std::to_string(generation)},
+                    {"pages", std::to_string(snapshot->pages.size())},
+                    {"layouts", std::to_string(snapshot->engine->catalog().num_layouts())}});
+}
+
+std::uint64_t catalog_server::snapshot_generation() const
+{
+    return snapshot()->generation;
 }
 
 void catalog_server::start()
@@ -345,46 +469,78 @@ void catalog_server::start()
     socklen_t length = sizeof(address);
     ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&address), &length);
     bound_port = ntohs(address.sin_port);
-    if (::listen(listen_fd, 64) != 0)
+    if (::listen(listen_fd, 256) != 0)
     {
         const auto detail = std::string{std::strerror(errno)};
         ::close(listen_fd);
         listen_fd = -1;
         throw mnt_error{std::string{"server: listen(): "} + detail};
     }
+    set_nonblocking(listen_fd);
+
+    const auto num_loops = std::max<std::size_t>(1, options.threads);
+    loops.clear();
+    for (std::size_t i = 0; i < num_loops; ++i)
+    {
+        auto loop = std::make_unique<event_loop>();
+        loop->epoll_fd = ::epoll_create1(0);
+        loop->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+        if (loop->epoll_fd < 0 || loop->wake_fd < 0)
+        {
+            throw mnt_error{std::string{"server: epoll/eventfd: "} + std::strerror(errno)};
+        }
+        epoll_event wake{};
+        wake.events = EPOLLIN;
+        wake.data.fd = loop->wake_fd;
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &wake);
+
+        epoll_event accept_event{};
+#ifdef EPOLLEXCLUSIVE
+        accept_event.events = EPOLLIN | EPOLLEXCLUSIVE;
+#else
+        accept_event.events = EPOLLIN;
+#endif
+        accept_event.data.fd = listen_fd;
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd, &accept_event);
+        loop->accept_armed = true;
+        loops.push_back(std::move(loop));
+    }
 
     active.store(true);
-    acceptor = std::thread{[this] { accept_loop(); }};
-    const auto num_workers = std::max<std::size_t>(1, options.threads);
-    workers.reserve(num_workers);
-    for (std::size_t i = 0; i < num_workers; ++i)
+    open_connections.store(0);
+    loop_threads.reserve(num_loops);
+    for (auto& loop : loops)
     {
-        workers.emplace_back([this] { worker_loop(); });
+        loop_threads.emplace_back([this, raw = loop.get()] { loop_thread(*raw); });
     }
-    tel::registry::instance().get_gauge("server.workers").set(static_cast<double>(num_workers));
+    tel::registry::instance().get_gauge("server.workers").set(static_cast<double>(num_loops));
     tel::log_event(tel::log_severity::info, "server", "listening",
                    {{"host", options.host},
                     {"port", std::to_string(bound_port)},
-                    {"workers", std::to_string(num_workers)}});
+                    {"loops", std::to_string(num_loops)}});
 }
 
 void catalog_server::stop()
 {
     const auto was_active = active.load();
     stopping.store(true);
-    queue_ready.notify_all();
-    if (acceptor.joinable())
+    for (const auto& loop : loops)
     {
-        acceptor.join();
-    }
-    for (auto& worker : workers)
-    {
-        if (worker.joinable())
+        if (loop && loop->wake_fd >= 0)
         {
-            worker.join();
+            const std::uint64_t one = 1;
+            [[maybe_unused]] const auto n = ::write(loop->wake_fd, &one, sizeof(one));
         }
     }
-    workers.clear();
+    for (auto& thread : loop_threads)
+    {
+        if (thread.joinable())
+        {
+            thread.join();
+        }
+    }
+    loop_threads.clear();
+    loops.clear();
     if (listen_fd >= 0)
     {
         ::close(listen_fd);
@@ -412,94 +568,416 @@ bool catalog_server::running() const noexcept
     return active.load();
 }
 
-void catalog_server::accept_loop()
+// --------------------------------------------------------------- event loops
+
+void catalog_server::loop_thread(event_loop& loop)
 {
-    while (!stopping.load())
+    epoll_event events[64];
+    for (;;)
     {
-        pollfd poller{listen_fd, POLLIN, 0};
-        const auto ready = ::poll(&poller, 1, 200);  // finite timeout so stop() is noticed promptly
-        if (ready <= 0)
+        if (stopping.load() && !loop.draining)
         {
-            continue;
+            // begin the drain: stop accepting, close idle connections, keep
+            // serving connections that still owe or await bytes
+            loop.draining = true;
+            loop.drain_deadline = clock_type::now() + std::chrono::duration_cast<clock_type::duration>(
+                                                          std::chrono::duration<double>(options.drain_timeout_s));
+            if (loop.accept_armed)
+            {
+                ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+                loop.accept_armed = false;
+            }
+            std::vector<int> idle;
+            for (const auto& [fd, conn] : loop.connections)
+            {
+                if (!conn.reading && conn.outpos >= conn.outbuf.size())
+                {
+                    idle.push_back(fd);
+                }
+            }
+            for (const int fd : idle)
+            {
+                close_connection(loop, fd);
+            }
         }
-        const auto fd = ::accept(listen_fd, nullptr, nullptr);
+        if (loop.draining &&
+            (loop.connections.empty() || clock_type::now() >= loop.drain_deadline))
+        {
+            break;
+        }
+
+        // re-arm accepting after an error backoff
+        if (!loop.draining && !loop.accept_armed && clock_type::now() >= loop.accept_resume_at)
+        {
+            epoll_event accept_event{};
+#ifdef EPOLLEXCLUSIVE
+            accept_event.events = EPOLLIN | EPOLLEXCLUSIVE;
+#else
+            accept_event.events = EPOLLIN;
+#endif
+            accept_event.data.fd = listen_fd;
+            ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, listen_fd, &accept_event);
+            loop.accept_armed = true;
+        }
+
+        const int n = ::epoll_wait(loop.epoll_fd, events, 64, 50);
+        for (int i = 0; i < n; ++i)
+        {
+            const int fd = events[i].data.fd;
+            if (fd == loop.wake_fd)
+            {
+                std::uint64_t drained = 0;
+                [[maybe_unused]] const auto r = ::read(loop.wake_fd, &drained, sizeof(drained));
+                continue;
+            }
+            if (fd == listen_fd)
+            {
+                accept_ready(loop);
+                continue;
+            }
+            const auto found = loop.connections.find(fd);
+            if (found == loop.connections.end())
+            {
+                continue;  // closed earlier in this batch
+            }
+            auto& conn = found->second;
+            if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 && (events[i].events & EPOLLIN) == 0)
+            {
+                close_connection(loop, fd);
+                continue;
+            }
+            if ((events[i].events & EPOLLIN) != 0)
+            {
+                connection_readable(loop, conn);
+                // the handler may have closed the connection
+                if (loop.connections.find(fd) == loop.connections.end())
+                {
+                    continue;
+                }
+            }
+            if ((events[i].events & EPOLLOUT) != 0)
+            {
+                connection_writable(loop, conn);
+            }
+        }
+        sweep_deadlines(loop);
+    }
+
+    // drain budget exhausted (or clean): close whatever remains
+    std::vector<int> remaining;
+    remaining.reserve(loop.connections.size());
+    for (const auto& [fd, conn] : loop.connections)
+    {
+        remaining.push_back(fd);
+    }
+    for (const int fd : remaining)
+    {
+        close_connection(loop, fd);
+    }
+    ::close(loop.epoll_fd);
+    ::close(loop.wake_fd);
+    loop.epoll_fd = -1;
+    loop.wake_fd = -1;
+}
+
+void catalog_server::accept_ready(event_loop& loop)
+{
+    for (;;)
+    {
+        if (open_connections.load() >= options.max_connections)
+        {
+            // fd budget: make room by shedding the oldest idle keep-alive
+            // connection; with nothing idle, refuse the newcomer
+            if (!shed_oldest_idle(loop))
+            {
+                const auto fd = ::accept(listen_fd, nullptr, nullptr);
+                if (fd >= 0)
+                {
+                    ::close(fd);
+                    count_always("server.overload_closed");
+                }
+                return;
+            }
+        }
+
+        int fd = -1;
+        if (MNT_FAULT_FIRES("server.accept"))
+        {
+            errno = EMFILE;  // simulated fd exhaustion (counted site grammar)
+        }
+        else
+        {
+            fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+        }
         if (fd < 0)
         {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+            {
+                loop.accept_backoff_ms = 0;
+                return;
+            }
+            if (errno == EINTR || errno == ECONNABORTED)
+            {
+                continue;
+            }
+            // persistent failure (EMFILE/ENFILE/ENOMEM...): count it, shed
+            // an idle connection to free an fd, and back off exponentially —
+            // a level-triggered listen fd would otherwise spin this loop at
+            // 100% CPU re-reporting the same readable event
+            count_always("server.accept_errors");
+            shed_oldest_idle(loop);
+            loop.accept_backoff_ms =
+                loop.accept_backoff_ms == 0 ? 25 : std::min<std::uint32_t>(loop.accept_backoff_ms * 2, 1000);
+            loop.accept_resume_at = clock_type::now() + std::chrono::milliseconds{loop.accept_backoff_ms};
+            ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+            loop.accept_armed = false;
+            tel::log_event(tel::log_severity::warn, "server", "accept failed; backing off",
+                           {{"errno", std::string{std::strerror(errno)}},
+                            {"backoff_ms", std::to_string(loop.accept_backoff_ms)}});
+            return;
+        }
+        loop.accept_backoff_ms = 0;
+        count_always("server.connections");
+        open_connections.fetch_add(1);
+        tel::registry::instance().get_gauge("server.open_connections")
+            .set(static_cast<double>(open_connections.load()));
+
+        connection conn{};
+        conn.fd = fd;
+        conn.last_activity = clock_type::now();
+        loop.connections.emplace(fd, std::move(conn));
+
+        epoll_event event{};
+        event.events = EPOLLIN;
+        event.data.fd = fd;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &event);
+    }
+}
+
+bool catalog_server::shed_oldest_idle(event_loop& loop)
+{
+    int victim = -1;
+    clock_type::time_point oldest{};
+    for (const auto& [fd, conn] : loop.connections)
+    {
+        const bool idle = !conn.reading && conn.inbuf.empty() && conn.outpos >= conn.outbuf.size();
+        if (idle && (victim < 0 || conn.last_activity < oldest))
+        {
+            victim = fd;
+            oldest = conn.last_activity;
+        }
+    }
+    if (victim < 0)
+    {
+        return false;
+    }
+    count_always("server.connections_shed");
+    close_connection(loop, victim);
+    return true;
+}
+
+void catalog_server::close_connection(event_loop& loop, const int fd)
+{
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    loop.connections.erase(fd);
+    open_connections.fetch_sub(1);
+    tel::registry::instance().get_gauge("server.open_connections")
+        .set(static_cast<double>(open_connections.load()));
+}
+
+void catalog_server::connection_readable(event_loop& loop, connection& conn)
+{
+    char buffer[16384];
+    for (;;)
+    {
+        const auto n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+        if (n > 0)
+        {
+            if (conn.inbuf.empty() && !conn.reading)
+            {
+                conn.reading = true;
+                conn.read_start = clock_type::now();
+            }
+            conn.inbuf.append(buffer, static_cast<std::size_t>(n));
+            conn.last_activity = clock_type::now();
             continue;
         }
-        count_always("server.connections");
+        if (n == 0)
         {
-            const std::scoped_lock lock{queue_mutex};
-            pending.push_back(fd);
+            conn.peer_closed = true;
+            break;
         }
-        queue_ready.notify_one();
-    }
-}
-
-void catalog_server::worker_loop()
-{
-    while (true)
-    {
-        int fd = -1;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
         {
-            std::unique_lock lock{queue_mutex};
-            queue_ready.wait(lock, [this] { return stopping.load() || !pending.empty(); });
-            if (pending.empty())
-            {
-                return;  // stopping and fully drained
-            }
-            fd = pending.front();
-            pending.pop_front();
+            break;
         }
-        serve_connection(fd);
-    }
-}
-
-void catalog_server::serve_connection(const int fd)
-{
-    set_socket_timeout(fd, options.request_deadline_s);
-    const auto deadline = res::deadline_clock::after(options.request_deadline_s);
-
-    const auto incoming = read_request(fd, options.max_request_bytes, deadline);
-    http_response response;
-    if (incoming.ok)
-    {
-        response = handle(incoming.request, deadline);
-    }
-    else if (incoming.timed_out)
-    {
-        count_always("server.read_timeouts");
-        tel::log_event(tel::log_severity::warn, "server", "request read timed out",
-                       {{"deadline_s", std::to_string(options.request_deadline_s)}});
-        response = error_response(408, "request was not received within the deadline");
-    }
-    else if (incoming.too_large)
-    {
-        tel::log_event(tel::log_severity::warn, "server", "request exceeds the size limit",
-                       {{"max_bytes", std::to_string(options.max_request_bytes)}});
-        response = error_response(413, "request exceeds the size limit");
-    }
-    else if (incoming.malformed)
-    {
-        tel::log_event(tel::log_severity::info, "server", "malformed HTTP request");
-        response = error_response(400, "malformed HTTP request");
-    }
-    else
-    {
-        ::close(fd);  // the peer connected and left without sending anything
+        if (errno == EINTR)
+        {
+            continue;
+        }
+        close_connection(loop, conn.fd);
         return;
     }
 
-    std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " + status_text(response.status) + "\r\n";
-    head += "Content-Type: " + response.content_type + "\r\n";
-    head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-    head += "Connection: close\r\n\r\n";
-    if (send_all(fd, head))
+    process_input(loop, conn);
+
+    if (conn.peer_closed)
     {
-        send_all(fd, response.body);
+        if (!conn.inbuf.empty() && !conn.close_after_flush)
+        {
+            // the peer left mid-request; answer 400 for the torn bytes
+            tel::log_event(tel::log_severity::info, "server", "peer closed mid-request");
+            conn.outbuf += serialize_response(error_response(400, "malformed HTTP request"), false, false);
+        }
+        conn.close_after_flush = true;
     }
-    ::close(fd);
+    flush_output(loop, conn);
 }
+
+void catalog_server::connection_writable(event_loop& loop, connection& conn)
+{
+    flush_output(loop, conn);
+}
+
+void catalog_server::process_input(event_loop& loop, connection& conn)
+{
+    while (!conn.close_after_flush)
+    {
+        auto parsed = parse_http_request(conn.inbuf, options.max_request_bytes);
+        if (parsed.status == http_parse_status::incomplete)
+        {
+            if (conn.inbuf.empty())
+            {
+                conn.reading = false;
+            }
+            return;
+        }
+        if (parsed.status == http_parse_status::malformed)
+        {
+            tel::log_event(tel::log_severity::info, "server", "malformed HTTP request");
+            conn.outbuf += serialize_response(error_response(400, "malformed HTTP request"), false, false);
+            conn.close_after_flush = true;
+            return;
+        }
+        if (parsed.status == http_parse_status::too_large)
+        {
+            tel::log_event(tel::log_severity::warn, "server", "request exceeds the size limit",
+                           {{"max_bytes", std::to_string(options.max_request_bytes)}});
+            conn.outbuf += serialize_response(error_response(413, "request exceeds the size limit"), false, false);
+            conn.close_after_flush = true;
+            return;
+        }
+
+        conn.inbuf.erase(0, parsed.consumed);
+        // each pipelined request gets a fresh read budget for its successor
+        conn.reading = !conn.inbuf.empty();
+        conn.read_start = clock_type::now();
+        if (!conn.inbuf.empty())
+        {
+            count_always("server.pipelined_requests");
+        }
+
+        const auto deadline = res::deadline_clock::after(options.request_deadline_s);
+        const auto response = handle(parsed.request, deadline);
+
+        // 408 means framing trust is gone; errors on the request line keep
+        // the connection only when the client asked for keep-alive
+        const bool close_now =
+            parsed.request.connection_close || stopping.load() || response.status == 408;
+        const bool head_only = parsed.request.method == "HEAD";
+        conn.outbuf += serialize_response(response, !close_now, head_only);
+        if (close_now)
+        {
+            conn.close_after_flush = true;
+        }
+    }
+}
+
+void catalog_server::flush_output(event_loop& loop, connection& conn)
+{
+    while (conn.outpos < conn.outbuf.size())
+    {
+        const auto n = ::send(conn.fd, conn.outbuf.data() + conn.outpos, conn.outbuf.size() - conn.outpos,
+                              MSG_NOSIGNAL);
+        if (n > 0)
+        {
+            conn.outpos += static_cast<std::size_t>(n);
+            conn.last_activity = clock_type::now();
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        {
+            if (!conn.want_write)
+            {
+                conn.want_write = true;
+                epoll_event event{};
+                event.events = EPOLLIN | EPOLLOUT;
+                event.data.fd = conn.fd;
+                ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+            }
+            return;
+        }
+        if (n < 0 && errno == EINTR)
+        {
+            continue;
+        }
+        close_connection(loop, conn.fd);
+        return;
+    }
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    if (conn.want_write)
+    {
+        conn.want_write = false;
+        epoll_event event{};
+        event.events = EPOLLIN;
+        event.data.fd = conn.fd;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+    }
+    if (conn.close_after_flush || conn.peer_closed)
+    {
+        close_connection(loop, conn.fd);
+    }
+}
+
+void catalog_server::sweep_deadlines(event_loop& loop)
+{
+    std::vector<int> expired_reads;
+    std::vector<int> expired_idle;
+    for (const auto& [fd, conn] : loop.connections)
+    {
+        if (conn.reading && seconds_since(conn.read_start) > options.request_deadline_s)
+        {
+            expired_reads.push_back(fd);
+        }
+        else if (!conn.reading && conn.outpos >= conn.outbuf.size() &&
+                 seconds_since(conn.last_activity) > options.idle_timeout_s)
+        {
+            expired_idle.push_back(fd);
+        }
+    }
+    for (const int fd : expired_reads)
+    {
+        auto& conn = loop.connections.at(fd);
+        count_always("server.read_timeouts");
+        tel::log_event(tel::log_severity::warn, "server", "request read timed out",
+                       {{"deadline_s", std::to_string(options.request_deadline_s)}});
+        conn.outbuf +=
+            serialize_response(error_response(408, "request was not received within the deadline"), false, false);
+        conn.close_after_flush = true;
+        conn.reading = false;
+        conn.inbuf.clear();
+        flush_output(loop, conn);
+    }
+    for (const int fd : expired_idle)
+    {
+        count_always("server.idle_closed");
+        close_connection(loop, fd);
+    }
+}
+
+// ------------------------------------------------------------------- routing
 
 http_response catalog_server::handle(const http_request& request, const res::deadline_clock& deadline)
 {
@@ -527,6 +1005,16 @@ http_response catalog_server::handle(const http_request& request, const res::dea
         response = error_response(500, e.what());
     }
 
+    // conditional requests: a matching strong validator turns the response
+    // into a bodiless 304 — the repeat visitor costs ~zero bytes
+    if ((request.method == "GET" || request.method == "HEAD") && response.status == 200 &&
+        !response.etag.empty() && etag_matches(request.if_none_match, response.etag))
+    {
+        count_always("server.not_modified");
+        http_response not_modified{304, response.content_type, {}, response.etag};
+        response = std::move(not_modified);
+    }
+
     const auto elapsed = watch.seconds();
     auto& reg = tel::registry::instance();
     reg.get_counter("server.responses[code=" + std::to_string(response.status) + "]").add();
@@ -539,7 +1027,15 @@ http_response catalog_server::route(const http_request& request, const res::dead
 {
     deadline.throw_if_expired("server/route");
 
-    if (request.method != "GET" && request.method != "POST")
+    if (!known_http_method(request.method))
+    {
+        return error_response(501, "method not implemented: " + request.method);
+    }
+    // HEAD is GET with the body suppressed at the socket layer; everything
+    // else (headers, ETag, cache semantics) is identical by construction
+    const bool head = request.method == "HEAD";
+    const std::string& method = head ? std::string{"GET"} : request.method;
+    if (method != "GET" && method != "POST")
     {
         return error_response(405, "method not allowed: " + request.method);
     }
@@ -550,7 +1046,7 @@ http_response catalog_server::route(const http_request& request, const res::dead
     }
     if (request.path == "/metrics")
     {
-        return http_response{200, "text/plain; version=0.0.4; charset=utf-8", tel::prometheus_text()};
+        return http_response{200, "text/plain; version=0.0.4; charset=utf-8", tel::prometheus_text(), {}};
     }
     if (request.path == "/statz")
     {
@@ -558,13 +1054,14 @@ http_response catalog_server::route(const http_request& request, const res::dead
     }
     if (request.path == "/benchmarks")
     {
-        return benchmarks_response();
+        const auto snap = snapshot();
+        count_always("server.snapshot_hits");
+        return http_response{200, "application/json", snap->benchmarks.body, snap->benchmarks.etag};
     }
     if (request.path == "/layouts")
     {
-        const auto query = request.method == "POST" ?
-                               page_query::from_json(json_value::parse(request.body)) :
-                               page_query::from_query_string(request.query);
+        const auto query = method == "POST" ? page_query::from_json(json_value::parse(request.body)) :
+                                              page_query::from_query_string(request.query);
         deadline.throw_if_expired("server/layouts");
         return page_response(query);
     }
@@ -585,7 +1082,7 @@ http_response catalog_server::route(const http_request& request, const res::dead
     }
     if (request.path.rfind("/download/", 0) == 0)
     {
-        if (request.method != "GET")
+        if (method != "GET")
         {
             return error_response(405, "downloads are GET-only");
         }
@@ -605,59 +1102,43 @@ http_response catalog_server::route(const http_request& request, const res::dead
 http_response catalog_server::page_response(const page_query& query)
 {
     const auto key = query.cache_key();
+    const auto snap = snapshot();
+
+    // hot path: the default pages were rendered when the snapshot was built
+    if (const auto found = snap->pages.find(key); found != snap->pages.cend())
+    {
+        count_always("server.snapshot_hits");
+        return http_response{200, "application/json", found->second.body, found->second.etag};
+    }
     if (auto cached = cache.get(key); cached.has_value())
     {
         count_always("server.cache_hits");
-        return http_response{200, "application/json", std::move(*cached)};
+        return http_response{200, "application/json", std::move(cached->body), std::move(cached->etag)};
     }
     count_always("server.cache_misses");
-    auto body = page_json_string(engine.run(query));
-    cache.put(key, body);
-    return http_response{200, "application/json", std::move(body)};
-}
-
-http_response catalog_server::benchmarks_response()
-{
-    const auto& cat = engine.catalog();
-    std::map<std::pair<std::string, std::string>, std::size_t> layout_counts;
-    for (const auto& r : cat.layouts())
-    {
-        ++layout_counts[{r.benchmark_set, r.benchmark_name}];
-    }
-
-    auto rows = json_value::make_array();
-    for (const auto& n : cat.networks())
-    {
-        auto row = json_value::make_object();
-        row.set("set", json_value{n.benchmark_set});
-        row.set("name", json_value{n.benchmark_name});
-        row.set("inputs", json_value{static_cast<std::uint64_t>(n.num_pis)});
-        row.set("outputs", json_value{static_cast<std::uint64_t>(n.num_pos)});
-        row.set("gates", json_value{static_cast<std::uint64_t>(n.num_gates)});
-        const auto found = layout_counts.find({n.benchmark_set, n.benchmark_name});
-        row.set("layouts", json_value{static_cast<std::uint64_t>(found != layout_counts.cend() ? found->second : 0)});
-        rows.push_back(std::move(row));
-    }
-    auto document = json_value::make_object();
-    document.set("count", json_value{static_cast<std::uint64_t>(cat.num_networks())});
-    document.set("benchmarks", std::move(rows));
-    return http_response{200, "application/json", document.dump()};
+    auto body = page_json_string(snap->engine->run(query));
+    auto etag = make_etag(body);
+    cache.put(key, body, etag, snap->generation);
+    tel::registry::instance().get_gauge("server.cache_bytes").set(static_cast<double>(cache.bytes()));
+    return http_response{200, "application/json", std::move(body), std::move(etag)};
 }
 
 http_response catalog_server::healthz_response()
 {
+    const auto snap = snapshot();
     auto document = json_value::make_object();
     document.set("status", json_value{std::string{"ok"}});
-    document.set("layouts", json_value{static_cast<std::uint64_t>(engine.catalog().num_layouts())});
+    document.set("layouts", json_value{static_cast<std::uint64_t>(snap->engine->catalog().num_layouts())});
     document.set("uptime_s", json_value{uptime_s()});
     document.set("version", json_value{prov::build_info().version});
-    return http_response{200, "application/json", document.dump()};
+    return http_response{200, "application/json", document.dump(), {}};
 }
 
 http_response catalog_server::statz_response()
 {
     auto& reg = tel::registry::instance();
     const auto& info = prov::build_info();
+    const auto snap = snapshot();
 
     auto document = json_value::make_object();
     document.set("uptime_s", json_value{uptime_s()});
@@ -672,9 +1153,15 @@ http_response catalog_server::statz_response()
     auto srv = json_value::make_object();
     srv.set("requests", json_value{reg.get_counter("server.requests").value()});
     srv.set("connections", json_value{reg.get_counter("server.connections").value()});
+    srv.set("open_connections", json_value{static_cast<std::uint64_t>(open_connections.load())});
     srv.set("read_timeouts", json_value{reg.get_counter("server.read_timeouts").value()});
-    srv.set("workers", json_value{static_cast<std::uint64_t>(workers.size())});
+    srv.set("accept_errors", json_value{reg.get_counter("server.accept_errors").value()});
+    srv.set("not_modified", json_value{reg.get_counter("server.not_modified").value()});
+    srv.set("workers", json_value{static_cast<std::uint64_t>(loops.size())});
     srv.set("cache_entries", json_value{static_cast<std::uint64_t>(cache.size())});
+    srv.set("cache_bytes", json_value{static_cast<std::uint64_t>(cache.bytes())});
+    srv.set("snapshot_generation", json_value{snap->generation});
+    srv.set("snapshot_pages", json_value{static_cast<std::uint64_t>(snap->pages.size())});
     document.set("server", std::move(srv));
 
     // per-route p50/p95/p99 estimated from the log-bucket latency histograms
@@ -717,7 +1204,7 @@ http_response catalog_server::statz_response()
     trace.set("dropped", json_value{reg.dropped_trace_events()});
     document.set("trace", std::move(trace));
 
-    return http_response{200, "application/json", document.dump()};
+    return http_response{200, "application/json", document.dump(), {}};
 }
 
 double catalog_server::uptime_s() const noexcept
@@ -755,19 +1242,21 @@ bool catalog_server::is_valid_blob_id(const std::string& id) noexcept
 
 http_response catalog_server::download_response(const std::string& id)
 {
+    // a blob id IS its content hash, so it doubles as the strong ETag
     if (store != nullptr)
     {
         if (const auto path = store->blob_path(id); path.has_value())
         {
             count_always("server.downloads");
-            return http_response{200, "application/xml", read_file(*path)};
+            return http_response{200, "application/xml", read_file(*path), id};
         }
     }
-    if (const auto index = engine.index_of(id); index.has_value())
+    const auto snap = snapshot();
+    if (const auto index = snap->engine->index_of(id); index.has_value())
     {
         tel::count("server.downloads");
         return http_response{200, "application/xml",
-                             io::write_fgl_string(engine.catalog().layouts()[*index].layout)};
+                             io::write_fgl_string(snap->engine->catalog().layouts()[*index].layout), id};
     }
     return error_response(404, "no layout with id '" + id + "'");
 }

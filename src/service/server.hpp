@@ -1,11 +1,13 @@
 #pragma once
 
 /// \file server.hpp
-/// \brief Minimal HTTP/1.1 catalog server over POSIX sockets — the serving
-///        half of the MNT Bench platform. A fixed worker-thread pool answers
-///        the website's Figure 1 queries from the \ref query_engine, streams
-///        stored .fgl layouts by content hash, and keeps an LRU cache of
-///        rendered responses keyed by the normalized query.
+/// \brief Event-driven HTTP/1.1 catalog server over POSIX sockets — the
+///        serving half of the MNT Bench platform. A small set of epoll
+///        event loops drives non-blocking keep-alive connections through
+///        per-connection state machines, answers the website's Figure 1
+///        queries from immutable pre-rendered snapshots (falling back to
+///        the \ref query_engine), and streams stored .fgl layouts by
+///        content hash.
 ///
 /// Endpoints (all responses are JSON unless noted):
 ///
@@ -25,33 +27,48 @@
 ///                             forced on)
 ///     GET  /download/<id>     the stored .fgl blob (application/xml)
 ///
+/// HEAD is answered for every GET route with identical headers (including
+/// Content-Length and ETag) and an empty body; unknown methods get 501,
+/// known-but-unsupported ones 405.
+///
 /// Design constraints:
 ///
-/// - **Deliberately minimal HTTP.** HTTP/1.1, `Connection: close` on every
-///   response, no keep-alive, no chunked encoding, no TLS. The server fronts
-///   a read-only in-memory index; one short-lived connection per request
-///   keeps the worker pool trivially correct.
-/// - **Read path is lock-free.** The engine and catalog are immutable while
-///   the server runs, so worker threads answer queries without shared-state
-///   locks; only the response cache takes a mutex.
-/// - **Bounded work per request.** Request size is capped
-///   (server_options::max_request_bytes), socket reads carry a timeout
-///   derived from the per-request deadline (PR 2 \ref mnt::res::deadline_clock),
-///   and an expired deadline yields 408 instead of an unbounded stall.
-/// - **Graceful shutdown.** stop() closes the listening socket, drains the
-///   connection queue, joins every worker and only then returns; in-flight
-///   requests complete normally.
+/// - **Event-driven I/O.** Each of server_options::threads event loops owns
+///   an epoll set (level-triggered) of non-blocking sockets. Connections
+///   are HTTP/1.1 keep-alive with pipelining: requests are parsed out of
+///   the connection's input buffer one after another and answered in
+///   order; responses queue in an output buffer flushed as the socket
+///   allows (EPOLLOUT only while a flush is pending).
+/// - **Read path is shared-immutable.** The current \ref catalog_snapshot
+///   (engine + pre-rendered hot JSON + ETags) is an immutable object
+///   swapped atomically by \ref publish; handlers copy one shared_ptr and
+///   never observe a half-updated catalog. The response cache is the only
+///   mutable shared state and is both entry- and byte-bounded.
+/// - **Conditional requests.** Every catalog JSON body and every download
+///   carries a strong content-hash ETag; `If-None-Match` turns a repeat
+///   visit into a 304 with no body.
+/// - **Bounded work per connection.** Request size is capped
+///   (server_options::max_request_bytes); a partially read request must
+///   complete within request_deadline_s (slow-loris gets 408, folded into
+///   the PR 2 \ref mnt::res::deadline_clock taxonomy), and an idle
+///   keep-alive connection is closed after idle_timeout_s. Persistent
+///   accept failures (EMFILE/ENFILE) back off exponentially instead of
+///   spinning, shed the oldest idle connection, and are counted in
+///   `server.accept_errors`.
+/// - **Graceful shutdown.** stop() stops accepting, closes idle keep-alive
+///   connections, drains in-flight requests and pending writes for up to
+///   drain_timeout_s, then joins every event loop.
 
 #include "core/filters.hpp"
 #include "service/query.hpp"
+#include "service/snapshot.hpp"
 #include "service/store.hpp"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -73,14 +90,32 @@ struct server_options
     /// after start()).
     std::uint16_t port{0};
 
-    /// Worker threads handling accepted connections.
+    /// Event-loop threads (each owns an epoll set of connections).
     std::size_t threads{4};
 
     /// Response-cache capacity in entries (0 disables the cache).
     std::size_t cache_capacity{128};
 
+    /// Response-cache capacity in total bytes (keys + bodies + ETags); the
+    /// cache evicts least-recently-used entries past either bound, so a
+    /// handful of maximal catalog pages cannot pin unbounded memory.
+    std::size_t cache_capacity_bytes{8U << 20U};
+
     /// Per-request deadline in seconds (read + handle); expiry yields 408.
     double request_deadline_s{10.0};
+
+    /// Keep-alive connections idle (no partial request, nothing to write)
+    /// longer than this are closed.
+    double idle_timeout_s{15.0};
+
+    /// Graceful-shutdown drain budget: stop() waits this long for in-flight
+    /// requests and pending writes before closing the stragglers.
+    double drain_timeout_s{5.0};
+
+    /// Soft cap on concurrently open connections across all loops. At the
+    /// cap, the oldest idle keep-alive connection is shed to make room; if
+    /// none is idle, new connections are refused.
+    std::size_t max_connections{1024};
 
     /// Hard cap on the request head + body size.
     std::size_t max_request_bytes{1U << 20U};
@@ -94,6 +129,12 @@ struct http_request
     std::string path;    ///< decoded path, e.g. "/layouts"
     std::string query;   ///< raw query string (no leading '?')
     std::string body;
+    /// True when the client asked for the connection to close after this
+    /// response (`Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`).
+    bool connection_close{false};
+    /// Raw `If-None-Match` header value ("" when absent).
+    std::string if_none_match;
 };
 
 /// A response ready for serialization.
@@ -102,6 +143,10 @@ struct http_response
     int status{200};
     std::string content_type{"application/json"};
     std::string body;
+    /// Unquoted strong ETag; empty = no ETag header. The wire format quotes
+    /// it. For HEAD and 304 responses the body is suppressed on the wire
+    /// but kept here so Content-Length and validators stay correct.
+    std::string etag;
 };
 
 /// Outcome of \ref parse_http_request.
@@ -122,61 +167,102 @@ struct http_parse_result
     http_request request;
 
     /// Bytes consumed by the request (head + declared body) when status ==
-    /// ok; 0 otherwise.
+    /// ok; 0 otherwise. Pipelined requests parse from the remaining suffix.
     std::size_t consumed{0};
 };
 
-/// Parses an HTTP/1.1 request (request line, headers — of which only
-/// Content-Length is interpreted — and body) from \p bytes. Pure function of
-/// its inputs: the socket read loop feeds it growing prefixes until the
-/// status leaves `incomplete`, and the fuzzer and property tests drive it
-/// with arbitrary byte-streams directly. Never throws; any input yields one
-/// of the four statuses.
+/// Parses an HTTP/1.1 request (request line, headers — of which
+/// Content-Length, Connection and If-None-Match are interpreted — and body)
+/// from \p bytes. Pure function of its inputs: the event loop feeds it
+/// growing prefixes until the status leaves `incomplete`, then strips
+/// `consumed` bytes and parses the next pipelined request; the fuzzer and
+/// property tests drive it with arbitrary byte-streams directly. Never
+/// throws; any input yields one of the four statuses.
 [[nodiscard]] http_parse_result parse_http_request(std::string_view bytes, std::size_t max_bytes);
 
+/// One cached rendered response.
+struct cached_response
+{
+    std::string body;
+    std::string etag;  ///< unquoted strong ETag of body
+};
+
 /// Thread-safe LRU cache of rendered response bodies keyed by the
-/// normalized query (\ref page_query::cache_key).
+/// normalized query (\ref page_query::cache_key), bounded both by entry
+/// count and by total bytes. Entries are tagged with the snapshot
+/// generation they were rendered from; \ref invalidate advances the
+/// accepted generation and clears the cache, so a put() raced from before
+/// a snapshot swap can never re-introduce a stale body (see DESIGN.md §16
+/// for the ordering argument).
 class response_cache
 {
 public:
-    explicit response_cache(std::size_t capacity);
+    /// \p max_entries 0 disables the cache; \p max_bytes bounds
+    /// key+body+etag bytes across all entries.
+    explicit response_cache(std::size_t max_entries, std::size_t max_bytes = SIZE_MAX);
 
-    /// Returns the cached body and refreshes its recency.
-    [[nodiscard]] std::optional<std::string> get(const std::string& key);
+    /// Returns the cached response and refreshes its recency.
+    [[nodiscard]] std::optional<cached_response> get(const std::string& key);
 
-    /// Inserts (or refreshes) \p body, evicting the least recently used
-    /// entry at capacity. No-op when the cache is disabled.
-    void put(const std::string& key, const std::string& body);
+    /// Inserts (or refreshes) the response, evicting least recently used
+    /// entries past either bound. A \p generation older than the cache's
+    /// current one is dropped — the render predates a snapshot swap.
+    void put(const std::string& key, const std::string& body, const std::string& etag,
+             std::uint64_t generation = 0);
+
+    /// Clears every entry and advances the accepted generation.
+    void invalidate(std::uint64_t generation);
 
     [[nodiscard]] std::size_t size() const;
 
+    /// Total bytes held (keys + bodies + ETags).
+    [[nodiscard]] std::size_t bytes() const;
+
 private:
-    using entry_list = std::list<std::pair<std::string, std::string>>;
+    struct entry
+    {
+        std::string key;
+        cached_response response;
+    };
+    using entry_list = std::list<entry>;
+
+    void evict_to_bounds();  ///< callers hold the mutex
 
     mutable std::mutex mutex;
-    std::size_t capacity;
+    std::size_t max_entries;
+    std::size_t max_bytes;
+    std::size_t total_bytes{0};
+    std::uint64_t current_generation{0};
     entry_list entries;  ///< front = most recently used
     std::unordered_map<std::string, entry_list::iterator> index;
 };
 
 /// The catalog server. The engine (and the catalog it references) must
-/// outlive the server and stay unmodified while it runs.
+/// outlive the server and stay unmodified while any snapshot built from it
+/// is current or held by an in-flight request; passing an owning
+/// shared_ptr makes that automatic.
 class catalog_server
 {
 public:
+    /// Non-owning variant: \p engine must outlive the server.
     explicit catalog_server(const query_engine& engine, server_options options = {});
+
+    /// Owning variant: the initial snapshot holds \p engine alive.
+    explicit catalog_server(std::shared_ptr<const query_engine> engine, server_options options = {});
 
     /// Serve /download/<id> from \p store's blobs instead of re-serializing
     /// layouts in memory. The store must outlive the server.
     void attach_store(const layout_store* store) noexcept;
 
-    /// Binds, listens and launches the worker pool.
+    /// Binds, listens and launches the event loops.
     ///
     /// \throws mnt::mnt_error when the socket cannot be bound
     void start();
 
-    /// Graceful shutdown: stops accepting, drains queued connections, joins
-    /// all workers. Idempotent; also invoked by the destructor.
+    /// Graceful shutdown: stops accepting, closes idle connections, drains
+    /// in-flight requests and pending writes (up to
+    /// server_options::drain_timeout_s), joins every event loop. Idempotent;
+    /// also invoked by the destructor.
     void stop();
 
     ~catalog_server();
@@ -189,20 +275,44 @@ public:
 
     [[nodiscard]] bool running() const noexcept;
 
+    /// Atomically replaces the serving snapshot with one freshly built from
+    /// \p engine and invalidates the response cache — the regeneration
+    /// hook: after the store is repopulated (e.g. a `--resume` run), a
+    /// fresh engine published here makes every subsequent response reflect
+    /// the new content, with new ETags. Invalidation happens *before* the
+    /// swap, so a response rendered from the old snapshot can never be
+    /// re-admitted under the new generation. Safe to call while serving.
+    void publish(std::shared_ptr<const query_engine> engine);
+
+    /// Generation of the currently served snapshot (0 = initial).
+    [[nodiscard]] std::uint64_t snapshot_generation() const;
+
     /// Routes one request — the full handler minus the socket layer, used
     /// directly by tests. \p deadline bounds query execution; expiry yields
-    /// a 408 response.
+    /// a 408 response. For HEAD requests the returned body is the would-be
+    /// GET body (the socket layer suppresses it on the wire but keeps
+    /// Content-Length); conditional requests that match yield 304.
     [[nodiscard]] http_response handle(const http_request& request,
                                        const res::deadline_clock& deadline = res::deadline_clock::unbounded());
 
 private:
-    void accept_loop();
-    void worker_loop();
-    void serve_connection(int fd);
+    struct connection;  ///< per-connection state machine (server.cpp)
+    struct event_loop;  ///< per-thread epoll state (server.cpp)
+
+    void loop_thread(event_loop& loop);
+    void accept_ready(event_loop& loop);
+    void connection_readable(event_loop& loop, connection& conn);
+    void connection_writable(event_loop& loop, connection& conn);
+    void process_input(event_loop& loop, connection& conn);
+    void flush_output(event_loop& loop, connection& conn);
+    void sweep_deadlines(event_loop& loop);
+    void close_connection(event_loop& loop, int fd);
+    bool shed_oldest_idle(event_loop& loop);
+
+    [[nodiscard]] std::shared_ptr<const catalog_snapshot> snapshot() const;
 
     [[nodiscard]] http_response route(const http_request& request, const res::deadline_clock& deadline);
     [[nodiscard]] http_response page_response(const page_query& query);
-    [[nodiscard]] http_response benchmarks_response();
     [[nodiscard]] http_response download_response(const std::string& id);
     [[nodiscard]] http_response healthz_response();
     [[nodiscard]] http_response statz_response();
@@ -220,23 +330,23 @@ private:
     /// \ref layout_store and \ref query_engine ever mint.
     [[nodiscard]] static bool is_valid_blob_id(const std::string& id) noexcept;
 
-    const query_engine& engine;
     server_options options;
     const layout_store* store{nullptr};
     response_cache cache;
     const std::chrono::steady_clock::time_point started_at{std::chrono::steady_clock::now()};
 
+    mutable std::mutex snapshot_mutex;
+    std::shared_ptr<const catalog_snapshot> current_snapshot;
+    std::uint64_t next_generation{1};
+
     int listen_fd{-1};
     std::uint16_t bound_port{0};
     std::atomic<bool> stopping{false};
     std::atomic<bool> active{false};
+    std::atomic<std::size_t> open_connections{0};
 
-    std::mutex queue_mutex;
-    std::condition_variable queue_ready;
-    std::deque<int> pending;  ///< accepted fds awaiting a worker
-
-    std::thread acceptor;
-    std::vector<std::thread> workers;
+    std::vector<std::unique_ptr<event_loop>> loops;
+    std::vector<std::thread> loop_threads;
 };
 
 }  // namespace mnt::svc

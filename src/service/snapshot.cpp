@@ -1,0 +1,120 @@
+#include "service/snapshot.hpp"
+
+#include "service/hash.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <map>
+#include <utility>
+
+namespace mnt::svc
+{
+
+namespace
+{
+
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept
+{
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
+    {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\t'))
+    {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+}  // namespace
+
+std::string render_benchmarks_json(const query_engine& engine)
+{
+    const auto& cat = engine.catalog();
+    std::map<std::pair<std::string, std::string>, std::size_t> layout_counts;
+    for (const auto& r : cat.layouts())
+    {
+        ++layout_counts[{r.benchmark_set, r.benchmark_name}];
+    }
+
+    auto rows = json_value::make_array();
+    for (const auto& n : cat.networks())
+    {
+        auto row = json_value::make_object();
+        row.set("set", json_value{n.benchmark_set});
+        row.set("name", json_value{n.benchmark_name});
+        row.set("inputs", json_value{static_cast<std::uint64_t>(n.num_pis)});
+        row.set("outputs", json_value{static_cast<std::uint64_t>(n.num_pos)});
+        row.set("gates", json_value{static_cast<std::uint64_t>(n.num_gates)});
+        const auto found = layout_counts.find({n.benchmark_set, n.benchmark_name});
+        row.set("layouts", json_value{static_cast<std::uint64_t>(found != layout_counts.cend() ? found->second : 0)});
+        rows.push_back(std::move(row));
+    }
+    auto document = json_value::make_object();
+    document.set("count", json_value{static_cast<std::uint64_t>(cat.num_networks())});
+    document.set("benchmarks", std::move(rows));
+    return document.dump();
+}
+
+std::string make_etag(const std::string_view body)
+{
+    return content_hash(body);
+}
+
+bool etag_matches(const std::string_view if_none_match, const std::string_view etag) noexcept
+{
+    if (if_none_match.empty() || etag.empty())
+    {
+        return false;
+    }
+    if (trim(if_none_match) == "*")
+    {
+        return true;
+    }
+    // comma-separated list of entity tags, each `"opaque"` or `W/"opaque"`
+    std::size_t pos = 0;
+    while (pos <= if_none_match.size())
+    {
+        const auto comma = if_none_match.find(',', pos);
+        auto token = trim(if_none_match.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                                                    : comma - pos));
+        if (token.size() >= 2 && token.substr(0, 2) == "W/")
+        {
+            token = trim(token.substr(2));
+        }
+        if (token.size() >= 2 && token.front() == '"' && token.back() == '"' &&
+            token.substr(1, token.size() - 2) == etag)
+        {
+            return true;
+        }
+        if (comma == std::string_view::npos)
+        {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return false;
+}
+
+std::shared_ptr<const catalog_snapshot> build_catalog_snapshot(std::shared_ptr<const query_engine> engine,
+                                                               const std::uint64_t generation)
+{
+    MNT_SPAN("server/build_snapshot");
+    auto snapshot = std::make_shared<catalog_snapshot>();
+    snapshot->generation = generation;
+
+    snapshot->benchmarks.body = render_benchmarks_json(*engine);
+    snapshot->benchmarks.etag = make_etag(snapshot->benchmarks.body);
+
+    for (const auto& query : default_page_queries())
+    {
+        snapshot_entry entry{};
+        entry.body = page_json_string(engine->run(query));
+        entry.etag = make_etag(entry.body);
+        snapshot->pages.emplace(query.cache_key(), std::move(entry));
+    }
+
+    snapshot->engine = std::move(engine);
+    return snapshot;
+}
+
+}  // namespace mnt::svc

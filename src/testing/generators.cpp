@@ -649,4 +649,73 @@ std::string random_http_request(rng& random)
     return request;
 }
 
+std::string random_catalog_target(rng& random)
+{
+    // weights approximate a browsing session: page queries dominate, facet
+    // refreshes and best-of tables follow, liveness probes trail
+    const auto shape = random.below(100);
+    if (shape < 8)
+    {
+        return "/healthz";
+    }
+    if (shape < 20)
+    {
+        return "/benchmarks";
+    }
+    if (shape < 32)
+    {
+        return "/facets";
+    }
+    if (shape < 44)
+    {
+        return random.chance(1, 2) ? "/best" : "/best?set=Trindade16";
+    }
+
+    // a well-formed /layouts page: every value below is a valid instance of
+    // its parameter, so the server must answer 200
+    static const std::vector<std::string> sets{"Trindade16", "Fontes18"};
+    // percent-encoded: these land in a request line, where a raw space
+    // would terminate the target early
+    static const std::vector<std::string> libraries{"QCA%20ONE", "Bestagon"};
+    static const std::vector<std::string> sorts{"area", "benchmark", "algorithm", "runtime"};
+
+    std::string target = "/layouts";
+    char separator = '?';
+    const auto add = [&](const std::string& key, const std::string& value)
+    {
+        target += separator;
+        target += key + "=" + value;
+        separator = '&';
+    };
+    if (random.chance(1, 3))
+    {
+        add("set", sets[static_cast<std::size_t>(random.below(sets.size()))]);
+    }
+    if (random.chance(1, 3))
+    {
+        add("library", libraries[static_cast<std::size_t>(random.below(libraries.size()))]);
+    }
+    if (random.chance(1, 2))
+    {
+        add("sort", sorts[static_cast<std::size_t>(random.below(sorts.size()))]);
+        if (random.chance(1, 2))
+        {
+            add("order", random.chance(1, 2) ? "asc" : "desc");
+        }
+    }
+    if (random.chance(1, 4))
+    {
+        add("offset", std::to_string(random.below(4)));
+    }
+    if (random.chance(1, 3))
+    {
+        add("limit", std::to_string(1 + random.below(50)));
+    }
+    if (random.chance(1, 4))
+    {
+        add("facets", "true");
+    }
+    return target;
+}
+
 }  // namespace mnt::pbt

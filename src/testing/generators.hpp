@@ -198,4 +198,11 @@ struct layout_op
 /// Content-Length values, oversized targets or raw binary garbage.
 [[nodiscard]] std::string random_http_request(rng& random);
 
+/// A random *valid* catalog request target (path + query string) drawn from
+/// a realistic read-mostly mix: mostly /layouts pages with well-formed
+/// filter/sort/pagination parameters, plus /benchmarks, /facets, /best and
+/// the occasional /healthz probe. Used by the load generator, where — unlike
+/// \ref random_http_request — every request must be answerable with a 200.
+[[nodiscard]] std::string random_catalog_target(rng& random);
+
 }  // namespace mnt::pbt

@@ -566,16 +566,18 @@ oracle_result check_http_byte_stream(svc::catalog_server& server, const std::str
     switch (response.status)
     {
         case 200:
+        case 304:  // conditional request with a matching validator
         case 400:
         case 404:
         case 405:
         case 408:
-        case 413: break;
+        case 413:
+        case 501: break;  // unrecognized request method
         default:
             return oracle_result::fail("unexpected status " + std::to_string(response.status) + " for " +
                                        parsed.request.method + " " + parsed.request.path);
     }
-    if (response.content_type == "application/json")
+    if (response.status != 304 && response.content_type == "application/json")
     {
         try
         {

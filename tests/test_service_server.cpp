@@ -1,12 +1,15 @@
 #include "service/server.hpp"
 
 #include "benchmarks/functions.hpp"
+#include "common/resilience.hpp"
 #include "core/filters.hpp"
 #include "io/fgl_writer.hpp"
 #include "physical_design/hexagonalization.hpp"
 #include "physical_design/ortho.hpp"
 #include "service/json.hpp"
 #include "service/query.hpp"
+#include "service/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -30,15 +33,147 @@ using namespace mnt::svc;
 namespace
 {
 
-/// A raw loopback HTTP/1.1 client: one request, reads until the server
-/// closes the connection (the server always sends `Connection: close`).
 struct client_response
 {
     int status{0};
     std::string headers;
     std::string body;
+
+    /// Value of header \p name ("" when absent); \p name must match the
+    /// server's canonical casing.
+    [[nodiscard]] std::string header(const std::string& name) const
+    {
+        const auto key = "\r\n" + name + ": ";
+        const auto at = headers.find(key);
+        if (at == std::string::npos)
+        {
+            return {};
+        }
+        const auto begin = at + key.size();
+        return headers.substr(begin, headers.find("\r\n", begin) - begin);
+    }
 };
 
+/// A persistent loopback HTTP/1.1 client. Responses are framed by
+/// Content-Length (absent = no body, e.g. 304), so several exchanges can
+/// share one keep-alive connection; pipelining is just send_raw() twice
+/// before the first read_response().
+class keepalive_client
+{
+public:
+    explicit keepalive_client(const std::uint16_t port)
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port = htons(port);
+        EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr), 1);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+    }
+
+    ~keepalive_client()
+    {
+        if (fd >= 0)
+        {
+            ::close(fd);
+        }
+    }
+
+    keepalive_client(const keepalive_client&) = delete;
+    keepalive_client& operator=(const keepalive_client&) = delete;
+
+    void send_raw(const std::string& bytes) const
+    {
+        std::size_t sent = 0;
+        while (sent < bytes.size())
+        {
+            const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0)
+            {
+                break;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    /// Reads exactly one response off the connection.
+    [[nodiscard]] client_response read_response()
+    {
+        client_response response{};
+        const auto header_end = fill_until("\r\n\r\n");
+        if (header_end == std::string::npos)
+        {
+            return response;
+        }
+        response.headers = buffered.substr(0, header_end);
+        buffered.erase(0, header_end + 4);
+        if (response.headers.size() > 12)
+        {
+            response.status = std::stoi(response.headers.substr(9, 3));
+        }
+
+        std::size_t content_length = 0;
+        const auto key = response.headers.find("Content-Length: ");
+        if (key != std::string::npos)
+        {
+            content_length = std::stoul(response.headers.substr(key + 16));
+        }
+        while (buffered.size() < content_length)
+        {
+            if (!fill_more())
+            {
+                break;
+            }
+        }
+        response.body = buffered.substr(0, content_length);
+        buffered.erase(0, content_length);
+        return response;
+    }
+
+    /// True when the server has closed its end (a clean EOF on recv).
+    [[nodiscard]] bool server_closed() const
+    {
+        char byte = 0;
+        const auto n = ::recv(fd, &byte, 1, MSG_PEEK);
+        return n == 0;
+    }
+
+private:
+    [[nodiscard]] std::size_t fill_until(const std::string& marker)
+    {
+        for (;;)
+        {
+            const auto at = buffered.find(marker);
+            if (at != std::string::npos)
+            {
+                return at;
+            }
+            if (!fill_more())
+            {
+                return std::string::npos;
+            }
+        }
+    }
+
+    [[nodiscard]] bool fill_more()
+    {
+        char buffer[4096];
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+        {
+            return false;
+        }
+        buffered.append(buffer, static_cast<std::size_t>(n));
+        return true;
+    }
+
+    int fd{-1};
+    std::string buffered;
+};
+
+/// One-shot exchange: sends `Connection: close` semantics are the caller's
+/// job (use the request builders below); reads until the server closes.
 client_response http_exchange(const std::uint16_t port, const std::string& request)
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -93,15 +228,35 @@ client_response http_exchange(const std::uint16_t port, const std::string& reque
     return response;
 }
 
+std::string request_line(const std::string& method, const std::string& target, const bool close,
+                         const std::string& extra_headers = {}, const std::string& body = {})
+{
+    std::string request = method + " " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+    if (!body.empty())
+    {
+        request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    request += extra_headers;
+    if (close)
+    {
+        request += "Connection: close\r\n";
+    }
+    return request + "\r\n" + body;
+}
+
 std::string get_request(const std::string& target)
 {
-    return "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+    return request_line("GET", target, true);
 }
 
 std::string post_request(const std::string& target, const std::string& body)
 {
-    return "POST " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " + std::to_string(body.size()) +
-           "\r\n\r\n" + body;
+    return request_line("POST", target, true, {}, body);
+}
+
+std::string keepalive_get(const std::string& target, const std::string& extra_headers = {})
+{
+    return request_line("GET", target, false, extra_headers);
 }
 
 /// A tiny real catalog: two layouts of 2:1 MUX (cartesian + hexagonal).
@@ -149,22 +304,65 @@ protected:
 TEST(ResponseCacheTest, EvictsLeastRecentlyUsed)
 {
     response_cache cache{2};
-    cache.put("a", "1");
-    cache.put("b", "2");
-    EXPECT_EQ(cache.get("a"), std::optional<std::string>{"1"});  // refreshes "a"
-    cache.put("c", "3");                                         // evicts "b"
+    cache.put("a", "1", "e1");
+    cache.put("b", "2", "e2");
+    ASSERT_TRUE(cache.get("a").has_value());  // refreshes "a"
+    EXPECT_EQ(cache.get("a")->body, "1");
+    EXPECT_EQ(cache.get("a")->etag, "e1");
+    cache.put("c", "3", "e3");  // evicts "b"
     EXPECT_FALSE(cache.get("b").has_value());
-    EXPECT_EQ(cache.get("a"), std::optional<std::string>{"1"});
-    EXPECT_EQ(cache.get("c"), std::optional<std::string>{"3"});
+    EXPECT_TRUE(cache.get("a").has_value());
+    EXPECT_TRUE(cache.get("c").has_value());
     EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ResponseCacheTest, ZeroCapacityDisablesCaching)
 {
     response_cache cache{0};
-    cache.put("a", "1");
+    cache.put("a", "1", "e");
     EXPECT_FALSE(cache.get("a").has_value());
     EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResponseCacheTest, EvictsPastByteBound)
+{
+    // each entry: 1-byte key + 8-byte body + 2-byte etag = 11 bytes
+    response_cache cache{100, 24};
+    cache.put("a", "aaaaaaaa", "e1");
+    cache.put("b", "bbbbbbbb", "e2");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.bytes(), 22u);
+    cache.put("c", "cccccccc", "e3");  // 33 > 24: evicts LRU "a"
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_LE(cache.bytes(), 24u);
+    EXPECT_FALSE(cache.get("a").has_value());
+    EXPECT_TRUE(cache.get("b").has_value());
+    EXPECT_TRUE(cache.get("c").has_value());
+
+    // one oversized body evicts everything else and is then dropped itself
+    cache.put("d", std::string(100, 'd'), "e4");
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResponseCacheTest, StaleGenerationPutIsRejected)
+{
+    response_cache cache{8};
+    cache.put("a", "old", "e-old", 0);
+    ASSERT_TRUE(cache.get("a").has_value());
+
+    cache.invalidate(1);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+
+    // a handler that rendered against the pre-swap snapshot races its put()
+    // in after the invalidation — it must be dropped, not re-admitted
+    cache.put("a", "stale", "e-stale", 0);
+    EXPECT_FALSE(cache.get("a").has_value());
+
+    cache.put("a", "fresh", "e-fresh", 1);
+    ASSERT_TRUE(cache.get("a").has_value());
+    EXPECT_EQ(cache.get("a")->body, "fresh");
 }
 
 // --------------------------------------------------------- socketless routes
@@ -180,11 +378,14 @@ TEST_F(server_fixture, HandleRoutesWithoutSockets)
     const auto layouts = server.handle({"GET", "/layouts", "", ""});
     EXPECT_EQ(layouts.status, 200);
     EXPECT_EQ(layouts.body, page_json_string(engine->run(page_query{})));
+    EXPECT_EQ(layouts.etag, make_etag(layouts.body));
 
     const auto not_found = server.handle({"GET", "/nope", "", ""});
     EXPECT_EQ(not_found.status, 404);
     const auto bad_method = server.handle({"PUT", "/layouts", "", ""});
     EXPECT_EQ(bad_method.status, 405);
+    const auto unknown_method = server.handle({"BREW", "/layouts", "", ""});
+    EXPECT_EQ(unknown_method.status, 501);
     const auto bad_query = server.handle({"GET", "/layouts", "library=cmos", ""});
     EXPECT_EQ(bad_query.status, 400);
     EXPECT_NE(json_value::parse(bad_query.body).at("error").at("message").as_string(), "");
@@ -195,6 +396,82 @@ TEST_F(server_fixture, HandleHonorsExpiredDeadline)
     catalog_server server{*engine};
     const auto response = server.handle({"GET", "/layouts", "", ""}, res::deadline_clock::after(0.0));
     EXPECT_EQ(response.status, 408);
+}
+
+TEST_F(server_fixture, HandleAnswersConditionalRequestsWith304)
+{
+    catalog_server server{*engine};
+
+    const auto first = server.handle({"GET", "/benchmarks", "", ""});
+    ASSERT_EQ(first.status, 200);
+    ASSERT_FALSE(first.etag.empty());
+    EXPECT_EQ(first.body, render_benchmarks_json(*engine));
+
+    http_request revisit{"GET", "/benchmarks", "", ""};
+    revisit.if_none_match = "\"" + first.etag + "\"";
+    const auto second = server.handle(revisit);
+    EXPECT_EQ(second.status, 304);
+    EXPECT_EQ(second.etag, first.etag);
+    EXPECT_TRUE(second.body.empty());
+
+    // a non-matching validator serves the full body again
+    revisit.if_none_match = "\"0123456789abcdef0123456789abcdef\"";
+    EXPECT_EQ(server.handle(revisit).status, 200);
+    // the wildcard matches any representation
+    revisit.if_none_match = "*";
+    EXPECT_EQ(server.handle(revisit).status, 304);
+}
+
+TEST_F(server_fixture, PublishSwapsSnapshotAndInvalidatesCache)
+{
+    catalog_server server{*engine};
+    EXPECT_EQ(server.snapshot_generation(), 0u);
+
+    const auto before = server.handle({"GET", "/benchmarks", "", ""});
+    ASSERT_EQ(before.status, 200);
+
+    // regeneration grew the catalog: a fresh engine over a superset catalog
+    catalog.add_network("EPFL", "xor5", bm::mux21());
+    auto regrown = std::make_shared<query_engine>(catalog);
+    server.publish(regrown);
+
+    EXPECT_EQ(server.snapshot_generation(), 1u);
+    const auto after = server.handle({"GET", "/benchmarks", "", ""});
+    ASSERT_EQ(after.status, 200);
+    EXPECT_NE(after.body, before.body);
+    EXPECT_NE(after.etag, before.etag);
+    EXPECT_EQ(json_value::parse(after.body).at("count").as_u64(), 2u);
+
+    // the old validator no longer matches — the revisit re-downloads
+    http_request revisit{"GET", "/benchmarks", "", ""};
+    revisit.if_none_match = "\"" + before.etag + "\"";
+    EXPECT_EQ(server.handle(revisit).status, 200);
+}
+
+// -------------------------------------------------------------- HTTP parsing
+
+TEST(ParseHttpRequestTest, ParsesConnectionAndConditionalHeaders)
+{
+    const auto keep = parse_http_request("GET / HTTP/1.1\r\nHost: x\r\n\r\n", 1024);
+    ASSERT_EQ(keep.status, http_parse_status::ok);
+    EXPECT_FALSE(keep.request.connection_close);
+
+    const auto close = parse_http_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 1024);
+    ASSERT_EQ(close.status, http_parse_status::ok);
+    EXPECT_TRUE(close.request.connection_close);
+
+    // HTTP/1.0 defaults to close unless keep-alive is requested
+    const auto old = parse_http_request("GET / HTTP/1.0\r\n\r\n", 1024);
+    ASSERT_EQ(old.status, http_parse_status::ok);
+    EXPECT_TRUE(old.request.connection_close);
+    const auto old_keep = parse_http_request("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 1024);
+    ASSERT_EQ(old_keep.status, http_parse_status::ok);
+    EXPECT_FALSE(old_keep.request.connection_close);
+
+    const auto conditional =
+        parse_http_request("GET / HTTP/1.1\r\nIf-None-Match: \"abc\"\r\n\r\n", 1024);
+    ASSERT_EQ(conditional.status, http_parse_status::ok);
+    EXPECT_EQ(conditional.request.if_none_match, "\"abc\"");
 }
 
 // -------------------------------------------------------------- HTTP end2end
@@ -221,18 +498,29 @@ TEST_F(server_fixture, ServesEveryEndpointOverLoopback)
     expected_query.filter.libraries = {cat::gate_library_kind::bestagon};
     EXPECT_EQ(layouts.body, page_json_string(engine->run(expected_query)));
 
+    // the default page comes out of the pre-rendered snapshot — still
+    // byte-identical to a direct engine render
+    const auto default_page = http_exchange(server.port(), get_request("/layouts"));
+    EXPECT_EQ(default_page.status, 200);
+    EXPECT_EQ(default_page.body, page_json_string(engine->run(page_query{})));
+    EXPECT_FALSE(default_page.header("ETag").empty());
+
     // POST /layouts with a JSON body
     const auto posted =
         http_exchange(server.port(), post_request("/layouts", R"({"libraries": ["Bestagon"]})"));
     EXPECT_EQ(posted.status, 200);
     EXPECT_EQ(posted.body, layouts.body);
 
-    // /facets — metadata only
+    // /facets — metadata only; snapshot path must match the engine render
     const auto facets = http_exchange(server.port(), get_request("/facets"));
     EXPECT_EQ(facets.status, 200);
     const auto facet_doc = json_value::parse(facets.body);
     EXPECT_EQ(facet_doc.at("count").as_u64(), 0u);
     EXPECT_EQ(facet_doc.at("facets").at("libraries").at("Bestagon").as_u64(), 1u);
+    page_query facet_query{};
+    facet_query.limit = 0;
+    facet_query.include_facets = true;
+    EXPECT_EQ(facets.body, page_json_string(engine->run(facet_query)));
 
     // /best — best_only forced
     const auto best = http_exchange(server.port(), get_request("/best"));
@@ -241,29 +529,141 @@ TEST_F(server_fixture, ServesEveryEndpointOverLoopback)
     best_query.filter.best_only = true;
     EXPECT_EQ(best.body, page_json_string(engine->run(best_query)));
 
-    // /benchmarks
+    // /benchmarks — snapshot path, byte-identical to the renderer
     const auto benchmarks = http_exchange(server.port(), get_request("/benchmarks"));
     EXPECT_EQ(benchmarks.status, 200);
+    EXPECT_EQ(benchmarks.body, render_benchmarks_json(*engine));
     const auto bench_doc = json_value::parse(benchmarks.body);
     EXPECT_EQ(bench_doc.at("count").as_u64(), 1u);
     EXPECT_EQ(bench_doc.at("benchmarks").as_array().front().at("layouts").as_u64(), 2u);
 
-    // /download/<id> — canonical .fgl bytes
+    // /download/<id> — canonical .fgl bytes; the id doubles as the ETag
     const auto& id = engine->id_of(0);
     const auto download = http_exchange(server.port(), get_request("/download/" + id));
     EXPECT_EQ(download.status, 200);
     EXPECT_NE(download.headers.find("Content-Type: application/xml"), std::string::npos);
     EXPECT_EQ(download.body, io::write_fgl_string(catalog.layouts()[0].layout));
+    EXPECT_EQ(download.header("ETag"), "\"" + id + "\"");
 
     // error paths
     EXPECT_EQ(http_exchange(server.port(), get_request("/download/ffffffffffffffff")).status, 404);
     EXPECT_EQ(http_exchange(server.port(), get_request("/layouts?library=cmos")).status, 400);
     EXPECT_EQ(http_exchange(server.port(), get_request("/nope")).status, 404);
     EXPECT_EQ(http_exchange(server.port(), "NONSENSE\r\n\r\n").status, 400);
+    EXPECT_EQ(http_exchange(server.port(), request_line("BREW", "/layouts", true)).status, 501);
 
     server.stop();
     EXPECT_FALSE(server.running());
     server.stop();  // idempotent
+}
+
+TEST_F(server_fixture, KeepAliveServesSequentialRequestsOnOneConnection)
+{
+    server_options options{};
+    options.threads = 1;
+    catalog_server server{*engine, options};
+    server.start();
+
+    keepalive_client client{server.port()};
+
+    client.send_raw(keepalive_get("/healthz"));
+    const auto first = client.read_response();
+    EXPECT_EQ(first.status, 200);
+    EXPECT_EQ(first.header("Connection"), "keep-alive");
+    EXPECT_EQ(json_value::parse(first.body).at("layouts").as_u64(), 2u);
+
+    client.send_raw(keepalive_get("/benchmarks"));
+    const auto second = client.read_response();
+    EXPECT_EQ(second.status, 200);
+    EXPECT_EQ(second.body, render_benchmarks_json(*engine));
+
+    // the final request asks for close; the server honors it
+    client.send_raw(get_request("/layouts"));
+    const auto last = client.read_response();
+    EXPECT_EQ(last.status, 200);
+    EXPECT_EQ(last.header("Connection"), "close");
+    EXPECT_EQ(last.body, page_json_string(engine->run(page_query{})));
+    EXPECT_TRUE(client.server_closed());
+
+    server.stop();
+}
+
+TEST_F(server_fixture, PipelinedRequestsAreAnsweredInOrder)
+{
+    server_options options{};
+    options.threads = 1;
+    catalog_server server{*engine, options};
+    server.start();
+
+    keepalive_client client{server.port()};
+
+    // both requests hit the wire before the first response is read
+    client.send_raw(keepalive_get("/benchmarks") + keepalive_get("/healthz"));
+
+    const auto first = client.read_response();
+    EXPECT_EQ(first.status, 200);
+    EXPECT_EQ(first.body, render_benchmarks_json(*engine));
+
+    const auto second = client.read_response();
+    EXPECT_EQ(second.status, 200);
+    EXPECT_EQ(json_value::parse(second.body).at("status").as_string(), "ok");
+
+    server.stop();
+}
+
+TEST_F(server_fixture, IfNoneMatchRevisitGets304WithoutBody)
+{
+    server_options options{};
+    options.threads = 1;
+    catalog_server server{*engine, options};
+    server.start();
+
+    keepalive_client client{server.port()};
+
+    client.send_raw(keepalive_get("/benchmarks"));
+    const auto first = client.read_response();
+    ASSERT_EQ(first.status, 200);
+    const auto etag = first.header("ETag");
+    ASSERT_FALSE(etag.empty());
+
+    client.send_raw(keepalive_get("/benchmarks", "If-None-Match: " + etag + "\r\n"));
+    const auto revisit = client.read_response();
+    EXPECT_EQ(revisit.status, 304);
+    EXPECT_TRUE(revisit.body.empty());
+    EXPECT_EQ(revisit.header("ETag"), etag);
+    EXPECT_EQ(revisit.headers.find("Content-Length"), std::string::npos);
+
+    // the connection survives the 304 and serves a normal response next
+    client.send_raw(keepalive_get("/healthz"));
+    EXPECT_EQ(client.read_response().status, 200);
+
+    server.stop();
+}
+
+TEST_F(server_fixture, HeadMatchesGetWithoutBody)
+{
+    server_options options{};
+    options.threads = 1;
+    catalog_server server{*engine, options};
+    server.start();
+
+    const auto get = http_exchange(server.port(), get_request("/benchmarks"));
+    ASSERT_EQ(get.status, 200);
+
+    const auto head = http_exchange(server.port(), request_line("HEAD", "/benchmarks", true));
+    EXPECT_EQ(head.status, 200);
+    EXPECT_TRUE(head.body.empty());
+    // identical headers: Content-Length reflects the would-be body
+    EXPECT_EQ(head.header("Content-Length"), std::to_string(get.body.size()));
+    EXPECT_EQ(head.header("Content-Type"), get.header("Content-Type"));
+    EXPECT_EQ(head.header("ETag"), get.header("ETag"));
+
+    // HEAD of an error route carries the error's frame, no body
+    const auto missing = http_exchange(server.port(), request_line("HEAD", "/nope", true));
+    EXPECT_EQ(missing.status, 404);
+    EXPECT_TRUE(missing.body.empty());
+
+    server.stop();
 }
 
 TEST_F(server_fixture, SlowClientIsCutOffWithRequestTimeout)
@@ -283,8 +683,8 @@ TEST_F(server_fixture, SlowClientIsCutOffWithRequestTimeout)
     ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
 
     // a slow-loris client: trickle an incomplete request head and never
-    // finish it — the worker must answer 408 once the deadline expires
-    // instead of waiting on the socket indefinitely
+    // finish it — the event loop must answer 408 once the deadline expires
+    // instead of holding the connection open indefinitely
     const std::string fragment = "GET /layouts HTTP/1.1\r\n";
     for (const char c : fragment)
     {
@@ -308,6 +708,55 @@ TEST_F(server_fixture, SlowClientIsCutOffWithRequestTimeout)
     }
     ::close(fd);
     EXPECT_EQ(raw.rfind("HTTP/1.1 408", 0), 0u) << raw;
+    server.stop();
+}
+
+TEST_F(server_fixture, IdleKeepAliveConnectionIsClosed)
+{
+    server_options options{};
+    options.threads = 1;
+    options.idle_timeout_s = 0.2;
+    catalog_server server{*engine, options};
+    server.start();
+
+    keepalive_client client{server.port()};
+    client.send_raw(keepalive_get("/healthz"));
+    EXPECT_EQ(client.read_response().status, 200);
+
+    // idle past the timeout: the server reclaims the connection
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds{5};
+    while (!client.server_closed() && std::chrono::steady_clock::now() < deadline)
+    {
+        std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+    EXPECT_TRUE(client.server_closed());
+
+    server.stop();
+}
+
+TEST_F(server_fixture, AcceptFailureBacksOffInsteadOfSpinning)
+{
+    server_options options{};
+    options.threads = 1;
+    catalog_server server{*engine, options};
+    server.start();
+
+    auto& errors = tel::registry::instance().get_counter("server.accept_errors");
+    const auto errors_before = errors.value();
+
+    // the first accept attempt reports EMFILE (fd exhaustion); the loop must
+    // count it, back off with the listen fd deregistered, then recover and
+    // serve the very connection whose accept initially failed
+    res::fault::configure("server.accept=1");
+    const auto health = http_exchange(server.port(), get_request("/healthz"));
+    res::fault::configure("");
+
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(errors.value(), errors_before + 1);
+
+    // and the server keeps serving afterwards
+    EXPECT_EQ(http_exchange(server.port(), get_request("/healthz")).status, 200);
+
     server.stop();
 }
 
