@@ -1,0 +1,199 @@
+/// \file micro_simd.cpp
+/// \brief SIMD kernel microbenchmarks (μ8): the row kernels (gate_row,
+///        mismatch) and their integrations (row-batched truth-table
+///        simulation, wave-block simulation, equivalence checking) with the
+///        scalar reference backend vs AVX2. The Arg(0) encodes the backend:
+///        /0 = scalar, /1 = avx2 (skipped on hosts without AVX2). Run with
+///        `--benchmark_out=micro_simd.json --benchmark_out_format=json` to
+///        produce the artifact tracked in BENCH_pr10.json and gated by the
+///        CI perf-smoke job against bench/baselines/micro_simd_baseline.json.
+
+#include "benchmarks/families.hpp"
+#include "benchmarks/synthetic.hpp"
+#include "network/simulation.hpp"
+#include "physical_design/ortho.hpp"
+#include "verification/equivalence.hpp"
+#include "verification/simd/simd.hpp"
+#include "verification/wave_simulation.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace
+{
+
+using namespace mnt;
+
+/// Maps the benchmark Arg to a backend; skips AVX2 rows on scalar-only
+/// hosts so baselines stay comparable across machines.
+bool select_backend(benchmark::State& state, simd::backend& out)
+{
+    out = state.range(0) == 0 ? simd::backend::scalar : simd::backend::avx2;
+    if (out == simd::backend::avx2 && !simd::avx2_supported())
+    {
+        state.SkipWithError("AVX2 not available on this host");
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint64_t> random_row(const std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> row(n);
+    for (auto& w : row)
+    {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        w = seed;
+    }
+    return row;
+}
+
+bm::synthetic_spec spec_of(const std::size_t gates)
+{
+    bm::synthetic_spec spec{};
+    spec.name = "bench";
+    spec.num_pis = 8;
+    spec.num_pos = 4;
+    spec.num_gates = gates;
+    spec.window = 32;
+    return spec;
+}
+
+// ------------------------------------------------------------ raw kernels
+
+/// The hot inner loop: one 2-input gate function over 4096-word rows.
+void simd_gate_row(benchmark::State& state)
+{
+    simd::backend backend{};
+    if (!select_backend(state, backend))
+    {
+        return;
+    }
+    const auto& kernels = simd::kernels_for(backend);
+    constexpr std::size_t n = 4096;
+    const auto a = random_row(n, 0x9e3779b97f4a7c15ull);
+    const auto b = random_row(n, 0xbf58476d1ce4e5b9ull);
+    std::vector<std::uint64_t> dst(n);
+    for (auto _ : state)
+    {
+        kernels.gate_row(ntk::gate_type::xor2, dst.data(), a.data(), b.data(), nullptr, n);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n * sizeof(std::uint64_t)));
+}
+BENCHMARK(simd_gate_row)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// The 3-input majority row — the widest gate function.
+void simd_gate_row_maj(benchmark::State& state)
+{
+    simd::backend backend{};
+    if (!select_backend(state, backend))
+    {
+        return;
+    }
+    const auto& kernels = simd::kernels_for(backend);
+    constexpr std::size_t n = 4096;
+    const auto a = random_row(n, 1);
+    const auto b = random_row(n, 2);
+    const auto c = random_row(n, 3);
+    std::vector<std::uint64_t> dst(n);
+    for (auto _ : state)
+    {
+        kernels.gate_row(ntk::gate_type::maj3, dst.data(), a.data(), b.data(), c.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n * sizeof(std::uint64_t)));
+}
+BENCHMARK(simd_gate_row_maj)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Full-row mismatch scan with equal rows (the common, worst-case path of
+/// equivalence checking: no early exit).
+void simd_mismatch(benchmark::State& state)
+{
+    simd::backend backend{};
+    if (!select_backend(state, backend))
+    {
+        return;
+    }
+    const auto& kernels = simd::kernels_for(backend);
+    constexpr std::size_t n = 4096;
+    const auto a = random_row(n, 0x5eed);
+    const auto b = a;
+    for (auto _ : state)
+    {
+        benchmark::DoNotOptimize(kernels.mismatch(a.data(), b.data(), n));
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(2 * n * sizeof(std::uint64_t)));
+}
+BENCHMARK(simd_mismatch)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// ----------------------------------------------------------- integrations
+
+/// Row-batched network simulation: 64 words through a 256-gate network.
+void simd_simulate_rows(benchmark::State& state)
+{
+    simd::backend backend{};
+    if (!select_backend(state, backend))
+    {
+        return;
+    }
+    simd::set_backend(backend);
+    const auto network = bm::synthetic_network(spec_of(256));
+    constexpr std::size_t n = 64;
+    const auto pi_rows = random_row(network.num_pis() * n, 0xabcd);
+    for (auto _ : state)
+    {
+        benchmark::DoNotOptimize(ntk::simulate_rows(network, pi_rows, n));
+    }
+    simd::reset_backend();
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * 64));
+}
+BENCHMARK(simd_simulate_rows)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Row-batched wave simulation: 32 words through an ortho layout.
+void simd_wave_block(benchmark::State& state)
+{
+    simd::backend backend{};
+    if (!select_backend(state, backend))
+    {
+        return;
+    }
+    simd::set_backend(backend);
+    const auto layout = pd::ortho(bm::synthetic_network(spec_of(96)));
+    constexpr std::size_t n = 32;
+    const auto pi_rows = random_row(layout.num_pis() * n, 0x57415645);
+    for (auto _ : state)
+    {
+        benchmark::DoNotOptimize(ver::wave_simulate_block(layout, pi_rows, n));
+    }
+    simd::reset_backend();
+    state.counters["tiles"] = static_cast<double>(layout.num_occupied());
+}
+BENCHMARK(simd_wave_block)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// End-to-end equivalence check of a family function against itself (the
+/// service's verification hot path during regeneration).
+void simd_equivalence(benchmark::State& state)
+{
+    simd::backend backend{};
+    if (!select_backend(state, backend))
+    {
+        return;
+    }
+    simd::set_backend(backend);
+    const auto network = bm::synthetic_network(spec_of(192));
+    for (auto _ : state)
+    {
+        benchmark::DoNotOptimize(ver::check_equivalence(network, network).equivalent);
+    }
+    simd::reset_backend();
+}
+BENCHMARK(simd_equivalence)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -6,6 +6,7 @@
 ///
 /// Usage:
 ///   mnt_bench_serve [--store <dir>] [--generate] [--set <name>] [--name <fn>]
+///                   [--family <name>] [--family-count <n>] [--family-seed <s>]
 ///                   [--port <p>] [--threads <n>] [--jobs <n>] [--pd-threads <n>]
 ///                   [--deadline <s>] [--retries <n>] [--no-serve]
 ///                   [--report <file.json>] [--verbose-telemetry]
@@ -25,6 +26,7 @@
 ///   serving <N> layouts on http://127.0.0.1:<port>
 /// (used by the CI smoke job to discover the ephemeral port).
 
+#include "benchmarks/families.hpp"
 #include "benchmarks/suites.hpp"
 #include "common/supervisor.hpp"
 #include "common/taskrt/taskrt.hpp"
@@ -96,6 +98,12 @@ struct serve_options
     double worker_hang_s{0.0};
     /// Hidden: run exactly one regeneration job and exit (worker mode).
     std::optional<std::string> worker_job;
+
+    /// Synthetic family selection (reference family name + overrides);
+    /// --generate then populates the family instead of the curated sets.
+    std::optional<std::string> family;
+    std::optional<std::size_t> family_count;
+    std::optional<std::string> family_seed;
 };
 
 serve_options parse_args(const int argc, const char** argv)
@@ -212,6 +220,18 @@ serve_options parse_args(const int argc, const char** argv)
         {
             options.worker_job = next();
         }
+        else if (arg == "--family")
+        {
+            options.family = next();
+        }
+        else if (arg == "--family-count")
+        {
+            options.family_count = std::stoul(next());
+        }
+        else if (arg == "--family-seed")
+        {
+            options.family_seed = next();
+        }
         else if (arg == "--help" || arg == "-h")
         {
             options.help = true;
@@ -225,8 +245,45 @@ serve_options parse_args(const int argc, const char** argv)
     return options;
 }
 
+/// Resolves --family/--family-count/--family-seed into a concrete spec.
+///
+/// \throws mnt::mnt_error on an unknown family name
+std::optional<bm::family_spec> family_for(const serve_options& options)
+{
+    if (!options.family.has_value())
+    {
+        return std::nullopt;
+    }
+    auto spec = bm::find_reference_family(*options.family);
+    if (!spec.has_value())
+    {
+        throw mnt_error{"unknown family '" + *options.family + "' (known: aoi, xor, maj)"};
+    }
+    if (options.family_count.has_value())
+    {
+        spec->count = *options.family_count;
+    }
+    if (options.family_seed.has_value())
+    {
+        spec->seed = std::stoull(*options.family_seed, nullptr, 0);
+    }
+    return spec;
+}
+
 std::vector<bm::benchmark_entry> selected_entries(const serve_options& options)
 {
+    // family mode: generation targets the synthetic family's functions
+    // instead of the curated sets (--name still narrows to one function)
+    if (const auto family = family_for(options); family.has_value())
+    {
+        auto entries = bm::family_entries(*family);
+        if (options.name.has_value())
+        {
+            std::erase_if(entries, [&](const bm::benchmark_entry& e) { return e.name != *options.name; });
+        }
+        return entries;
+    }
+
     std::vector<bm::benchmark_entry> selection;
     for (const auto& entry : bm::all_suites())
     {
@@ -334,6 +391,20 @@ std::vector<std::string> worker_command(const serve_options& options)
     if (options.name.has_value())
     {
         argv.insert(argv.end(), {"--name", *options.name});
+    }
+    // workers must rebuild the exact same entry list, so the family
+    // selection travels with them
+    if (options.family.has_value())
+    {
+        argv.insert(argv.end(), {"--family", *options.family});
+        if (options.family_count.has_value())
+        {
+            argv.insert(argv.end(), {"--family-count", std::to_string(*options.family_count)});
+        }
+        if (options.family_seed.has_value())
+        {
+            argv.insert(argv.end(), {"--family-seed", *options.family_seed});
+        }
     }
     if (options.deadline_s > 0.0)
     {
@@ -503,6 +574,10 @@ int main(const int argc, const char** argv)
                     "                         already-present combinations are skipped)\n"
                     "  --set <name>           restrict generation to one benchmark set\n"
                     "  --name <fn>            restrict generation to one function\n"
+                    "  --family <name>        generate a synthetic benchmark family instead of the\n"
+                    "                         curated sets (reference families: aoi, xor, maj)\n"
+                    "  --family-count <n>     number of functions to expand the family to\n"
+                    "  --family-seed <seed>   override the family seed (decimal or 0x-hex)\n"
                     "  --port <p>             TCP port (default 0 = ephemeral; printed on startup)\n"
                     "  --threads <n>          server event-loop threads (default 4)\n"
                     "  --idle-timeout <s>     close idle keep-alive connections after s seconds (default 15)\n"

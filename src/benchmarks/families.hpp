@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file families.hpp
+/// \brief Seeded synthetic benchmark families: thousands of deterministic
+///        functions from a handful of parameters.
+///
+/// The paper's curated collection holds 18 functions per abstraction level —
+/// enough to reproduce Table I, far too few to stress a catalog service. A
+/// *family* scales that collection synthetically, ChiBench-style: a
+/// \ref family_spec (gate mix, depth/fanout shape, PI/PO counts, a 64-bit
+/// seed) plus the promoted property-test generator
+/// (\ref mnt::pbt::random_network) deterministically expands into any number
+/// of structurally valid functions.
+///
+/// Reproducibility contract:
+///
+///  - the **family id** is a 32-hex hash over every shape parameter, the
+///    seed and \ref family_generator_version — two families agree on their
+///    id iff they generate byte-identical functions;
+///  - each function derives its own seed from (family seed, index) via a
+///    splitmix64 finalizer, so generation is embarrassingly parallel and
+///    function `i` never depends on functions `0..i-1`;
+///  - the **family manifest** is a canonical JSON document (stable key
+///    order, index-ordered function list) whose bytes — and therefore its
+///    hash — are identical across runs, thread counts and machines.
+///
+/// Families register as additional benchmark sets (`Family-<name>`) and flow
+/// through the same portfolio/regeneration pipeline, store and query facets
+/// as the curated sets; catalog records carry `family`/`family_seed`.
+
+#include "benchmarks/suites.hpp"
+#include "network/logic_network.hpp"
+#include "service/json.hpp"
+#include "testing/generators.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mnt::bm
+{
+
+/// Bumped whenever the generator or the seed-derivation scheme changes in a
+/// way that alters generated networks; part of the family id, so stale
+/// manifests can never collide with fresh ones.
+inline constexpr std::uint32_t family_generator_version = 1;
+
+/// Parameters of a synthetic benchmark family.
+struct family_spec
+{
+    /// Family name; the benchmark set is registered as "Family-<name>".
+    std::string name{"family"};
+
+    /// Number of functions in the family.
+    std::size_t count{1000};
+
+    /// Family seed; every function seed derives from it.
+    std::uint64_t seed{0x4d4e54464d31ull};  // "MNTFM1"
+
+    /// Network shape: PI/PO counts, gate budget, fanout window, chain
+    /// probability (depth), gate mix. The per-function name is overridden by
+    /// the generator.
+    pbt::network_spec shape{};
+
+    /// Portfolio size budget applied to every function of the family.
+    size_class size{size_class::small};
+};
+
+/// The benchmark-set name a family registers under ("Family-<name>").
+[[nodiscard]] std::string family_set_name(const family_spec& spec);
+
+/// The 32-hex family id: hash of all shape parameters + seed + generator
+/// version (see file comment).
+[[nodiscard]] std::string family_id(const family_spec& spec);
+
+/// Zero-padded function name within a family ("f00000", "f00001", ...).
+[[nodiscard]] std::string family_function_name(std::size_t index);
+
+/// Deterministic per-function seed: splitmix64-style mix of the family seed,
+/// the function index and the generator version. O(1), so functions generate
+/// independently (and in parallel) in any order.
+[[nodiscard]] std::uint64_t family_function_seed(const family_spec& spec, std::size_t index);
+
+/// Generates function \p index of the family. Pure: depends only on \p spec
+/// and \p index.
+///
+/// \throws precondition_error if index >= spec.count
+[[nodiscard]] ntk::logic_network family_network(const family_spec& spec, std::size_t index);
+
+/// Expands the family into portfolio-ready benchmark entries (set
+/// "Family-<name>", function names "f00000"...), each carrying the family id
+/// and its per-function seed. Entry bodies build lazily via
+/// \ref family_network.
+[[nodiscard]] std::vector<benchmark_entry> family_entries(const family_spec& spec);
+
+/// Builds the versioned family manifest: family id, generator version, all
+/// shape parameters, and one record per function (name, seed, PI/PO/gate
+/// counts, hash of the primitives-style Verilog serialization). Function
+/// records are computed in parallel through the task runtime; the document
+/// is byte-identical at any thread count.
+[[nodiscard]] svc::json_value family_manifest(const family_spec& spec);
+
+/// Canonical manifest bytes (\ref family_manifest serialized).
+[[nodiscard]] std::string family_manifest_bytes(const family_spec& spec);
+
+/// 32-hex hash of \ref family_manifest_bytes — the single value two runs
+/// must agree on to prove they generated the same family.
+[[nodiscard]] std::string family_manifest_hash(const family_spec& spec);
+
+/// The three reference families pinned by KATs and used by the CI family
+/// smoke job: "aoi" (AND/OR/INV mix), "xor" (XOR-heavy) and "maj"
+/// (majority-enabled), 1000 functions each.
+[[nodiscard]] std::vector<family_spec> reference_families();
+
+/// Looks up a reference family by name; count/seed can then be overridden.
+[[nodiscard]] std::optional<family_spec> find_reference_family(const std::string& name);
+
+}  // namespace mnt::bm

@@ -32,7 +32,8 @@ enum class size_class : std::uint8_t
 /// One benchmark function inside a set.
 struct benchmark_entry
 {
-    /// Set name: "Trindade16", "Fontes18", "ISCAS85" or "EPFL".
+    /// Set name: "Trindade16", "Fontes18", "ISCAS85", "EPFL", or a synthetic
+    /// family set ("Family-<name>", see families.hpp).
     std::string set;
 
     /// Function name as it appears in Table I.
@@ -42,6 +43,15 @@ struct benchmark_entry
     std::function<ntk::logic_network()> build;
 
     size_class size{size_class::tiny};
+
+    /// Synthetic-family id (32-hex hash of parameters + seed + generator
+    /// version, see \ref mnt::bm::family_id); empty for the curated Table I
+    /// functions. Propagated through the portfolio into catalog records and
+    /// the service's `family` facet.
+    std::string family;
+
+    /// Per-function generator seed within the family; 0 for curated entries.
+    std::uint64_t family_seed{0};
 };
 
 /// The Trindade16 set (7 functions).

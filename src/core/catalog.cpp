@@ -37,7 +37,8 @@ std::string layout_record::label() const
     return prov::label(algorithm, optimizations);
 }
 
-void catalog::add_network(const std::string& set, const std::string& name, ntk::logic_network network)
+void catalog::add_network(const std::string& set, const std::string& name, ntk::logic_network network,
+                          const std::string& family)
 {
     if (find_network(set, name) != nullptr)
     {
@@ -49,6 +50,7 @@ void catalog::add_network(const std::string& set, const std::string& name, ntk::
     record.num_pis = network.num_pis();
     record.num_pos = network.num_pos();
     record.num_gates = network.num_gates();
+    record.family = family;
     record.network = std::move(network);
     network_records.push_back(std::move(record));
 }

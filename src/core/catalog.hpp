@@ -51,6 +51,8 @@ struct network_record
     std::size_t num_pos{};
     /// Logic gate count ("N" of Table I).
     std::size_t num_gates{};
+    /// Synthetic-family id (empty for curated functions).
+    std::string family;
 };
 
 /// A generated layout registered in the catalog — one row of the website's
@@ -75,6 +77,12 @@ struct layout_record
     std::size_t num_crossings{};
     /// Generation wall-clock seconds ("t" column).
     double runtime{};
+    /// Synthetic-family id of the benchmark function (empty for the curated
+    /// Table I functions); the service's `family` facet keys on this.
+    std::string family;
+    /// Per-function generator seed within the family; 0 when not a family
+    /// member.
+    std::uint64_t family_seed{0};
     /// The layout itself (for download/export).
     lyt::gate_level_layout layout;
 
@@ -108,10 +116,12 @@ struct failure_record
 class catalog
 {
 public:
-    /// Registers a benchmark network.
+    /// Registers a benchmark network; \p family carries the synthetic-family
+    /// id (empty for curated functions).
     ///
     /// \throws mnt::precondition_error on duplicate (set, name) pairs
-    void add_network(const std::string& set, const std::string& name, ntk::logic_network network);
+    void add_network(const std::string& set, const std::string& name, ntk::logic_network network,
+                     const std::string& family = {});
 
     /// Registers a generated layout. Derived metrics (width/height/area/
     /// gate counts) are filled in from the layout automatically.

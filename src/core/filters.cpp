@@ -51,6 +51,11 @@ std::vector<const layout_record*> apply_filter(const catalog& cat, const filter_
         {
             continue;
         }
+        if (!query.families.empty() &&
+            std::find(query.families.cbegin(), query.families.cend(), r.family) == query.families.cend())
+        {
+            continue;
+        }
         const auto has_all_opts = std::all_of(
             query.required_optimizations.cbegin(), query.required_optimizations.cend(),
             [&](const std::string& opt)
@@ -107,6 +112,10 @@ facet_counts compute_facets(const std::vector<const layout_record*>& selection)
         for (const auto& opt : r->optimizations)
         {
             ++facets.per_optimization[opt];
+        }
+        if (!r->family.empty())
+        {
+            ++facets.per_family[r->family];
         }
     }
     return facets;

@@ -40,6 +40,11 @@ struct filter_query
     /// "45°").
     std::vector<std::string> required_optimizations;
 
+    /// Synthetic-family ids to include (matches \ref layout_record::family;
+    /// curated layouts have an empty family and never match a non-empty
+    /// constraint).
+    std::vector<std::string> families;
+
     /// Keep only the area-minimal layout per (set, function, library) —
     /// the "Most optimal: Best" switch of the web interface.
     bool best_only{false};
@@ -74,6 +79,9 @@ struct facet_counts
     std::map<std::string, std::size_t> per_clocking;
     std::map<std::string, std::size_t> per_algorithm;
     std::map<std::string, std::size_t> per_optimization;
+    /// Synthetic-family histogram; curated layouts (empty family) are not
+    /// counted.
+    std::map<std::string, std::size_t> per_family;
 };
 
 /// Computes facet histograms over \p selection.

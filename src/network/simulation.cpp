@@ -1,6 +1,7 @@
 #include "network/simulation.hpp"
 
 #include "common/types.hpp"
+#include "verification/simd/simd.hpp"
 
 #include <algorithm>
 #include <bit>
@@ -138,6 +139,53 @@ std::vector<std::uint64_t> simulate_word(const logic_network& network, const std
     return out;
 }
 
+std::vector<std::uint64_t> simulate_rows(const logic_network& network, const std::vector<std::uint64_t>& pi_rows,
+                                         const std::size_t n)
+{
+    if (pi_rows.size() != network.num_pis() * n)
+    {
+        throw precondition_error{"simulate_rows: num_pis * n input words required"};
+    }
+
+    const auto& kernel = simd::kernels();
+
+    std::vector<std::uint64_t> values(network.size() * n, 0ull);
+    std::size_t pi_index = 0;
+
+    network.foreach_node(
+        [&](const logic_network::node node)
+        {
+            const auto t = network.type(node);
+            auto* row = values.data() + static_cast<std::size_t>(node) * n;
+            switch (t)
+            {
+                case gate_type::const0: break;  // already zero-initialized
+                case gate_type::const1: std::fill_n(row, n, ~0ull); break;
+                case gate_type::pi:
+                    std::copy_n(pi_rows.data() + pi_index * n, n, row);
+                    ++pi_index;
+                    break;
+                default:
+                {
+                    const auto fis = network.fanins(node);
+                    const auto* a = fis.size() > 0 ? values.data() + static_cast<std::size_t>(fis[0]) * n : nullptr;
+                    const auto* b = fis.size() > 1 ? values.data() + static_cast<std::size_t>(fis[1]) * n : nullptr;
+                    const auto* c = fis.size() > 2 ? values.data() + static_cast<std::size_t>(fis[2]) * n : nullptr;
+                    kernel.gate_row(t, row, a, b, c, n);
+                    break;
+                }
+            }
+        });
+
+    std::vector<std::uint64_t> out;
+    out.reserve(network.num_pos() * n);
+    network.foreach_po(
+        [&](const logic_network::node po)
+        { out.insert(out.end(), values.cbegin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(po) * n),
+                     values.cbegin() + static_cast<std::ptrdiff_t>((static_cast<std::size_t>(po) + 1u) * n)); });
+    return out;
+}
+
 std::vector<truth_table> simulate_truth_tables(const logic_network& network)
 {
     const auto k = network.num_pis();
@@ -150,31 +198,46 @@ std::vector<truth_table> simulate_truth_tables(const logic_network& network)
     const auto num_words = std::max<std::uint64_t>(1, total_bits / 64);
 
     std::vector<truth_table> tables(network.num_pos(), truth_table{k});
-    std::vector<std::uint64_t> pi_words(k, 0ull);
 
-    for (std::uint64_t w = 0; w < num_words; ++w)
+    // row-batched: evaluate up to `block_words` truth-table words per
+    // topological pass through the simd kernels. Bit-identical to the former
+    // one-word-per-pass loop (same variable patterns, pure bitwise kernels).
+    constexpr std::uint64_t block_words = 256;
+    std::vector<std::uint64_t> pi_rows;
+
+    for (std::uint64_t w0 = 0; w0 < num_words; w0 += block_words)
     {
+        const auto n = static_cast<std::size_t>(std::min(block_words, num_words - w0));
+        pi_rows.assign(k * n, 0ull);
+
         // variable v pattern within a word of 64 assignments starting at w*64
         for (std::size_t v = 0; v < k; ++v)
         {
+            auto* row = pi_rows.data() + v * n;
             if (v < 6)
             {
                 static constexpr std::uint64_t patterns[6] = {0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull,
                                                               0xf0f0f0f0f0f0f0f0ull, 0xff00ff00ff00ff00ull,
                                                               0xffff0000ffff0000ull, 0xffffffff00000000ull};
-                pi_words[v] = patterns[v];
+                std::fill_n(row, n, patterns[v]);
             }
             else
             {
-                const auto base_index = w * 64ull;
-                pi_words[v] = ((base_index >> v) & 1ull) ? ~0ull : 0ull;
+                for (std::size_t i = 0; i < n; ++i)
+                {
+                    const auto base_index = (w0 + i) * 64ull;
+                    row[i] = ((base_index >> v) & 1ull) ? ~0ull : 0ull;
+                }
             }
         }
 
-        const auto po_words = simulate_word(network, pi_words);
-        for (std::size_t o = 0; o < po_words.size(); ++o)
+        const auto po_rows = simulate_rows(network, pi_rows, n);
+        for (std::size_t o = 0; o < network.num_pos(); ++o)
         {
-            tables[o].words()[w] = po_words[o];
+            for (std::size_t i = 0; i < n; ++i)
+            {
+                tables[o].words()[w0 + i] = po_rows[o * n + i];
+            }
         }
     }
 

@@ -100,7 +100,7 @@ job_products run_job_into(layout_store& sink, const layout_store* cache, const b
         sink.has_network(entry.set, entry.name) || (cache != nullptr && cache->has_network(entry.set, entry.name));
     if (!network_known)
     {
-        sink.put_network(entry.set, entry.name, network);
+        sink.put_network(entry.set, entry.name, network, entry.family);
         ++products.networks_added;
     }
 
@@ -152,6 +152,8 @@ job_products run_job_into(layout_store& sink, const layout_store* cache, const b
         record.algorithm = r.algorithm;
         record.optimizations = r.optimizations;
         record.runtime = options.deterministic ? 0.0 : r.runtime;
+        record.family = entry.family;
+        record.family_seed = entry.family_seed;
         record.layout = r.layout;
         const auto blob = sink.put_layout(record);
         if (!blob.empty())

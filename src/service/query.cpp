@@ -5,6 +5,7 @@
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <tuple>
 
@@ -148,6 +149,14 @@ json_value row_to_json(const cat::layout_record& r, const std::string& id)
     row.set("wires", json_value{static_cast<std::uint64_t>(r.num_wires)});
     row.set("crossings", json_value{static_cast<std::uint64_t>(r.num_crossings)});
     row.set("runtime_s", json_value{r.runtime});
+    if (!r.family.empty())
+    {
+        row.set("family", json_value{r.family});
+        // hex string: 64-bit seeds do not fit a JSON double losslessly
+        char seed_hex[19];
+        std::snprintf(seed_hex, sizeof seed_hex, "0x%016llx", static_cast<unsigned long long>(r.family_seed));
+        row.set("family_seed", json_value{std::string{seed_hex}});
+    }
     return row;
 }
 
@@ -200,6 +209,7 @@ std::string page_query::cache_key() const
     append_list(key, "|clk=", filter.clockings);
     append_list(key, "|alg=", filter.algorithms);
     append_list(key, "|opt=", filter.required_optimizations);
+    append_list(key, "|fam=", filter.families);
     key += filter.best_only ? "|best=1" : "|best=0";
     key += std::string{"|sort="} + sort_key_name(sort);
     key += order == sort_order::ascending ? "|ord=asc" : "|ord=desc";
@@ -248,6 +258,13 @@ page_query page_query::from_json(const json_value& document)
             for (const auto& optimization : value.as_array())
             {
                 query.filter.required_optimizations.push_back(optimization.as_string());
+            }
+        }
+        else if (name == "families")
+        {
+            for (const auto& family : value.as_array())
+            {
+                query.filter.families.push_back(family.as_string());
             }
         }
         else if (name == "best_only")
@@ -326,6 +343,13 @@ page_query page_query::from_query_string(const std::string_view query_string)
             for (auto& optimization : split_commas(value))
             {
                 query.filter.required_optimizations.push_back(std::move(optimization));
+            }
+        }
+        else if (key == "family")
+        {
+            for (auto& family : split_commas(value))
+            {
+                query.filter.families.push_back(std::move(family));
             }
         }
         else if (key == "best")
@@ -467,6 +491,10 @@ query_engine::query_engine(const cat::catalog& cat, std::vector<std::string> ids
         by_clocking[r.clocking].push_back(i);
         by_algorithm[r.algorithm].push_back(i);
         by_library[static_cast<std::size_t>(r.library)].push_back(i);
+        if (!r.family.empty())
+        {
+            by_family[r.family].push_back(i);
+        }
         for (const auto& opt : r.optimizations)
         {
             auto& postings = by_optimization[opt];
@@ -552,6 +580,10 @@ std::vector<const cat::layout_record*> query_engine::filter(const cat::filter_qu
     if (!query.algorithms.empty())
     {
         union_constraint(by_algorithm, query.algorithms);
+    }
+    if (!query.families.empty())
+    {
+        union_constraint(by_family, query.families);
     }
     for (const auto& opt : query.required_optimizations)
     {
@@ -703,7 +735,8 @@ const cat::catalog& query_engine::catalog() const noexcept
 
 std::size_t query_engine::num_index_terms() const noexcept
 {
-    return by_set.size() + by_name.size() + by_clocking.size() + by_algorithm.size() + by_optimization.size() + 2;
+    return by_set.size() + by_name.size() + by_clocking.size() + by_algorithm.size() + by_optimization.size() +
+           by_family.size() + 2;
 }
 
 json_value page_to_json(const result_page& page)
@@ -720,7 +753,7 @@ json_value page_to_json(const result_page& page)
     document.set("results", std::move(rows));
     const auto has_facets = !page.facets.per_set.empty() || !page.facets.per_library.empty() ||
                             !page.facets.per_clocking.empty() || !page.facets.per_algorithm.empty() ||
-                            !page.facets.per_optimization.empty();
+                            !page.facets.per_optimization.empty() || !page.facets.per_family.empty();
     if (has_facets || page.total == 0)
     {
         auto facets = json_value::make_object();
@@ -729,6 +762,7 @@ json_value page_to_json(const result_page& page)
         facets.set("clockings", counts_to_json(page.facets.per_clocking));
         facets.set("algorithms", counts_to_json(page.facets.per_algorithm));
         facets.set("optimizations", counts_to_json(page.facets.per_optimization));
+        facets.set("families", counts_to_json(page.facets.per_family));
         document.set("facets", std::move(facets));
     }
     return document;

@@ -82,6 +82,7 @@ struct page_query
     /// {"set": "Trindade16", "name": "2:1 MUX",
     ///  "libraries": ["QCA ONE"], "clockings": ["USE"],
     ///  "algorithms": ["exact"], "optimizations": ["PLO"],
+    ///  "families": ["<32-hex family id>"],
     ///  "best_only": false, "sort": "area", "order": "asc",
     ///  "offset": 0, "limit": 50, "facets": true}
     /// \endcode
@@ -92,9 +93,9 @@ struct page_query
     [[nodiscard]] static page_query from_json(const json_value& document);
 
     /// Parses an URL query string (`set=...&library=A,B&sort=area&...`).
-    /// Keys: set, name, library, clocking, algorithm, opt, best, sort,
-    /// order, offset, limit, facets. Multi-value facets accept both comma
-    /// lists and repeated keys. %XX and '+' decoding applied.
+    /// Keys: set, name, library, clocking, algorithm, opt, family, best,
+    /// sort, order, offset, limit, facets. Multi-value facets accept both
+    /// comma lists and repeated keys. %XX and '+' decoding applied.
     ///
     /// \throws mnt::mnt_error on unknown keys or invalid values
     [[nodiscard]] static page_query from_query_string(std::string_view query_string);
@@ -159,7 +160,8 @@ private:
     std::map<std::string, posting_list> by_clocking;
     std::map<std::string, posting_list> by_algorithm;
     std::map<std::string, posting_list> by_optimization;
-    std::array<posting_list, 2> by_library;  ///< indexed by gate_library_kind
+    std::map<std::string, posting_list> by_family;  ///< synthetic families only
+    std::array<posting_list, 2> by_library;         ///< indexed by gate_library_kind
 
     /// canonical_rank[i] = position of record i in canonical order.
     std::vector<std::uint32_t> canonical_rank;
@@ -173,10 +175,13 @@ private:
 ///                "clocking": ..., "algorithm": ..., "optimizations": [...],
 ///                "label": ..., "width": w, "height": h, "area": a,
 ///                "gates": g, "wires": w, "crossings": c,
-///                "runtime_s": t}, ... ],
+///                "runtime_s": t, "family": ..., "family_seed": ...}, ... ],
 ///  "facets": {"sets": {...}, "libraries": {...}, "clockings": {...},
-///             "algorithms": {...}, "optimizations": {...}}}
+///             "algorithms": {...}, "optimizations": {...},
+///             "families": {...}}}
 /// \endcode
+///
+/// "family"/"family_seed" appear only on synthetic-family rows.
 ///
 /// The "facets" member is present only when the page carries facets.
 [[nodiscard]] json_value page_to_json(const result_page& page);

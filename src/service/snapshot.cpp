@@ -45,6 +45,10 @@ std::string render_benchmarks_json(const query_engine& engine)
         row.set("inputs", json_value{static_cast<std::uint64_t>(n.num_pis)});
         row.set("outputs", json_value{static_cast<std::uint64_t>(n.num_pos)});
         row.set("gates", json_value{static_cast<std::uint64_t>(n.num_gates)});
+        if (!n.family.empty())
+        {
+            row.set("family", json_value{n.family});
+        }
         const auto found = layout_counts.find({n.benchmark_set, n.benchmark_name});
         row.set("layouts", json_value{static_cast<std::uint64_t>(found != layout_counts.cend() ? found->second : 0)});
         rows.push_back(std::move(row));

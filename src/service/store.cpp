@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <tuple>
@@ -65,6 +67,20 @@ std::vector<std::string> strings_from_json(const json_value& array)
         values.push_back(element.as_string());
     }
     return values;
+}
+
+/// 64-bit seeds do not survive the manifest's double-backed JSON numbers,
+/// so they are stored as "0x%016llx" hex strings.
+std::string hex_u64(const std::uint64_t value)
+{
+    char buffer[19];
+    std::snprintf(buffer, sizeof buffer, "0x%016llx", static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+std::uint64_t u64_from_hex(const std::string& text)
+{
+    return std::strtoull(text.c_str(), nullptr, 16);
 }
 
 }  // namespace
@@ -300,6 +316,10 @@ merge_stats layout_store::absorb_manifest(const json_value& manifest, const std:
                 n.inputs = entry.at("inputs").as_u64();
                 n.outputs = entry.at("outputs").as_u64();
                 n.gates = entry.at("gates").as_u64();
+                if (const auto* family_json = entry.find("family"); family_json != nullptr)
+                {
+                    n.family = family_json->as_string();
+                }
                 n.blob = entry.at("blob").as_string();
                 if (!network_names.insert(n.set + "/" + n.name).second)
                 {
@@ -336,6 +356,14 @@ merge_stats layout_store::absorb_manifest(const json_value& manifest, const std:
                 l.wires = entry.at("wires").as_u64();
                 l.crossings = entry.at("crossings").as_u64();
                 l.runtime_s = entry.at("runtime_s").as_number();
+                if (const auto* family_json = entry.find("family"); family_json != nullptr)
+                {
+                    l.family = family_json->as_string();
+                }
+                if (const auto* seed_json = entry.find("family_seed"); seed_json != nullptr)
+                {
+                    l.family_seed = u64_from_hex(seed_json->as_string());
+                }
                 l.blob = entry.at("blob").as_string();
                 l.key = entry.at("cache_key").as_string();
                 if (!keys.insert(l.key).second)
@@ -440,7 +468,7 @@ merge_stats layout_store::merge_manifest_file(const std::filesystem::path& path)
 }
 
 std::string layout_store::put_network(const std::string& set, const std::string& name,
-                                      const ntk::logic_network& network)
+                                      const ntk::logic_network& network, const std::string& family)
 {
     if (has_network(set, name))
     {
@@ -467,6 +495,7 @@ std::string layout_store::put_network(const std::string& set, const std::string&
     n.inputs = network.num_pis();
     n.outputs = network.num_pos();
     n.gates = network.num_gates();
+    n.family = family;
     n.blob = hash;
     network_names.insert(set + "/" + name);
     networks.push_back(std::move(n));
@@ -510,6 +539,8 @@ std::string layout_store::put_layout(const cat::layout_record& record)
     l.wires = record.layout.num_wires();
     l.crossings = record.layout.num_crossings();
     l.runtime_s = record.runtime;
+    l.family = record.family;
+    l.family_seed = record.family_seed;
     l.blob = hash;
     l.key = key;
     keys.insert(std::move(key));
@@ -596,6 +627,10 @@ void layout_store::save()
         entry.set("inputs", json_value{n.inputs});
         entry.set("outputs", json_value{n.outputs});
         entry.set("gates", json_value{n.gates});
+        if (!n.family.empty())
+        {
+            entry.set("family", json_value{n.family});
+        }
         entry.set("blob", json_value{n.blob});
         networks_json.push_back(std::move(entry));
     }
@@ -618,6 +653,11 @@ void layout_store::save()
         entry.set("wires", json_value{l.wires});
         entry.set("crossings", json_value{l.crossings});
         entry.set("runtime_s", json_value{l.runtime_s});
+        if (!l.family.empty())
+        {
+            entry.set("family", json_value{l.family});
+            entry.set("family_seed", json_value{hex_u64(l.family_seed)});
+        }
         entry.set("blob", json_value{l.blob});
         entry.set("cache_key", json_value{l.key});
         layouts_json.push_back(std::move(entry));
@@ -732,7 +772,7 @@ store_snapshot layout_store::load()
                 continue;
             }
             auto network = io::read_verilog_string(bytes, n.name);
-            snapshot.catalog.add_network(n.set, n.name, std::move(network));
+            snapshot.catalog.add_network(n.set, n.name, std::move(network), n.family);
         }
         catch (const std::exception& e)
         {
@@ -763,6 +803,8 @@ store_snapshot layout_store::load()
             record.algorithm = l.algorithm;
             record.optimizations = l.optimizations;
             record.runtime = l.runtime_s;
+            record.family = l.family;
+            record.family_seed = l.family_seed;
             record.layout = io::read_fgl_string(bytes);
             if (record.layout.area() != l.area || record.layout.num_gates() != l.gates ||
                 record.layout.num_wires() != l.wires)

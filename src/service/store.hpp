@@ -131,8 +131,11 @@ public:
     // ------------------------------------------------------------- ingest
 
     /// Stores \p network as a .v blob plus a manifest entry. Idempotent per
-    /// (set, name). Returns the blob's content hash.
-    std::string put_network(const std::string& set, const std::string& name, const ntk::logic_network& network);
+    /// (set, name). \p family is the synthetic-family id the network was
+    /// generated from (empty for curated benchmarks). Returns the blob's
+    /// content hash.
+    std::string put_network(const std::string& set, const std::string& name, const ntk::logic_network& network,
+                            const std::string& family = {});
 
     /// Stores \p record's layout as an .fgl blob plus a manifest entry with
     /// full provenance. Idempotent per cache key (a duplicate is skipped).
@@ -221,6 +224,11 @@ private:
         std::uint64_t wires{};
         std::uint64_t crossings{};
         double runtime_s{};
+        /// Synthetic-family id (empty for curated benchmarks). Family fields
+        /// are emitted to the manifest only when non-empty, so stores without
+        /// synthetic families keep their exact pre-family byte layout.
+        std::string family;
+        std::uint64_t family_seed{};
         std::string blob;
         std::string key;
     };
@@ -232,6 +240,7 @@ private:
         std::uint64_t inputs{};
         std::uint64_t outputs{};
         std::uint64_t gates{};
+        std::string family;  ///< synthetic-family id, empty for curated
         std::string blob;
     };
 

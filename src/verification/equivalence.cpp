@@ -34,16 +34,6 @@ std::vector<std::string> po_names(const logic_network& network)
     return names;
 }
 
-/// Builds per-network PI word vectors from a canonical name -> word map.
-std::vector<std::uint64_t> words_for(const logic_network& network,
-                                     const std::unordered_map<std::string, std::uint64_t>& by_name)
-{
-    std::vector<std::uint64_t> words;
-    words.reserve(network.num_pis());
-    network.foreach_pi([&](const logic_network::node pi) { words.push_back(by_name.at(network.name_of(pi))); });
-    return words;
-}
-
 /// Canonical variable pattern for variable index v within 64-assignment word w.
 std::uint64_t variable_pattern(const std::size_t v, const std::uint64_t w)
 {
@@ -101,36 +91,69 @@ equivalence_result check_equivalence(const logic_network& a, const logic_network
     const bool formal = k <= options.formal_threshold;
     result.formal = formal;
 
-    const auto compare_round = [&](const std::unordered_map<std::string, std::uint64_t>& by_name,
+    // Row-batched compare: `canonical_rows` holds one n-word row per PI in
+    // a_pis order; both networks are simulated once per block through the
+    // simd kernels, then words are compared in word-major order so the first
+    // reported mismatch matches what the former one-word-per-round loop
+    // produced.
+    const auto compare_block = [&](const std::vector<std::uint64_t>& canonical_rows, const std::size_t n,
                                    const std::uint64_t mask) -> bool
     {
-        const auto a_out = ntk::simulate_word(a, words_for(a, by_name));
-        const auto b_out = ntk::simulate_word(b, words_for(b, by_name));
-        for (const auto& [name, ai] : a_po_index)
+        std::unordered_map<std::string, const std::uint64_t*> row_by_name;
+        row_by_name.reserve(k);
+        for (std::size_t v = 0; v < k; ++v)
         {
-            const auto bi = b_po_index.at(name);
-            if ((a_out[ai] & mask) != (b_out[bi] & mask))
+            row_by_name.emplace(a_pis[v], canonical_rows.data() + v * n);
+        }
+        const auto rows_for = [&](const logic_network& network)
+        {
+            std::vector<std::uint64_t> rows;
+            rows.reserve(network.num_pis() * n);
+            network.foreach_pi(
+                [&](const logic_network::node pi)
+                {
+                    const auto* row = row_by_name.at(network.name_of(pi));
+                    rows.insert(rows.end(), row, row + n);
+                });
+            return rows;
+        };
+        const auto a_out = ntk::simulate_rows(a, rows_for(a), n);
+        const auto b_out = ntk::simulate_rows(b, rows_for(b), n);
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            for (const auto& [name, ai] : a_po_index)
             {
-                result.reason = "output '" + name + "' differs";
-                return false;
+                const auto bi = b_po_index.at(name);
+                if ((a_out[ai * n + i] & mask) != (b_out[bi * n + i] & mask))
+                {
+                    result.reason = "output '" + name + "' differs";
+                    return false;
+                }
             }
         }
         return true;
     };
+
+    constexpr std::uint64_t block_words = 256;
+    std::vector<std::uint64_t> canonical_rows;
 
     if (formal)
     {
         const auto total_bits = 1ull << k;
         const auto num_words = std::max<std::uint64_t>(1, total_bits / 64);
         const auto mask = total_bits < 64 ? (1ull << total_bits) - 1ull : ~0ull;
-        for (std::uint64_t w = 0; w < num_words; ++w)
+        for (std::uint64_t w0 = 0; w0 < num_words; w0 += block_words)
         {
-            std::unordered_map<std::string, std::uint64_t> by_name;
+            const auto n = static_cast<std::size_t>(std::min(block_words, num_words - w0));
+            canonical_rows.assign(k * n, 0ull);
             for (std::size_t v = 0; v < k; ++v)
             {
-                by_name.emplace(a_pis[v], variable_pattern(v, w));
+                for (std::size_t i = 0; i < n; ++i)
+                {
+                    canonical_rows[v * n + i] = variable_pattern(v, w0 + i);
+                }
             }
-            if (!compare_round(by_name, mask))
+            if (!compare_block(canonical_rows, n, mask))
             {
                 return result;
             }
@@ -139,14 +162,21 @@ equivalence_result check_equivalence(const logic_network& a, const logic_network
     else
     {
         std::mt19937_64 rng{options.seed};
-        for (std::size_t r = 0; r < options.random_rounds; ++r)
+        for (std::size_t r0 = 0; r0 < options.random_rounds; r0 += block_words)
         {
-            std::unordered_map<std::string, std::uint64_t> by_name;
-            for (const auto& name : a_pis)
+            const auto n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(block_words, static_cast<std::uint64_t>(options.random_rounds - r0)));
+            canonical_rows.assign(k * n, 0ull);
+            // round-major draw order: identical rng consumption to the former
+            // one-round-at-a-time loop (one word per PI per round)
+            for (std::size_t i = 0; i < n; ++i)
             {
-                by_name.emplace(name, rng());
+                for (std::size_t v = 0; v < k; ++v)
+                {
+                    canonical_rows[v * n + i] = rng();
+                }
             }
-            if (!compare_round(by_name, ~0ull))
+            if (!compare_block(canonical_rows, n, ~0ull))
             {
                 return result;
             }

@@ -1,0 +1,115 @@
+/// \file simd.cpp
+/// \brief Backend resolution and dispatch for the row kernels.
+
+#include "verification/simd/simd.hpp"
+
+#include "verification/simd/simd_tables.hpp"
+
+#include "common/types.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace mnt::simd
+{
+
+namespace
+{
+
+/// -1 = not resolved yet; otherwise a backend value.
+std::atomic<int> resolved{-1};
+
+[[nodiscard]] bool cpu_has_avx2() noexcept
+{
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+/// Resolves the default backend: MNT_SIMD env override first (`scalar`,
+/// `avx2`, anything else = auto), then CPU detection. An `avx2` request on a
+/// machine that cannot run it degrades to scalar — verification must work,
+/// not crash, under a stale environment; tests that need a hard guarantee
+/// use set_backend, which throws instead.
+[[nodiscard]] backend resolve_default()
+{
+    if (const char* env = std::getenv("MNT_SIMD"); env != nullptr)
+    {
+        const std::string value{env};
+        if (value == "scalar")
+        {
+            return backend::scalar;
+        }
+        if (value == "avx2")
+        {
+            return avx2_supported() ? backend::avx2 : backend::scalar;
+        }
+    }
+    return avx2_supported() ? backend::avx2 : backend::scalar;
+}
+
+}  // namespace
+
+std::string_view backend_name(const backend b) noexcept
+{
+    return b == backend::avx2 ? "avx2" : "scalar";
+}
+
+bool avx2_supported() noexcept
+{
+    return detail::avx2_compiled && cpu_has_avx2();
+}
+
+const kernel_table& kernels_for(const backend b)
+{
+    if (b == backend::avx2)
+    {
+        if (!avx2_supported())
+        {
+            throw precondition_error{"simd::kernels_for: avx2 backend is not supported on this machine"};
+        }
+        return detail::avx2_kernels;
+    }
+    return detail::scalar_kernels;
+}
+
+const kernel_table& kernels()
+{
+    return active_backend() == backend::avx2 ? detail::avx2_kernels : detail::scalar_kernels;
+}
+
+backend active_backend()
+{
+    auto current = resolved.load(std::memory_order_acquire);
+    if (current < 0)
+    {
+        const auto def = resolve_default();
+        current = static_cast<int>(def);
+        int expected = -1;
+        // a concurrent first use resolves to the same value; keep theirs
+        if (!resolved.compare_exchange_strong(expected, current, std::memory_order_acq_rel))
+        {
+            current = expected;
+        }
+    }
+    return static_cast<backend>(current);
+}
+
+void set_backend(const backend b)
+{
+    if (b == backend::avx2 && !avx2_supported())
+    {
+        throw precondition_error{"simd::set_backend: avx2 backend is not supported on this machine"};
+    }
+    resolved.store(static_cast<int>(b), std::memory_order_release);
+}
+
+void reset_backend()
+{
+    resolved.store(-1, std::memory_order_release);
+}
+
+}  // namespace mnt::simd

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file simd.hpp
+/// \brief Row-batched verification kernels with runtime SIMD dispatch.
+///
+/// The wave simulator, the truth-table equivalence checker and the DRC scan
+/// all reduce to the same inner loop: evaluate one gate function lane-wise
+/// over rows of packed 64-assignment words. This module provides that loop
+/// in two interchangeable backends:
+///
+///  - \b scalar: a plain loop over \ref mnt::ntk::evaluate_gate_word. This is
+///    the reference implementation; it is correct by construction because it
+///    calls the exact function the per-word simulators use.
+///  - \b avx2: the same loop four words at a time with AVX2 intrinsics,
+///    compiled in a dedicated translation unit with `-mavx2`.
+///
+/// Both backends are bit-identical by contract: every kernel is pure bitwise
+/// arithmetic, so vectorization cannot change results (no floating point, no
+/// reassociation hazards). The contract is enforced, not assumed — the
+/// differential property suite in tests/test_properties_simd.cpp pits the two
+/// backends against each other on randomized rows, networks and layouts.
+///
+/// Backend selection happens once at first use: the `MNT_SIMD` environment
+/// variable (`scalar`, `avx2` or `auto`) takes precedence, otherwise AVX2 is
+/// used when the CPU supports it. Tests may force a backend with
+/// \ref set_backend.
+
+#include "network/gate_type.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mnt::simd
+{
+
+/// Available kernel backends.
+enum class backend : std::uint8_t
+{
+    /// Reference loop over \ref mnt::ntk::evaluate_gate_word.
+    scalar = 0,
+    /// AVX2 256-bit lanes (4 words per step), scalar tail.
+    avx2
+};
+
+/// Stable lower-case identifier for \p b ("scalar"/"avx2").
+[[nodiscard]] std::string_view backend_name(backend b) noexcept;
+
+/// True when the executing CPU (and this build) can run the AVX2 backend.
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// Function table of the row kernels. All kernels tolerate n == 0; row
+/// pointers may alias only if dst == a (in-place buffer evaluation is used by
+/// the wave simulator's PI latch).
+struct kernel_table
+{
+    /// dst[i] = evaluate_gate_word(t, a[i], b ? b[i] : 0, c ? c[i] : 0).
+    /// \p b and \p c may be nullptr for arities below their position.
+    void (*gate_row)(ntk::gate_type t, std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                     const std::uint64_t* c, std::size_t n);
+
+    /// Returns the smallest i with a[i] != b[i], or n if the rows are equal.
+    std::size_t (*mismatch)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+};
+
+/// Kernel table for a specific backend. Requesting \ref backend::avx2 on a
+/// machine without AVX2 support throws precondition_error.
+[[nodiscard]] const kernel_table& kernels_for(backend b);
+
+/// Kernel table of the active backend (resolved once; see file comment).
+[[nodiscard]] const kernel_table& kernels();
+
+/// The currently active backend.
+[[nodiscard]] backend active_backend();
+
+/// Forces the active backend (test hook; pairs with \ref reset_backend).
+/// \throws precondition_error if \p b is not supported on this machine
+void set_backend(backend b);
+
+/// Reverts \ref set_backend to the MNT_SIMD/auto-detected default.
+void reset_backend();
+
+}  // namespace mnt::simd

@@ -1,0 +1,180 @@
+/// \file simd_avx2.cpp
+/// \brief AVX2 row kernels: four 64-assignment words per step.
+///
+/// This is the only translation unit in the repository compiled with
+/// `-mavx2` (see src/CMakeLists.txt); nothing here may be inlined into
+/// generic code, which is why the kernels are reached exclusively through
+/// the function-pointer table in \ref mnt::simd::kernels.
+///
+/// Every kernel is pure bitwise arithmetic over uint64 lanes, so the vector
+/// and scalar paths are bit-identical by construction; the differential
+/// property suite verifies this on randomized inputs rather than trusting
+/// the argument.
+
+#include "verification/simd/simd_tables.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace mnt::simd::detail
+{
+
+namespace
+{
+
+#if defined(__AVX2__)
+
+using ntk::gate_type;
+
+[[nodiscard]] inline __m256i load(const std::uint64_t* p) noexcept
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(std::uint64_t* p, const __m256i v) noexcept
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void gate_row_avx2(const gate_type t, std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                   const std::uint64_t* c, const std::size_t n)
+{
+    const auto ones = _mm256_set1_epi64x(-1);
+    std::size_t i = 0;
+
+    // vector body: one case per function, 4 words per step. Types that the
+    // tail handles via evaluate_gate_word anyway (constants, none, pi) are
+    // cheap enough that vectorizing them would only add code.
+    switch (t)
+    {
+        case gate_type::po:
+        case gate_type::buf:
+        case gate_type::fanout:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, load(a + i));
+            }
+            break;
+        case gate_type::inv:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_xor_si256(load(a + i), ones));
+            }
+            break;
+        case gate_type::and2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_and_si256(load(a + i), load(b + i)));
+            }
+            break;
+        case gate_type::nand2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_xor_si256(_mm256_and_si256(load(a + i), load(b + i)), ones));
+            }
+            break;
+        case gate_type::or2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_or_si256(load(a + i), load(b + i)));
+            }
+            break;
+        case gate_type::nor2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_xor_si256(_mm256_or_si256(load(a + i), load(b + i)), ones));
+            }
+            break;
+        case gate_type::xor2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_xor_si256(load(a + i), load(b + i)));
+            }
+            break;
+        case gate_type::xnor2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_xor_si256(_mm256_xor_si256(load(a + i), load(b + i)), ones));
+            }
+            break;
+        case gate_type::lt2:
+            // ~a & b == andnot(a, b)
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_andnot_si256(load(a + i), load(b + i)));
+            }
+            break;
+        case gate_type::gt2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_andnot_si256(load(b + i), load(a + i)));
+            }
+            break;
+        case gate_type::le2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_or_si256(_mm256_xor_si256(load(a + i), ones), load(b + i)));
+            }
+            break;
+        case gate_type::ge2:
+            for (; i + 4 <= n; i += 4)
+            {
+                store(dst + i, _mm256_or_si256(load(a + i), _mm256_xor_si256(load(b + i), ones)));
+            }
+            break;
+        case gate_type::maj3:
+            for (; i + 4 <= n; i += 4)
+            {
+                const auto va = load(a + i);
+                const auto vb = load(b + i);
+                const auto vc = load(c + i);
+                store(dst + i, _mm256_or_si256(_mm256_or_si256(_mm256_and_si256(va, vb), _mm256_and_si256(va, vc)),
+                                               _mm256_and_si256(vb, vc)));
+            }
+            break;
+        default: break;
+    }
+
+    // scalar tail — also the full body for non-vectorized types
+    for (; i < n; ++i)
+    {
+        dst[i] = ntk::evaluate_gate_word(t, a != nullptr ? a[i] : 0ull, b != nullptr ? b[i] : 0ull,
+                                         c != nullptr ? c[i] : 0ull);
+    }
+}
+
+std::size_t mismatch_avx2(const std::uint64_t* a, const std::uint64_t* b, const std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+    {
+        const auto eq = _mm256_cmpeq_epi64(load(a + i), load(b + i));
+        if (_mm256_movemask_epi8(eq) != -1)
+        {
+            break;  // the exact lane is found by the scalar loop below
+        }
+    }
+    for (; i < n; ++i)
+    {
+        if (a[i] != b[i])
+        {
+            return i;
+        }
+    }
+    return n;
+}
+
+#endif  // __AVX2__
+
+}  // namespace
+
+#if defined(__AVX2__)
+const kernel_table avx2_kernels{&gate_row_avx2, &mismatch_avx2};
+const bool avx2_compiled = true;
+#else
+const kernel_table avx2_kernels = scalar_kernels;
+const bool avx2_compiled = false;
+#endif
+
+}  // namespace mnt::simd::detail

@@ -1,0 +1,44 @@
+/// \file simd_scalar.cpp
+/// \brief Reference row kernels: plain loops over evaluate_gate_word.
+///
+/// This translation unit is the ground truth of the differential contract —
+/// it must stay a direct per-lane transcription of the per-word simulator
+/// semantics with no cleverness, so that "SIMD == scalar" keeps meaning
+/// "SIMD == the single-word reference path".
+
+#include "verification/simd/simd.hpp"
+#include "verification/simd/simd_tables.hpp"
+
+namespace mnt::simd::detail
+{
+
+namespace
+{
+
+void gate_row_scalar(const ntk::gate_type t, std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                     const std::uint64_t* c, const std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        dst[i] = ntk::evaluate_gate_word(t, a != nullptr ? a[i] : 0ull, b != nullptr ? b[i] : 0ull,
+                                         c != nullptr ? c[i] : 0ull);
+    }
+}
+
+std::size_t mismatch_scalar(const std::uint64_t* a, const std::uint64_t* b, const std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (a[i] != b[i])
+        {
+            return i;
+        }
+    }
+    return n;
+}
+
+}  // namespace
+
+const kernel_table scalar_kernels{&gate_row_scalar, &mismatch_scalar};
+
+}  // namespace mnt::simd::detail

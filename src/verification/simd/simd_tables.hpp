@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file simd_tables.hpp
+/// \brief Internal linkage between the simd backend translation units and
+///        the dispatcher. Not part of the public API.
+
+#include "verification/simd/simd.hpp"
+
+namespace mnt::simd::detail
+{
+
+/// Reference kernels (simd_scalar.cpp).
+extern const kernel_table scalar_kernels;
+
+/// AVX2 kernels (simd_avx2.cpp, compiled with -mavx2). When that TU was
+/// built without AVX2 support (non-x86 target or missing compiler flag) the
+/// table aliases the scalar loops and \ref avx2_compiled is false.
+extern const kernel_table avx2_kernels;
+
+/// True when the avx2 table really contains AVX2 code paths.
+extern const bool avx2_compiled;
+
+}  // namespace mnt::simd::detail

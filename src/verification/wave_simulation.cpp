@@ -4,6 +4,7 @@
 #include "layout/layout_utils.hpp"
 #include "network/gate_type.hpp"
 #include "network/simulation.hpp"
+#include "verification/simd/simd.hpp"
 
 #include <algorithm>
 #include <array>
@@ -136,6 +137,103 @@ wave_result wave_simulate(const gate_level_layout& layout, const std::vector<std
     for (const auto& po : layout.po_tiles())
     {
         result.po_words.push_back(value_of(po));
+        result.po_names.push_back(layout.get(po).io_name);
+    }
+    if (!result.stabilized)
+    {
+        result.settle_ticks = max_ticks;
+    }
+    return result;
+}
+
+wave_block_result wave_simulate_block(const gate_level_layout& layout, const std::vector<std::uint64_t>& pi_rows,
+                                      const std::size_t n, const wave_options& options)
+{
+    if (pi_rows.size() != layout.num_pis() * n)
+    {
+        throw precondition_error{"wave_simulate_block: num_pis * n input words required"};
+    }
+
+    const auto& kernel = simd::kernels();
+
+    const auto w = static_cast<std::size_t>(layout.width());
+    const auto h = static_cast<std::size_t>(layout.height());
+    const auto row_index = [&](const coordinate& c) -> std::size_t
+    { return ((static_cast<std::size_t>(c.z) * h + static_cast<std::size_t>(c.y)) * w + static_cast<std::size_t>(c.x)) *
+             n; };
+
+    // n words per tile; zero-initialized = the reset state
+    std::vector<std::uint64_t> values(2 * w * h * n, 0ull);
+
+    // group tiles by clock zone for fast per-tick iteration (same sorted
+    // order as wave_simulate — lanes must latch identically)
+    std::array<std::vector<coordinate>, 4> by_zone;
+    layout.foreach_tile([&](const coordinate& c, const gate_level_layout::tile_data&)
+                        { by_zone[layout.clock_number(c) % 4].push_back(c); });
+    for (auto& zone : by_zone)
+    {
+        std::sort(zone.begin(), zone.end());
+    }
+
+    // fixed PI rows, addressed like the value grid
+    std::vector<std::uint64_t> pi_values(2 * w * h * n, 0ull);
+    for (std::size_t i = 0; i < layout.pi_tiles().size(); ++i)
+    {
+        std::copy_n(pi_rows.data() + i * n, n, pi_values.data() + row_index(layout.pi_tiles()[i]));
+    }
+
+    const auto max_ticks = options.max_ticks != 0 ? options.max_ticks : 8 * (layout.num_occupied() + 4) + 16;
+
+    wave_block_result result{};
+    std::size_t stable_ticks = 0;
+    std::vector<std::uint64_t> next(n, 0ull);
+
+    for (std::size_t tick = 0; tick < max_ticks; ++tick)
+    {
+        bool changed = false;
+        for (const auto& c : by_zone[tick % 4])
+        {
+            const auto& d = layout.get(c);
+            const std::uint64_t* next_row = nullptr;
+            if (d.type == gate_type::pi)
+            {
+                next_row = pi_values.data() + row_index(c);
+            }
+            else
+            {
+                const auto& in = d.incoming;
+                const auto* a = !in.empty() ? values.data() + row_index(in[0]) : nullptr;
+                const auto* b = in.size() > 1 ? values.data() + row_index(in[1]) : nullptr;
+                const auto* e = in.size() > 2 ? values.data() + row_index(in[2]) : nullptr;
+                kernel.gate_row(d.type, next.data(), a, b, e, n);
+                next_row = next.data();
+            }
+            auto* current = values.data() + row_index(c);
+            if (kernel.mismatch(current, next_row, n) != n)
+            {
+                std::copy_n(next_row, n, current);
+                changed = true;
+            }
+        }
+
+        if (changed)
+        {
+            stable_ticks = 0;
+        }
+        else if (++stable_ticks >= 4)
+        {
+            // one full clock cycle without any change: steady state
+            result.stabilized = true;
+            result.settle_ticks = tick + 1 >= 4 ? tick + 1 - 4 : 0;
+            break;
+        }
+    }
+
+    result.po_rows.reserve(layout.po_tiles().size() * n);
+    for (const auto& po : layout.po_tiles())
+    {
+        const auto* row = values.data() + row_index(po);
+        result.po_rows.insert(result.po_rows.end(), row, row + n);
         result.po_names.push_back(layout.get(po).io_name);
     }
     if (!result.stabilized)
@@ -378,40 +476,71 @@ wave_equivalence_result check_wave_equivalence(const ntk::logic_network& specifi
 
     std::mt19937_64 rng{options.seed};
 
-    for (std::uint64_t round = 0; round < rounds; ++round)
+    // Row-batched: rounds are grouped into blocks and driven through the
+    // specification simulator and the wave simulator as whole rows via the
+    // simd kernels. Word-major comparison preserves the first-mismatch
+    // reporting of the former one-round-at-a-time loop.
+    constexpr std::uint64_t block_rounds = 64;
+
+    for (std::uint64_t r0 = 0; r0 < rounds; r0 += block_rounds)
     {
-        // canonical per-name words for this round
-        std::unordered_map<std::string, std::uint64_t> by_name;
-        for (std::size_t v = 0; v < k; ++v)
+        const auto n = static_cast<std::size_t>(std::min(block_rounds, rounds - r0));
+
+        // canonical per-name rows for this block
+        std::unordered_map<std::string, const std::uint64_t*> row_by_name;
+        std::vector<std::uint64_t> canonical_rows(k * n, 0ull);
+        if (formal)
         {
-            std::uint64_t word{};
-            if (formal)
+            for (std::size_t v = 0; v < k; ++v)
             {
                 static constexpr std::uint64_t patterns[6] = {0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull,
                                                               0xf0f0f0f0f0f0f0f0ull, 0xff00ff00ff00ff00ull,
                                                               0xffff0000ffff0000ull, 0xffffffff00000000ull};
-                word = v < 6 ? patterns[v] : ((((round * 64ull) >> v) & 1ull) ? ~0ull : 0ull);
+                for (std::size_t i = 0; i < n; ++i)
+                {
+                    canonical_rows[v * n + i] =
+                        v < 6 ? patterns[v] : (((((r0 + i) * 64ull) >> v) & 1ull) ? ~0ull : 0ull);
+                }
             }
-            else
+        }
+        else
+        {
+            // round-major draw order: identical rng consumption to the former
+            // per-round loop (one word per PI per round, PI-creation order)
+            for (std::size_t i = 0; i < n; ++i)
             {
-                word = rng();
+                for (std::size_t v = 0; v < k; ++v)
+                {
+                    canonical_rows[v * n + i] = rng();
+                }
             }
-            by_name.emplace(spec_pis[v], word);
+        }
+        row_by_name.reserve(k);
+        for (std::size_t v = 0; v < k; ++v)
+        {
+            row_by_name.emplace(spec_pis[v], canonical_rows.data() + v * n);
         }
 
         // specification outputs
-        std::vector<std::uint64_t> spec_words;
-        specification.foreach_pi([&](const auto pi) { spec_words.push_back(by_name.at(specification.name_of(pi))); });
-        const auto spec_out = ntk::simulate_word(specification, spec_words);
+        std::vector<std::uint64_t> spec_rows;
+        spec_rows.reserve(k * n);
+        specification.foreach_pi(
+            [&](const auto pi)
+            {
+                const auto* row = row_by_name.at(specification.name_of(pi));
+                spec_rows.insert(spec_rows.end(), row, row + n);
+            });
+        const auto spec_out = ntk::simulate_rows(specification, spec_rows, n);
 
         // layout outputs through the wave simulator
-        std::vector<std::uint64_t> layout_words;
-        layout_words.reserve(layout_pis.size());
+        std::vector<std::uint64_t> layout_rows;
+        layout_rows.reserve(layout_pis.size() * n);
         for (const auto& name : layout_pis)
         {
-            layout_words.push_back(by_name.at(name));
+            const auto* row = row_by_name.at(name);
+            layout_rows.insert(layout_rows.end(), row, row + n);
         }
-        const auto wave = wave_simulate(layout, layout_words);
+        const auto wave = wave_simulate_block(layout, layout_rows, n);
         if (!wave.stabilized)
         {
             result.stabilized = false;
@@ -419,18 +548,21 @@ wave_equivalence_result check_wave_equivalence(const ntk::logic_network& specifi
             return result;
         }
 
-        for (std::size_t o = 0; o < wave.po_words.size(); ++o)
+        for (std::size_t i = 0; i < n; ++i)
         {
-            const auto it = spec_po_index.find(wave.po_names[o]);
-            if (it == spec_po_index.cend())
+            for (std::size_t o = 0; o < wave.po_names.size(); ++o)
             {
-                result.reason = "unknown layout output '" + wave.po_names[o] + "'";
-                return result;
-            }
-            if ((wave.po_words[o] & mask) != (spec_out[it->second] & mask))
-            {
-                result.reason = "output '" + wave.po_names[o] + "' differs in steady state";
-                return result;
+                const auto it = spec_po_index.find(wave.po_names[o]);
+                if (it == spec_po_index.cend())
+                {
+                    result.reason = "unknown layout output '" + wave.po_names[o] + "'";
+                    return result;
+                }
+                if ((wave.po_rows[o * n + i] & mask) != (spec_out[it->second * n + i] & mask))
+                {
+                    result.reason = "output '" + wave.po_names[o] + "' differs in steady state";
+                    return result;
+                }
             }
         }
     }

@@ -56,6 +56,40 @@ struct wave_options
                                         const std::vector<std::uint64_t>& pi_words,
                                         const wave_options& options = {});
 
+/// Result of a row-batched wave simulation (\ref wave_simulate_block).
+struct wave_block_result
+{
+    /// Flat row-major PO rows: word \c i of PO \c o at `po_rows[o * n + i]`,
+    /// POs in tile creation order.
+    std::vector<std::uint64_t> po_rows;
+
+    /// PO names aligned with \ref po_rows.
+    std::vector<std::string> po_names;
+
+    /// Ticks until *all* word lanes stopped changing (the max over lanes).
+    std::size_t settle_ticks{0};
+
+    /// False if any lane failed to stabilize within the tick budget.
+    bool stabilized{false};
+};
+
+/// Row-batched variant of \ref wave_simulate: runs \p n 64-assignment words
+/// per PI through the layout in one tick loop, evaluating every tile's
+/// function over whole rows with the active \ref mnt::simd kernels.
+///
+/// Bit-identical to \p n independent \ref wave_simulate runs: tiles latch in
+/// the same zone-major/coordinate order, the kernels are pure bitwise
+/// arithmetic, and the stabilized state is a fixpoint of the tick map — a
+/// lane that settles early is simply re-latched to the same values while
+/// slower lanes catch up.
+///
+/// \param pi_rows flat row-major input rows: word \c i of PI \c p (PI tile
+///                creation order) at `pi_rows[p * n + i]`
+/// \throws mnt::precondition_error if pi_rows.size() != num_pis * n
+[[nodiscard]] wave_block_result wave_simulate_block(const lyt::gate_level_layout& layout,
+                                                    const std::vector<std::uint64_t>& pi_rows, std::size_t n,
+                                                    const wave_options& options = {});
+
 /// Full equivalence check through the wave simulator: PIs/POs are matched
 /// by name against \p specification, assignments are enumerated completely
 /// (<= formal_threshold inputs) or sampled randomly. Catches clocking

@@ -8,6 +8,7 @@
 
 #include "common/taskrt/taskrt.hpp"
 
+#include "benchmarks/families.hpp"
 #include "io/fgl_writer.hpp"
 #include "physical_design/exact.hpp"
 #include "physical_design/input_ordering.hpp"
@@ -193,6 +194,24 @@ TEST_F(ParallelDeterminismTest, ChainSeedsAreDistinctAndStable)
     EXPECT_EQ(seeds.count(42), 0u);     // never the base seed itself
     // different base seeds diverge immediately
     EXPECT_NE(pd::nanoplacer_chain_seed(1, 0), pd::nanoplacer_chain_seed(2, 0));
+}
+
+TEST_F(ParallelDeterminismTest, FamilyManifestIsByteIdenticalAcrossThreadCounts)
+{
+    // the manifest's function records are computed through parallel_for, but
+    // the document is assembled in index order — its *bytes* (and therefore
+    // the manifest hash served to clients) must not depend on the pool size
+    auto spec = *bm::find_reference_family("aoi");
+    spec.count = 64;
+
+    expect_identical_across_thread_counts([&] { return bm::family_manifest_bytes(spec); });
+
+    // and repeatable: a second run at a parallel thread count reproduces the
+    // same hash (the value `mnt_bench_cli families` prints)
+    trt::set_thread_count(2);
+    const auto first = bm::family_manifest_hash(spec);
+    const auto second = bm::family_manifest_hash(spec);
+    EXPECT_EQ(first, second);
 }
 
 TEST_F(ParallelDeterminismTest, RowParallelDrcReportIsOrderInvariant)

@@ -460,8 +460,16 @@ TEST_F(ResilienceTest, CatalogManifestAndBestSelectionUnderInjection)
     catalog.add_network("Trindade16", "mux21", network);
     for (const auto& r : run.results)
     {
-        catalog.add_layout({"Trindade16", "mux21", cat::gate_library_kind::qca_one, r.clocking, r.algorithm,
-                            r.optimizations, 0, 0, 0, 0, 0, 0, r.runtime, r.layout});
+        cat::layout_record record{};
+        record.benchmark_set = "Trindade16";
+        record.benchmark_name = "mux21";
+        record.library = cat::gate_library_kind::qca_one;
+        record.clocking = r.clocking;
+        record.algorithm = r.algorithm;
+        record.optimizations = r.optimizations;
+        record.runtime = r.runtime;
+        record.layout = r.layout;
+        catalog.add_layout(std::move(record));
     }
     for (const auto& f : run.failures())
     {
